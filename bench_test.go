@@ -1,0 +1,368 @@
+package tippers
+
+// Benchmark harness: one bench (or bench family) per experiment in
+// DESIGN.md's index. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The sub-benchmark names carry the sweep parameter (users=N,
+// prefs=N) so `benchstat` output reads as the experiment tables.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/httpapi"
+	"github.com/tippers/tippers/internal/iota"
+	"github.com/tippers/tippers/internal/isodur"
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/reasoner"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/service"
+	"github.com/tippers/tippers/internal/sim"
+)
+
+var benchDay = time.Date(2017, time.June, 7, 0, 0, 0, 0, time.UTC)
+
+// benchEngines builds a matched rule set on both engine variants.
+func benchEngines(b *testing.B, users int) (naive, indexed enforce.Engine, reqs []enforce.Request) {
+	b.Helper()
+	building, err := sim.SmallDBH().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := sim.GeneratePopulation(building, users, sim.CampusMix(), 2017)
+	services := service.NewRegistry()
+	services.MustRegister(service.Concierge())
+	services.MustRegister(service.SmartMeeting())
+	cfg := enforce.Config{Spaces: building.Spaces, Services: services, DefaultAllow: true}
+	n := enforce.NewNaive(cfg)
+	x := enforce.NewIndexed(cfg)
+	for _, p := range sim.GeneratePreferences(building, dir, []string{"concierge", "smart-meeting"}, sim.DefaultPreferenceWorkload(1)) {
+		if err := n.AddPreference(p); err != nil {
+			b.Fatal(err)
+		}
+		if err := x.AddPreference(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bp := policy.Policy2EmergencyLocation(building.Spec.ID)
+	if err := n.AddPolicy(bp); err != nil {
+		b.Fatal(err)
+	}
+	if err := x.AddPolicy(bp); err != nil {
+		b.Fatal(err)
+	}
+	reqs = sim.GenerateRequests(building, dir, []string{"concierge", "smart-meeting"}, benchDay,
+		sim.RequestWorkload{N: 4096, Seed: 3, EmergencyFraction: 0.05})
+	return n, x, reqs
+}
+
+// BenchmarkEnforceQueryScaling is experiment E1: decision latency on
+// the optimized engine as the building's rule count grows.
+func BenchmarkEnforceQueryScaling(b *testing.B) {
+	for _, users := range []int{10, 100, 1000, 5000} {
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			_, indexed, reqs := benchEngines(b, users)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				indexed.Decide(reqs[i%len(reqs)], nil)
+			}
+		})
+	}
+}
+
+// BenchmarkEnforceNaiveVsIndexed is experiment E2: the ablation pair
+// under identical workloads.
+func BenchmarkEnforceNaiveVsIndexed(b *testing.B) {
+	for _, users := range []int{10, 1000} {
+		naive, indexed, reqs := benchEngines(b, users)
+		b.Run(fmt.Sprintf("engine=naive/users=%d", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				naive.Decide(reqs[i%len(reqs)], nil)
+			}
+		})
+		b.Run(fmt.Sprintf("engine=indexed/users=%d", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				indexed.Decide(reqs[i%len(reqs)], nil)
+			}
+		})
+	}
+}
+
+// BenchmarkEnforceCached is the third E2 arm: the decision memo on a
+// repetitive (polling-service) workload.
+func BenchmarkEnforceCached(b *testing.B) {
+	for _, users := range []int{10, 1000} {
+		_, indexed, reqs := benchEngines(b, users)
+		cached := enforce.NewCached(indexed, 0)
+		// Polling workload: 64 distinct requests issued repeatedly.
+		hot := reqs[:64]
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cached.Decide(hot[i%len(hot)], nil)
+			}
+		})
+	}
+}
+
+// BenchmarkReasonerConflicts is experiment E3: full conflict
+// detection over growing preference sets.
+func BenchmarkReasonerConflicts(b *testing.B) {
+	building, err := sim.SmallDBH().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pols := []policy.BuildingPolicy{
+		policy.Policy2EmergencyLocation(building.Spec.ID),
+		policy.Policy1Comfort(building.Spec.ID, 70),
+	}
+	r := reasoner.New(building.Spaces, reasoner.MostRestrictive)
+	for _, users := range []int{10, 100, 1000} {
+		dir := sim.GeneratePopulation(building, users, sim.CampusMix(), 5)
+		prefs := sim.GeneratePreferences(building, dir, []string{"concierge"}, sim.DefaultPreferenceWorkload(7))
+		b.Run(fmt.Sprintf("prefs=%d", len(prefs)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.Detect(pols, prefs)
+			}
+		})
+	}
+}
+
+// BenchmarkNotificationSelection is experiment E4's hot path: a fresh
+// assistant digesting a 50-resource document.
+func BenchmarkNotificationSelection(b *testing.B) {
+	doc := benchResourceDoc(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a, err := iota.New(iota.Config{UserID: "mary", Clock: func() time.Time { return benchDay }})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		a.ProcessDocument(doc)
+	}
+}
+
+// BenchmarkPreferenceModelLearn measures the E4 learner's update and
+// prediction costs.
+func BenchmarkPreferenceModelLearn(b *testing.B) {
+	doc := benchResourceDoc(50)
+	features := make([]iota.Features, len(doc.Resources))
+	for i, res := range doc.Resources {
+		features[i] = iota.FeaturesOf(res)
+	}
+	m := iota.NewPrefModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := features[i%len(features)]
+		m.Learn(f, i%3 == 0)
+		m.ObjectionProbability(f)
+	}
+}
+
+// BenchmarkObstoreIngest is experiment E6's write path.
+func BenchmarkObstoreIngest(b *testing.B) {
+	store := obstore.New()
+	store.SetDefaultRetention(isodur.SixMonths)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := store.Append(sensor.Observation{
+			SensorID: fmt.Sprintf("ap-%d", i%60),
+			UserID:   fmt.Sprintf("u%04d", i%200),
+			Kind:     sensor.ObsWiFiConnect,
+			SpaceID:  "dbh/1/100",
+			Time:     benchDay.Add(time.Duration(i) * time.Second),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObstoreQuery measures the indexed read path at 100k rows.
+func BenchmarkObstoreQuery(b *testing.B) {
+	store := obstore.New()
+	for i := 0; i < 100_000; i++ {
+		if _, err := store.Append(sensor.Observation{
+			SensorID: fmt.Sprintf("ap-%d", i%60),
+			UserID:   fmt.Sprintf("u%04d", i%200),
+			Kind:     sensor.ObsWiFiConnect,
+			SpaceID:  fmt.Sprintf("dbh/%d", i%6+1),
+			Time:     benchDay.Add(time.Duration(i) * time.Second),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Query(obstore.Filter{UserID: fmt.Sprintf("u%04d", i%200), Limit: 100})
+	}
+}
+
+// BenchmarkObstoreSweep measures the retention pass over 100k rows.
+func BenchmarkObstoreSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := obstore.New()
+		store.SetDefaultRetention(isodur.MustParse("PT1H"))
+		for j := 0; j < 100_000; j++ {
+			if _, err := store.Append(sensor.Observation{
+				SensorID: "ap-1", Kind: sensor.ObsWiFiConnect,
+				Time: benchDay.Add(time.Duration(j) * time.Second),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		store.Sweep(benchDay.Add(15 * time.Hour))
+	}
+}
+
+// BenchmarkFigure2RoundTrip measures policy-language serialization:
+// the IRR's fetch-and-validate path an IoTA pays per document.
+func BenchmarkFigure2RoundTrip(b *testing.B) {
+	raw, err := Figure2Document().MarshalIndent()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parseResourceDoc(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func parseResourceDoc(raw []byte) (ResourceDocument, error) {
+	return policy.ParseResourceDocument(raw)
+}
+
+// BenchmarkIngestPipeline measures the BMS capture path (attribution,
+// capture-time enforcement, store append, bus publish).
+func BenchmarkIngestPipeline(b *testing.B) {
+	dep, err := NewDeployment(DeploymentConfig{Spec: SmallDBH(), Population: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dep.Close()
+	users := dep.Users.All()
+	aps := dep.Building.Sensors.ByType(sensor.TypeWiFiAP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := users[i%len(users)]
+		err := dep.BMS.Ingest(sensor.Observation{
+			SensorID:  aps[i%len(aps)].ID,
+			Kind:      sensor.ObsWiFiConnect,
+			DeviceMAC: u.DeviceMACs[0],
+			Time:      benchDay.Add(time.Duration(i) * time.Second),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHTTPRoundtrip is experiment E7: full request latency over
+// the REST API (network + JSON + enforcement + data path).
+func BenchmarkHTTPRoundtrip(b *testing.B) {
+	dep, err := NewDeployment(DeploymentConfig{Spec: SmallDBH(), Population: 50, Seed: 1,
+		Clock: func() time.Time { return benchDay.Add(14 * time.Hour) }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dep.Close()
+	if _, err := dep.SimulateDay(benchDay, 3); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(dep.APIHandler())
+	defer srv.Close()
+	client := httpapi.NewClient(srv.URL, nil)
+	users := dep.Users.All()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := client.RequestUser(ctx, Request{
+			ServiceID: "concierge",
+			Purpose:   PurposeProvidingService,
+			Kind:      sensor.ObsWiFiConnect,
+			SubjectID: users[i%len(users)].ID,
+			Time:      benchDay.Add(14 * time.Hour),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateDay measures workload generation itself, so the
+// experiment harness's fixed costs are visible.
+func BenchmarkSimulateDay(b *testing.B) {
+	building, err := sim.SmallDBH().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := sim.GeneratePopulation(building, 100, sim.CampusMix(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.SimulateDay(building, dir, sim.DayConfig{Date: benchDay, Seed: int64(i)})
+	}
+}
+
+// BenchmarkFigure1EndToEnd runs the complete ten-step loop per
+// iteration: the framework's "one user walks in" cost.
+func BenchmarkFigure1EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dep, err := NewDeployment(DeploymentConfig{
+			Spec: SmallDBH(), Population: 10, Seed: 1, RegisterPaperPolicies: true,
+			Clock: func() time.Time { return benchDay.Add(14 * time.Hour) },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dep.SimulateDay(benchDay, 7); err != nil {
+			b.Fatal(err)
+		}
+		mary := dep.Users.All()[0]
+		assistant, err := dep.NewAssistant(mary.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		notices := assistant.ProcessDocument(dep.IRR.Document(dep.Building.Spec.ID))
+		if len(notices) > 0 {
+			if err := assistant.Feedback(notices[0].Fingerprint, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := dep.BMS.RequestUser(Request{
+			ServiceID: "concierge", Purpose: PurposeProvidingService,
+			Kind: sensor.ObsWiFiConnect, SubjectID: mary.ID,
+			Time: benchDay.Add(14 * time.Hour),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		dep.Close()
+	}
+}
+
+func benchResourceDoc(n int) policy.ResourceDocument {
+	purposes := policy.AllPurposes()
+	var doc policy.ResourceDocument
+	for i := 0; i < n; i++ {
+		doc.Resources = append(doc.Resources, policy.Resource{
+			Info: policy.Info{Name: fmt.Sprintf("bench-res-%03d", i)},
+			Purpose: policy.PurposeBlock{Entries: map[policy.Purpose]policy.PurposeDetail{
+				purposes[i%len(purposes)]: {Description: "bench"},
+			}},
+			Observations: []policy.ObservationDesc{{Name: "wifi_access_point"}},
+			Retention:    &policy.RetentionBlock{Duration: isodur.SixMonths},
+		})
+	}
+	return doc
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/tippers/tippers/internal/inference"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/privacy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/sim"
+)
+
+// runE5 measures the §II.A inference attacks against four release
+// regimes: raw data, coarsened location, pseudonymized identifiers,
+// and both mitigations together.
+func runE5() {
+	building, err := sim.DBH().Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := sim.GeneratePopulation(building, 150, sim.CampusMix(), 42)
+
+	// Five simulated weekdays, attributed as the BMS would.
+	var raw []sensor.Observation
+	var truthPresence []sensor.Observation
+	truth := make(map[string]profile.Group)
+	macTruth := make(map[string]string)
+	macGroup := make(map[string]profile.Group)
+	for d := 0; d < 5; d++ {
+		res := sim.SimulateDay(building, dir, sim.DayConfig{Date: simDay.AddDate(0, 0, d-2), Seed: int64(500 + d)})
+		for id, tr := range res.Traces {
+			truth[id] = tr.Group
+			for _, stay := range tr.Stays {
+				for ts := stay.Start; ts.Before(stay.End); ts = ts.Add(15 * time.Minute) {
+					truthPresence = append(truthPresence, sensor.Observation{
+						Kind: sensor.ObsBLESighting, SpaceID: stay.SpaceID, UserID: id, Time: ts,
+					})
+				}
+			}
+		}
+		for _, o := range res.Observations {
+			if s, ok := building.Sensors.Get(o.SensorID); ok && o.SpaceID == "" {
+				o.SpaceID = s.SpaceID
+			}
+			if u, ok := dir.LookupMAC(o.DeviceMAC); ok {
+				o.UserID = u.ID
+				macTruth[o.DeviceMAC] = u.ID
+			}
+			raw = append(raw, o)
+		}
+	}
+	for mac, uid := range macTruth {
+		macGroup[mac] = truth[uid]
+	}
+
+	classrooms := map[string]bool{}
+	for _, c := range building.Classrooms {
+		classrooms[c] = true
+	}
+	isClassroom := func(s string) bool { return classrooms[s] }
+	pseud := privacy.NewPseudonymizer([]byte("building-secret"))
+
+	type regime struct {
+		name    string
+		release func(sensor.Observation) (sensor.Observation, bool)
+	}
+	regimes := []regime{
+		{"raw", func(o sensor.Observation) (sensor.Observation, bool) { return o, true }},
+		{"coarse (building)", func(o sensor.Observation) (sensor.Observation, bool) {
+			return privacy.CoarsenLocation(o, policy.GranBuilding, building.Spaces)
+		}},
+		{"pseudonymized", func(o sensor.Observation) (sensor.Observation, bool) {
+			return pseud.PseudonymizeObservation(o), true
+		}},
+		{"coarse+pseudonym", func(o sensor.Observation) (sensor.Observation, bool) {
+			c, ok := privacy.CoarsenLocation(o, policy.GranBuilding, building.Spaces)
+			if !ok {
+				return sensor.Observation{}, false
+			}
+			return pseud.PseudonymizeObservation(c), true
+		}},
+	}
+
+	base := inference.MajorityBaseline(truth)
+	tieTruth := inference.CoLocation(truthPresence, inference.ByUserID, 15*time.Minute, 8)
+	fmt.Printf("population: %d occupants, %d observations over 5 weekdays\n", len(truth), len(raw))
+	fmt.Printf("majority-class baseline for role inference: %.0f%%; ground-truth strong ties: %d\n\n",
+		base*100, len(tieTruth))
+	fmt.Printf("%-20s %14s %16s %18s\n", "release regime", "role accuracy", "identity links", "top-10 tie recall")
+	for _, rg := range regimes {
+		var released []sensor.Observation
+		for _, o := range raw {
+			if out, ok := rg.release(o); ok {
+				released = append(released, out)
+			}
+		}
+		// Role inference: key by user where attribution survives,
+		// otherwise by (stable) device identifier, scoring against the
+		// appropriately keyed truth.
+		patterns := inference.ExtractPatterns(released, inference.ByUserID, isClassroom)
+		scoreTruth := truth
+		if len(patterns) == 0 {
+			patterns = inference.ExtractPatterns(released, inference.ByDeviceMAC, isClassroom)
+			scoreTruth = make(map[string]profile.Group, len(macGroup))
+			for mac, g := range macGroup {
+				scoreTruth[pseud.Pseudonym(mac)] = g
+				scoreTruth[mac] = g
+			}
+		}
+		acc, _ := inference.RoleAccuracy(patterns, scoreTruth)
+		links := inference.LinkIdentities(released, inference.ByDeviceMAC, dir.OfficeOwner)
+		// Social ties: key by whatever identifier survives (user or
+		// device); tie recall is measured against user-keyed truth, so
+		// pseudonymized regimes that keep room-level locations still
+		// reveal the *structure* but not the names — report the
+		// user-keyed recall, which is 0 once attribution is gone.
+		ties := inference.CoLocation(released, inference.ByUserID, 15*time.Minute, 8)
+		recall := inference.TieOverlap(ties, tieTruth, 10)
+		fmt.Printf("%-20s %13.0f%% %16d %17.0f%%\n", rg.name, acc*100, len(links), recall*100)
+	}
+	fmt.Println("\nshape: raw data supports the paper's role-inference and identity-")
+	fmt.Println("linking threats. Pseudonymization ALONE changes nothing: stable")
+	fmt.Println("pseudonyms moving through fine-grained locations are re-identified")
+	fmt.Println("through office assignments — the Eagle/Pentland-style result behind")
+	fmt.Println("the paper's insistence on granularity as a first-class language")
+	fmt.Println("element. Coarsening destroys the location-derived signals (classroom")
+	fmt.Println("fraction, office matching), pushing role inference to the majority")
+	fmt.Println("baseline and eliminating identity links.")
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/tippers/tippers/internal/iota"
+	"github.com/tippers/tippers/internal/isodur"
+	"github.com/tippers/tippers/internal/policy"
+)
+
+// runE8 measures the longitudinal notification burden: a user's
+// assistant over a simulated work week in which new data practices
+// keep appearing (new services, new sensors). Day by day, dedup
+// removes re-advertisements, the model's confidence grows from
+// feedback, and auto-configuration absorbs practices the model is
+// sure about — the §V.B goal of "obtain[ing] user feedback without
+// inducing user fatigue".
+func runE8() {
+	// The user's persona: objects to marketing/analytics and long
+	// retention, accepts operations.
+	persona := func(f iota.Features) bool {
+		for _, p := range f.Purposes {
+			if p == policy.PurposeMarketing || p == policy.PurposeAnalytics {
+				return true
+			}
+		}
+		return f.Retention >= iota.RetentionForever
+	}
+
+	day := time.Date(2017, time.June, 5, 9, 0, 0, 0, time.UTC) // Monday
+	current := day
+	sink := &countingSink{}
+	assistant, err := iota.New(iota.Config{
+		UserID: "mary",
+		Sink:   sink,
+		Clock:  func() time.Time { return current },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The building starts with 8 practices; each day 8 more appear
+	// (new services and sensors being deployed).
+	all := syntheticResourceDoc(48).Resources
+	fmt.Printf("%6s %10s %10s %12s %14s %12s\n",
+		"day", "fresh ads", "notified", "suppressed", "auto-config'd", "asked user")
+	cursor := 0
+	prevSuppressed := 0
+	for d := 0; d < 5; d++ {
+		current = day.AddDate(0, 0, d)
+		fresh := all[cursor : cursor+8]
+		cursor += 8
+
+		// Auto-configure confident cases first; only the rest are
+		// candidates for notification.
+		autoConfigured := 0
+		var doc policy.ResourceDocument
+		for _, res := range fresh {
+			res.Purpose.ServiceID = "svc" // target for configuration
+			if _, ok, err := assistant.AutoConfigure(res, 0.5); err == nil && ok {
+				autoConfigured++
+				continue
+			}
+			doc.Resources = append(doc.Resources, res)
+		}
+		notices := assistant.ProcessDocument(doc)
+		asked := 0
+		for _, n := range notices {
+			if err := assistant.Feedback(n.Fingerprint, persona(featuresByName(doc, n.ResourceName))); err == nil {
+				asked++
+			}
+		}
+		suppressed := assistant.Suppressed() - prevSuppressed
+		prevSuppressed = assistant.Suppressed()
+		fmt.Printf("%6d %10d %10d %12d %14d %12d\n",
+			d+1, len(fresh), len(notices), suppressed, autoConfigured, asked)
+	}
+	fmt.Printf("\npreferences configured without asking: %d\n", sink.count)
+	fmt.Println("shape: the daily interruption count falls as the model absorbs the")
+	fmt.Println("persona — later days' practices are auto-configured or silently")
+	fmt.Println("digested instead of interrupting the user.")
+}
+
+type countingSink struct{ count int }
+
+func (s *countingSink) SetPreference(policy.Preference) error {
+	s.count++
+	return nil
+}
+
+func featuresByName(doc policy.ResourceDocument, name string) iota.Features {
+	for _, res := range doc.Resources {
+		if res.Info.Name == name {
+			return iota.FeaturesOf(res)
+		}
+	}
+	return iota.Features{Retention: iota.BucketRetention(isodur.Duration{})}
+}

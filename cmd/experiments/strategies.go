@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/reasoner"
+	"github.com/tippers/tippers/internal/sim"
+)
+
+// runStrategies compares the reasoner's resolution strategies on the
+// paper's canonical conflict (Policy 2 vs Preference 2) and on a
+// softer conflict (non-critical logging policy vs a coarse-location
+// preference) — the design-decision ablation DESIGN.md §7.3 calls out.
+func runStrategies() {
+	building, err := sim.SmallDBH().Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p2 := policy.Policy2EmergencyLocation(building.Spec.ID)
+	logging := policy.Policy2EmergencyLocation(building.Spec.ID)
+	logging.ID = "policy-logging"
+	logging.Name = "Connection logging"
+	logging.Override = false
+	logging.Scope.Purposes = []policy.Purpose{policy.PurposeLogging}
+
+	deny := policy.Preference2NoLocation("mary")[0]
+	coarse := policy.Preference{
+		ID: "pref-coarse", UserID: "mary",
+		Scope: policy.Scope{ObsKind: deny.Scope.ObsKind},
+		Rule:  policy.Rule{Action: policy.ActionLimit, MaxGranularity: policy.GranFloor},
+	}
+
+	type scenario struct {
+		name string
+		bp   policy.BuildingPolicy
+		pref policy.Preference
+	}
+	scenarios := []scenario{
+		{"Policy 2 (override) vs Preference 2 (deny)", p2, deny},
+		{"logging policy vs coarse-location preference", logging, coarse},
+	}
+	strategies := []reasoner.Strategy{
+		reasoner.MostRestrictive, reasoner.BuildingWins,
+		reasoner.UserWins, reasoner.NegotiateGranularity,
+	}
+
+	for _, sc := range scenarios {
+		fmt.Printf("\nscenario: %s\n", sc.name)
+		fmt.Printf("%-24s %-10s %-10s %-10s %-8s\n", "strategy", "winner", "action", "max-gran", "notify")
+		for _, st := range strategies {
+			r := reasoner.New(building.Spaces, st)
+			conflicts := r.Detect([]policy.BuildingPolicy{sc.bp}, []policy.Preference{sc.pref})
+			if len(conflicts) == 0 {
+				fmt.Printf("%-24s (no conflict detected)\n", st)
+				continue
+			}
+			res := conflicts[0].Resolution
+			gran := "-"
+			if res.EffectiveRule.MaxGranularity.Valid() {
+				gran = res.EffectiveRule.MaxGranularity.String()
+			}
+			notify := "-"
+			if res.NotifyUserID != "" {
+				notify = res.NotifyUserID
+			}
+			fmt.Printf("%-24s %-10s %-10s %-10s %-8s\n",
+				st, res.Winner, res.EffectiveRule.Action, gran, notify)
+		}
+	}
+	fmt.Println("\nshape: safety overrides hold under every strategy except the what-if")
+	fmt.Println("user-wins mode; for non-critical policies, most-restrictive sides with")
+	fmt.Println("the user while negotiation finds the finest mutually acceptable level.")
+}

@@ -1,0 +1,232 @@
+// Command iotactl is an IoT Assistant command-line interface: it
+// discovers IRRs, digests their policy documents for a user, prints
+// the notices a phone assistant would surface, and can push
+// preference choices to a TIPPERS node.
+//
+// Usage:
+//
+//	iotactl -user mary discover -irr http://localhost:8081[,url2] [-space dbh]
+//	iotactl -user mary notices  -irr http://localhost:8081 [-space dbh]
+//	iotactl -user mary optout   -tippers http://localhost:8080 -service concierge [-kind wifi_access_point]
+//	iotactl -user mary coarse   -tippers http://localhost:8080 -service concierge
+//	iotactl -user mary prefs    -tippers http://localhost:8080
+//	iotactl -user mary inbox    -tippers http://localhost:8080
+//	iotactl -user mary audit    -tippers http://localhost:8080
+//	iotactl -user mary forget   -tippers http://localhost:8080
+//
+// The -model flag persists the assistant's learned preference model
+// across invocations of the notices command.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tippers/tippers/internal/httpapi"
+	"github.com/tippers/tippers/internal/iota"
+	"github.com/tippers/tippers/internal/irr"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		user      = flag.String("user", "", "user ID the assistant acts for (required)")
+		irrURLs   = flag.String("irr", "", "comma-separated IRR base URLs")
+		tip       = flag.String("tippers", "", "TIPPERS API base URL")
+		space     = flag.String("space", "", "location to scope discovery/documents to")
+		svc       = flag.String("service", "", "service ID for optout/coarse")
+		kind      = flag.String("kind", string(sensor.ObsWiFiConnect), "observation kind for optout")
+		modelFile = flag.String("model", "", "preference-model file to load/save (persists learning across runs)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	// Allow flags after the subcommand too (flag.Parse stops at the
+	// first non-flag argument).
+	if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *user == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	switch cmd {
+	case "discover":
+		for _, c := range discover(ctx, *irrURLs, *space) {
+			wk, err := c.WellKnown(ctx)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%s\t%s\tcoverage: %s\n", wk.Name, c.BaseURL(), strings.Join(wk.Coverage, ", "))
+		}
+	case "notices":
+		clients := discover(ctx, *irrURLs, *space)
+		if len(clients) == 0 {
+			log.Fatal("no registries discovered")
+		}
+		assistant, err := iota.New(iota.Config{UserID: *user})
+		if err != nil {
+			log.Fatal(err)
+		}
+		loadModel(*modelFile, assistant)
+		for _, c := range clients {
+			doc, err := c.Resources(ctx, *space)
+			if err != nil {
+				log.Printf("skipping %s: %v", c.BaseURL(), err)
+				continue
+			}
+			for _, n := range assistant.ProcessDocument(doc) {
+				fmt.Printf("[score %.2f, predicted objection %.0f%%] %s\n", n.Score, n.PredictedObjection*100, n.Digest)
+			}
+		}
+		fmt.Printf("(%d low-relevance resources digested silently)\n", assistant.Suppressed())
+		saveModel(*modelFile, assistant)
+	case "optout":
+		client := tippersClient(*tip)
+		pref := policy.Preference{
+			ID:     fmt.Sprintf("iotactl-optout-%s-%s-%s", *user, *svc, *kind),
+			UserID: *user,
+			Name:   "iotactl opt-out",
+			Scope:  policy.Scope{ServiceID: *svc, ObsKind: sensor.ObservationKind(*kind)},
+			Rule:   policy.Rule{Action: policy.ActionDeny},
+			Source: "explicit",
+		}
+		if err := client.SetPreferenceCtx(ctx, pref); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("installed %s\n", pref.ID)
+	case "coarse":
+		client := tippersClient(*tip)
+		if *svc == "" {
+			log.Fatal("coarse requires -service")
+		}
+		pref := policy.CoarseLocationPreference(*user, *svc)
+		if err := client.SetPreferenceCtx(ctx, pref); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("installed %s\n", pref.ID)
+	case "prefs":
+		client := tippersClient(*tip)
+		prefs, err := client.Preferences(ctx, *user)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range prefs {
+			fmt.Printf("%s\taction=%s", p.ID, p.Rule.Action)
+			if p.Rule.MaxGranularity != "" {
+				fmt.Printf(" granularity<=%s", p.Rule.MaxGranularity)
+			}
+			if p.Scope.ServiceID != "" {
+				fmt.Printf(" service=%s", p.Scope.ServiceID)
+			}
+			fmt.Println()
+		}
+	case "forget":
+		client := tippersClient(*tip)
+		deleted, retained, err := client.ForgetUser(ctx, *user)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("erased %d observation(s); %d retained under safety-critical policies\n", deleted, retained)
+	case "audit":
+		client := tippersClient(*tip)
+		report, err := client.Audit(ctx, *user)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("privacy audit for %s (%d preference(s) installed)\n", report.UserID, report.Preferences)
+		if len(report.OverridePolicies) > 0 {
+			fmt.Printf("safety policies that can override your choices: %s\n", strings.Join(report.OverridePolicies, ", "))
+		}
+		fmt.Printf("%-16s %-22s %-20s %-8s %-10s %6s  %s\n",
+			"service", "data", "purpose", "allowed", "precision", "stored", "why")
+		for _, e := range report.Entries {
+			precision := "-"
+			if e.Granularity != "" {
+				precision = e.Granularity
+			}
+			fmt.Printf("%-16s %-22s %-20s %-8v %-10s %6d  %s\n",
+				e.ServiceID, e.Kind, e.Purpose, e.Allowed, precision, e.StoredObservations, e.Why)
+		}
+	case "inbox":
+		client := tippersClient(*tip)
+		notifs, err := client.Notifications(ctx, *user)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(notifs) == 0 {
+			fmt.Println("inbox empty")
+		}
+		for _, n := range notifs {
+			fmt.Printf("- %s\n", n.Message)
+		}
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func discover(ctx context.Context, urls, space string) []*irr.Client {
+	if urls == "" {
+		log.Fatal("this command requires -irr")
+	}
+	candidates := strings.Split(urls, ",")
+	// Without a spatial model, coverage matching is exact-ID plus a
+	// prefix heuristic (space IDs are path-like).
+	covers := func(coverage, spaceID string) bool {
+		return strings.HasPrefix(spaceID, coverage+"/") || strings.HasPrefix(coverage, spaceID+"/")
+	}
+	return irr.Discover(ctx, candidates, space, covers)
+}
+
+func tippersClient(base string) *httpapi.Client {
+	if base == "" {
+		log.Fatal("this command requires -tippers")
+	}
+	return httpapi.NewClient(base, nil)
+}
+
+// loadModel restores the assistant's learned preference model from a
+// file, if one was given and exists.
+func loadModel(path string, a *iota.Assistant) {
+	if path == "" {
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return
+		}
+		log.Fatalf("reading model %s: %v", path, err)
+	}
+	if err := json.Unmarshal(raw, a.Model()); err != nil {
+		log.Fatalf("loading model %s: %v", path, err)
+	}
+}
+
+// saveModel writes the assistant's model back.
+func saveModel(path string, a *iota.Assistant) {
+	if path == "" {
+		return
+	}
+	raw, err := json.Marshal(a.Model())
+	if err != nil {
+		log.Fatalf("encoding model: %v", err)
+	}
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		log.Fatalf("writing model %s: %v", path, err)
+	}
+}

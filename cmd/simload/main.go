@@ -1,0 +1,123 @@
+// Command simload drives a remote TIPPERS node with simulated DBH
+// traffic: it generates occupant days and streams the observations to
+// the node's ingest endpoint, then optionally fires a request
+// workload — useful for load-testing a tippersd instance.
+//
+// Usage:
+//
+//	simload -tippers http://localhost:8080 [-days 1] [-population 200]
+//	        [-small] [-requests 100] [-seed 1]
+//
+// The population must match the tippersd instance's (-population and
+// -seed), since observations are attributed by the node via its own
+// user directory.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/httpapi"
+	"github.com/tippers/tippers/internal/sim"
+)
+
+func main() {
+	log.SetPrefix("simload: ")
+	log.SetFlags(log.LstdFlags)
+
+	var (
+		tip        = flag.String("tippers", "http://localhost:8080", "TIPPERS API base URL")
+		days       = flag.Int("days", 1, "days to simulate")
+		population = flag.Int("population", 200, "occupant count (must match the node)")
+		small      = flag.Bool("small", false, "use the two-floor building (must match the node)")
+		requests   = flag.Int("requests", 100, "requests to fire after ingest (0 disables)")
+		seed       = flag.Int64("seed", 1, "simulation seed (must match the node)")
+		batch      = flag.Int("batch", 500, "observations per ingest call")
+	)
+	flag.Parse()
+
+	spec := sim.DBH()
+	if *small {
+		spec = sim.SmallDBH()
+	}
+	building, err := spec.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := sim.GeneratePopulation(building, *population, sim.CampusMix(), *seed)
+	client := httpapi.NewClient(*tip, nil)
+	ctx := context.Background()
+
+	day := time.Now().UTC().Truncate(24 * time.Hour)
+	totalSent := 0
+	start := time.Now()
+	for d := 0; d < *days; d++ {
+		res := sim.SimulateDay(building, dir, sim.DayConfig{Date: day.AddDate(0, 0, d), Seed: *seed + int64(d)})
+		for i := 0; i < len(res.Observations); i += *batch {
+			end := min(i+*batch, len(res.Observations))
+			dtos := make([]httpapi.ObservationDTO, 0, end-i)
+			for _, o := range res.Observations[i:end] {
+				dtos = append(dtos, httpapi.ObservationDTO{
+					SensorID:  o.SensorID,
+					Kind:      string(o.Kind),
+					Time:      o.Time,
+					SpaceID:   o.SpaceID,
+					DeviceMAC: o.DeviceMAC,
+					Value:     o.Value,
+					Payload:   o.Payload,
+				})
+			}
+			n, err := client.Ingest(ctx, dtos)
+			if err != nil {
+				log.Fatalf("ingest: %v (after %d accepted)", err, n)
+			}
+			totalSent += n
+		}
+		log.Printf("day %d: %d observations sent", d+1, len(res.Observations))
+	}
+	elapsed := time.Since(start)
+	log.Printf("ingest done: %d observations in %v (%.0f obs/s)",
+		totalSent, elapsed.Round(time.Millisecond), float64(totalSent)/elapsed.Seconds())
+
+	if *requests > 0 {
+		reqs := sim.GenerateRequests(building, dir, []string{"concierge", "smart-meeting"}, day,
+			sim.RequestWorkload{N: *requests, Seed: *seed, EmergencyFraction: 0.05})
+		allowed, denied := 0, 0
+		start = time.Now()
+		for _, r := range reqs {
+			resp, err := client.RequestUser(ctx, enforce.Request{
+				ServiceID: r.ServiceID, Purpose: r.Purpose, Kind: r.Kind,
+				SubjectID: r.SubjectID, SpaceID: r.SpaceID,
+				Granularity: r.Granularity, Time: r.Time,
+			})
+			if err != nil {
+				log.Fatalf("request: %v", err)
+			}
+			if resp.Decision.Allowed {
+				allowed++
+			} else {
+				denied++
+			}
+		}
+		elapsed = time.Since(start)
+		log.Printf("requests done: %d allowed, %d denied in %v (%.0f req/s)",
+			allowed, denied, elapsed.Round(time.Millisecond), float64(*requests)/elapsed.Seconds())
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node stats: %+v\n", stats)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

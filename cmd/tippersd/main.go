@@ -1,0 +1,127 @@
+// Command tippersd runs a TIPPERS BMS node over a simulated building,
+// exposing the REST API (see internal/httpapi) and, optionally, a
+// co-hosted IoT Resource Registry.
+//
+// Usage:
+//
+//	tippersd [-addr :8080] [-irr-addr :8081] [-population 200]
+//	         [-small] [-paper-policies] [-simulate-days 1] [-seed 1]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/tippers/tippers"
+)
+
+func main() {
+	log.SetPrefix("tippersd: ")
+	log.SetFlags(log.LstdFlags)
+
+	var (
+		addr          = flag.String("addr", ":8080", "TIPPERS API listen address")
+		irrAddr       = flag.String("irr-addr", ":8081", "IRR listen address (empty disables)")
+		population    = flag.Int("population", 200, "simulated occupant count")
+		small         = flag.Bool("small", false, "use the two-floor building instead of full DBH")
+		paperPolicies = flag.Bool("paper-policies", true, "register the paper's Policies 1-4")
+		simulateDays  = flag.Int("simulate-days", 1, "simulated days to ingest at startup")
+		seed          = flag.Int64("seed", 1, "simulation seed")
+		retention     = flag.Duration("retention-interval", time.Minute, "retention sweep interval")
+		snapshot      = flag.String("snapshot", "", "observation snapshot file: restored at boot, written on shutdown")
+	)
+	flag.Parse()
+
+	spec := tippers.DBH()
+	if *small {
+		spec = tippers.SmallDBH()
+	}
+	dep, err := tippers.NewDeployment(tippers.DeploymentConfig{
+		Spec:                  spec,
+		Population:            *population,
+		Seed:                  *seed,
+		RegisterPaperPolicies: *paperPolicies,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
+	total := 0
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if err := dep.BMS.Store().ReadSnapshot(f); err != nil {
+				log.Fatalf("restoring %s: %v", *snapshot, err)
+			}
+			f.Close()
+			total = dep.BMS.Store().Len()
+			log.Printf("restored %d observations from %s", total, *snapshot)
+			*simulateDays = 0
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("opening %s: %v", *snapshot, err)
+		}
+	}
+	day := time.Now().UTC().Truncate(24*time.Hour).AddDate(0, 0, -*simulateDays)
+	for d := 0; d < *simulateDays; d++ {
+		n, err := dep.SimulateDay(day.AddDate(0, 0, d), *seed+int64(d))
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += n
+	}
+	log.Printf("building %s ready: %d spaces, %d sensors, %d users, %d observations ingested",
+		spec.ID, dep.Building.Spaces.Len(), dep.Building.Sensors.Len(), dep.Users.Len(), total)
+
+	dep.BMS.StartRetention(*retention)
+
+	apiSrv := &http.Server{Addr: *addr, Handler: dep.APIHandler(), ReadHeaderTimeout: 10 * time.Second}
+	servers := []*http.Server{apiSrv}
+	go func() {
+		log.Printf("TIPPERS API listening on %s", *addr)
+		if err := apiSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("api server: %v", err)
+		}
+	}()
+
+	if *irrAddr != "" {
+		irrSrv := &http.Server{Addr: *irrAddr, Handler: dep.IRRHandler(), ReadHeaderTimeout: 10 * time.Second}
+		servers = append(servers, irrSrv)
+		go func() {
+			log.Printf("IRR listening on %s (%d resources advertised)", *irrAddr, dep.IRR.Len())
+			if err := irrSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("irr server: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println()
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, s := range servers {
+		_ = s.Shutdown(shutdownCtx)
+	}
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			log.Fatalf("creating %s: %v", *snapshot, err)
+		}
+		if err := dep.BMS.Store().WriteSnapshot(f); err != nil {
+			log.Fatalf("writing %s: %v", *snapshot, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing %s: %v", *snapshot, err)
+		}
+		log.Printf("snapshot written to %s (%d observations)", *snapshot, dep.BMS.Store().Len())
+	}
+}

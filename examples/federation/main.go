@@ -1,0 +1,137 @@
+// Command federation demonstrates the multi-building case implicit in
+// the paper's vision: one user, one IoT Assistant, one learned
+// preference model — many privacy-aware buildings, each with its own
+// IRR and TIPPERS node. The assistant discovers the registries
+// covering the user's path, digests each building's policies, and
+// because its model travels with the user, what it learned in the
+// first building configures the second without re-asking.
+//
+// Run with:
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"github.com/tippers/tippers"
+	"github.com/tippers/tippers/internal/httpapi"
+	"github.com/tippers/tippers/internal/iota"
+	"github.com/tippers/tippers/internal/irr"
+)
+
+func main() {
+	log.SetFlags(0)
+	day := time.Date(2017, time.June, 7, 0, 0, 0, 0, time.UTC)
+	ctx := context.Background()
+
+	// Two buildings, each its own deployment, API, and IRR.
+	mkBuilding := func(id, name string) (*tippers.Deployment, *httptest.Server, *httptest.Server) {
+		spec := tippers.SmallDBH()
+		spec.ID = id
+		spec.Name = name
+		dep, err := tippers.NewDeployment(tippers.DeploymentConfig{
+			Spec: spec, Population: 20, Seed: 5,
+			RegisterPaperPolicies: true,
+			Clock:                 func() time.Time { return day.Add(14 * time.Hour) },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		api := httptest.NewServer(dep.APIHandler())
+		reg := httptest.NewServer(dep.IRRHandler())
+		return dep, api, reg
+	}
+	dbh, dbhAPI, dbhIRR := mkBuilding("dbh", "Donald Bren Hall")
+	defer dbh.Close()
+	defer dbhAPI.Close()
+	defer dbhIRR.Close()
+	eh, ehAPI, ehIRR := mkBuilding("eh", "Engineering Hall")
+	defer eh.Close()
+	defer ehAPI.Close()
+	defer ehIRR.Close()
+
+	// The user's single learned model travels between buildings.
+	model := iota.NewPrefModel()
+	user := "u0001"
+
+	visit := func(dep *tippers.Deployment, apiURL, irrURL, buildingID string, object bool) {
+		fmt.Printf("\n--- %s visits %s ---\n", user, dep.Building.Spec.Name)
+		clients := irr.Discover(ctx, []string{dbhIRR.URL, ehIRR.URL}, buildingID,
+			func(coverage, spaceID string) bool { return coverage == spaceID })
+		fmt.Printf("discovered %d registr%s covering %s\n", len(clients), plural(len(clients), "y", "ies"), buildingID)
+
+		assistant, err := iota.New(iota.Config{
+			UserID: user,
+			Model:  model,
+			Sink:   httpapi.NewClient(apiURL, nil),
+			Clock:  func() time.Time { return day.Add(14 * time.Hour) },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var doc tippers.ResourceDocument
+		for _, c := range clients {
+			d, err := c.Resources(ctx, buildingID)
+			if err != nil {
+				continue
+			}
+			doc.Resources = append(doc.Resources, d.Resources...)
+		}
+		notices := assistant.ProcessDocument(doc)
+		fmt.Printf("assistant surfaced %d notices\n", len(notices))
+		for _, n := range notices {
+			fmt.Printf("  [predicted objection %.0f%%] %s\n", n.PredictedObjection*100, n.ResourceName)
+			if object && n.ResourceName == "Location tracking in DBH" {
+				if err := assistant.Feedback(n.Fingerprint, true); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println("  -> user objected; preference pushed over HTTP")
+			}
+		}
+		// In the second building the model is trained: auto-configure
+		// the same practice without asking.
+		if !object {
+			for _, res := range doc.Resources {
+				if res.Info.Name != "Location tracking in DBH" {
+					continue
+				}
+				// One labeled example is modest evidence: the assistant
+				// will auto-pick a protective-but-not-extreme option
+				// (coarse) rather than a hard opt-out.
+				g, ok, err := assistant.AutoConfigure(res, 0.2)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if ok {
+					fmt.Printf("  -> auto-configured %q at %s granularity (no user interruption)\n",
+						res.Info.Name, g)
+				} else {
+					fmt.Println("  -> model not confident enough to auto-configure")
+				}
+			}
+		}
+		prefs := dep.BMS.Preferences(user)
+		fmt.Printf("preferences now installed in %s: %d\n", dep.Building.Spec.Name, len(prefs))
+	}
+
+	// First visit: the user is interrupted and objects.
+	visit(dbh, dbhAPI.URL, dbhIRR.URL, "dbh", true)
+	// Second building: same practice, zero interruptions.
+	visit(eh, ehAPI.URL, ehIRR.URL, "eh", false)
+
+	fmt.Println("\nthe learned objection transferred across buildings: the paper's")
+	fmt.Println("assistants 'learn over time' precisely so each new space does not")
+	fmt.Println("restart the notification burden.")
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -1,0 +1,117 @@
+// Command inference demonstrates the paper's §II.A privacy threats
+// and their mitigation: from raw WiFi/BLE logs an attacker infers
+// occupant roles ("staff arrive at 7am...", working patterns) and
+// links anonymous devices to named people via office assignments —
+// then the same attacks are re-run against the enforcement-released
+// view and collapse.
+//
+// Run with:
+//
+//	go run ./examples/inference
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/tippers/tippers"
+	"github.com/tippers/tippers/internal/inference"
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/privacy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	day := time.Date(2017, time.June, 5, 0, 0, 0, 0, time.UTC) // Monday
+
+	// Full-scale DBH: 102 offices, so most office-holders get a
+	// private office — the precondition for the identity-linking
+	// attack the paper describes.
+	building, err := tippers.DBH().Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := sim.GeneratePopulation(building, 150, sim.CampusMix(), 42)
+
+	// Simulate a five-day week and attribute observations the way the
+	// BMS ingest pipeline would.
+	store := obstore.New()
+	truth := make(map[string]profile.Group)
+	macTruth := make(map[string]string)
+	for d := 0; d < 5; d++ {
+		res := sim.SimulateDay(building, dir, sim.DayConfig{Date: day.AddDate(0, 0, d), Seed: int64(100 + d)})
+		for id, tr := range res.Traces {
+			truth[id] = tr.Group
+		}
+		for _, o := range res.Observations {
+			if s, ok := building.Sensors.Get(o.SensorID); ok && o.SpaceID == "" {
+				o.SpaceID = s.SpaceID
+			}
+			if u, ok := dir.LookupMAC(o.DeviceMAC); ok {
+				o.UserID = u.ID
+				macTruth[o.DeviceMAC] = u.ID
+			}
+			if _, err := store.Append(o); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	raw := store.Query(obstore.Filter{})
+	fmt.Printf("simulated 5 weekdays: %d observations, %d occupants\n\n", len(raw), len(truth))
+
+	classrooms := map[string]bool{}
+	for _, c := range building.Classrooms {
+		classrooms[c] = true
+	}
+	isClassroom := func(s string) bool { return classrooms[s] }
+
+	// Attack 1: role inference on raw data.
+	patterns := inference.ExtractPatterns(raw, inference.ByUserID, isClassroom)
+	acc, n := inference.RoleAccuracy(patterns, truth)
+	base := inference.MajorityBaseline(truth)
+	fmt.Println("attack 1 — role inference from AP/BLE logs (the paper's §II.A heuristics):")
+	fmt.Printf("  raw data:      %.0f%% accuracy over %d occupants (majority baseline %.0f%%)\n",
+		acc*100, n, base*100)
+
+	// Attack 2: identity linking via office assignments.
+	links := inference.LinkIdentities(raw, inference.ByDeviceMAC, dir.OfficeOwner)
+	lacc, ln := inference.LinkAccuracy(links, macTruth)
+	fmt.Println("attack 2 — linking anonymous devices to people via office assignments:")
+	fmt.Printf("  raw data:      %d devices linked (%d evaluable), %.0f%% correct\n", len(links), ln, lacc*100)
+
+	// Mitigation: the building releases only building-granularity,
+	// pseudonymized data (the Figure 4 "coarse" option applied
+	// building-wide).
+	pseud := privacy.NewPseudonymizer([]byte("building-secret"))
+	var released []sensor.Observation
+	for _, o := range raw {
+		c, ok := privacy.CoarsenLocation(o, policy.GranBuilding, building.Spaces)
+		if !ok {
+			continue
+		}
+		released = append(released, pseud.PseudonymizeObservation(c))
+	}
+
+	fmt.Println("\nafter enforcement (coarse granularity + pseudonymization):")
+	patterns = inference.ExtractPatterns(released, inference.ByDeviceMAC, isClassroom)
+	// Truth keyed by pseudonym for a fair re-evaluation.
+	pseudTruth := make(map[string]profile.Group)
+	for mac, uid := range macTruth {
+		pseudTruth[pseud.Pseudonym(mac)] = truth[uid]
+	}
+	acc2, n2 := inference.RoleAccuracy(patterns, pseudTruth)
+	fmt.Printf("  role inference:  %.0f%% accuracy over %d subjects (baseline %.0f%%) — classroom signal destroyed\n",
+		acc2*100, n2, base*100)
+	links2 := inference.LinkIdentities(released, inference.ByDeviceMAC, dir.OfficeOwner)
+	fmt.Printf("  identity links:  %d (office signal destroyed)\n", len(links2))
+
+	fmt.Println("\nNote: arrival/departure timing still leaks through coarse data —")
+	fmt.Println("granularity alone does not hide *when* someone is in the building;")
+	fmt.Println("suppressing that requires opt-out (GranNone) or aggregation, which")
+	fmt.Println("is exactly why the paper's language separates these mechanisms.")
+}

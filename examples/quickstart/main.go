@@ -1,0 +1,115 @@
+// Command quickstart walks the paper's Figure 1 interaction end to
+// end, in process: a building admin defines policies, sensors capture
+// a simulated day, an IRR advertises the policies, Mary's IoT
+// Assistant discovers them, notifies her, configures her preferences,
+// and a service's requests are enforced accordingly.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/tippers/tippers"
+)
+
+func main() {
+	log.SetFlags(0)
+	day := time.Date(2017, time.June, 7, 0, 0, 0, 0, time.UTC)
+
+	// Steps 1–3: build DBH, register the paper's policies, capture a day.
+	dep, err := tippers.NewDeployment(tippers.DeploymentConfig{
+		Spec:                  tippers.SmallDBH(),
+		Population:            40,
+		Seed:                  1,
+		RegisterPaperPolicies: true,
+		Clock:                 func() time.Time { return day.Add(14 * time.Hour) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
+	n, err := dep.SimulateDay(day, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("steps 1-3: %d policies registered, %d observations captured and stored\n",
+		len(dep.BMS.Policies()), n)
+
+	// Step 4: the IRR advertises the building's practices.
+	doc := dep.IRR.Document(dep.Building.Spec.ID)
+	fmt.Printf("step 4:   IRR advertises %d resources\n", len(doc.Resources))
+
+	// Pick Mary: the first grad student.
+	var mary *tippers.User
+	for _, u := range dep.Users.All() {
+		if u.HasGroup("grad-student") {
+			mary = u
+			break
+		}
+	}
+	if mary == nil {
+		log.Fatal("no grad student generated")
+	}
+
+	// Steps 5–6: Mary's IoTA digests the policies and notifies her
+	// about the most relevant ones, under its fatigue budget.
+	assistant, err := dep.NewAssistant(mary.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	notices := assistant.ProcessDocument(doc)
+	fmt.Printf("steps 5-6: IoTA surfaced %d notices (%d suppressed to avoid fatigue):\n",
+		len(notices), assistant.Suppressed())
+	for _, nt := range notices {
+		fmt.Printf("  [score %.2f] %s\n", nt.Score, nt.Digest)
+	}
+
+	// Step 7: Mary objects to the location-tracking practice.
+	for _, nt := range notices {
+		if nt.ResourceName == "Location tracking in DBH" {
+			if err := assistant.Feedback(nt.Fingerprint, true); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("step 7:   Mary objected to location tracking")
+		}
+	}
+
+	// Step 8: the assistant pushed the preference into TIPPERS.
+	prefs := dep.BMS.Preferences(mary.ID)
+	fmt.Printf("step 8:   %d preference(s) configured in TIPPERS\n", len(prefs))
+
+	// Steps 9–10: services request Mary's location.
+	req := tippers.Request{
+		ServiceID: "concierge",
+		Purpose:   tippers.PurposeProvidingService,
+		Kind:      "wifi_access_point",
+		SubjectID: mary.ID,
+		Time:      day.Add(14 * time.Hour),
+	}
+	resp, err := dep.BMS.RequestUser(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("steps 9-10: concierge request allowed=%v (%s)\n",
+		resp.Decision.Allowed, resp.Decision.DenyReason)
+
+	ereq := req
+	ereq.ServiceID = "bms-emergency"
+	ereq.Purpose = tippers.PurposeEmergencyResponse
+	eresp, err := dep.BMS.RequestUser(ereq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("            emergency request allowed=%v, %d observations released\n",
+		eresp.Decision.Allowed, len(eresp.Observations))
+
+	for _, note := range dep.BMS.FetchNotifications(mary.ID) {
+		fmt.Printf("            notification to %s: %s\n", note.UserID, note.Message)
+	}
+}

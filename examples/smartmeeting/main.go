@@ -1,0 +1,173 @@
+// Command smartmeeting demonstrates the paper's Smart Meeting service
+// (§III.B, Preference 4) and the aggregate/occupancy enforcement
+// path: the service scans the building for a free meeting room and
+// checks participant presence — but each participant's preferences
+// govern what it learns, and occupancy is only released k-anonymously.
+//
+// Run with:
+//
+//	go run ./examples/smartmeeting
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/tippers/tippers"
+)
+
+func main() {
+	log.SetFlags(0)
+	day := time.Date(2017, time.June, 7, 0, 0, 0, 0, time.UTC)
+
+	dep, err := tippers.NewDeployment(tippers.DeploymentConfig{
+		Spec:       tippers.SmallDBH(),
+		Population: 12,
+		Seed:       21,
+		Clock:      func() time.Time { return day.Add(11 * time.Hour) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	if _, err := dep.SimulateDay(day, 23); err != nil {
+		log.Fatal(err)
+	}
+
+	// The organizer must hold an office so Preference 1 has a subject.
+	users := dep.Users.All()
+	var organizer *tippers.User
+	for _, u := range users {
+		if len(u.Offices()) > 0 {
+			organizer = u
+			break
+		}
+	}
+	if organizer == nil {
+		log.Fatal("no office holder in population")
+	}
+	var attendee, declined *tippers.User
+	for _, u := range users {
+		if u.ID == organizer.ID {
+			continue
+		}
+		if attendee == nil {
+			attendee = u
+		} else if declined == nil {
+			declined = u
+		}
+	}
+
+	// Preference 4: organizer and attendee allow Smart Meeting access.
+	for _, u := range []*tippers.User{organizer, attendee} {
+		if err := dep.BMS.SetPreference(tippers.Preference4SmartMeeting(u.ID, "smart-meeting")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The third invitee blocks the service entirely.
+	if err := dep.BMS.SetPreference(tippers.Preference{
+		ID: "no-smart-meeting-" + declined.ID, UserID: declined.ID,
+		Name:  "Block Smart Meeting",
+		Scope: tippers.Scope{ServiceID: "smart-meeting"},
+		Rule:  tippers.Rule{Action: tippers.ActionDeny},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Preference 1: the organizer also hides after-hours office
+	// occupancy — irrelevant at 11am, enforced at 10pm.
+	office := ""
+	if offices := organizer.Offices(); len(offices) > 0 {
+		office = offices[0]
+		if err := dep.BMS.SetPreference(tippers.Preference1OfficeOccupancy(organizer.ID, office)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The service checks each invitee's room-level presence.
+	fmt.Println("Smart Meeting checks invitee presence (room granularity):")
+	for _, u := range []*tippers.User{organizer, attendee, declined} {
+		resp, err := dep.BMS.RequestUser(tippers.Request{
+			ServiceID:   "smart-meeting",
+			Purpose:     tippers.PurposeProvidingService,
+			Kind:        "bluetooth_beacon",
+			SubjectID:   u.ID,
+			Granularity: tippers.GranRoom,
+			Time:        day.Add(11 * time.Hour),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case !resp.Decision.Allowed:
+			fmt.Printf("  %s: unavailable to the service (%s)\n", u.ID, resp.Decision.DenyReason)
+		case len(resp.Observations) == 0:
+			fmt.Printf("  %s: no presence signal today\n", u.ID)
+		default:
+			last := resp.Observations[len(resp.Observations)-1]
+			fmt.Printf("  %s: present near %q\n", u.ID, last.SpaceID)
+		}
+	}
+
+	// Room occupancy across the building, k-anonymized with k=2: the
+	// service sees which rooms are busy without individual identities.
+	occ, err := dep.BMS.RequestOccupancy(tippers.Request{
+		ServiceID: "smart-meeting",
+		Purpose:   tippers.PurposeProvidingService,
+		Kind:      "bluetooth_beacon",
+		SpaceID:   dep.Building.Spec.ID,
+		Time:      day.Add(11 * time.Hour),
+	}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbuilding occupancy (k>=2; %d of %d subjects contributed):\n",
+		occ.SubjectsReleased, occ.SubjectsConsidered)
+	for _, a := range occ.Aggregates {
+		fmt.Printf("  %-16s %d people\n", a.Key, a.Count)
+	}
+	fmt.Println("rooms with fewer than 2 people are suppressed; free rooms are those absent above")
+
+	// The semantic layer turns presence signals into occupancy
+	// observations (attributed to office owners), which Preference 1
+	// governs.
+	derived, err := dep.BMS.DeriveOccupancy(day, day.AddDate(0, 0, 1), 30*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsemantic layer derived %d occupancy observations\n", derived)
+
+	// After-hours: the organizer's office occupancy is hidden even
+	// from a room query (Preference 1).
+	if office != "" {
+		day11, err := dep.BMS.RequestUser(tippers.Request{
+			ServiceID:   "smart-meeting",
+			Purpose:     tippers.PurposeProvidingService,
+			Kind:        "occupancy",
+			SubjectID:   organizer.ID,
+			SpaceID:     office,
+			Granularity: tippers.GranRoom,
+			Time:        day.Add(11 * time.Hour),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("business-hours office occupancy for %s: allowed=%v, %d observation(s)\n",
+			organizer.ID, day11.Decision.Allowed, len(day11.Observations))
+		late, err := dep.BMS.RequestUser(tippers.Request{
+			ServiceID:   "smart-meeting",
+			Purpose:     tippers.PurposeProvidingService,
+			Kind:        "occupancy",
+			SubjectID:   organizer.ID,
+			SpaceID:     office,
+			Granularity: tippers.GranRoom,
+			Time:        day.Add(22 * time.Hour),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nafter-hours office occupancy for %s: allowed=%v (%s)\n",
+			organizer.ID, late.Decision.Allowed, late.Decision.DenyReason)
+	}
+}

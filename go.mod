@@ -1,0 +1,3 @@
+module github.com/tippers/tippers
+
+go 1.22

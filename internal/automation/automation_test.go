@@ -1,0 +1,190 @@
+package automation
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/spatial"
+)
+
+var now = time.Date(2017, time.June, 7, 14, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	ctrl  *Controller
+	store *obstore.Store
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	spaces := spatial.NewModel()
+	spaces.MustAdd("", spatial.Space{ID: "dbh", Kind: spatial.KindBuilding})
+	spaces.MustAdd("dbh", spatial.Space{ID: "dbh/1", Kind: spatial.KindFloor, Floor: 1})
+	spaces.MustAdd("dbh/1", spatial.Space{ID: "dbh/1/r0", Kind: spatial.KindRoom, Floor: 1})
+	spaces.MustAdd("dbh/1", spatial.Space{ID: "dbh/1/r1", Kind: spatial.KindRoom, Floor: 1})
+	spaces.MustAdd("", spatial.Space{ID: "other", Kind: spatial.KindBuilding})
+
+	sensors := sensor.NewRegistry()
+	sensors.MustAdd(sensor.MustNew("hvac-0", sensor.TypeHVAC, "dbh/1/r0"))
+	sensors.MustAdd(sensor.MustNew("hvac-1", sensor.TypeHVAC, "dbh/1/r1"))
+	sensors.MustAdd(sensor.MustNew("hvac-other", sensor.TypeHVAC, "other"))
+	sensors.MustAdd(sensor.MustNew("motion-0", sensor.TypeMotion, "dbh/1/r0"))
+	sensors.MustAdd(sensor.MustNew("temp-0", sensor.TypeTemperature, "dbh/1/r0"))
+
+	store := obstore.New()
+	return &fixture{
+		ctrl:  &Controller{Spaces: spaces, Sensors: sensors, Store: store},
+		store: store,
+	}
+}
+
+func (f *fixture) add(t testing.TB, kind sensor.ObservationKind, space string, minutesAgo int, value float64) {
+	t.Helper()
+	_, err := f.store.Append(sensor.Observation{
+		SensorID: "src",
+		Kind:     kind,
+		SpaceID:  space,
+		Time:     now.Add(-time.Duration(minutesAgo) * time.Minute),
+		Value:    value,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteRejectsNonAutomation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.ctrl.Execute(policy.Policy2EmergencyLocation("dbh"), now); !errors.Is(err, ErrNotAutomation) {
+		t.Errorf("got %v, want ErrNotAutomation", err)
+	}
+	p := policy.Policy1Comfort("dbh", 70)
+	p.Settings = nil
+	if _, err := f.ctrl.Execute(p, now); err == nil {
+		t.Error("policy without target accepted")
+	}
+}
+
+func TestOccupiedSignals(t *testing.T) {
+	f := newFixture(t)
+	if f.ctrl.Occupied("dbh/1/r0", now) {
+		t.Error("empty room reported occupied")
+	}
+	f.add(t, sensor.ObsMotionEvent, "dbh/1/r0", 5, 1)
+	if !f.ctrl.Occupied("dbh/1/r0", now) {
+		t.Error("fresh motion not detected")
+	}
+	// Stale motion does not count.
+	f2 := newFixture(t)
+	f2.add(t, sensor.ObsMotionEvent, "dbh/1/r0", 60, 1)
+	if f2.ctrl.Occupied("dbh/1/r0", now) {
+		t.Error("stale motion counted")
+	}
+	// Network presence is a fallback signal.
+	f3 := newFixture(t)
+	f3.add(t, sensor.ObsWiFiConnect, "dbh/1/r1", 3, 0)
+	if !f3.ctrl.Occupied("dbh/1/r1", now) {
+		t.Error("wifi presence not detected")
+	}
+}
+
+func TestRoomTemperature(t *testing.T) {
+	f := newFixture(t)
+	if _, ok := f.ctrl.RoomTemperature("dbh/1/r0", now); ok {
+		t.Error("temperature invented")
+	}
+	f.add(t, sensor.ObsTempReading, "dbh/1/r0", 30, 75)
+	f.add(t, sensor.ObsTempReading, "dbh/1/r0", 5, 73.5)
+	got, ok := f.ctrl.RoomTemperature("dbh/1/r0", now)
+	if !ok || got != 73.5 {
+		t.Errorf("RoomTemperature = %v, %v; want latest 73.5", got, ok)
+	}
+}
+
+// TestPolicy1Loop runs the paper's three-step loop: occupied room with
+// a warm reading gets the comfort setpoint and a spinning fan;
+// unoccupied room gets the setback.
+func TestPolicy1Loop(t *testing.T) {
+	f := newFixture(t)
+	f.add(t, sensor.ObsMotionEvent, "dbh/1/r0", 2, 1)  // r0 occupied
+	f.add(t, sensor.ObsTempReading, "dbh/1/r0", 2, 74) // r0 warm
+	// r1 empty.
+
+	p := policy.Policy1Comfort("dbh", 70)
+	acts, err := f.ctrl.Execute(p, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 2 {
+		t.Fatalf("actuations = %+v (the other-building unit must be out of scope)", acts)
+	}
+	byID := map[string]Actuation{}
+	for _, a := range acts {
+		byID[a.SensorID] = a
+	}
+	occ := byID["hvac-0"]
+	if occ.Changes["target_temp_f"] != "70" || occ.Changes["fan_speed"] != "medium" {
+		t.Errorf("occupied room actuation = %+v", occ)
+	}
+	empty := byID["hvac-1"]
+	if empty.Changes["fan_speed"] != "off" || empty.Changes["target_temp_f"] != "62" {
+		t.Errorf("empty room actuation = %+v", empty)
+	}
+	// The registry reflects the applied settings.
+	unit, _ := f.ctrl.Sensors.Get("hvac-0")
+	if unit.FloatSetting("target_temp_f") != 70 {
+		t.Error("setpoint not applied to the unit")
+	}
+	other, _ := f.ctrl.Sensors.Get("hvac-other")
+	if v, _ := other.Setting("fan_speed"); v != "low" {
+		t.Errorf("out-of-scope unit touched: fan=%s", v)
+	}
+}
+
+func TestFanSpeedBands(t *testing.T) {
+	tests := []struct {
+		temp float64
+		want string
+	}{
+		{70.5, "low"},  // within deadband
+		{73, "medium"}, // small error
+		{80, "high"},   // large error
+	}
+	for _, tt := range tests {
+		f := newFixture(t)
+		f.add(t, sensor.ObsMotionEvent, "dbh/1/r0", 2, 1)
+		f.add(t, sensor.ObsTempReading, "dbh/1/r0", 2, tt.temp)
+		acts, err := f.ctrl.Execute(policy.Policy1Comfort("dbh/1/r0", 70), now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(acts) != 1 || acts[0].Changes["fan_speed"] != tt.want {
+			t.Errorf("temp %.1f: actuations = %+v, want fan %s", tt.temp, acts, tt.want)
+		}
+	}
+}
+
+func TestOccupiedWithoutTemperatureHolds(t *testing.T) {
+	f := newFixture(t)
+	f.add(t, sensor.ObsMotionEvent, "dbh/1/r1", 2, 1) // r1 has no temp sensor data
+	acts, err := f.ctrl.Execute(policy.Policy1Comfort("dbh/1/r1", 70), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 1 || acts[0].Changes["fan_speed"] != "low" || acts[0].Changes["target_temp_f"] != "70" {
+		t.Errorf("actuations = %+v", acts)
+	}
+}
+
+func TestControllerDefaults(t *testing.T) {
+	c := &Controller{}
+	if c.occupancyWindow() != 15*time.Minute || c.setback() != 62 || c.deadband() != 1 {
+		t.Error("defaults wrong")
+	}
+	c2 := &Controller{OccupancyWindow: time.Minute, SetbackTempF: 55, DeadbandF: 2}
+	if c2.occupancyWindow() != time.Minute || c2.setback() != 55 || c2.deadband() != 2 {
+		t.Error("overrides ignored")
+	}
+}

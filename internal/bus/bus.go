@@ -1,0 +1,151 @@
+// Package bus implements a small topic-based pub/sub bus connecting
+// the BMS pipeline stages: sensor drivers publish observations, the
+// storage layer and services subscribe, and enforcement publishes
+// user notifications the IoTA layer consumes.
+//
+// Delivery is best-effort per subscriber: a subscriber that stops
+// draining its channel loses events (counted, never blocking the
+// publisher). A building's sensing plane must not stall because one
+// service is slow — the same reasoning as the Uber guide's
+// "don't fire-and-forget goroutines" applied to fan-out: publishers
+// stay synchronous and bounded.
+package bus
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one published message.
+type Event struct {
+	Topic   string
+	Time    time.Time
+	Payload any
+}
+
+// Well-known topics.
+const (
+	TopicObservations  = "observations"  // payload: sensor.Observation
+	TopicSettings      = "settings"      // payload: SettingsChange
+	TopicNotifications = "notifications" // payload: enforce.Notification
+	TopicConflicts     = "conflicts"     // payload: reasoner.Conflict
+)
+
+// SettingsChange reports a sensor actuation.
+type SettingsChange struct {
+	SensorID string
+	Changes  map[string]string
+}
+
+// Subscription is one subscriber's receive side.
+type Subscription struct {
+	C      <-chan Event
+	cancel func()
+	once   sync.Once
+}
+
+// Cancel detaches the subscription and closes C. Safe to call
+// multiple times.
+func (s *Subscription) Cancel() {
+	s.once.Do(s.cancel)
+}
+
+// Bus is a topic-based publisher. The zero value is not usable;
+// construct with New.
+type Bus struct {
+	mu      sync.RWMutex
+	nextID  int
+	subs    map[string]map[int]chan Event
+	closed  bool
+	bufSize int
+
+	dropMu  sync.Mutex
+	dropped map[string]uint64
+}
+
+// New returns a bus whose subscriber channels buffer bufSize events
+// (minimum 1).
+func New(bufSize int) *Bus {
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	return &Bus{
+		subs:    make(map[string]map[int]chan Event),
+		bufSize: bufSize,
+		dropped: make(map[string]uint64),
+	}
+}
+
+// Subscribe registers a subscriber for a topic.
+func (b *Bus) Subscribe(topic string) *Subscription {
+	ch := make(chan Event, b.bufSize)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(ch)
+		return &Subscription{C: ch, cancel: func() {}}
+	}
+	id := b.nextID
+	b.nextID++
+	if b.subs[topic] == nil {
+		b.subs[topic] = make(map[int]chan Event)
+	}
+	b.subs[topic][id] = ch
+	return &Subscription{
+		C: ch,
+		cancel: func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			if sub, ok := b.subs[topic][id]; ok {
+				delete(b.subs[topic], id)
+				close(sub)
+			}
+		},
+	}
+}
+
+// Publish delivers the payload to every subscriber of the topic,
+// never blocking: events to full subscribers are dropped and counted.
+func (b *Bus) Publish(topic string, payload any) {
+	e := Event{Topic: topic, Time: time.Now(), Payload: payload}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return
+	}
+	for _, ch := range b.subs[topic] {
+		select {
+		case ch <- e:
+		default:
+			b.dropMu.Lock()
+			b.dropped[topic]++
+			b.dropMu.Unlock()
+		}
+	}
+}
+
+// Dropped returns the number of events dropped on a topic due to full
+// subscriber buffers.
+func (b *Bus) Dropped(topic string) uint64 {
+	b.dropMu.Lock()
+	defer b.dropMu.Unlock()
+	return b.dropped[topic]
+}
+
+// Close shuts the bus: all subscriber channels are closed and further
+// publishes are ignored.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for topic, subs := range b.subs {
+		for id, ch := range subs {
+			close(ch)
+			delete(subs, id)
+		}
+		delete(b.subs, topic)
+	}
+}

@@ -1,0 +1,133 @@
+package bus
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	b := New(4)
+	sub := b.Subscribe(TopicObservations)
+	defer sub.Cancel()
+	b.Publish(TopicObservations, "hello")
+	select {
+	case e := <-sub.C:
+		if e.Payload != "hello" || e.Topic != TopicObservations {
+			t.Errorf("event = %+v", e)
+		}
+		if e.Time.IsZero() {
+			t.Error("event time unset")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event delivered")
+	}
+}
+
+func TestTopicsIsolated(t *testing.T) {
+	b := New(4)
+	obs := b.Subscribe(TopicObservations)
+	notif := b.Subscribe(TopicNotifications)
+	defer obs.Cancel()
+	defer notif.Cancel()
+	b.Publish(TopicNotifications, 1)
+	select {
+	case <-obs.C:
+		t.Error("observation subscriber got a notification")
+	default:
+	}
+	if len(notif.C) != 1 {
+		t.Error("notification not delivered")
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	b := New(4)
+	a := b.Subscribe(TopicSettings)
+	c := b.Subscribe(TopicSettings)
+	defer a.Cancel()
+	defer c.Cancel()
+	b.Publish(TopicSettings, SettingsChange{SensorID: "ap-1"})
+	if len(a.C) != 1 || len(c.C) != 1 {
+		t.Errorf("fan-out failed: %d, %d", len(a.C), len(c.C))
+	}
+}
+
+func TestDropWhenFull(t *testing.T) {
+	b := New(2)
+	sub := b.Subscribe("t")
+	defer sub.Cancel()
+	for i := 0; i < 5; i++ {
+		b.Publish("t", i)
+	}
+	if got := b.Dropped("t"); got != 3 {
+		t.Errorf("Dropped = %d, want 3", got)
+	}
+	if len(sub.C) != 2 {
+		t.Errorf("buffered = %d, want 2", len(sub.C))
+	}
+	// First two events are preserved in order.
+	if e := <-sub.C; e.Payload != 0 {
+		t.Errorf("first = %v", e.Payload)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	b := New(1)
+	sub := b.Subscribe("t")
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	if _, ok := <-sub.C; ok {
+		t.Error("channel not closed after cancel")
+	}
+	// Publishing after cancel must not panic or deliver.
+	b.Publish("t", 1)
+}
+
+func TestClose(t *testing.T) {
+	b := New(1)
+	sub := b.Subscribe("t")
+	b.Close()
+	b.Close() // idempotent
+	if _, ok := <-sub.C; ok {
+		t.Error("channel not closed after bus close")
+	}
+	b.Publish("t", 1) // no panic
+	post := b.Subscribe("t")
+	if _, ok := <-post.C; ok {
+		t.Error("subscription after close not immediately closed")
+	}
+	post.Cancel()
+	sub.Cancel() // canceling an already-closed sub must not panic
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	b := New(1024)
+	sub := b.Subscribe("t")
+	defer sub.Cancel()
+	var wg sync.WaitGroup
+	const publishers, events = 8, 50
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				b.Publish("t", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(sub.C) + int(b.Dropped("t")); got != publishers*events {
+		t.Errorf("delivered+dropped = %d, want %d", got, publishers*events)
+	}
+}
+
+func TestMinimumBuffer(t *testing.T) {
+	b := New(0)
+	sub := b.Subscribe("t")
+	defer sub.Cancel()
+	b.Publish("t", 1)
+	if len(sub.C) != 1 {
+		t.Error("bufSize 0 should clamp to 1")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tippers/tippers/internal/policy"
+)
+
+func TestAuditUser(t *testing.T) {
+	f := newFixture(t)
+	if err := f.bms.RegisterPolicy(policy.Policy2EmergencyLocation("dbh")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:01", "ap-2", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range policy.Preference2NoLocation("mary") {
+		if err := f.bms.SetPreference(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := f.bms.Stats()
+	f.bms.FetchNotifications("mary") // drain conflict notifications
+
+	report, err := f.bms.AuditUser("mary", f.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Preferences != 2 {
+		t.Errorf("preferences = %d", report.Preferences)
+	}
+	if len(report.OverridePolicies) != 1 || report.OverridePolicies[0] != "policy-2-emergency-location" {
+		t.Errorf("override policies = %v", report.OverridePolicies)
+	}
+	if len(report.Entries) == 0 {
+		t.Fatal("empty audit")
+	}
+
+	byKey := map[string]AuditEntry{}
+	for _, e := range report.Entries {
+		byKey[e.ServiceID+"|"+string(e.Kind)] = e
+	}
+	// Concierge wifi access: denied by the opt-out, but 3 observations
+	// are stored (the grant would be worth something).
+	cw := byKey["concierge|wifi_access_point"]
+	if cw.Allowed || cw.StoredObservations != 3 {
+		t.Errorf("concierge wifi entry = %+v", cw)
+	}
+	// Emergency service: allowed despite the opt-out (override).
+	ew := byKey["bms-emergency|wifi_access_point"]
+	if !ew.Allowed {
+		t.Errorf("emergency entry = %+v", ew)
+	}
+	if ew.Why == "" || cw.Why == "" {
+		t.Error("entries lack explanations")
+	}
+
+	// The audit is a dry run: no stats movement, no notifications.
+	after := f.bms.Stats()
+	if after.RequestsDecided != before.RequestsDecided {
+		t.Errorf("audit counted as requests: %d -> %d", before.RequestsDecided, after.RequestsDecided)
+	}
+	if got := f.bms.FetchNotifications("mary"); len(got) != 0 {
+		t.Errorf("audit delivered notifications: %+v", got)
+	}
+
+	// Deterministic ordering.
+	again, err := f.bms.AuditUser("mary", f.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range report.Entries {
+		if report.Entries[i] != again.Entries[i] {
+			t.Fatalf("audit order unstable at %d", i)
+		}
+	}
+
+	if _, err := f.bms.AuditUser("ghost", f.now); err == nil {
+		t.Error("unknown user audited")
+	}
+}
+
+func TestAuditUserDefaultAllow(t *testing.T) {
+	f := newFixture(t)
+	report, err := f.bms.AuditUser("bob", f.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range report.Entries {
+		if !e.Allowed {
+			t.Errorf("default-allow building denied %+v", e)
+		}
+		if e.Why != "no preference set; building default applies" {
+			t.Errorf("why = %q", e.Why)
+		}
+	}
+}

@@ -1,0 +1,519 @@
+// Package core implements TIPPERS, the paper's privacy-aware building
+// management system (Figure 1): the Sensor Manager (capture-time
+// enforcement and attribution), Policy Manager (building policies,
+// actuation, retention), User Preference Manager (preferences,
+// conflict detection, notifications), and Request Manager (query-time
+// enforcement for services).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/tippers/tippers/internal/bus"
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/privacy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/reasoner"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/service"
+	"github.com/tippers/tippers/internal/spatial"
+)
+
+// Config wires a BMS. Zero-value collaborators are constructed
+// automatically where possible.
+type Config struct {
+	// Spaces is the building's spatial model. Required.
+	Spaces *spatial.Model
+	// Users is the inhabitant directory. Required.
+	Users *profile.Directory
+	// Sensors is the deployed-sensor registry. Required.
+	Sensors *sensor.Registry
+	// Services is the service registry; nil creates an empty one.
+	Services *service.Registry
+	// Engine is the query-time enforcement engine; nil selects
+	// Indexed (the optimized engine).
+	Engine enforce.Engine
+	// Strategy is the conflict-resolution strategy; zero selects
+	// MostRestrictive.
+	Strategy reasoner.Strategy
+	// DefaultAllow is the decision when no preference matches
+	// (see enforce.Config).
+	DefaultAllow bool
+	// GroupDefaults are per-group default rules applied when a
+	// subject has no personal preference (see enforce.GroupDefault).
+	// Ignored when a custom Engine is supplied.
+	GroupDefaults []enforce.GroupDefault
+	// PseudonymKey keys MAC pseudonymization; nil derives an insecure
+	// fixed key (fine for simulation; a deployment must set it).
+	PseudonymKey []byte
+	// NoiseSeed seeds the Laplace noiser for reproducible runs.
+	NoiseSeed int64
+	// BusBuffer is the per-subscriber event buffer (default 256).
+	BusBuffer int
+	// Clock overrides time.Now for tests and simulation.
+	Clock func() time.Time
+}
+
+// Stats counts pipeline outcomes for the experiments.
+type Stats struct {
+	Ingested          uint64
+	DroppedDisabled   uint64 // sensor disabled at capture time
+	DroppedUnlogged   uint64 // logging turned off (e.g. wifi opt-out)
+	Pseudonymized     uint64
+	RequestsDecided   uint64
+	RequestsDenied    uint64
+	NotificationsSent uint64
+}
+
+// BMS is one TIPPERS node.
+type BMS struct {
+	cfg      Config
+	store    *obstore.Store
+	bus      *bus.Bus
+	engine   enforce.Engine
+	services *service.Registry
+	reason   *reasoner.Reasoner
+	transf   *privacy.Transformer
+	pseud    *privacy.Pseudonymizer
+	clock    func() time.Time
+
+	mu        sync.RWMutex
+	policies  map[string]policy.BuildingPolicy
+	prefs     map[string]policy.Preference
+	conflicts []reasoner.Conflict
+	inbox     map[string][]enforce.Notification
+	stats     Stats
+
+	retainStop chan struct{}
+	retainDone chan struct{}
+}
+
+// New constructs a BMS.
+func New(cfg Config) (*BMS, error) {
+	if cfg.Spaces == nil || cfg.Users == nil || cfg.Sensors == nil {
+		return nil, errors.New("core: Spaces, Users, and Sensors are required")
+	}
+	if cfg.Services == nil {
+		cfg.Services = service.NewRegistry()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.BusBuffer == 0 {
+		cfg.BusBuffer = 256
+	}
+	key := cfg.PseudonymKey
+	if key == nil {
+		key = []byte("tippers-simulation-key")
+	}
+	for _, d := range cfg.GroupDefaults {
+		if err := d.Check(); err != nil {
+			return nil, err
+		}
+	}
+	engine := cfg.Engine
+	if engine == nil {
+		engine = enforce.NewIndexed(enforce.Config{
+			Spaces:        cfg.Spaces,
+			Services:      cfg.Services,
+			DefaultAllow:  cfg.DefaultAllow,
+			GroupDefaults: cfg.GroupDefaults,
+		})
+	}
+	b := &BMS{
+		cfg:      cfg,
+		store:    obstore.New(),
+		bus:      bus.New(cfg.BusBuffer),
+		engine:   engine,
+		services: cfg.Services,
+		reason:   reasoner.New(cfg.Spaces, cfg.Strategy),
+		transf:   privacy.NewTransformer(cfg.Spaces, cfg.NoiseSeed, key),
+		pseud:    privacy.NewPseudonymizer(key),
+		clock:    cfg.Clock,
+		policies: make(map[string]policy.BuildingPolicy),
+		prefs:    make(map[string]policy.Preference),
+		inbox:    make(map[string][]enforce.Notification),
+	}
+	return b, nil
+}
+
+// Store exposes the observation store (read-mostly; examples and
+// experiments inspect it).
+func (b *BMS) Store() *obstore.Store { return b.store }
+
+// Bus exposes the event bus for subscribers (services, IoTAs).
+func (b *BMS) Bus() *bus.Bus { return b.bus }
+
+// Spaces returns the spatial model.
+func (b *BMS) Spaces() *spatial.Model { return b.cfg.Spaces }
+
+// Users returns the inhabitant directory.
+func (b *BMS) Users() *profile.Directory { return b.cfg.Users }
+
+// Sensors returns the sensor registry.
+func (b *BMS) Sensors() *sensor.Registry { return b.cfg.Sensors }
+
+// Services returns the service registry.
+func (b *BMS) Services() *service.Registry { return b.services }
+
+// Engine returns the enforcement engine.
+func (b *BMS) Engine() enforce.Engine { return b.engine }
+
+// Stats returns a snapshot of pipeline counters.
+func (b *BMS) Stats() Stats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.stats
+}
+
+// Ingest is the capture pipeline (Figure 1 steps 2–3): a sensor
+// reading enters, capture-time enforcement applies the sensor's
+// current privacy settings, the reading is attributed to a user via
+// device MAC, stored, and published on the bus.
+func (b *BMS) Ingest(o sensor.Observation) error {
+	s, ok := b.cfg.Sensors.Get(o.SensorID)
+	if !ok {
+		return fmt.Errorf("core: observation from unregistered sensor %q", o.SensorID)
+	}
+	if !s.Enabled() {
+		b.count(func(st *Stats) { st.DroppedDisabled++ })
+		return nil
+	}
+	if o.Kind == sensor.ObsWiFiConnect && !s.BoolSetting("log_connections") {
+		// The Figure 4 "No location sensing" opt-out lands here: the
+		// AP keeps serving traffic but logs nothing.
+		b.count(func(st *Stats) { st.DroppedUnlogged++ })
+		return nil
+	}
+	if o.SpaceID == "" && !s.Mobile {
+		o.SpaceID = s.SpaceID
+	}
+	if o.Time.IsZero() {
+		o.Time = b.clock()
+	}
+	// Attribution: resolve the device MAC to its owner — unless the
+	// sensor pseudonymizes at capture, in which case the reading is
+	// unlinkable by design.
+	if o.DeviceMAC != "" {
+		if s.BoolSetting("hash_mac") {
+			o = b.pseud.PseudonymizeObservation(o)
+			b.count(func(st *Stats) { st.Pseudonymized++ })
+		} else if o.UserID == "" {
+			if u, ok := b.cfg.Users.LookupMAC(o.DeviceMAC); ok {
+				o.UserID = u.ID
+			}
+		}
+	}
+	stored, err := b.store.Append(o)
+	if err != nil {
+		return err
+	}
+	b.count(func(st *Stats) { st.Ingested++ })
+	b.bus.Publish(bus.TopicObservations, stored)
+	return nil
+}
+
+func (b *BMS) count(f func(*Stats)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f(&b.stats)
+}
+
+// RegisterPolicy installs a building policy (Figure 1 step 1): the
+// rule enters the enforcement engine, its sensor settings are
+// actuated across the scoped sensors, its retention period is
+// installed in the store, and conflicts with existing preferences are
+// detected and resolved.
+func (b *BMS) RegisterPolicy(p policy.BuildingPolicy) error {
+	if err := p.Check(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if _, dup := b.policies[p.ID]; dup {
+		b.mu.Unlock()
+		return fmt.Errorf("core: duplicate policy %q", p.ID)
+	}
+	b.policies[p.ID] = p
+	b.mu.Unlock()
+
+	if err := b.engine.AddPolicy(p); err != nil {
+		return err
+	}
+	if len(p.Settings) > 0 {
+		if err := b.actuateScope(p.Scope, p.Settings); err != nil {
+			return fmt.Errorf("core: actuating policy %s: %w", p.ID, err)
+		}
+	}
+	if p.Kind == policy.KindCollection && !p.Retention.IsZero() {
+		b.store.AddRetentionRule(obstore.RetentionRule{
+			Kind: p.Scope.ObsKind,
+			TTL:  p.Retention,
+		})
+	}
+	b.detectConflicts()
+	return nil
+}
+
+// actuateScope applies settings to every registered sensor the scope
+// covers (type + spatial subtree).
+func (b *BMS) actuateScope(sc policy.Scope, settings map[string]string) error {
+	var targets []*sensor.Sensor
+	if sc.SensorType != 0 {
+		targets = b.cfg.Sensors.ByType(sc.SensorType)
+	} else {
+		targets = b.cfg.Sensors.All()
+	}
+	for _, s := range targets {
+		if sc.SpaceID != "" {
+			in, err := b.cfg.Spaces.Contained(s.SpaceID, sc.SpaceID)
+			if err != nil || !in {
+				continue
+			}
+		}
+		if err := b.cfg.Sensors.Actuate(s.ID, settings); err != nil {
+			return err
+		}
+		b.bus.Publish(bus.TopicSettings, bus.SettingsChange{SensorID: s.ID, Changes: settings})
+	}
+	return nil
+}
+
+// SetPreference installs (or replaces) a user preference (Figure 1
+// step 8: the IoTA communicates the user's settings). Conflicts with
+// building policies are detected; override resolutions generate
+// notifications delivered to the user's inbox and the bus.
+func (b *BMS) SetPreference(p policy.Preference) error {
+	if err := p.Check(); err != nil {
+		return err
+	}
+	if _, ok := b.cfg.Users.Lookup(p.UserID); !ok {
+		return fmt.Errorf("core: preference for unknown user %q", p.UserID)
+	}
+	if err := b.engine.AddPreference(p); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.prefs[p.ID] = p
+	b.mu.Unlock()
+	b.detectConflicts()
+	return nil
+}
+
+// RemovePreference uninstalls a preference by ID.
+func (b *BMS) RemovePreference(id string) bool {
+	if !b.engine.RemovePreference(id) {
+		return false
+	}
+	b.mu.Lock()
+	delete(b.prefs, id)
+	b.mu.Unlock()
+	b.detectConflicts()
+	return true
+}
+
+// detectConflicts re-runs the reasoner over the current rule sets and
+// publishes newly resolved conflicts (override notifications reach
+// the affected users).
+func (b *BMS) detectConflicts() {
+	b.mu.RLock()
+	pols := make([]policy.BuildingPolicy, 0, len(b.policies))
+	for _, p := range b.policies {
+		pols = append(pols, p)
+	}
+	prefs := make([]policy.Preference, 0, len(b.prefs))
+	for _, p := range b.prefs {
+		prefs = append(prefs, p)
+	}
+	b.mu.RUnlock()
+
+	conflicts := b.reason.Detect(pols, prefs)
+
+	b.mu.Lock()
+	previous := make(map[string]bool, len(b.conflicts))
+	for _, c := range b.conflicts {
+		previous[conflictKey(c)] = true
+	}
+	b.conflicts = conflicts
+	var fresh []reasoner.Conflict
+	for _, c := range conflicts {
+		if !previous[conflictKey(c)] {
+			fresh = append(fresh, c)
+		}
+	}
+	for _, c := range fresh {
+		if c.Resolution.NotifyUserID != "" {
+			n := enforce.Notification{
+				UserID:       c.Resolution.NotifyUserID,
+				PolicyID:     c.PolicyID,
+				PreferenceID: c.PreferenceID,
+				Message:      c.Resolution.Explanation,
+			}
+			b.inbox[n.UserID] = append(b.inbox[n.UserID], n)
+			b.stats.NotificationsSent++
+		}
+	}
+	b.mu.Unlock()
+
+	for _, c := range fresh {
+		b.bus.Publish(bus.TopicConflicts, c)
+	}
+}
+
+func conflictKey(c reasoner.Conflict) string {
+	return fmt.Sprintf("%d|%s|%s|%s", c.Kind, c.PolicyID, c.PreferenceID, c.OtherPreferenceID)
+}
+
+// Conflicts returns the current resolved conflicts.
+func (b *BMS) Conflicts() []reasoner.Conflict {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]reasoner.Conflict, len(b.conflicts))
+	copy(out, b.conflicts)
+	return out
+}
+
+// Policies returns the installed building policies sorted by ID.
+func (b *BMS) Policies() []policy.BuildingPolicy {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]policy.BuildingPolicy, 0, len(b.policies))
+	for _, p := range b.policies {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Preferences returns a user's installed preferences sorted by ID.
+func (b *BMS) Preferences(userID string) []policy.Preference {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []policy.Preference
+	for _, p := range b.prefs {
+		if p.UserID == userID {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ForgetUser erases a user's footprint: every observation attributed
+// to them is deleted from the store, and their preferences are
+// uninstalled. Data collected under safety-critical override policies
+// (emergency response, security) is exempt — the building's
+// non-negotiable retention obligations survive erasure requests, and
+// the exemption is reported so the user can be told exactly what
+// remains. Returns (deleted, retained) observation counts.
+func (b *BMS) ForgetUser(userID string) (deleted, retained int, err error) {
+	if _, ok := b.cfg.Users.Lookup(userID); !ok {
+		return 0, 0, fmt.Errorf("core: unknown user %q", userID)
+	}
+	// Partition the user's observations: those covered by an override
+	// collection policy stay.
+	var overrideScopes []policy.Scope
+	for _, p := range b.Policies() {
+		if p.Override && p.Kind == policy.KindCollection {
+			overrideScopes = append(overrideScopes, p.Scope)
+		}
+	}
+	obs := b.store.Query(obstore.Filter{UserID: userID})
+	var keep []sensor.Observation
+	for _, o := range obs {
+		ctx := policy.Context{
+			SubjectID:  userID,
+			SpaceID:    o.SpaceID,
+			SensorType: sensor.TypeForKind(o.Kind),
+			ObsKind:    o.Kind,
+			Time:       o.Time,
+		}
+		for _, sc := range overrideScopes {
+			// The purpose dimension is the policy's own; a collection
+			// scope matches its stored data regardless of who asks.
+			probe := sc
+			probe.Purposes = nil
+			if probe.Matches(ctx, b.cfg.Spaces) {
+				keep = append(keep, o)
+				break
+			}
+		}
+	}
+	removed := b.store.DeleteUser(userID)
+	// Reinsert the exempt observations.
+	for _, o := range keep {
+		o.Seq = 0
+		if _, err := b.store.Append(o); err != nil {
+			return removed - len(keep), len(keep), err
+		}
+	}
+	deleted = removed - len(keep)
+	retained = len(keep)
+
+	for _, p := range b.Preferences(userID) {
+		b.RemovePreference(p.ID)
+	}
+	return deleted, retained, nil
+}
+
+// FetchNotifications drains a user's notification inbox (their IoTA
+// polls this; Figure 1 step 7).
+func (b *BMS) FetchNotifications(userID string) []enforce.Notification {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.inbox[userID]
+	delete(b.inbox, userID)
+	return out
+}
+
+// StartRetention launches the storage-time enforcement daemon,
+// sweeping expired observations every interval. Stop with
+// StopRetention.
+func (b *BMS) StartRetention(interval time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.retainStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	b.retainStop = stop
+	b.retainDone = done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				b.store.Sweep(b.clock())
+			}
+		}
+	}()
+}
+
+// StopRetention stops the retention daemon and waits for it to exit.
+func (b *BMS) StopRetention() {
+	b.mu.Lock()
+	stop, done := b.retainStop, b.retainDone
+	b.retainStop, b.retainDone = nil, nil
+	b.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Close shuts down the BMS: retention daemon stopped, bus closed.
+func (b *BMS) Close() {
+	b.StopRetention()
+	b.bus.Close()
+}

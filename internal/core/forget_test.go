@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+func TestForgetUserErasesEverythingWithoutOverrides(t *testing.T) {
+	f := newFixture(t)
+	for i := 0; i < 4; i++ {
+		if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:01", "ap-2", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:02", "ap-1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.bms.SetPreference(policy.CoarseLocationPreference("mary", "concierge")); err != nil {
+		t.Fatal(err)
+	}
+
+	deleted, retained, err := f.bms.ForgetUser("mary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 4 || retained != 0 {
+		t.Errorf("ForgetUser = (%d, %d), want (4, 0)", deleted, retained)
+	}
+	if got := f.bms.Store().Count(obstore.Filter{UserID: "mary"}); got != 0 {
+		t.Errorf("mary still has %d observations", got)
+	}
+	if got := f.bms.Store().Count(obstore.Filter{UserID: "bob"}); got != 1 {
+		t.Errorf("bob's data touched: %d", got)
+	}
+	if got := f.bms.Preferences("mary"); len(got) != 0 {
+		t.Errorf("preferences survived: %+v", got)
+	}
+	if _, _, err := f.bms.ForgetUser("ghost"); err == nil {
+		t.Error("unknown user forgotten")
+	}
+}
+
+func TestForgetUserRetainsOverrideCollections(t *testing.T) {
+	f := newFixture(t)
+	// Policy 2: wifi logs are an emergency-response collection with
+	// override; they survive erasure.
+	if err := f.bms.RegisterPolicy(policy.Policy2EmergencyLocation("dbh")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:01", "ap-2", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A BLE sighting is outside Policy 2's wifi scope: erasable.
+	if err := f.bms.Ingest(sensor.Observation{
+		SensorID: "ble-1", Kind: sensor.ObsBLESighting,
+		DeviceMAC: "aa:00:00:00:00:01", Time: f.now,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	deleted, retained, err := f.bms.ForgetUser("mary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 1 || retained != 3 {
+		t.Errorf("ForgetUser = (%d, %d), want (1, 3)", deleted, retained)
+	}
+	if got := f.bms.Store().Count(obstore.Filter{UserID: "mary", Kind: sensor.ObsWiFiConnect}); got != 3 {
+		t.Errorf("override-protected wifi logs = %d, want 3", got)
+	}
+	if got := f.bms.Store().Count(obstore.Filter{UserID: "mary", Kind: sensor.ObsBLESighting}); got != 0 {
+		t.Errorf("erasable BLE sighting survived: %d", got)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tippers/tippers/internal/bus"
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/privacy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// Response is the request manager's answer to a service (Figure 1
+// step 10): the decision that was applied plus whatever data it
+// permitted.
+type Response struct {
+	Decision enforce.Decision
+	// Observations are the released (possibly degraded) observations
+	// for per-subject requests.
+	Observations []sensor.Observation
+	// Aggregates are k-anonymous per-space counts for occupancy
+	// requests.
+	Aggregates []privacy.AggregateCount
+	// SubjectsConsidered and SubjectsReleased report coverage of
+	// aggregate requests.
+	SubjectsConsidered int
+	SubjectsReleased   int
+}
+
+// RequestUser is the request manager's single-subject path (Figure 1
+// steps 9–10): a service asks for one user's observations. The
+// decision is made against the subject's preferences and the
+// building's policies; released data is degraded per the effective
+// rule; override notifications are delivered to the subject's inbox.
+func (b *BMS) RequestUser(req enforce.Request) (Response, error) {
+	if req.SubjectID == "" {
+		return Response{}, fmt.Errorf("core: RequestUser needs a subject")
+	}
+	groups := b.subjectGroups(req.SubjectID)
+	d := b.engine.Decide(req, groups)
+	b.recordDecision(d)
+	if !d.Allowed {
+		return Response{Decision: d}, nil
+	}
+	if d.Effective.MinAggregationK > 1 {
+		// A single-subject release can never satisfy a k>1 aggregation
+		// floor; the data path returns nothing rather than leaking an
+		// individual record.
+		d.DenyReason = fmt.Sprintf("subject requires aggregation over >= %d users", d.Effective.MinAggregationK)
+		return Response{Decision: d}, nil
+	}
+	obs := b.store.Query(b.filterFor(req))
+	released, err := enforce.ApplyDecision(d, obs, b.transf)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Decision: d, Observations: released}, nil
+}
+
+// RequestOccupancy is the aggregate path: a service asks how many
+// people are in each space under the request's scope. Each candidate
+// subject is decided independently; only permitted subjects
+// contribute; the counts are k-anonymized with k at least minK and at
+// least every contributing subject's aggregation floor.
+func (b *BMS) RequestOccupancy(req enforce.Request, minK int) (Response, error) {
+	if minK < 1 {
+		minK = 1
+	}
+	obs := b.store.Query(b.filterFor(req))
+	bySubject := make(map[string][]sensor.Observation)
+	for _, o := range obs {
+		if o.UserID == "" {
+			continue
+		}
+		bySubject[o.UserID] = append(bySubject[o.UserID], o)
+	}
+
+	resp := Response{SubjectsConsidered: len(bySubject)}
+	k := minK
+	var releasedObs []sensor.Observation
+	for subjectID, subjObs := range bySubject {
+		subReq := req
+		subReq.SubjectID = subjectID
+		d := b.engine.Decide(subReq, b.subjectGroups(subjectID))
+		b.recordDecision(d)
+		if !d.Allowed {
+			continue
+		}
+		if d.Effective.MinAggregationK > k {
+			k = d.Effective.MinAggregationK
+		}
+		transformed, err := enforce.ApplyDecision(d, subjObs, b.transf)
+		if err != nil {
+			return Response{}, err
+		}
+		releasedObs = append(releasedObs, transformed...)
+		resp.SubjectsReleased++
+	}
+	resp.Aggregates = privacy.KAnonymousCounts(releasedObs, k,
+		func(o sensor.Observation) string { return o.SpaceID },
+		func(o sensor.Observation) string { return o.UserID },
+	)
+	resp.Decision = enforce.Decision{Allowed: len(resp.Aggregates) > 0,
+		Effective: policy.Rule{Action: policy.ActionLimit, MinAggregationK: k}}
+	if !resp.Decision.Allowed {
+		resp.Decision.DenyReason = fmt.Sprintf("no space reached the k=%d aggregation floor", k)
+	}
+	return resp, nil
+}
+
+// filterFor translates a request into a store filter, expanding the
+// spatial scope to its subtree.
+func (b *BMS) filterFor(req enforce.Request) obstore.Filter {
+	f := obstore.Filter{
+		UserID: req.SubjectID,
+		Kind:   req.Kind,
+		From:   req.From,
+		To:     req.To,
+	}
+	if req.SpaceID != "" {
+		if ids, err := b.cfg.Spaces.Subtree(req.SpaceID); err == nil {
+			f.SpaceIDs = ids
+		} else {
+			f.SpaceIDs = []string{req.SpaceID}
+		}
+	}
+	return f
+}
+
+func (b *BMS) subjectGroups(userID string) []profile.Group {
+	u, ok := b.cfg.Users.Lookup(userID)
+	if !ok {
+		return nil
+	}
+	return u.Groups()
+}
+
+// recordDecision updates counters and delivers override
+// notifications.
+func (b *BMS) recordDecision(d enforce.Decision) {
+	b.mu.Lock()
+	b.stats.RequestsDecided++
+	if !d.Allowed {
+		b.stats.RequestsDenied++
+	}
+	for _, n := range d.Notifications {
+		b.inbox[n.UserID] = append(b.inbox[n.UserID], n)
+		b.stats.NotificationsSent++
+	}
+	b.mu.Unlock()
+	for _, n := range d.Notifications {
+		b.bus.Publish(bus.TopicNotifications, n)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tippers/tippers/internal/bus"
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// This file implements enforced streaming: a service subscribing to
+// live observations. The raw observation bus is internal — handing it
+// to services would bypass every preference — so subscriptions go
+// through the same decision pipeline as queries: each event is
+// decided for its subject and transformed per the effective rule
+// before delivery.
+
+// Stream is one service's enforced live subscription.
+type Stream struct {
+	// C delivers released (possibly degraded) observations.
+	C <-chan sensor.Observation
+	// Cancel detaches the stream. Safe to call multiple times; C is
+	// closed afterwards.
+	Cancel func()
+}
+
+// StreamStats counts a stream's enforcement outcomes.
+type StreamStats struct {
+	Delivered uint64
+	Denied    uint64
+	Dropped   uint64 // subscriber too slow
+}
+
+// Subscribe attaches an enforced live stream for a service: every
+// observation of the requested kind is decided against the subject's
+// preferences (and the building's overrides) at event time, exactly
+// like a query, then degraded and delivered. Unattributed
+// observations are decided with an empty subject, so default-deny
+// deployments suppress them too.
+//
+// The req template supplies ServiceID, Purpose, Kind, and optionally
+// SpaceID/Granularity; Subject and Time are taken from each event.
+func (b *BMS) Subscribe(req enforce.Request, buffer int) (*Stream, func() StreamStats, error) {
+	if req.Kind == "" {
+		return nil, nil, fmt.Errorf("core: streaming subscription needs a kind")
+	}
+	if buffer < 1 {
+		buffer = 64
+	}
+	sub := b.bus.Subscribe(bus.TopicObservations)
+	out := make(chan sensor.Observation, buffer)
+	stats := make(chan StreamStats, 1)
+	stats <- StreamStats{}
+
+	bump := func(f func(*StreamStats)) {
+		s := <-stats
+		f(&s)
+		stats <- s
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(out)
+		defer close(done)
+		for e := range sub.C {
+			o, ok := e.Payload.(sensor.Observation)
+			if !ok || o.Kind != req.Kind {
+				continue
+			}
+			evReq := req
+			evReq.SubjectID = o.UserID
+			evReq.Time = o.Time
+			if evReq.SpaceID == "" {
+				evReq.SpaceID = o.SpaceID
+			}
+			d := b.engine.Decide(evReq, b.subjectGroups(o.UserID))
+			b.recordDecision(d)
+			if !d.Allowed {
+				bump(func(s *StreamStats) { s.Denied++ })
+				continue
+			}
+			released, err := enforce.ApplyDecision(d, []sensor.Observation{o}, b.transf)
+			if err != nil || len(released) == 0 {
+				bump(func(s *StreamStats) { s.Denied++ })
+				continue
+			}
+			select {
+			case out <- released[0]:
+				bump(func(s *StreamStats) { s.Delivered++ })
+			default:
+				bump(func(s *StreamStats) { s.Dropped++ })
+			}
+		}
+	}()
+
+	stream := &Stream{
+		C: out,
+		Cancel: func() {
+			sub.Cancel()
+			<-done
+		},
+	}
+	statsFn := func() StreamStats {
+		s := <-stats
+		stats <- s
+		return s
+	}
+	return stream, statsFn, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+func collectStream(t *testing.T, s *Stream, want int, timeout time.Duration) []sensor.Observation {
+	t.Helper()
+	var out []sensor.Observation
+	deadline := time.After(timeout)
+	for len(out) < want {
+		select {
+		case o, ok := <-s.C:
+			if !ok {
+				return out
+			}
+			out = append(out, o)
+		case <-deadline:
+			return out
+		}
+	}
+	return out
+}
+
+func TestSubscribeEnforcesPerEvent(t *testing.T) {
+	f := newFixture(t)
+	// mary limits concierge to building granularity; bob is untouched.
+	if err := f.bms.SetPreference(policy.CoarseLocationPreference("mary", "concierge")); err != nil {
+		t.Fatal(err)
+	}
+	stream, stats, err := f.bms.Subscribe(enforce.Request{
+		ServiceID: "concierge",
+		Purpose:   policy.PurposeProvidingService,
+		Kind:      sensor.ObsWiFiConnect,
+	}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Cancel()
+
+	if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:01", "ap-2", 0)); err != nil { // mary
+		t.Fatal(err)
+	}
+	if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:02", "ap-1", 1)); err != nil { // bob
+		t.Fatal(err)
+	}
+
+	got := collectStream(t, stream, 2, 2*time.Second)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d events, want 2", len(got))
+	}
+	bySubject := map[string]sensor.Observation{}
+	for _, o := range got {
+		bySubject[o.UserID] = o
+	}
+	if o := bySubject["mary"]; o.SpaceID != "dbh" {
+		t.Errorf("mary's event not coarsened: %+v", o)
+	}
+	if o := bySubject["bob"]; o.SpaceID != "dbh/1/r0" {
+		t.Errorf("bob's event degraded: %+v", o)
+	}
+	if s := stats(); s.Delivered != 2 || s.Denied != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSubscribeDeniesOptedOutSubjects(t *testing.T) {
+	f := newFixture(t)
+	for _, p := range policy.Preference2NoLocation("mary") {
+		if err := f.bms.SetPreference(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream, stats, err := f.bms.Subscribe(enforce.Request{
+		ServiceID: "concierge",
+		Purpose:   policy.PurposeProvidingService,
+		Kind:      sensor.ObsWiFiConnect,
+	}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Cancel()
+
+	if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:01", "ap-2", 0)); err != nil { // mary: denied
+		t.Fatal(err)
+	}
+	if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:02", "ap-1", 1)); err != nil { // bob: delivered
+		t.Fatal(err)
+	}
+	got := collectStream(t, stream, 1, 2*time.Second)
+	if len(got) != 1 || got[0].UserID != "bob" {
+		t.Fatalf("delivered = %+v, want only bob", got)
+	}
+	// Allow the denial to be counted before asserting.
+	deadline := time.After(time.Second)
+	for stats().Denied == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("stats = %+v, want a denial", stats())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestSubscribeFiltersKind(t *testing.T) {
+	f := newFixture(t)
+	stream, _, err := f.bms.Subscribe(enforce.Request{
+		ServiceID: "concierge",
+		Purpose:   policy.PurposeProvidingService,
+		Kind:      sensor.ObsBLESighting,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Cancel()
+	if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:01", "ap-2", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := collectStream(t, stream, 1, 200*time.Millisecond); len(got) != 0 {
+		t.Errorf("wifi event leaked into a BLE stream: %+v", got)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, _, err := f.bms.Subscribe(enforce.Request{}, 4); err == nil {
+		t.Error("kindless subscription accepted")
+	}
+}
+
+func TestSubscribeCancelIdempotentAndCloses(t *testing.T) {
+	f := newFixture(t)
+	stream, _, err := f.bms.Subscribe(enforce.Request{
+		ServiceID: "concierge", Purpose: policy.PurposeProvidingService,
+		Kind: sensor.ObsWiFiConnect,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Cancel()
+	if _, ok := <-stream.C; ok {
+		t.Error("stream channel not closed after cancel")
+	}
+}

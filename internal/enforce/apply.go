@@ -1,0 +1,42 @@
+package enforce
+
+import (
+	"fmt"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/privacy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// ApplyDecision runs the data path for an allowed decision:
+// granularity clamping and noise on each observation. It returns nil
+// (not an error) for a denied decision — callers use Decision.Allowed
+// to distinguish "no data" from "empty data".
+//
+// Aggregation floors (MinAggregationK) are inherently cross-subject
+// and are applied by the request manager over the union of released
+// observations, not here.
+func ApplyDecision(d Decision, obs []sensor.Observation, tr *privacy.Transformer) ([]sensor.Observation, error) {
+	if !d.Allowed {
+		return nil, nil
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("enforce: nil transformer")
+	}
+	out := make([]sensor.Observation, 0, len(obs))
+	for _, o := range obs {
+		g := d.Granularity
+		if !g.Valid() {
+			g = policy.GranExact
+		}
+		coarse, ok := privacy.CoarsenLocation(o, g, tr.Spaces)
+		if !ok {
+			continue
+		}
+		if d.Effective.NoiseEpsilon > 0 {
+			coarse = tr.Noiser.NoiseObservation(coarse, d.Effective.NoiseEpsilon)
+		}
+		out = append(out, coarse)
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package enforce
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/profile"
+)
+
+// Cached wraps another engine with a decision memo — the third arm of
+// the §V.C optimization study. Real request streams are heavily
+// repetitive (the same service polls the same subjects), so even the
+// indexed engine re-evaluates identical (subject, service, purpose,
+// kind, space) tuples; the cache collapses those to a map hit.
+//
+// Correctness constraints, both load-bearing:
+//
+//   - Time-windowed rules make decisions time-dependent, so the cache
+//     key quantizes the request time to the minute (windows have
+//     minute resolution). Two requests in the same minute are
+//     guaranteed identical decisions; across minutes they re-evaluate.
+//   - Decisions that generated notifications are never cached:
+//     replaying them from the cache would either duplicate user
+//     notifications or silently swallow them. Override paths
+//     therefore always hit the inner engine.
+//
+// Any rule mutation invalidates the whole cache (epoch bump) — rule
+// changes are rare next to requests, so coarse invalidation wins over
+// precise tracking.
+type Cached struct {
+	inner Engine
+
+	mu    sync.RWMutex
+	memo  map[cacheKey]Decision
+	epoch uint64
+	hits  uint64
+	miss  uint64
+
+	// maxEntries bounds memory; at the cap the memo is reset (simple
+	// and effective for cyclic workloads).
+	maxEntries int
+}
+
+type cacheKey struct {
+	epoch       uint64
+	subject     string
+	service     string
+	purpose     policy.Purpose
+	kind        string
+	space       string
+	granularity policy.Granularity
+	minute      int64
+	groupsKey   string
+}
+
+var _ Engine = (*Cached)(nil)
+
+// NewCached wraps inner with a decision memo of at most maxEntries
+// (0 selects 65536).
+func NewCached(inner Engine, maxEntries int) *Cached {
+	if maxEntries <= 0 {
+		maxEntries = 65536
+	}
+	return &Cached{
+		inner:      inner,
+		memo:       make(map[cacheKey]Decision),
+		maxEntries: maxEntries,
+	}
+}
+
+// AddPolicy implements Engine, invalidating the memo.
+func (c *Cached) AddPolicy(p policy.BuildingPolicy) error {
+	if err := c.inner.AddPolicy(p); err != nil {
+		return err
+	}
+	c.invalidate()
+	return nil
+}
+
+// AddPreference implements Engine, invalidating the memo.
+func (c *Cached) AddPreference(p policy.Preference) error {
+	if err := c.inner.AddPreference(p); err != nil {
+		return err
+	}
+	c.invalidate()
+	return nil
+}
+
+// RemovePreference implements Engine, invalidating the memo.
+func (c *Cached) RemovePreference(id string) bool {
+	ok := c.inner.RemovePreference(id)
+	if ok {
+		c.invalidate()
+	}
+	return ok
+}
+
+// Counts implements Engine.
+func (c *Cached) Counts() (int, int) { return c.inner.Counts() }
+
+func (c *Cached) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	if len(c.memo) > 0 {
+		c.memo = make(map[cacheKey]Decision)
+	}
+}
+
+// Stats returns (hits, misses) since construction.
+func (c *Cached) Stats() (hits, misses uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.miss
+}
+
+// Decide implements Engine with memoization.
+func (c *Cached) Decide(req Request, subjectGroups []profile.Group) Decision {
+	t := req.Time
+	if t.IsZero() {
+		// An unset time means "now"; quantize the actual wall clock so
+		// entries age out of validity with it.
+		t = time.Now()
+	}
+	var groupsKey string
+	for _, g := range subjectGroups {
+		groupsKey += string(g) + "|"
+	}
+	c.mu.RLock()
+	key := cacheKey{
+		epoch:       c.epoch,
+		subject:     req.SubjectID,
+		service:     req.ServiceID,
+		purpose:     req.Purpose,
+		kind:        string(req.Kind),
+		space:       req.SpaceID,
+		granularity: req.Granularity,
+		minute:      t.Unix() / 60,
+		groupsKey:   groupsKey,
+	}
+	d, ok := c.memo[key]
+	c.mu.RUnlock()
+	if ok {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return d
+	}
+
+	d = c.inner.Decide(req, subjectGroups)
+
+	c.mu.Lock()
+	c.miss++
+	// Only notification-free decisions are safe to replay.
+	if len(d.Notifications) == 0 && key.epoch == c.epoch {
+		if len(c.memo) >= c.maxEntries {
+			c.memo = make(map[cacheKey]Decision)
+		}
+		c.memo[key] = d
+	}
+	c.mu.Unlock()
+	return d
+}
+
+// String identifies the engine in experiment output.
+func (c *Cached) String() string {
+	return fmt.Sprintf("cached(%T)", c.inner)
+}

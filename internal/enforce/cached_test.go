@@ -1,0 +1,194 @@
+package enforce
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/service"
+)
+
+func newCachedPair(t testing.TB) (*Cached, *Indexed) {
+	t.Helper()
+	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
+	inner := NewIndexed(cfg)
+	return NewCached(inner, 0), inner
+}
+
+func TestCachedHitsOnRepeats(t *testing.T) {
+	c, _ := newCachedPair(t)
+	req := baseRequest()
+	first := c.Decide(req, nil)
+	second := c.Decide(req, nil)
+	if !reflect.DeepEqual(normalizeDecision(first), normalizeDecision(second)) {
+		t.Error("cached decision differs")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses; want 1/1", hits, misses)
+	}
+}
+
+func TestCachedMinuteQuantization(t *testing.T) {
+	c, _ := newCachedPair(t)
+	// A business-hours-scoped preference makes decisions time-dependent.
+	if err := c.AddPreference(policy.Preference{
+		ID: "biz-only", UserID: "mary",
+		Scope: policy.Scope{ObsKind: sensor.ObsWiFiConnect, Window: policy.BusinessHours},
+		Rule:  policy.Rule{Action: policy.ActionDeny},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	req := baseRequest() // Wednesday 2pm: inside business hours
+	if d := c.Decide(req, nil); d.Allowed {
+		t.Fatal("business-hours deny missed")
+	}
+	// Same minute: cache hit, same outcome.
+	if d := c.Decide(req, nil); d.Allowed {
+		t.Fatal("cached decision flipped")
+	}
+	// Evening: different minute bucket, re-evaluated, now allowed.
+	req.Time = time.Date(2017, time.June, 7, 20, 0, 0, 0, time.UTC)
+	if d := c.Decide(req, nil); !d.Allowed {
+		t.Fatal("evening request used stale business-hours decision")
+	}
+}
+
+func TestCachedInvalidationOnRuleChange(t *testing.T) {
+	c, _ := newCachedPair(t)
+	req := baseRequest()
+	if d := c.Decide(req, nil); !d.Allowed {
+		t.Fatal("baseline should allow")
+	}
+	pref := policy.CoarseLocationPreference("mary", "concierge")
+	if err := c.AddPreference(pref); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Decide(req, nil); d.Granularity != policy.GranBuilding {
+		t.Fatalf("stale cache after AddPreference: %+v", d)
+	}
+	if !c.RemovePreference(pref.ID) {
+		t.Fatal("remove failed")
+	}
+	if d := c.Decide(req, nil); d.Granularity != policy.GranExact {
+		t.Fatalf("stale cache after RemovePreference: %+v", d)
+	}
+	if c.RemovePreference("ghost") {
+		t.Error("ghost removal succeeded")
+	}
+}
+
+func TestCachedNeverCachesNotifications(t *testing.T) {
+	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
+	svcReg := cfg.Services
+	svcReg.MustRegister(service.Service{
+		ID: "bms-emergency", Name: "Emergency", Developer: service.DeveloperBuilding,
+		Declares: []service.DataRequest{{
+			ObsKind: sensor.ObsWiFiConnect, Purpose: policy.PurposeEmergencyResponse,
+			Granularity: policy.GranExact,
+		}},
+	})
+	c := NewCached(NewIndexed(cfg), 0)
+	if err := c.AddPolicy(policy.Policy2EmergencyLocation("dbh")); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range policy.Preference2NoLocation("mary") {
+		if err := c.AddPreference(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := baseRequest()
+	req.ServiceID = "bms-emergency"
+	req.Purpose = policy.PurposeEmergencyResponse
+	for i := 0; i < 3; i++ {
+		d := c.Decide(req, nil)
+		if !d.Allowed || len(d.Notifications) == 0 {
+			t.Fatalf("call %d: override notification lost: %+v", i, d)
+		}
+	}
+	if hits, _ := c.Stats(); hits != 0 {
+		t.Errorf("override decisions served from cache: %d hits", hits)
+	}
+}
+
+// TestCachedEquivalenceProperty: the cached engine must agree with its
+// inner engine on randomized workloads (notification decisions are
+// exempt from caching by design, so they agree trivially too).
+func TestCachedEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
+	reference := NewIndexed(cfg)
+	cached := NewCached(NewIndexed(cfg), 128) // small cap to exercise resets
+
+	users := []string{"u0", "u1", "u2"}
+	kinds := []sensor.ObservationKind{sensor.ObsWiFiConnect, sensor.ObsBLESighting, ""}
+	for i := 0; i < 100; i++ {
+		p := policy.Preference{
+			ID:     fmt.Sprintf("p-%d", i),
+			UserID: users[r.Intn(len(users))],
+			Scope:  policy.Scope{ObsKind: kinds[r.Intn(len(kinds))]},
+			Rule:   policy.Rule{Action: policy.Action(1 + r.Intn(2))},
+		}
+		if r.Intn(3) == 0 {
+			p.Scope.Window = policy.AfterHours
+		}
+		if err := reference.AddPreference(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := cached.AddPreference(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 3000; trial++ {
+		req := Request{
+			ServiceID:   "concierge",
+			Purpose:     policy.PurposeProvidingService,
+			Kind:        kinds[r.Intn(2)],
+			SubjectID:   users[r.Intn(len(users))],
+			SpaceID:     "dbh",
+			Granularity: policy.GranExact,
+			// Coarse time grid so repeats occur and the cache is hot.
+			Time: time.Date(2017, time.June, 7, r.Intn(24), 0, 0, 0, time.UTC),
+		}
+		a := normalizeDecision(reference.Decide(req, nil))
+		b := normalizeDecision(cached.Decide(req, nil))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: cached disagrees\nreq: %+v\nref:    %+v\ncached: %+v", trial, req, a, b)
+		}
+	}
+	hits, misses := cached.Stats()
+	if hits == 0 {
+		t.Errorf("cache never hit (%d misses)", misses)
+	}
+}
+
+func TestCachedGroupsInKey(t *testing.T) {
+	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
+	c := NewCached(NewIndexed(cfg), 0)
+	bp := policy.Policy2EmergencyLocation("dbh")
+	bp.Scope.SubjectGroups = []profile.Group{profile.GroupStudent}
+	if err := c.AddPolicy(bp); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range policy.Preference2NoLocation("mary") {
+		if err := c.AddPreference(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := baseRequest()
+	req.ServiceID = ""
+	req.Purpose = policy.PurposeEmergencyResponse
+	// Student: override applies. Faculty: deny stands. The cache must
+	// not conflate them.
+	if d := c.Decide(req, []profile.Group{profile.GroupStudent}); !d.Allowed {
+		t.Fatalf("student decision = %+v", d)
+	}
+	if d := c.Decide(req, []profile.Group{profile.GroupFaculty}); d.Allowed {
+		t.Fatalf("faculty decision served from student cache entry: %+v", d)
+	}
+}

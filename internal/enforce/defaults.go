@@ -1,0 +1,72 @@
+package enforce
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/profile"
+)
+
+// GroupDefault is a building-configured default rule for a user
+// class, implementing the paper's §IV.A.2 observation that profiles
+// "can be based on groups (students, faculty, staff etc.) and share
+// common properties (e.g., access permissions)". Defaults apply only
+// when the subject has no personal preference matching the flow: a
+// user's own choice — explicit or IoTA-learned — always wins over
+// their group's default.
+//
+// Typical deployments: visitors default to coarse location, staff
+// default to allowing the comfort subsystem, everyone defaults to
+// denying third-party marketing.
+type GroupDefault struct {
+	ID string
+	// Groups the default applies to; empty means every subject.
+	Groups []profile.Group
+	// Scope selects the flows, like a preference scope (subject
+	// fields must stay empty — the group list is the subject filter).
+	Scope policy.Scope
+	// Rule is the default decision.
+	Rule policy.Rule
+}
+
+// Check validates the default.
+func (g GroupDefault) Check() error {
+	if g.ID == "" {
+		return errors.New("enforce: group default needs an ID")
+	}
+	if len(g.Scope.SubjectIDs) > 0 || len(g.Scope.SubjectGroups) > 0 {
+		return fmt.Errorf("enforce: group default %s must use Groups, not scope subjects", g.ID)
+	}
+	return g.Rule.Check()
+}
+
+// matchDefaults combines the rules of every default applying to the
+// subject's groups and the request context. Called only when no
+// personal preference matched. Returns the matched IDs.
+func (e *evaluator) matchDefaults(ctx policy.Context, subjectGroups []profile.Group) ([]policy.Rule, []string) {
+	var rules []policy.Rule
+	var ids []string
+	for _, d := range e.cfg.GroupDefaults {
+		if len(d.Groups) > 0 && !groupsOverlap(d.Groups, subjectGroups) {
+			continue
+		}
+		if !d.Scope.MatchesRequest(ctx, e.cfg.Spaces) {
+			continue
+		}
+		rules = append(rules, d.Rule)
+		ids = append(ids, d.ID)
+	}
+	return rules, ids
+}
+
+func groupsOverlap(a, b []profile.Group) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

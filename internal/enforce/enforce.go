@@ -1,0 +1,284 @@
+// Package enforce implements query-time enforcement: deciding, for
+// each data request a service submits, what the requester may see
+// about each subject, given the building's policies and the subjects'
+// preferences.
+//
+// The paper's §V.C observes that "with large number of users,
+// services, policies, and preferences the cost of enforcement can be
+// large enough to be prohibitive in any real setting" and that the
+// authors are "working on techniques for optimizing enforcement so
+// that the overhead of privacy compliance is minimized." This package
+// provides both ends of that experiment:
+//
+//   - Naive: scans every installed preference and policy per request.
+//   - Indexed: posting lists keyed by subject, observation kind, and
+//     service collapse the scan to the handful of rules that can
+//     match (experiment E2's ablation).
+//
+// Both engines implement Engine and must produce identical decisions;
+// the test suite property-checks that equivalence.
+package enforce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/reasoner"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/service"
+	"github.com/tippers/tippers/internal/spatial"
+)
+
+// Request is one data request arriving at the request manager
+// (Figure 1 step 9): a service asks for observations of some kind
+// about a subject, for a declared purpose, at a requested precision.
+type Request struct {
+	ServiceID string
+	Purpose   policy.Purpose
+	Kind      sensor.ObservationKind
+	// SubjectID is whose data is requested; multi-subject queries are
+	// decided subject by subject.
+	SubjectID string
+	// SpaceID optionally scopes the query spatially.
+	SpaceID string
+	// Granularity is the precision the service asks for; zero means
+	// exact.
+	Granularity policy.Granularity
+	// Time is the evaluation instant for time-windowed rules; zero
+	// means time.Now().
+	Time time.Time
+	// From and To bound the observation window fetched by the data
+	// path. They do not affect the decision itself.
+	From, To time.Time
+}
+
+// Notification informs a user (through their IoTA) that a
+// safety-critical building policy overrode one of their preferences,
+// per the paper's resolution of Policy 2 vs Preference 2.
+type Notification struct {
+	UserID       string
+	PolicyID     string
+	PreferenceID string
+	Message      string
+}
+
+// Decision is the outcome of deciding one (request, subject) pair.
+type Decision struct {
+	// Allowed reports whether any data may flow.
+	Allowed bool
+	// Effective is the rule the data path must apply (granularity
+	// clamp, noise, aggregation floor). Meaningful only when Allowed.
+	Effective policy.Rule
+	// Granularity is the final release precision: the minimum of the
+	// requested precision, the service's declared need, and every
+	// matching preference's cap.
+	Granularity policy.Granularity
+	// MatchedPreferences lists the preference IDs that matched.
+	MatchedPreferences []string
+	// MatchedDefaults lists the group defaults that decided the flow
+	// (only set when no personal preference matched).
+	MatchedDefaults []string
+	// Overridden lists preference IDs a safety-critical policy
+	// overrode.
+	Overridden []string
+	// Notifications carries the user notifications this decision
+	// generated.
+	Notifications []Notification
+	// DenyReason explains a denial.
+	DenyReason string
+	// PoliciesConsulted and PreferencesConsulted count rule
+	// evaluations, the cost metric for experiments E1/E2.
+	PoliciesConsulted    int
+	PreferencesConsulted int
+}
+
+// Engine decides requests against installed policies and preferences.
+// Implementations are safe for concurrent Decide calls; installation
+// calls must not race with Decide.
+type Engine interface {
+	// AddPolicy installs a building policy.
+	AddPolicy(p policy.BuildingPolicy) error
+	// AddPreference installs a user preference.
+	AddPreference(p policy.Preference) error
+	// RemovePreference uninstalls by ID, reporting whether it existed.
+	RemovePreference(id string) bool
+	// Decide evaluates one (request, subject) pair. subjectGroups are
+	// the subject's profile groups (for group-scoped rules).
+	Decide(req Request, subjectGroups []profile.Group) Decision
+	// Counts returns installed (policies, preferences).
+	Counts() (int, int)
+}
+
+// Config carries the collaborators both engines share.
+type Config struct {
+	// Spaces resolves spatial containment; nil restricts spatial
+	// matching to exact IDs.
+	Spaces *spatial.Model
+	// Services enforces purpose binding; nil disables the check
+	// (requests from unregistered services are then allowed through
+	// to preference evaluation).
+	Services *service.Registry
+	// DefaultAllow is the decision when no preference matches. The
+	// paper's buildings advertise policies and let users opt out, so
+	// the default is allow; privacy-by-default deployments set false.
+	DefaultAllow bool
+	// GroupDefaults are building-configured per-group default rules,
+	// consulted only when the subject has no matching personal
+	// preference (see GroupDefault). Fixed at engine construction.
+	GroupDefaults []GroupDefault
+}
+
+// evaluator holds the shared decision logic; engines differ only in
+// candidate selection.
+type evaluator struct {
+	cfg Config
+}
+
+// decide runs the shared decision pipeline over the candidate rules
+// the engine selected. candPolicies/candPrefs are the rules the
+// engine considers possibly-matching; consulted counts reflect their
+// sizes.
+func (e *evaluator) decide(req Request, subjectGroups []profile.Group, candPolicies []policy.BuildingPolicy, candPrefs []policy.Preference) Decision {
+	now := req.Time
+	if now.IsZero() {
+		now = time.Now()
+	}
+	reqGran := req.Granularity
+	if !reqGran.Valid() {
+		reqGran = policy.GranExact
+	}
+	d := Decision{
+		PoliciesConsulted:    len(candPolicies),
+		PreferencesConsulted: len(candPrefs),
+	}
+
+	// Purpose binding: the service must have declared (kind, purpose).
+	declaredGran := policy.GranExact
+	if e.cfg.Services != nil && req.ServiceID != "" {
+		svc, ok := e.cfg.Services.Get(req.ServiceID)
+		if !ok {
+			d.DenyReason = fmt.Sprintf("unknown service %q", req.ServiceID)
+			return d
+		}
+		g, ok := svc.Permits(req.Kind, req.Purpose)
+		if !ok {
+			d.DenyReason = fmt.Sprintf("service %q did not declare %s for %s", req.ServiceID, req.Kind, req.Purpose)
+			return d
+		}
+		declaredGran = g
+	}
+
+	ctx := policy.Context{
+		SubjectID:     req.SubjectID,
+		SubjectGroups: subjectGroups,
+		SpaceID:       req.SpaceID,
+		SensorType:    sensor.TypeForKind(req.Kind),
+		ObsKind:       req.Kind,
+		Purpose:       req.Purpose,
+		ServiceID:     req.ServiceID,
+		Time:          now,
+	}
+
+	// Gather the subject's matching preferences. Sorting by ID keeps
+	// decisions deterministic and identical across engines regardless
+	// of candidate order.
+	var matched []policy.Preference
+	for _, p := range candPrefs {
+		if p.UserID != req.SubjectID {
+			continue
+		}
+		if !p.Scope.MatchesRequest(ctx, e.cfg.Spaces) {
+			continue
+		}
+		matched = append(matched, p)
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].ID < matched[j].ID })
+	rules := make([]policy.Rule, 0, len(matched))
+	for _, p := range matched {
+		rules = append(rules, p.Rule)
+		d.MatchedPreferences = append(d.MatchedPreferences, p.ID)
+	}
+
+	userRule := policy.Rule{Action: policy.ActionAllow}
+	switch {
+	case len(rules) > 0:
+		userRule = reasoner.CombineRules(rules...)
+	default:
+		// No personal preference: consult the subject's group
+		// defaults, then the building-wide default.
+		defRules, defIDs := e.matchDefaults(ctx, subjectGroups)
+		if len(defRules) > 0 {
+			userRule = reasoner.CombineRules(defRules...)
+			d.MatchedDefaults = defIDs
+		} else if !e.cfg.DefaultAllow {
+			d.DenyReason = "no preference permits this flow (default-deny)"
+			return d
+		}
+	}
+
+	// If the user restricts the flow, a matching safety-critical
+	// override policy forces release with notification. The lowest
+	// policy ID wins ties so decisions are engine-order independent.
+	if userRule.Action != policy.ActionAllow {
+		var winner *policy.BuildingPolicy
+		for i := range candPolicies {
+			bp := &candPolicies[i]
+			if !bp.Override {
+				continue
+			}
+			if !bp.Scope.MatchesRequest(ctx, e.cfg.Spaces) {
+				continue
+			}
+			if winner == nil || bp.ID < winner.ID {
+				winner = bp
+			}
+		}
+		if winner != nil {
+			bp := *winner
+			// Override applies: release proceeds, users are notified.
+			d.Allowed = true
+			d.Effective = policy.Rule{Action: policy.ActionAllow}
+			d.Granularity = reqGran.Min(declaredGran)
+			for _, p := range matched {
+				if p.Rule.Action != policy.ActionAllow {
+					d.Overridden = append(d.Overridden, p.ID)
+					d.Notifications = append(d.Notifications, Notification{
+						UserID:       p.UserID,
+						PolicyID:     bp.ID,
+						PreferenceID: p.ID,
+						Message: fmt.Sprintf("Building policy %q (%s) overrode your preference %q for this request.",
+							bp.Name, bp.ID, p.Name),
+					})
+				}
+			}
+			return d
+		}
+	}
+
+	switch userRule.Action {
+	case policy.ActionDeny:
+		d.DenyReason = "denied by user preference"
+		return d
+	case policy.ActionLimit:
+		if userRule.MaxGranularity == policy.GranNone {
+			d.DenyReason = "user preference releases no location"
+			return d
+		}
+		d.Allowed = true
+		d.Effective = userRule
+		g := reqGran.Min(declaredGran)
+		if userRule.MaxGranularity.Valid() {
+			g = g.Min(userRule.MaxGranularity)
+		}
+		d.Granularity = g
+		return d
+	default:
+		d.Allowed = true
+		d.Effective = policy.Rule{Action: policy.ActionAllow}
+		d.Granularity = reqGran.Min(declaredGran)
+		return d
+	}
+}

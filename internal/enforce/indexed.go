@@ -1,0 +1,154 @@
+package enforce
+
+import (
+	"sync"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// Indexed is the optimized engine (§V.C): preferences live in posting
+// lists keyed by (subject, observation kind) with a wildcard-kind
+// bucket per subject, and override policies in lists keyed by kind.
+// A Decide touches only the subject's own rules for the requested
+// kind, so cost is independent of the building's total preference
+// count — the property experiment E2 measures against Naive.
+type Indexed struct {
+	eval evaluator
+
+	mu sync.RWMutex
+	// overridesByKind holds only Override policies (the only ones
+	// decide consults), keyed by scope kind with "" as wildcard.
+	overridesByKind map[sensor.ObservationKind][]policy.BuildingPolicy
+	policyCount     int
+
+	// prefsBySubject[user][kind] holds the user's preferences whose
+	// scope names that kind; kind "" is the wildcard bucket.
+	prefsBySubject map[string]map[sensor.ObservationKind][]policy.Preference
+	prefByID       map[string]policy.Preference
+}
+
+var _ Engine = (*Indexed)(nil)
+
+// NewIndexed returns an empty indexed engine.
+func NewIndexed(cfg Config) *Indexed {
+	return &Indexed{
+		eval:            evaluator{cfg: cfg},
+		overridesByKind: make(map[sensor.ObservationKind][]policy.BuildingPolicy),
+		prefsBySubject:  make(map[string]map[sensor.ObservationKind][]policy.Preference),
+		prefByID:        make(map[string]policy.Preference),
+	}
+}
+
+// AddPolicy implements Engine.
+func (x *Indexed) AddPolicy(p policy.BuildingPolicy) error {
+	if err := p.Check(); err != nil {
+		return err
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.policyCount++
+	if !p.Override {
+		// Non-override policies never influence Decide; they are
+		// enforced at capture/storage time by the BMS core.
+		return nil
+	}
+	x.overridesByKind[p.Scope.ObsKind] = append(x.overridesByKind[p.Scope.ObsKind], p)
+	return nil
+}
+
+// AddPreference implements Engine.
+func (x *Indexed) AddPreference(p policy.Preference) error {
+	if err := p.Check(); err != nil {
+		return err
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if old, ok := x.prefByID[p.ID]; ok {
+		x.removeLocked(old)
+	}
+	x.prefByID[p.ID] = p
+	byKind := x.prefsBySubject[p.UserID]
+	if byKind == nil {
+		byKind = make(map[sensor.ObservationKind][]policy.Preference)
+		x.prefsBySubject[p.UserID] = byKind
+	}
+	byKind[p.Scope.ObsKind] = append(byKind[p.Scope.ObsKind], p)
+	return nil
+}
+
+// RemovePreference implements Engine.
+func (x *Indexed) RemovePreference(id string) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	old, ok := x.prefByID[id]
+	if !ok {
+		return false
+	}
+	x.removeLocked(old)
+	return true
+}
+
+func (x *Indexed) removeLocked(p policy.Preference) {
+	delete(x.prefByID, p.ID)
+	byKind := x.prefsBySubject[p.UserID]
+	if byKind == nil {
+		return
+	}
+	list := byKind[p.Scope.ObsKind]
+	for i := range list {
+		if list[i].ID == p.ID {
+			list[i] = list[len(list)-1]
+			byKind[p.Scope.ObsKind] = list[:len(list)-1]
+			break
+		}
+	}
+	if len(byKind[p.Scope.ObsKind]) == 0 {
+		delete(byKind, p.Scope.ObsKind)
+	}
+	if len(byKind) == 0 {
+		delete(x.prefsBySubject, p.UserID)
+	}
+}
+
+// Decide implements Engine using the posting lists.
+func (x *Indexed) Decide(req Request, subjectGroups []profile.Group) Decision {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+
+	// A kind-scoped rule can never match a kindless request (the
+	// scope's ObsKind test fails), so kindless requests consult only
+	// the wildcard buckets.
+	var candPrefs []policy.Preference
+	if byKind := x.prefsBySubject[req.SubjectID]; byKind != nil {
+		if req.Kind == "" {
+			candPrefs = byKind[""]
+		} else {
+			exact := byKind[req.Kind]
+			wild := byKind[""]
+			candPrefs = make([]policy.Preference, 0, len(exact)+len(wild))
+			candPrefs = append(candPrefs, exact...)
+			candPrefs = append(candPrefs, wild...)
+		}
+	}
+
+	candPolicies := x.overridesByKind[req.Kind]
+	if req.Kind != "" {
+		if wild := x.overridesByKind[""]; len(wild) > 0 {
+			merged := make([]policy.BuildingPolicy, 0, len(candPolicies)+len(wild))
+			merged = append(merged, candPolicies...)
+			merged = append(merged, wild...)
+			candPolicies = merged
+		}
+	}
+
+	return x.eval.decide(req, subjectGroups, candPolicies, candPrefs)
+}
+
+// Counts implements Engine.
+func (x *Indexed) Counts() (int, int) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.policyCount, len(x.prefByID)
+}

@@ -1,0 +1,174 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/policy"
+)
+
+// Client is the typed client for a TIPPERS node. It satisfies
+// iota.PreferenceSink, so an IoT Assistant can push configured
+// preferences to a remote building (Figure 1 step 8) exactly as it
+// would to an in-process one.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the node at baseURL. hc nil selects
+// a client with a sane timeout.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 15 * time.Second}
+	}
+	return &Client{base: baseURL, hc: hc}
+}
+
+// SetPreference installs (or replaces) a preference.
+func (c *Client) SetPreference(p policy.Preference) error {
+	return c.SetPreferenceCtx(context.Background(), p)
+}
+
+// SetPreferenceCtx is SetPreference with a caller context.
+func (c *Client) SetPreferenceCtx(ctx context.Context, p policy.Preference) error {
+	var out PreferenceDTO
+	return c.do(ctx, http.MethodPut, "/v1/preferences", PreferenceToDTO(p), &out)
+}
+
+// RemovePreference deletes a preference by ID.
+func (c *Client) RemovePreference(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/preferences/"+url.PathEscape(id), nil, nil)
+}
+
+// Preferences lists a user's installed preferences.
+func (c *Client) Preferences(ctx context.Context, userID string) ([]PreferenceDTO, error) {
+	var out []PreferenceDTO
+	err := c.do(ctx, http.MethodGet, "/v1/preferences?user="+url.QueryEscape(userID), nil, &out)
+	return out, err
+}
+
+// Policies lists the building's policies.
+func (c *Client) Policies(ctx context.Context) ([]PolicyDTO, error) {
+	var out []PolicyDTO
+	err := c.do(ctx, http.MethodGet, "/v1/policies", nil, &out)
+	return out, err
+}
+
+// Notifications drains the user's notification inbox.
+func (c *Client) Notifications(ctx context.Context, userID string) ([]NotificationDTO, error) {
+	var out []NotificationDTO
+	err := c.do(ctx, http.MethodGet, "/v1/notifications?user="+url.QueryEscape(userID), nil, &out)
+	return out, err
+}
+
+// Conflicts lists resolved conflicts.
+func (c *Client) Conflicts(ctx context.Context) ([]ConflictDTO, error) {
+	var out []ConflictDTO
+	err := c.do(ctx, http.MethodGet, "/v1/conflicts", nil, &out)
+	return out, err
+}
+
+// Ingest submits a batch of observations.
+func (c *Client) Ingest(ctx context.Context, batch []ObservationDTO) (int, error) {
+	var out ingestResult
+	if err := c.do(ctx, http.MethodPost, "/v1/observations", batch, &out); err != nil {
+		return out.Accepted, err
+	}
+	if out.Error != "" {
+		return out.Accepted, fmt.Errorf("httpapi: ingest: %s", out.Error)
+	}
+	return out.Accepted, nil
+}
+
+// RequestUser submits a single-subject data request.
+func (c *Client) RequestUser(ctx context.Context, req enforce.Request) (ResponseDTO, error) {
+	var out ResponseDTO
+	err := c.do(ctx, http.MethodPost, "/v1/requests/user", RequestToDTO(req), &out)
+	return out, err
+}
+
+// RequestOccupancy submits an aggregate occupancy request with floor
+// k.
+func (c *Client) RequestOccupancy(ctx context.Context, req enforce.Request, k int) (ResponseDTO, error) {
+	var out ResponseDTO
+	path := "/v1/requests/occupancy?k=" + strconv.Itoa(k)
+	err := c.do(ctx, http.MethodPost, path, RequestToDTO(req), &out)
+	return out, err
+}
+
+// ForgetUser requests erasure of a user's data, returning (deleted,
+// retained) counts; data under safety-critical override policies is
+// retained.
+func (c *Client) ForgetUser(ctx context.Context, userID string) (int, int, error) {
+	var out struct {
+		Deleted  int `json:"deleted"`
+		Retained int `json:"retained"`
+	}
+	err := c.do(ctx, http.MethodDelete, "/v1/users/"+url.PathEscape(userID)+"/data", nil, &out)
+	return out.Deleted, out.Retained, err
+}
+
+// Audit fetches a user's transparency report: what every service
+// could learn about them right now, and why.
+func (c *Client) Audit(ctx context.Context, userID string) (AuditDTO, error) {
+	var out AuditDTO
+	err := c.do(ctx, http.MethodGet, "/v1/audit?user="+url.QueryEscape(userID), nil, &out)
+	return out, err
+}
+
+// Stats fetches pipeline counters.
+func (c *Client) Stats(ctx context.Context) (StatsDTO, error) {
+	var out StatsDTO
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("httpapi: encode request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("httpapi: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("httpapi: %s %s: %s (%s)", method, path, eb.Error, resp.Status)
+		}
+		return fmt.Errorf("httpapi: %s %s: %s", method, path, resp.Status)
+	}
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("httpapi: decode response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+// Package httpapi exposes a TIPPERS node over HTTP and provides the
+// typed client IoTAs, services, and tools use to reach it. The wire
+// format is snake_case JSON, decoupled from the internal types so the
+// enforcement core can evolve without breaking the API.
+package httpapi
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tippers/tippers/internal/core"
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/privacy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// ScopeDTO is the wire form of policy.Scope.
+type ScopeDTO struct {
+	SpaceID    string     `json:"space_id,omitempty"`
+	SensorType string     `json:"sensor_type,omitempty"`
+	ObsKind    string     `json:"obs_kind,omitempty"`
+	Purposes   []string   `json:"purposes,omitempty"`
+	ServiceID  string     `json:"service_id,omitempty"`
+	Window     *WindowDTO `json:"window,omitempty"`
+}
+
+// WindowDTO is the wire form of policy.DailyWindow.
+type WindowDTO struct {
+	StartMinute int   `json:"start_minute"`
+	EndMinute   int   `json:"end_minute"`
+	Days        uint8 `json:"days,omitempty"`
+}
+
+// RuleDTO is the wire form of policy.Rule.
+type RuleDTO struct {
+	Action          string  `json:"action"`
+	MaxGranularity  string  `json:"max_granularity,omitempty"`
+	NoiseEpsilon    float64 `json:"noise_epsilon,omitempty"`
+	MinAggregationK int     `json:"min_aggregation_k,omitempty"`
+}
+
+// PreferenceDTO is the wire form of policy.Preference.
+type PreferenceDTO struct {
+	ID     string   `json:"id"`
+	UserID string   `json:"user_id"`
+	Name   string   `json:"name,omitempty"`
+	Scope  ScopeDTO `json:"scope"`
+	Rule   RuleDTO  `json:"rule"`
+	Source string   `json:"source,omitempty"`
+}
+
+// PolicyDTO summarizes a building policy for listing.
+type PolicyDTO struct {
+	ID          string   `json:"id"`
+	Name        string   `json:"name"`
+	Description string   `json:"description,omitempty"`
+	Owner       string   `json:"owner,omitempty"`
+	Kind        string   `json:"kind"`
+	Scope       ScopeDTO `json:"scope"`
+	Retention   string   `json:"retention,omitempty"`
+	Override    bool     `json:"override,omitempty"`
+}
+
+// RequestDTO is the wire form of enforce.Request.
+type RequestDTO struct {
+	ServiceID   string    `json:"service_id,omitempty"`
+	Purpose     string    `json:"purpose"`
+	Kind        string    `json:"kind"`
+	SubjectID   string    `json:"subject_id,omitempty"`
+	SpaceID     string    `json:"space_id,omitempty"`
+	Granularity string    `json:"granularity,omitempty"`
+	Time        time.Time `json:"time,omitempty"`
+	From        time.Time `json:"from,omitempty"`
+	To          time.Time `json:"to,omitempty"`
+}
+
+// NotificationDTO is the wire form of enforce.Notification.
+type NotificationDTO struct {
+	UserID       string `json:"user_id"`
+	PolicyID     string `json:"policy_id,omitempty"`
+	PreferenceID string `json:"preference_id,omitempty"`
+	Message      string `json:"message"`
+}
+
+// DecisionDTO is the wire form of enforce.Decision.
+type DecisionDTO struct {
+	Allowed            bool              `json:"allowed"`
+	Granularity        string            `json:"granularity,omitempty"`
+	DenyReason         string            `json:"deny_reason,omitempty"`
+	MatchedPreferences []string          `json:"matched_preferences,omitempty"`
+	Overridden         []string          `json:"overridden,omitempty"`
+	Notifications      []NotificationDTO `json:"notifications,omitempty"`
+}
+
+// ObservationDTO is the wire form of sensor.Observation.
+type ObservationDTO struct {
+	Seq       uint64            `json:"seq,omitempty"`
+	SensorID  string            `json:"sensor_id"`
+	Kind      string            `json:"kind"`
+	Time      time.Time         `json:"time"`
+	SpaceID   string            `json:"space_id,omitempty"`
+	DeviceMAC string            `json:"device_mac,omitempty"`
+	UserID    string            `json:"user_id,omitempty"`
+	Value     float64           `json:"value,omitempty"`
+	Payload   map[string]string `json:"payload,omitempty"`
+}
+
+// AggregateDTO is the wire form of privacy.AggregateCount.
+type AggregateDTO struct {
+	Key   string `json:"key"`
+	Count int    `json:"count"`
+}
+
+// ResponseDTO is the wire form of core.Response.
+type ResponseDTO struct {
+	Decision           DecisionDTO      `json:"decision"`
+	Observations       []ObservationDTO `json:"observations,omitempty"`
+	Aggregates         []AggregateDTO   `json:"aggregates,omitempty"`
+	SubjectsConsidered int              `json:"subjects_considered,omitempty"`
+	SubjectsReleased   int              `json:"subjects_released,omitempty"`
+}
+
+// StatsDTO is the wire form of core.Stats.
+type StatsDTO struct {
+	Ingested          uint64 `json:"ingested"`
+	DroppedDisabled   uint64 `json:"dropped_disabled"`
+	DroppedUnlogged   uint64 `json:"dropped_unlogged"`
+	Pseudonymized     uint64 `json:"pseudonymized"`
+	RequestsDecided   uint64 `json:"requests_decided"`
+	RequestsDenied    uint64 `json:"requests_denied"`
+	NotificationsSent uint64 `json:"notifications_sent"`
+}
+
+// Conversions.
+
+func scopeToDTO(s policy.Scope) ScopeDTO {
+	out := ScopeDTO{
+		SpaceID:   s.SpaceID,
+		ObsKind:   string(s.ObsKind),
+		ServiceID: s.ServiceID,
+	}
+	if s.SensorType != 0 {
+		out.SensorType = s.SensorType.String()
+	}
+	for _, p := range s.Purposes {
+		out.Purposes = append(out.Purposes, string(p))
+	}
+	if !s.Window.IsZero() {
+		out.Window = &WindowDTO{StartMinute: s.Window.Start, EndMinute: s.Window.End, Days: uint8(s.Window.Days)}
+	}
+	return out
+}
+
+func scopeFromDTO(d ScopeDTO) (policy.Scope, error) {
+	out := policy.Scope{
+		SpaceID:   d.SpaceID,
+		ObsKind:   sensor.ObservationKind(d.ObsKind),
+		ServiceID: d.ServiceID,
+	}
+	if d.SensorType != "" {
+		t, err := sensor.ParseType(d.SensorType)
+		if err != nil {
+			return policy.Scope{}, err
+		}
+		out.SensorType = t
+	}
+	for _, p := range d.Purposes {
+		out.Purposes = append(out.Purposes, policy.Purpose(p))
+	}
+	if d.Window != nil {
+		out.Window = policy.DailyWindow{Start: d.Window.StartMinute, End: d.Window.EndMinute, Days: policy.Weekdays(d.Window.Days)}
+	}
+	return out, nil
+}
+
+func ruleToDTO(r policy.Rule) RuleDTO {
+	out := RuleDTO{
+		Action:          r.Action.String(),
+		NoiseEpsilon:    r.NoiseEpsilon,
+		MinAggregationK: r.MinAggregationK,
+	}
+	if r.MaxGranularity.Valid() {
+		out.MaxGranularity = r.MaxGranularity.String()
+	}
+	return out
+}
+
+func ruleFromDTO(d RuleDTO) (policy.Rule, error) {
+	a, err := policy.ParseAction(d.Action)
+	if err != nil {
+		return policy.Rule{}, err
+	}
+	out := policy.Rule{Action: a, NoiseEpsilon: d.NoiseEpsilon, MinAggregationK: d.MinAggregationK}
+	if d.MaxGranularity != "" {
+		g, err := policy.ParseGranularity(d.MaxGranularity)
+		if err != nil {
+			return policy.Rule{}, err
+		}
+		out.MaxGranularity = g
+	}
+	return out, nil
+}
+
+// PreferenceToDTO converts an internal preference to wire form.
+func PreferenceToDTO(p policy.Preference) PreferenceDTO {
+	return PreferenceDTO{
+		ID:     p.ID,
+		UserID: p.UserID,
+		Name:   p.Name,
+		Scope:  scopeToDTO(p.Scope),
+		Rule:   ruleToDTO(p.Rule),
+		Source: p.Source,
+	}
+}
+
+// PreferenceFromDTO converts wire form back, validating enums.
+func PreferenceFromDTO(d PreferenceDTO) (policy.Preference, error) {
+	scope, err := scopeFromDTO(d.Scope)
+	if err != nil {
+		return policy.Preference{}, fmt.Errorf("httpapi: preference %s: %w", d.ID, err)
+	}
+	rule, err := ruleFromDTO(d.Rule)
+	if err != nil {
+		return policy.Preference{}, fmt.Errorf("httpapi: preference %s: %w", d.ID, err)
+	}
+	return policy.Preference{
+		ID:     d.ID,
+		UserID: d.UserID,
+		Name:   d.Name,
+		Scope:  scope,
+		Rule:   rule,
+		Source: d.Source,
+	}, nil
+}
+
+// PolicyToDTO converts a building policy to its listing form.
+func PolicyToDTO(p policy.BuildingPolicy) PolicyDTO {
+	out := PolicyDTO{
+		ID:          p.ID,
+		Name:        p.Name,
+		Description: p.Description,
+		Owner:       p.Owner,
+		Kind:        p.Kind.String(),
+		Scope:       scopeToDTO(p.Scope),
+		Override:    p.Override,
+	}
+	if !p.Retention.IsZero() {
+		out.Retention = p.Retention.String()
+	}
+	return out
+}
+
+// RequestFromDTO converts a wire request, validating enums.
+func RequestFromDTO(d RequestDTO) (enforce.Request, error) {
+	out := enforce.Request{
+		ServiceID: d.ServiceID,
+		Purpose:   policy.Purpose(d.Purpose),
+		Kind:      sensor.ObservationKind(d.Kind),
+		SubjectID: d.SubjectID,
+		SpaceID:   d.SpaceID,
+		Time:      d.Time,
+		From:      d.From,
+		To:        d.To,
+	}
+	if d.Granularity != "" {
+		g, err := policy.ParseGranularity(d.Granularity)
+		if err != nil {
+			return enforce.Request{}, err
+		}
+		out.Granularity = g
+	}
+	return out, nil
+}
+
+// RequestToDTO converts an internal request to wire form.
+func RequestToDTO(r enforce.Request) RequestDTO {
+	out := RequestDTO{
+		ServiceID: r.ServiceID,
+		Purpose:   string(r.Purpose),
+		Kind:      string(r.Kind),
+		SubjectID: r.SubjectID,
+		SpaceID:   r.SpaceID,
+		Time:      r.Time,
+		From:      r.From,
+		To:        r.To,
+	}
+	if r.Granularity.Valid() {
+		out.Granularity = r.Granularity.String()
+	}
+	return out
+}
+
+func notificationToDTO(n enforce.Notification) NotificationDTO {
+	return NotificationDTO{UserID: n.UserID, PolicyID: n.PolicyID, PreferenceID: n.PreferenceID, Message: n.Message}
+}
+
+func decisionToDTO(d enforce.Decision) DecisionDTO {
+	out := DecisionDTO{
+		Allowed:            d.Allowed,
+		DenyReason:         d.DenyReason,
+		MatchedPreferences: d.MatchedPreferences,
+		Overridden:         d.Overridden,
+	}
+	if d.Granularity.Valid() {
+		out.Granularity = d.Granularity.String()
+	}
+	for _, n := range d.Notifications {
+		out.Notifications = append(out.Notifications, notificationToDTO(n))
+	}
+	return out
+}
+
+func observationToDTO(o sensor.Observation) ObservationDTO {
+	return ObservationDTO{
+		Seq:       o.Seq,
+		SensorID:  o.SensorID,
+		Kind:      string(o.Kind),
+		Time:      o.Time,
+		SpaceID:   o.SpaceID,
+		DeviceMAC: o.DeviceMAC,
+		UserID:    o.UserID,
+		Value:     o.Value,
+		Payload:   o.Payload,
+	}
+}
+
+// ObservationFromDTO converts a wire observation for ingest.
+func ObservationFromDTO(d ObservationDTO) sensor.Observation {
+	return sensor.Observation{
+		Seq:       d.Seq,
+		SensorID:  d.SensorID,
+		Kind:      sensor.ObservationKind(d.Kind),
+		Time:      d.Time,
+		SpaceID:   d.SpaceID,
+		DeviceMAC: d.DeviceMAC,
+		UserID:    d.UserID,
+		Value:     d.Value,
+		Payload:   d.Payload,
+	}
+}
+
+func responseToDTO(r core.Response) ResponseDTO {
+	out := ResponseDTO{
+		Decision:           decisionToDTO(r.Decision),
+		SubjectsConsidered: r.SubjectsConsidered,
+		SubjectsReleased:   r.SubjectsReleased,
+	}
+	for _, o := range r.Observations {
+		out.Observations = append(out.Observations, observationToDTO(o))
+	}
+	for _, a := range r.Aggregates {
+		out.Aggregates = append(out.Aggregates, aggregateToDTO(a))
+	}
+	return out
+}
+
+func aggregateToDTO(a privacy.AggregateCount) AggregateDTO {
+	return AggregateDTO{Key: a.Key, Count: a.Count}
+}
+
+func statsToDTO(s core.Stats) StatsDTO {
+	return StatsDTO{
+		Ingested:          s.Ingested,
+		DroppedDisabled:   s.DroppedDisabled,
+		DroppedUnlogged:   s.DroppedUnlogged,
+		Pseudonymized:     s.Pseudonymized,
+		RequestsDecided:   s.RequestsDecided,
+		RequestsDenied:    s.RequestsDenied,
+		NotificationsSent: s.NotificationsSent,
+	}
+}
+
+// AuditEntryDTO is the wire form of one audit probe.
+type AuditEntryDTO struct {
+	ServiceID          string `json:"service_id"`
+	Kind               string `json:"kind"`
+	Purpose            string `json:"purpose"`
+	Allowed            bool   `json:"allowed"`
+	Granularity        string `json:"granularity,omitempty"`
+	StoredObservations int    `json:"stored_observations"`
+	Why                string `json:"why"`
+}
+
+// AuditDTO is the wire form of a user's transparency report.
+type AuditDTO struct {
+	UserID           string          `json:"user_id"`
+	GeneratedAt      time.Time       `json:"generated_at"`
+	Preferences      int             `json:"preferences"`
+	OverridePolicies []string        `json:"override_policies,omitempty"`
+	Entries          []AuditEntryDTO `json:"entries"`
+}
+
+func auditToDTO(a core.Audit) AuditDTO {
+	out := AuditDTO{
+		UserID:           a.UserID,
+		GeneratedAt:      a.GeneratedAt,
+		Preferences:      a.Preferences,
+		OverridePolicies: a.OverridePolicies,
+	}
+	for _, e := range a.Entries {
+		dto := AuditEntryDTO{
+			ServiceID:          e.ServiceID,
+			Kind:               string(e.Kind),
+			Purpose:            string(e.Purpose),
+			Allowed:            e.Allowed,
+			StoredObservations: e.StoredObservations,
+			Why:                e.Why,
+		}
+		if e.Granularity.Valid() {
+			dto.Granularity = e.Granularity.String()
+		}
+		out.Entries = append(out.Entries, dto)
+	}
+	return out
+}

@@ -1,0 +1,373 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/core"
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/iota"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/service"
+	"github.com/tippers/tippers/internal/spatial"
+)
+
+var testNow = time.Date(2017, time.June, 7, 14, 0, 0, 0, time.UTC)
+
+func newServer(t testing.TB) (*core.BMS, *Client) {
+	t.Helper()
+	spaces := spatial.NewModel()
+	spaces.MustAdd("", spatial.Space{ID: "dbh", Kind: spatial.KindBuilding})
+	spaces.MustAdd("dbh", spatial.Space{ID: "dbh/1", Kind: spatial.KindFloor, Floor: 1})
+	spaces.MustAdd("dbh/1", spatial.Space{ID: "dbh/1/r0", Kind: spatial.KindRoom, Floor: 1})
+
+	users := profile.NewDirectory()
+	users.MustAdd(profile.User{
+		ID: "mary", Profiles: []profile.Profile{{Group: profile.GroupGradStudent}},
+		DeviceMACs: []string{"aa:00:00:00:00:01"},
+	})
+	users.MustAdd(profile.User{
+		ID: "bob", Profiles: []profile.Profile{{Group: profile.GroupFaculty}},
+		DeviceMACs: []string{"aa:00:00:00:00:02"},
+	})
+
+	sensors := sensor.NewRegistry()
+	sensors.MustAdd(sensor.MustNew("ap-1", sensor.TypeWiFiAP, "dbh/1/r0"))
+
+	services := service.NewRegistry()
+	services.MustRegister(service.Concierge())
+
+	bms, err := core.New(core.Config{
+		Spaces: spaces, Users: users, Sensors: sensors, Services: services,
+		DefaultAllow: true,
+		Clock:        func() time.Time { return testNow },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bms.Close)
+	srv := httptest.NewServer(NewServer(bms).Handler())
+	t.Cleanup(srv.Close)
+	return bms, NewClient(srv.URL, nil)
+}
+
+func wifiObs(mac string, minute int) ObservationDTO {
+	return ObservationDTO{
+		SensorID:  "ap-1",
+		Kind:      string(sensor.ObsWiFiConnect),
+		DeviceMAC: mac,
+		Time:      testNow.Add(time.Duration(minute) * time.Minute),
+	}
+}
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	bms, client := newServer(t)
+	ctx := context.Background()
+
+	// Register Policy 2 in-process (admin path).
+	if err := bms.RegisterPolicy(policy.Policy2EmergencyLocation("dbh")); err != nil {
+		t.Fatal(err)
+	}
+	pols, err := client.Policies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pols) != 1 || pols[0].ID != "policy-2-emergency-location" || pols[0].Retention != "P6M" {
+		t.Fatalf("policies = %+v", pols)
+	}
+	if !pols[0].Override || pols[0].Kind != "collection" {
+		t.Errorf("policy DTO = %+v", pols[0])
+	}
+
+	// Ingest observations over the wire.
+	n, err := client.Ingest(ctx, []ObservationDTO{wifiObs("aa:00:00:00:00:01", 0), wifiObs("aa:00:00:00:00:02", 1)})
+	if err != nil || n != 2 {
+		t.Fatalf("ingest = %d, %v", n, err)
+	}
+
+	// Set a coarse preference via the client (the IoTA path).
+	if err := client.SetPreference(policy.CoarseLocationPreference("mary", "concierge")); err != nil {
+		t.Fatal(err)
+	}
+	prefs, err := client.Preferences(ctx, "mary")
+	if err != nil || len(prefs) != 1 {
+		t.Fatalf("preferences = %+v, %v", prefs, err)
+	}
+	if prefs[0].Rule.Action != "limit" || prefs[0].Rule.MaxGranularity != "building" {
+		t.Errorf("preference DTO = %+v", prefs[0])
+	}
+
+	// Request mary's data as concierge: released at building level.
+	resp, err := client.RequestUser(ctx, enforce.Request{
+		ServiceID: "concierge",
+		Purpose:   policy.PurposeProvidingService,
+		Kind:      sensor.ObsWiFiConnect,
+		SubjectID: "mary",
+		Time:      testNow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Decision.Allowed || resp.Decision.Granularity != "building" {
+		t.Fatalf("decision = %+v", resp.Decision)
+	}
+	if len(resp.Observations) != 1 || resp.Observations[0].SpaceID != "dbh" {
+		t.Errorf("observations = %+v", resp.Observations)
+	}
+
+	// Stats reflect the traffic.
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ingested != 2 || stats.RequestsDecided != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Remove the preference; a repeat request is exact again.
+	if err := client.RemovePreference(ctx, prefs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.RemovePreference(ctx, prefs[0].ID); err == nil {
+		t.Error("double delete succeeded")
+	}
+}
+
+func TestConflictAndNotificationOverHTTP(t *testing.T) {
+	bms, client := newServer(t)
+	ctx := context.Background()
+	if err := bms.RegisterPolicy(policy.Policy2EmergencyLocation("dbh")); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range policy.Preference2NoLocation("mary") {
+		if err := client.SetPreference(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conflicts, err := client.Conflicts(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) == 0 || !conflicts[0].OverrideApplied {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+	notifs, err := client.Notifications(ctx, "mary")
+	if err != nil || len(notifs) == 0 {
+		t.Fatalf("notifications = %+v, %v", notifs, err)
+	}
+	if !strings.Contains(notifs[0].Message, "policy-2-emergency-location") {
+		t.Errorf("message = %q", notifs[0].Message)
+	}
+	// Drained.
+	notifs, err = client.Notifications(ctx, "mary")
+	if err != nil || len(notifs) != 0 {
+		t.Errorf("inbox not drained: %+v", notifs)
+	}
+}
+
+func TestOccupancyOverHTTP(t *testing.T) {
+	_, client := newServer(t)
+	ctx := context.Background()
+	if _, err := client.Ingest(ctx, []ObservationDTO{wifiObs("aa:00:00:00:00:01", 0), wifiObs("aa:00:00:00:00:02", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.RequestOccupancy(ctx, enforce.Request{
+		ServiceID: "concierge",
+		Purpose:   policy.PurposeProvidingService,
+		Kind:      sensor.ObsWiFiConnect,
+		SpaceID:   "dbh",
+		Time:      testNow,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Aggregates) != 1 || resp.Aggregates[0].Count != 2 {
+		t.Errorf("aggregates = %+v", resp.Aggregates)
+	}
+	if resp.SubjectsConsidered != 2 || resp.SubjectsReleased != 2 {
+		t.Errorf("coverage = %+v", resp)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, client := newServer(t)
+	ctx := context.Background()
+	// Invalid preference: unknown user.
+	err := client.SetPreference(policy.Preference{
+		ID: "x", UserID: "ghost", Rule: policy.Rule{Action: policy.ActionDeny},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown user") {
+		t.Errorf("unknown user error = %v", err)
+	}
+	// Invalid enum on the wire.
+	if err := client.do(ctx, "PUT", "/v1/preferences", PreferenceDTO{ID: "x", UserID: "mary", Rule: RuleDTO{Action: "shrug"}}, nil); err == nil {
+		t.Error("bad action accepted")
+	}
+	// Bad ingest: unregistered sensor.
+	if _, err := client.Ingest(ctx, []ObservationDTO{{SensorID: "ghost", Kind: "wifi_access_point", Time: testNow}}); err == nil {
+		t.Error("ghost sensor ingest accepted")
+	}
+	// Subject-less user request.
+	if _, err := client.RequestUser(ctx, enforce.Request{Kind: sensor.ObsWiFiConnect}); err == nil {
+		t.Error("subject-less request accepted")
+	}
+	// Missing user params.
+	if _, err := client.Preferences(ctx, ""); err == nil {
+		t.Error("missing user param accepted")
+	}
+	if _, err := client.Notifications(ctx, ""); err == nil {
+		t.Error("missing user param accepted")
+	}
+	// Bad k.
+	if err := client.do(ctx, "POST", "/v1/requests/occupancy?k=zero", RequestToDTO(enforce.Request{Kind: "x", Purpose: "p"}), nil); err == nil {
+		t.Error("bad k accepted")
+	}
+	// Malformed JSON body.
+	if err := client.do(ctx, "PUT", "/v1/preferences", "not a preference", nil); err == nil {
+		t.Error("malformed body accepted")
+	}
+}
+
+// TestClientIsPreferenceSink verifies the client satisfies
+// iota.PreferenceSink, wiring assistant-to-remote-building
+// configuration.
+func TestClientIsPreferenceSink(t *testing.T) {
+	var _ iota.PreferenceSink = (*Client)(nil)
+
+	_, client := newServer(t)
+	a, err := iota.New(iota.Config{
+		UserID: "mary",
+		Sink:   client,
+		Clock:  func() time.Time { return testNow },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := policy.Figure2Document().Resources[0]
+	res.Purpose.ServiceID = "concierge"
+	// Train the model to object, then auto-configure through HTTP.
+	for i := 0; i < 20; i++ {
+		a.Model().Learn(iota.FeaturesOf(res), true)
+	}
+	g, ok, err := a.AutoConfigure(res, 0.5)
+	if err != nil || !ok || g != policy.GranNone {
+		t.Fatalf("auto-configure over HTTP = %v, %v, %v", g, ok, err)
+	}
+	ctx := context.Background()
+	prefs, err := client.Preferences(ctx, "mary")
+	if err != nil || len(prefs) != 1 {
+		t.Fatalf("remote prefs = %+v, %v", prefs, err)
+	}
+	if prefs[0].Rule.Action != "deny" {
+		t.Errorf("remote pref = %+v", prefs[0])
+	}
+}
+
+func TestAuditOverHTTP(t *testing.T) {
+	bms, client := newServer(t)
+	ctx := context.Background()
+	if err := bms.RegisterPolicy(policy.Policy2EmergencyLocation("dbh")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Ingest(ctx, []ObservationDTO{wifiObs("aa:00:00:00:00:01", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetPreference(policy.CoarseLocationPreference("mary", "concierge")); err != nil {
+		t.Fatal(err)
+	}
+	report, err := client.Audit(ctx, "mary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.UserID != "mary" || report.Preferences != 1 {
+		t.Errorf("report = %+v", report)
+	}
+	if len(report.Entries) == 0 {
+		t.Fatal("no entries")
+	}
+	found := false
+	for _, e := range report.Entries {
+		if e.ServiceID == "concierge" && e.Kind == "wifi_access_point" {
+			found = true
+			if !e.Allowed || e.Granularity != "building" || e.StoredObservations != 1 {
+				t.Errorf("concierge entry = %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("concierge wifi entry missing: %+v", report.Entries)
+	}
+	if _, err := client.Audit(ctx, "ghost"); err == nil {
+		t.Error("unknown user audited")
+	}
+	if _, err := client.Audit(ctx, ""); err == nil {
+		t.Error("empty user accepted")
+	}
+}
+
+func TestForgetUserOverHTTP(t *testing.T) {
+	_, client := newServer(t)
+	ctx := context.Background()
+	if _, err := client.Ingest(ctx, []ObservationDTO{wifiObs("aa:00:00:00:00:01", 0), wifiObs("aa:00:00:00:00:01", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	deleted, retained, err := client.ForgetUser(ctx, "mary")
+	if err != nil || deleted != 2 || retained != 0 {
+		t.Fatalf("ForgetUser = (%d, %d), %v", deleted, retained, err)
+	}
+	if _, _, err := client.ForgetUser(ctx, "ghost"); err == nil {
+		t.Error("unknown user forgotten over HTTP")
+	}
+}
+
+func TestDTORoundTrips(t *testing.T) {
+	pref := policy.Preference{
+		ID: "p1", UserID: "mary", Name: "n",
+		Scope: policy.Scope{
+			SpaceID:    "dbh/1",
+			SensorType: sensor.TypeWiFiAP,
+			ObsKind:    sensor.ObsWiFiConnect,
+			Purposes:   []policy.Purpose{policy.PurposeProvidingService},
+			ServiceID:  "concierge",
+			Window:     policy.AfterHours,
+		},
+		Rule:   policy.Rule{Action: policy.ActionLimit, MaxGranularity: policy.GranFloor, NoiseEpsilon: 0.5, MinAggregationK: 2},
+		Source: "explicit",
+	}
+	got, err := PreferenceFromDTO(PreferenceToDTO(pref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", pref) {
+		t.Errorf("preference round trip:\n got %+v\nwant %+v", got, pref)
+	}
+
+	req := enforce.Request{
+		ServiceID: "s", Purpose: policy.PurposeSecurity, Kind: sensor.ObsBLESighting,
+		SubjectID: "u", SpaceID: "dbh", Granularity: policy.GranRoom,
+		Time: testNow, From: testNow.Add(-time.Hour), To: testNow,
+	}
+	gotReq, err := RequestFromDTO(RequestToDTO(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq != req {
+		t.Errorf("request round trip:\n got %+v\nwant %+v", gotReq, req)
+	}
+
+	if _, err := RequestFromDTO(RequestDTO{Granularity: "street"}); err == nil {
+		t.Error("bad granularity accepted")
+	}
+	if _, err := PreferenceFromDTO(PreferenceDTO{Scope: ScopeDTO{SensorType: "Quantum"}, Rule: RuleDTO{Action: "allow"}}); err == nil {
+		t.Error("bad sensor type accepted")
+	}
+	if _, err := PreferenceFromDTO(PreferenceDTO{Rule: RuleDTO{Action: "allow", MaxGranularity: "street"}}); err == nil {
+		t.Error("bad rule granularity accepted")
+	}
+}

@@ -1,0 +1,279 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/tippers/tippers/internal/core"
+)
+
+// maxBodyBytes bounds request bodies; policy documents and batches
+// are small, and an unbounded read is a trivial DoS vector.
+const maxBodyBytes = 10 << 20
+
+// Server wraps a BMS with the TIPPERS REST API:
+//
+//	GET    /v1/policies                  list building policies
+//	GET    /v1/preferences?user=U        list a user's preferences
+//	PUT    /v1/preferences               set (install/replace) a preference
+//	DELETE /v1/preferences/{id}          remove a preference
+//	GET    /v1/notifications?user=U      drain a user's notification inbox
+//	GET    /v1/conflicts                 list resolved conflicts
+//	POST   /v1/observations              ingest a batch of observations
+//	POST   /v1/requests/user             single-subject data request
+//	POST   /v1/requests/occupancy?k=K    aggregate occupancy request
+//	GET    /v1/stats                     pipeline counters
+type Server struct {
+	bms *core.BMS
+}
+
+// NewServer wraps a BMS.
+func NewServer(bms *core.BMS) *Server {
+	return &Server{bms: bms}
+}
+
+// Handler returns the API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	mux.HandleFunc("GET /v1/preferences", s.handleListPreferences)
+	mux.HandleFunc("PUT /v1/preferences", s.handleSetPreference)
+	mux.HandleFunc("DELETE /v1/preferences/{id}", s.handleDeletePreference)
+	mux.HandleFunc("GET /v1/notifications", s.handleNotifications)
+	mux.HandleFunc("GET /v1/conflicts", s.handleConflicts)
+	mux.HandleFunc("POST /v1/observations", s.handleIngest)
+	mux.HandleFunc("POST /v1/requests/user", s.handleRequestUser)
+	mux.HandleFunc("POST /v1/requests/occupancy", s.handleRequestOccupancy)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/settings", s.handleSettings)
+	mux.HandleFunc("POST /v1/settings", s.handleSettings)
+	mux.HandleFunc("GET /v1/audit", s.handleAudit)
+	mux.HandleFunc("DELETE /v1/users/{id}/data", s.handleForget)
+	return mux
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func readJSON(w http.ResponseWriter, req *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, req *http.Request) {
+	pols := s.bms.Policies()
+	out := make([]PolicyDTO, 0, len(pols))
+	for _, p := range pols {
+		out = append(out, PolicyToDTO(p))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleListPreferences(w http.ResponseWriter, req *http.Request) {
+	user := req.URL.Query().Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing user parameter"))
+		return
+	}
+	prefs := s.bms.Preferences(user)
+	out := make([]PreferenceDTO, 0, len(prefs))
+	for _, p := range prefs {
+		out = append(out, PreferenceToDTO(p))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSetPreference(w http.ResponseWriter, req *http.Request) {
+	var dto PreferenceDTO
+	if !readJSON(w, req, &dto) {
+		return
+	}
+	pref, err := PreferenceFromDTO(dto)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.bms.SetPreference(pref); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dto)
+}
+
+func (s *Server) handleDeletePreference(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if !s.bms.RemovePreference(id) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no preference %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleNotifications(w http.ResponseWriter, req *http.Request) {
+	user := req.URL.Query().Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing user parameter"))
+		return
+	}
+	notifs := s.bms.FetchNotifications(user)
+	out := make([]NotificationDTO, 0, len(notifs))
+	for _, n := range notifs {
+		out = append(out, notificationToDTO(n))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ConflictDTO is the wire form of a resolved conflict.
+type ConflictDTO struct {
+	Kind              string `json:"kind"`
+	PolicyID          string `json:"policy_id,omitempty"`
+	PreferenceID      string `json:"preference_id,omitempty"`
+	OtherPreferenceID string `json:"other_preference_id,omitempty"`
+	UserID            string `json:"user_id,omitempty"`
+	Winner            string `json:"winner"`
+	OverrideApplied   bool   `json:"override_applied,omitempty"`
+	Explanation       string `json:"explanation,omitempty"`
+}
+
+func (s *Server) handleConflicts(w http.ResponseWriter, req *http.Request) {
+	conflicts := s.bms.Conflicts()
+	out := make([]ConflictDTO, 0, len(conflicts))
+	for _, c := range conflicts {
+		out = append(out, ConflictDTO{
+			Kind:              c.Kind.String(),
+			PolicyID:          c.PolicyID,
+			PreferenceID:      c.PreferenceID,
+			OtherPreferenceID: c.OtherPreferenceID,
+			UserID:            c.UserID,
+			Winner:            c.Resolution.Winner,
+			OverrideApplied:   c.Resolution.OverrideApplied,
+			Explanation:       c.Resolution.Explanation,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ingestResult reports a batch ingest outcome.
+type ingestResult struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
+	var batch []ObservationDTO
+	if !readJSON(w, req, &batch) {
+		return
+	}
+	accepted := 0
+	for _, dto := range batch {
+		if err := s.bms.Ingest(ObservationFromDTO(dto)); err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, ingestResult{Accepted: accepted, Error: err.Error()})
+			return
+		}
+		accepted++
+	}
+	writeJSON(w, http.StatusOK, ingestResult{Accepted: accepted})
+}
+
+func (s *Server) handleRequestUser(w http.ResponseWriter, req *http.Request) {
+	var dto RequestDTO
+	if !readJSON(w, req, &dto) {
+		return
+	}
+	r, err := RequestFromDTO(dto)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.bms.RequestUser(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, responseToDTO(resp))
+}
+
+func (s *Server) handleRequestOccupancy(w http.ResponseWriter, req *http.Request) {
+	var dto RequestDTO
+	if !readJSON(w, req, &dto) {
+		return
+	}
+	r, err := RequestFromDTO(dto)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	k := 1
+	if kStr := req.URL.Query().Get("k"); kStr != "" {
+		k, err = strconv.Atoi(kStr)
+		if err != nil || k < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid k %q", kStr))
+			return
+		}
+	}
+	resp, err := s.bms.RequestOccupancy(r, k)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, responseToDTO(resp))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, statsToDTO(s.bms.Stats()))
+}
+
+// forgetResult reports an erasure outcome.
+type forgetResult struct {
+	Deleted  int `json:"deleted"`
+	Retained int `json:"retained"`
+}
+
+func (s *Server) handleForget(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	deleted, retained, err := s.bms.ForgetUser(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, forgetResult{Deleted: deleted, Retained: retained})
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, req *http.Request) {
+	user := req.URL.Query().Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing user parameter"))
+		return
+	}
+	report, err := s.bms.AuditUser(user, time.Time{})
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, auditToDTO(report))
+}

@@ -1,0 +1,159 @@
+package httpapi
+
+import (
+	"context"
+
+	"io"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// settingsGET hits the settings endpoint directly, the way a Figure 4
+// "on" URL would be activated from a browser or assistant.
+func settingsGET(t *testing.T, base, query string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/settings?" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestSettingsEndpointFigure4Ladder(t *testing.T) {
+	bms, client := newServer(t)
+	base := client.base
+	ctx := context.Background()
+
+	// Ingest one sighting so released granularity is observable.
+	if _, err := client.Ingest(ctx, []ObservationDTO{wifiObs("aa:00:00:00:00:01", 0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	request := func() DecisionDTO {
+		resp, err := client.RequestUser(ctx, enforce.Request{
+			ServiceID: "concierge", Purpose: policy.PurposeProvidingService,
+			Kind: sensor.ObsWiFiConnect, SubjectID: "mary", Time: testNow,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Decision
+	}
+
+	// Option 3: opt-out.
+	if resp, body := settingsGET(t, base, "user=mary&wifi=opt-out"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("opt-out: %s %s", resp.Status, body)
+	}
+	if d := request(); d.Allowed {
+		t.Errorf("opt-out not enforced: %+v", d)
+	}
+
+	// Option 2: coarse (same preference ID: replaces the opt-out).
+	if resp, body := settingsGET(t, base, "user=mary&wifi=opt-in&granularity=coarse"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("coarse: %s %s", resp.Status, body)
+	}
+	if d := request(); !d.Allowed || d.Granularity != "building" {
+		t.Errorf("coarse not enforced: %+v", d)
+	}
+
+	// Option 1: fine.
+	if resp, body := settingsGET(t, base, "user=mary&wifi=opt-in&granularity=fine"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fine: %s %s", resp.Status, body)
+	}
+	if d := request(); !d.Allowed || d.Granularity != "exact" {
+		t.Errorf("fine not enforced: %+v", d)
+	}
+
+	// Exactly one settings preference exists (the ladder replaces).
+	prefs := bms.Preferences("mary")
+	if len(prefs) != 1 {
+		t.Errorf("preferences = %+v, want 1 (options replace one another)", prefs)
+	}
+}
+
+func TestSettingsEndpointServiceScoped(t *testing.T) {
+	bms, client := newServer(t)
+	if resp, body := settingsGET(t, client.base, "user=mary&wifi=opt-out&service=concierge"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s %s", resp.Status, body)
+	}
+	prefs := bms.Preferences("mary")
+	if len(prefs) != 1 || prefs[0].Scope.ServiceID != "concierge" {
+		t.Fatalf("prefs = %+v", prefs)
+	}
+}
+
+func TestSettingsEndpointViaAdvertisedURL(t *testing.T) {
+	// Full loop: take the Figure 4 option's "on" URL verbatim,
+	// rewrite its host to the live server, and activate it.
+	_, client := newServer(t)
+	ladder := policy.LocationSettingLadder(client.base + "/v1/settings")
+	for i, opt := range ladder.Select {
+		u, err := url.Parse(opt.On)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := u.Query()
+		q.Set("user", "mary")
+		u.RawQuery = q.Encode()
+		resp, err := http.Get(u.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("option %d (%s): %s", i, opt.Description, resp.Status)
+		}
+	}
+}
+
+func TestSettingsEndpointErrors(t *testing.T) {
+	_, client := newServer(t)
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"wifi=opt-out", http.StatusBadRequest},                             // no user
+		{"user=mary&wifi=sideways", http.StatusBadRequest},                  // bad wifi value
+		{"user=mary&wifi=opt-in&granularity=street", http.StatusBadRequest}, // bad granularity
+		{"user=ghost&wifi=opt-out", http.StatusUnprocessableEntity},         // unknown user
+	}
+	for _, tc := range cases {
+		resp, body := settingsGET(t, client.base, tc.query)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: got %s (%s), want %d", tc.query, resp.Status, body, tc.want)
+		}
+	}
+}
+
+func TestPreferenceFromSettingsQueryUnits(t *testing.T) {
+	p, label, err := preferenceFromSettingsQuery("mary", "opt-in", "none", "", "")
+	if err != nil || p.Rule.Action != policy.ActionDeny {
+		t.Errorf("opt-in+none = %+v (%s), %v; want deny", p.Rule, label, err)
+	}
+	p, _, err = preferenceFromSettingsQuery("mary", "", "", "svc", "bluetooth_beacon")
+	if err != nil || p.Rule.Action != policy.ActionAllow || p.Scope.ObsKind != sensor.ObsBLESighting {
+		t.Errorf("default = %+v, %v", p, err)
+	}
+	a, _, _ := preferenceFromSettingsQuery("mary", "opt-in", "fine", "svc", "")
+	b, _, _ := preferenceFromSettingsQuery("mary", "opt-out", "", "svc", "")
+	if a.ID != b.ID {
+		t.Error("ladder options must share a preference ID to replace one another")
+	}
+	c, _, _ := preferenceFromSettingsQuery("mary", "opt-out", "", "", "")
+	if c.ID == a.ID {
+		t.Error("service-scoped and global settings must not collide")
+	}
+	if _, _, err := preferenceFromSettingsQuery("mary", "opt-in", "nonsense", "", ""); err == nil {
+		t.Error("bad granularity accepted")
+	}
+}

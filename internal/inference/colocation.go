@@ -1,0 +1,117 @@
+package inference
+
+import (
+	"sort"
+	"time"
+
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// This file implements the social-tie attack in the paper's §II.A
+// threat list: raw building data reveals "when and with whom they
+// spend time" — the Eagle & Pentland "reality mining" result the
+// paper cites. Two subjects repeatedly observed in the same room
+// during the same interval are inferred to spend time together.
+
+// Tie is one inferred social connection.
+type Tie struct {
+	A, B string
+	// SharedIntervals is the number of (room, interval) buckets both
+	// subjects appeared in.
+	SharedIntervals int
+}
+
+// CoLocation mines ties from location-bearing observations: subjects
+// are bucketed by (room, interval); every pair sharing at least
+// minShared buckets becomes a tie. Ties are sorted by strength
+// descending, then lexicographically. interval zero selects 15
+// minutes.
+func CoLocation(obs []sensor.Observation, subjectKey func(sensor.Observation) string, interval time.Duration, minShared int) []Tie {
+	if interval <= 0 {
+		interval = 15 * time.Minute
+	}
+	if minShared < 1 {
+		minShared = 1
+	}
+	// (room, bucket) -> distinct subjects.
+	type cell struct {
+		room   string
+		bucket int64
+	}
+	cells := make(map[cell]map[string]bool)
+	for _, o := range obs {
+		if o.SpaceID == "" {
+			continue
+		}
+		if o.Kind != sensor.ObsWiFiConnect && o.Kind != sensor.ObsBLESighting {
+			continue
+		}
+		subj := subjectKey(o)
+		if subj == "" {
+			continue
+		}
+		c := cell{room: o.SpaceID, bucket: o.Time.UnixNano() / int64(interval)}
+		if cells[c] == nil {
+			cells[c] = make(map[string]bool)
+		}
+		cells[c][subj] = true
+	}
+
+	pairCounts := make(map[[2]string]int)
+	for _, subjects := range cells {
+		if len(subjects) < 2 {
+			continue
+		}
+		list := make([]string, 0, len(subjects))
+		for s := range subjects {
+			list = append(list, s)
+		}
+		sort.Strings(list)
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				pairCounts[[2]string{list[i], list[j]}]++
+			}
+		}
+	}
+
+	var out []Tie
+	for pair, n := range pairCounts {
+		if n >= minShared {
+			out = append(out, Tie{A: pair[0], B: pair[1], SharedIntervals: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SharedIntervals != out[j].SharedIntervals {
+			return out[i].SharedIntervals > out[j].SharedIntervals
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// TieOverlap measures how well inferred ties match a reference set:
+// the fraction of the strongest min(k, len(truth)) reference ties
+// recovered among the attacker's top k. Both slices must be sorted by
+// strength (as CoLocation returns).
+func TieOverlap(inferred, truth []Tie, k int) float64 {
+	if k <= 0 || len(truth) == 0 {
+		return 0
+	}
+	if k > len(truth) {
+		k = len(truth)
+	}
+	want := make(map[[2]string]bool, k)
+	for i := 0; i < k && i < len(truth); i++ {
+		want[[2]string{truth[i].A, truth[i].B}] = true
+	}
+	hit := 0
+	for i := 0; i < k && i < len(inferred); i++ {
+		if want[[2]string{inferred[i].A, inferred[i].B}] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}

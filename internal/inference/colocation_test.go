@@ -1,0 +1,130 @@
+package inference
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/privacy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+func obsAt(user, room string, minute int) sensor.Observation {
+	return sensor.Observation{
+		SensorID: "src",
+		Kind:     sensor.ObsBLESighting,
+		SpaceID:  room,
+		UserID:   user,
+		Time:     day0.Add(time.Duration(minute) * time.Minute),
+	}
+}
+
+func TestCoLocationFindsPairs(t *testing.T) {
+	var obs []sensor.Observation
+	// alice and bob share room r1 across three intervals.
+	for _, m := range []int{0, 20, 40} {
+		obs = append(obs, obsAt("alice", "r1", m), obsAt("bob", "r1", m+1))
+	}
+	// carol is in r1 once only.
+	obs = append(obs, obsAt("carol", "r1", 0))
+	// dave is always elsewhere.
+	obs = append(obs, obsAt("dave", "r2", 0), obsAt("dave", "r2", 20))
+
+	ties := CoLocation(obs, ByUserID, 15*time.Minute, 2)
+	if len(ties) != 1 {
+		t.Fatalf("ties = %+v, want exactly alice-bob", ties)
+	}
+	if ties[0].A != "alice" || ties[0].B != "bob" || ties[0].SharedIntervals != 3 {
+		t.Errorf("tie = %+v", ties[0])
+	}
+	// With minShared 1, carol joins (one shared bucket with both).
+	ties = CoLocation(obs, ByUserID, 15*time.Minute, 1)
+	if len(ties) != 3 {
+		t.Errorf("minShared=1 ties = %+v, want 3 pairs", ties)
+	}
+	// Strongest tie first.
+	if ties[0].SharedIntervals < ties[len(ties)-1].SharedIntervals {
+		t.Error("ties not sorted by strength")
+	}
+}
+
+func TestCoLocationIgnoresUselessSignals(t *testing.T) {
+	obs := []sensor.Observation{
+		{Kind: sensor.ObsPowerReading, SpaceID: "r1", UserID: "a", Time: day0},
+		{Kind: sensor.ObsBLESighting, SpaceID: "", UserID: "a", Time: day0},
+		{Kind: sensor.ObsBLESighting, SpaceID: "r1", UserID: "", Time: day0},
+	}
+	if ties := CoLocation(obs, ByUserID, 0, 1); len(ties) != 0 {
+		t.Errorf("ties from useless signals: %+v", ties)
+	}
+}
+
+func TestTieOverlap(t *testing.T) {
+	truth := []Tie{{A: "a", B: "b", SharedIntervals: 9}, {A: "c", B: "d", SharedIntervals: 5}}
+	perfect := TieOverlap(truth, truth, 2)
+	if perfect != 1 {
+		t.Errorf("self overlap = %v", perfect)
+	}
+	miss := []Tie{{A: "x", B: "y", SharedIntervals: 7}, {A: "c", B: "d", SharedIntervals: 5}}
+	if got := TieOverlap(miss, truth, 2); got != 0.5 {
+		t.Errorf("half overlap = %v", got)
+	}
+	if got := TieOverlap(nil, truth, 2); got != 0 {
+		t.Errorf("empty inferred = %v", got)
+	}
+	if got := TieOverlap(truth, nil, 2); got != 0 {
+		t.Errorf("empty truth = %v", got)
+	}
+}
+
+// TestCoLocationOnSimulatedDay: the attack recovers the ground-truth
+// co-presence structure from raw data, and coarsening destroys the
+// room-level signal (everyone is "in the building", so ties become
+// meaningless noise covering the whole population).
+func TestCoLocationOnSimulatedDay(t *testing.T) {
+	b, _, res, obs := simulated(t, 40)
+
+	// Ground truth: ties computed from the traces themselves.
+	var truthObs []sensor.Observation
+	for id, tr := range res.Traces {
+		for _, stay := range tr.Stays {
+			for ts := stay.Start; ts.Before(stay.End); ts = ts.Add(15 * time.Minute) {
+				truthObs = append(truthObs, sensor.Observation{
+					Kind: sensor.ObsBLESighting, SpaceID: stay.SpaceID, UserID: id, Time: ts,
+				})
+			}
+		}
+	}
+	truth := CoLocation(truthObs, ByUserID, 15*time.Minute, 4)
+	if len(truth) == 0 {
+		t.Skip("no strong ground-truth ties at this seed")
+	}
+
+	raw := CoLocation(obs, ByUserID, 15*time.Minute, 4)
+	if got := TieOverlap(raw, truth, 10); got < 0.5 {
+		t.Errorf("raw-data tie recovery = %.2f, want >= 0.5", got)
+	}
+
+	// Coarsened release: every tie collapses to "same building".
+	var coarse []sensor.Observation
+	for _, o := range obs {
+		c, ok := privacy.CoarsenLocation(o, policy.GranBuilding, b.Spaces)
+		if ok {
+			coarse = append(coarse, c)
+		}
+	}
+	coarseTies := CoLocation(coarse, ByUserID, 15*time.Minute, 4)
+	// The only room left is the building itself: ties are no longer
+	// room-level evidence. Every pair present at the same time ties,
+	// so precision against room-level truth collapses.
+	distinctRooms := map[string]bool{}
+	for _, o := range coarse {
+		distinctRooms[o.SpaceID] = true
+	}
+	if len(distinctRooms) != 1 {
+		t.Fatalf("coarsening left %d distinct spaces", len(distinctRooms))
+	}
+	if len(coarseTies) <= len(raw) {
+		t.Logf("coarse ties %d vs raw %d (building-level ties are indiscriminate)", len(coarseTies), len(raw))
+	}
+}

@@ -1,0 +1,280 @@
+// Package inference implements the privacy attacks the paper's §II.A
+// warns about: from raw building observations it derives real-time
+// location, room occupancy, daily working patterns, occupant roles
+// ("using simple heuristics ... it is possible to infer whether a
+// given user is a member of the staff or a student"), and identity
+// links between anonymous devices and named occupants via background
+// knowledge (office assignments).
+//
+// The attacks operate on observation slices, so the same code runs
+// against the raw store (demonstrating the threat) and against
+// enforcement-released views (measuring the mitigation) — experiment
+// E5.
+package inference
+
+import (
+	"sort"
+	"time"
+
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// LocateAt returns the subject's inferred location at time t: the
+// space of their most recent location-bearing observation at or
+// before t (within staleness). This is the paper's "it is possible to
+// infer the real-time location of a user" from AP logs plus AP
+// placement.
+func LocateAt(obs []sensor.Observation, subjectKey func(sensor.Observation) string, subject string, t time.Time, staleness time.Duration) (string, bool) {
+	var best *sensor.Observation
+	for i := range obs {
+		o := &obs[i]
+		if subjectKey(*o) != subject || o.SpaceID == "" {
+			continue
+		}
+		if o.Kind != sensor.ObsWiFiConnect && o.Kind != sensor.ObsBLESighting {
+			continue
+		}
+		if o.Time.After(t) {
+			continue
+		}
+		if best == nil || o.Time.After(best.Time) {
+			best = o
+		}
+	}
+	if best == nil || t.Sub(best.Time) > staleness {
+		return "", false
+	}
+	return best.SpaceID, true
+}
+
+// ByUserID keys observations by their attributed user.
+func ByUserID(o sensor.Observation) string { return o.UserID }
+
+// ByDeviceMAC keys observations by device identifier (works on
+// pseudonymized streams too — pseudonyms are stable).
+func ByDeviceMAC(o sensor.Observation) string { return o.DeviceMAC }
+
+// OccupiedDuring reports whether any subject was observed in the
+// space during [from, to) — the Preference 1 threat: "using the data
+// collected based on Policy 1 it is possible to discover whether
+// someone's office is occupied or not."
+func OccupiedDuring(obs []sensor.Observation, spaceID string, from, to time.Time) bool {
+	for _, o := range obs {
+		if o.SpaceID != spaceID {
+			continue
+		}
+		if o.Kind != sensor.ObsWiFiConnect && o.Kind != sensor.ObsBLESighting && o.Kind != sensor.ObsMotionEvent {
+			continue
+		}
+		if !o.Time.Before(from) && o.Time.Before(to) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pattern is one subject's extracted working pattern.
+type Pattern struct {
+	Subject string
+	// FirstSeen and LastSeen are mean minutes-since-midnight of the
+	// subject's first and last sighting per observed day.
+	FirstSeen float64
+	LastSeen  float64
+	// Days is how many distinct days contributed.
+	Days int
+	// ClassroomFraction is the fraction of sightings inside spaces
+	// classified as classrooms (supplied by the caller).
+	ClassroomFraction float64
+}
+
+// ExtractPatterns mines per-subject working patterns from
+// location-bearing observations. isClassroom may be nil.
+func ExtractPatterns(obs []sensor.Observation, subjectKey func(sensor.Observation) string, isClassroom func(spaceID string) bool) map[string]Pattern {
+	type dayAgg struct {
+		first, last time.Time
+	}
+	perSubject := make(map[string]map[string]*dayAgg)
+	classTotal := make(map[string]int)
+	classHits := make(map[string]int)
+	for _, o := range obs {
+		if o.Kind != sensor.ObsWiFiConnect && o.Kind != sensor.ObsBLESighting {
+			continue
+		}
+		subj := subjectKey(o)
+		if subj == "" {
+			continue
+		}
+		day := o.Time.Format("2006-01-02")
+		if perSubject[subj] == nil {
+			perSubject[subj] = make(map[string]*dayAgg)
+		}
+		agg := perSubject[subj][day]
+		if agg == nil {
+			agg = &dayAgg{first: o.Time, last: o.Time}
+			perSubject[subj][day] = agg
+		} else {
+			if o.Time.Before(agg.first) {
+				agg.first = o.Time
+			}
+			if o.Time.After(agg.last) {
+				agg.last = o.Time
+			}
+		}
+		if o.SpaceID != "" {
+			classTotal[subj]++
+			if isClassroom != nil && isClassroom(o.SpaceID) {
+				classHits[subj]++
+			}
+		}
+	}
+	out := make(map[string]Pattern, len(perSubject))
+	for subj, days := range perSubject {
+		var firstSum, lastSum float64
+		for _, agg := range days {
+			firstSum += float64(agg.first.Hour()*60 + agg.first.Minute())
+			lastSum += float64(agg.last.Hour()*60 + agg.last.Minute())
+		}
+		n := float64(len(days))
+		p := Pattern{
+			Subject:   subj,
+			FirstSeen: firstSum / n,
+			LastSeen:  lastSum / n,
+			Days:      len(days),
+		}
+		if classTotal[subj] > 0 {
+			p.ClassroomFraction = float64(classHits[subj]) / float64(classTotal[subj])
+		}
+		out[subj] = p
+	}
+	return out
+}
+
+// ClassifyRole applies the paper's §II.A heuristics to a pattern:
+// early arrival and pre-5pm departure marks staff; late departure
+// marks graduate students; classroom-dominated presence marks
+// undergrads; the remainder defaults to faculty.
+func ClassifyRole(p Pattern) profile.Group {
+	switch {
+	case p.ClassroomFraction > 0.5:
+		return profile.GroupUndergrad
+	case p.FirstSeen < 8*60 && p.LastSeen < 17*60+30:
+		return profile.GroupStaff
+	case p.LastSeen > 19*60:
+		return profile.GroupGradStudent
+	default:
+		return profile.GroupFaculty
+	}
+}
+
+// RoleAccuracy scores classified roles against ground truth, returning
+// (accuracy, evaluated count). Subjects missing from truth are
+// skipped.
+func RoleAccuracy(patterns map[string]Pattern, truth map[string]profile.Group) (float64, int) {
+	correct, n := 0, 0
+	for subj, p := range patterns {
+		want, ok := truth[subj]
+		if !ok {
+			continue
+		}
+		n++
+		if ClassifyRole(p) == want {
+			correct++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(n), n
+}
+
+// MajorityBaseline returns the accuracy of always guessing the most
+// common role in truth — the floor an effective mitigation should
+// push the attack toward.
+func MajorityBaseline(truth map[string]profile.Group) float64 {
+	counts := make(map[profile.Group]int)
+	for _, g := range truth {
+		counts[g]++
+	}
+	best, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > best {
+			best = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(best) / float64(total)
+}
+
+// LinkIdentities attributes anonymous device identifiers to named
+// occupants using background knowledge: the space each subject
+// frequents most is assumed to be their office, and office ownership
+// is public (§II.A: "by integrating this with publicly available
+// information ... it would be possible to identify individuals").
+// ownerOf maps a space to its known owners. The result maps device
+// key to the guessed user ID.
+func LinkIdentities(obs []sensor.Observation, deviceKey func(sensor.Observation) string, ownerOf func(spaceID string) []string) map[string]string {
+	// Count sightings per (device, space).
+	counts := make(map[string]map[string]int)
+	for _, o := range obs {
+		dev := deviceKey(o)
+		if dev == "" || o.SpaceID == "" {
+			continue
+		}
+		if o.Kind != sensor.ObsWiFiConnect && o.Kind != sensor.ObsBLESighting {
+			continue
+		}
+		if counts[dev] == nil {
+			counts[dev] = make(map[string]int)
+		}
+		counts[dev][o.SpaceID]++
+	}
+	out := make(map[string]string)
+	for dev, spaces := range counts {
+		type sc struct {
+			space string
+			n     int
+		}
+		ranked := make([]sc, 0, len(spaces))
+		for s, n := range spaces {
+			ranked = append(ranked, sc{s, n})
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].n != ranked[j].n {
+				return ranked[i].n > ranked[j].n
+			}
+			return ranked[i].space < ranked[j].space
+		})
+		for _, cand := range ranked {
+			owners := ownerOf(cand.space)
+			if len(owners) == 1 {
+				out[dev] = owners[0]
+				break
+			}
+		}
+	}
+	return out
+}
+
+// LinkAccuracy scores identity links against the true device-to-user
+// mapping.
+func LinkAccuracy(links map[string]string, truth map[string]string) (float64, int) {
+	correct, n := 0, 0
+	for dev, want := range truth {
+		guess, ok := links[dev]
+		if !ok {
+			continue
+		}
+		n++
+		if guess == want {
+			correct++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(n), n
+}

@@ -1,0 +1,259 @@
+package inference
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/privacy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/sim"
+)
+
+var day0 = time.Date(2017, time.June, 7, 0, 0, 0, 0, time.UTC)
+
+// simulated returns a small simulated day with attributed
+// observations (as the BMS would store them after ingest).
+func simulated(t testing.TB, users int) (*sim.Building, *profile.Directory, sim.DayResult, []sensor.Observation) {
+	t.Helper()
+	b, err := sim.SmallDBH().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := sim.GeneratePopulation(b, users, sim.CampusMix(), 61)
+	res := sim.SimulateDay(b, dir, sim.DayConfig{Date: day0, Seed: 67})
+	// Attribute as ingest would: MAC -> user, space from sensor.
+	var attributed []sensor.Observation
+	for _, o := range res.Observations {
+		if s, ok := b.Sensors.Get(o.SensorID); ok && o.SpaceID == "" {
+			o.SpaceID = s.SpaceID
+		}
+		if u, ok := dir.LookupMAC(o.DeviceMAC); ok {
+			o.UserID = u.ID
+		}
+		attributed = append(attributed, o)
+	}
+	return b, dir, res, attributed
+}
+
+func TestLocateAt(t *testing.T) {
+	b, _, res, obs := simulated(t, 30)
+	// Location inference from network logs is sensor-granularity: the
+	// inferred space is either the stay's room (beacon sighting) or
+	// the space of the AP the device associated with. Check every
+	// user so the assertion is deterministic.
+	checked := 0
+	for userID, tr := range res.Traces {
+		if len(tr.Stays) == 0 {
+			continue
+		}
+		stay := tr.Stays[0]
+		mid := stay.Start.Add(stay.End.Sub(stay.Start) / 2)
+		got, ok := LocateAt(obs, ByUserID, userID, mid, 2*time.Hour)
+		if !ok {
+			t.Fatalf("LocateAt(%s) found nothing", userID)
+		}
+		expected := map[string]bool{stay.SpaceID: true}
+		if apID, found := b.APFor(stay.SpaceID); found {
+			if ap, found := b.Sensors.Get(apID); found {
+				expected[ap.SpaceID] = true
+			}
+		}
+		if !expected[got] {
+			t.Errorf("LocateAt(%s) = %s, want one of %v", userID, got, expected)
+		}
+		// Before arrival: nothing.
+		if _, ok := LocateAt(obs, ByUserID, userID, tr.Arrival().Add(-time.Hour), 30*time.Minute); ok {
+			t.Errorf("located %s before arrival", userID)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no traces to check")
+	}
+	if _, ok := LocateAt(obs, ByUserID, "nobody", day0.Add(12*time.Hour), time.Hour); ok {
+		t.Error("located unknown subject")
+	}
+}
+
+func TestOccupiedDuring(t *testing.T) {
+	b, _, res, obs := simulated(t, 30)
+	// Occupancy detection needs an in-room signal source; assert only
+	// for stays in rooms that have their own beacon or AP, checking
+	// every such stay deterministically.
+	hasInRoomSensor := func(space string) bool {
+		if len(b.BeaconsIn(space)) > 0 {
+			return true
+		}
+		for _, s := range b.Sensors.InSpace(space) {
+			if s.Type.String() == "WiFi Access Point" {
+				return true
+			}
+		}
+		return false
+	}
+	checked := 0
+	for _, tr := range res.Traces {
+		for _, stay := range tr.Stays {
+			if !hasInRoomSensor(stay.SpaceID) {
+				continue
+			}
+			if !OccupiedDuring(obs, stay.SpaceID, stay.Start, stay.End) {
+				t.Errorf("stay in %s (%v-%v) not detected", stay.SpaceID, stay.Start, stay.End)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no covered stays to check")
+	}
+	// 3am: the whole building is empty.
+	for _, rooms := range b.RoomIDs {
+		for _, room := range rooms {
+			if OccupiedDuring(obs, room, day0.Add(3*time.Hour), day0.Add(4*time.Hour)) {
+				t.Errorf("space %s occupied at 3am", room)
+			}
+		}
+	}
+}
+
+func TestRoleInferenceOnRawData(t *testing.T) {
+	b, dir, res, obs := simulated(t, 150)
+	classrooms := map[string]bool{}
+	for _, c := range b.Classrooms {
+		classrooms[c] = true
+	}
+	patterns := ExtractPatterns(obs, ByUserID, func(s string) bool { return classrooms[s] })
+	truth := make(map[string]profile.Group)
+	for id, tr := range res.Traces {
+		truth[id] = tr.Group
+	}
+	_ = dir
+	acc, n := RoleAccuracy(patterns, truth)
+	if n < 100 {
+		t.Fatalf("evaluated only %d subjects", n)
+	}
+	base := MajorityBaseline(truth)
+	if acc <= base+0.1 {
+		t.Errorf("attack accuracy %.2f not meaningfully above baseline %.2f — the §II.A threat should be real on raw data", acc, base)
+	}
+}
+
+func TestRoleInferenceCollapsesOnCoarsenedData(t *testing.T) {
+	b, _, res, obs := simulated(t, 150)
+	classrooms := map[string]bool{}
+	for _, c := range b.Classrooms {
+		classrooms[c] = true
+	}
+	truth := make(map[string]profile.Group)
+	for id, tr := range res.Traces {
+		truth[id] = tr.Group
+	}
+
+	// Enforcement releases building-granularity, pseudonymized data.
+	pseud := privacy.NewPseudonymizer([]byte("k"))
+	var released []sensor.Observation
+	for _, o := range obs {
+		coarse, ok := privacy.CoarsenLocation(o, policy.GranBuilding, b.Spaces)
+		if !ok {
+			continue
+		}
+		released = append(released, pseud.PseudonymizeObservation(coarse))
+	}
+	patterns := ExtractPatterns(released, ByUserID, func(s string) bool { return classrooms[s] })
+	// Attribution is destroyed: no named subjects remain.
+	if len(patterns) != 0 {
+		t.Errorf("pseudonymized release still has %d named patterns", len(patterns))
+	}
+	// Even keying by pseudonym, the classroom signal is gone
+	// (everything coarsens to the building).
+	byDev := ExtractPatterns(released, ByDeviceMAC, func(s string) bool { return classrooms[s] })
+	for _, p := range byDev {
+		if p.ClassroomFraction != 0 {
+			t.Errorf("classroom fraction survived coarsening: %+v", p)
+		}
+	}
+}
+
+func TestLinkIdentities(t *testing.T) {
+	_, dir, _, obs := simulated(t, 12)
+	// Strip attribution, keep MACs: the anonymized-but-linkable case.
+	var anon []sensor.Observation
+	truth := make(map[string]string)
+	for _, o := range obs {
+		if o.UserID != "" && o.DeviceMAC != "" {
+			truth[o.DeviceMAC] = o.UserID
+		}
+		o.UserID = ""
+		anon = append(anon, o)
+	}
+	links := LinkIdentities(anon, ByDeviceMAC, dir.OfficeOwner)
+	acc, n := LinkAccuracy(links, truth)
+	if n == 0 {
+		t.Fatal("no links evaluated")
+	}
+	// Office holders (faculty/staff/grads ~50% of population) should
+	// link at high precision; undergrads have no office and are
+	// unlinkable, and a user whose own office lacks an in-room sensor
+	// can be mis-linked through a colleague's office, so the attack is
+	// strong but not perfect.
+	if acc < 0.7 {
+		t.Errorf("link accuracy = %.2f over %d links, want >= 0.7", acc, n)
+	}
+}
+
+func TestLinkIdentitiesDefeatedByCoarsening(t *testing.T) {
+	b, dir, _, obs := simulated(t, 12)
+	var coarse []sensor.Observation
+	for _, o := range obs {
+		c, ok := privacy.CoarsenLocation(o, policy.GranBuilding, b.Spaces)
+		if !ok {
+			continue
+		}
+		c.UserID = ""
+		coarse = append(coarse, c)
+	}
+	links := LinkIdentities(coarse, ByDeviceMAC, dir.OfficeOwner)
+	if len(links) != 0 {
+		t.Errorf("coarsened data still produced %d identity links", len(links))
+	}
+}
+
+func TestMajorityBaseline(t *testing.T) {
+	truth := map[string]profile.Group{
+		"a": profile.GroupStaff, "b": profile.GroupStaff, "c": profile.GroupFaculty, "d": profile.GroupStaff,
+	}
+	if got := MajorityBaseline(truth); got != 0.75 {
+		t.Errorf("baseline = %v, want 0.75", got)
+	}
+	if got := MajorityBaseline(nil); got != 0 {
+		t.Errorf("empty baseline = %v", got)
+	}
+}
+
+func TestClassifyRoleHeuristics(t *testing.T) {
+	tests := []struct {
+		p    Pattern
+		want profile.Group
+	}{
+		{Pattern{FirstSeen: 7 * 60, LastSeen: 16 * 60}, profile.GroupStaff},
+		{Pattern{FirstSeen: 11 * 60, LastSeen: 21 * 60}, profile.GroupGradStudent},
+		{Pattern{FirstSeen: 9 * 60, LastSeen: 18 * 60}, profile.GroupFaculty},
+		{Pattern{FirstSeen: 9 * 60, LastSeen: 16 * 60, ClassroomFraction: 0.8}, profile.GroupUndergrad},
+	}
+	for _, tt := range tests {
+		if got := ClassifyRole(tt.p); got != tt.want {
+			t.Errorf("ClassifyRole(%+v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestRoleAccuracyEmpty(t *testing.T) {
+	if acc, n := RoleAccuracy(nil, nil); acc != 0 || n != 0 {
+		t.Error("empty inputs should yield zero")
+	}
+	if acc, n := LinkAccuracy(nil, nil); acc != 0 || n != 0 {
+		t.Error("empty link inputs should yield zero")
+	}
+}

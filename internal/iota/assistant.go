@@ -1,0 +1,387 @@
+package iota
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// PreferenceSink is where configured preferences go: an in-process
+// BMS (core.*BMS satisfies it) or an HTTP client to a remote TIPPERS
+// node. This is the Figure 1 step-8 channel.
+type PreferenceSink interface {
+	SetPreference(p policy.Preference) error
+}
+
+// Notice is one notification the assistant decided to surface.
+type Notice struct {
+	ResourceName string
+	Fingerprint  string
+	Digest       string
+	// Score is the relevance that won this notice its budget slot.
+	Score float64
+	// PredictedObjection is the model's prior prediction, shown so
+	// the user understands why they were interrupted.
+	PredictedObjection float64
+}
+
+// Config parameterizes an assistant.
+type Config struct {
+	UserID string
+	// DailyBudget caps notifications per day (fatigue control,
+	// §V.B). Zero selects 3, in line with the short-notice findings
+	// the paper cites (Gluck et al.).
+	DailyBudget int
+	// NotifyThreshold is the minimum relevance score that can spend
+	// budget; zero selects 0.25.
+	NotifyThreshold float64
+	// Sink receives auto-configured preferences; nil disables
+	// auto-configuration.
+	Sink PreferenceSink
+	// Model seeds the assistant with an existing learned preference
+	// model — the roaming case: one user, one model, many buildings.
+	// nil starts untrained.
+	Model *PrefModel
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+// Assistant is one user's IoTA.
+type Assistant struct {
+	cfg   Config
+	model *PrefModel
+
+	mu         sync.Mutex
+	seen       map[string]bool
+	pending    map[string]policy.Resource // awaiting user feedback, by fingerprint
+	day        string
+	usedToday  int
+	notices    []Notice
+	suppressed int
+}
+
+// New constructs an assistant.
+func New(cfg Config) (*Assistant, error) {
+	if cfg.UserID == "" {
+		return nil, errors.New("iota: assistant needs a user")
+	}
+	if cfg.DailyBudget == 0 {
+		cfg.DailyBudget = 3
+	}
+	if cfg.NotifyThreshold == 0 {
+		cfg.NotifyThreshold = 0.25
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	model := cfg.Model
+	if model == nil {
+		model = NewPrefModel()
+	}
+	return &Assistant{
+		cfg:     cfg,
+		model:   model,
+		seen:    make(map[string]bool),
+		pending: make(map[string]policy.Resource),
+	}, nil
+}
+
+// Model exposes the preference model (experiments inspect it).
+func (a *Assistant) Model() *PrefModel { return a.model }
+
+// UserID returns the assistant's user.
+func (a *Assistant) UserID() string { return a.cfg.UserID }
+
+// Relevance scores how much a resource deserves the user's attention:
+// purpose sensitivity, retention length, absence of controls, and the
+// learned objection probability, each in [0,1], combined with fixed
+// weights. Scores near the model's uncertainty midpoint rank high —
+// exactly the cases where asking the user is worth a notification.
+func (a *Assistant) Relevance(res policy.Resource) float64 {
+	f := FeaturesOf(res)
+	var sens float64
+	for _, p := range f.Purposes {
+		if s := p.Sensitivity(); s > sens {
+			sens = s
+		}
+	}
+	var retention float64
+	switch f.Retention {
+	case RetentionDay:
+		retention = 0.1
+	case RetentionMonth:
+		retention = 0.3
+	case RetentionYear:
+		retention = 0.6
+	case RetentionForever:
+		retention = 1.0
+	}
+	noControl := 0.0
+	if !f.HasSettings {
+		noControl = 1.0
+	}
+	objection := a.model.ObjectionProbability(f)
+	// Uncertainty bonus: 1 at p=0.5, 0 at p∈{0,1}.
+	uncertainty := 1 - 2*abs(objection-0.5)
+	return 0.3*sens + 0.2*retention + 0.15*noControl + 0.25*objection + 0.1*uncertainty
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ProcessDocument digests an IRR resource document: new resources are
+// scored, and the most relevant ones — up to the remaining daily
+// budget — become notices (Figure 1 step 6). Resources already
+// processed are skipped regardless of relevance.
+func (a *Assistant) ProcessDocument(doc policy.ResourceDocument) []Notice {
+	now := a.cfg.Clock()
+	day := now.Format("2006-01-02")
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.day != day {
+		a.day = day
+		a.usedToday = 0
+	}
+
+	type scored struct {
+		res   policy.Resource
+		fp    string
+		score float64
+	}
+	var fresh []scored
+	for _, res := range doc.Resources {
+		fp := Fingerprint(res)
+		if a.seen[fp] {
+			continue
+		}
+		a.seen[fp] = true
+		fresh = append(fresh, scored{res: res, fp: fp, score: a.Relevance(res)})
+	}
+	sort.SliceStable(fresh, func(i, j int) bool { return fresh[i].score > fresh[j].score })
+
+	var out []Notice
+	for _, s := range fresh {
+		if s.score < a.cfg.NotifyThreshold {
+			a.suppressed++
+			continue
+		}
+		if a.usedToday >= a.cfg.DailyBudget {
+			a.suppressed++
+			continue
+		}
+		a.usedToday++
+		n := Notice{
+			ResourceName:       s.res.Info.Name,
+			Fingerprint:        s.fp,
+			Digest:             Digest(s.res),
+			Score:              s.score,
+			PredictedObjection: a.model.ObjectionProbability(FeaturesOf(s.res)),
+		}
+		a.pending[s.fp] = s.res
+		a.notices = append(a.notices, n)
+		out = append(out, n)
+	}
+	return out
+}
+
+// Suppressed returns how many fresh resources were digested without
+// interrupting the user (fatigue saved).
+func (a *Assistant) Suppressed() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.suppressed
+}
+
+// Notices returns every notice surfaced so far.
+func (a *Assistant) Notices() []Notice {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Notice, len(a.notices))
+	copy(out, a.notices)
+	return out
+}
+
+// Feedback records the user's reaction to a notice: objected (they
+// want protection) or accepted. The model learns, and if the user
+// objected and the resource offers settings, the assistant
+// auto-configures the most protective option; with no settings but a
+// linked policy, it installs a deny preference.
+func (a *Assistant) Feedback(fingerprint string, objected bool) error {
+	a.mu.Lock()
+	res, ok := a.pending[fingerprint]
+	if ok {
+		delete(a.pending, fingerprint)
+	}
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("iota: no pending notice %q", fingerprint)
+	}
+	a.model.Learn(FeaturesOf(res), objected)
+	if !objected || a.cfg.Sink == nil {
+		return nil
+	}
+	pref, ok := a.preferenceFor(res, policy.GranNone)
+	if !ok {
+		return nil
+	}
+	return a.cfg.Sink.SetPreference(pref)
+}
+
+// AutoConfigure picks a settings option for a resource from the
+// learned model and pushes the resulting preference to the sink
+// (Figure 1 step 8). It returns the chosen granularity and whether
+// anything was configured. The ladder: predicted objection above 0.7
+// opts out entirely; above 0.4 releases coarse-grained location;
+// otherwise fine-grained. Below the confidence floor the assistant
+// refuses to auto-decide (the caller should notify instead).
+func (a *Assistant) AutoConfigure(res policy.Resource, minConfidence float64) (policy.Granularity, bool, error) {
+	if a.cfg.Sink == nil {
+		return 0, false, errors.New("iota: no preference sink configured")
+	}
+	f := FeaturesOf(res)
+	if a.model.Confidence(f) < minConfidence {
+		return 0, false, nil
+	}
+	p := a.model.ObjectionProbability(f)
+	var g policy.Granularity
+	switch {
+	case p > 0.7:
+		g = policy.GranNone
+	case p > 0.4:
+		g = policy.GranBuilding
+	default:
+		g = policy.GranExact
+	}
+	// Honor the advertised ladder when present: pick the closest
+	// offered option at or below the chosen granularity.
+	if len(res.Settings) > 0 {
+		g = closestOffered(res.Settings, g)
+	}
+	pref, ok := a.preferenceFor(res, g)
+	if !ok {
+		return 0, false, nil
+	}
+	if err := a.cfg.Sink.SetPreference(pref); err != nil {
+		return 0, false, err
+	}
+	return g, true, nil
+}
+
+// closestOffered returns the finest advertised granularity that does
+// not exceed want, or the coarsest offered if every option is finer.
+func closestOffered(groups []policy.SettingGroup, want policy.Granularity) policy.Granularity {
+	best := policy.Granularity(0)
+	coarsest := policy.GranExact + 1
+	for _, grp := range groups {
+		for _, opt := range grp.Select {
+			g, err := optionGranularity(opt)
+			if err != nil {
+				continue
+			}
+			if g < coarsest {
+				coarsest = g
+			}
+			if g <= want && g > best {
+				best = g
+			}
+		}
+	}
+	if best != 0 {
+		return best
+	}
+	if coarsest <= policy.GranExact {
+		return coarsest
+	}
+	return want
+}
+
+// optionGranularity extracts the granularity of a settings option,
+// preferring the machine annotation and falling back to parsing the
+// option's "on" endpoint query (Figure 4's wifi=opt-in/opt-out).
+func optionGranularity(opt policy.SettingOption) (policy.Granularity, error) {
+	if opt.Granularity != "" {
+		return policy.ParseGranularity(opt.Granularity)
+	}
+	u, err := url.Parse(opt.On)
+	if err != nil {
+		return 0, fmt.Errorf("iota: option endpoint: %w", err)
+	}
+	q := u.Query()
+	if q.Get("wifi") == "opt-out" {
+		return policy.GranNone, nil
+	}
+	if g := q.Get("granularity"); g != "" {
+		return policy.ParseGranularity(g)
+	}
+	if strings.Contains(strings.ToLower(opt.Description), "coarse") {
+		return policy.GranBuilding, nil
+	}
+	return policy.GranExact, nil
+}
+
+// preferenceFor builds the enforceable preference a configuration
+// choice implies. Resources that advertise neither a policy link nor
+// a service cannot be targeted and yield ok=false.
+func (a *Assistant) preferenceFor(res policy.Resource, g policy.Granularity) (policy.Preference, bool) {
+	scope := policy.Scope{ServiceID: res.Purpose.ServiceID}
+	if len(res.Observations) == 1 {
+		scope.ObsKind = obsKindOf(res.Observations[0].Name)
+	}
+	if res.PolicyID == "" && scope.ServiceID == "" && scope.ObsKind == "" {
+		return policy.Preference{}, false
+	}
+	rule := policy.Rule{Action: policy.ActionLimit, MaxGranularity: g}
+	if g == policy.GranNone {
+		rule = policy.Rule{Action: policy.ActionDeny}
+	} else if g == policy.GranExact {
+		rule = policy.Rule{Action: policy.ActionAllow}
+	}
+	id := fmt.Sprintf("iota-%s-%s", a.cfg.UserID, shortHash(Fingerprint(res)))
+	return policy.Preference{
+		ID:     id,
+		UserID: a.cfg.UserID,
+		Name:   fmt.Sprintf("IoTA-configured: %s", res.Info.Name),
+		Scope:  scope,
+		Rule:   rule,
+		Source: "learned",
+	}, true
+}
+
+// obsKindOf maps advertised observation names to enforcement kinds.
+// Names already in wire form ("wifi_access_point") pass through.
+func obsKindOf(name string) sensor.ObservationKind {
+	lower := strings.ToLower(name)
+	switch {
+	case strings.Contains(lower, "wifi") || strings.Contains(lower, "mac address"):
+		return sensor.ObsWiFiConnect
+	case strings.Contains(lower, "beacon") || strings.Contains(lower, "bluetooth"):
+		return sensor.ObsBLESighting
+	case strings.Contains(lower, "occupancy"):
+		return sensor.ObsOccupancy
+	case strings.Contains(lower, "camera"):
+		return sensor.ObsCameraFrame
+	default:
+		return sensor.ObservationKind(name)
+	}
+}
+
+func shortHash(s string) string {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%08x", uint32(h))
+}

@@ -1,0 +1,392 @@
+package iota
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/isodur"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+type sinkRecorder struct {
+	prefs []policy.Preference
+	err   error
+}
+
+func (s *sinkRecorder) SetPreference(p policy.Preference) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.prefs = append(s.prefs, p)
+	return nil
+}
+
+func newAssistant(t testing.TB, sink PreferenceSink) *Assistant {
+	t.Helper()
+	now := time.Date(2017, time.June, 7, 9, 0, 0, 0, time.UTC)
+	a, err := New(Config{
+		UserID: "mary",
+		Sink:   sink,
+		Clock:  func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func marketingResource() policy.Resource {
+	return policy.Resource{
+		Info: policy.Info{Name: "Ad tracker"},
+		Purpose: policy.PurposeBlock{Entries: map[policy.Purpose]policy.PurposeDetail{
+			policy.PurposeMarketing: {Description: "ads"},
+		}},
+		Observations: []policy.ObservationDesc{{Name: "wifi_access_point"}},
+		Retention:    &policy.RetentionBlock{Duration: isodur.MustParse("P5Y")},
+	}
+}
+
+func comfortResource() policy.Resource {
+	return policy.Resource{
+		Info: policy.Info{Name: "Thermostat"},
+		Purpose: policy.PurposeBlock{Entries: map[policy.Purpose]policy.PurposeDetail{
+			policy.PurposeComfort: {Description: "temperature"},
+		}},
+		Observations: []policy.ObservationDesc{{Name: "temperature_reading"}},
+		Retention:    &policy.RetentionBlock{Duration: isodur.Day},
+		Settings:     []policy.SettingGroup{policy.LocationSettingLadder("https://x.example/s")},
+	}
+}
+
+func TestBucketRetention(t *testing.T) {
+	tests := []struct {
+		dur  string
+		want RetentionBucket
+	}{
+		{"PT1H", RetentionDay},
+		{"P1D", RetentionDay},
+		{"P6D", RetentionMonth},
+		{"P1M", RetentionMonth},
+		{"P6M", RetentionYear},
+		{"P1Y", RetentionYear},
+		{"P5Y", RetentionForever},
+	}
+	for _, tt := range tests {
+		if got := BucketRetention(isodur.MustParse(tt.dur)); got != tt.want {
+			t.Errorf("BucketRetention(%s) = %v, want %v", tt.dur, got, tt.want)
+		}
+	}
+	if got := BucketRetention(isodur.Duration{}); got != RetentionUnspecified {
+		t.Errorf("zero duration = %v", got)
+	}
+}
+
+func TestFeaturesOf(t *testing.T) {
+	f := FeaturesOf(policy.Figure2Document().Resources[0])
+	if len(f.Purposes) != 1 || f.Purposes[0] != "emergency response" {
+		t.Errorf("purposes = %v", f.Purposes)
+	}
+	if f.Retention != RetentionYear {
+		t.Errorf("retention bucket = %v", f.Retention)
+	}
+	if f.HasSettings {
+		t.Error("figure 2 has no settings")
+	}
+	f2 := FeaturesOf(comfortResource())
+	if !f2.HasSettings {
+		t.Error("settings not detected")
+	}
+}
+
+func TestModelLearning(t *testing.T) {
+	m := NewPrefModel()
+	mkt := FeaturesOf(marketingResource())
+	cmf := FeaturesOf(comfortResource())
+	if p := m.ObjectionProbability(mkt); p != 0.5 {
+		t.Errorf("untrained prediction = %v, want 0.5", p)
+	}
+	for i := 0; i < 10; i++ {
+		m.Learn(mkt, true)
+		m.Learn(cmf, false)
+	}
+	if p := m.ObjectionProbability(mkt); p < 0.7 {
+		t.Errorf("marketing objection = %v, want high", p)
+	}
+	if p := m.ObjectionProbability(cmf); p > 0.3 {
+		t.Errorf("comfort objection = %v, want low", p)
+	}
+	if m.Confidence(mkt) <= m.Confidence(FeaturesOf(policy.Figure2Document().Resources[0])) {
+		t.Error("confidence should grow with evidence")
+	}
+}
+
+// TestModelGeneralizes: training on one marketing resource should
+// raise the prediction for a different marketing resource.
+func TestModelGeneralizes(t *testing.T) {
+	m := NewPrefModel()
+	for i := 0; i < 10; i++ {
+		m.Learn(FeaturesOf(marketingResource()), true)
+	}
+	other := marketingResource()
+	other.Info.Name = "Different ad network"
+	other.Observations = []policy.ObservationDesc{{Name: "bluetooth_beacon"}}
+	if p := m.ObjectionProbability(FeaturesOf(other)); p <= 0.5 {
+		t.Errorf("no generalization: %v", p)
+	}
+}
+
+func TestRelevanceOrdering(t *testing.T) {
+	a := newAssistant(t, nil)
+	mkt := a.Relevance(marketingResource())
+	cmf := a.Relevance(comfortResource())
+	if mkt <= cmf {
+		t.Errorf("marketing (%v) must outrank comfort (%v)", mkt, cmf)
+	}
+}
+
+func TestProcessDocumentBudgetAndDedup(t *testing.T) {
+	a := newAssistant(t, nil)
+	doc := policy.ResourceDocument{}
+	for i := 0; i < 6; i++ {
+		res := marketingResource()
+		res.Info.Name = res.Info.Name + string(rune('A'+i))
+		doc.Resources = append(doc.Resources, res)
+	}
+	notices := a.ProcessDocument(doc)
+	if len(notices) != 3 { // default daily budget
+		t.Fatalf("notices = %d, want 3", len(notices))
+	}
+	if a.Suppressed() != 3 {
+		t.Errorf("suppressed = %d, want 3", a.Suppressed())
+	}
+	// Reprocessing the same document yields nothing (dedup).
+	if got := a.ProcessDocument(doc); len(got) != 0 {
+		t.Errorf("renotified: %d", len(got))
+	}
+	if len(a.Notices()) != 3 {
+		t.Errorf("Notices() = %d", len(a.Notices()))
+	}
+}
+
+func TestProcessDocumentThreshold(t *testing.T) {
+	now := time.Date(2017, time.June, 7, 9, 0, 0, 0, time.UTC)
+	a, err := New(Config{UserID: "mary", NotifyThreshold: 0.95, Clock: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.ProcessDocument(policy.ResourceDocument{Resources: []policy.Resource{comfortResource()}})
+	if len(got) != 0 || a.Suppressed() != 1 {
+		t.Errorf("low-relevance resource notified: %d notices", len(got))
+	}
+}
+
+func TestBudgetResetsDaily(t *testing.T) {
+	now := time.Date(2017, time.June, 7, 9, 0, 0, 0, time.UTC)
+	a, err := New(Config{UserID: "mary", DailyBudget: 1, Clock: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string) policy.ResourceDocument {
+		res := marketingResource()
+		res.Info.Name = name
+		return policy.ResourceDocument{Resources: []policy.Resource{res}}
+	}
+	if got := a.ProcessDocument(mk("r1")); len(got) != 1 {
+		t.Fatal("first notice blocked")
+	}
+	if got := a.ProcessDocument(mk("r2")); len(got) != 0 {
+		t.Fatal("budget not enforced")
+	}
+	now = now.Add(24 * time.Hour)
+	if got := a.ProcessDocument(mk("r3")); len(got) != 1 {
+		t.Fatal("budget did not reset next day")
+	}
+}
+
+func TestFeedbackLearnsAndConfigures(t *testing.T) {
+	sink := &sinkRecorder{}
+	a := newAssistant(t, sink)
+	res := marketingResource()
+	res.Purpose.ServiceID = "ad-service"
+	notices := a.ProcessDocument(policy.ResourceDocument{Resources: []policy.Resource{res}})
+	if len(notices) != 1 {
+		t.Fatal("no notice")
+	}
+	if err := a.Feedback(notices[0].Fingerprint, true); err != nil {
+		t.Fatal(err)
+	}
+	// Objection installs a deny preference via the sink.
+	if len(sink.prefs) != 1 || sink.prefs[0].Rule.Action != policy.ActionDeny {
+		t.Fatalf("sink prefs = %+v", sink.prefs)
+	}
+	if sink.prefs[0].UserID != "mary" || sink.prefs[0].Scope.ServiceID != "ad-service" {
+		t.Errorf("pref = %+v", sink.prefs[0])
+	}
+	// Model learned.
+	if p := a.Model().ObjectionProbability(FeaturesOf(res)); p <= 0.5 {
+		t.Errorf("model did not learn: %v", p)
+	}
+	// Double feedback on the same notice fails.
+	if err := a.Feedback(notices[0].Fingerprint, true); err == nil {
+		t.Error("double feedback accepted")
+	}
+	if err := a.Feedback("nope", true); err == nil {
+		t.Error("unknown fingerprint accepted")
+	}
+}
+
+func TestFeedbackAcceptDoesNotConfigure(t *testing.T) {
+	sink := &sinkRecorder{}
+	a := newAssistant(t, sink)
+	notices := a.ProcessDocument(policy.ResourceDocument{Resources: []policy.Resource{marketingResource()}})
+	if len(notices) != 1 {
+		t.Fatal("no notice")
+	}
+	if err := a.Feedback(notices[0].Fingerprint, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.prefs) != 0 {
+		t.Errorf("acceptance installed preferences: %+v", sink.prefs)
+	}
+}
+
+func TestAutoConfigureLadder(t *testing.T) {
+	sink := &sinkRecorder{}
+	a := newAssistant(t, sink)
+	res := comfortResource()
+	res.Purpose.ServiceID = "concierge"
+
+	// Untrained model: confidence 0 — refuses to decide.
+	if _, ok, err := a.AutoConfigure(res, 0.5); err != nil || ok {
+		t.Errorf("untrained auto-configure = %v, %v", ok, err)
+	}
+
+	// Train to strong objection: opts out.
+	for i := 0; i < 20; i++ {
+		a.Model().Learn(FeaturesOf(res), true)
+	}
+	g, ok, err := a.AutoConfigure(res, 0.5)
+	if err != nil || !ok || g != policy.GranNone {
+		t.Fatalf("objecting auto-configure = %v, %v, %v", g, ok, err)
+	}
+	if len(sink.prefs) != 1 || sink.prefs[0].Rule.Action != policy.ActionDeny {
+		t.Errorf("sink = %+v", sink.prefs)
+	}
+
+	// A comfortable user gets fine-grained.
+	sink2 := &sinkRecorder{}
+	b := newAssistant(t, sink2)
+	for i := 0; i < 20; i++ {
+		b.Model().Learn(FeaturesOf(res), false)
+	}
+	g, ok, err = b.AutoConfigure(res, 0.5)
+	if err != nil || !ok || g != policy.GranExact {
+		t.Fatalf("comfortable auto-configure = %v, %v, %v", g, ok, err)
+	}
+	if len(sink2.prefs) != 1 || sink2.prefs[0].Rule.Action != policy.ActionAllow {
+		t.Errorf("sink2 = %+v", sink2.prefs)
+	}
+}
+
+func TestAutoConfigureMixedPicksCoarse(t *testing.T) {
+	sink := &sinkRecorder{}
+	a := newAssistant(t, sink)
+	res := comfortResource()
+	res.Purpose.ServiceID = "concierge"
+	// Mixed feedback (~55% objection) lands in the coarse band.
+	for i := 0; i < 20; i++ {
+		a.Model().Learn(FeaturesOf(res), i%2 == 0 || i%5 == 0)
+	}
+	g, ok, err := a.AutoConfigure(res, 0.5)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if g != policy.GranBuilding {
+		t.Errorf("granularity = %v, want building (coarse)", g)
+	}
+	if sink.prefs[0].Rule.Action != policy.ActionLimit || sink.prefs[0].Rule.MaxGranularity != policy.GranBuilding {
+		t.Errorf("pref = %+v", sink.prefs[0])
+	}
+}
+
+func TestAutoConfigureWithoutSink(t *testing.T) {
+	a := newAssistant(t, nil)
+	if _, _, err := a.AutoConfigure(comfortResource(), 0); err == nil {
+		t.Error("sink-less auto-configure accepted")
+	}
+}
+
+func TestOptionGranularityParsing(t *testing.T) {
+	opts := policy.LocationSettingLadder("https://x.example/s").Select
+	want := []policy.Granularity{policy.GranExact, policy.GranBuilding, policy.GranNone}
+	for i, opt := range opts {
+		got, err := optionGranularity(opt)
+		if err != nil || got != want[i] {
+			t.Errorf("option %d = %v, %v; want %v", i, got, err, want[i])
+		}
+	}
+	// Fallback paths: no machine annotation.
+	raw := policy.SettingOption{Description: "coarse grained", On: "https://x.example/s?wifi=opt-in"}
+	if g, err := optionGranularity(raw); err != nil || g != policy.GranBuilding {
+		t.Errorf("description fallback = %v, %v", g, err)
+	}
+	out := policy.SettingOption{Description: "off", On: "https://x.example/s?wifi=opt-out"}
+	if g, err := optionGranularity(out); err != nil || g != policy.GranNone {
+		t.Errorf("opt-out fallback = %v, %v", g, err)
+	}
+}
+
+func TestDigestAndFingerprint(t *testing.T) {
+	d := Digest(policy.Figure2Document().Resources[0])
+	for _, want := range []string{"Location tracking in DBH", "MAC address of the device", "emergency response", "year", "no opt-out"} {
+		if !contains(d, want) {
+			t.Errorf("digest %q missing %q", d, want)
+		}
+	}
+	d2 := Digest(comfortResource())
+	if !contains(d2, "settings available") {
+		t.Errorf("digest %q missing settings note", d2)
+	}
+	if Fingerprint(marketingResource()) == Fingerprint(comfortResource()) {
+		t.Error("distinct resources share a fingerprint")
+	}
+	if Fingerprint(marketingResource()) != Fingerprint(marketingResource()) {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestObsKindMapping(t *testing.T) {
+	tests := map[string]sensor.ObservationKind{
+		"MAC address of the device": sensor.ObsWiFiConnect,
+		"wifi_access_point":         sensor.ObsWiFiConnect,
+		"bluetooth_beacon":          sensor.ObsBLESighting,
+		"room occupancy":            sensor.ObsOccupancy,
+		"camera_frame":              sensor.ObsCameraFrame,
+		"power_reading":             sensor.ObservationKind("power_reading"),
+	}
+	for name, want := range tests {
+		if got := obsKindOf(name); got != want {
+			t.Errorf("obsKindOf(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("assistant without user accepted")
+	}
+}

@@ -1,0 +1,262 @@
+// Package iota implements IoT Assistants (IoTAs): the user-side agent
+// that discovers IoT Resource Registries, "selectively notif[ies]
+// users about the policies advertised by IRRs and configure[s] any
+// available privacy settings" (§I), learns the user's privacy
+// preferences over time (§V.B, following Liu et al.'s personalized
+// privacy assistants), and communicates configured preferences back
+// to the building system (Figure 1 steps 5–8).
+package iota
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/tippers/tippers/internal/isodur"
+	"github.com/tippers/tippers/internal/policy"
+)
+
+// Features is the learning representation of one advertised resource:
+// the attributes studies (Peppet; Liu et al.) find drive privacy
+// comfort — what is collected, why, how long it is kept, and whether
+// settings exist.
+type Features struct {
+	Purposes    []policy.Purpose
+	ObsKinds    []string
+	Retention   RetentionBucket
+	HasSettings bool
+	ThirdParty  bool
+}
+
+// RetentionBucket coarsens retention periods into user-meaningful
+// classes.
+type RetentionBucket int
+
+// Retention buckets.
+const (
+	RetentionUnspecified RetentionBucket = iota
+	RetentionDay                         // <= 1 day
+	RetentionMonth                       // <= 31 days
+	RetentionYear                        // <= 366 days
+	RetentionForever                     // longer or indefinite
+)
+
+// String names the bucket.
+func (b RetentionBucket) String() string {
+	switch b {
+	case RetentionDay:
+		return "day"
+	case RetentionMonth:
+		return "month"
+	case RetentionYear:
+		return "year"
+	case RetentionForever:
+		return "forever"
+	default:
+		return "unspecified"
+	}
+}
+
+// BucketRetention classifies a duration.
+func BucketRetention(d isodur.Duration) RetentionBucket {
+	if d.IsZero() {
+		return RetentionUnspecified
+	}
+	switch {
+	case d.Cmp(isodur.Day) <= 0:
+		return RetentionDay
+	case d.Cmp(isodur.Month) <= 0:
+		return RetentionMonth
+	case d.Cmp(isodur.Year) <= 0:
+		return RetentionYear
+	default:
+		return RetentionForever
+	}
+}
+
+// FeaturesOf extracts the learning features from an advertisement.
+func FeaturesOf(res policy.Resource) Features {
+	f := Features{HasSettings: len(res.Settings) > 0}
+	for p := range res.Purpose.Entries {
+		f.Purposes = append(f.Purposes, p)
+	}
+	sort.Slice(f.Purposes, func(i, j int) bool { return f.Purposes[i] < f.Purposes[j] })
+	for _, o := range res.Observations {
+		f.ObsKinds = append(f.ObsKinds, o.Name)
+	}
+	sort.Strings(f.ObsKinds)
+	if res.Retention != nil {
+		f.Retention = BucketRetention(res.Retention.Duration)
+	}
+	if res.Context != nil && res.Context.Location != nil && res.Context.Location.Owner == nil {
+		f.ThirdParty = true
+	}
+	if res.Purpose.ServiceID != "" {
+		// Service policies without a building context block are
+		// typically third-party or at least service-operated.
+		if res.Context == nil {
+			f.ThirdParty = true
+		}
+	}
+	return f
+}
+
+// featureKeys flattens features into the keys the model counts over.
+func featureKeys(f Features) []string {
+	var keys []string
+	for _, p := range f.Purposes {
+		keys = append(keys, "purpose:"+string(p))
+	}
+	for _, o := range f.ObsKinds {
+		keys = append(keys, "obs:"+o)
+	}
+	keys = append(keys, "retention:"+f.Retention.String())
+	if f.ThirdParty {
+		keys = append(keys, "developer:third-party")
+	}
+	return keys
+}
+
+// PrefModel is the assistant's learned model of the user's privacy
+// preferences: an independent Beta-Bernoulli estimator per feature
+// key, updated from explicit user feedback ("the assistant requires
+// labeled data over a period of time to decipher the patterns in a
+// user's behavior", §V.B). The zero value is unusable; construct with
+// NewPrefModel. Safe for concurrent use.
+type PrefModel struct {
+	mu     sync.RWMutex
+	counts map[string]*betaCounter
+}
+
+type betaCounter struct {
+	objections  float64
+	acceptances float64
+}
+
+// NewPrefModel returns an untrained model.
+func NewPrefModel() *PrefModel {
+	return &PrefModel{counts: make(map[string]*betaCounter)}
+}
+
+// Learn records one labeled example: the user objected to (or
+// accepted) a resource with these features.
+func (m *PrefModel) Learn(f Features, objected bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, key := range featureKeys(f) {
+		c := m.counts[key]
+		if c == nil {
+			c = &betaCounter{}
+			m.counts[key] = c
+		}
+		if objected {
+			c.objections++
+		} else {
+			c.acceptances++
+		}
+	}
+}
+
+// ObjectionProbability predicts how likely the user is to object to a
+// resource with these features: the mean of the per-feature Beta(1,1)
+// posteriors, so an untrained model answers 0.5 (maximum
+// uncertainty).
+func (m *PrefModel) ObjectionProbability(f Features) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	keys := featureKeys(f)
+	if len(keys) == 0 {
+		return 0.5
+	}
+	var sum float64
+	for _, key := range keys {
+		c := m.counts[key]
+		if c == nil {
+			sum += 0.5
+			continue
+		}
+		sum += (c.objections + 1) / (c.objections + c.acceptances + 2)
+	}
+	return sum / float64(len(keys))
+}
+
+// Observations returns the number of labeled examples absorbed for a
+// feature key (diagnostics and the E4 learning-curve experiment).
+func (m *PrefModel) Observations(key string) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := m.counts[key]
+	if c == nil {
+		return 0
+	}
+	return c.objections + c.acceptances
+}
+
+// Confidence reports how much evidence backs the prediction for these
+// features, in [0, 1): n/(n+4) over the mean per-key example count.
+// The notifier asks the user (rather than auto-deciding) when
+// confidence is low.
+func (m *PrefModel) Confidence(f Features) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	keys := featureKeys(f)
+	if len(keys) == 0 {
+		return 0
+	}
+	var n float64
+	for _, key := range keys {
+		if c := m.counts[key]; c != nil {
+			n += c.objections + c.acceptances
+		}
+	}
+	mean := n / float64(len(keys))
+	return mean / (mean + 4)
+}
+
+// Fingerprint identifies an advertisement for dedup purposes: the
+// assistant must not renotify the user about a policy it already
+// processed ("how to notify a user ... without inducing user
+// fatigue").
+func Fingerprint(res policy.Resource) string {
+	f := FeaturesOf(res)
+	parts := []string{res.Info.Name, res.PolicyID}
+	for _, p := range f.Purposes {
+		parts = append(parts, string(p))
+	}
+	parts = append(parts, f.ObsKinds...)
+	parts = append(parts, f.Retention.String())
+	return strings.Join(parts, "|")
+}
+
+// Digest renders the user-facing one-line summary of an advertised
+// resource (Figure 1 step 6: "displays summaries of relevant elements
+// of these policies").
+func Digest(res policy.Resource) string {
+	f := FeaturesOf(res)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", res.Info.Name)
+	if len(f.ObsKinds) > 0 {
+		fmt.Fprintf(&b, " — collects %s", strings.Join(f.ObsKinds, ", "))
+	}
+	if len(f.Purposes) > 0 {
+		names := make([]string, len(f.Purposes))
+		for i, p := range f.Purposes {
+			names[i] = string(p)
+		}
+		fmt.Fprintf(&b, " for %s", strings.Join(names, ", "))
+	}
+	switch f.Retention {
+	case RetentionUnspecified:
+	case RetentionForever:
+		b.WriteString("; kept indefinitely")
+	default:
+		fmt.Fprintf(&b, "; kept up to one %s", f.Retention)
+	}
+	if f.HasSettings {
+		b.WriteString("; settings available")
+	} else {
+		b.WriteString("; no opt-out")
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package iota
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// This file implements preference-model persistence. The paper's
+// assistants learn "over a period of time" (§V.B); a model that
+// evaporates on restart would relearn from scratch and re-pester the
+// user, so the CLI and long-running assistants serialize the model
+// between sessions.
+
+// modelState is the wire form of a PrefModel.
+type modelState struct {
+	Version int                     `json:"version"`
+	Counts  map[string]counterState `json:"counts"`
+}
+
+type counterState struct {
+	Objections  float64 `json:"objections"`
+	Acceptances float64 `json:"acceptances"`
+}
+
+// MarshalJSON implements json.Marshaler for PrefModel.
+func (m *PrefModel) MarshalJSON() ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	state := modelState{Version: 1, Counts: make(map[string]counterState, len(m.counts))}
+	for key, c := range m.counts {
+		state.Counts[key] = counterState{Objections: c.objections, Acceptances: c.acceptances}
+	}
+	return json.Marshal(state)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for PrefModel.
+func (m *PrefModel) UnmarshalJSON(raw []byte) error {
+	var state modelState
+	if err := json.Unmarshal(raw, &state); err != nil {
+		return fmt.Errorf("iota: model decode: %w", err)
+	}
+	if state.Version != 1 {
+		return fmt.Errorf("iota: unsupported model version %d", state.Version)
+	}
+	counts := make(map[string]*betaCounter, len(state.Counts))
+	for key, c := range state.Counts {
+		if c.Objections < 0 || c.Acceptances < 0 {
+			return fmt.Errorf("iota: model has negative counts for %q", key)
+		}
+		counts[key] = &betaCounter{objections: c.Objections, acceptances: c.Acceptances}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts = counts
+	return nil
+}
+
+// FeatureKeys returns the model's known feature keys, sorted —
+// diagnostics for the iotactl CLI and the experiments.
+func (m *PrefModel) FeatureKeys() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.counts))
+	for k := range m.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

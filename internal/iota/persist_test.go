@@ -1,0 +1,65 @@
+package iota
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestModelPersistenceRoundTrip(t *testing.T) {
+	m := NewPrefModel()
+	mkt := FeaturesOf(marketingResource())
+	cmf := FeaturesOf(comfortResource())
+	for i := 0; i < 7; i++ {
+		m.Learn(mkt, true)
+		m.Learn(cmf, i%2 == 0)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewPrefModel()
+	if err := json.Unmarshal(raw, restored); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Features{mkt, cmf} {
+		a, b := m.ObjectionProbability(f), restored.ObjectionProbability(f)
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("prediction drifted across persistence: %v vs %v", a, b)
+		}
+		if math.Abs(m.Confidence(f)-restored.Confidence(f)) > 1e-12 {
+			t.Error("confidence drifted across persistence")
+		}
+	}
+	if len(m.FeatureKeys()) != len(restored.FeatureKeys()) {
+		t.Errorf("feature keys lost: %v vs %v", m.FeatureKeys(), restored.FeatureKeys())
+	}
+}
+
+func TestModelUnmarshalRejectsInvalid(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"version":2,"counts":{}}`,
+		`{"version":1,"counts":{"k":{"objections":-1,"acceptances":0}}}`,
+	}
+	for _, raw := range bad {
+		m := NewPrefModel()
+		if err := json.Unmarshal([]byte(raw), m); err == nil {
+			t.Errorf("Unmarshal(%s) succeeded", raw)
+		}
+	}
+}
+
+func TestFeatureKeysSorted(t *testing.T) {
+	m := NewPrefModel()
+	m.Learn(FeaturesOf(marketingResource()), true)
+	keys := m.FeatureKeys()
+	if len(keys) == 0 {
+		t.Fatal("no keys recorded")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("keys not sorted")
+		}
+	}
+}

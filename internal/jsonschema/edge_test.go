@@ -1,0 +1,116 @@
+package jsonschema
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile(invalid) did not panic")
+		}
+	}()
+	MustCompile(`{"type":"frobnitz"}`)
+}
+
+func TestValidateValueMarshalFailure(t *testing.T) {
+	s := MustCompile(`{}`)
+	if err := s.ValidateValue(func() {}); err == nil {
+		t.Error("unmarshalable Go value accepted")
+	}
+	if err := s.ValidateValue(math.NaN()); err == nil {
+		t.Error("NaN accepted (not representable in JSON)")
+	}
+}
+
+func TestCompileNestedSchemaMapErrors(t *testing.T) {
+	bad := []string{
+		`{"properties":3}`,
+		`{"properties":{"a":3}}`,
+		`{"definitions":{"a":"not a schema"}}`,
+		`{"patternProperties":{"^x":"not a schema"}}`,
+		`{"minimum":"three"}`,
+		`{"maximum":true}`,
+	}
+	for _, src := range bad {
+		if _, err := Compile([]byte(src)); err == nil {
+			t.Errorf("Compile(%s) succeeded", src)
+		}
+	}
+}
+
+// TestValidateGoNativeValues covers the float64 instance path (values
+// decoded without UseNumber, as ValidateValue produces for structs).
+func TestValidateGoNativeValues(t *testing.T) {
+	intSchema := MustCompile(`{"type":"integer"}`)
+	if err := intSchema.Validate(float64(3)); err != nil {
+		t.Errorf("float64(3) as integer: %v", err)
+	}
+	if err := intSchema.Validate(3.5); err == nil {
+		t.Error("3.5 accepted as integer")
+	}
+	numSchema := MustCompile(`{"type":"number","minimum":0}`)
+	if err := numSchema.Validate(2.25); err != nil {
+		t.Errorf("2.25 as number: %v", err)
+	}
+	// Unknown Go types report a descriptive type name.
+	typed := MustCompile(`{"type":"string"}`)
+	err := typed.Validate(struct{}{})
+	if err == nil || !strings.Contains(err.Error(), "go:") {
+		t.Errorf("struct instance error = %v, want go: type tag", err)
+	}
+}
+
+func TestEnumErrorTruncatesLongValues(t *testing.T) {
+	s := MustCompile(`{"enum":["tiny"]}`)
+	long := strings.Repeat("x", 500)
+	err := s.Validate(long)
+	if err == nil {
+		t.Fatal("long value accepted")
+	}
+	if len(err.Error()) > 300 {
+		t.Errorf("enum error not truncated: %d bytes", len(err.Error()))
+	}
+	if !strings.Contains(err.Error(), "...") {
+		t.Errorf("truncated error lacks ellipsis: %q", err.Error())
+	}
+}
+
+func TestJSONEqualMixedNumerics(t *testing.T) {
+	// enum declared with integers, instance decoded as float64.
+	s := MustCompile(`{"enum":[1,2,3]}`)
+	if err := s.Validate(float64(2)); err != nil {
+		t.Errorf("float64(2) vs enum ints: %v", err)
+	}
+	if err := s.Validate(float64(4)); err == nil {
+		t.Error("float64(4) matched enum")
+	}
+	// Mixed nested comparison.
+	nested := MustCompile(`{"enum":[{"a":[1,"x",null,true]}]}`)
+	if err := nested.Validate(map[string]any{"a": []any{float64(1), "x", nil, true}}); err != nil {
+		t.Errorf("nested mixed equality failed: %v", err)
+	}
+	if err := nested.Validate(map[string]any{"a": []any{float64(1), "x", nil, false}}); err == nil {
+		t.Error("nested inequality missed")
+	}
+	if err := nested.Validate(map[string]any{"a": []any{float64(1)}}); err == nil {
+		t.Error("length mismatch missed")
+	}
+	if err := nested.Validate(map[string]any{"b": []any{}}); err == nil {
+		t.Error("key mismatch missed")
+	}
+}
+
+func TestBooleanAndNullInstances(t *testing.T) {
+	s := MustCompile(`{"type":["boolean","null"]}`)
+	for _, v := range []any{true, false, nil} {
+		if err := s.Validate(v); err != nil {
+			t.Errorf("Validate(%v) = %v", v, err)
+		}
+	}
+	if err := s.Validate("true"); err == nil {
+		t.Error("string accepted as boolean")
+	}
+}

@@ -1,0 +1,541 @@
+// Package jsonschema implements a validator for the subset of JSON
+// Schema draft-04 used by the policy language.
+//
+// The paper represents its machine-readable policy language with
+// JSON-Schema v4 ("We use a JSON-Schema v4 for the representation",
+// §IV.C), so the policy layer validates documents — building policies
+// advertised by IRRs, user preferences submitted by IoTAs — against
+// schemas before acting on them. Accepting unvalidated policy documents
+// from the network would let a malformed (or malicious) registry drive
+// enforcement decisions.
+//
+// Supported keywords: type (single or list), properties,
+// patternProperties, additionalProperties (bool or schema), required,
+// items (schema or list) with additionalItems, enum, minimum/maximum
+// with draft-04 boolean exclusiveMinimum/exclusiveMaximum, multipleOf,
+// minLength/maxLength, pattern, minItems/maxItems/uniqueItems,
+// minProperties/maxProperties, dependencies (property form), allOf,
+// anyOf, oneOf, not, definitions, and local $ref
+// ("#/definitions/name" and "#" self-reference). format is recognized
+// for "date-time", "uri", and "email"; unknown formats are ignored, as
+// the draft permits.
+package jsonschema
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Schema is a compiled JSON schema node. Compile or MustCompile
+// produces one from its JSON source.
+type Schema struct {
+	// Metadata (not used for validation).
+	Title       string
+	Description string
+
+	types []string // empty means any type
+	enum  []any
+
+	properties          map[string]*Schema
+	patternProperties   []patternSchema
+	additionalOK        bool // additionalProperties != false
+	additionalSchema    *Schema
+	hasAdditional       bool
+	required            []string
+	minProperties       int
+	maxProperties       int
+	hasMaxProperties    bool
+	dependencies        map[string][]string
+	items               *Schema
+	itemList            []*Schema
+	additionalItems     *Schema
+	additionalItemsOK   bool
+	hasAdditionalItems  bool
+	minItems            int
+	maxItems            int
+	hasMaxItems         bool
+	uniqueItems         bool
+	minimum             float64
+	hasMinimum          bool
+	exclusiveMinimum    bool
+	maximum             float64
+	hasMaximum          bool
+	exclusiveMaximum    bool
+	multipleOf          float64
+	hasMultipleOf       bool
+	minLength           int
+	maxLength           int
+	hasMaxLength        bool
+	pattern             *regexp.Regexp
+	format              string
+	allOf, anyOf, oneOf []*Schema
+	not                 *Schema
+	ref                 string
+	root                *Schema
+	definitions         map[string]*Schema
+	resolvedRef         *Schema
+	alwaysValid         bool // compiled from the empty schema {}
+}
+
+type patternSchema struct {
+	re     *regexp.Regexp
+	schema *Schema
+}
+
+// ValidationError describes one violation at a JSON-pointer-ish path.
+type ValidationError struct {
+	Path    string // e.g. "/resources/0/retention"
+	Keyword string // the schema keyword that failed, e.g. "required"
+	Message string
+}
+
+func (e *ValidationError) Error() string {
+	p := e.Path
+	if p == "" {
+		p = "/"
+	}
+	return fmt.Sprintf("jsonschema: %s at %s: %s", e.Keyword, p, e.Message)
+}
+
+// ValidationErrors aggregates every violation found in one Validate
+// call, so callers can report all problems in a policy document at
+// once instead of fixing them one round-trip at a time.
+type ValidationErrors []*ValidationError
+
+func (es ValidationErrors) Error() string {
+	if len(es) == 0 {
+		return "jsonschema: no errors"
+	}
+	msgs := make([]string, len(es))
+	for i, e := range es {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "; ")
+}
+
+// Compile parses and compiles a schema from its JSON encoding,
+// resolving local $refs. It returns an error for malformed schema
+// documents (bad regexes, non-local refs, wrong keyword types).
+func Compile(src []byte) (*Schema, error) {
+	var raw any
+	dec := json.NewDecoder(strings.NewReader(string(src)))
+	dec.UseNumber()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("jsonschema: parse: %w", err)
+	}
+	m, ok := raw.(map[string]any)
+	if !ok {
+		return nil, errors.New("jsonschema: root schema must be a JSON object")
+	}
+	s, err := compileNode(m, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.resolveRefs(map[*Schema]bool{}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustCompile is Compile for known-good literals; it panics on error.
+func MustCompile(src string) *Schema {
+	s, err := Compile([]byte(src))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func compileNode(m map[string]any, root *Schema) (*Schema, error) {
+	s := &Schema{
+		additionalOK:      true,
+		additionalItemsOK: true,
+	}
+	if root == nil {
+		root = s
+	}
+	s.root = root
+
+	if len(m) == 0 {
+		s.alwaysValid = true
+		return s, nil
+	}
+
+	var err error
+	for key, val := range m {
+		switch key {
+		case "title":
+			s.Title, _ = val.(string)
+		case "description":
+			s.Description, _ = val.(string)
+		case "$ref":
+			str, ok := val.(string)
+			if !ok {
+				return nil, fmt.Errorf("jsonschema: $ref must be a string, got %T", val)
+			}
+			s.ref = str
+		case "type":
+			s.types, err = compileTypes(val)
+		case "enum":
+			arr, ok := val.([]any)
+			if !ok || len(arr) == 0 {
+				return nil, errors.New("jsonschema: enum must be a non-empty array")
+			}
+			s.enum = arr
+		case "properties":
+			s.properties, err = compileSchemaMap(val, root, "properties")
+		case "patternProperties":
+			pm, perr := compileSchemaMap(val, root, "patternProperties")
+			if perr != nil {
+				err = perr
+				break
+			}
+			keys := make([]string, 0, len(pm))
+			for k := range pm {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				re, rerr := regexp.Compile(k)
+				if rerr != nil {
+					return nil, fmt.Errorf("jsonschema: patternProperties regexp %q: %w", k, rerr)
+				}
+				s.patternProperties = append(s.patternProperties, patternSchema{re, pm[k]})
+			}
+		case "additionalProperties":
+			s.hasAdditional = true
+			switch v := val.(type) {
+			case bool:
+				s.additionalOK = v
+			case map[string]any:
+				s.additionalSchema, err = compileNode(v, root)
+			default:
+				return nil, fmt.Errorf("jsonschema: additionalProperties must be bool or schema, got %T", val)
+			}
+		case "required":
+			s.required, err = compileStringList(val, "required")
+		case "dependencies":
+			dm, ok := val.(map[string]any)
+			if !ok {
+				return nil, errors.New("jsonschema: dependencies must be an object")
+			}
+			s.dependencies = make(map[string][]string, len(dm))
+			for prop, dep := range dm {
+				list, derr := compileStringList(dep, "dependencies")
+				if derr != nil {
+					return nil, derr
+				}
+				s.dependencies[prop] = list
+			}
+		case "items":
+			switch v := val.(type) {
+			case map[string]any:
+				s.items, err = compileNode(v, root)
+			case []any:
+				for _, item := range v {
+					im, ok := item.(map[string]any)
+					if !ok {
+						return nil, errors.New("jsonschema: items list entries must be schemas")
+					}
+					sub, serr := compileNode(im, root)
+					if serr != nil {
+						return nil, serr
+					}
+					s.itemList = append(s.itemList, sub)
+				}
+			default:
+				return nil, fmt.Errorf("jsonschema: items must be schema or list, got %T", val)
+			}
+		case "additionalItems":
+			s.hasAdditionalItems = true
+			switch v := val.(type) {
+			case bool:
+				s.additionalItemsOK = v
+			case map[string]any:
+				s.additionalItems, err = compileNode(v, root)
+			default:
+				return nil, fmt.Errorf("jsonschema: additionalItems must be bool or schema, got %T", val)
+			}
+		case "minimum":
+			s.minimum, err = toFloat(val, "minimum")
+			s.hasMinimum = err == nil
+		case "maximum":
+			s.maximum, err = toFloat(val, "maximum")
+			s.hasMaximum = err == nil
+		case "exclusiveMinimum":
+			b, ok := val.(bool)
+			if !ok {
+				return nil, errors.New("jsonschema: draft-04 exclusiveMinimum must be boolean")
+			}
+			s.exclusiveMinimum = b
+		case "exclusiveMaximum":
+			b, ok := val.(bool)
+			if !ok {
+				return nil, errors.New("jsonschema: draft-04 exclusiveMaximum must be boolean")
+			}
+			s.exclusiveMaximum = b
+		case "multipleOf":
+			s.multipleOf, err = toFloat(val, "multipleOf")
+			if err == nil && s.multipleOf <= 0 {
+				return nil, errors.New("jsonschema: multipleOf must be > 0")
+			}
+			s.hasMultipleOf = err == nil
+		case "minLength":
+			s.minLength, err = toInt(val, "minLength")
+		case "maxLength":
+			s.maxLength, err = toInt(val, "maxLength")
+			s.hasMaxLength = err == nil
+		case "minItems":
+			s.minItems, err = toInt(val, "minItems")
+		case "maxItems":
+			s.maxItems, err = toInt(val, "maxItems")
+			s.hasMaxItems = err == nil
+		case "uniqueItems":
+			b, ok := val.(bool)
+			if !ok {
+				return nil, errors.New("jsonschema: uniqueItems must be boolean")
+			}
+			s.uniqueItems = b
+		case "minProperties":
+			s.minProperties, err = toInt(val, "minProperties")
+		case "maxProperties":
+			s.maxProperties, err = toInt(val, "maxProperties")
+			s.hasMaxProperties = err == nil
+		case "pattern":
+			str, ok := val.(string)
+			if !ok {
+				return nil, errors.New("jsonschema: pattern must be a string")
+			}
+			s.pattern, err = regexp.Compile(str)
+		case "format":
+			s.format, _ = val.(string)
+		case "allOf":
+			s.allOf, err = compileSchemaList(val, root, "allOf")
+		case "anyOf":
+			s.anyOf, err = compileSchemaList(val, root, "anyOf")
+		case "oneOf":
+			s.oneOf, err = compileSchemaList(val, root, "oneOf")
+		case "not":
+			nm, ok := val.(map[string]any)
+			if !ok {
+				return nil, errors.New("jsonschema: not must be a schema")
+			}
+			s.not, err = compileNode(nm, root)
+		case "definitions":
+			s.definitions, err = compileSchemaMap(val, root, "definitions")
+		default:
+			// Unknown keywords (id, $schema, default, examples, ...) are
+			// permitted and ignored, per the draft.
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func compileTypes(val any) ([]string, error) {
+	valid := map[string]bool{
+		"string": true, "number": true, "integer": true, "boolean": true,
+		"object": true, "array": true, "null": true,
+	}
+	switch v := val.(type) {
+	case string:
+		if !valid[v] {
+			return nil, fmt.Errorf("jsonschema: unknown type %q", v)
+		}
+		return []string{v}, nil
+	case []any:
+		out := make([]string, 0, len(v))
+		for _, t := range v {
+			str, ok := t.(string)
+			if !ok || !valid[str] {
+				return nil, fmt.Errorf("jsonschema: unknown type %v", t)
+			}
+			out = append(out, str)
+		}
+		if len(out) == 0 {
+			return nil, errors.New("jsonschema: type list must be non-empty")
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("jsonschema: type must be string or list, got %T", val)
+	}
+}
+
+func compileSchemaMap(val any, root *Schema, kw string) (map[string]*Schema, error) {
+	m, ok := val.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("jsonschema: %s must be an object", kw)
+	}
+	out := make(map[string]*Schema, len(m))
+	for k, v := range m {
+		sm, ok := v.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("jsonschema: %s/%s must be a schema", kw, k)
+		}
+		sub, err := compileNode(sm, root)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = sub
+	}
+	return out, nil
+}
+
+func compileSchemaList(val any, root *Schema, kw string) ([]*Schema, error) {
+	arr, ok := val.([]any)
+	if !ok || len(arr) == 0 {
+		return nil, fmt.Errorf("jsonschema: %s must be a non-empty array", kw)
+	}
+	out := make([]*Schema, 0, len(arr))
+	for _, v := range arr {
+		m, ok := v.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("jsonschema: %s entries must be schemas", kw)
+		}
+		sub, err := compileNode(m, root)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub)
+	}
+	return out, nil
+}
+
+func compileStringList(val any, kw string) ([]string, error) {
+	arr, ok := val.([]any)
+	if !ok || len(arr) == 0 {
+		return nil, fmt.Errorf("jsonschema: %s must be a non-empty string array", kw)
+	}
+	out := make([]string, 0, len(arr))
+	for _, v := range arr {
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("jsonschema: %s entries must be strings", kw)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func toFloat(val any, kw string) (float64, error) {
+	switch v := val.(type) {
+	case json.Number:
+		return v.Float64()
+	case float64:
+		return v, nil
+	default:
+		return 0, fmt.Errorf("jsonschema: %s must be a number, got %T", kw, val)
+	}
+}
+
+func toInt(val any, kw string) (int, error) {
+	f, err := toFloat(val, kw)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f != math.Trunc(f) {
+		return 0, fmt.Errorf("jsonschema: %s must be a non-negative integer", kw)
+	}
+	return int(f), nil
+}
+
+// resolveRefs walks the compiled tree binding every $ref to its target
+// schema. Only local references are supported: "#" and
+// "#/definitions/<name>" (optionally nested, e.g.
+// "#/definitions/a/definitions/b").
+func (s *Schema) resolveRefs(seen map[*Schema]bool) error {
+	if s == nil || seen[s] {
+		return nil
+	}
+	seen[s] = true
+	if s.ref != "" {
+		target, err := s.root.lookupRef(s.ref)
+		if err != nil {
+			return err
+		}
+		s.resolvedRef = target
+		// The target subtree still needs resolving (it may itself hold refs).
+		if err := target.resolveRefs(seen); err != nil {
+			return err
+		}
+	}
+	children := s.childSchemas()
+	for _, c := range children {
+		if err := c.resolveRefs(seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Schema) childSchemas() []*Schema {
+	var out []*Schema
+	add := func(c *Schema) {
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	for _, c := range s.properties {
+		add(c)
+	}
+	for _, p := range s.patternProperties {
+		add(p.schema)
+	}
+	add(s.additionalSchema)
+	add(s.items)
+	for _, c := range s.itemList {
+		add(c)
+	}
+	add(s.additionalItems)
+	for _, c := range s.allOf {
+		add(c)
+	}
+	for _, c := range s.anyOf {
+		add(c)
+	}
+	for _, c := range s.oneOf {
+		add(c)
+	}
+	add(s.not)
+	for _, c := range s.definitions {
+		add(c)
+	}
+	return out
+}
+
+func (s *Schema) lookupRef(ref string) (*Schema, error) {
+	if ref == "#" {
+		return s, nil
+	}
+	const prefix = "#/"
+	if !strings.HasPrefix(ref, prefix) {
+		return nil, fmt.Errorf("jsonschema: unsupported non-local $ref %q", ref)
+	}
+	parts := strings.Split(ref[len(prefix):], "/")
+	cur := s
+	for i := 0; i < len(parts); i++ {
+		if parts[i] != "definitions" || i+1 >= len(parts) {
+			return nil, fmt.Errorf("jsonschema: unsupported $ref path %q (only #/definitions/... supported)", ref)
+		}
+		name := decodePointerToken(parts[i+1])
+		next, ok := cur.definitions[name]
+		if !ok {
+			return nil, fmt.Errorf("jsonschema: $ref %q: no definition %q", ref, name)
+		}
+		cur = next
+		i++
+	}
+	return cur, nil
+}
+
+func decodePointerToken(t string) string {
+	t = strings.ReplaceAll(t, "~1", "/")
+	return strings.ReplaceAll(t, "~0", "~")
+}

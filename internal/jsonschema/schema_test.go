@@ -1,0 +1,359 @@
+package jsonschema
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustValidate(t *testing.T, s *Schema, doc string) {
+	t.Helper()
+	if err := s.ValidateJSON([]byte(doc)); err != nil {
+		t.Fatalf("ValidateJSON(%s) failed: %v", doc, err)
+	}
+}
+
+func mustFail(t *testing.T, s *Schema, doc, keyword string) {
+	t.Helper()
+	err := s.ValidateJSON([]byte(doc))
+	if err == nil {
+		t.Fatalf("ValidateJSON(%s) succeeded, want %s violation", doc, keyword)
+	}
+	var ves ValidationErrors
+	if !errors.As(err, &ves) {
+		t.Fatalf("error is %T, want ValidationErrors", err)
+	}
+	for _, ve := range ves {
+		if ve.Keyword == keyword {
+			return
+		}
+	}
+	t.Fatalf("ValidateJSON(%s) = %v, want a %q violation", doc, err, keyword)
+}
+
+func TestTypeKeyword(t *testing.T) {
+	tests := []struct {
+		schema string
+		good   []string
+		bad    []string
+	}{
+		{`{"type":"string"}`, []string{`"x"`}, []string{`1`, `true`, `null`, `{}`, `[]`}},
+		{`{"type":"number"}`, []string{`1`, `1.5`, `-2`}, []string{`"x"`, `true`}},
+		{`{"type":"integer"}`, []string{`1`, `-7`, `2.0`}, []string{`1.5`, `"x"`}},
+		{`{"type":"boolean"}`, []string{`true`, `false`}, []string{`0`, `"true"`}},
+		{`{"type":"object"}`, []string{`{}`, `{"a":1}`}, []string{`[]`, `1`}},
+		{`{"type":"array"}`, []string{`[]`, `[1,2]`}, []string{`{}`, `"a"`}},
+		{`{"type":"null"}`, []string{`null`}, []string{`0`, `""`, `false`}},
+		{`{"type":["string","null"]}`, []string{`"x"`, `null`}, []string{`1`}},
+	}
+	for _, tt := range tests {
+		s := MustCompile(tt.schema)
+		for _, doc := range tt.good {
+			mustValidate(t, s, doc)
+		}
+		for _, doc := range tt.bad {
+			mustFail(t, s, doc, "type")
+		}
+	}
+}
+
+func TestObjectKeywords(t *testing.T) {
+	s := MustCompile(`{
+		"type":"object",
+		"properties":{
+			"name":{"type":"string","minLength":1},
+			"age":{"type":"integer","minimum":0,"maximum":150}
+		},
+		"required":["name"],
+		"additionalProperties":false
+	}`)
+	mustValidate(t, s, `{"name":"mary"}`)
+	mustValidate(t, s, `{"name":"mary","age":30}`)
+	mustFail(t, s, `{"age":30}`, "required")
+	mustFail(t, s, `{"name":""}`, "minLength")
+	mustFail(t, s, `{"name":"mary","age":-1}`, "minimum")
+	mustFail(t, s, `{"name":"mary","age":200}`, "maximum")
+	mustFail(t, s, `{"name":"mary","extra":1}`, "additionalProperties")
+	mustFail(t, s, `{"name":"mary","age":1.5}`, "type")
+}
+
+func TestAdditionalPropertiesSchema(t *testing.T) {
+	s := MustCompile(`{
+		"type":"object",
+		"properties":{"id":{"type":"string"}},
+		"additionalProperties":{"type":"number"}
+	}`)
+	mustValidate(t, s, `{"id":"a","x":1,"y":2.5}`)
+	mustFail(t, s, `{"id":"a","x":"not a number"}`, "type")
+}
+
+func TestPatternProperties(t *testing.T) {
+	s := MustCompile(`{
+		"type":"object",
+		"patternProperties":{"^sensor_":{"type":"string"}},
+		"additionalProperties":false
+	}`)
+	mustValidate(t, s, `{"sensor_wifi":"ap1","sensor_ble":"b2"}`)
+	mustFail(t, s, `{"sensor_wifi":42}`, "type")
+	mustFail(t, s, `{"other":"x"}`, "additionalProperties")
+}
+
+func TestDependencies(t *testing.T) {
+	s := MustCompile(`{
+		"type":"object",
+		"dependencies":{"retention":["purpose"]}
+	}`)
+	mustValidate(t, s, `{"purpose":"security","retention":"P6M"}`)
+	mustValidate(t, s, `{"purpose":"security"}`)
+	mustValidate(t, s, `{}`)
+	mustFail(t, s, `{"retention":"P6M"}`, "dependencies")
+}
+
+func TestArrayKeywords(t *testing.T) {
+	s := MustCompile(`{
+		"type":"array",
+		"items":{"type":"string"},
+		"minItems":1,
+		"maxItems":3,
+		"uniqueItems":true
+	}`)
+	mustValidate(t, s, `["a"]`)
+	mustValidate(t, s, `["a","b","c"]`)
+	mustFail(t, s, `[]`, "minItems")
+	mustFail(t, s, `["a","b","c","d"]`, "maxItems")
+	mustFail(t, s, `["a","a"]`, "uniqueItems")
+	mustFail(t, s, `["a",2]`, "type")
+}
+
+func TestTupleItems(t *testing.T) {
+	s := MustCompile(`{
+		"type":"array",
+		"items":[{"type":"string"},{"type":"integer"}],
+		"additionalItems":false
+	}`)
+	mustValidate(t, s, `["room",3]`)
+	mustValidate(t, s, `["room"]`)
+	mustFail(t, s, `["room",3,true]`, "additionalItems")
+	mustFail(t, s, `[3,"room"]`, "type")
+}
+
+func TestNumericKeywords(t *testing.T) {
+	s := MustCompile(`{"type":"number","minimum":0,"exclusiveMinimum":true,"maximum":100,"multipleOf":0.5}`)
+	mustValidate(t, s, `0.5`)
+	mustValidate(t, s, `100`)
+	mustFail(t, s, `0`, "minimum")
+	mustFail(t, s, `100.5`, "maximum")
+	mustFail(t, s, `1.3`, "multipleOf")
+}
+
+func TestEnum(t *testing.T) {
+	s := MustCompile(`{"enum":["fine","coarse","opt-out",1,null,{"k":[1,2]}]}`)
+	mustValidate(t, s, `"fine"`)
+	mustValidate(t, s, `1`)
+	mustValidate(t, s, `null`)
+	mustValidate(t, s, `{"k":[1,2]}`)
+	mustFail(t, s, `"medium"`, "enum")
+	mustFail(t, s, `{"k":[1,3]}`, "enum")
+	mustFail(t, s, `2`, "enum")
+}
+
+func TestPatternAndFormats(t *testing.T) {
+	s := MustCompile(`{"type":"string","pattern":"^P([0-9]+[YMWD])+$"}`)
+	mustValidate(t, s, `"P6M"`)
+	mustFail(t, s, `"six months"`, "pattern")
+
+	dt := MustCompile(`{"type":"string","format":"date-time"}`)
+	mustValidate(t, dt, `"2017-06-01T12:00:00Z"`)
+	mustFail(t, dt, `"yesterday"`, "format")
+
+	uri := MustCompile(`{"type":"string","format":"uri"}`)
+	mustValidate(t, uri, `"https://tippers.example/policy"`)
+	mustFail(t, uri, `"not a uri"`, "format")
+
+	email := MustCompile(`{"type":"string","format":"email"}`)
+	mustValidate(t, email, `"admin@dbh.uci.example"`)
+	mustFail(t, email, `"nope"`, "format")
+
+	unknown := MustCompile(`{"type":"string","format":"hovercraft"}`)
+	mustValidate(t, unknown, `"anything"`)
+}
+
+func TestCombinators(t *testing.T) {
+	allOf := MustCompile(`{"allOf":[{"type":"integer"},{"minimum":10}]}`)
+	mustValidate(t, allOf, `12`)
+	mustFail(t, allOf, `5`, "allOf")
+	mustFail(t, allOf, `"x"`, "allOf")
+
+	anyOf := MustCompile(`{"anyOf":[{"type":"string"},{"type":"integer","minimum":0}]}`)
+	mustValidate(t, anyOf, `"x"`)
+	mustValidate(t, anyOf, `4`)
+	mustFail(t, anyOf, `-4`, "anyOf")
+	mustFail(t, anyOf, `true`, "anyOf")
+
+	oneOf := MustCompile(`{"oneOf":[{"type":"integer","multipleOf":3},{"type":"integer","multipleOf":5}]}`)
+	mustValidate(t, oneOf, `9`)
+	mustValidate(t, oneOf, `10`)
+	mustFail(t, oneOf, `15`, "oneOf") // matches both
+	mustFail(t, oneOf, `7`, "oneOf")  // matches neither
+
+	not := MustCompile(`{"not":{"type":"string"}}`)
+	mustValidate(t, not, `1`)
+	mustFail(t, not, `"s"`, "not")
+}
+
+func TestRefDefinitions(t *testing.T) {
+	s := MustCompile(`{
+		"definitions":{
+			"spatial":{
+				"type":"object",
+				"properties":{
+					"name":{"type":"string"},
+					"type":{"enum":["Building","Floor","Room"]}
+				},
+				"required":["name","type"]
+			}
+		},
+		"type":"object",
+		"properties":{
+			"location":{"$ref":"#/definitions/spatial"}
+		},
+		"required":["location"]
+	}`)
+	mustValidate(t, s, `{"location":{"name":"DBH","type":"Building"}}`)
+	mustFail(t, s, `{"location":{"name":"DBH","type":"Planet"}}`, "enum")
+	mustFail(t, s, `{"location":{"type":"Building"}}`, "required")
+}
+
+func TestRecursiveRef(t *testing.T) {
+	// A spatial tree: each node has a name and children of the same shape.
+	s := MustCompile(`{
+		"definitions":{
+			"node":{
+				"type":"object",
+				"properties":{
+					"name":{"type":"string"},
+					"children":{"type":"array","items":{"$ref":"#/definitions/node"}}
+				},
+				"required":["name"]
+			}
+		},
+		"$ref":"#/definitions/node"
+	}`)
+	mustValidate(t, s, `{"name":"DBH","children":[{"name":"floor1","children":[{"name":"room1100"}]}]}`)
+	mustFail(t, s, `{"name":"DBH","children":[{"children":[]}]}`, "required")
+}
+
+func TestSelfRef(t *testing.T) {
+	s := MustCompile(`{
+		"type":"object",
+		"properties":{"next":{"$ref":"#"},"v":{"type":"integer"}}
+	}`)
+	mustValidate(t, s, `{"v":1,"next":{"v":2,"next":{"v":3}}}`)
+	mustFail(t, s, `{"v":1,"next":{"v":"x"}}`, "type")
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`[]`,
+		`{"type":"frobnitz"}`,
+		`{"type":[]}`,
+		`{"enum":[]}`,
+		`{"pattern":"("}`,
+		`{"patternProperties":{"(":{}}}`,
+		`{"required":[]}`,
+		`{"required":[1]}`,
+		`{"multipleOf":0}`,
+		`{"minLength":-1}`,
+		`{"minLength":1.5}`,
+		`{"exclusiveMinimum":1}`,
+		`{"$ref":"http://remote/schema"}`,
+		`{"$ref":"#/definitions/missing"}`,
+		`{"items":3}`,
+		`{"additionalProperties":3}`,
+		`{"allOf":[]}`,
+		`{"not":[]}`,
+		`{"dependencies":{"a":[1]}}`,
+	}
+	for _, src := range bad {
+		if _, err := Compile([]byte(src)); err == nil {
+			t.Errorf("Compile(%s) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEmptySchemaAcceptsEverything(t *testing.T) {
+	s := MustCompile(`{}`)
+	for _, doc := range []string{`1`, `"x"`, `null`, `[1,2]`, `{"a":{}}`} {
+		mustValidate(t, s, doc)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s := MustCompile(`{
+		"type":"object",
+		"properties":{
+			"resources":{
+				"type":"array",
+				"items":{
+					"type":"object",
+					"properties":{"retention":{"type":"string","pattern":"^P"}},
+					"required":["retention"]
+				}
+			}
+		}
+	}`)
+	err := s.ValidateJSON([]byte(`{"resources":[{"retention":"P6M"},{"retention":"6 months"}]}`))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "/resources/1/retention") {
+		t.Errorf("error %q does not name path /resources/1/retention", err)
+	}
+}
+
+func TestValidateValue(t *testing.T) {
+	type pref struct {
+		Granularity string `json:"granularity"`
+	}
+	s := MustCompile(`{
+		"type":"object",
+		"properties":{"granularity":{"enum":["fine","coarse","none"]}},
+		"required":["granularity"]
+	}`)
+	if err := s.ValidateValue(pref{Granularity: "coarse"}); err != nil {
+		t.Errorf("ValidateValue(valid struct) = %v", err)
+	}
+	if err := s.ValidateValue(pref{Granularity: "exact"}); err == nil {
+		t.Error("ValidateValue(invalid struct) succeeded, want error")
+	}
+}
+
+func TestLargeIntegersPreserved(t *testing.T) {
+	// json.Number path: 2^53+1 must still validate as integer.
+	s := MustCompile(`{"type":"integer"}`)
+	mustValidate(t, s, `9007199254740993`)
+}
+
+func TestMultipleErrorsCollected(t *testing.T) {
+	s := MustCompile(`{
+		"type":"object",
+		"properties":{"a":{"type":"string"},"b":{"type":"integer"}},
+		"required":["a","b","c"]
+	}`)
+	err := s.ValidateJSON([]byte(`{"a":1,"b":"x"}`))
+	var ves ValidationErrors
+	if !errors.As(err, &ves) {
+		t.Fatalf("got %T, want ValidationErrors", err)
+	}
+	if len(ves) < 3 {
+		t.Errorf("got %d errors (%v), want >= 3 (two type + one required)", len(ves), err)
+	}
+}
+
+func TestValidationErrorMessage(t *testing.T) {
+	e := &ValidationError{Path: "", Keyword: "type", Message: "got null, want object"}
+	if !strings.Contains(e.Error(), "at /") {
+		t.Errorf("root-path error should render as '/': %q", e.Error())
+	}
+}

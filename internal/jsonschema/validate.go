@@ -1,0 +1,395 @@
+package jsonschema
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/mail"
+	"net/url"
+	"reflect"
+	"strings"
+	"time"
+)
+
+// Validate checks instance against the schema and returns nil on
+// success or a ValidationErrors value listing every violation.
+//
+// instance must be the result of decoding JSON into any
+// (map[string]any, []any, string, bool, float64/json.Number, nil) or a
+// value that marshals to such (see ValidateJSON for raw bytes).
+func (s *Schema) Validate(instance any) error {
+	var errs ValidationErrors
+	s.validate(instance, "", &errs)
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs
+}
+
+// ValidateJSON decodes raw JSON bytes and validates the result.
+func (s *Schema) ValidateJSON(raw []byte) error {
+	var v any
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.UseNumber()
+	if err := dec.Decode(&v); err != nil {
+		return fmt.Errorf("jsonschema: instance parse: %w", err)
+	}
+	return s.Validate(v)
+}
+
+// ValidateValue marshals an arbitrary Go value to JSON and validates
+// the result. It lets the policy layer validate typed structs without
+// hand-building map trees.
+func (s *Schema) ValidateValue(v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("jsonschema: marshal instance: %w", err)
+	}
+	return s.ValidateJSON(raw)
+}
+
+func (s *Schema) validate(v any, path string, errs *ValidationErrors) {
+	if s == nil || s.alwaysValid {
+		return
+	}
+	if s.resolvedRef != nil {
+		s.resolvedRef.validate(v, path, errs)
+		return
+	}
+
+	if len(s.types) > 0 && !typeMatches(s.types, v) {
+		errs.add(path, "type", fmt.Sprintf("got %s, want %s", jsonTypeOf(v), strings.Join(s.types, " or ")))
+		// Other keyword checks for the wrong type would be noise; stop here.
+		return
+	}
+
+	if len(s.enum) > 0 {
+		found := false
+		for _, e := range s.enum {
+			if jsonEqual(e, v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			errs.add(path, "enum", fmt.Sprintf("%s is not one of the allowed values", compactJSON(v)))
+		}
+	}
+
+	switch val := v.(type) {
+	case map[string]any:
+		s.validateObject(val, path, errs)
+	case []any:
+		s.validateArray(val, path, errs)
+	case string:
+		s.validateString(val, path, errs)
+	case json.Number:
+		f, err := val.Float64()
+		if err == nil {
+			s.validateNumber(f, path, errs)
+		}
+	case float64:
+		s.validateNumber(val, path, errs)
+	}
+
+	for i, sub := range s.allOf {
+		var inner ValidationErrors
+		sub.validate(v, path, &inner)
+		if len(inner) > 0 {
+			errs.add(path, "allOf", fmt.Sprintf("branch %d failed: %s", i, inner.Error()))
+		}
+	}
+	if len(s.anyOf) > 0 {
+		ok := false
+		for _, sub := range s.anyOf {
+			var inner ValidationErrors
+			sub.validate(v, path, &inner)
+			if len(inner) == 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			errs.add(path, "anyOf", "value matches no branch")
+		}
+	}
+	if len(s.oneOf) > 0 {
+		matches := 0
+		for _, sub := range s.oneOf {
+			var inner ValidationErrors
+			sub.validate(v, path, &inner)
+			if len(inner) == 0 {
+				matches++
+			}
+		}
+		if matches != 1 {
+			errs.add(path, "oneOf", fmt.Sprintf("value matches %d branches, want exactly 1", matches))
+		}
+	}
+	if s.not != nil {
+		var inner ValidationErrors
+		s.not.validate(v, path, &inner)
+		if len(inner) == 0 {
+			errs.add(path, "not", "value matches forbidden schema")
+		}
+	}
+}
+
+func (s *Schema) validateObject(obj map[string]any, path string, errs *ValidationErrors) {
+	for _, req := range s.required {
+		if _, ok := obj[req]; !ok {
+			errs.add(path, "required", fmt.Sprintf("missing property %q", req))
+		}
+	}
+	if s.minProperties > 0 && len(obj) < s.minProperties {
+		errs.add(path, "minProperties", fmt.Sprintf("has %d properties, want >= %d", len(obj), s.minProperties))
+	}
+	if s.hasMaxProperties && len(obj) > s.maxProperties {
+		errs.add(path, "maxProperties", fmt.Sprintf("has %d properties, want <= %d", len(obj), s.maxProperties))
+	}
+	for prop, deps := range s.dependencies {
+		if _, present := obj[prop]; !present {
+			continue
+		}
+		for _, dep := range deps {
+			if _, ok := obj[dep]; !ok {
+				errs.add(path, "dependencies", fmt.Sprintf("property %q requires %q", prop, dep))
+			}
+		}
+	}
+	for key, val := range obj {
+		childPath := path + "/" + escapePointerToken(key)
+		matched := false
+		if sub, ok := s.properties[key]; ok {
+			matched = true
+			sub.validate(val, childPath, errs)
+		}
+		for _, ps := range s.patternProperties {
+			if ps.re.MatchString(key) {
+				matched = true
+				ps.schema.validate(val, childPath, errs)
+			}
+		}
+		if matched {
+			continue
+		}
+		if s.additionalSchema != nil {
+			s.additionalSchema.validate(val, childPath, errs)
+		} else if s.hasAdditional && !s.additionalOK {
+			errs.add(path, "additionalProperties", fmt.Sprintf("unexpected property %q", key))
+		}
+	}
+}
+
+func (s *Schema) validateArray(arr []any, path string, errs *ValidationErrors) {
+	if s.minItems > 0 && len(arr) < s.minItems {
+		errs.add(path, "minItems", fmt.Sprintf("has %d items, want >= %d", len(arr), s.minItems))
+	}
+	if s.hasMaxItems && len(arr) > s.maxItems {
+		errs.add(path, "maxItems", fmt.Sprintf("has %d items, want <= %d", len(arr), s.maxItems))
+	}
+	if s.uniqueItems {
+		for i := 0; i < len(arr); i++ {
+			for j := i + 1; j < len(arr); j++ {
+				if jsonEqual(arr[i], arr[j]) {
+					errs.add(path, "uniqueItems", fmt.Sprintf("items %d and %d are equal", i, j))
+				}
+			}
+		}
+	}
+	for i, item := range arr {
+		childPath := fmt.Sprintf("%s/%d", path, i)
+		switch {
+		case s.items != nil:
+			s.items.validate(item, childPath, errs)
+		case len(s.itemList) > 0:
+			if i < len(s.itemList) {
+				s.itemList[i].validate(item, childPath, errs)
+			} else if s.additionalItems != nil {
+				s.additionalItems.validate(item, childPath, errs)
+			} else if s.hasAdditionalItems && !s.additionalItemsOK {
+				errs.add(path, "additionalItems", fmt.Sprintf("unexpected item at index %d", i))
+			}
+		}
+	}
+}
+
+func (s *Schema) validateString(str string, path string, errs *ValidationErrors) {
+	n := len([]rune(str))
+	if s.minLength > 0 && n < s.minLength {
+		errs.add(path, "minLength", fmt.Sprintf("length %d, want >= %d", n, s.minLength))
+	}
+	if s.hasMaxLength && n > s.maxLength {
+		errs.add(path, "maxLength", fmt.Sprintf("length %d, want <= %d", n, s.maxLength))
+	}
+	if s.pattern != nil && !s.pattern.MatchString(str) {
+		errs.add(path, "pattern", fmt.Sprintf("%q does not match %q", str, s.pattern.String()))
+	}
+	switch s.format {
+	case "date-time":
+		if _, err := time.Parse(time.RFC3339, str); err != nil {
+			errs.add(path, "format", fmt.Sprintf("%q is not an RFC 3339 date-time", str))
+		}
+	case "uri":
+		u, err := url.Parse(str)
+		if err != nil || u.Scheme == "" {
+			errs.add(path, "format", fmt.Sprintf("%q is not an absolute URI", str))
+		}
+	case "email":
+		if _, err := mail.ParseAddress(str); err != nil {
+			errs.add(path, "format", fmt.Sprintf("%q is not an email address", str))
+		}
+	}
+}
+
+func (s *Schema) validateNumber(f float64, path string, errs *ValidationErrors) {
+	if hasType(s.types, "integer") && f != math.Trunc(f) {
+		errs.add(path, "type", fmt.Sprintf("%v is not an integer", f))
+	}
+	if s.hasMinimum {
+		if s.exclusiveMinimum && f <= s.minimum {
+			errs.add(path, "minimum", fmt.Sprintf("%v <= exclusive minimum %v", f, s.minimum))
+		} else if !s.exclusiveMinimum && f < s.minimum {
+			errs.add(path, "minimum", fmt.Sprintf("%v < minimum %v", f, s.minimum))
+		}
+	}
+	if s.hasMaximum {
+		if s.exclusiveMaximum && f >= s.maximum {
+			errs.add(path, "maximum", fmt.Sprintf("%v >= exclusive maximum %v", f, s.maximum))
+		} else if !s.exclusiveMaximum && f > s.maximum {
+			errs.add(path, "maximum", fmt.Sprintf("%v > maximum %v", f, s.maximum))
+		}
+	}
+	if s.hasMultipleOf {
+		q := f / s.multipleOf
+		if math.Abs(q-math.Round(q)) > 1e-9 {
+			errs.add(path, "multipleOf", fmt.Sprintf("%v is not a multiple of %v", f, s.multipleOf))
+		}
+	}
+}
+
+func (es *ValidationErrors) add(path, keyword, msg string) {
+	*es = append(*es, &ValidationError{Path: path, Keyword: keyword, Message: msg})
+}
+
+func typeMatches(types []string, v any) bool {
+	got := jsonTypeOf(v)
+	for _, t := range types {
+		if t == got {
+			return true
+		}
+		// Every integer is a number; an integral float satisfies "integer"
+		// (the integer-ness check itself happens in validateNumber).
+		if t == "number" && got == "integer" {
+			return true
+		}
+		if t == "integer" && got == "number" {
+			return true
+		}
+	}
+	return false
+}
+
+func hasType(types []string, t string) bool {
+	for _, x := range types {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func jsonTypeOf(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "boolean"
+	case string:
+		return "string"
+	case json.Number:
+		if _, err := x.Int64(); err == nil {
+			return "integer"
+		}
+		return "number"
+	case float64:
+		if x == math.Trunc(x) {
+			return "integer"
+		}
+		return "number"
+	case []any:
+		return "array"
+	case map[string]any:
+		return "object"
+	default:
+		return fmt.Sprintf("go:%T", v)
+	}
+}
+
+// jsonEqual compares two decoded JSON values with numeric equality
+// across json.Number and float64 representations.
+func jsonEqual(a, b any) bool {
+	af, aok := numericValue(a)
+	bf, bok := numericValue(b)
+	if aok && bok {
+		return af == bf
+	}
+	if aok != bok {
+		return false
+	}
+	switch av := a.(type) {
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !jsonEqual(av[i], bv[i]) {
+				return false
+			}
+		}
+		return true
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for k, x := range av {
+			y, ok := bv[k]
+			if !ok || !jsonEqual(x, y) {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func numericValue(v any) (float64, bool) {
+	switch x := v.(type) {
+	case json.Number:
+		f, err := x.Float64()
+		return f, err == nil
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+func compactJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	if len(b) > 60 {
+		return string(b[:57]) + "..."
+	}
+	return string(b)
+}
+
+func escapePointerToken(t string) string {
+	t = strings.ReplaceAll(t, "~", "~0")
+	return strings.ReplaceAll(t, "/", "~1")
+}

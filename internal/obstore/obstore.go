@@ -1,0 +1,409 @@
+// Package obstore implements the building's observation store: the
+// "DB" box in the paper's Figure 1 (step 3: captured sensor data is
+// stored; step 9/10: services query it through the request manager).
+//
+// The store is an indexed in-memory time-series log. It implements
+// the paper's storage-time enforcement point: retention rules — the
+// "retention" element of the policy language (Figure 2's "P6M") — are
+// applied by Sweep, which deletes observations past their expiry.
+//
+// Query-time enforcement (purpose checks, granularity degradation,
+// noise) happens above the store in internal/enforce; the store holds
+// ground truth.
+package obstore
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/tippers/tippers/internal/isodur"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// Filter selects observations. Zero fields match everything, so the
+// zero Filter returns the full log.
+type Filter struct {
+	// From (inclusive) and To (exclusive) bound observation time.
+	From, To time.Time
+	SensorID string
+	UserID   string
+	// DeviceMAC matches the observation's device MAC (useful before
+	// attribution, or when MACs are pseudonymized).
+	DeviceMAC string
+	Kind      sensor.ObservationKind
+	// SpaceIDs matches observations located in any of the given
+	// spaces. Callers expand spatial subtrees (e.g. a floor to its
+	// rooms) before querying.
+	SpaceIDs []string
+	// Limit caps the number of returned observations; 0 means no cap.
+	Limit int
+}
+
+// RetentionRule binds a time-to-live to a scope. Scope precedence at
+// sweep time: SensorID match beats Kind match beats the default.
+type RetentionRule struct {
+	// SensorID scopes the rule to one sensor; empty means any.
+	SensorID string
+	// Kind scopes the rule to one observation kind; empty means any.
+	Kind sensor.ObservationKind
+	// TTL is how long matching observations live.
+	TTL isodur.Duration
+}
+
+// Store is an indexed, concurrency-safe observation log.
+type Store struct {
+	mu       sync.RWMutex
+	bySeq    map[uint64]sensor.Observation
+	order    []uint64 // insertion order; may contain tombstoned seqs
+	bySensor map[string][]uint64
+	byUser   map[string][]uint64
+	byKind   map[sensor.ObservationKind][]uint64
+	nextSeq  uint64
+	dead     int // tombstones awaiting compaction
+
+	retMu        sync.RWMutex
+	rules        []RetentionRule
+	defaultTTL   isodur.Duration
+	hasDefault   bool
+	totalIngests uint64
+	totalSwept   uint64
+}
+
+// New returns an empty store with no retention rules (observations
+// are kept forever until rules are installed).
+func New() *Store {
+	return &Store{
+		bySeq:    make(map[uint64]sensor.Observation),
+		bySensor: make(map[string][]uint64),
+		byUser:   make(map[string][]uint64),
+		byKind:   make(map[sensor.ObservationKind][]uint64),
+	}
+}
+
+// ErrZeroTime reports an ingest with an unset timestamp; retention
+// cannot be computed for such observations.
+var ErrZeroTime = errors.New("obstore: observation has zero time")
+
+// Append ingests one observation, assigns it a sequence number, and
+// returns the stored copy.
+func (s *Store) Append(o sensor.Observation) (sensor.Observation, error) {
+	if o.Time.IsZero() {
+		return sensor.Observation{}, ErrZeroTime
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSeq++
+	o.Seq = s.nextSeq
+	s.bySeq[o.Seq] = o
+	s.order = append(s.order, o.Seq)
+	if o.SensorID != "" {
+		s.bySensor[o.SensorID] = append(s.bySensor[o.SensorID], o.Seq)
+	}
+	if o.UserID != "" {
+		s.byUser[o.UserID] = append(s.byUser[o.UserID], o.Seq)
+	}
+	if o.Kind != "" {
+		s.byKind[o.Kind] = append(s.byKind[o.Kind], o.Seq)
+	}
+	s.totalIngests++
+	return o, nil
+}
+
+// AppendAll ingests a batch, stopping at the first error.
+func (s *Store) AppendAll(obs []sensor.Observation) error {
+	for _, o := range obs {
+		if _, err := s.Append(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query returns the observations matching f in insertion order.
+func (s *Store) Query(f Filter) []sensor.Observation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	candidates := s.candidateSeqs(f)
+	var spaceSet map[string]bool
+	if len(f.SpaceIDs) > 0 {
+		spaceSet = make(map[string]bool, len(f.SpaceIDs))
+		for _, id := range f.SpaceIDs {
+			spaceSet[id] = true
+		}
+	}
+	var out []sensor.Observation
+	for _, seq := range candidates {
+		o, ok := s.bySeq[seq]
+		if !ok {
+			continue // tombstone
+		}
+		if !matches(o, f, spaceSet) {
+			continue
+		}
+		out = append(out, o)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Count returns the number of observations matching f.
+func (s *Store) Count(f Filter) int {
+	saved := f.Limit
+	f.Limit = 0
+	n := len(s.Query(f))
+	_ = saved
+	return n
+}
+
+// candidateSeqs picks the narrowest available index for the filter.
+// Caller holds s.mu.
+func (s *Store) candidateSeqs(f Filter) []uint64 {
+	best := s.order
+	if f.SensorID != "" {
+		if list := s.bySensor[f.SensorID]; len(list) < len(best) {
+			best = list
+		}
+	}
+	if f.UserID != "" {
+		if list := s.byUser[f.UserID]; len(list) < len(best) {
+			best = list
+		}
+	}
+	if f.Kind != "" {
+		if list := s.byKind[f.Kind]; len(list) < len(best) {
+			best = list
+		}
+	}
+	return best
+}
+
+func matches(o sensor.Observation, f Filter, spaceSet map[string]bool) bool {
+	if !f.From.IsZero() && o.Time.Before(f.From) {
+		return false
+	}
+	if !f.To.IsZero() && !o.Time.Before(f.To) {
+		return false
+	}
+	if f.SensorID != "" && o.SensorID != f.SensorID {
+		return false
+	}
+	if f.UserID != "" && o.UserID != f.UserID {
+		return false
+	}
+	if f.DeviceMAC != "" && o.DeviceMAC != f.DeviceMAC {
+		return false
+	}
+	if f.Kind != "" && o.Kind != f.Kind {
+		return false
+	}
+	if spaceSet != nil && !spaceSet[o.SpaceID] {
+		return false
+	}
+	return true
+}
+
+// Len returns the number of live observations.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.bySeq)
+}
+
+// Stats reports cumulative ingest and sweep counters plus the live
+// count, for the retention experiment (E6).
+type Stats struct {
+	Live     int
+	Ingested uint64
+	Swept    uint64
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{Live: len(s.bySeq), Ingested: s.totalIngests, Swept: s.totalSwept}
+}
+
+// SetDefaultRetention installs a default TTL applied to observations
+// no rule matches. A zero duration with ok=false (via
+// ClearDefaultRetention) restores keep-forever.
+func (s *Store) SetDefaultRetention(ttl isodur.Duration) {
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
+	s.defaultTTL = ttl
+	s.hasDefault = true
+}
+
+// ClearDefaultRetention removes the default TTL.
+func (s *Store) ClearDefaultRetention() {
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
+	s.hasDefault = false
+}
+
+// AddRetentionRule installs a scoped retention rule. Rules are
+// consulted in precedence order: sensor-specific, then kind-specific,
+// then catch-all rules, then the default TTL.
+func (s *Store) AddRetentionRule(r RetentionRule) {
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
+	s.rules = append(s.rules, r)
+}
+
+// RetentionRules returns a copy of the installed rules.
+func (s *Store) RetentionRules() []RetentionRule {
+	s.retMu.RLock()
+	defer s.retMu.RUnlock()
+	out := make([]RetentionRule, len(s.rules))
+	copy(out, s.rules)
+	return out
+}
+
+// expiry returns the expiry time for o, and whether any rule applies.
+func (s *Store) expiry(o sensor.Observation) (time.Time, bool) {
+	s.retMu.RLock()
+	defer s.retMu.RUnlock()
+	var best *RetentionRule
+	bestRank := -1
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.SensorID != "" && r.SensorID != o.SensorID {
+			continue
+		}
+		if r.Kind != "" && r.Kind != o.Kind {
+			continue
+		}
+		rank := 0
+		if r.Kind != "" {
+			rank = 1
+		}
+		if r.SensorID != "" {
+			rank = 2
+		}
+		if rank > bestRank {
+			bestRank = rank
+			best = r
+		}
+	}
+	if best != nil {
+		return best.TTL.AddTo(o.Time), true
+	}
+	if s.hasDefault {
+		return s.defaultTTL.AddTo(o.Time), true
+	}
+	return time.Time{}, false
+}
+
+// Sweep deletes every observation whose retention expired at or
+// before now, returning the number deleted. It is the storage-time
+// enforcement pass; the BMS core runs it periodically.
+func (s *Store) Sweep(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for seq, o := range s.bySeq {
+		exp, ok := s.expiry(o)
+		if !ok {
+			continue
+		}
+		if !exp.After(now) {
+			delete(s.bySeq, seq)
+			removed++
+		}
+	}
+	s.dead += removed
+	s.totalSwept += uint64(removed)
+	// Compact index slices once tombstones dominate, keeping query
+	// scans proportional to live data.
+	if s.dead > len(s.bySeq) && s.dead > 1024 {
+		s.compactLocked()
+	}
+	return removed
+}
+
+// DeleteUser removes every observation attributed to userID,
+// supporting right-to-erasure style requests. It returns the number
+// deleted.
+func (s *Store) DeleteUser(userID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for _, seq := range s.byUser[userID] {
+		if _, ok := s.bySeq[seq]; ok {
+			delete(s.bySeq, seq)
+			removed++
+		}
+	}
+	delete(s.byUser, userID)
+	s.dead += removed
+	s.totalSwept += uint64(removed)
+	return removed
+}
+
+// compactLocked rebuilds order and index slices without tombstones.
+// Caller holds s.mu.
+func (s *Store) compactLocked() {
+	live := s.order[:0]
+	for _, seq := range s.order {
+		if _, ok := s.bySeq[seq]; ok {
+			live = append(live, seq)
+		}
+	}
+	s.order = live
+	compactIndex := func(idx map[string][]uint64) {
+		for key, list := range idx {
+			out := list[:0]
+			for _, seq := range list {
+				if _, ok := s.bySeq[seq]; ok {
+					out = append(out, seq)
+				}
+			}
+			if len(out) == 0 {
+				delete(idx, key)
+			} else {
+				idx[key] = out
+			}
+		}
+	}
+	compactIndex(s.bySensor)
+	compactIndex(s.byUser)
+	kindIdx := make(map[string][]uint64, len(s.byKind))
+	for k, v := range s.byKind {
+		kindIdx[string(k)] = v
+	}
+	compactIndex(kindIdx)
+	for k := range s.byKind {
+		delete(s.byKind, k)
+	}
+	for k, v := range kindIdx {
+		s.byKind[sensor.ObservationKind(k)] = v
+	}
+	s.dead = 0
+}
+
+// Users returns the distinct attributed user IDs present in the
+// store, sorted. Inference experiments use it to enumerate subjects.
+func (s *Store) Users() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byUser))
+	for u, seqs := range s.byUser {
+		alive := false
+		for _, seq := range seqs {
+			if _, ok := s.bySeq[seq]; ok {
+				alive = true
+				break
+			}
+		}
+		if alive {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,345 @@
+package obstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/isodur"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+var t0 = time.Date(2017, time.June, 1, 8, 0, 0, 0, time.UTC)
+
+func obsAt(minute int, sensorID, userID, spaceID string, kind sensor.ObservationKind) sensor.Observation {
+	return sensor.Observation{
+		SensorID: sensorID,
+		UserID:   userID,
+		SpaceID:  spaceID,
+		Kind:     kind,
+		Time:     t0.Add(time.Duration(minute) * time.Minute),
+	}
+}
+
+func newPopulatedStore(t testing.TB) *Store {
+	t.Helper()
+	s := New()
+	seed := []sensor.Observation{
+		obsAt(0, "ap-1", "mary", "dbh/1", sensor.ObsWiFiConnect),
+		obsAt(5, "ap-1", "bob", "dbh/1", sensor.ObsWiFiConnect),
+		obsAt(10, "ap-2", "mary", "dbh/2", sensor.ObsWiFiConnect),
+		obsAt(15, "ble-1", "mary", "dbh/2/2065", sensor.ObsBLESighting),
+		obsAt(20, "pm-1", "", "dbh/2/2065", sensor.ObsPowerReading),
+		obsAt(25, "cam-1", "", "dbh/1/corr", sensor.ObsCameraFrame),
+	}
+	if err := s.AppendAll(seed); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAppendAssignsSeq(t *testing.T) {
+	s := New()
+	a, err := s.Append(obsAt(0, "ap-1", "mary", "dbh/1", sensor.ObsWiFiConnect))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Append(obsAt(1, "ap-1", "mary", "dbh/1", sensor.ObsWiFiConnect))
+	if a.Seq == 0 || b.Seq <= a.Seq {
+		t.Errorf("seqs not increasing: %d, %d", a.Seq, b.Seq)
+	}
+	if _, err := s.Append(sensor.Observation{SensorID: "x"}); !errors.Is(err, ErrZeroTime) {
+		t.Errorf("zero-time append: %v", err)
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	s := newPopulatedStore(t)
+	tests := []struct {
+		name string
+		f    Filter
+		want int
+	}{
+		{"all", Filter{}, 6},
+		{"by user", Filter{UserID: "mary"}, 3},
+		{"by sensor", Filter{SensorID: "ap-1"}, 2},
+		{"by kind", Filter{Kind: sensor.ObsWiFiConnect}, 3},
+		{"by space", Filter{SpaceIDs: []string{"dbh/2/2065"}}, 2},
+		{"by spaces", Filter{SpaceIDs: []string{"dbh/1", "dbh/2"}}, 3},
+		{"user+kind", Filter{UserID: "mary", Kind: sensor.ObsWiFiConnect}, 2},
+		{"time window", Filter{From: t0.Add(5 * time.Minute), To: t0.Add(16 * time.Minute)}, 3},
+		{"to exclusive", Filter{To: t0.Add(5 * time.Minute)}, 1},
+		{"from inclusive", Filter{From: t0.Add(25 * time.Minute)}, 1},
+		{"limit", Filter{Limit: 2}, 2},
+		{"no match", Filter{UserID: "ghost"}, 0},
+		{"mac", Filter{DeviceMAC: "absent"}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := s.Query(tt.f)
+			if len(got) != tt.want {
+				t.Errorf("Query(%+v) = %d observations, want %d", tt.f, len(got), tt.want)
+			}
+		})
+	}
+}
+
+func TestQueryOrderAndCount(t *testing.T) {
+	s := newPopulatedStore(t)
+	got := s.Query(Filter{UserID: "mary"})
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Seq >= got[i].Seq {
+			t.Error("results not in insertion order")
+		}
+	}
+	if got := s.Count(Filter{UserID: "mary", Limit: 1}); got != 3 {
+		t.Errorf("Count ignores Limit: got %d, want 3", got)
+	}
+}
+
+func TestRetentionDefault(t *testing.T) {
+	s := newPopulatedStore(t)
+	if n := s.Sweep(t0.Add(24 * time.Hour)); n != 0 {
+		t.Fatalf("sweep with no rules removed %d", n)
+	}
+	s.SetDefaultRetention(isodur.MustParse("PT10M"))
+	// At t0+20m: obs at minutes 0,5,10 have expired (expiry = obsTime+10m <= now).
+	if n := s.Sweep(t0.Add(20 * time.Minute)); n != 3 {
+		t.Fatalf("sweep removed %d, want 3", n)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	s.ClearDefaultRetention()
+	if n := s.Sweep(t0.Add(1000 * time.Hour)); n != 0 {
+		t.Errorf("cleared default still sweeping: %d", n)
+	}
+}
+
+func TestRetentionPrecedence(t *testing.T) {
+	s := newPopulatedStore(t)
+	// Kind rule: WiFi logs live 6 months. Sensor rule: ap-1 lives 1 minute.
+	s.AddRetentionRule(RetentionRule{Kind: sensor.ObsWiFiConnect, TTL: isodur.SixMonths})
+	s.AddRetentionRule(RetentionRule{SensorID: "ap-1", TTL: isodur.MustParse("PT1M")})
+	n := s.Sweep(t0.Add(30 * time.Minute))
+	// Only ap-1's two observations expired: sensor rule beats kind rule.
+	if n != 2 {
+		t.Fatalf("sweep removed %d, want 2", n)
+	}
+	if got := s.Query(Filter{SensorID: "ap-1"}); len(got) != 0 {
+		t.Errorf("ap-1 observations survived: %v", got)
+	}
+	if got := s.Query(Filter{SensorID: "ap-2"}); len(got) != 1 {
+		t.Errorf("ap-2 observation swept: %d", len(got))
+	}
+}
+
+func TestRetentionKindBeatsCatchAll(t *testing.T) {
+	s := newPopulatedStore(t)
+	s.AddRetentionRule(RetentionRule{TTL: isodur.MustParse("PT1M")})                 // catch-all: 1 minute
+	s.AddRetentionRule(RetentionRule{Kind: sensor.ObsWiFiConnect, TTL: isodur.Year}) // wifi: 1 year
+	s.Sweep(t0.Add(time.Hour))
+	if got := s.Count(Filter{Kind: sensor.ObsWiFiConnect}); got != 3 {
+		t.Errorf("wifi observations = %d, want 3 (kind rule beats catch-all)", got)
+	}
+	if got := s.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3 (non-wifi swept)", got)
+	}
+}
+
+func TestSweepIdempotent(t *testing.T) {
+	s := newPopulatedStore(t)
+	s.SetDefaultRetention(isodur.MustParse("PT1M"))
+	now := t0.Add(time.Hour)
+	first := s.Sweep(now)
+	second := s.Sweep(now)
+	if first != 6 || second != 0 {
+		t.Errorf("sweeps = %d, %d; want 6, 0", first, second)
+	}
+	st := s.Stats()
+	if st.Live != 0 || st.Ingested != 6 || st.Swept != 6 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestDeleteUser(t *testing.T) {
+	s := newPopulatedStore(t)
+	if n := s.DeleteUser("mary"); n != 3 {
+		t.Fatalf("DeleteUser removed %d, want 3", n)
+	}
+	if got := s.Query(Filter{UserID: "mary"}); len(got) != 0 {
+		t.Errorf("mary still queryable: %v", got)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if n := s.DeleteUser("mary"); n != 0 {
+		t.Errorf("second DeleteUser removed %d", n)
+	}
+	users := s.Users()
+	for _, u := range users {
+		if u == "mary" {
+			t.Error("Users() still lists mary")
+		}
+	}
+}
+
+func TestUsersListsLiveOnly(t *testing.T) {
+	s := newPopulatedStore(t)
+	got := s.Users()
+	if len(got) != 2 || got[0] != "bob" || got[1] != "mary" {
+		t.Errorf("Users() = %v, want [bob mary]", got)
+	}
+}
+
+// TestCompaction drives enough churn to trigger index compaction and
+// verifies queries stay correct afterwards.
+func TestCompaction(t *testing.T) {
+	s := New()
+	s.SetDefaultRetention(isodur.MustParse("PT1M"))
+	base := t0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		_, err := s.Append(sensor.Observation{
+			SensorID: fmt.Sprintf("ap-%d", i%7),
+			UserID:   fmt.Sprintf("u-%d", i%11),
+			Kind:     sensor.ObsWiFiConnect,
+			SpaceID:  "dbh/1",
+			Time:     base.Add(time.Duration(i) * time.Second),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Expire roughly the first half.
+	removed := s.Sweep(base.Add(n/2*time.Second + time.Minute))
+	if removed == 0 {
+		t.Fatal("nothing swept")
+	}
+	if s.Len() != n-removed {
+		t.Fatalf("Len = %d, want %d", s.Len(), n-removed)
+	}
+	// All queries must agree with a brute-force count.
+	got := s.Count(Filter{SensorID: "ap-3"})
+	want := 0
+	for _, o := range s.Query(Filter{}) {
+		if o.SensorID == "ap-3" {
+			want++
+		}
+	}
+	if got != want {
+		t.Errorf("post-compaction Count(ap-3) = %d, want %d", got, want)
+	}
+	// New appends still work and are queryable.
+	s.Append(sensor.Observation{SensorID: "ap-3", Kind: sensor.ObsWiFiConnect, Time: base.Add(2 * n * time.Second)})
+	if s.Count(Filter{SensorID: "ap-3"}) != want+1 {
+		t.Error("append after compaction not visible")
+	}
+}
+
+// TestQueryEquivalenceProperty: indexed queries must return the same
+// multiset as a brute-force scan, across random filters and data.
+func TestQueryEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	s := New()
+	kinds := []sensor.ObservationKind{sensor.ObsWiFiConnect, sensor.ObsBLESighting, sensor.ObsPowerReading}
+	var all []sensor.Observation
+	for i := 0; i < 500; i++ {
+		o := sensor.Observation{
+			SensorID: fmt.Sprintf("s-%d", r.Intn(5)),
+			UserID:   fmt.Sprintf("u-%d", r.Intn(4)),
+			SpaceID:  fmt.Sprintf("sp-%d", r.Intn(3)),
+			Kind:     kinds[r.Intn(len(kinds))],
+			Time:     t0.Add(time.Duration(r.Intn(1000)) * time.Second),
+		}
+		stored, err := s.Append(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, stored)
+	}
+	for trial := 0; trial < 200; trial++ {
+		f := Filter{}
+		if r.Intn(2) == 0 {
+			f.SensorID = fmt.Sprintf("s-%d", r.Intn(5))
+		}
+		if r.Intn(2) == 0 {
+			f.UserID = fmt.Sprintf("u-%d", r.Intn(4))
+		}
+		if r.Intn(2) == 0 {
+			f.Kind = kinds[r.Intn(len(kinds))]
+		}
+		if r.Intn(2) == 0 {
+			f.SpaceIDs = []string{fmt.Sprintf("sp-%d", r.Intn(3))}
+		}
+		if r.Intn(2) == 0 {
+			f.From = t0.Add(time.Duration(r.Intn(500)) * time.Second)
+			f.To = f.From.Add(time.Duration(r.Intn(500)) * time.Second)
+		}
+		got := s.Query(f)
+		want := 0
+		spaceSet := map[string]bool{}
+		for _, id := range f.SpaceIDs {
+			spaceSet[id] = true
+		}
+		for _, o := range all {
+			if f.SensorID != "" && o.SensorID != f.SensorID {
+				continue
+			}
+			if f.UserID != "" && o.UserID != f.UserID {
+				continue
+			}
+			if f.Kind != "" && o.Kind != f.Kind {
+				continue
+			}
+			if len(spaceSet) > 0 && !spaceSet[o.SpaceID] {
+				continue
+			}
+			if !f.From.IsZero() && o.Time.Before(f.From) {
+				continue
+			}
+			if !f.To.IsZero() && !o.Time.Before(f.To) {
+				continue
+			}
+			want++
+		}
+		if len(got) != want {
+			t.Fatalf("filter %+v: indexed=%d brute=%d", f, len(got), want)
+		}
+	}
+}
+
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	s := New()
+	s.SetDefaultRetention(isodur.Day)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, err := s.Append(sensor.Observation{
+					SensorID: fmt.Sprintf("s-%d", g),
+					UserID:   "u",
+					Kind:     sensor.ObsWiFiConnect,
+					Time:     t0.Add(time.Duration(i) * time.Second),
+				})
+				if err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+				if i%50 == 0 {
+					s.Query(Filter{UserID: "u", Limit: 10})
+					s.Sweep(t0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Errorf("Len = %d, want 1600", s.Len())
+	}
+}

@@ -1,0 +1,106 @@
+package obstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// This file implements store persistence as a JSON-lines snapshot: a
+// header line with the store's counters, then one observation per
+// line in ingest order. The format is append-friendly, diffable, and
+// needs no schema migration machinery — appropriate for a building
+// node that snapshots on shutdown and restores on boot. Retention
+// rules are configuration (reinstalled from policies at startup), so
+// they are not part of the snapshot.
+
+// snapshotHeader is the first line of a snapshot.
+type snapshotHeader struct {
+	Version  int    `json:"version"`
+	NextSeq  uint64 `json:"next_seq"`
+	Ingested uint64 `json:"ingested"`
+	Swept    uint64 `json:"swept"`
+	Count    int    `json:"count"`
+}
+
+// WriteSnapshot serializes the live observations to w.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	header := snapshotHeader{
+		Version:  1,
+		NextSeq:  s.nextSeq,
+		Ingested: s.totalIngests,
+		Swept:    s.totalSwept,
+		Count:    len(s.bySeq),
+	}
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("obstore: snapshot header: %w", err)
+	}
+	for _, seq := range s.order {
+		o, ok := s.bySeq[seq]
+		if !ok {
+			continue
+		}
+		if err := enc.Encode(o); err != nil {
+			return fmt.Errorf("obstore: snapshot observation %d: %w", seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot restores a store from a snapshot. It returns an error
+// if the store already holds data — restoring over live observations
+// would silently interleave two histories.
+func (s *Store) ReadSnapshot(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.bySeq) != 0 || s.nextSeq != 0 {
+		return fmt.Errorf("obstore: refusing to restore into a non-empty store")
+	}
+
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header snapshotHeader
+	if err := dec.Decode(&header); err != nil {
+		return fmt.Errorf("obstore: snapshot header: %w", err)
+	}
+	if header.Version != 1 {
+		return fmt.Errorf("obstore: unsupported snapshot version %d", header.Version)
+	}
+	for i := 0; i < header.Count; i++ {
+		var o sensor.Observation
+		if err := dec.Decode(&o); err != nil {
+			return fmt.Errorf("obstore: snapshot observation %d/%d: %w", i+1, header.Count, err)
+		}
+		if o.Seq == 0 || o.Time.IsZero() {
+			return fmt.Errorf("obstore: snapshot observation %d has no seq or time", i+1)
+		}
+		if _, dup := s.bySeq[o.Seq]; dup {
+			return fmt.Errorf("obstore: snapshot has duplicate seq %d", o.Seq)
+		}
+		s.bySeq[o.Seq] = o
+		s.order = append(s.order, o.Seq)
+		if o.SensorID != "" {
+			s.bySensor[o.SensorID] = append(s.bySensor[o.SensorID], o.Seq)
+		}
+		if o.UserID != "" {
+			s.byUser[o.UserID] = append(s.byUser[o.UserID], o.Seq)
+		}
+		if o.Kind != "" {
+			s.byKind[o.Kind] = append(s.byKind[o.Kind], o.Seq)
+		}
+	}
+	if dec.More() {
+		return fmt.Errorf("obstore: snapshot has trailing data beyond declared count %d", header.Count)
+	}
+	s.nextSeq = header.NextSeq
+	s.totalIngests = header.Ingested
+	s.totalSwept = header.Swept
+	return nil
+}

@@ -1,0 +1,96 @@
+package obstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/isodur"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := newPopulatedStore(t)
+	// Exercise the counters: sweep something first.
+	src.AddRetentionRule(RetentionRule{SensorID: "ap-1", TTL: isodur.MustParse("PT1M")})
+	if n := src.Sweep(t0.Add(time.Hour)); n != 2 {
+		t.Fatalf("sweep = %d", n)
+	}
+
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New()
+	if err := dst.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("restored %d, want %d", dst.Len(), src.Len())
+	}
+	srcStats, dstStats := src.Stats(), dst.Stats()
+	if srcStats != dstStats {
+		t.Errorf("stats drifted: %+v vs %+v", dstStats, srcStats)
+	}
+	// Queries agree.
+	for _, f := range []Filter{{}, {UserID: "mary"}, {Kind: sensor.ObsBLESighting}, {SensorID: "ap-2"}} {
+		if got, want := dst.Count(f), src.Count(f); got != want {
+			t.Errorf("filter %+v: restored count %d, want %d", f, got, want)
+		}
+	}
+	// New appends continue the sequence without collisions.
+	o, err := dst.Append(sensor.Observation{SensorID: "new", Kind: sensor.ObsWiFiConnect, Time: t0.Add(2 * time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prev := range dst.Query(Filter{}) {
+		if prev.SensorID != "new" && prev.Seq >= o.Seq {
+			t.Fatalf("restored seq %d >= new seq %d", prev.Seq, o.Seq)
+		}
+	}
+}
+
+func TestReadSnapshotRefusesNonEmpty(t *testing.T) {
+	src := newPopulatedStore(t)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.ReadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("restore into populated store accepted")
+	}
+}
+
+func TestReadSnapshotRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json\n",
+		"bad version":   `{"version":9,"count":0}` + "\n",
+		"truncated":     `{"version":1,"next_seq":5,"count":2}` + "\n" + `{"seq":1,"sensor_id":"a","kind":"k","time":"2017-06-01T08:00:00Z"}` + "\n",
+		"zero seq":      `{"version":1,"next_seq":5,"count":1}` + "\n" + `{"sensor_id":"a","kind":"k","time":"2017-06-01T08:00:00Z"}` + "\n",
+		"zero time":     `{"version":1,"next_seq":5,"count":1}` + "\n" + `{"seq":1,"sensor_id":"a","kind":"k"}` + "\n",
+		"duplicate seq": `{"version":1,"next_seq":5,"count":2}` + "\n" + `{"seq":1,"sensor_id":"a","kind":"k","time":"2017-06-01T08:00:00Z"}` + "\n" + `{"seq":1,"sensor_id":"b","kind":"k","time":"2017-06-01T08:00:00Z"}` + "\n",
+		"trailing data": `{"version":1,"next_seq":5,"count":1}` + "\n" + `{"seq":1,"sensor_id":"a","kind":"k","time":"2017-06-01T08:00:00Z"}` + "\n" + `{"seq":2,"sensor_id":"b","kind":"k","time":"2017-06-01T08:00:00Z"}` + "\n",
+	}
+	for name, raw := range cases {
+		s := New()
+		if err := s.ReadSnapshot(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 0 {
+		t.Errorf("restored %d from empty snapshot", dst.Len())
+	}
+}

@@ -1,0 +1,90 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+func TestMatchesRequestSpatialSemantics(t *testing.T) {
+	m := testModel(t)
+	base := Context{
+		SubjectID: "mary",
+		ObsKind:   sensor.ObsWiFiConnect,
+		Time:      time.Date(2017, time.June, 7, 14, 0, 0, 0, time.UTC),
+	}
+	tests := []struct {
+		name     string
+		scope    Scope
+		ctxSpace string
+		want     bool
+	}{
+		// A whole-building query (empty region) hits every spatial scope.
+		{"empty region vs scoped pref", Scope{SpaceID: "dbh/2/2065"}, "", true},
+		{"empty region vs building scope", Scope{SpaceID: "dbh"}, "", true},
+		// Region inside the scope: plain containment.
+		{"room region vs building scope", Scope{SpaceID: "dbh"}, "dbh/2/2065", true},
+		// Scope inside the region: the conservative direction — a
+		// room-scoped preference restricts a floor-wide query.
+		{"floor region vs room scope", Scope{SpaceID: "dbh/2/2065"}, "dbh/2", true},
+		// Disjoint spaces never match.
+		{"sibling rooms", Scope{SpaceID: "dbh/2/2082"}, "dbh/2/2065", false},
+		{"other building", Scope{SpaceID: "other-bldg"}, "dbh/2", false},
+		// Non-spatial dimensions still apply.
+		{"kind mismatch", Scope{ObsKind: sensor.ObsBLESighting}, "", false},
+		{"kind match", Scope{ObsKind: sensor.ObsWiFiConnect}, "", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ctx := base
+			ctx.SpaceID = tt.ctxSpace
+			if got := tt.scope.MatchesRequest(ctx, m); got != tt.want {
+				t.Errorf("MatchesRequest = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestMatchesImpliesMatchesRequest: the request semantics are a
+// relaxation — anything the strict observation match accepts, the
+// request match must accept too.
+func TestMatchesImpliesMatchesRequest(t *testing.T) {
+	m := testModel(t)
+	scopes := []Scope{
+		{},
+		{SpaceID: "dbh"},
+		{SpaceID: "dbh/2/2065"},
+		{ObsKind: sensor.ObsWiFiConnect},
+		{ServiceID: "concierge"},
+		{Window: AfterHours},
+		{SpaceID: "dbh/2", ObsKind: sensor.ObsWiFiConnect, Window: BusinessHours},
+	}
+	ctxs := []Context{
+		{SpaceID: "dbh/2/2065", ObsKind: sensor.ObsWiFiConnect, ServiceID: "concierge",
+			Time: time.Date(2017, time.June, 7, 14, 0, 0, 0, time.UTC)},
+		{SpaceID: "dbh/2", Time: time.Date(2017, time.June, 7, 20, 0, 0, 0, time.UTC)},
+		{SpaceID: "other-bldg", ObsKind: sensor.ObsBLESighting,
+			Time: time.Date(2017, time.June, 10, 3, 0, 0, 0, time.UTC)},
+	}
+	for i, s := range scopes {
+		for j, ctx := range ctxs {
+			if s.Matches(ctx, m) && !s.MatchesRequest(ctx, m) {
+				t.Errorf("scope %d, ctx %d: Matches true but MatchesRequest false", i, j)
+			}
+		}
+	}
+}
+
+func TestMatchesRequestNilModel(t *testing.T) {
+	ctx := Context{SpaceID: "dbh/2"}
+	if !(Scope{SpaceID: "dbh/2"}).MatchesRequest(ctx, nil) {
+		t.Error("exact match should not need a model")
+	}
+	if (Scope{SpaceID: "dbh"}).MatchesRequest(ctx, nil) {
+		t.Error("containment match without a model should fail closed")
+	}
+	if !(Scope{SpaceID: "dbh"}).MatchesRequest(Context{}, nil) {
+		t.Error("empty region must match regardless of model")
+	}
+}

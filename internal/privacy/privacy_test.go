@@ -1,0 +1,313 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/spatial"
+)
+
+func testModel(t testing.TB) *spatial.Model {
+	t.Helper()
+	m := spatial.NewModel()
+	m.MustAdd("", spatial.Space{ID: "dbh", Kind: spatial.KindBuilding})
+	m.MustAdd("dbh", spatial.Space{ID: "dbh/2", Kind: spatial.KindFloor, Floor: 2})
+	m.MustAdd("dbh/2", spatial.Space{ID: "dbh/2/2065", Kind: spatial.KindRoom, Floor: 2})
+	m.MustAdd("dbh/2/2065", spatial.Space{ID: "dbh/2/2065/desk", Kind: spatial.KindZone, Floor: 2})
+	m.MustAdd("dbh", spatial.Space{ID: "dbh/zone-direct", Kind: spatial.KindZone})
+	return m
+}
+
+func roomObs() sensor.Observation {
+	return sensor.Observation{
+		SensorID:  "ble-1",
+		Kind:      sensor.ObsBLESighting,
+		Time:      time.Date(2017, 6, 1, 9, 0, 0, 0, time.UTC),
+		SpaceID:   "dbh/2/2065",
+		DeviceMAC: "aa:bb:cc:dd:ee:ff",
+		UserID:    "mary",
+		Value:     1,
+	}
+}
+
+func TestCoarsenLocationLadder(t *testing.T) {
+	m := testModel(t)
+	tests := []struct {
+		g    policy.Granularity
+		want string
+		ok   bool
+	}{
+		{policy.GranExact, "dbh/2/2065", true},
+		{policy.GranRoom, "dbh/2/2065", true},
+		{policy.GranFloor, "dbh/2", true},
+		{policy.GranBuilding, "dbh", true},
+		{policy.GranNone, "", false},
+	}
+	for _, tt := range tests {
+		got, ok := CoarsenLocation(roomObs(), tt.g, m)
+		if ok != tt.ok {
+			t.Errorf("CoarsenLocation(%v) released=%v, want %v", tt.g, ok, tt.ok)
+			continue
+		}
+		if ok && got.SpaceID != tt.want {
+			t.Errorf("CoarsenLocation(%v) = %q, want %q", tt.g, got.SpaceID, tt.want)
+		}
+	}
+}
+
+func TestCoarsenZoneToRoom(t *testing.T) {
+	m := testModel(t)
+	o := roomObs()
+	o.SpaceID = "dbh/2/2065/desk"
+	got, ok := CoarsenLocation(o, policy.GranRoom, m)
+	if !ok || got.SpaceID != "dbh/2/2065" {
+		t.Errorf("zone->room = %q, %v", got.SpaceID, ok)
+	}
+	// A zone directly under the building, coarsened to floor: no floor
+	// ancestor exists, so it falls back to the nearest coarser space.
+	o.SpaceID = "dbh/zone-direct"
+	got, ok = CoarsenLocation(o, policy.GranFloor, m)
+	if !ok || got.SpaceID != "dbh" {
+		t.Errorf("direct-zone->floor = %q, %v; want dbh", got.SpaceID, ok)
+	}
+}
+
+func TestCoarsenAlreadyCoarse(t *testing.T) {
+	m := testModel(t)
+	o := roomObs()
+	o.SpaceID = "dbh" // building-level observation
+	got, ok := CoarsenLocation(o, policy.GranRoom, m)
+	if !ok || got.SpaceID != "dbh" {
+		t.Errorf("coarser-than-requested location changed: %q", got.SpaceID)
+	}
+}
+
+func TestCoarsenUnknownSpaceSuppressed(t *testing.T) {
+	m := testModel(t)
+	o := roomObs()
+	o.SpaceID = "elsewhere/99"
+	got, ok := CoarsenLocation(o, policy.GranBuilding, m)
+	if !ok || got.SpaceID != "" {
+		t.Errorf("unknown space: = %q, %v; want suppressed field", got.SpaceID, ok)
+	}
+}
+
+func TestCoarsenDoesNotMutateInput(t *testing.T) {
+	m := testModel(t)
+	o := roomObs()
+	CoarsenLocation(o, policy.GranBuilding, m)
+	if o.SpaceID != "dbh/2/2065" {
+		t.Error("CoarsenLocation mutated its input")
+	}
+}
+
+// TestCoarsenMonotone: coarsen(g1) then coarsen(g2) == coarsen(min).
+func TestCoarsenMonotone(t *testing.T) {
+	m := testModel(t)
+	grans := []policy.Granularity{policy.GranBuilding, policy.GranFloor, policy.GranRoom, policy.GranExact}
+	for _, g1 := range grans {
+		for _, g2 := range grans {
+			a, ok1 := CoarsenLocation(roomObs(), g1, m)
+			if !ok1 {
+				t.Fatalf("g1=%v suppressed", g1)
+			}
+			ab, ok2 := CoarsenLocation(a, g2, m)
+			direct, ok3 := CoarsenLocation(roomObs(), g1.Min(g2), m)
+			if !ok2 || !ok3 {
+				t.Fatalf("unexpected suppression at %v/%v", g1, g2)
+			}
+			if ab.SpaceID != direct.SpaceID {
+				t.Errorf("coarsen(%v)∘coarsen(%v) = %q, coarsen(min) = %q", g2, g1, ab.SpaceID, direct.SpaceID)
+			}
+		}
+	}
+}
+
+func TestLaplaceStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	scale := 2.0
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		x := Laplace(rng, scale)
+		sum += x
+		sumAbs += math.Abs(x)
+	}
+	mean := sum / n
+	meanAbs := sumAbs / n
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	// E|X| = scale for Laplace.
+	if math.Abs(meanAbs-scale) > 0.05 {
+		t.Errorf("Laplace E|X| = %v, want ~%v", meanAbs, scale)
+	}
+}
+
+func TestNoiserEpsilonScaling(t *testing.T) {
+	// Smaller epsilon => more noise. Compare mean absolute deviation.
+	mad := func(eps float64) float64 {
+		n := NewNoiser(1, 42)
+		var sum float64
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			sum += math.Abs(n.Noise(100, eps) - 100)
+		}
+		return sum / trials
+	}
+	loose := mad(1.0) // scale 1
+	tight := mad(0.1) // scale 10
+	if tight < 5*loose {
+		t.Errorf("epsilon scaling wrong: mad(0.1)=%v should be ~10x mad(1.0)=%v", tight, loose)
+	}
+}
+
+func TestNoiserZeroEpsilonReleasesNoSignal(t *testing.T) {
+	n := NewNoiser(1, 1)
+	// With epsilon <= 0 the output must not track the input.
+	var sum float64
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		sum += n.Noise(1e9, 0)
+	}
+	if math.Abs(sum/trials) > 1 {
+		t.Errorf("zero-epsilon noise leaks signal: mean=%v", sum/trials)
+	}
+}
+
+func TestNoiserDeterministicSeed(t *testing.T) {
+	a := NewNoiser(1, 99).Noise(5, 1)
+	b := NewNoiser(1, 99).Noise(5, 1)
+	if a != b {
+		t.Errorf("same seed, different noise: %v vs %v", a, b)
+	}
+}
+
+func TestPseudonymizerStableAndKeyed(t *testing.T) {
+	p1 := NewPseudonymizer([]byte("key-1"))
+	p2 := NewPseudonymizer([]byte("key-2"))
+	a := p1.Pseudonym("aa:bb:cc:dd:ee:ff")
+	b := p1.Pseudonym("aa:bb:cc:dd:ee:ff")
+	c := p1.Pseudonym("11:22:33:44:55:66")
+	d := p2.Pseudonym("aa:bb:cc:dd:ee:ff")
+	if a != b {
+		t.Error("pseudonyms not stable under one key")
+	}
+	if a == c {
+		t.Error("distinct MACs collide")
+	}
+	if a == d {
+		t.Error("pseudonyms identical across keys")
+	}
+	if !strings.HasPrefix(a, "pseud-") {
+		t.Errorf("pseudonym %q not prefixed", a)
+	}
+}
+
+func TestPseudonymizeObservation(t *testing.T) {
+	p := NewPseudonymizer([]byte("k"))
+	o := roomObs()
+	got := p.PseudonymizeObservation(o)
+	if got.DeviceMAC == o.DeviceMAC || got.UserID != "" {
+		t.Errorf("pseudonymized = %+v", got)
+	}
+	if o.UserID != "mary" {
+		t.Error("input mutated")
+	}
+	empty := p.PseudonymizeObservation(sensor.Observation{})
+	if empty.DeviceMAC != "" {
+		t.Error("empty MAC got a pseudonym")
+	}
+}
+
+func TestKAnonymousCounts(t *testing.T) {
+	mk := func(space, user string) sensor.Observation {
+		return sensor.Observation{SpaceID: space, UserID: user}
+	}
+	obs := []sensor.Observation{
+		mk("room-a", "u1"), mk("room-a", "u2"), mk("room-a", "u3"),
+		mk("room-a", "u1"), // duplicate subject, must not double-count
+		mk("room-b", "u4"), mk("room-b", "u5"),
+		mk("room-c", "u6"),
+		mk("room-d", ""), // unattributed, ignored
+	}
+	keyOf := func(o sensor.Observation) string { return o.SpaceID }
+	subjOf := func(o sensor.Observation) string { return o.UserID }
+
+	got := KAnonymousCounts(obs, 2, keyOf, subjOf)
+	if len(got) != 2 {
+		t.Fatalf("k=2: %v", got)
+	}
+	if got[0].Key != "room-a" || got[0].Count != 3 || got[1].Key != "room-b" || got[1].Count != 2 {
+		t.Errorf("k=2 counts = %v", got)
+	}
+	if got := KAnonymousCounts(obs, 4, keyOf, subjOf); len(got) != 0 {
+		t.Errorf("k=4 should suppress everything: %v", got)
+	}
+	if got := KAnonymousCounts(obs, 0, keyOf, subjOf); len(got) != 3 {
+		t.Errorf("k<1 clamps to 1: %v", got)
+	}
+}
+
+func TestTransformerApply(t *testing.T) {
+	tr := NewTransformer(testModel(t), 1, []byte("key"))
+	o := roomObs()
+
+	got, ok, err := tr.Apply(policy.Rule{Action: policy.ActionAllow}, o)
+	if err != nil || !ok || got.SpaceID != o.SpaceID {
+		t.Errorf("allow = %+v, %v, %v", got, ok, err)
+	}
+
+	_, ok, err = tr.Apply(policy.Rule{Action: policy.ActionDeny}, o)
+	if err != nil || ok {
+		t.Errorf("deny released data")
+	}
+
+	got, ok, err = tr.Apply(policy.Rule{Action: policy.ActionLimit, MaxGranularity: policy.GranBuilding}, o)
+	if err != nil || !ok || got.SpaceID != "dbh" {
+		t.Errorf("limit-building = %q, %v, %v", got.SpaceID, ok, err)
+	}
+
+	got, ok, err = tr.Apply(policy.Rule{Action: policy.ActionLimit, MaxGranularity: policy.GranNone}, o)
+	if err != nil || ok {
+		t.Error("limit-none released data")
+	}
+
+	got, ok, err = tr.Apply(policy.Rule{Action: policy.ActionLimit, NoiseEpsilon: 0.5}, o)
+	if err != nil || !ok {
+		t.Fatalf("limit-noise failed: %v", err)
+	}
+	if got.Value == o.Value {
+		t.Error("noise did not perturb value")
+	}
+	if got.SpaceID != o.SpaceID {
+		t.Error("noise-only rule changed location")
+	}
+
+	if _, _, err := tr.Apply(policy.Rule{}, o); err == nil {
+		t.Error("zero rule accepted")
+	}
+}
+
+func TestKindForGranularity(t *testing.T) {
+	for g, want := range map[policy.Granularity]spatial.Kind{
+		policy.GranBuilding: spatial.KindBuilding,
+		policy.GranFloor:    spatial.KindFloor,
+		policy.GranRoom:     spatial.KindRoom,
+	} {
+		got, ok := KindForGranularity(g)
+		if !ok || got != want {
+			t.Errorf("KindForGranularity(%v) = %v, %v", g, got, ok)
+		}
+	}
+	for _, g := range []policy.Granularity{policy.GranExact, policy.GranNone, 0} {
+		if _, ok := KindForGranularity(g); ok {
+			t.Errorf("KindForGranularity(%v) should not map", g)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package reasoner implements the paper's policy reasoner: "It is
+// possible that user preferences conflict with the existing building
+// policies (e.g., Policy 2 and Preference 2). These conflicts should
+// be detected by the smart building management system (e.g., with the
+// help of a policy reasoner) which is in charge of enforcing the
+// policies by resolving these conflicts while informing users about
+// it through the personal privacy assistant." (§III.B)
+//
+// The reasoner detects two conflict classes — building policy vs user
+// preference, and preference vs preference — and resolves each under
+// a configurable strategy. Resolutions carry a notification flag so
+// the BMS can inform the affected user's IoTA whenever a building
+// override wins.
+package reasoner
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/spatial"
+)
+
+// ConflictKind classifies a detected conflict.
+type ConflictKind int
+
+// Conflict kinds.
+const (
+	// PolicyVsPreference: a building policy mandates a flow a user
+	// preference restricts (Policy 2 vs Preference 2).
+	PolicyVsPreference ConflictKind = iota + 1
+	// PreferenceVsPreference: two rules from the same user overlap
+	// with different outcomes (e.g. a learned rule contradicting an
+	// explicit one).
+	PreferenceVsPreference
+)
+
+// String returns a short kind name.
+func (k ConflictKind) String() string {
+	switch k {
+	case PolicyVsPreference:
+		return "policy-vs-preference"
+	case PreferenceVsPreference:
+		return "preference-vs-preference"
+	default:
+		return fmt.Sprintf("ConflictKind(%d)", int(k))
+	}
+}
+
+// Strategy selects how conflicts are resolved.
+type Strategy int
+
+// Resolution strategies.
+const (
+	// MostRestrictive releases the least information either side
+	// permits — the default, matching privacy-by-design. Building
+	// overrides (safety-critical) still win, with notification.
+	MostRestrictive Strategy = iota + 1
+	// BuildingWins always applies the building's rule.
+	BuildingWins
+	// UserWins always applies the user's rule, even over building
+	// overrides (useful for what-if analysis; a real deployment keeps
+	// safety overrides).
+	UserWins
+	// NegotiateGranularity releases at the finest granularity both
+	// sides accept, converting hard denies into the coarsest
+	// releasable level when the building needs some signal.
+	NegotiateGranularity
+)
+
+// String returns a short strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case MostRestrictive:
+		return "most-restrictive"
+	case BuildingWins:
+		return "building-wins"
+	case UserWins:
+		return "user-wins"
+	case NegotiateGranularity:
+		return "negotiate-granularity"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Resolution is the outcome of resolving one conflict.
+type Resolution struct {
+	// Winner is "building", "user", or "merged".
+	Winner string
+	// EffectiveRule is the rule enforcement applies to flows in the
+	// conflicted scope intersection.
+	EffectiveRule policy.Rule
+	// OverrideApplied reports that a safety-critical building policy
+	// was enforced over the user's preference; the user must be
+	// notified (Figure 1 step 7 via the IoTA).
+	OverrideApplied bool
+	// NotifyUserID names the user whose IoTA should be informed, if
+	// any.
+	NotifyUserID string
+	Explanation  string
+}
+
+// Conflict is one detected incompatibility, with its resolution.
+type Conflict struct {
+	Kind ConflictKind
+
+	// PolicyVsPreference fields.
+	PolicyID string
+
+	// The user preference side (both kinds).
+	PreferenceID string
+	UserID       string
+
+	// PreferenceVsPreference second rule.
+	OtherPreferenceID string
+
+	Resolution Resolution
+}
+
+// Reasoner detects and resolves conflicts. The zero value is not
+// usable; construct with New.
+type Reasoner struct {
+	spaces   *spatial.Model
+	strategy Strategy
+}
+
+// New returns a reasoner resolving under the given strategy over the
+// given spatial model (nil is allowed: spatial scope comparison is
+// then exact-ID).
+func New(spaces *spatial.Model, strategy Strategy) *Reasoner {
+	if strategy == 0 {
+		strategy = MostRestrictive
+	}
+	return &Reasoner{spaces: spaces, strategy: strategy}
+}
+
+// Strategy returns the reasoner's resolution strategy.
+func (r *Reasoner) Strategy() Strategy { return r.strategy }
+
+// Detect finds every conflict between the building's policies and the
+// installed preferences, plus intra-user preference contradictions,
+// resolving each. Results are sorted for deterministic output.
+func (r *Reasoner) Detect(policies []policy.BuildingPolicy, prefs []policy.Preference) []Conflict {
+	var out []Conflict
+	for _, bp := range policies {
+		if bp.Kind != policy.KindCollection && bp.Kind != policy.KindDisclosure {
+			// Automation and access-control policies do not release
+			// user data flows that preferences govern.
+			continue
+		}
+		for _, pref := range prefs {
+			if c, ok := r.policyPreferenceConflict(bp, pref); ok {
+				out = append(out, c)
+			}
+		}
+	}
+	byUser := make(map[string][]policy.Preference)
+	for _, p := range prefs {
+		byUser[p.UserID] = append(byUser[p.UserID], p)
+	}
+	users := make([]string, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		list := byUser[u]
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				if c, ok := r.preferencePairConflict(list[i], list[j]); ok {
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.PolicyID != b.PolicyID {
+			return a.PolicyID < b.PolicyID
+		}
+		if a.PreferenceID != b.PreferenceID {
+			return a.PreferenceID < b.PreferenceID
+		}
+		return a.OtherPreferenceID < b.OtherPreferenceID
+	})
+	return out
+}
+
+// policyPreferenceConflict checks one policy/preference pair.
+func (r *Reasoner) policyPreferenceConflict(bp policy.BuildingPolicy, pref policy.Preference) (Conflict, bool) {
+	// A preference conflicts with a collection/disclosure policy when
+	// it restricts (denies or limits) flows inside the policy's scope.
+	if pref.Rule.Action == policy.ActionAllow {
+		return Conflict{}, false
+	}
+	if !bp.Scope.Overlaps(pref.Scope, r.spaces) {
+		return Conflict{}, false
+	}
+	c := Conflict{
+		Kind:         PolicyVsPreference,
+		PolicyID:     bp.ID,
+		PreferenceID: pref.ID,
+		UserID:       pref.UserID,
+	}
+	c.Resolution = r.resolvePolicyPreference(bp, pref)
+	return c, true
+}
+
+func (r *Reasoner) resolvePolicyPreference(bp policy.BuildingPolicy, pref policy.Preference) Resolution {
+	buildingRule := policy.Rule{Action: policy.ActionAllow}
+	switch r.strategy {
+	case BuildingWins:
+		return Resolution{
+			Winner:        "building",
+			EffectiveRule: buildingRule,
+			Explanation:   fmt.Sprintf("strategy %s: building policy %s applies", r.strategy, bp.ID),
+		}
+	case UserWins:
+		return Resolution{
+			Winner:        "user",
+			EffectiveRule: pref.Rule,
+			Explanation:   fmt.Sprintf("strategy %s: preference %s applies", r.strategy, pref.ID),
+		}
+	case NegotiateGranularity:
+		if bp.Override {
+			return r.overrideResolution(bp, pref)
+		}
+		g := policy.GranBuilding
+		if pref.Rule.Action == policy.ActionLimit && pref.Rule.MaxGranularity.Valid() {
+			g = pref.Rule.MaxGranularity
+		}
+		return Resolution{
+			Winner:        "merged",
+			EffectiveRule: policy.Rule{Action: policy.ActionLimit, MaxGranularity: g},
+			NotifyUserID:  pref.UserID,
+			Explanation: fmt.Sprintf("negotiated release at %s granularity between policy %s and preference %s",
+				g, bp.ID, pref.ID),
+		}
+	default: // MostRestrictive
+		if bp.Override {
+			return r.overrideResolution(bp, pref)
+		}
+		return Resolution{
+			Winner:        "user",
+			EffectiveRule: pref.Rule,
+			Explanation: fmt.Sprintf("most-restrictive: preference %s restricts policy %s and the policy is not safety-critical",
+				pref.ID, bp.ID),
+		}
+	}
+}
+
+func (r *Reasoner) overrideResolution(bp policy.BuildingPolicy, pref policy.Preference) Resolution {
+	return Resolution{
+		Winner:          "building",
+		EffectiveRule:   policy.Rule{Action: policy.ActionAllow},
+		OverrideApplied: true,
+		NotifyUserID:    pref.UserID,
+		Explanation: fmt.Sprintf("building policy %s is safety-critical and overrides preference %s; user %s is notified",
+			bp.ID, pref.ID, pref.UserID),
+	}
+}
+
+// preferencePairConflict checks two same-user preferences for
+// contradiction: overlapping scopes with rules where one permits
+// strictly more than the other.
+func (r *Reasoner) preferencePairConflict(a, b policy.Preference) (Conflict, bool) {
+	if !a.Scope.Overlaps(b.Scope, r.spaces) {
+		return Conflict{}, false
+	}
+	if a.Rule == b.Rule {
+		return Conflict{}, false
+	}
+	// Identical actions with identical parameters were handled above;
+	// anything else on an overlapping scope is ambiguous for the
+	// enforcement engine and gets merged.
+	merged := CombineRules(a.Rule, b.Rule)
+	c := Conflict{
+		Kind:              PreferenceVsPreference,
+		PreferenceID:      a.ID,
+		OtherPreferenceID: b.ID,
+		UserID:            a.UserID,
+		Resolution: Resolution{
+			Winner:        "merged",
+			EffectiveRule: merged,
+			Explanation: fmt.Sprintf("preferences %s and %s overlap; enforcing the most restrictive combination",
+				a.ID, b.ID),
+		},
+	}
+	return c, true
+}
+
+// CombineRules merges rules most-restrictively: any deny wins; any
+// limit beats allow; limits combine by taking the coarsest
+// granularity cap, the smallest positive epsilon, and the largest
+// aggregation floor. The enforcement engine uses it to collapse every
+// preference matching a request into one effective rule.
+func CombineRules(rules ...policy.Rule) policy.Rule {
+	if len(rules) == 0 {
+		return policy.Rule{Action: policy.ActionAllow}
+	}
+	out := policy.Rule{Action: policy.ActionAllow}
+	for _, r := range rules {
+		switch r.Action {
+		case policy.ActionDeny:
+			return policy.Rule{Action: policy.ActionDeny}
+		case policy.ActionLimit:
+			if out.Action != policy.ActionLimit {
+				out = policy.Rule{Action: policy.ActionLimit, MaxGranularity: r.MaxGranularity, NoiseEpsilon: r.NoiseEpsilon, MinAggregationK: r.MinAggregationK}
+				continue
+			}
+			if r.MaxGranularity.Valid() {
+				if !out.MaxGranularity.Valid() {
+					out.MaxGranularity = r.MaxGranularity
+				} else {
+					out.MaxGranularity = out.MaxGranularity.Min(r.MaxGranularity)
+				}
+			}
+			if r.NoiseEpsilon > 0 && (out.NoiseEpsilon == 0 || r.NoiseEpsilon < out.NoiseEpsilon) {
+				out.NoiseEpsilon = r.NoiseEpsilon
+			}
+			if r.MinAggregationK > out.MinAggregationK {
+				out.MinAggregationK = r.MinAggregationK
+			}
+		}
+	}
+	return out
+}

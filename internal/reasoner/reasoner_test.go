@@ -1,0 +1,314 @@
+package reasoner
+
+import (
+	"testing"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/spatial"
+)
+
+func testModel(t testing.TB) *spatial.Model {
+	t.Helper()
+	m := spatial.NewModel()
+	m.MustAdd("", spatial.Space{ID: "dbh", Kind: spatial.KindBuilding})
+	m.MustAdd("dbh", spatial.Space{ID: "dbh/2", Kind: spatial.KindFloor, Floor: 2})
+	m.MustAdd("dbh/2", spatial.Space{ID: "dbh/2/2065", Kind: spatial.KindRoom, Floor: 2})
+	return m
+}
+
+// TestPaperConflictPolicy2VsPreference2 reproduces the paper's §III.B
+// example: Policy 2 (emergency location collection, override) clashes
+// with Preference 2 (no location sharing). The building must win with
+// user notification.
+func TestPaperConflictPolicy2VsPreference2(t *testing.T) {
+	r := New(testModel(t), MostRestrictive)
+	p2 := policy.Policy2EmergencyLocation("dbh")
+	prefs := policy.Preference2NoLocation("mary")
+
+	conflicts := r.Detect([]policy.BuildingPolicy{p2}, prefs)
+	// Preference 2 produces one deny per location-bearing kind; the
+	// WiFi one conflicts with Policy 2 (the BLE one does not overlap
+	// Policy 2's WiFi scope).
+	var hit *Conflict
+	for i := range conflicts {
+		if conflicts[i].Kind == PolicyVsPreference && conflicts[i].PolicyID == p2.ID {
+			hit = &conflicts[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no policy-vs-preference conflict detected: %+v", conflicts)
+	}
+	res := hit.Resolution
+	if res.Winner != "building" || !res.OverrideApplied {
+		t.Errorf("resolution = %+v, want building override", res)
+	}
+	if res.NotifyUserID != "mary" {
+		t.Errorf("user not notified: %+v", res)
+	}
+	if res.EffectiveRule.Action != policy.ActionAllow {
+		t.Errorf("effective rule = %+v, want allow (collection proceeds)", res.EffectiveRule)
+	}
+}
+
+func TestNonOverridePolicyLosesToPreference(t *testing.T) {
+	r := New(testModel(t), MostRestrictive)
+	bp := policy.Policy2EmergencyLocation("dbh")
+	bp.Override = false
+	bp.Scope.Purposes = []policy.Purpose{policy.PurposeAnalytics}
+	bp.ID = "policy-analytics"
+	pref := policy.Preference{
+		ID:     "pref-deny",
+		UserID: "mary",
+		Scope:  policy.Scope{ObsKind: sensor.ObsWiFiConnect},
+		Rule:   policy.Rule{Action: policy.ActionDeny},
+	}
+	conflicts := r.Detect([]policy.BuildingPolicy{bp}, []policy.Preference{pref})
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+	res := conflicts[0].Resolution
+	if res.Winner != "user" || res.OverrideApplied {
+		t.Errorf("resolution = %+v, want user wins", res)
+	}
+	if res.EffectiveRule.Action != policy.ActionDeny {
+		t.Errorf("effective rule = %+v", res.EffectiveRule)
+	}
+}
+
+func TestAllowPreferenceDoesNotConflict(t *testing.T) {
+	r := New(testModel(t), MostRestrictive)
+	bp := policy.Policy2EmergencyLocation("dbh")
+	pref := policy.Preference{
+		ID:     "pref-allow",
+		UserID: "mary",
+		Scope:  policy.Scope{ObsKind: sensor.ObsWiFiConnect},
+		Rule:   policy.Rule{Action: policy.ActionAllow},
+	}
+	if got := r.Detect([]policy.BuildingPolicy{bp}, []policy.Preference{pref}); len(got) != 0 {
+		t.Errorf("allow preference flagged: %+v", got)
+	}
+}
+
+func TestAutomationPoliciesSkipped(t *testing.T) {
+	r := New(testModel(t), MostRestrictive)
+	p1 := policy.Policy1Comfort("dbh", 70)
+	prefs := policy.Preference2NoLocation("mary")
+	for _, c := range r.Detect([]policy.BuildingPolicy{p1}, prefs) {
+		if c.PolicyID == p1.ID {
+			t.Errorf("automation policy flagged: %+v", c)
+		}
+	}
+}
+
+func TestDisjointScopesNoConflict(t *testing.T) {
+	r := New(testModel(t), MostRestrictive)
+	bp := policy.Policy2EmergencyLocation("dbh") // WiFi scope
+	pref := policy.Preference{
+		ID:     "pref-ble",
+		UserID: "mary",
+		Scope:  policy.Scope{ObsKind: sensor.ObsBLESighting},
+		Rule:   policy.Rule{Action: policy.ActionDeny},
+	}
+	if got := r.Detect([]policy.BuildingPolicy{bp}, []policy.Preference{pref}); len(got) != 0 {
+		t.Errorf("disjoint scopes flagged: %+v", got)
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	bp := policy.Policy2EmergencyLocation("dbh")
+	bp.Override = false
+	bp.Scope.Purposes = []policy.Purpose{policy.PurposeLogging}
+	pref := policy.Preference{
+		ID:     "pref-coarse",
+		UserID: "mary",
+		Scope:  policy.Scope{ObsKind: sensor.ObsWiFiConnect},
+		Rule:   policy.Rule{Action: policy.ActionLimit, MaxGranularity: policy.GranFloor},
+	}
+	run := func(s Strategy) Resolution {
+		r := New(testModel(t), s)
+		conflicts := r.Detect([]policy.BuildingPolicy{bp}, []policy.Preference{pref})
+		if len(conflicts) != 1 {
+			t.Fatalf("strategy %v: conflicts = %+v", s, conflicts)
+		}
+		return conflicts[0].Resolution
+	}
+	if res := run(BuildingWins); res.Winner != "building" || res.EffectiveRule.Action != policy.ActionAllow {
+		t.Errorf("BuildingWins = %+v", res)
+	}
+	if res := run(UserWins); res.Winner != "user" || res.EffectiveRule.MaxGranularity != policy.GranFloor {
+		t.Errorf("UserWins = %+v", res)
+	}
+	if res := run(MostRestrictive); res.Winner != "user" {
+		t.Errorf("MostRestrictive = %+v", res)
+	}
+	if res := run(NegotiateGranularity); res.Winner != "merged" ||
+		res.EffectiveRule.Action != policy.ActionLimit ||
+		res.EffectiveRule.MaxGranularity != policy.GranFloor {
+		t.Errorf("NegotiateGranularity = %+v", res)
+	}
+}
+
+func TestNegotiateWithDenyFallsBackToBuildingGranularity(t *testing.T) {
+	bp := policy.Policy2EmergencyLocation("dbh")
+	bp.Override = false
+	bp.Scope.Purposes = []policy.Purpose{policy.PurposeLogging}
+	pref := policy.Preference{
+		ID:     "pref-deny",
+		UserID: "mary",
+		Scope:  policy.Scope{ObsKind: sensor.ObsWiFiConnect},
+		Rule:   policy.Rule{Action: policy.ActionDeny},
+	}
+	r := New(testModel(t), NegotiateGranularity)
+	conflicts := r.Detect([]policy.BuildingPolicy{bp}, []policy.Preference{pref})
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+	res := conflicts[0].Resolution
+	if res.EffectiveRule.Action != policy.ActionLimit || res.EffectiveRule.MaxGranularity != policy.GranBuilding {
+		t.Errorf("negotiated deny = %+v, want building-granularity release", res.EffectiveRule)
+	}
+	if res.NotifyUserID != "mary" {
+		t.Error("negotiation must notify the user")
+	}
+}
+
+func TestNegotiateKeepsSafetyOverride(t *testing.T) {
+	r := New(testModel(t), NegotiateGranularity)
+	p2 := policy.Policy2EmergencyLocation("dbh") // Override = true
+	prefs := policy.Preference2NoLocation("mary")
+	conflicts := r.Detect([]policy.BuildingPolicy{p2}, prefs)
+	found := false
+	for _, c := range conflicts {
+		if c.PolicyID == p2.ID && c.Resolution.OverrideApplied {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("safety override not applied under negotiation: %+v", conflicts)
+	}
+}
+
+func TestPreferencePairConflicts(t *testing.T) {
+	r := New(testModel(t), MostRestrictive)
+	allow := policy.Preference{
+		ID: "p-allow", UserID: "mary",
+		Scope: policy.Scope{ServiceID: "concierge"},
+		Rule:  policy.Rule{Action: policy.ActionAllow},
+	}
+	deny := policy.Preference{
+		ID: "p-deny", UserID: "mary",
+		Scope: policy.Scope{ServiceID: "concierge"},
+		Rule:  policy.Rule{Action: policy.ActionDeny},
+	}
+	conflicts := r.Detect(nil, []policy.Preference{allow, deny})
+	if len(conflicts) != 1 || conflicts[0].Kind != PreferenceVsPreference {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+	if conflicts[0].Resolution.EffectiveRule.Action != policy.ActionDeny {
+		t.Errorf("merged rule = %+v, want deny", conflicts[0].Resolution.EffectiveRule)
+	}
+
+	// Different users never pair-conflict.
+	deny.UserID = "bob"
+	deny.ID = "p-deny-bob"
+	if got := r.Detect(nil, []policy.Preference{allow, deny}); len(got) != 0 {
+		t.Errorf("cross-user pair flagged: %+v", got)
+	}
+
+	// Identical rules on overlapping scopes are fine.
+	dup := allow
+	dup.ID = "p-allow-2"
+	if got := r.Detect(nil, []policy.Preference{allow, dup}); len(got) != 0 {
+		t.Errorf("identical rules flagged: %+v", got)
+	}
+}
+
+func TestCombineRules(t *testing.T) {
+	allow := policy.Rule{Action: policy.ActionAllow}
+	deny := policy.Rule{Action: policy.ActionDeny}
+	floor := policy.Rule{Action: policy.ActionLimit, MaxGranularity: policy.GranFloor}
+	room := policy.Rule{Action: policy.ActionLimit, MaxGranularity: policy.GranRoom}
+	noise1 := policy.Rule{Action: policy.ActionLimit, NoiseEpsilon: 1}
+	noise01 := policy.Rule{Action: policy.ActionLimit, NoiseEpsilon: 0.1}
+	agg := policy.Rule{Action: policy.ActionLimit, MinAggregationK: 5}
+
+	tests := []struct {
+		name string
+		in   []policy.Rule
+		want policy.Rule
+	}{
+		{"empty -> allow", nil, allow},
+		{"allow only", []policy.Rule{allow, allow}, allow},
+		{"deny dominates", []policy.Rule{allow, floor, deny}, deny},
+		{"limit beats allow", []policy.Rule{allow, floor}, floor},
+		{"coarsest granularity", []policy.Rule{room, floor}, floor},
+		{"smallest epsilon", []policy.Rule{noise1, noise01}, policy.Rule{Action: policy.ActionLimit, NoiseEpsilon: 0.1}},
+		{"largest K", []policy.Rule{agg, {Action: policy.ActionLimit, MinAggregationK: 2}}, agg},
+		{
+			"mixed mechanisms union",
+			[]policy.Rule{floor, noise01, agg},
+			policy.Rule{Action: policy.ActionLimit, MaxGranularity: policy.GranFloor, NoiseEpsilon: 0.1, MinAggregationK: 5},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CombineRules(tt.in...); got != tt.want {
+				t.Errorf("CombineRules = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestCombineRulesProperties: order-independence and idempotence.
+func TestCombineRulesProperties(t *testing.T) {
+	rules := []policy.Rule{
+		{Action: policy.ActionAllow},
+		{Action: policy.ActionLimit, MaxGranularity: policy.GranFloor},
+		{Action: policy.ActionLimit, NoiseEpsilon: 0.5},
+		{Action: policy.ActionLimit, MinAggregationK: 3},
+	}
+	forward := CombineRules(rules...)
+	reversed := CombineRules(rules[3], rules[2], rules[1], rules[0])
+	if forward != reversed {
+		t.Errorf("CombineRules order-dependent: %+v vs %+v", forward, reversed)
+	}
+	again := CombineRules(forward, forward)
+	if again != forward {
+		t.Errorf("CombineRules not idempotent: %+v vs %+v", again, forward)
+	}
+}
+
+func TestDetectDeterministicOrder(t *testing.T) {
+	r := New(testModel(t), MostRestrictive)
+	p2 := policy.Policy2EmergencyLocation("dbh")
+	prefs := append(policy.Preference2NoLocation("mary"), policy.Preference2NoLocation("alice")...)
+	a := r.Detect([]policy.BuildingPolicy{p2}, prefs)
+	b := r.Detect([]policy.BuildingPolicy{p2}, prefs)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].PreferenceID != b[i].PreferenceID || a[i].OtherPreferenceID != b[i].OtherPreferenceID {
+			t.Fatalf("nondeterministic order at %d", i)
+		}
+	}
+}
+
+func TestKindAndStrategyStrings(t *testing.T) {
+	if PolicyVsPreference.String() != "policy-vs-preference" ||
+		PreferenceVsPreference.String() != "preference-vs-preference" {
+		t.Error("kind names wrong")
+	}
+	if ConflictKind(9).String() == "" || Strategy(9).String() == "" {
+		t.Error("fallback names empty")
+	}
+	for _, s := range []Strategy{MostRestrictive, BuildingWins, UserWins, NegotiateGranularity} {
+		if s.String() == "" {
+			t.Errorf("Strategy(%d) has no name", s)
+		}
+	}
+	if New(nil, 0).Strategy() != MostRestrictive {
+		t.Error("zero strategy does not default to MostRestrictive")
+	}
+}

@@ -1,0 +1,128 @@
+package semantics
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+var t0 = time.Date(2017, time.June, 7, 8, 0, 0, 0, time.UTC)
+
+func seedStore(t testing.TB) *obstore.Store {
+	t.Helper()
+	s := obstore.New()
+	add := func(kind sensor.ObservationKind, room, user, mac string, minute int) {
+		_, err := s.Append(sensor.Observation{
+			SensorID:  "src",
+			Kind:      kind,
+			SpaceID:   room,
+			UserID:    user,
+			DeviceMAC: mac,
+			Time:      t0.Add(time.Duration(minute) * time.Minute),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Office r0: mary present 8:00-8:20 (two signals in bucket 0, one in bucket 1).
+	add(sensor.ObsWiFiConnect, "r0", "mary", "m1", 0)
+	add(sensor.ObsBLESighting, "r0", "mary", "m1", 10)
+	add(sensor.ObsBLESighting, "r0", "mary", "m1", 20)
+	// Meeting room r1: mary and bob at 9:00, an anonymous device too.
+	add(sensor.ObsWiFiConnect, "r1", "mary", "m1", 60)
+	add(sensor.ObsWiFiConnect, "r1", "bob", "b1", 61)
+	add(sensor.ObsBLESighting, "r1", "", "x9", 62)
+	// Motion with no identity at 10:00 in r2.
+	add(sensor.ObsMotionEvent, "r2", "", "", 120)
+	return s
+}
+
+func TestDeriveBucketsAndCounts(t *testing.T) {
+	d := &OccupancyDeriver{Store: seedStore(t)}
+	got, err := d.Derive([]string{"r0", "r1", "r2"}, t0, t0.Add(3*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("derived %d observations, want 4: %+v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time.Before(got[i-1].Time) {
+			t.Fatal("not time-sorted")
+		}
+	}
+	byRoomBucket := map[string]float64{}
+	for _, o := range got {
+		if o.Kind != sensor.ObsOccupancy || o.SensorID != DerivedSensorID {
+			t.Fatalf("malformed derived obs %+v", o)
+		}
+		byRoomBucket[o.SpaceID+"@"+o.Time.Format("15:04")] += o.Value
+	}
+	// r0 bucket 0 (ends 08:14) has mary once (distinct), bucket 1 once.
+	if byRoomBucket["r0@08:14"] != 1 || byRoomBucket["r0@08:29"] != 1 {
+		t.Errorf("r0 buckets = %v", byRoomBucket)
+	}
+	// r1 at 9:00: mary + bob + anonymous device = 3 distinct subjects.
+	if byRoomBucket["r1@09:14"] != 3 {
+		t.Errorf("r1 bucket = %v", byRoomBucket)
+	}
+	// r2: one anonymous motion.
+	if byRoomBucket["r2@10:14"] != 1 {
+		t.Errorf("r2 bucket = %v", byRoomBucket)
+	}
+}
+
+func TestDeriveAttributesSingleOwnerOffices(t *testing.T) {
+	owners := map[string][]string{
+		"r0": {"mary"},        // private office
+		"r1": {"mary", "bob"}, // shared: unattributed
+	}
+	d := &OccupancyDeriver{
+		Store:   seedStore(t),
+		OwnerOf: func(room string) []string { return owners[room] },
+	}
+	got, err := d.Derive([]string{"r0", "r1"}, t0, t0.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range got {
+		switch o.SpaceID {
+		case "r0":
+			if o.UserID != "mary" {
+				t.Errorf("private office occupancy unattributed: %+v", o)
+			}
+		case "r1":
+			if o.UserID != "" {
+				t.Errorf("shared room occupancy attributed: %+v", o)
+			}
+		}
+	}
+}
+
+func TestDeriveEmptyWindowAndValidation(t *testing.T) {
+	d := &OccupancyDeriver{Store: seedStore(t)}
+	got, err := d.Derive([]string{"r0"}, t0.Add(5*time.Hour), t0.Add(6*time.Hour))
+	if err != nil || len(got) != 0 {
+		t.Errorf("quiet window = %v, %v", got, err)
+	}
+	if _, err := d.Derive([]string{"r0"}, t0, t0); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := (&OccupancyDeriver{}).Derive(nil, t0, t0.Add(time.Hour)); err == nil {
+		t.Error("store-less deriver accepted")
+	}
+}
+
+func TestDeriveCustomInterval(t *testing.T) {
+	d := &OccupancyDeriver{Store: seedStore(t), Interval: time.Hour}
+	got, err := d.Derive([]string{"r0"}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three r0 signals fall in one hourly bucket, one distinct subject.
+	if len(got) != 1 || got[0].Value != 1 {
+		t.Errorf("hourly derive = %+v", got)
+	}
+}

@@ -1,0 +1,86 @@
+package sensor
+
+import "testing"
+
+func TestTypeForKindInvertsKindForType(t *testing.T) {
+	for _, typ := range AllTypes() {
+		kind := KindForType(typ)
+		if kind == "" {
+			continue // actuators
+		}
+		if got := TypeForKind(kind); got != typ {
+			t.Errorf("TypeForKind(KindForType(%v)) = %v", typ, got)
+		}
+	}
+	if got := TypeForKind(ObsOccupancy); got != 0 {
+		t.Errorf("derived occupancy has a producing type: %v", got)
+	}
+	if got := TypeForKind("bogus"); got != 0 {
+		t.Errorf("unknown kind mapped: %v", got)
+	}
+}
+
+func TestDefaultSubsystemCoverage(t *testing.T) {
+	want := map[Type]Subsystem{
+		TypeCamera:        "camera-subsystem",
+		TypeWiFiAP:        "network-subsystem",
+		TypeBLEBeacon:     "beacon-subsystem",
+		TypePowerMeter:    "energy-subsystem",
+		TypeTemperature:   "hvac-subsystem",
+		TypeMotion:        "hvac-subsystem",
+		TypeHVAC:          "hvac-subsystem",
+		TypeAccessControl: "access-subsystem",
+	}
+	for typ, sub := range want {
+		if got := DefaultSubsystem(typ); got != sub {
+			t.Errorf("DefaultSubsystem(%v) = %q, want %q", typ, got, sub)
+		}
+	}
+	if got := DefaultSubsystem(Type(99)); got != "misc-subsystem" {
+		t.Errorf("unknown type subsystem = %q", got)
+	}
+}
+
+func TestSpecsSortedAndComplete(t *testing.T) {
+	s := MustNew("cam", TypeCamera, "x")
+	specs := s.Specs()
+	if len(specs) != 4 {
+		t.Fatalf("camera specs = %d, want 4", len(specs))
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i-1].Name >= specs[i].Name {
+			t.Fatal("specs not sorted")
+		}
+	}
+}
+
+func TestFloatSettingEdgeCases(t *testing.T) {
+	s := MustNew("acc", TypeAccessControl, "x")
+	if got := s.FloatSetting("missing"); got != 0 {
+		t.Errorf("missing param = %v", got)
+	}
+	// mode is an enum string: not numeric.
+	if got := s.FloatSetting("mode"); got != 0 {
+		t.Errorf("non-numeric param = %v", got)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(invalid) did not panic")
+		}
+	}()
+	MustNew("", TypeCamera, "x")
+}
+
+func TestRegistryMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd(dup) did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.MustAdd(MustNew("s", TypeCamera, "x"))
+	r.MustAdd(MustNew("s", TypeCamera, "x"))
+}

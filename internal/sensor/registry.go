@@ -1,0 +1,166 @@
+package sensor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry indexes the building's deployed sensors by ID, type, and
+// installation space. It is the paper's "Sensor Manager" data plane:
+// TIPPERS actuates sensors through it, and the IRR generates resource
+// advertisements from it. A Registry is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	byID    map[string]*Sensor
+	byType  map[Type][]*Sensor
+	bySpace map[string][]*Sensor
+
+	onChange []func(sensorID string, changes map[string]string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byID:    make(map[string]*Sensor),
+		byType:  make(map[Type][]*Sensor),
+		bySpace: make(map[string][]*Sensor),
+	}
+}
+
+// Errors returned by Registry operations.
+var (
+	ErrDuplicateSensor = errors.New("sensor: duplicate sensor ID")
+	ErrUnknownSensor   = errors.New("sensor: unknown sensor")
+)
+
+// Add registers a sensor.
+func (r *Registry) Add(s *Sensor) error {
+	if s == nil || s.ID == "" {
+		return errors.New("sensor: nil or unnamed sensor")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[s.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateSensor, s.ID)
+	}
+	r.byID[s.ID] = s
+	r.byType[s.Type] = append(r.byType[s.Type], s)
+	r.bySpace[s.SpaceID] = append(r.bySpace[s.SpaceID], s)
+	return nil
+}
+
+// MustAdd is Add for construction code with known-good sensors.
+func (r *Registry) MustAdd(s *Sensor) *Sensor {
+	if err := r.Add(s); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Get returns the sensor with the given ID.
+func (r *Registry) Get(id string) (*Sensor, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.byID[id]
+	return s, ok
+}
+
+// ByType returns the sensors of the given type, sorted by ID.
+func (r *Registry) ByType(t Type) []*Sensor {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedCopy(r.byType[t])
+}
+
+// InSpace returns the sensors installed exactly in the given space,
+// sorted by ID. Enforcement expands spatial scopes to subtrees before
+// calling this.
+func (r *Registry) InSpace(spaceID string) []*Sensor {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedCopy(r.bySpace[spaceID])
+}
+
+// All returns every sensor sorted by ID.
+func (r *Registry) All() []*Sensor {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Sensor, 0, len(r.byID))
+	for _, s := range r.byID {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of registered sensors.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}
+
+// CountByType returns a map from type to sensor count, used by the
+// MUD-style IRR advertisement generator.
+func (r *Registry) CountByType() map[Type]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[Type]int, len(r.byType))
+	for t, list := range r.byType {
+		out[t] = len(list)
+	}
+	return out
+}
+
+// OnChange registers a callback invoked after every successful
+// Actuate. Callbacks run synchronously on the actuating goroutine.
+func (r *Registry) OnChange(fn func(sensorID string, changes map[string]string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onChange = append(r.onChange, fn)
+}
+
+// Actuate applies a validated settings change to one sensor and
+// notifies change listeners. This is the building's single actuation
+// entry point, so every settings change — whether from a building
+// policy (Policy 1's thermostat adjustment) or a user preference
+// (Figure 4's wifi opt-out) — is observable in one place.
+func (r *Registry) Actuate(sensorID string, changes map[string]string) error {
+	r.mu.RLock()
+	s, ok := r.byID[sensorID]
+	listeners := make([]func(string, map[string]string), len(r.onChange))
+	copy(listeners, r.onChange)
+	r.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSensor, sensorID)
+	}
+	if err := s.Apply(changes); err != nil {
+		return err
+	}
+	for _, fn := range listeners {
+		fn(sensorID, changes)
+	}
+	return nil
+}
+
+// ActuateType applies a settings change to every sensor of a type
+// (subsystem-wide actuation). It stops at the first error; sensors
+// already actuated stay actuated — callers needing atomicity across a
+// subsystem should validate against Specs first.
+func (r *Registry) ActuateType(t Type, changes map[string]string) error {
+	for _, s := range r.ByType(t) {
+		if err := r.Actuate(s.ID, changes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedCopy(in []*Sensor) []*Sensor {
+	out := make([]*Sensor, len(in))
+	copy(out, in)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,300 @@
+package sensor
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	for _, typ := range AllTypes() {
+		got, err := ParseType(typ.String())
+		if err != nil || got != typ {
+			t.Errorf("ParseType(%q) = %v, %v", typ.String(), got, err)
+		}
+	}
+	if _, err := ParseType("Quantum Sensor"); err == nil {
+		t.Error("ParseType(unknown) succeeded")
+	}
+	if s := Type(42).String(); s != "Type(42)" {
+		t.Errorf("Type(42).String() = %q", s)
+	}
+}
+
+func TestNewAppliesDefaults(t *testing.T) {
+	s, err := New("cam-1", TypeCamera, "dbh/1/corr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Enabled() {
+		t.Error("new sensor should default to enabled")
+	}
+	if v, _ := s.Setting("resolution"); v != "1080p" {
+		t.Errorf("resolution default = %q, want 1080p", v)
+	}
+	if got := s.FloatSetting("fps"); got != 15 {
+		t.Errorf("fps default = %v, want 15", got)
+	}
+	if s.Subsystem != "camera-subsystem" {
+		t.Errorf("Subsystem = %q", s.Subsystem)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("", TypeCamera, "x"); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if _, err := New("s", Type(0), "x"); err == nil {
+		t.Error("zero type accepted")
+	}
+	if _, err := New("s", Type(99), "x"); err == nil {
+		t.Error("invalid type accepted")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	s := MustNew("cam-1", TypeCamera, "dbh/1/corr")
+	tests := []struct {
+		changes map[string]string
+		wantErr bool
+	}{
+		{map[string]string{"resolution": "480p"}, false},
+		{map[string]string{"fps": "30"}, false},
+		{map[string]string{"enabled": "false"}, false},
+		{map[string]string{"fps": "0"}, true},         // below min
+		{map[string]string{"fps": "61"}, true},        // above max
+		{map[string]string{"fps": "fast"}, true},      // not an int
+		{map[string]string{"resolution": "4k"}, true}, // not in enum
+		{map[string]string{"enabled": "yes"}, true},   // not a bool
+		{map[string]string{"zoom": "2"}, true},        // unknown param
+	}
+	for _, tt := range tests {
+		err := s.Apply(tt.changes)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Apply(%v) error = %v, wantErr %v", tt.changes, err, tt.wantErr)
+		}
+	}
+}
+
+func TestApplyAtomic(t *testing.T) {
+	s := MustNew("cam-1", TypeCamera, "x")
+	err := s.Apply(map[string]string{"fps": "30", "resolution": "4k"})
+	if err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if got := s.FloatSetting("fps"); got != 15 {
+		t.Errorf("failed Apply mutated fps to %v", got)
+	}
+}
+
+func TestParamSpecKinds(t *testing.T) {
+	tests := []struct {
+		spec ParamSpec
+		good []string
+		bad  []string
+	}{
+		{ParamSpec{Name: "b", Kind: ParamBool}, []string{"true", "false"}, []string{"1", "", "True"}},
+		{ParamSpec{Name: "i", Kind: ParamInt, Min: -5, Max: 5}, []string{"-5", "0", "5"}, []string{"-6", "6", "1.5", "x"}},
+		{ParamSpec{Name: "f", Kind: ParamFloat, Min: 0, Max: 1}, []string{"0", "0.5", "1"}, []string{"-0.1", "1.1", "NaN?"}},
+		{ParamSpec{Name: "e", Kind: ParamEnum, Enum: []string{"a", "b"}}, []string{"a", "b"}, []string{"c", ""}},
+		{ParamSpec{Name: "s", Kind: ParamString}, []string{"", "anything"}, nil},
+		{ParamSpec{Name: "z", Kind: ParamKind(0)}, nil, []string{"x"}},
+	}
+	for _, tt := range tests {
+		for _, v := range tt.good {
+			if err := tt.spec.Validate(v); err != nil {
+				t.Errorf("spec %q: Validate(%q) = %v, want nil", tt.spec.Name, v, err)
+			}
+		}
+		for _, v := range tt.bad {
+			if err := tt.spec.Validate(v); err == nil {
+				t.Errorf("spec %q: Validate(%q) succeeded, want error", tt.spec.Name, v)
+			}
+		}
+	}
+}
+
+func TestDefaultSpecsValidDefaults(t *testing.T) {
+	// Property: every type's default settings validate against its own specs.
+	for _, typ := range AllTypes() {
+		for _, spec := range DefaultSpecs(typ) {
+			if err := spec.Validate(spec.Default); err != nil {
+				t.Errorf("type %v: default for %q invalid: %v", typ, spec.Name, err)
+			}
+		}
+	}
+}
+
+func TestKindForTypeCoverage(t *testing.T) {
+	for _, typ := range AllTypes() {
+		kind := KindForType(typ)
+		if typ == TypeHVAC {
+			if kind != "" {
+				t.Errorf("HVAC is an actuator; kind = %q, want empty", kind)
+			}
+			continue
+		}
+		if kind == "" {
+			t.Errorf("KindForType(%v) empty", typ)
+		}
+	}
+}
+
+func TestObservationClone(t *testing.T) {
+	o := Observation{
+		SensorID: "ap-1",
+		Kind:     ObsWiFiConnect,
+		Time:     time.Date(2017, 6, 1, 9, 0, 0, 0, time.UTC),
+		SpaceID:  "dbh/2",
+		Payload:  map[string]string{"ap_mac": "02:00:00:00:00:01"},
+	}
+	c := o.Clone()
+	c.Payload["ap_mac"] = "tampered"
+	if o.Payload["ap_mac"] != "02:00:00:00:00:01" {
+		t.Error("Clone shares Payload map")
+	}
+	var empty Observation
+	if got := empty.Clone(); got.Payload != nil {
+		t.Error("Clone of empty observation allocated payload")
+	}
+}
+
+func TestRegistryAddGet(t *testing.T) {
+	r := NewRegistry()
+	r.MustAdd(MustNew("ap-1", TypeWiFiAP, "dbh/1"))
+	r.MustAdd(MustNew("ap-2", TypeWiFiAP, "dbh/2"))
+	r.MustAdd(MustNew("cam-1", TypeCamera, "dbh/1"))
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if _, ok := r.Get("ap-1"); !ok {
+		t.Error("Get(ap-1) failed")
+	}
+	if _, ok := r.Get("ghost"); ok {
+		t.Error("Get(ghost) succeeded")
+	}
+	if err := r.Add(MustNew("ap-1", TypeWiFiAP, "dbh/3")); !errors.Is(err, ErrDuplicateSensor) {
+		t.Errorf("duplicate add: %v", err)
+	}
+	if err := r.Add(nil); err == nil {
+		t.Error("nil sensor accepted")
+	}
+	if got := r.ByType(TypeWiFiAP); len(got) != 2 || got[0].ID != "ap-1" {
+		t.Errorf("ByType = %v", got)
+	}
+	if got := r.InSpace("dbh/1"); len(got) != 2 {
+		t.Errorf("InSpace(dbh/1) = %d sensors", len(got))
+	}
+	if got := r.CountByType(); got[TypeWiFiAP] != 2 || got[TypeCamera] != 1 {
+		t.Errorf("CountByType = %v", got)
+	}
+	all := r.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Error("All() not sorted")
+		}
+	}
+}
+
+func TestActuateAndListeners(t *testing.T) {
+	r := NewRegistry()
+	r.MustAdd(MustNew("ap-1", TypeWiFiAP, "dbh/1"))
+	var mu sync.Mutex
+	var calls []string
+	r.OnChange(func(id string, changes map[string]string) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls = append(calls, id)
+	})
+	if err := r.Actuate("ap-1", map[string]string{"hash_mac": "true"}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := r.Get("ap-1")
+	if !s.BoolSetting("hash_mac") {
+		t.Error("setting not applied")
+	}
+	if len(calls) != 1 || calls[0] != "ap-1" {
+		t.Errorf("listener calls = %v", calls)
+	}
+	if err := r.Actuate("ghost", nil); !errors.Is(err, ErrUnknownSensor) {
+		t.Errorf("Actuate(ghost) = %v", err)
+	}
+	// Failed actuation must not notify listeners.
+	calls = nil
+	if err := r.Actuate("ap-1", map[string]string{"bogus": "1"}); err == nil {
+		t.Fatal("bogus actuation accepted")
+	}
+	if len(calls) != 0 {
+		t.Error("listener notified on failed actuation")
+	}
+}
+
+func TestActuateType(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		r.MustAdd(MustNew(fmt.Sprintf("ap-%d", i), TypeWiFiAP, "dbh/1"))
+	}
+	if err := r.ActuateType(TypeWiFiAP, map[string]string{"log_connections": "false"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.ByType(TypeWiFiAP) {
+		if s.BoolSetting("log_connections") {
+			t.Errorf("%s still logging", s.ID)
+		}
+	}
+	if err := r.ActuateType(TypeWiFiAP, map[string]string{"bogus": "1"}); err == nil {
+		t.Error("bogus subsystem actuation accepted")
+	}
+}
+
+func TestSettingsIsCopy(t *testing.T) {
+	s := MustNew("ap-1", TypeWiFiAP, "x")
+	m := s.Settings()
+	m["enabled"] = "false"
+	if !s.Enabled() {
+		t.Error("Settings() exposed internal map")
+	}
+}
+
+func TestConcurrentActuation(t *testing.T) {
+	r := NewRegistry()
+	r.MustAdd(MustNew("ble-1", TypeBLEBeacon, "dbh/1"))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := strconv.Itoa(100 + i*10)
+			if err := r.Actuate("ble-1", map[string]string{"interval_ms": v}); err != nil {
+				t.Errorf("Actuate: %v", err)
+			}
+			r.ByType(TypeBLEBeacon)
+			r.All()
+		}(i)
+	}
+	wg.Wait()
+	s, _ := r.Get("ble-1")
+	// Final value must be one of the written values (no corruption).
+	got := s.FloatSetting("interval_ms")
+	if got < 100 || got > 250 {
+		t.Errorf("interval_ms = %v, outside written range", got)
+	}
+}
+
+// TestIntSpecValidateProperty: for int specs, Validate accepts exactly
+// the integers within [Min, Max].
+func TestIntSpecValidateProperty(t *testing.T) {
+	spec := ParamSpec{Name: "p", Kind: ParamInt, Min: -100, Max: 100}
+	f := func(n int16) bool {
+		err := spec.Validate(strconv.Itoa(int(n)))
+		inRange := n >= -100 && n <= 100
+		return (err == nil) == inRange
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

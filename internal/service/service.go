@@ -1,0 +1,263 @@
+// Package service implements the paper's service model (§IV.A.6):
+// services that run on top of the smart building system, their
+// meta-data ("the developer (e.g., building owner or third party),
+// permissions to sensors, and observations"), and the registry TIPPERS
+// consults when a service requests data.
+//
+// A service must declare what it observes and why. The request
+// manager rejects any request outside a service's declaration
+// (purpose binding), so a service cannot quietly repurpose data it
+// was granted for something else — the paper's WiFi-log example of
+// one collection serving many purposes is only legal if every purpose
+// is declared.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// Developer identifies who operates a service, which the paper calls
+// out as user-relevant metadata (building services vs third parties).
+type Developer string
+
+// Developer classes.
+const (
+	DeveloperBuilding   Developer = "building"
+	DeveloperThirdParty Developer = "third-party"
+)
+
+// DataRequest is one declared data need: what kind of observation,
+// for which purpose, at what finest granularity.
+type DataRequest struct {
+	ObsKind     sensor.ObservationKind
+	Purpose     policy.Purpose
+	Granularity policy.Granularity
+	Description string
+}
+
+// Service is one registered service.
+type Service struct {
+	ID          string
+	Name        string
+	Description string
+	Developer   Developer
+	// Declares is the service's declared data needs; requests outside
+	// it are rejected.
+	Declares []DataRequest
+}
+
+// Check validates the declaration.
+func (s Service) Check() error {
+	if s.ID == "" {
+		return errors.New("service: ID must be non-empty")
+	}
+	if s.Developer != DeveloperBuilding && s.Developer != DeveloperThirdParty {
+		return fmt.Errorf("service %s: invalid developer %q", s.ID, s.Developer)
+	}
+	if len(s.Declares) == 0 {
+		return fmt.Errorf("service %s: must declare at least one data need", s.ID)
+	}
+	for i, d := range s.Declares {
+		if d.ObsKind == "" {
+			return fmt.Errorf("service %s: declaration %d has no observation kind", s.ID, i)
+		}
+		if d.Purpose == policy.PurposeAny {
+			return fmt.Errorf("service %s: declaration %d has no purpose", s.ID, i)
+		}
+		if !d.Granularity.Valid() {
+			return fmt.Errorf("service %s: declaration %d has invalid granularity", s.ID, i)
+		}
+	}
+	return nil
+}
+
+// Permits reports whether the service declared the given kind/purpose
+// combination, and at what granularity.
+func (s Service) Permits(kind sensor.ObservationKind, purpose policy.Purpose) (policy.Granularity, bool) {
+	for _, d := range s.Declares {
+		if d.ObsKind == kind && d.Purpose == purpose {
+			return d.Granularity, true
+		}
+	}
+	return 0, false
+}
+
+// PolicyDoc renders the service's declaration in the paper's Figure 3
+// shape for IRR advertisement.
+func (s Service) PolicyDoc() policy.ServicePolicyDoc {
+	doc := policy.ServicePolicyDoc{
+		Purpose: policy.PurposeBlock{
+			Entries:   map[policy.Purpose]policy.PurposeDetail{},
+			ServiceID: s.ID,
+		},
+	}
+	seen := map[sensor.ObservationKind]bool{}
+	for _, d := range s.Declares {
+		if !seen[d.ObsKind] {
+			seen[d.ObsKind] = true
+			doc.Observations = append(doc.Observations, policy.ObservationDesc{
+				Name:        string(d.ObsKind),
+				Description: d.Description,
+				Granularity: d.Granularity.String(),
+			})
+		}
+		if _, ok := doc.Purpose.Entries[d.Purpose]; !ok {
+			desc := s.Description
+			if d.Description != "" {
+				desc = d.Description
+			}
+			doc.Purpose.Entries[d.Purpose] = policy.PurposeDetail{Description: desc}
+		}
+	}
+	sort.Slice(doc.Observations, func(i, j int) bool {
+		return doc.Observations[i].Name < doc.Observations[j].Name
+	})
+	return doc
+}
+
+// Registry holds the building's registered services. It is safe for
+// concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	byID map[string]Service
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]Service)}
+}
+
+// Errors returned by Registry operations.
+var (
+	ErrDuplicateService = errors.New("service: duplicate service ID")
+	ErrUnknownService   = errors.New("service: unknown service")
+)
+
+// Register validates and adds a service.
+func (r *Registry) Register(s Service) error {
+	if err := s.Check(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[s.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateService, s.ID)
+	}
+	r.byID[s.ID] = s
+	return nil
+}
+
+// MustRegister is Register for known-good built-ins.
+func (r *Registry) MustRegister(s Service) Service {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Get returns the service with the given ID.
+func (r *Registry) Get(id string) (Service, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.byID[id]
+	return s, ok
+}
+
+// All returns every service sorted by ID.
+func (r *Registry) All() []Service {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Service, 0, len(r.byID))
+	for _, s := range r.byID {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of registered services.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}
+
+// The paper's DBH services.
+
+// Concierge is the paper's Smart Concierge: "helps users locate
+// rooms, inhabitants and events in the building", using WiFi and BLE
+// location (Figure 3).
+func Concierge() Service {
+	return Service{
+		ID:          "concierge",
+		Name:        "Smart Concierge",
+		Description: "Helps users locate rooms, inhabitants, and events in the building.",
+		Developer:   DeveloperBuilding,
+		Declares: []DataRequest{
+			{
+				ObsKind:     sensor.ObsWiFiConnect,
+				Purpose:     policy.PurposeProvidingService,
+				Granularity: policy.GranExact,
+				Description: "Whenever one of your devices connects to the DBH WiFi its MAC address is stored",
+			},
+			{
+				ObsKind:     sensor.ObsBLESighting,
+				Purpose:     policy.PurposeProvidingService,
+				Granularity: policy.GranExact,
+				Description: "When you have Concierge installed and your bluetooth senses a beacon, the room you are in is stored",
+			},
+		},
+	}
+}
+
+// SmartMeeting is the paper's Smart Meeting service: "can help
+// organize meetings more efficiently", needing participant locations
+// and occupancy.
+func SmartMeeting() Service {
+	return Service{
+		ID:          "smart-meeting",
+		Name:        "Smart Meeting",
+		Description: "Helps organize meetings more efficiently using participant availability and room occupancy.",
+		Developer:   DeveloperBuilding,
+		Declares: []DataRequest{
+			{
+				ObsKind:     sensor.ObsBLESighting,
+				Purpose:     policy.PurposeProvidingService,
+				Granularity: policy.GranRoom,
+				Description: "Participant room-level presence to find meeting slots and rooms",
+			},
+			{
+				ObsKind:     sensor.ObsOccupancy,
+				Purpose:     policy.PurposeProvidingService,
+				Granularity: policy.GranRoom,
+				Description: "Meeting room occupancy to avoid double-booking",
+			},
+		},
+	}
+}
+
+// FoodDelivery is the paper's third-party example: "a food delivery
+// company can automatically locate and deliver food to building
+// inhabitants during lunch time."
+func FoodDelivery() Service {
+	return Service{
+		ID:          "food-delivery",
+		Name:        "Lunch Locator",
+		Description: "Locates subscribers at lunch time to deliver food.",
+		Developer:   DeveloperThirdParty,
+		Declares: []DataRequest{
+			{
+				ObsKind:     sensor.ObsWiFiConnect,
+				Purpose:     policy.PurposeProvidingService,
+				Granularity: policy.GranFloor,
+				Description: "Subscriber floor-level location during lunch hours",
+			},
+		},
+	}
+}

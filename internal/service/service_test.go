@@ -1,0 +1,117 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+func TestBuiltinsValid(t *testing.T) {
+	for _, s := range []Service{Concierge(), SmartMeeting(), FoodDelivery()} {
+		if err := s.Check(); err != nil {
+			t.Errorf("%s: %v", s.ID, err)
+		}
+	}
+	if FoodDelivery().Developer != DeveloperThirdParty {
+		t.Error("food delivery must be third-party")
+	}
+	if Concierge().Developer != DeveloperBuilding {
+		t.Error("concierge must be a building service")
+	}
+}
+
+func TestCheckRejectsBadDeclarations(t *testing.T) {
+	base := Concierge()
+	tests := []struct {
+		name   string
+		mutate func(*Service)
+	}{
+		{"empty ID", func(s *Service) { s.ID = "" }},
+		{"bad developer", func(s *Service) { s.Developer = "shadowy" }},
+		{"no declarations", func(s *Service) { s.Declares = nil }},
+		{"declaration without kind", func(s *Service) { s.Declares[0].ObsKind = "" }},
+		{"declaration without purpose", func(s *Service) { s.Declares[0].Purpose = policy.PurposeAny }},
+		{"invalid granularity", func(s *Service) { s.Declares[0].Granularity = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := base
+			s.Declares = append([]DataRequest(nil), base.Declares...)
+			tt.mutate(&s)
+			if err := s.Check(); err == nil {
+				t.Error("Check accepted invalid service")
+			}
+		})
+	}
+}
+
+func TestPermits(t *testing.T) {
+	c := Concierge()
+	g, ok := c.Permits(sensor.ObsWiFiConnect, policy.PurposeProvidingService)
+	if !ok || g != policy.GranExact {
+		t.Errorf("Permits(wifi, providing_service) = %v, %v", g, ok)
+	}
+	if _, ok := c.Permits(sensor.ObsWiFiConnect, policy.PurposeMarketing); ok {
+		t.Error("undeclared purpose permitted: purpose binding broken")
+	}
+	if _, ok := c.Permits(sensor.ObsPowerReading, policy.PurposeProvidingService); ok {
+		t.Error("undeclared kind permitted")
+	}
+}
+
+func TestPolicyDocMatchesFigure3(t *testing.T) {
+	doc := Concierge().PolicyDoc()
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("Concierge policy doc invalid: %v", err)
+	}
+	if doc.Purpose.ServiceID != "concierge" {
+		t.Errorf("service_id = %q", doc.Purpose.ServiceID)
+	}
+	if len(doc.Observations) != 2 {
+		t.Fatalf("observations = %+v", doc.Observations)
+	}
+	// Sorted: bluetooth_beacon before wifi_access_point.
+	if doc.Observations[0].Name != string(sensor.ObsBLESighting) ||
+		doc.Observations[1].Name != string(sensor.ObsWiFiConnect) {
+		t.Errorf("observation order = %+v", doc.Observations)
+	}
+	if _, ok := doc.Purpose.Entries[policy.PurposeProvidingService]; !ok {
+		t.Errorf("purpose entries = %+v", doc.Purpose.Entries)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Concierge())
+	r.MustRegister(SmartMeeting())
+	if err := r.Register(Concierge()); !errors.Is(err, ErrDuplicateService) {
+		t.Errorf("duplicate register: %v", err)
+	}
+	if err := r.Register(Service{}); err == nil {
+		t.Error("invalid service registered")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if _, ok := r.Get("concierge"); !ok {
+		t.Error("Get(concierge) failed")
+	}
+	if _, ok := r.Get("ghost"); ok {
+		t.Error("Get(ghost) succeeded")
+	}
+	all := r.All()
+	if len(all) != 2 || all[0].ID != "concierge" || all[1].ID != "smart-meeting" {
+		t.Errorf("All() = %+v", all)
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister(invalid) did not panic")
+		}
+	}()
+	NewRegistry().MustRegister(Service{ID: "x"})
+}

@@ -1,0 +1,329 @@
+// Package sim simulates the paper's testbed: Donald Bren Hall (DBH),
+// "a six-story building at University of California, Irvine equipped
+// with more than 40 surveillance cameras ..., 60 WiFi Access Points,
+// 200 Bluetooth beacons, and 100 power outlet meters" (§II), together
+// with a role-conditioned occupant population whose movement patterns
+// follow the paper's own inference heuristics: "non-faculty staff
+// arrive at 7 am and leave before 5 pm, graduate students generally
+// leave the building late, and undergrads spend most of the time in
+// classrooms" (§II.A).
+//
+// The simulator substitutes for the physical deployment: it generates
+// the same observation streams (WiFi associations, BLE sightings,
+// power and motion readings) the real building would, at the same
+// scale, exercising identical enforcement and inference code paths.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/spatial"
+)
+
+// BuildingSpec sizes a generated building.
+type BuildingSpec struct {
+	ID            string
+	Name          string
+	Floors        int
+	RoomsPerFloor int
+	// Sensor counts, distributed round-robin across rooms/corridors.
+	WiFiAPs     int
+	Beacons     int
+	Cameras     int
+	PowerMeters int
+	// ClassroomsPerFloor marks the first N rooms of each floor as
+	// classrooms (undergrad destinations).
+	ClassroomsPerFloor int
+}
+
+// DBH returns the paper's Donald Bren Hall at full scale.
+func DBH() BuildingSpec {
+	return BuildingSpec{
+		ID:                 "dbh",
+		Name:               "Donald Bren Hall",
+		Floors:             6,
+		RoomsPerFloor:      20,
+		WiFiAPs:            60,
+		Beacons:            200,
+		Cameras:            40,
+		PowerMeters:        100,
+		ClassroomsPerFloor: 3,
+	}
+}
+
+// SmallDBH returns a two-floor fragment for fast tests.
+func SmallDBH() BuildingSpec {
+	return BuildingSpec{
+		ID:                 "dbh",
+		Name:               "Donald Bren Hall (small)",
+		Floors:             2,
+		RoomsPerFloor:      6,
+		WiFiAPs:            4,
+		Beacons:            8,
+		Cameras:            2,
+		PowerMeters:        6,
+		ClassroomsPerFloor: 1,
+	}
+}
+
+// Building is a generated building: its spatial model, sensors, and
+// the derived ID lists the simulator walks.
+type Building struct {
+	Spec    BuildingSpec
+	Spaces  *spatial.Model
+	Sensors *sensor.Registry
+
+	// RoomIDs[floor-1] lists the rooms of each floor.
+	RoomIDs [][]string
+	// CorridorIDs[floor-1] is each floor's corridor.
+	CorridorIDs []string
+	// Classrooms lists classroom space IDs.
+	Classrooms []string
+	// Offices lists assignable office space IDs (non-classroom rooms).
+	Offices []string
+	// apBySpace maps a room/corridor to the nearest AP's ID (the AP a
+	// device in that space associates with).
+	apBySpace map[string]string
+	// beaconsBySpace maps spaces to their installed beacons.
+	beaconsBySpace map[string][]string
+}
+
+// RoomFloorArea is the per-floor footprint in meters.
+const (
+	floorWidth  = 100.0
+	floorDepth  = 60.0
+	roomDepth   = 10.0
+	corridorTop = roomDepth + 4
+)
+
+// Build generates the spatial model and sensor deployment. The layout
+// is deterministic given the spec.
+func (spec BuildingSpec) Build() (*Building, error) {
+	if spec.ID == "" || spec.Floors < 1 || spec.RoomsPerFloor < 1 {
+		return nil, fmt.Errorf("sim: invalid building spec %+v", spec)
+	}
+	b := &Building{
+		Spec:           spec,
+		Spaces:         spatial.NewModel(),
+		Sensors:        sensor.NewRegistry(),
+		apBySpace:      make(map[string]string),
+		beaconsBySpace: make(map[string][]string),
+	}
+	if _, err := b.Spaces.Add("", spatial.Space{
+		ID: spec.ID, Name: spec.Name, Kind: spatial.KindBuilding,
+		Extent: spatial.Rect{MaxX: floorWidth, MaxY: floorDepth},
+	}); err != nil {
+		return nil, err
+	}
+
+	roomWidth := floorWidth / float64(spec.RoomsPerFloor)
+	for f := 1; f <= spec.Floors; f++ {
+		floorID := fmt.Sprintf("%s/%d", spec.ID, f)
+		if _, err := b.Spaces.Add(spec.ID, spatial.Space{
+			ID: floorID, Name: fmt.Sprintf("Floor %d", f), Kind: spatial.KindFloor, Floor: f,
+			Extent: spatial.Rect{MaxX: floorWidth, MaxY: floorDepth},
+		}); err != nil {
+			return nil, err
+		}
+		corrID := floorID + "/corridor"
+		if _, err := b.Spaces.Add(floorID, spatial.Space{
+			ID: corrID, Name: fmt.Sprintf("Corridor %d", f), Kind: spatial.KindCorridor, Floor: f,
+			Extent: spatial.Rect{MinY: roomDepth, MaxX: floorWidth, MaxY: corridorTop},
+		}); err != nil {
+			return nil, err
+		}
+		b.CorridorIDs = append(b.CorridorIDs, corrID)
+
+		var rooms []string
+		for ri := 0; ri < spec.RoomsPerFloor; ri++ {
+			roomID := fmt.Sprintf("%s/%d%02d", spec.ID, f, ri)
+			x0 := float64(ri) * roomWidth
+			if _, err := b.Spaces.Add(floorID, spatial.Space{
+				ID: roomID, Name: fmt.Sprintf("Room %d%02d", f, ri), Kind: spatial.KindRoom, Floor: f,
+				Extent: spatial.Rect{MinX: x0, MaxX: x0 + roomWidth, MaxY: roomDepth},
+			}); err != nil {
+				return nil, err
+			}
+			rooms = append(rooms, roomID)
+			if ri < spec.ClassroomsPerFloor {
+				b.Classrooms = append(b.Classrooms, roomID)
+			} else {
+				b.Offices = append(b.Offices, roomID)
+			}
+		}
+		b.RoomIDs = append(b.RoomIDs, rooms)
+	}
+
+	if err := b.deploySensors(); err != nil {
+		return nil, err
+	}
+	b.Spaces.Freeze()
+	return b, nil
+}
+
+// deploySensors spreads the spec's sensor counts across the building:
+// APs round-robin over rooms (they also cover the corridor of their
+// floor), beacons over rooms, cameras over corridors, power meters
+// over offices.
+func (b *Building) deploySensors() error {
+	spec := b.Spec
+	// Stripe rooms across floors (f1r0, f2r0, ..., f1r1, f2r1, ...) so
+	// sparse sensor counts still cover every floor — otherwise a
+	// 4-AP building would put all four on floor 1 and floor-2 devices
+	// would associate across floors.
+	var allRooms []string
+	for r := 0; r < spec.RoomsPerFloor; r++ {
+		for f := 0; f < spec.Floors; f++ {
+			allRooms = append(allRooms, b.RoomIDs[f][r])
+		}
+	}
+
+	for i := 0; i < spec.WiFiAPs; i++ {
+		space := allRooms[i%len(allRooms)]
+		s, err := sensor.New(fmt.Sprintf("ap-%03d", i), sensor.TypeWiFiAP, space)
+		if err != nil {
+			return err
+		}
+		if err := b.Sensors.Add(s); err != nil {
+			return err
+		}
+	}
+	// Map every space to its nearest AP: the AP in the room if any,
+	// else the first AP on the floor.
+	apsByFloor := make(map[int][]*sensor.Sensor)
+	for _, s := range b.Sensors.ByType(sensor.TypeWiFiAP) {
+		if sp, ok := b.Spaces.Lookup(s.SpaceID); ok {
+			apsByFloor[sp.Floor] = append(apsByFloor[sp.Floor], s)
+		}
+		b.apBySpace[s.SpaceID] = s.ID
+	}
+	assignNearest := func(spaceID string, floor int) {
+		if _, ok := b.apBySpace[spaceID]; ok {
+			return
+		}
+		if aps := apsByFloor[floor]; len(aps) > 0 {
+			b.apBySpace[spaceID] = aps[0].ID
+		} else if all := b.Sensors.ByType(sensor.TypeWiFiAP); len(all) > 0 {
+			b.apBySpace[spaceID] = all[0].ID
+		}
+	}
+	for f := 1; f <= spec.Floors; f++ {
+		for _, room := range b.RoomIDs[f-1] {
+			assignNearest(room, f)
+		}
+		assignNearest(b.CorridorIDs[f-1], f)
+	}
+
+	for i := 0; i < spec.Beacons; i++ {
+		space := allRooms[i%len(allRooms)]
+		s, err := sensor.New(fmt.Sprintf("ble-%03d", i), sensor.TypeBLEBeacon, space)
+		if err != nil {
+			return err
+		}
+		if err := b.Sensors.Add(s); err != nil {
+			return err
+		}
+		b.beaconsBySpace[space] = append(b.beaconsBySpace[space], s.ID)
+	}
+	for i := 0; i < spec.Cameras; i++ {
+		space := b.CorridorIDs[i%len(b.CorridorIDs)]
+		s, err := sensor.New(fmt.Sprintf("cam-%03d", i), sensor.TypeCamera, space)
+		if err != nil {
+			return err
+		}
+		if err := b.Sensors.Add(s); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < spec.PowerMeters; i++ {
+		space := b.Offices[i%max(1, len(b.Offices))]
+		s, err := sensor.New(fmt.Sprintf("pm-%03d", i), sensor.TypePowerMeter, space)
+		if err != nil {
+			return err
+		}
+		if err := b.Sensors.Add(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// APFor returns the AP a device in the given space associates with.
+func (b *Building) APFor(spaceID string) (string, bool) {
+	ap, ok := b.apBySpace[spaceID]
+	return ap, ok
+}
+
+// BeaconsIn returns the beacons installed in a space.
+func (b *Building) BeaconsIn(spaceID string) []string {
+	return b.beaconsBySpace[spaceID]
+}
+
+// RoleMix is the population composition, fractions summing to <= 1;
+// the remainder becomes visitors.
+type RoleMix struct {
+	Faculty   float64
+	Staff     float64
+	Grad      float64
+	Undergrad float64
+}
+
+// CampusMix is a plausible academic-building mix.
+func CampusMix() RoleMix {
+	return RoleMix{Faculty: 0.1, Staff: 0.1, Grad: 0.3, Undergrad: 0.45}
+}
+
+// GeneratePopulation creates n occupants with roles drawn from the
+// mix, offices assigned to faculty/staff/grads, and one device MAC
+// each. Deterministic given the seed.
+func GeneratePopulation(b *Building, n int, mix RoleMix, seed int64) *profile.Directory {
+	rng := rand.New(rand.NewSource(seed))
+	dir := profile.NewDirectory()
+	officeCursor := 0
+	nextOffice := func() string {
+		if len(b.Offices) == 0 {
+			return ""
+		}
+		o := b.Offices[officeCursor%len(b.Offices)]
+		officeCursor++
+		return o
+	}
+	for i := 0; i < n; i++ {
+		var group profile.Group
+		r := rng.Float64()
+		m := mix
+		switch {
+		case r < m.Faculty:
+			group = profile.GroupFaculty
+		case r < m.Faculty+m.Staff:
+			group = profile.GroupStaff
+		case r < m.Faculty+m.Staff+m.Grad:
+			group = profile.GroupGradStudent
+		case r < m.Faculty+m.Staff+m.Grad+m.Undergrad:
+			group = profile.GroupUndergrad
+		default:
+			group = profile.GroupVisitor
+		}
+		p := profile.Profile{Group: group, Department: "CS"}
+		if group == profile.GroupFaculty || group == profile.GroupStaff || group == profile.GroupGradStudent {
+			p.OfficeID = nextOffice()
+		}
+		dir.MustAdd(profile.User{
+			ID:         fmt.Sprintf("u%04d", i),
+			Name:       fmt.Sprintf("Occupant %d", i),
+			Profiles:   []profile.Profile{p},
+			DeviceMACs: []string{fmt.Sprintf("02:00:%02x:%02x:%02x:%02x", (i>>24)&0xff, (i>>16)&0xff, (i>>8)&0xff, i&0xff)},
+		})
+	}
+	return dir
+}

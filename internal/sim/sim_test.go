@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+var day0 = time.Date(2017, time.June, 7, 0, 0, 0, 0, time.UTC) // Wednesday
+
+func buildSmall(t testing.TB) *Building {
+	t.Helper()
+	b, err := SmallDBH().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDBHMatchesPaperScale(t *testing.T) {
+	b, err := DBH().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := b.Sensors.CountByType()
+	if counts[sensor.TypeWiFiAP] != 60 {
+		t.Errorf("APs = %d, want 60", counts[sensor.TypeWiFiAP])
+	}
+	if counts[sensor.TypeBLEBeacon] != 200 {
+		t.Errorf("beacons = %d, want 200", counts[sensor.TypeBLEBeacon])
+	}
+	if counts[sensor.TypeCamera] != 40 {
+		t.Errorf("cameras = %d, want 40", counts[sensor.TypeCamera])
+	}
+	if counts[sensor.TypePowerMeter] != 100 {
+		t.Errorf("power meters = %d, want 100", counts[sensor.TypePowerMeter])
+	}
+	// 6 floors, each with rooms + corridor, plus the building itself.
+	if len(b.RoomIDs) != 6 || len(b.CorridorIDs) != 6 {
+		t.Errorf("floors = %d/%d", len(b.RoomIDs), len(b.CorridorIDs))
+	}
+	want := 1 + 6 + 6*20 + 6 // building + floors + rooms + corridors
+	if b.Spaces.Len() != want {
+		t.Errorf("spaces = %d, want %d", b.Spaces.Len(), want)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := (BuildingSpec{}).Build(); err == nil {
+		t.Error("empty spec accepted")
+	}
+}
+
+func TestEverySpaceHasAP(t *testing.T) {
+	b := buildSmall(t)
+	for f := range b.RoomIDs {
+		for _, room := range b.RoomIDs[f] {
+			if _, ok := b.APFor(room); !ok {
+				t.Errorf("room %s has no AP assignment", room)
+			}
+		}
+		if _, ok := b.APFor(b.CorridorIDs[f]); !ok {
+			t.Errorf("corridor %s has no AP assignment", b.CorridorIDs[f])
+		}
+	}
+}
+
+func TestGeneratePopulation(t *testing.T) {
+	b := buildSmall(t)
+	dir := GeneratePopulation(b, 100, CampusMix(), 1)
+	if dir.Len() != 100 {
+		t.Fatalf("population = %d", dir.Len())
+	}
+	// Role mix is roughly as configured.
+	grads := len(dir.Members(profile.GroupGradStudent))
+	if grads < 15 || grads > 45 {
+		t.Errorf("grads = %d, want ~30", grads)
+	}
+	// Office holders have offices; undergrads do not.
+	for _, id := range dir.Members(profile.GroupFaculty) {
+		u, _ := dir.Lookup(id)
+		if len(u.Offices()) == 0 {
+			t.Errorf("faculty %s has no office", id)
+		}
+	}
+	for _, id := range dir.Members(profile.GroupUndergrad) {
+		u, _ := dir.Lookup(id)
+		if len(u.Offices()) != 0 {
+			t.Errorf("undergrad %s has an office", id)
+		}
+	}
+	// Unique MACs resolvable back to users.
+	for _, u := range dir.All() {
+		if len(u.DeviceMACs) != 1 {
+			t.Fatalf("user %s has %d MACs", u.ID, len(u.DeviceMACs))
+		}
+		got, ok := dir.LookupMAC(u.DeviceMACs[0])
+		if !ok || got.ID != u.ID {
+			t.Errorf("MAC lookup for %s failed", u.ID)
+		}
+	}
+}
+
+func TestSimulateDayDeterministic(t *testing.T) {
+	b := buildSmall(t)
+	dir := GeneratePopulation(b, 30, CampusMix(), 7)
+	cfg := DayConfig{Date: day0, Seed: 99}
+	a := SimulateDay(b, dir, cfg)
+	c := SimulateDay(b, dir, cfg)
+	if len(a.Observations) == 0 {
+		t.Fatal("no observations generated")
+	}
+	if !reflect.DeepEqual(a.Observations, c.Observations) {
+		t.Error("same seed produced different observation streams")
+	}
+	cfg.Seed = 100
+	d := SimulateDay(b, dir, cfg)
+	if reflect.DeepEqual(a.Observations, d.Observations) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSimulateDayObservationsSorted(t *testing.T) {
+	b := buildSmall(t)
+	dir := GeneratePopulation(b, 20, CampusMix(), 3)
+	res := SimulateDay(b, dir, DayConfig{Date: day0, Seed: 5})
+	for i := 1; i < len(res.Observations); i++ {
+		if res.Observations[i].Time.Before(res.Observations[i-1].Time) {
+			t.Fatal("observations not time-sorted")
+		}
+	}
+	// Every observation carries a sensor and a kind.
+	for _, o := range res.Observations {
+		if o.SensorID == "" || o.Kind == "" || o.Time.IsZero() {
+			t.Fatalf("malformed observation %+v", o)
+		}
+	}
+}
+
+// TestRoleSchedulesMatchPaperHeuristics verifies the §II.A patterns
+// the inference attack exploits: staff arrive earliest, grads leave
+// latest.
+func TestRoleSchedulesMatchPaperHeuristics(t *testing.T) {
+	b := buildSmall(t)
+	dir := GeneratePopulation(b, 300, RoleMix{Faculty: 0.2, Staff: 0.3, Grad: 0.3, Undergrad: 0.2}, 11)
+	res := SimulateDay(b, dir, DayConfig{Date: day0, Seed: 13})
+
+	meanMinutes := func(group profile.Group, arrival bool) float64 {
+		var sum, n float64
+		for _, tr := range res.Traces {
+			if tr.Group != group || len(tr.Stays) == 0 {
+				continue
+			}
+			var ts time.Time
+			if arrival {
+				ts = tr.Arrival()
+			} else {
+				ts = tr.Departure()
+			}
+			sum += float64(ts.Hour()*60 + ts.Minute())
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("no traces for %s", group)
+		}
+		return sum / n
+	}
+	staffArrive := meanMinutes(profile.GroupStaff, true)
+	gradArrive := meanMinutes(profile.GroupGradStudent, true)
+	staffDepart := meanMinutes(profile.GroupStaff, false)
+	gradDepart := meanMinutes(profile.GroupGradStudent, false)
+	if staffArrive >= gradArrive {
+		t.Errorf("staff arrive (%v) should precede grads (%v)", staffArrive, gradArrive)
+	}
+	if gradDepart <= staffDepart {
+		t.Errorf("grads depart (%v) should follow staff (%v)", gradDepart, staffDepart)
+	}
+}
+
+func TestUndergradsInClassrooms(t *testing.T) {
+	b := buildSmall(t)
+	dir := GeneratePopulation(b, 200, RoleMix{Undergrad: 1}, 17)
+	res := SimulateDay(b, dir, DayConfig{Date: day0, Seed: 19})
+	classrooms := map[string]bool{}
+	for _, c := range b.Classrooms {
+		classrooms[c] = true
+	}
+	var in, total float64
+	for _, tr := range res.Traces {
+		for _, s := range tr.Stays {
+			dur := s.End.Sub(s.Start).Minutes()
+			total += dur
+			if classrooms[s.SpaceID] {
+				in += dur
+			}
+		}
+	}
+	if in/total < 0.8 {
+		t.Errorf("undergrads spent %.0f%% of time in classrooms, want most", 100*in/total)
+	}
+}
+
+func TestWeekendSuppresssesOccupancy(t *testing.T) {
+	b := buildSmall(t)
+	dir := GeneratePopulation(b, 100, CampusMix(), 23)
+	weekday := SimulateDay(b, dir, DayConfig{Date: day0, Seed: 29})
+	weekend := SimulateDay(b, dir, DayConfig{Date: day0.Add(72 * time.Hour), Seed: 29, Weekend: true})
+	if len(weekend.Traces) >= len(weekday.Traces)/2 {
+		t.Errorf("weekend traces = %d, weekday = %d", len(weekend.Traces), len(weekday.Traces))
+	}
+}
+
+func TestPowerReadingsReflectOccupancy(t *testing.T) {
+	b := buildSmall(t)
+	dir := GeneratePopulation(b, 60, CampusMix(), 31)
+	res := SimulateDay(b, dir, DayConfig{Date: day0, Seed: 37})
+	// Mean draw of a metered office at 3am (empty) must be below the
+	// overall occupied-hours mean.
+	var night, day, nightN, dayN float64
+	for _, o := range res.Observations {
+		if o.Kind != sensor.ObsPowerReading {
+			continue
+		}
+		h := o.Time.Hour()
+		if h >= 1 && h <= 5 {
+			night += o.Value
+			nightN++
+		}
+		if h >= 10 && h <= 15 {
+			day += o.Value
+			dayN++
+		}
+	}
+	if nightN == 0 || dayN == 0 {
+		t.Fatal("missing power samples")
+	}
+	if day/dayN <= night/nightN {
+		t.Errorf("daytime draw (%.1f) not above nighttime (%.1f)", day/dayN, night/nightN)
+	}
+}
+
+func TestGeneratePreferences(t *testing.T) {
+	b := buildSmall(t)
+	dir := GeneratePopulation(b, 50, CampusMix(), 41)
+	prefs := GeneratePreferences(b, dir, []string{"concierge"}, DefaultPreferenceWorkload(43))
+	if len(prefs) != 50*4 {
+		t.Fatalf("prefs = %d", len(prefs))
+	}
+	var deny, limit, allow int
+	for _, p := range prefs {
+		if err := p.Check(); err != nil {
+			t.Fatalf("generated invalid preference: %v", err)
+		}
+		switch p.Rule.Action {
+		case 2: // deny
+			deny++
+		case 3: // limit
+			limit++
+		default:
+			allow++
+		}
+	}
+	if deny == 0 || limit == 0 || allow == 0 {
+		t.Errorf("action mix deny=%d limit=%d allow=%d", deny, limit, allow)
+	}
+	again := GeneratePreferences(b, dir, []string{"concierge"}, DefaultPreferenceWorkload(43))
+	if !reflect.DeepEqual(prefs, again) {
+		t.Error("preference generation not deterministic")
+	}
+}
+
+func TestGenerateRequests(t *testing.T) {
+	b := buildSmall(t)
+	dir := GeneratePopulation(b, 20, CampusMix(), 47)
+	reqs := GenerateRequests(b, dir, []string{"concierge"}, day0, RequestWorkload{N: 500, Seed: 53, EmergencyFraction: 0.1})
+	if len(reqs) != 500 {
+		t.Fatalf("requests = %d", len(reqs))
+	}
+	emergencies := 0
+	for _, r := range reqs {
+		if r.SubjectID == "" || r.Kind == "" {
+			t.Fatalf("malformed request %+v", r)
+		}
+		if r.Purpose == "emergency_response" {
+			emergencies++
+			if r.ServiceID != "" {
+				t.Error("emergency request bound to a service")
+			}
+		}
+	}
+	if emergencies < 20 || emergencies > 100 {
+		t.Errorf("emergencies = %d, want ~50", emergencies)
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// This file generates the synthetic rule sets and request streams the
+// §V.C scaling experiments (E1/E2) sweep over.
+
+// PreferenceWorkload parameterizes synthetic preference generation.
+type PreferenceWorkload struct {
+	// PerUser is how many preferences each user installs.
+	PerUser int
+	// DenyFraction, LimitFraction split rule actions; the remainder
+	// allows. Typical users opt out of a little and limit some.
+	DenyFraction  float64
+	LimitFraction float64
+	Seed          int64
+}
+
+// DefaultPreferenceWorkload mirrors the mix the paper's discussion
+// implies: most flows allowed, a meaningful minority restricted.
+func DefaultPreferenceWorkload(seed int64) PreferenceWorkload {
+	return PreferenceWorkload{PerUser: 4, DenyFraction: 0.2, LimitFraction: 0.3, Seed: seed}
+}
+
+// GeneratePreferences builds w.PerUser preferences for every user in
+// the directory, scoped over the building's kinds, services, and
+// spaces. Deterministic given w.Seed.
+func GeneratePreferences(b *Building, dir *profile.Directory, serviceIDs []string, w PreferenceWorkload) []policy.Preference {
+	rng := rand.New(rand.NewSource(w.Seed))
+	kinds := []sensor.ObservationKind{
+		sensor.ObsWiFiConnect, sensor.ObsBLESighting, sensor.ObsOccupancy, sensor.ObsPowerReading,
+	}
+	var spaces []string
+	spaces = append(spaces, b.Spec.ID)
+	for f := range b.RoomIDs {
+		spaces = append(spaces, fmt.Sprintf("%s/%d", b.Spec.ID, f+1))
+		spaces = append(spaces, b.RoomIDs[f][0])
+	}
+
+	var out []policy.Preference
+	for _, u := range dir.All() {
+		for i := 0; i < w.PerUser; i++ {
+			p := policy.Preference{
+				ID:     fmt.Sprintf("wl-%s-%d", u.ID, i),
+				UserID: u.ID,
+				Name:   "synthetic workload preference",
+				Scope: policy.Scope{
+					ObsKind: kinds[rng.Intn(len(kinds))],
+				},
+				Source: "default",
+			}
+			if rng.Float64() < 0.5 {
+				p.Scope.SpaceID = spaces[rng.Intn(len(spaces))]
+			}
+			if len(serviceIDs) > 0 && rng.Float64() < 0.4 {
+				p.Scope.ServiceID = serviceIDs[rng.Intn(len(serviceIDs))]
+			}
+			if rng.Float64() < 0.2 {
+				p.Scope.Window = policy.AfterHours
+			}
+			r := rng.Float64()
+			switch {
+			case r < w.DenyFraction:
+				p.Rule = policy.Rule{Action: policy.ActionDeny}
+			case r < w.DenyFraction+w.LimitFraction:
+				p.Rule = policy.Rule{
+					Action:         policy.ActionLimit,
+					MaxGranularity: policy.Granularity(2 + rng.Intn(3)), // building..room
+				}
+			default:
+				p.Rule = policy.Rule{Action: policy.ActionAllow}
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RequestWorkload parameterizes synthetic request generation.
+type RequestWorkload struct {
+	N    int
+	Seed int64
+	// EmergencyFraction of requests use the emergency purpose.
+	EmergencyFraction float64
+}
+
+// GenerateRequests builds a uniform request stream over the users,
+// services, kinds, and spaces of the building. Deterministic given
+// the seed.
+func GenerateRequests(b *Building, dir *profile.Directory, serviceIDs []string, base time.Time, w RequestWorkload) []enforce.Request {
+	rng := rand.New(rand.NewSource(w.Seed))
+	users := dir.All()
+	kinds := []sensor.ObservationKind{sensor.ObsWiFiConnect, sensor.ObsBLESighting, sensor.ObsOccupancy}
+	out := make([]enforce.Request, 0, w.N)
+	for i := 0; i < w.N; i++ {
+		req := enforce.Request{
+			Kind:        kinds[rng.Intn(len(kinds))],
+			SubjectID:   users[rng.Intn(len(users))].ID,
+			SpaceID:     b.Spec.ID,
+			Granularity: policy.GranExact,
+			Time:        base.Add(time.Duration(rng.Intn(24*60)) * time.Minute),
+			Purpose:     policy.PurposeProvidingService,
+		}
+		if len(serviceIDs) > 0 {
+			req.ServiceID = serviceIDs[rng.Intn(len(serviceIDs))]
+		}
+		if rng.Float64() < w.EmergencyFraction {
+			req.Purpose = policy.PurposeEmergencyResponse
+			req.ServiceID = ""
+		}
+		out = append(out, req)
+	}
+	return out
+}

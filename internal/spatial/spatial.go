@@ -1,0 +1,423 @@
+// Package spatial implements the paper's spatial model (§IV.A.1): a
+// hierarchy of spaces — buildings, floors, rooms, corridors, zones —
+// with the three operators the paper names: contained, neighboring,
+// and overlap.
+//
+// Spaces form a forest. Each space optionally carries a 2-D extent
+// (axis-aligned rectangle in building-local meters) used by the
+// neighboring and overlap operators; containment is structural (the
+// tree), which matches how building information models express it.
+//
+// The model also defines the location-granularity ladder used by the
+// privacy mechanisms: an exact point degrades to Room, Floor,
+// Building, and finally to nothing. Figure 4 of the paper exposes
+// exactly this choice ("fine grained" / "coarse grained" / "no
+// location sensing") to users.
+package spatial
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind classifies a space in the hierarchy.
+type Kind int
+
+// Space kinds, from coarsest to finest. Values start at 1 so the zero
+// value is invalid and cannot be mistaken for a real kind.
+const (
+	KindCampus Kind = iota + 1
+	KindBuilding
+	KindFloor
+	KindRoom
+	KindCorridor
+	KindZone // sub-room region, e.g. a desk cluster or camera field of view
+)
+
+var kindNames = map[Kind]string{
+	KindCampus:   "Campus",
+	KindBuilding: "Building",
+	KindFloor:    "Floor",
+	KindRoom:     "Room",
+	KindCorridor: "Corridor",
+	KindZone:     "Zone",
+}
+
+// String returns the capitalized kind name used in policy documents
+// (the paper's Figure 2 uses "type": "Building").
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind maps a policy-document type string to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("spatial: unknown space type %q", s)
+}
+
+// Rect is an axis-aligned rectangle in building-local meters.
+// Min is inclusive, Max is exclusive.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Valid reports whether the rectangle is non-degenerate.
+func (r Rect) Valid() bool { return r.MaxX > r.MinX && r.MaxY > r.MinY }
+
+// IsZero reports whether the rectangle is unset.
+func (r Rect) IsZero() bool { return r == Rect{} }
+
+// Overlaps reports whether two rectangles share interior area.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.MinX < o.MaxX && o.MinX < r.MaxX && r.MinY < o.MaxY && o.MinY < r.MaxY
+}
+
+// Touches reports whether two rectangles share a boundary or overlap.
+func (r Rect) Touches(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Contains reports whether o lies entirely within r.
+func (r Rect) Contains(o Rect) bool {
+	return r.MinX <= o.MinX && r.MinY <= o.MinY && o.MaxX <= r.MaxX && o.MaxY <= r.MaxY
+}
+
+// ContainsPoint reports whether the point (x, y) lies inside r.
+func (r Rect) ContainsPoint(x, y float64) bool {
+	return x >= r.MinX && x < r.MaxX && y >= r.MinY && y < r.MaxY
+}
+
+// Area returns the rectangle's area in square meters.
+func (r Rect) Area() float64 {
+	if !r.Valid() {
+		return 0
+	}
+	return (r.MaxX - r.MinX) * (r.MaxY - r.MinY)
+}
+
+// Space is one node in the spatial hierarchy.
+type Space struct {
+	ID     string // unique within a Model, e.g. "dbh/2/2065"
+	Name   string // human-readable, e.g. "Room 2065"
+	Kind   Kind
+	Floor  int  // floor number for floor-and-below spaces
+	Extent Rect // optional footprint; zero means unknown
+
+	parent   *Space
+	children []*Space
+}
+
+// Parent returns the enclosing space, or nil for a root.
+func (s *Space) Parent() *Space { return s.parent }
+
+// Children returns the directly contained spaces. The returned slice
+// is a copy; mutating it does not affect the model.
+func (s *Space) Children() []*Space {
+	out := make([]*Space, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Ancestors returns the chain from s's parent up to its root,
+// nearest first.
+func (s *Space) Ancestors() []*Space {
+	var out []*Space
+	for p := s.parent; p != nil; p = p.parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Root returns the top of s's tree (s itself if it is a root).
+func (s *Space) Root() *Space {
+	cur := s
+	for cur.parent != nil {
+		cur = cur.parent
+	}
+	return cur
+}
+
+// AncestorOfKind walks upward (starting at s itself) and returns the
+// first space of the given kind, or nil. It implements granularity
+// coarsening: AncestorOfKind(KindFloor) of a room is its floor.
+func (s *Space) AncestorOfKind(k Kind) *Space {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.Kind == k {
+			return cur
+		}
+	}
+	return nil
+}
+
+// Model is a registry of spaces supporting the paper's three spatial
+// operators. A Model is safe for concurrent use.
+type Model struct {
+	mu     sync.RWMutex
+	byID   map[string]*Space
+	roots  []*Space
+	frozen bool
+}
+
+// NewModel returns an empty spatial model.
+func NewModel() *Model {
+	return &Model{byID: make(map[string]*Space)}
+}
+
+// Errors returned by Model operations.
+var (
+	ErrDuplicateID  = errors.New("spatial: duplicate space ID")
+	ErrUnknownSpace = errors.New("spatial: unknown space")
+	ErrFrozen       = errors.New("spatial: model is frozen")
+)
+
+// Add inserts a space under the parent with the given ID. An empty
+// parentID adds a root (e.g. a campus or a standalone building).
+// The inserted space is returned.
+func (m *Model) Add(parentID string, s Space) (*Space, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.frozen {
+		return nil, ErrFrozen
+	}
+	if s.ID == "" {
+		return nil, errors.New("spatial: space ID must be non-empty")
+	}
+	if s.Kind < KindCampus || s.Kind > KindZone {
+		return nil, fmt.Errorf("spatial: space %q has invalid kind %d", s.ID, s.Kind)
+	}
+	if _, exists := m.byID[s.ID]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, s.ID)
+	}
+	node := s
+	node.parent = nil
+	node.children = nil
+	if parentID != "" {
+		p, ok := m.byID[parentID]
+		if !ok {
+			return nil, fmt.Errorf("%w: parent %q", ErrUnknownSpace, parentID)
+		}
+		node.parent = p
+		p.children = append(p.children, &node)
+	} else {
+		m.roots = append(m.roots, &node)
+	}
+	m.byID[node.ID] = &node
+	return &node, nil
+}
+
+// MustAdd is Add for model construction in tests and generators;
+// it panics on error.
+func (m *Model) MustAdd(parentID string, s Space) *Space {
+	sp, err := m.Add(parentID, s)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// Freeze makes the model immutable. A frozen model can be shared
+// across goroutines without further locking concerns on the write
+// path; Add returns ErrFrozen afterwards.
+func (m *Model) Freeze() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.frozen = true
+}
+
+// Lookup returns the space with the given ID.
+func (m *Model) Lookup(id string) (*Space, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.byID[id]
+	return s, ok
+}
+
+// Len returns the number of spaces in the model.
+func (m *Model) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.byID)
+}
+
+// Roots returns the model's root spaces.
+func (m *Model) Roots() []*Space {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Space, len(m.roots))
+	copy(out, m.roots)
+	return out
+}
+
+// All returns every space, sorted by ID for deterministic iteration.
+func (m *Model) All() []*Space {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Space, 0, len(m.byID))
+	for _, s := range m.byID {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Contained reports whether inner is inside outer (or is outer):
+// the paper's "contained" operator. Containment is structural.
+func (m *Model) Contained(innerID, outerID string) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	inner, ok := m.byID[innerID]
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrUnknownSpace, innerID)
+	}
+	if _, ok := m.byID[outerID]; !ok {
+		return false, fmt.Errorf("%w: %q", ErrUnknownSpace, outerID)
+	}
+	for cur := inner; cur != nil; cur = cur.parent {
+		if cur.ID == outerID {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Neighboring reports whether two distinct spaces share a parent, or
+// have touching extents on the same floor: the paper's "neighboring"
+// operator.
+func (m *Model) Neighboring(aID, bID string) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	a, ok := m.byID[aID]
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrUnknownSpace, aID)
+	}
+	b, ok := m.byID[bID]
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrUnknownSpace, bID)
+	}
+	if a.ID == b.ID {
+		return false, nil
+	}
+	if a.parent != nil && b.parent != nil && a.parent.ID == b.parent.ID {
+		return true, nil
+	}
+	if !a.Extent.IsZero() && !b.Extent.IsZero() && a.Floor == b.Floor {
+		return a.Extent.Touches(b.Extent), nil
+	}
+	return false, nil
+}
+
+// Overlap reports whether two spaces share area: the paper's
+// "overlap" operator. Structural containment counts as overlap;
+// otherwise extents on the same floor are compared.
+func (m *Model) Overlap(aID, bID string) (bool, error) {
+	if in, err := m.Contained(aID, bID); err != nil || in {
+		return in, err
+	}
+	if in, err := m.Contained(bID, aID); err != nil || in {
+		return in, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	a := m.byID[aID]
+	b := m.byID[bID]
+	if !a.Extent.IsZero() && !b.Extent.IsZero() && a.Floor == b.Floor {
+		return a.Extent.Overlaps(b.Extent), nil
+	}
+	return false, nil
+}
+
+// Subtree returns the IDs of every space contained in rootID,
+// including rootID itself, in depth-first order. The enforcement
+// engine uses it to expand a policy scoped to a floor into the set of
+// rooms it covers.
+func (m *Model) Subtree(rootID string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	root, ok := m.byID[rootID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSpace, rootID)
+	}
+	var out []string
+	var walk func(*Space)
+	walk = func(s *Space) {
+		out = append(out, s.ID)
+		for _, c := range s.children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out, nil
+}
+
+// Locate returns the finest space whose extent contains the point on
+// the given floor of the subtree rooted at rootID. It returns nil if
+// no space contains the point. The simulator uses it to turn occupant
+// coordinates into room-level locations.
+func (m *Model) Locate(rootID string, floor int, x, y float64) *Space {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	root, ok := m.byID[rootID]
+	if !ok {
+		return nil
+	}
+	var best *Space
+	var walk func(*Space)
+	walk = func(s *Space) {
+		match := !s.Extent.IsZero() && s.Floor == floor && s.Extent.ContainsPoint(x, y)
+		if s.Kind <= KindBuilding {
+			// Buildings and campuses span all floors.
+			match = !s.Extent.IsZero() && s.Extent.ContainsPoint(x, y)
+		}
+		if match {
+			if best == nil || s.Kind > best.Kind {
+				best = s
+			}
+			for _, c := range s.children {
+				walk(c)
+			}
+			return
+		}
+		// Spaces without extents are transparent: recurse anyway.
+		if s.Extent.IsZero() {
+			for _, c := range s.children {
+				walk(c)
+			}
+		}
+	}
+	walk(root)
+	return best
+}
+
+// CommonAncestor returns the nearest space containing both a and b,
+// or nil if they are in different trees.
+func (m *Model) CommonAncestor(aID, bID string) *Space {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	a, ok := m.byID[aID]
+	if !ok {
+		return nil
+	}
+	b, ok := m.byID[bID]
+	if !ok {
+		return nil
+	}
+	seen := map[string]*Space{}
+	for cur := a; cur != nil; cur = cur.parent {
+		seen[cur.ID] = cur
+	}
+	for cur := b; cur != nil; cur = cur.parent {
+		if s, ok := seen[cur.ID]; ok {
+			return s
+		}
+	}
+	return nil
+}

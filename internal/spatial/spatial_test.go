@@ -1,0 +1,351 @@
+package spatial
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildDBHFragment builds a small two-floor fragment of Donald Bren
+// Hall used across the tests.
+func buildDBHFragment(t testing.TB) *Model {
+	t.Helper()
+	m := NewModel()
+	m.MustAdd("", Space{ID: "uci", Name: "UC Irvine", Kind: KindCampus})
+	m.MustAdd("uci", Space{ID: "dbh", Name: "Donald Bren Hall", Kind: KindBuilding, Extent: Rect{0, 0, 100, 60}})
+	m.MustAdd("dbh", Space{ID: "dbh/1", Name: "Floor 1", Kind: KindFloor, Floor: 1, Extent: Rect{0, 0, 100, 60}})
+	m.MustAdd("dbh", Space{ID: "dbh/2", Name: "Floor 2", Kind: KindFloor, Floor: 2, Extent: Rect{0, 0, 100, 60}})
+	m.MustAdd("dbh/1", Space{ID: "dbh/1/1100", Name: "Room 1100", Kind: KindRoom, Floor: 1, Extent: Rect{0, 0, 10, 10}})
+	m.MustAdd("dbh/1", Space{ID: "dbh/1/1110", Name: "Room 1110", Kind: KindRoom, Floor: 1, Extent: Rect{10, 0, 20, 10}})
+	m.MustAdd("dbh/1", Space{ID: "dbh/1/corr", Name: "Corridor 1", Kind: KindCorridor, Floor: 1, Extent: Rect{0, 10, 100, 14}})
+	m.MustAdd("dbh/2", Space{ID: "dbh/2/2065", Name: "Room 2065", Kind: KindRoom, Floor: 2, Extent: Rect{0, 0, 10, 10}})
+	m.MustAdd("dbh/2/2065", Space{ID: "dbh/2/2065/desk", Name: "Desk zone", Kind: KindZone, Floor: 2, Extent: Rect{1, 1, 4, 4}})
+	return m
+}
+
+func TestAddErrors(t *testing.T) {
+	m := NewModel()
+	if _, err := m.Add("", Space{ID: "", Kind: KindRoom}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if _, err := m.Add("", Space{ID: "x"}); err == nil {
+		t.Error("zero Kind accepted")
+	}
+	if _, err := m.Add("nope", Space{ID: "x", Kind: KindRoom}); !errors.Is(err, ErrUnknownSpace) {
+		t.Errorf("unknown parent: got %v, want ErrUnknownSpace", err)
+	}
+	m.MustAdd("", Space{ID: "b", Kind: KindBuilding})
+	if _, err := m.Add("", Space{ID: "b", Kind: KindBuilding}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate: got %v, want ErrDuplicateID", err)
+	}
+	m.Freeze()
+	if _, err := m.Add("", Space{ID: "c", Kind: KindBuilding}); !errors.Is(err, ErrFrozen) {
+		t.Errorf("frozen: got %v, want ErrFrozen", err)
+	}
+}
+
+func TestContained(t *testing.T) {
+	m := buildDBHFragment(t)
+	tests := []struct {
+		inner, outer string
+		want         bool
+	}{
+		{"dbh/1/1100", "dbh/1", true},
+		{"dbh/1/1100", "dbh", true},
+		{"dbh/1/1100", "uci", true},
+		{"dbh/1/1100", "dbh/1/1100", true}, // reflexive
+		{"dbh/1", "dbh/1/1100", false},     // not symmetric
+		{"dbh/1/1100", "dbh/2", false},
+		{"dbh/2/2065/desk", "dbh/2", true},
+	}
+	for _, tt := range tests {
+		got, err := m.Contained(tt.inner, tt.outer)
+		if err != nil {
+			t.Fatalf("Contained(%s,%s): %v", tt.inner, tt.outer, err)
+		}
+		if got != tt.want {
+			t.Errorf("Contained(%s,%s) = %v, want %v", tt.inner, tt.outer, got, tt.want)
+		}
+	}
+	if _, err := m.Contained("ghost", "dbh"); !errors.Is(err, ErrUnknownSpace) {
+		t.Errorf("unknown inner: got %v", err)
+	}
+	if _, err := m.Contained("dbh", "ghost"); !errors.Is(err, ErrUnknownSpace) {
+		t.Errorf("unknown outer: got %v", err)
+	}
+}
+
+func TestNeighboring(t *testing.T) {
+	m := buildDBHFragment(t)
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"dbh/1/1100", "dbh/1/1110", true}, // siblings sharing a wall
+		{"dbh/1/1100", "dbh/1/corr", true}, // sibling via shared parent
+		{"dbh/1", "dbh/2", true},           // sibling floors
+		{"dbh/1/1100", "dbh/2/2065", false},
+		{"dbh/1/1100", "dbh/1/1100", false}, // irreflexive
+	}
+	for _, tt := range tests {
+		got, err := m.Neighboring(tt.a, tt.b)
+		if err != nil {
+			t.Fatalf("Neighboring(%s,%s): %v", tt.a, tt.b, err)
+		}
+		if got != tt.want {
+			t.Errorf("Neighboring(%s,%s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		// Symmetric.
+		rev, _ := m.Neighboring(tt.b, tt.a)
+		if rev != got {
+			t.Errorf("Neighboring not symmetric for (%s,%s)", tt.a, tt.b)
+		}
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	m := buildDBHFragment(t)
+	// Containment implies overlap.
+	for _, pair := range [][2]string{{"dbh/1/1100", "dbh/1"}, {"dbh", "dbh/2/2065/desk"}} {
+		got, err := m.Overlap(pair[0], pair[1])
+		if err != nil || !got {
+			t.Errorf("Overlap(%s,%s) = %v,%v, want true", pair[0], pair[1], got, err)
+		}
+	}
+	// Disjoint rooms do not overlap (they only touch at the boundary).
+	got, err := m.Overlap("dbh/1/1100", "dbh/1/1110")
+	if err != nil || got {
+		t.Errorf("Overlap(adjacent rooms) = %v,%v, want false", got, err)
+	}
+	// A camera zone overlapping two rooms: add a zone straddling both.
+	m2 := buildDBHFragment(t)
+	m2.MustAdd("dbh/1", Space{ID: "dbh/1/camzone", Kind: KindZone, Floor: 1, Extent: Rect{8, 0, 12, 10}})
+	for _, room := range []string{"dbh/1/1100", "dbh/1/1110"} {
+		got, err := m2.Overlap("dbh/1/camzone", room)
+		if err != nil || !got {
+			t.Errorf("Overlap(camzone,%s) = %v,%v, want true", room, got, err)
+		}
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	m := buildDBHFragment(t)
+	ids, err := m.Subtree("dbh/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"dbh/1": true, "dbh/1/1100": true, "dbh/1/1110": true, "dbh/1/corr": true}
+	if len(ids) != len(want) {
+		t.Fatalf("Subtree(dbh/1) = %v, want %v", ids, want)
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Errorf("unexpected subtree member %q", id)
+		}
+	}
+	if _, err := m.Subtree("ghost"); !errors.Is(err, ErrUnknownSpace) {
+		t.Errorf("Subtree(ghost) error = %v", err)
+	}
+}
+
+func TestAncestorOfKindAndRoot(t *testing.T) {
+	m := buildDBHFragment(t)
+	desk, _ := m.Lookup("dbh/2/2065/desk")
+	if got := desk.AncestorOfKind(KindRoom); got == nil || got.ID != "dbh/2/2065" {
+		t.Errorf("AncestorOfKind(Room) = %v", got)
+	}
+	if got := desk.AncestorOfKind(KindFloor); got == nil || got.ID != "dbh/2" {
+		t.Errorf("AncestorOfKind(Floor) = %v", got)
+	}
+	if got := desk.AncestorOfKind(KindBuilding); got == nil || got.ID != "dbh" {
+		t.Errorf("AncestorOfKind(Building) = %v", got)
+	}
+	if got := desk.Root(); got.ID != "uci" {
+		t.Errorf("Root() = %v, want uci", got.ID)
+	}
+	if got := desk.AncestorOfKind(KindCorridor); got != nil {
+		t.Errorf("AncestorOfKind(Corridor) = %v, want nil", got)
+	}
+	if n := len(desk.Ancestors()); n != 4 {
+		t.Errorf("len(Ancestors) = %d, want 4", n)
+	}
+}
+
+func TestLocate(t *testing.T) {
+	m := buildDBHFragment(t)
+	tests := []struct {
+		floor int
+		x, y  float64
+		want  string
+	}{
+		{1, 5, 5, "dbh/1/1100"},
+		{1, 15, 5, "dbh/1/1110"},
+		{1, 50, 12, "dbh/1/corr"},
+		{2, 2, 2, "dbh/2/2065/desk"},
+		{2, 8, 8, "dbh/2/2065"},
+		{1, 50, 50, "dbh/1"}, // inside floor but no room
+	}
+	for _, tt := range tests {
+		got := m.Locate("dbh", tt.floor, tt.x, tt.y)
+		if got == nil || got.ID != tt.want {
+			t.Errorf("Locate(floor %d, %v,%v) = %v, want %s", tt.floor, tt.x, tt.y, got, tt.want)
+		}
+	}
+	if got := m.Locate("dbh", 1, 500, 500); got != nil {
+		t.Errorf("Locate(outside) = %v, want nil", got)
+	}
+	if got := m.Locate("ghost", 1, 5, 5); got != nil {
+		t.Errorf("Locate(unknown root) = %v, want nil", got)
+	}
+}
+
+func TestCommonAncestor(t *testing.T) {
+	m := buildDBHFragment(t)
+	if got := m.CommonAncestor("dbh/1/1100", "dbh/1/1110"); got == nil || got.ID != "dbh/1" {
+		t.Errorf("CommonAncestor(rooms same floor) = %v, want dbh/1", got)
+	}
+	if got := m.CommonAncestor("dbh/1/1100", "dbh/2/2065"); got == nil || got.ID != "dbh" {
+		t.Errorf("CommonAncestor(rooms cross floor) = %v, want dbh", got)
+	}
+	if got := m.CommonAncestor("dbh/1/1100", "dbh/1/1100"); got == nil || got.ID != "dbh/1/1100" {
+		t.Errorf("CommonAncestor(self) = %v", got)
+	}
+	if got := m.CommonAncestor("ghost", "dbh"); got != nil {
+		t.Errorf("CommonAncestor(ghost) = %v, want nil", got)
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := KindCampus; k <= KindZone; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("Planet"); err == nil {
+		t.Error("ParseKind(Planet) succeeded")
+	}
+	if s := Kind(99).String(); s != "Kind(99)" {
+		t.Errorf("Kind(99).String() = %q", s)
+	}
+}
+
+func TestRectOperators(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	c := Rect{10, 0, 20, 10}
+	d := Rect{30, 30, 40, 40}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a/b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a/c share only an edge: no overlap")
+	}
+	if !a.Touches(c) {
+		t.Error("a/c share an edge: touches")
+	}
+	if a.Touches(d) {
+		t.Error("a/d are disjoint")
+	}
+	if !a.Contains(Rect{2, 2, 8, 8}) || a.Contains(b) {
+		t.Error("Contains misbehaves")
+	}
+	if !a.ContainsPoint(0, 0) || a.ContainsPoint(10, 10) {
+		t.Error("ContainsPoint half-open semantics violated")
+	}
+	if got := a.Area(); got != 100 {
+		t.Errorf("Area = %v, want 100", got)
+	}
+	if got := (Rect{5, 5, 1, 1}).Area(); got != 0 {
+		t.Errorf("degenerate Area = %v, want 0", got)
+	}
+}
+
+// TestContainmentPartialOrder property-checks that structural
+// containment is a partial order on a randomly generated tree:
+// reflexive, antisymmetric, transitive.
+func TestContainmentPartialOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	m := NewModel()
+	m.MustAdd("", Space{ID: "n0", Kind: KindCampus})
+	ids := []string{"n0"}
+	kinds := []Kind{KindBuilding, KindFloor, KindRoom, KindZone}
+	for i := 1; i < 60; i++ {
+		parent := ids[r.Intn(len(ids))]
+		id := fmt.Sprintf("n%d", i)
+		m.MustAdd(parent, Space{ID: id, Kind: kinds[r.Intn(len(kinds))]})
+		ids = append(ids, id)
+	}
+	in := func(a, b string) bool {
+		ok, err := m.Contained(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := ids[r.Intn(len(ids))]
+		b := ids[r.Intn(len(ids))]
+		c := ids[r.Intn(len(ids))]
+		if !in(a, a) {
+			t.Fatalf("containment not reflexive at %s", a)
+		}
+		if a != b && in(a, b) && in(b, a) {
+			t.Fatalf("containment not antisymmetric: %s, %s", a, b)
+		}
+		if in(a, b) && in(b, c) && !in(a, c) {
+			t.Fatalf("containment not transitive: %s⊆%s⊆%s", a, b, c)
+		}
+	}
+}
+
+// TestLocateConsistentWithContainment: the located space's ancestors
+// must all structurally contain it.
+func TestLocateConsistentWithContainment(t *testing.T) {
+	m := buildDBHFragment(t)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		floor := 1 + r.Intn(2)
+		x, y := r.Float64()*100, r.Float64()*60
+		s := m.Locate("dbh", floor, x, y)
+		if s == nil {
+			continue
+		}
+		for _, anc := range s.Ancestors() {
+			ok, err := m.Contained(s.ID, anc.ID)
+			if err != nil || !ok {
+				t.Fatalf("Locate result %s not contained in ancestor %s", s.ID, anc.ID)
+			}
+		}
+	}
+}
+
+func TestAllSortedAndLen(t *testing.T) {
+	m := buildDBHFragment(t)
+	all := m.All()
+	if len(all) != m.Len() {
+		t.Fatalf("All()=%d, Len()=%d", len(all), m.Len())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("All() not sorted: %s >= %s", all[i-1].ID, all[i].ID)
+		}
+	}
+	if len(m.Roots()) != 1 || m.Roots()[0].ID != "uci" {
+		t.Errorf("Roots() = %v", m.Roots())
+	}
+}
+
+func TestChildrenIsCopy(t *testing.T) {
+	m := buildDBHFragment(t)
+	floor, _ := m.Lookup("dbh/1")
+	kids := floor.Children()
+	if len(kids) != 3 {
+		t.Fatalf("Children = %d, want 3", len(kids))
+	}
+	kids[0] = nil
+	if floor.Children()[0] == nil {
+		t.Error("Children() exposed internal slice")
+	}
+}

@@ -1,0 +1,222 @@
+package tippers
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/httpapi"
+	"github.com/tippers/tippers/internal/irr"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+var simDay = time.Date(2017, time.June, 7, 0, 0, 0, 0, time.UTC)
+
+func newSmallDeployment(t testing.TB) *Deployment {
+	t.Helper()
+	dep, err := NewDeployment(DeploymentConfig{
+		Spec:                  SmallDBH(),
+		Population:            40,
+		Seed:                  1,
+		RegisterPaperPolicies: true,
+		Clock:                 func() time.Time { return simDay.Add(14 * time.Hour) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dep.Close)
+	return dep
+}
+
+func TestNewDeploymentDefaults(t *testing.T) {
+	dep, err := NewDeployment(DeploymentConfig{Spec: SmallDBH(), Population: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if dep.Users.Len() != 10 {
+		t.Errorf("population = %d", dep.Users.Len())
+	}
+	if dep.Services.Len() != 4 {
+		t.Errorf("services = %d, want 4 (3 paper + emergency)", dep.Services.Len())
+	}
+	if dep.IRR.Len() == 0 {
+		t.Error("IRR not auto-generated")
+	}
+	if len(dep.BMS.Policies()) != 0 {
+		t.Error("paper policies registered without opt-in")
+	}
+}
+
+func TestDeploymentRegistersPaperPolicies(t *testing.T) {
+	dep := newSmallDeployment(t)
+	pols := dep.BMS.Policies()
+	if len(pols) != 4 {
+		t.Fatalf("policies = %d, want 4", len(pols))
+	}
+	ids := map[string]bool{}
+	for _, p := range pols {
+		ids[p.ID] = true
+	}
+	for _, want := range []string{"policy-1-comfort", "policy-2-emergency-location", "policy-3-access-1", "policy-4-event-disclosure"} {
+		if !ids[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestSimulateDayIngests(t *testing.T) {
+	dep := newSmallDeployment(t)
+	n, err := dep.SimulateDay(simDay, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing ingested")
+	}
+	if dep.BMS.Store().Len() != n {
+		t.Errorf("store has %d, ingested %d", dep.BMS.Store().Len(), n)
+	}
+}
+
+func TestNewAssistantUnknownUser(t *testing.T) {
+	dep := newSmallDeployment(t)
+	if _, err := dep.NewAssistant("ghost"); err == nil {
+		t.Error("assistant for unknown user created")
+	}
+}
+
+// TestFigure1EndToEnd walks the paper's Figure 1 interaction, all ten
+// steps, against a live deployment with real HTTP between the
+// components.
+func TestFigure1EndToEnd(t *testing.T) {
+	dep := newSmallDeployment(t)
+
+	// Step 1: the building admin defined policies (paper policies are
+	// registered by the deployment).
+	if len(dep.BMS.Policies()) == 0 {
+		t.Fatal("step 1: no policies")
+	}
+
+	// Steps 2–3: sensors capture data about inhabitants; it is stored.
+	if _, err := dep.SimulateDay(simDay, 7); err != nil {
+		t.Fatal(err)
+	}
+	if dep.BMS.Store().Len() == 0 {
+		t.Fatal("steps 2-3: nothing stored")
+	}
+
+	// Step 4: policies are made publicly available through an IRR.
+	irrSrv := httptest.NewServer(dep.IRRHandler())
+	defer irrSrv.Close()
+	apiSrv := httptest.NewServer(dep.APIHandler())
+	defer apiSrv.Close()
+
+	// Pick "Mary": a grad student with a device.
+	var mary *User
+	for _, u := range dep.Users.All() {
+		if u.HasGroup("grad-student") {
+			mary = u
+			break
+		}
+	}
+	if mary == nil {
+		t.Fatal("no grad student in population")
+	}
+
+	// Step 5: Mary's IoTA discovers the registry and fetches the
+	// machine-readable policies for her location.
+	ctx := context.Background()
+	covers := func(coverage, spaceID string) bool {
+		in, err := dep.Building.Spaces.Contained(spaceID, coverage)
+		return err == nil && in
+	}
+	clients := irr.Discover(ctx, []string{irrSrv.URL}, dep.Building.RoomIDs[0][0], covers)
+	if len(clients) != 1 {
+		t.Fatalf("step 5: discovered %d registries", len(clients))
+	}
+	doc, err := clients[0].Resources(ctx, dep.Building.Spec.ID)
+	if err != nil || len(doc.Resources) == 0 {
+		t.Fatalf("step 5: fetch failed: %v", err)
+	}
+
+	// Step 6: the IoTA displays summaries of relevant elements. The
+	// assistant pushes preferences to the BMS over HTTP (step 8 sink).
+	api := httpapi.NewClient(apiSrv.URL, nil)
+	assistant, err := NewAssistantForSink(mary.ID, api)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notices := assistant.ProcessDocument(doc)
+	if len(notices) == 0 {
+		t.Fatal("step 6: no notices surfaced")
+	}
+
+	// Step 7: Mary gives feedback on the practices she cares about —
+	// she objects to the emergency location collection.
+	var locNotice *Notice
+	for i := range notices {
+		if notices[i].ResourceName == "Location tracking in DBH" {
+			locNotice = &notices[i]
+		}
+	}
+	if locNotice == nil {
+		t.Fatalf("step 7: location policy not among notices: %+v", notices)
+	}
+	if err := assistant.Feedback(locNotice.Fingerprint, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 8: the configured preference reached TIPPERS over HTTP.
+	prefs, err := api.Preferences(ctx, mary.ID)
+	if err != nil || len(prefs) == 0 {
+		t.Fatalf("step 8: no preferences installed: %v", err)
+	}
+
+	// Steps 9–10: a service requests Mary's location. The concierge
+	// request is rejected (her preference denies), while an emergency
+	// request is served despite it, with a notification.
+	denied, err := api.RequestUser(ctx, Request{
+		ServiceID: "concierge",
+		Purpose:   PurposeProvidingService,
+		Kind:      sensor.ObsWiFiConnect,
+		SubjectID: mary.ID,
+		Time:      simDay.Add(14 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if denied.Decision.Allowed {
+		t.Fatalf("step 10: opt-out not enforced: %+v", denied.Decision)
+	}
+	granted, err := api.RequestUser(ctx, Request{
+		ServiceID: "bms-emergency",
+		Purpose:   PurposeEmergencyResponse,
+		Kind:      sensor.ObsWiFiConnect,
+		SubjectID: mary.ID,
+		Time:      simDay.Add(14 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !granted.Decision.Allowed || len(granted.Observations) == 0 {
+		t.Fatalf("step 10: emergency request failed: %+v", granted.Decision)
+	}
+	notifs, err := api.Notifications(ctx, mary.ID)
+	if err != nil || len(notifs) == 0 {
+		t.Fatalf("step 7/10: no override notification: %v", err)
+	}
+}
+
+func TestFigureReproductions(t *testing.T) {
+	if err := Figure2Document().Validate(); err != nil {
+		t.Errorf("Figure 2: %v", err)
+	}
+	if err := Figure3Document().Validate(); err != nil {
+		t.Errorf("Figure 3: %v", err)
+	}
+	if got := Figure4Settings(); len(got) != 1 || len(got[0].Select) != 3 {
+		t.Errorf("Figure 4 = %+v", got)
+	}
+}
