@@ -23,7 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -33,10 +33,20 @@ import (
 	"github.com/tippers/tippers/internal/irr"
 	"github.com/tippers/tippers/internal/policy"
 	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
+// logger is the status/error channel; data output goes to stdout.
+var logger *slog.Logger
+
+// fatal logs an error and exits. It replaces log.Fatal so status
+// output shares the daemons' structured setup.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
 	var (
 		user      = flag.String("user", "", "user ID the assistant acts for (required)")
 		irrURLs   = flag.String("irr", "", "comma-separated IRR base URLs")
@@ -45,7 +55,9 @@ func main() {
 		svc       = flag.String("service", "", "service ID for optout/coarse")
 		kind      = flag.String("kind", string(sensor.ObsWiFiConnect), "observation kind for optout")
 		modelFile = flag.String("model", "", "preference-model file to load/save (persists learning across runs)")
+		verbose   = flag.Bool("v", false, "debug logging")
 	)
+	logger = telemetry.SetupLogger(telemetry.LogConfig{Component: "iotactl"})
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
@@ -57,6 +69,7 @@ func main() {
 	if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
 		os.Exit(2)
 	}
+	logger = telemetry.SetupLogger(telemetry.LogConfig{Component: "iotactl", Verbose: *verbose})
 	if *user == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -76,17 +89,17 @@ func main() {
 	case "notices":
 		clients := discover(ctx, *irrURLs, *space)
 		if len(clients) == 0 {
-			log.Fatal("no registries discovered")
+			fatal("no registries discovered")
 		}
 		assistant, err := iota.New(iota.Config{UserID: *user})
 		if err != nil {
-			log.Fatal(err)
+			fatal("assistant", "error", err)
 		}
 		loadModel(*modelFile, assistant)
 		for _, c := range clients {
 			doc, err := c.Resources(ctx, *space)
 			if err != nil {
-				log.Printf("skipping %s: %v", c.BaseURL(), err)
+				logger.Warn("skipping registry", "url", c.BaseURL(), "error", err)
 				continue
 			}
 			for _, n := range assistant.ProcessDocument(doc) {
@@ -106,24 +119,24 @@ func main() {
 			Source: "explicit",
 		}
 		if err := client.SetPreferenceCtx(ctx, pref); err != nil {
-			log.Fatal(err)
+			fatal("set preference", "error", err)
 		}
 		fmt.Printf("installed %s\n", pref.ID)
 	case "coarse":
 		client := tippersClient(*tip)
 		if *svc == "" {
-			log.Fatal("coarse requires -service")
+			fatal("coarse requires -service")
 		}
 		pref := policy.CoarseLocationPreference(*user, *svc)
 		if err := client.SetPreferenceCtx(ctx, pref); err != nil {
-			log.Fatal(err)
+			fatal("set preference", "error", err)
 		}
 		fmt.Printf("installed %s\n", pref.ID)
 	case "prefs":
 		client := tippersClient(*tip)
 		prefs, err := client.Preferences(ctx, *user)
 		if err != nil {
-			log.Fatal(err)
+			fatal("list preferences", "error", err)
 		}
 		for _, p := range prefs {
 			fmt.Printf("%s\taction=%s", p.ID, p.Rule.Action)
@@ -139,14 +152,14 @@ func main() {
 		client := tippersClient(*tip)
 		deleted, retained, err := client.ForgetUser(ctx, *user)
 		if err != nil {
-			log.Fatal(err)
+			fatal("forget", "error", err)
 		}
 		fmt.Printf("erased %d observation(s); %d retained under safety-critical policies\n", deleted, retained)
 	case "audit":
 		client := tippersClient(*tip)
 		report, err := client.Audit(ctx, *user)
 		if err != nil {
-			log.Fatal(err)
+			fatal("audit", "error", err)
 		}
 		fmt.Printf("privacy audit for %s (%d preference(s) installed)\n", report.UserID, report.Preferences)
 		if len(report.OverridePolicies) > 0 {
@@ -166,7 +179,7 @@ func main() {
 		client := tippersClient(*tip)
 		notifs, err := client.Notifications(ctx, *user)
 		if err != nil {
-			log.Fatal(err)
+			fatal("inbox", "error", err)
 		}
 		if len(notifs) == 0 {
 			fmt.Println("inbox empty")
@@ -175,13 +188,13 @@ func main() {
 			fmt.Printf("- %s\n", n.Message)
 		}
 	default:
-		log.Fatalf("unknown command %q", cmd)
+		fatal("unknown command", "command", cmd)
 	}
 }
 
 func discover(ctx context.Context, urls, space string) []*irr.Client {
 	if urls == "" {
-		log.Fatal("this command requires -irr")
+		fatal("this command requires -irr")
 	}
 	candidates := strings.Split(urls, ",")
 	// Without a spatial model, coverage matching is exact-ID plus a
@@ -194,7 +207,7 @@ func discover(ctx context.Context, urls, space string) []*irr.Client {
 
 func tippersClient(base string) *httpapi.Client {
 	if base == "" {
-		log.Fatal("this command requires -tippers")
+		fatal("this command requires -tippers")
 	}
 	return httpapi.NewClient(base, nil)
 }
@@ -210,10 +223,10 @@ func loadModel(path string, a *iota.Assistant) {
 		if os.IsNotExist(err) {
 			return
 		}
-		log.Fatalf("reading model %s: %v", path, err)
+		fatal("reading model", "path", path, "error", err)
 	}
 	if err := json.Unmarshal(raw, a.Model()); err != nil {
-		log.Fatalf("loading model %s: %v", path, err)
+		fatal("loading model", "path", path, "error", err)
 	}
 }
 
@@ -224,9 +237,9 @@ func saveModel(path string, a *iota.Assistant) {
 	}
 	raw, err := json.Marshal(a.Model())
 	if err != nil {
-		log.Fatalf("encoding model: %v", err)
+		fatal("encoding model", "error", err)
 	}
 	if err := os.WriteFile(path, raw, 0o600); err != nil {
-		log.Fatalf("writing model %s: %v", path, err)
+		fatal("writing model", "path", path, "error", err)
 	}
 }

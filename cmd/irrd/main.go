@@ -3,35 +3,50 @@
 //
 // Usage:
 //
-//	irrd [-addr :8081] [-name my-irr] [-space dbh] resource.json ...
+//	irrd [-addr :8081] [-name my-irr] [-space dbh] [-pprof] [-v]
+//	     resource.json ...
 //
 // Each file must be a Figure-2-shape resource document; every
 // resource in it is published under the -space coverage. With no
 // files, the registry serves the paper's Figure 2 document.
+// Observability endpoints (/metrics, /debug/vars, optional
+// /debug/pprof) are served on the same address.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
-	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/tippers/tippers/internal/irr"
 	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 func main() {
-	log.SetPrefix("irrd: ")
-	log.SetFlags(log.LstdFlags)
-
 	var (
-		addr  = flag.String("addr", ":8081", "listen address")
-		name  = flag.String("name", "standalone-irr", "registry name")
-		space = flag.String("space", "dbh", "coverage space ID for published resources")
+		addr      = flag.String("addr", ":8081", "listen address")
+		name      = flag.String("name", "standalone-irr", "registry name")
+		space     = flag.String("space", "dbh", "coverage space ID for published resources")
+		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
+		verbose   = flag.Bool("v", false, "debug logging")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+
+	logger := telemetry.SetupLogger(telemetry.LogConfig{
+		Component: "irrd",
+		Verbose:   *verbose,
+		JSON:      *logFormat == "json",
+	})
+	started := time.Now()
+
+	metrics := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(metrics)
 
 	registry := irr.NewRegistry(*name, nil)
 
@@ -39,31 +54,62 @@ func main() {
 	if len(files) == 0 {
 		for _, res := range policy.Figure2Document().Resources {
 			if err := registry.Publish(*space, res); err != nil {
-				log.Fatal(err)
+				logger.Error("publishing figure 2 resource", "error", err)
+				os.Exit(1)
 			}
 		}
-		log.Print("no documents given; serving the paper's Figure 2 policy")
+		logger.Info("no documents given; serving the paper's Figure 2 policy")
 	}
 	for _, path := range files {
 		raw, err := os.ReadFile(path)
 		if err != nil {
-			log.Fatalf("read %s: %v", path, err)
+			logger.Error("reading document", "path", path, "error", err)
+			os.Exit(1)
 		}
 		doc, err := policy.ParseResourceDocument(raw)
 		if err != nil {
-			log.Fatalf("%s: %v", path, err)
+			logger.Error("parsing document", "path", path, "error", err)
+			os.Exit(1)
 		}
 		for _, res := range doc.Resources {
 			if err := registry.Publish(*space, res); err != nil {
-				log.Fatalf("%s: %v", path, err)
+				logger.Error("publishing resource", "path", path, "error", err)
+				os.Exit(1)
 			}
 		}
-		log.Printf("published %d resources from %s", len(doc.Resources), path)
+		logger.Info("published document", "path", path, "resources", len(doc.Resources))
+	}
+	metrics.GaugeFunc("tippers_irr_resources",
+		"Resources currently advertised by the registry.", func() float64 {
+			return float64(registry.Len())
+		})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", telemetry.InstrumentHandler(metrics, "tippers_http", "irr", registry.Handler()))
+	metrics.Mount(mux, *pprofFlag)
+	if *pprofFlag {
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: registry.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	log.Printf("IRR %q listening on %s (%d resources)", *name, *addr, registry.Len())
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		logger.Info("IRR listening", "name", *name, "addr", *addr, "resources", registry.Len())
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server", "error", err)
+			os.Exit(1)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	logger.Info("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Warn("server shutdown", "error", err)
 	}
+	logger.Info("stopped",
+		"uptime", time.Since(started).Round(time.Second).String(),
+		"resources", registry.Len())
 }

@@ -17,18 +17,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"github.com/tippers/tippers/internal/enforce"
 	"github.com/tippers/tippers/internal/httpapi"
 	"github.com/tippers/tippers/internal/sim"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 func main() {
-	log.SetPrefix("simload: ")
-	log.SetFlags(log.LstdFlags)
-
 	var (
 		tip        = flag.String("tippers", "http://localhost:8080", "TIPPERS API base URL")
 		days       = flag.Int("days", 1, "days to simulate")
@@ -37,8 +35,16 @@ func main() {
 		requests   = flag.Int("requests", 100, "requests to fire after ingest (0 disables)")
 		seed       = flag.Int64("seed", 1, "simulation seed (must match the node)")
 		batch      = flag.Int("batch", 500, "observations per ingest call")
+		verbose    = flag.Bool("v", false, "debug logging")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+
+	logger := telemetry.SetupLogger(telemetry.LogConfig{
+		Component: "simload",
+		Verbose:   *verbose,
+		JSON:      *logFormat == "json",
+	})
 
 	spec := sim.DBH()
 	if *small {
@@ -46,7 +52,8 @@ func main() {
 	}
 	building, err := spec.Build()
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("building", "error", err)
+		os.Exit(1)
 	}
 	dir := sim.GeneratePopulation(building, *population, sim.CampusMix(), *seed)
 	client := httpapi.NewClient(*tip, nil)
@@ -73,15 +80,18 @@ func main() {
 			}
 			n, err := client.Ingest(ctx, dtos)
 			if err != nil {
-				log.Fatalf("ingest: %v (after %d accepted)", err, n)
+				logger.Error("ingest", "error", err, "accepted", n)
+				os.Exit(1)
 			}
 			totalSent += n
 		}
-		log.Printf("day %d: %d observations sent", d+1, len(res.Observations))
+		logger.Info("day sent", "day", d+1, "observations", len(res.Observations))
 	}
 	elapsed := time.Since(start)
-	log.Printf("ingest done: %d observations in %v (%.0f obs/s)",
-		totalSent, elapsed.Round(time.Millisecond), float64(totalSent)/elapsed.Seconds())
+	logger.Info("ingest done",
+		"observations", totalSent,
+		"elapsed", elapsed.Round(time.Millisecond).String(),
+		"obs_per_sec", fmt.Sprintf("%.0f", float64(totalSent)/elapsed.Seconds()))
 
 	if *requests > 0 {
 		reqs := sim.GenerateRequests(building, dir, []string{"concierge", "smart-meeting"}, day,
@@ -95,7 +105,8 @@ func main() {
 				Granularity: r.Granularity, Time: r.Time,
 			})
 			if err != nil {
-				log.Fatalf("request: %v", err)
+				logger.Error("request", "error", err)
+				os.Exit(1)
 			}
 			if resp.Decision.Allowed {
 				allowed++
@@ -104,13 +115,17 @@ func main() {
 			}
 		}
 		elapsed = time.Since(start)
-		log.Printf("requests done: %d allowed, %d denied in %v (%.0f req/s)",
-			allowed, denied, elapsed.Round(time.Millisecond), float64(*requests)/elapsed.Seconds())
+		logger.Info("requests done",
+			"allowed", allowed,
+			"denied", denied,
+			"elapsed", elapsed.Round(time.Millisecond).String(),
+			"req_per_sec", fmt.Sprintf("%.0f", float64(*requests)/elapsed.Seconds()))
 	}
 
 	stats, err := client.Stats(ctx)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("stats", "error", err)
+		os.Exit(1)
 	}
 	fmt.Printf("node stats: %+v\n", stats)
 }

@@ -1,11 +1,13 @@
 // Command tippersd runs a TIPPERS BMS node over a simulated building,
-// exposing the REST API (see internal/httpapi) and, optionally, a
-// co-hosted IoT Resource Registry.
+// exposing the REST API (see internal/httpapi), observability
+// endpoints (/metrics, /debug/vars, optional /debug/pprof), and,
+// optionally, a co-hosted IoT Resource Registry.
 //
 // Usage:
 //
 //	tippersd [-addr :8080] [-irr-addr :8081] [-population 200]
 //	         [-small] [-paper-policies] [-simulate-days 1] [-seed 1]
+//	         [-pprof] [-v] [-log-format text|json]
 package main
 
 import (
@@ -13,19 +15,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"github.com/tippers/tippers"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 func main() {
-	log.SetPrefix("tippersd: ")
-	log.SetFlags(log.LstdFlags)
-
 	var (
 		addr          = flag.String("addr", ":8080", "TIPPERS API listen address")
 		irrAddr       = flag.String("irr-addr", ":8081", "IRR listen address (empty disables)")
@@ -36,8 +35,21 @@ func main() {
 		seed          = flag.Int64("seed", 1, "simulation seed")
 		retention     = flag.Duration("retention-interval", time.Minute, "retention sweep interval")
 		snapshot      = flag.String("snapshot", "", "observation snapshot file: restored at boot, written on shutdown")
+		pprofFlag     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the API address")
+		verbose       = flag.Bool("v", false, "debug logging")
+		logFormat     = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+
+	logger := telemetry.SetupLogger(telemetry.LogConfig{
+		Component: "tippersd",
+		Verbose:   *verbose,
+		JSON:      *logFormat == "json",
+	})
+	started := time.Now()
+
+	metrics := tippers.NewMetricsRegistry()
+	telemetry.RegisterRuntimeMetrics(metrics)
 
 	spec := tippers.DBH()
 	if *small {
@@ -48,9 +60,11 @@ func main() {
 		Population:            *population,
 		Seed:                  *seed,
 		RegisterPaperPolicies: *paperPolicies,
+		Metrics:               metrics,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("deployment failed", "error", err)
+		os.Exit(1)
 	}
 	defer dep.Close()
 
@@ -58,35 +72,50 @@ func main() {
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
 			if err := dep.BMS.Store().ReadSnapshot(f); err != nil {
-				log.Fatalf("restoring %s: %v", *snapshot, err)
+				logger.Error("restoring snapshot", "path", *snapshot, "error", err)
+				os.Exit(1)
 			}
 			f.Close()
 			total = dep.BMS.Store().Len()
-			log.Printf("restored %d observations from %s", total, *snapshot)
+			logger.Info("snapshot restored", "path", *snapshot, "observations", total)
 			*simulateDays = 0
 		} else if !os.IsNotExist(err) {
-			log.Fatalf("opening %s: %v", *snapshot, err)
+			logger.Error("opening snapshot", "path", *snapshot, "error", err)
+			os.Exit(1)
 		}
 	}
 	day := time.Now().UTC().Truncate(24*time.Hour).AddDate(0, 0, -*simulateDays)
 	for d := 0; d < *simulateDays; d++ {
 		n, err := dep.SimulateDay(day.AddDate(0, 0, d), *seed+int64(d))
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("simulating day", "day", d, "error", err)
+			os.Exit(1)
 		}
 		total += n
 	}
-	log.Printf("building %s ready: %d spaces, %d sensors, %d users, %d observations ingested",
-		spec.ID, dep.Building.Spaces.Len(), dep.Building.Sensors.Len(), dep.Users.Len(), total)
+	logger.Info("building ready",
+		"building", spec.ID,
+		"spaces", dep.Building.Spaces.Len(),
+		"sensors", dep.Building.Sensors.Len(),
+		"users", dep.Users.Len(),
+		"observations", total)
 
 	dep.BMS.StartRetention(*retention)
 
-	apiSrv := &http.Server{Addr: *addr, Handler: dep.APIHandler(), ReadHeaderTimeout: 10 * time.Second}
+	mux := http.NewServeMux()
+	mux.Handle("/", dep.APIHandler())
+	metrics.Mount(mux, *pprofFlag)
+	if *pprofFlag {
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	apiSrv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	servers := []*http.Server{apiSrv}
 	go func() {
-		log.Printf("TIPPERS API listening on %s", *addr)
+		logger.Info("TIPPERS API listening", "addr", *addr)
 		if err := apiSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("api server: %v", err)
+			logger.Error("api server", "error", err)
+			os.Exit(1)
 		}
 	}()
 
@@ -94,9 +123,10 @@ func main() {
 		irrSrv := &http.Server{Addr: *irrAddr, Handler: dep.IRRHandler(), ReadHeaderTimeout: 10 * time.Second}
 		servers = append(servers, irrSrv)
 		go func() {
-			log.Printf("IRR listening on %s (%d resources advertised)", *irrAddr, dep.IRR.Len())
+			logger.Info("IRR listening", "addr", *irrAddr, "resources", dep.IRR.Len())
 			if err := irrSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Fatalf("irr server: %v", err)
+				logger.Error("irr server", "error", err)
+				os.Exit(1)
 			}
 		}()
 	}
@@ -104,24 +134,36 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	<-ctx.Done()
-	fmt.Println()
-	log.Print("shutting down")
+	fmt.Fprintln(os.Stderr)
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	for _, s := range servers {
-		_ = s.Shutdown(shutdownCtx)
+		if err := s.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("server shutdown", "addr", s.Addr, "error", err)
+		}
 	}
 	if *snapshot != "" {
 		f, err := os.Create(*snapshot)
 		if err != nil {
-			log.Fatalf("creating %s: %v", *snapshot, err)
+			logger.Error("creating snapshot", "path", *snapshot, "error", err)
+			os.Exit(1)
 		}
 		if err := dep.BMS.Store().WriteSnapshot(f); err != nil {
-			log.Fatalf("writing %s: %v", *snapshot, err)
+			logger.Error("writing snapshot", "path", *snapshot, "error", err)
+			os.Exit(1)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("closing %s: %v", *snapshot, err)
+			logger.Error("closing snapshot", "path", *snapshot, "error", err)
+			os.Exit(1)
 		}
-		log.Printf("snapshot written to %s (%d observations)", *snapshot, dep.BMS.Store().Len())
+		logger.Info("snapshot written", "path", *snapshot, "observations", dep.BMS.Store().Len())
 	}
+	stats := dep.BMS.Stats()
+	logger.Info("stopped",
+		"uptime", time.Since(started).Round(time.Second).String(),
+		"ingested", stats.Ingested,
+		"requests_decided", stats.RequestsDecided,
+		"requests_denied", stats.RequestsDenied,
+		"notifications_sent", stats.NotificationsSent)
 }

@@ -14,6 +14,8 @@ package bus
 import (
 	"sync"
 	"time"
+
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // Event is one published message.
@@ -59,8 +61,9 @@ type Bus struct {
 	closed  bool
 	bufSize int
 
-	dropMu  sync.Mutex
-	dropped map[string]uint64
+	dropMu    sync.Mutex
+	dropped   map[string]uint64
+	published map[string]uint64
 }
 
 // New returns a bus whose subscriber channels buffer bufSize events
@@ -70,10 +73,53 @@ func New(bufSize int) *Bus {
 		bufSize = 1
 	}
 	return &Bus{
-		subs:    make(map[string]map[int]chan Event),
-		bufSize: bufSize,
-		dropped: make(map[string]uint64),
+		subs:      make(map[string]map[int]chan Event),
+		bufSize:   bufSize,
+		dropped:   make(map[string]uint64),
+		published: make(map[string]uint64),
 	}
+}
+
+// RegisterMetrics exposes per-topic publish/drop counters plus
+// subscriber count and the deepest subscriber backlog (lag) on a
+// telemetry registry.
+func (b *Bus) RegisterMetrics(r *telemetry.Registry) {
+	for _, topic := range []string{TopicObservations, TopicSettings, TopicNotifications, TopicConflicts} {
+		topic := topic
+		labels := telemetry.Labels{"topic": topic}
+		r.CounterFuncWith("tippers_bus_published_total",
+			"Events published per topic.", labels, func() float64 {
+				return float64(b.Published(topic))
+			})
+		r.CounterFuncWith("tippers_bus_dropped_total",
+			"Events dropped per topic because a subscriber buffer was full.", labels, func() float64 {
+				return float64(b.Dropped(topic))
+			})
+	}
+	r.GaugeFunc("tippers_bus_subscribers",
+		"Active subscriptions across all topics.", func() float64 {
+			b.mu.RLock()
+			defer b.mu.RUnlock()
+			n := 0
+			for _, subs := range b.subs {
+				n += len(subs)
+			}
+			return float64(n)
+		})
+	r.GaugeFunc("tippers_bus_max_subscriber_backlog",
+		"Deepest per-subscriber channel backlog (events buffered but not yet consumed).", func() float64 {
+			b.mu.RLock()
+			defer b.mu.RUnlock()
+			max := 0
+			for _, subs := range b.subs {
+				for _, ch := range subs {
+					if n := len(ch); n > max {
+						max = n
+					}
+				}
+			}
+			return float64(max)
+		})
 }
 
 // Subscribe registers a subscriber for a topic.
@@ -113,6 +159,9 @@ func (b *Bus) Publish(topic string, payload any) {
 	if b.closed {
 		return
 	}
+	b.dropMu.Lock()
+	b.published[topic]++
+	b.dropMu.Unlock()
 	for _, ch := range b.subs[topic] {
 		select {
 		case ch <- e:
@@ -130,6 +179,13 @@ func (b *Bus) Dropped(topic string) uint64 {
 	b.dropMu.Lock()
 	defer b.dropMu.Unlock()
 	return b.dropped[topic]
+}
+
+// Published returns the number of events published on a topic.
+func (b *Bus) Published(topic string) uint64 {
+	b.dropMu.Lock()
+	defer b.dropMu.Unlock()
+	return b.published[topic]
 }
 
 // Close shuts the bus: all subscriber channels are closed and further

@@ -44,6 +44,11 @@ type Audit struct {
 	// OverridePolicies lists safety-critical policies that can
 	// override this user's choices.
 	OverridePolicies []string `json:"override_policies,omitempty"`
+	// RecentTraces are the latest retained decision traces naming
+	// this user as subject: the enforcement decisions that actually
+	// ran (with matched rules and stage timings), complementing the
+	// what-if probes above.
+	RecentTraces []DecisionTrace `json:"recent_traces,omitempty"`
 }
 
 // AuditUser probes the decision engine for every registered service's
@@ -59,9 +64,10 @@ func (b *BMS) AuditUser(userID string, now time.Time) (Audit, error) {
 		now = b.clock()
 	}
 	report := Audit{
-		UserID:      userID,
-		GeneratedAt: now,
-		Preferences: len(b.Preferences(userID)),
+		UserID:       userID,
+		GeneratedAt:  now,
+		Preferences:  len(b.Preferences(userID)),
+		RecentTraces: b.TracesForSubject(userID, 20),
 	}
 	for _, p := range b.Policies() {
 		if p.Override {

@@ -48,7 +48,7 @@ func (b *BMS) DeriveOccupancy(from, to time.Time, interval time.Duration) (int, 
 		stored++
 		b.bus.Publish(bus.TopicObservations, o)
 	}
-	b.count(func(st *Stats) { st.Ingested += uint64(stored) })
+	b.met.ingested.Add(uint64(stored))
 	return stored, nil
 }
 
@@ -156,7 +156,7 @@ func (b *BMS) CheckAccess(userID, spaceID, method string, now time.Time) (Access
 	} else {
 		obs.SensorID = "bms-access-log"
 		if _, err := b.store.Append(obs); err == nil {
-			b.count(func(st *Stats) { st.Ingested++ })
+			b.met.ingested.Inc()
 		}
 	}
 	return d, nil

@@ -23,6 +23,7 @@ import (
 	"github.com/tippers/tippers/internal/sensor"
 	"github.com/tippers/tippers/internal/service"
 	"github.com/tippers/tippers/internal/spatial"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // Config wires a BMS. Zero-value collaborators are constructed
@@ -58,6 +59,12 @@ type Config struct {
 	BusBuffer int
 	// Clock overrides time.Now for tests and simulation.
 	Clock func() time.Time
+	// Metrics is the telemetry registry pipeline counters, latency
+	// histograms, and collaborator metrics register on; nil creates a
+	// private registry (reachable via BMS.Metrics).
+	Metrics *telemetry.Registry
+	// TraceBuffer caps the decision-trace ring buffer (default 256).
+	TraceBuffer int
 }
 
 // Stats counts pipeline outcomes for the experiments.
@@ -83,12 +90,15 @@ type BMS struct {
 	pseud    *privacy.Pseudonymizer
 	clock    func() time.Time
 
+	metrics *telemetry.Registry
+	met     *coreMetrics
+	traces  *traceRing
+
 	mu        sync.RWMutex
 	policies  map[string]policy.BuildingPolicy
 	prefs     map[string]policy.Preference
 	conflicts []reasoner.Conflict
 	inbox     map[string][]enforce.Notification
-	stats     Stats
 
 	retainStop chan struct{}
 	retainDone chan struct{}
@@ -126,6 +136,10 @@ func New(cfg Config) (*BMS, error) {
 			GroupDefaults: cfg.GroupDefaults,
 		})
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	b := &BMS{
 		cfg:      cfg,
 		store:    obstore.New(),
@@ -136,9 +150,22 @@ func New(cfg Config) (*BMS, error) {
 		transf:   privacy.NewTransformer(cfg.Spaces, cfg.NoiseSeed, key),
 		pseud:    privacy.NewPseudonymizer(key),
 		clock:    cfg.Clock,
+		metrics:  reg,
+		met:      newCoreMetrics(reg, enforce.EngineName(engine)),
+		traces:   newTraceRing(cfg.TraceBuffer),
 		policies: make(map[string]policy.BuildingPolicy),
 		prefs:    make(map[string]policy.Preference),
 		inbox:    make(map[string][]enforce.Notification),
+	}
+	// Collaborators expose their internals on the same registry; an
+	// engine that can report (Cached, Instrumented) joins in.
+	b.store.RegisterMetrics(reg)
+	b.bus.RegisterMetrics(reg)
+	b.reason.RegisterMetrics(reg)
+	if mr, ok := engine.(interface {
+		RegisterMetrics(*telemetry.Registry)
+	}); ok {
+		mr.RegisterMetrics(reg)
 	}
 	return b, nil
 }
@@ -165,11 +192,19 @@ func (b *BMS) Services() *service.Registry { return b.services }
 // Engine returns the enforcement engine.
 func (b *BMS) Engine() enforce.Engine { return b.engine }
 
-// Stats returns a snapshot of pipeline counters.
+// Stats returns a snapshot of pipeline counters. The struct and its
+// meaning are unchanged from the pre-telemetry era; the values are
+// now read off the lock-free registry counters.
 func (b *BMS) Stats() Stats {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.stats
+	return Stats{
+		Ingested:          b.met.ingested.Value(),
+		DroppedDisabled:   b.met.droppedDisabled.Value(),
+		DroppedUnlogged:   b.met.droppedUnlogged.Value(),
+		Pseudonymized:     b.met.pseudonymized.Value(),
+		RequestsDecided:   b.met.requestsDecided.Value(),
+		RequestsDenied:    b.met.requestsDenied.Value(),
+		NotificationsSent: b.met.notificationsSent.Value(),
+	}
 }
 
 // Ingest is the capture pipeline (Figure 1 steps 2–3): a sensor
@@ -177,18 +212,20 @@ func (b *BMS) Stats() Stats {
 // current privacy settings, the reading is attributed to a user via
 // device MAC, stored, and published on the bus.
 func (b *BMS) Ingest(o sensor.Observation) error {
+	t0 := time.Now()
+	defer b.met.ingestSeconds.ObserveSince(t0)
 	s, ok := b.cfg.Sensors.Get(o.SensorID)
 	if !ok {
 		return fmt.Errorf("core: observation from unregistered sensor %q", o.SensorID)
 	}
 	if !s.Enabled() {
-		b.count(func(st *Stats) { st.DroppedDisabled++ })
+		b.met.droppedDisabled.Inc()
 		return nil
 	}
 	if o.Kind == sensor.ObsWiFiConnect && !s.BoolSetting("log_connections") {
 		// The Figure 4 "No location sensing" opt-out lands here: the
 		// AP keeps serving traffic but logs nothing.
-		b.count(func(st *Stats) { st.DroppedUnlogged++ })
+		b.met.droppedUnlogged.Inc()
 		return nil
 	}
 	if o.SpaceID == "" && !s.Mobile {
@@ -203,7 +240,7 @@ func (b *BMS) Ingest(o sensor.Observation) error {
 	if o.DeviceMAC != "" {
 		if s.BoolSetting("hash_mac") {
 			o = b.pseud.PseudonymizeObservation(o)
-			b.count(func(st *Stats) { st.Pseudonymized++ })
+			b.met.pseudonymized.Inc()
 		} else if o.UserID == "" {
 			if u, ok := b.cfg.Users.LookupMAC(o.DeviceMAC); ok {
 				o.UserID = u.ID
@@ -214,15 +251,9 @@ func (b *BMS) Ingest(o sensor.Observation) error {
 	if err != nil {
 		return err
 	}
-	b.count(func(st *Stats) { st.Ingested++ })
+	b.met.ingested.Inc()
 	b.bus.Publish(bus.TopicObservations, stored)
 	return nil
-}
-
-func (b *BMS) count(f func(*Stats)) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	f(&b.stats)
 }
 
 // RegisterPolicy installs a building policy (Figure 1 step 1): the
@@ -355,7 +386,7 @@ func (b *BMS) detectConflicts() {
 				Message:      c.Resolution.Explanation,
 			}
 			b.inbox[n.UserID] = append(b.inbox[n.UserID], n)
-			b.stats.NotificationsSent++
+			b.met.notificationsSent.Inc()
 		}
 	}
 	b.mu.Unlock()

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"github.com/tippers/tippers/internal/telemetry"
+)
+
+// coreMetrics is the pipeline's instrument panel: every counter the
+// old mutex-guarded Stats struct held now lives on lock-free
+// telemetry primitives, registered (with help text) on the
+// deployment's registry so /metrics exposes them. Stats() keeps its
+// exact struct and semantics by snapshotting these.
+type coreMetrics struct {
+	ingested          *telemetry.Counter
+	droppedDisabled   *telemetry.Counter
+	droppedUnlogged   *telemetry.Counter
+	pseudonymized     *telemetry.Counter
+	requestsDecided   *telemetry.Counter
+	requestsDenied    *telemetry.Counter
+	notificationsSent *telemetry.Counter
+
+	ingestSeconds *telemetry.Histogram
+	decideSeconds *telemetry.Histogram
+	requestUser   *telemetry.Histogram
+	requestOccup  *telemetry.Histogram
+}
+
+func newCoreMetrics(r *telemetry.Registry, engineName string) *coreMetrics {
+	m := &coreMetrics{
+		ingested: r.Counter("tippers_core_ingested_total",
+			"Observations accepted by the capture pipeline."),
+		droppedDisabled: r.Counter("tippers_core_dropped_disabled_total",
+			"Observations dropped because the sensor was disabled at capture time."),
+		droppedUnlogged: r.Counter("tippers_core_dropped_unlogged_total",
+			"Observations dropped because logging was off (e.g. wifi opt-out)."),
+		pseudonymized: r.Counter("tippers_core_pseudonymized_total",
+			"Observations pseudonymized at capture time."),
+		requestsDecided: r.Counter("tippers_core_requests_decided_total",
+			"Query-time enforcement decisions made by the request manager."),
+		requestsDenied: r.Counter("tippers_core_requests_denied_total",
+			"Query-time enforcement decisions that denied the flow."),
+		notificationsSent: r.Counter("tippers_core_notifications_sent_total",
+			"Override notifications delivered to user inboxes."),
+		ingestSeconds: r.Histogram("tippers_core_ingest_seconds",
+			"Capture-pipeline latency per observation.", nil),
+		decideSeconds: r.HistogramWith("tippers_enforce_decide_seconds",
+			"Query-time enforcement decision latency.",
+			telemetry.Labels{"engine": engineName}, nil),
+		requestUser: r.HistogramWith("tippers_core_request_seconds",
+			"End-to-end request-manager latency.",
+			telemetry.Labels{"path": "user"}, nil),
+		requestOccup: r.HistogramWith("tippers_core_request_seconds",
+			"End-to-end request-manager latency.",
+			telemetry.Labels{"path": "occupancy"}, nil),
+	}
+	return m
+}
+
+// Metrics returns the registry this BMS reports on. When none was
+// supplied in Config, a private registry is created so callers can
+// still scrape or snapshot it.
+func (b *BMS) Metrics() *telemetry.Registry { return b.metrics }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/tippers/tippers/internal/bus"
 	"github.com/tippers/tippers/internal/enforce"
@@ -27,6 +28,10 @@ type Response struct {
 	// aggregate requests.
 	SubjectsConsidered int
 	SubjectsReleased   int
+	// Trace is the span-like record of this request's enforcement
+	// decision (matched rules, stage timings); also retained in the
+	// BMS trace ring.
+	Trace *DecisionTrace
 }
 
 // RequestUser is the request manager's single-subject path (Figure 1
@@ -38,25 +43,41 @@ func (b *BMS) RequestUser(req enforce.Request) (Response, error) {
 	if req.SubjectID == "" {
 		return Response{}, fmt.Errorf("core: RequestUser needs a subject")
 	}
+	started := time.Now()
+	defer b.met.requestUser.ObserveSince(started)
+	tr := b.newTrace("user", req)
+
 	groups := b.subjectGroups(req.SubjectID)
+	t0 := time.Now()
 	d := b.engine.Decide(req, groups)
+	decideDur := time.Since(t0)
+	b.met.decideSeconds.Observe(decideDur.Seconds())
+	tr.addStage("decide", decideDur)
 	b.recordDecision(d)
+	tr.fromDecision(d)
 	if !d.Allowed {
-		return Response{Decision: d}, nil
+		return Response{Decision: d, Trace: b.finishTrace(&tr, started)}, nil
 	}
 	if d.Effective.MinAggregationK > 1 {
 		// A single-subject release can never satisfy a k>1 aggregation
 		// floor; the data path returns nothing rather than leaking an
 		// individual record.
 		d.DenyReason = fmt.Sprintf("subject requires aggregation over >= %d users", d.Effective.MinAggregationK)
-		return Response{Decision: d}, nil
+		tr.Allowed = false
+		tr.DenyReason = d.DenyReason
+		return Response{Decision: d, Trace: b.finishTrace(&tr, started)}, nil
 	}
+	t0 = time.Now()
 	obs := b.store.Query(b.filterFor(req))
+	tr.addStage("fetch", time.Since(t0))
+	t0 = time.Now()
 	released, err := enforce.ApplyDecision(d, obs, b.transf)
 	if err != nil {
 		return Response{}, err
 	}
-	return Response{Decision: d, Observations: released}, nil
+	tr.addStage("apply", time.Since(t0))
+	tr.ObservationsReleased = len(released)
+	return Response{Decision: d, Observations: released, Trace: b.finishTrace(&tr, started)}, nil
 }
 
 // RequestOccupancy is the aggregate path: a service asks how many
@@ -68,7 +89,13 @@ func (b *BMS) RequestOccupancy(req enforce.Request, minK int) (Response, error) 
 	if minK < 1 {
 		minK = 1
 	}
+	started := time.Now()
+	defer b.met.requestOccup.ObserveSince(started)
+	tr := b.newTrace("occupancy", req)
+
+	t0 := time.Now()
 	obs := b.store.Query(b.filterFor(req))
+	tr.addStage("fetch", time.Since(t0))
 	bySubject := make(map[string][]sensor.Observation)
 	for _, o := range obs {
 		if o.UserID == "" {
@@ -80,10 +107,13 @@ func (b *BMS) RequestOccupancy(req enforce.Request, minK int) (Response, error) 
 	resp := Response{SubjectsConsidered: len(bySubject)}
 	k := minK
 	var releasedObs []sensor.Observation
+	t0 = time.Now()
 	for subjectID, subjObs := range bySubject {
 		subReq := req
 		subReq.SubjectID = subjectID
+		tDecide := time.Now()
 		d := b.engine.Decide(subReq, b.subjectGroups(subjectID))
+		b.met.decideSeconds.ObserveSince(tDecide)
 		b.recordDecision(d)
 		if !d.Allowed {
 			continue
@@ -98,15 +128,24 @@ func (b *BMS) RequestOccupancy(req enforce.Request, minK int) (Response, error) 
 		releasedObs = append(releasedObs, transformed...)
 		resp.SubjectsReleased++
 	}
+	tr.addStage("decide-subjects", time.Since(t0))
+	t0 = time.Now()
 	resp.Aggregates = privacy.KAnonymousCounts(releasedObs, k,
 		func(o sensor.Observation) string { return o.SpaceID },
 		func(o sensor.Observation) string { return o.UserID },
 	)
+	tr.addStage("aggregate", time.Since(t0))
 	resp.Decision = enforce.Decision{Allowed: len(resp.Aggregates) > 0,
 		Effective: policy.Rule{Action: policy.ActionLimit, MinAggregationK: k}}
 	if !resp.Decision.Allowed {
 		resp.Decision.DenyReason = fmt.Sprintf("no space reached the k=%d aggregation floor", k)
 	}
+	tr.Allowed = resp.Decision.Allowed
+	tr.DenyReason = resp.Decision.DenyReason
+	tr.SubjectsConsidered = resp.SubjectsConsidered
+	tr.SubjectsReleased = resp.SubjectsReleased
+	tr.ObservationsReleased = len(releasedObs)
+	resp.Trace = b.finishTrace(&tr, started)
 	return resp, nil
 }
 
@@ -140,14 +179,14 @@ func (b *BMS) subjectGroups(userID string) []profile.Group {
 // recordDecision updates counters and delivers override
 // notifications.
 func (b *BMS) recordDecision(d enforce.Decision) {
-	b.mu.Lock()
-	b.stats.RequestsDecided++
+	b.met.requestsDecided.Inc()
 	if !d.Allowed {
-		b.stats.RequestsDenied++
+		b.met.requestsDenied.Inc()
 	}
+	b.mu.Lock()
 	for _, n := range d.Notifications {
 		b.inbox[n.UserID] = append(b.inbox[n.UserID], n)
-		b.stats.NotificationsSent++
+		b.met.notificationsSent.Inc()
 	}
 	b.mu.Unlock()
 	for _, n := range d.Notifications {

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"github.com/tippers/tippers/internal/enforce"
+)
+
+// This file implements decision traces: span-like records of each
+// query-time enforcement decision the Request Manager makes. Where
+// the audit (audit.go) answers "what *would* the building release
+// about me right now?", a trace answers "what *did* it release, to
+// whom, under which rules, and how long did each stage take?" —
+// the enforcement-side evidence trail the paper's transparency goal
+// implies. Traces are kept in a bounded ring buffer and surfaced
+// through Response, the audit report, and the HTTP API.
+
+// TraceStage is one timed phase of handling a request (decide,
+// fetch, apply, aggregate).
+type TraceStage struct {
+	Name string `json:"name"`
+	// DurationMicros is the stage latency in microseconds.
+	DurationMicros int64 `json:"duration_us"`
+}
+
+// DecisionTrace is the span-like record of one enforcement decision.
+type DecisionTrace struct {
+	// ID is a monotonically increasing sequence number per BMS.
+	ID   uint64    `json:"id"`
+	Time time.Time `json:"time"`
+	// Path is the request path: "user" or "occupancy".
+	Path      string `json:"path"`
+	ServiceID string `json:"service_id,omitempty"`
+	SubjectID string `json:"subject_id,omitempty"`
+	ObsKind   string `json:"obs_kind,omitempty"`
+	Purpose   string `json:"purpose,omitempty"`
+	// Engine is the enforcement engine flavor that decided
+	// ("indexed", "cached(indexed)", ...).
+	Engine string `json:"engine"`
+	// Strategy is the conflict-resolution strategy in force.
+	Strategy string `json:"strategy"`
+	Allowed  bool   `json:"allowed"`
+	// DenyReason explains a denial (including post-decision denials
+	// such as an unmet aggregation floor).
+	DenyReason string `json:"deny_reason,omitempty"`
+	// Granularity is the release precision the decision chose.
+	Granularity string `json:"granularity,omitempty"`
+	// CacheHit reports the decision was replayed from the memoizing
+	// engine's cache.
+	CacheHit bool `json:"cache_hit"`
+	// MatchedPolicies names building policies that decided the flow
+	// (today: the safety-critical override policy, when one fired).
+	MatchedPolicies []string `json:"matched_policies,omitempty"`
+	// MatchedPreferences / MatchedDefaults name the subject rules the
+	// engine matched.
+	MatchedPreferences []string `json:"matched_preferences,omitempty"`
+	MatchedDefaults    []string `json:"matched_defaults,omitempty"`
+	// Overridden names preferences a safety-critical policy beat.
+	Overridden []string `json:"overridden,omitempty"`
+	// SubjectsConsidered / SubjectsReleased report occupancy-path
+	// coverage.
+	SubjectsConsidered int `json:"subjects_considered,omitempty"`
+	SubjectsReleased   int `json:"subjects_released,omitempty"`
+	// ObservationsReleased counts records that left the store after
+	// degradation.
+	ObservationsReleased int `json:"observations_released,omitempty"`
+	// Stages are the per-phase timings, in request order.
+	Stages []TraceStage `json:"stages"`
+	// TotalMicros is the end-to-end request latency in microseconds.
+	TotalMicros int64 `json:"total_us"`
+}
+
+// addStage appends one timed phase.
+func (t *DecisionTrace) addStage(name string, d time.Duration) {
+	t.Stages = append(t.Stages, TraceStage{Name: name, DurationMicros: d.Microseconds()})
+}
+
+// fromDecision copies the decision's rule-matching evidence into the
+// trace.
+func (t *DecisionTrace) fromDecision(d enforce.Decision) {
+	t.Allowed = d.Allowed
+	t.DenyReason = d.DenyReason
+	t.CacheHit = d.FromCache
+	if d.Allowed {
+		t.Granularity = d.Granularity.String()
+	}
+	if d.OverridePolicyID != "" {
+		t.MatchedPolicies = append(t.MatchedPolicies, d.OverridePolicyID)
+	}
+	t.MatchedPreferences = append(t.MatchedPreferences, d.MatchedPreferences...)
+	t.MatchedDefaults = append(t.MatchedDefaults, d.MatchedDefaults...)
+	t.Overridden = append(t.Overridden, d.Overridden...)
+}
+
+// traceRing is a fixed-capacity ring buffer of recent traces.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []DecisionTrace
+	next int // index of the slot the next record lands in
+	full bool
+	seq  uint64
+}
+
+func newTraceRing(capacity int) *traceRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &traceRing{buf: make([]DecisionTrace, capacity)}
+}
+
+// record assigns the trace its sequence number and stores it.
+func (r *traceRing) record(t *DecisionTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	t.ID = r.seq
+	r.buf[r.next] = *t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// recent returns up to n traces, newest first. n <= 0 means all
+// retained traces.
+func (r *traceRing) recent(n int, match func(DecisionTrace) bool) []DecisionTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]DecisionTrace, 0, n)
+	for i := 1; i <= size && len(out) < n; i++ {
+		idx := (r.next - i + len(r.buf)) % len(r.buf)
+		t := r.buf[idx]
+		if match == nil || match(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// newTrace starts a trace for a request.
+func (b *BMS) newTrace(path string, req enforce.Request) DecisionTrace {
+	return DecisionTrace{
+		Time:      b.clock(),
+		Path:      path,
+		ServiceID: req.ServiceID,
+		SubjectID: req.SubjectID,
+		ObsKind:   string(req.Kind),
+		Purpose:   string(req.Purpose),
+		Engine:    enforce.EngineName(b.engine),
+		Strategy:  b.reason.Strategy().String(),
+	}
+}
+
+// finishTrace stamps the total latency, records the trace in the
+// ring, and returns a stable pointer for the response.
+func (b *BMS) finishTrace(t *DecisionTrace, started time.Time) *DecisionTrace {
+	t.TotalMicros = time.Since(started).Microseconds()
+	b.traces.record(t)
+	out := *t
+	return &out
+}
+
+// RecentTraces returns up to n decision traces, newest first (n <= 0
+// returns all retained traces).
+func (b *BMS) RecentTraces(n int) []DecisionTrace {
+	return b.traces.recent(n, nil)
+}
+
+// TracesForSubject returns up to n retained traces whose subject is
+// userID, newest first.
+func (b *BMS) TracesForSubject(userID string, n int) []DecisionTrace {
+	return b.traces.recent(n, func(t DecisionTrace) bool { return t.SubjectID == userID })
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/tippers/tippers/internal/policy"
 	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // Cached wraps another engine with a decision memo — the third arm of
@@ -35,8 +36,8 @@ type Cached struct {
 	mu    sync.RWMutex
 	memo  map[cacheKey]Decision
 	epoch uint64
-	hits  uint64
-	miss  uint64
+	hits  *telemetry.Counter
+	miss  *telemetry.Counter
 
 	// maxEntries bounds memory; at the cap the memo is reset (simple
 	// and effective for cyclic workloads).
@@ -67,6 +68,8 @@ func NewCached(inner Engine, maxEntries int) *Cached {
 		inner:      inner,
 		memo:       make(map[cacheKey]Decision),
 		maxEntries: maxEntries,
+		hits:       telemetry.NewCounter(),
+		miss:       telemetry.NewCounter(),
 	}
 }
 
@@ -111,9 +114,33 @@ func (c *Cached) invalidate() {
 
 // Stats returns (hits, misses) since construction.
 func (c *Cached) Stats() (hits, misses uint64) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.hits, c.miss
+	return c.hits.Value(), c.miss.Value()
+}
+
+// RegisterMetrics exposes the memo's hit/miss counters, current size,
+// and hit ratio on a telemetry registry.
+func (c *Cached) RegisterMetrics(r *telemetry.Registry) {
+	r.CounterFunc("tippers_enforce_cache_hits_total",
+		"Decision-cache hits.", func() float64 { return float64(c.hits.Value()) })
+	r.CounterFunc("tippers_enforce_cache_misses_total",
+		"Decision-cache misses (inner engine consulted).", func() float64 { return float64(c.miss.Value()) })
+	r.GaugeFunc("tippers_enforce_cache_entries",
+		"Memoized decisions currently held.", func() float64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			return float64(len(c.memo))
+		})
+	r.GaugeFunc("tippers_enforce_cache_hit_ratio",
+		"Fraction of decisions served from the memo.", func() float64 {
+			h, m := c.hits.Value(), c.miss.Value()
+			if h+m == 0 {
+				return 0
+			}
+			return float64(h) / float64(h+m)
+		})
+	if reg, ok := c.inner.(metricsRegisterer); ok {
+		reg.RegisterMetrics(r)
+	}
 }
 
 // Decide implements Engine with memoization.
@@ -143,16 +170,15 @@ func (c *Cached) Decide(req Request, subjectGroups []profile.Group) Decision {
 	d, ok := c.memo[key]
 	c.mu.RUnlock()
 	if ok {
-		c.mu.Lock()
-		c.hits++
-		c.mu.Unlock()
+		c.hits.Inc()
+		d.FromCache = true
 		return d
 	}
 
 	d = c.inner.Decide(req, subjectGroups)
 
 	c.mu.Lock()
-	c.miss++
+	c.miss.Inc()
 	// Only notification-free decisions are safe to replay.
 	if len(d.Notifications) == 0 && key.epoch == c.epoch {
 		if len(c.memo) >= c.maxEntries {

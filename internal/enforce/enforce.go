@@ -84,6 +84,13 @@ type Decision struct {
 	// Overridden lists preference IDs a safety-critical policy
 	// overrode.
 	Overridden []string
+	// OverridePolicyID names the safety-critical policy that forced
+	// release, when one did. Decision traces surface it as the
+	// matched policy.
+	OverridePolicyID string
+	// FromCache reports that this decision was replayed from a memo
+	// (set by Cached); the per-request trace exposes it.
+	FromCache bool
 	// Notifications carries the user notifications this decision
 	// generated.
 	Notifications []Notification
@@ -239,6 +246,7 @@ func (e *evaluator) decide(req Request, subjectGroups []profile.Group, candPolic
 		if winner != nil {
 			bp := *winner
 			// Override applies: release proceeds, users are notified.
+			d.OverridePolicyID = bp.ID
 			d.Allowed = true
 			d.Effective = policy.Rule{Action: policy.ActionAllow}
 			d.Granularity = reqGran.Min(declaredGran)

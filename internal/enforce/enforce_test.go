@@ -313,6 +313,7 @@ func TestGroupScopedPreference(t *testing.T) {
 func normalizeDecision(d Decision) Decision {
 	d.PoliciesConsulted = 0
 	d.PreferencesConsulted = 0
+	d.FromCache = false
 	sort.Strings(d.MatchedPreferences)
 	sort.Strings(d.Overridden)
 	sort.Slice(d.Notifications, func(i, j int) bool {

@@ -1,0 +1,130 @@
+package enforce
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/telemetry"
+)
+
+func TestEngineName(t *testing.T) {
+	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
+	naive := NewNaive(cfg)
+	indexed := NewIndexed(cfg)
+	cached := NewCached(indexed, 0)
+	reg := telemetry.NewRegistry()
+	instr := Instrument(cached, reg)
+
+	cases := map[Engine]string{
+		naive:   "naive",
+		indexed: "indexed",
+		cached:  "cached(indexed)",
+		instr:   "cached(indexed)", // unwraps to the real flavor
+	}
+	for e, want := range cases {
+		if got := EngineName(e); got != want {
+			t.Errorf("EngineName(%T) = %q, want %q", e, got, want)
+		}
+	}
+}
+
+func TestInstrumentedCountsOutcomes(t *testing.T) {
+	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
+	inner := NewIndexed(cfg)
+	if err := inner.AddPreference(policy.Preference{
+		ID: "pref-deny", UserID: "mary",
+		Scope: policy.Scope{ServiceID: "concierge"},
+		Rule:  policy.Rule{Action: policy.ActionDeny},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	e := Instrument(inner, reg)
+
+	denied := e.Decide(baseRequest(), nil)
+	if denied.Allowed {
+		t.Fatal("expected denial")
+	}
+	other := baseRequest()
+	other.SubjectID = "bob"
+	if d := e.Decide(other, nil); !d.Allowed {
+		t.Fatalf("expected allow, got %+v", d)
+	}
+
+	var decisions, denials float64
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "tippers_enforce_decisions_total":
+			decisions = s.Value
+		case "tippers_enforce_denials_total":
+			denials = s.Value
+		}
+	}
+	if decisions != 2 || denials != 1 {
+		t.Errorf("decisions=%v denials=%v, want 2/1", decisions, denials)
+	}
+}
+
+// benchEngine builds an indexed engine with a realistic rule
+// population: pop subjects, each with a couple of preferences, plus a
+// handful of building policies — the E2 hot-path shape.
+func benchEngine(b *testing.B, pop int) Engine {
+	b.Helper()
+	cfg := Config{Spaces: testModel(b), Services: testServices(b), DefaultAllow: true}
+	e := NewIndexed(cfg)
+	for i := 0; i < pop; i++ {
+		user := fmt.Sprintf("u%04d", i)
+		if err := e.AddPreference(policy.Preference{
+			ID: "pref-coarse-" + user, UserID: user,
+			Scope: policy.Scope{ServiceID: "concierge"},
+			Rule:  policy.Rule{Action: policy.ActionLimit, MaxGranularity: policy.GranBuilding},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := e.AddPreference(policy.Preference{
+				ID: "pref-deny-analytics-" + user, UserID: user,
+				Scope: policy.Scope{Purposes: []policy.Purpose{policy.PurposeAnalytics}},
+				Rule:  policy.Rule{Action: policy.ActionDeny},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.AddPolicy(policy.Policy2EmergencyLocation("dbh")); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkTelemetryOverhead compares the bare indexed engine against
+// the same engine behind the Instrumented wrapper (histogram +
+// counters per decision). The wrapper must stay cheap — single-digit
+// percent on the E2 hot path — for always-on instrumentation to be
+// defensible.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	const pop = 200
+	req := baseRequest()
+
+	b.Run("bare", func(b *testing.B) {
+		e := benchEngine(b, pop)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := req
+			r.SubjectID = fmt.Sprintf("u%04d", i%pop)
+			_ = e.Decide(r, nil)
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		e := Instrument(benchEngine(b, pop), telemetry.NewRegistry())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := req
+			r.SubjectID = fmt.Sprintf("u%04d", i%pop)
+			_ = e.Decide(r, nil)
+		}
+	})
+}

@@ -89,8 +89,45 @@ type DecisionDTO struct {
 	Granularity        string            `json:"granularity,omitempty"`
 	DenyReason         string            `json:"deny_reason,omitempty"`
 	MatchedPreferences []string          `json:"matched_preferences,omitempty"`
+	MatchedDefaults    []string          `json:"matched_defaults,omitempty"`
+	MatchedPolicy      string            `json:"matched_policy,omitempty"`
 	Overridden         []string          `json:"overridden,omitempty"`
+	CacheHit           bool              `json:"cache_hit,omitempty"`
 	Notifications      []NotificationDTO `json:"notifications,omitempty"`
+}
+
+// TraceStageDTO is the wire form of one timed request phase.
+type TraceStageDTO struct {
+	Name           string `json:"name"`
+	DurationMicros int64  `json:"duration_us"`
+}
+
+// DecisionTraceDTO is the wire form of core.DecisionTrace: the
+// span-like record of one enforcement decision, with matched rule
+// IDs and per-stage timings.
+type DecisionTraceDTO struct {
+	ID                   uint64          `json:"id"`
+	Time                 time.Time       `json:"time"`
+	Path                 string          `json:"path"`
+	ServiceID            string          `json:"service_id,omitempty"`
+	SubjectID            string          `json:"subject_id,omitempty"`
+	ObsKind              string          `json:"obs_kind,omitempty"`
+	Purpose              string          `json:"purpose,omitempty"`
+	Engine               string          `json:"engine"`
+	Strategy             string          `json:"strategy"`
+	Allowed              bool            `json:"allowed"`
+	DenyReason           string          `json:"deny_reason,omitempty"`
+	Granularity          string          `json:"granularity,omitempty"`
+	CacheHit             bool            `json:"cache_hit"`
+	MatchedPolicies      []string        `json:"matched_policies,omitempty"`
+	MatchedPreferences   []string        `json:"matched_preferences,omitempty"`
+	MatchedDefaults      []string        `json:"matched_defaults,omitempty"`
+	Overridden           []string        `json:"overridden,omitempty"`
+	SubjectsConsidered   int             `json:"subjects_considered,omitempty"`
+	SubjectsReleased     int             `json:"subjects_released,omitempty"`
+	ObservationsReleased int             `json:"observations_released,omitempty"`
+	Stages               []TraceStageDTO `json:"stages"`
+	TotalMicros          int64           `json:"total_us"`
 }
 
 // ObservationDTO is the wire form of sensor.Observation.
@@ -114,11 +151,12 @@ type AggregateDTO struct {
 
 // ResponseDTO is the wire form of core.Response.
 type ResponseDTO struct {
-	Decision           DecisionDTO      `json:"decision"`
-	Observations       []ObservationDTO `json:"observations,omitempty"`
-	Aggregates         []AggregateDTO   `json:"aggregates,omitempty"`
-	SubjectsConsidered int              `json:"subjects_considered,omitempty"`
-	SubjectsReleased   int              `json:"subjects_released,omitempty"`
+	Decision           DecisionDTO       `json:"decision"`
+	Observations       []ObservationDTO  `json:"observations,omitempty"`
+	Aggregates         []AggregateDTO    `json:"aggregates,omitempty"`
+	SubjectsConsidered int               `json:"subjects_considered,omitempty"`
+	SubjectsReleased   int               `json:"subjects_released,omitempty"`
+	Trace              *DecisionTraceDTO `json:"trace,omitempty"`
 }
 
 // StatsDTO is the wire form of core.Stats.
@@ -300,7 +338,10 @@ func decisionToDTO(d enforce.Decision) DecisionDTO {
 		Allowed:            d.Allowed,
 		DenyReason:         d.DenyReason,
 		MatchedPreferences: d.MatchedPreferences,
+		MatchedDefaults:    d.MatchedDefaults,
+		MatchedPolicy:      d.OverridePolicyID,
 		Overridden:         d.Overridden,
+		CacheHit:           d.FromCache,
 	}
 	if d.Granularity.Valid() {
 		out.Granularity = d.Granularity.String()
@@ -352,6 +393,40 @@ func responseToDTO(r core.Response) ResponseDTO {
 	for _, a := range r.Aggregates {
 		out.Aggregates = append(out.Aggregates, aggregateToDTO(a))
 	}
+	if r.Trace != nil {
+		t := traceToDTO(*r.Trace)
+		out.Trace = &t
+	}
+	return out
+}
+
+func traceToDTO(t core.DecisionTrace) DecisionTraceDTO {
+	out := DecisionTraceDTO{
+		ID:                   t.ID,
+		Time:                 t.Time,
+		Path:                 t.Path,
+		ServiceID:            t.ServiceID,
+		SubjectID:            t.SubjectID,
+		ObsKind:              t.ObsKind,
+		Purpose:              t.Purpose,
+		Engine:               t.Engine,
+		Strategy:             t.Strategy,
+		Allowed:              t.Allowed,
+		DenyReason:           t.DenyReason,
+		Granularity:          t.Granularity,
+		CacheHit:             t.CacheHit,
+		MatchedPolicies:      t.MatchedPolicies,
+		MatchedPreferences:   t.MatchedPreferences,
+		MatchedDefaults:      t.MatchedDefaults,
+		Overridden:           t.Overridden,
+		SubjectsConsidered:   t.SubjectsConsidered,
+		SubjectsReleased:     t.SubjectsReleased,
+		ObservationsReleased: t.ObservationsReleased,
+		TotalMicros:          t.TotalMicros,
+	}
+	for _, s := range t.Stages {
+		out.Stages = append(out.Stages, TraceStageDTO{Name: s.Name, DurationMicros: s.DurationMicros})
+	}
 	return out
 }
 
@@ -384,11 +459,12 @@ type AuditEntryDTO struct {
 
 // AuditDTO is the wire form of a user's transparency report.
 type AuditDTO struct {
-	UserID           string          `json:"user_id"`
-	GeneratedAt      time.Time       `json:"generated_at"`
-	Preferences      int             `json:"preferences"`
-	OverridePolicies []string        `json:"override_policies,omitempty"`
-	Entries          []AuditEntryDTO `json:"entries"`
+	UserID           string             `json:"user_id"`
+	GeneratedAt      time.Time          `json:"generated_at"`
+	Preferences      int                `json:"preferences"`
+	OverridePolicies []string           `json:"override_policies,omitempty"`
+	Entries          []AuditEntryDTO    `json:"entries"`
+	RecentTraces     []DecisionTraceDTO `json:"recent_traces,omitempty"`
 }
 
 func auditToDTO(a core.Audit) AuditDTO {
@@ -397,6 +473,9 @@ func auditToDTO(a core.Audit) AuditDTO {
 		GeneratedAt:      a.GeneratedAt,
 		Preferences:      a.Preferences,
 		OverridePolicies: a.OverridePolicies,
+	}
+	for _, t := range a.RecentTraces {
+		out.RecentTraces = append(out.RecentTraces, traceToDTO(t))
 	}
 	for _, e := range a.Entries {
 		dto := AuditEntryDTO{

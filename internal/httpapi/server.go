@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/tippers/tippers/internal/core"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // maxBodyBytes bounds request bodies; policy documents and batches
@@ -28,8 +29,10 @@ const maxBodyBytes = 10 << 20
 //	POST   /v1/requests/user             single-subject data request
 //	POST   /v1/requests/occupancy?k=K    aggregate occupancy request
 //	GET    /v1/stats                     pipeline counters
+//	GET    /v1/traces?user=U&n=N         recent decision traces
 type Server struct {
-	bms *core.BMS
+	bms     *core.BMS
+	metrics *telemetry.Registry
 }
 
 // NewServer wraps a BMS.
@@ -37,24 +40,65 @@ func NewServer(bms *core.BMS) *Server {
 	return &Server{bms: bms}
 }
 
+// WithMetrics makes Handler wrap every route with per-route
+// count/latency/status metrics (tippers_http_*) on r. Returns s for
+// chaining.
+func (s *Server) WithMetrics(r *telemetry.Registry) *Server {
+	s.metrics = r
+	return s
+}
+
 // Handler returns the API mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
-	mux.HandleFunc("GET /v1/preferences", s.handleListPreferences)
-	mux.HandleFunc("PUT /v1/preferences", s.handleSetPreference)
-	mux.HandleFunc("DELETE /v1/preferences/{id}", s.handleDeletePreference)
-	mux.HandleFunc("GET /v1/notifications", s.handleNotifications)
-	mux.HandleFunc("GET /v1/conflicts", s.handleConflicts)
-	mux.HandleFunc("POST /v1/observations", s.handleIngest)
-	mux.HandleFunc("POST /v1/requests/user", s.handleRequestUser)
-	mux.HandleFunc("POST /v1/requests/occupancy", s.handleRequestOccupancy)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/settings", s.handleSettings)
-	mux.HandleFunc("POST /v1/settings", s.handleSettings)
-	mux.HandleFunc("GET /v1/audit", s.handleAudit)
-	mux.HandleFunc("DELETE /v1/users/{id}/data", s.handleForget)
+	handle := func(pattern string, h http.HandlerFunc) {
+		if s.metrics != nil {
+			mux.Handle(pattern, telemetry.InstrumentHandler(s.metrics, "tippers_http", pattern, h))
+			return
+		}
+		mux.HandleFunc(pattern, h)
+	}
+	handle("GET /v1/policies", s.handlePolicies)
+	handle("GET /v1/preferences", s.handleListPreferences)
+	handle("PUT /v1/preferences", s.handleSetPreference)
+	handle("DELETE /v1/preferences/{id}", s.handleDeletePreference)
+	handle("GET /v1/notifications", s.handleNotifications)
+	handle("GET /v1/conflicts", s.handleConflicts)
+	handle("POST /v1/observations", s.handleIngest)
+	handle("POST /v1/requests/user", s.handleRequestUser)
+	handle("POST /v1/requests/occupancy", s.handleRequestOccupancy)
+	handle("GET /v1/stats", s.handleStats)
+	handle("GET /v1/settings", s.handleSettings)
+	handle("POST /v1/settings", s.handleSettings)
+	handle("GET /v1/audit", s.handleAudit)
+	handle("DELETE /v1/users/{id}/data", s.handleForget)
+	handle("GET /v1/traces", s.handleTraces)
 	return mux
+}
+
+// handleTraces returns recent decision traces, newest first.
+// Query: user=U filters by subject; n=N caps the count (default 50).
+func (s *Server) handleTraces(w http.ResponseWriter, req *http.Request) {
+	n := 50
+	if nStr := req.URL.Query().Get("n"); nStr != "" {
+		v, err := strconv.Atoi(nStr)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", nStr))
+			return
+		}
+		n = v
+	}
+	var traces []core.DecisionTrace
+	if user := req.URL.Query().Get("user"); user != "" {
+		traces = s.bms.TracesForSubject(user, n)
+	} else {
+		traces = s.bms.RecentTraces(n)
+	}
+	out := make([]DecisionTraceDTO, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, traceToDTO(t))
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // errorBody is the uniform error payload.

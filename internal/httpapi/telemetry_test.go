@@ -1,0 +1,239 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/core"
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/service"
+	"github.com/tippers/tippers/internal/spatial"
+	"github.com/tippers/tippers/internal/telemetry"
+)
+
+// newObservedServer wires a BMS onto a shared telemetry registry and
+// serves the instrumented API plus the observability endpoints, the
+// way tippersd mounts them.
+func newObservedServer(t testing.TB) (*core.BMS, *Client, *httptest.Server) {
+	t.Helper()
+	spaces := spatial.NewModel()
+	spaces.MustAdd("", spatial.Space{ID: "dbh", Kind: spatial.KindBuilding})
+	spaces.MustAdd("dbh", spatial.Space{ID: "dbh/1", Kind: spatial.KindFloor, Floor: 1})
+	spaces.MustAdd("dbh/1", spatial.Space{ID: "dbh/1/r0", Kind: spatial.KindRoom, Floor: 1})
+
+	users := profile.NewDirectory()
+	users.MustAdd(profile.User{
+		ID: "mary", Profiles: []profile.Profile{{Group: profile.GroupGradStudent}},
+		DeviceMACs: []string{"aa:00:00:00:00:01"},
+	})
+
+	sensors := sensor.NewRegistry()
+	sensors.MustAdd(sensor.MustNew("ap-1", sensor.TypeWiFiAP, "dbh/1/r0"))
+
+	services := service.NewRegistry()
+	services.MustRegister(service.Concierge())
+
+	reg := telemetry.NewRegistry()
+	bms, err := core.New(core.Config{
+		Spaces: spaces, Users: users, Sensors: sensors, Services: services,
+		DefaultAllow: true,
+		Clock:        func() time.Time { return testNow },
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bms.Close)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", NewServer(bms).WithMetrics(reg).Handler())
+	reg.Mount(mux, false)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return bms, NewClient(srv.URL, nil), srv
+}
+
+// TestStatsJSONBackwardCompat pins the exact /v1/stats field names:
+// tools scripted against the pre-telemetry daemon must keep working
+// after the Stats migration onto the registry.
+func TestStatsJSONBackwardCompat(t *testing.T) {
+	_, client, srv := newObservedServer(t)
+	ctx := context.Background()
+
+	if _, err := client.Ingest(ctx, []ObservationDTO{wifiObs("aa:00:00:00:00:01", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatalf("decoding %s: %v", raw, err)
+	}
+	for _, name := range []string{
+		"ingested", "dropped_disabled", "dropped_unlogged", "pseudonymized",
+		"requests_decided", "requests_denied", "notifications_sent",
+	} {
+		if _, ok := fields[name]; !ok {
+			t.Errorf("/v1/stats missing field %q (got %s)", name, raw)
+		}
+	}
+	var ingested uint64
+	if err := json.Unmarshal(fields["ingested"], &ingested); err != nil || ingested != 1 {
+		t.Errorf("ingested = %s, %v, want 1", fields["ingested"], err)
+	}
+}
+
+// TestMetricsEndpoint drives traffic through the API and asserts
+// /metrics exposes at least one counter, one gauge, and one histogram
+// contributed by three different packages (core, obstore, http
+// middleware).
+func TestMetricsEndpoint(t *testing.T) {
+	_, client, srv := newObservedServer(t)
+	ctx := context.Background()
+
+	if _, err := client.Ingest(ctx, []ObservationDTO{wifiObs("aa:00:00:00:00:01", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.RequestUser(ctx, enforce.Request{
+		ServiceID: "concierge", Purpose: policy.PurposeProvidingService,
+		Kind: sensor.ObsWiFiConnect, SubjectID: "mary", Time: testNow,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		// counter from internal/core
+		"# TYPE tippers_core_ingested_total counter",
+		"tippers_core_ingested_total 1",
+		// gauge from internal/obstore
+		"# TYPE tippers_obstore_live_observations gauge",
+		// histogram from internal/core's enforcement timing
+		"# TYPE tippers_enforce_decide_seconds histogram",
+		// histogram from the HTTP middleware
+		"# TYPE tippers_http_request_seconds histogram",
+		`tippers_http_requests_total{code="200",route="POST /v1/observations"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /debug/vars serves the same registry as JSON.
+	res2, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	var vars []map[string]any
+	if err := json.NewDecoder(res2.Body).Decode(&vars); err != nil {
+		t.Fatalf("decoding /debug/vars: %v", err)
+	}
+	if len(vars) == 0 {
+		t.Error("/debug/vars empty")
+	}
+}
+
+// TestDecisionTraceOverHTTP asserts a user-data request's response
+// carries a decision trace naming the matched preference and stage
+// timings, and that the audit endpoint surfaces recent traces.
+func TestDecisionTraceOverHTTP(t *testing.T) {
+	_, client, srv := newObservedServer(t)
+	ctx := context.Background()
+
+	if _, err := client.Ingest(ctx, []ObservationDTO{wifiObs("aa:00:00:00:00:01", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetPreference(policy.CoarseLocationPreference("mary", "concierge")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.RequestUser(ctx, enforce.Request{
+		ServiceID: "concierge", Purpose: policy.PurposeProvidingService,
+		Kind: sensor.ObsWiFiConnect, SubjectID: "mary", Time: testNow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := resp.Trace
+	if tr == nil {
+		t.Fatal("response has no trace")
+	}
+	if tr.Path != "user" || tr.SubjectID != "mary" || tr.ServiceID != "concierge" {
+		t.Errorf("trace identity = %+v", tr)
+	}
+	if !tr.Allowed || tr.Granularity != "building" {
+		t.Errorf("trace outcome = allowed=%v granularity=%q", tr.Allowed, tr.Granularity)
+	}
+	if len(tr.MatchedPreferences) != 1 || !strings.Contains(tr.MatchedPreferences[0], "mary") {
+		t.Errorf("trace matched preferences = %v", tr.MatchedPreferences)
+	}
+	if tr.Engine == "" || tr.Strategy == "" {
+		t.Errorf("trace engine/strategy empty: %+v", tr)
+	}
+	wantStages := []string{"decide", "fetch", "apply"}
+	if len(tr.Stages) != len(wantStages) {
+		t.Fatalf("trace stages = %+v", tr.Stages)
+	}
+	for i, s := range tr.Stages {
+		if s.Name != wantStages[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.Name, wantStages[i])
+		}
+		if s.DurationMicros < 0 {
+			t.Errorf("stage %q negative duration", s.Name)
+		}
+	}
+
+	// The audit endpoint replays the retained trace.
+	report, err := client.Audit(ctx, "mary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.RecentTraces) == 0 {
+		t.Fatal("audit has no recent traces")
+	}
+	if report.RecentTraces[0].ID != tr.ID {
+		t.Errorf("audit trace ID = %d, want %d", report.RecentTraces[0].ID, tr.ID)
+	}
+
+	// /v1/traces lists it too, newest first.
+	res, err := http.Get(srv.URL + "/v1/traces?user=mary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var traces []DecisionTraceDTO
+	if err := json.NewDecoder(res.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 || traces[0].ID != tr.ID {
+		t.Errorf("/v1/traces = %+v", traces)
+	}
+}

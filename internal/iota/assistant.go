@@ -11,6 +11,7 @@ import (
 
 	"github.com/tippers/tippers/internal/policy"
 	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // PreferenceSink is where configured preferences go: an in-process
@@ -65,6 +66,37 @@ type Assistant struct {
 	usedToday  int
 	notices    []Notice
 	suppressed int
+	// suppressedBudget counts suppressions caused specifically by the
+	// exhausted daily fatigue budget (vs. low relevance).
+	suppressedBudget int
+	autoConfigured   int
+}
+
+// RegisterMetrics exposes the assistant's notification economy on a
+// telemetry registry, labeled by user: notices surfaced, resources
+// digested silently (split by cause — relevance floor vs. exhausted
+// fatigue budget), and auto-configured preferences.
+func (a *Assistant) RegisterMetrics(r *telemetry.Registry) {
+	labels := telemetry.Labels{"user": a.cfg.UserID}
+	count := func(f func() int) func() float64 {
+		return func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return float64(f())
+		}
+	}
+	r.CounterFuncWith("tippers_iota_notices_total",
+		"Notifications surfaced to the user.", labels,
+		count(func() int { return len(a.notices) }))
+	r.CounterFuncWith("tippers_iota_suppressed_total",
+		"Fresh resources digested without notifying.", labels,
+		count(func() int { return a.suppressed }))
+	r.CounterFuncWith("tippers_iota_suppressed_by_budget_total",
+		"Suppressions caused by the exhausted daily fatigue budget.", labels,
+		count(func() int { return a.suppressedBudget }))
+	r.CounterFuncWith("tippers_iota_autoconfigured_total",
+		"Preferences pushed to the sink by auto-configuration.", labels,
+		count(func() int { return a.autoConfigured }))
 }
 
 // New constructs an assistant.
@@ -179,6 +211,7 @@ func (a *Assistant) ProcessDocument(doc policy.ResourceDocument) []Notice {
 		}
 		if a.usedToday >= a.cfg.DailyBudget {
 			a.suppressed++
+			a.suppressedBudget++
 			continue
 		}
 		a.usedToday++
@@ -276,6 +309,9 @@ func (a *Assistant) AutoConfigure(res policy.Resource, minConfidence float64) (p
 	if err := a.cfg.Sink.SetPreference(pref); err != nil {
 		return 0, false, err
 	}
+	a.mu.Lock()
+	a.autoConfigured++
+	a.mu.Unlock()
 	return g, true, nil
 }
 

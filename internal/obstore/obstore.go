@@ -20,6 +20,7 @@ import (
 
 	"github.com/tippers/tippers/internal/isodur"
 	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // Filter selects observations. Zero fields match everything, so the
@@ -69,17 +70,61 @@ type Store struct {
 	hasDefault   bool
 	totalIngests uint64
 	totalSwept   uint64
+	compactions  uint64
+
+	// sweepSeconds times retention sweeps (storage-time enforcement
+	// cost); it works standalone and is exposed via RegisterMetrics.
+	sweepSeconds *telemetry.Histogram
 }
 
 // New returns an empty store with no retention rules (observations
 // are kept forever until rules are installed).
 func New() *Store {
 	return &Store{
-		bySeq:    make(map[uint64]sensor.Observation),
-		bySensor: make(map[string][]uint64),
-		byUser:   make(map[string][]uint64),
-		byKind:   make(map[sensor.ObservationKind][]uint64),
+		bySeq:        make(map[uint64]sensor.Observation),
+		bySensor:     make(map[string][]uint64),
+		byUser:       make(map[string][]uint64),
+		byKind:       make(map[sensor.ObservationKind][]uint64),
+		sweepSeconds: telemetry.NewHistogram(nil),
 	}
+}
+
+// RegisterMetrics exposes the store's counters on a telemetry
+// registry: cumulative ingests and sweep deletions, live and
+// tombstoned observation counts, compactions, and sweep latency.
+func (s *Store) RegisterMetrics(r *telemetry.Registry) {
+	r.CounterFunc("tippers_obstore_ingested_total",
+		"Observations appended to the store.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.totalIngests)
+		})
+	r.CounterFunc("tippers_obstore_swept_total",
+		"Observations deleted by retention sweeps and erasure.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.totalSwept)
+		})
+	r.CounterFunc("tippers_obstore_compactions_total",
+		"Index compaction passes (the store's GC).", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.compactions)
+		})
+	r.GaugeFunc("tippers_obstore_live_observations",
+		"Observations currently stored.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.bySeq))
+		})
+	r.GaugeFunc("tippers_obstore_tombstones",
+		"Deleted sequence numbers awaiting compaction.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.dead)
+		})
+	r.RegisterHistogram("tippers_obstore_sweep_seconds",
+		"Retention sweep duration.", nil, s.sweepSeconds)
 }
 
 // ErrZeroTime reports an ingest with an unset timestamp; retention
@@ -303,8 +348,10 @@ func (s *Store) expiry(o sensor.Observation) (time.Time, bool) {
 // before now, returning the number deleted. It is the storage-time
 // enforcement pass; the BMS core runs it periodically.
 func (s *Store) Sweep(now time.Time) int {
+	t0 := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.sweepSeconds.ObserveSince(t0)
 	removed := 0
 	for seq, o := range s.bySeq {
 		exp, ok := s.expiry(o)
@@ -384,6 +431,7 @@ func (s *Store) compactLocked() {
 		s.byKind[sensor.ObservationKind(k)] = v
 	}
 	s.dead = 0
+	s.compactions++
 }
 
 // Users returns the distinct attributed user IDs present in the

@@ -16,9 +16,11 @@ package reasoner
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/tippers/tippers/internal/policy"
 	"github.com/tippers/tippers/internal/spatial"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // ConflictKind classifies a detected conflict.
@@ -123,6 +125,12 @@ type Conflict struct {
 type Reasoner struct {
 	spaces   *spatial.Model
 	strategy Strategy
+
+	// Detection counters by conflict kind plus pass timing, exposed
+	// via RegisterMetrics.
+	policyVsPref  *telemetry.Counter
+	prefVsPref    *telemetry.Counter
+	detectSeconds *telemetry.Histogram
 }
 
 // New returns a reasoner resolving under the given strategy over the
@@ -132,7 +140,29 @@ func New(spaces *spatial.Model, strategy Strategy) *Reasoner {
 	if strategy == 0 {
 		strategy = MostRestrictive
 	}
-	return &Reasoner{spaces: spaces, strategy: strategy}
+	return &Reasoner{
+		spaces:        spaces,
+		strategy:      strategy,
+		policyVsPref:  telemetry.NewCounter(),
+		prefVsPref:    telemetry.NewCounter(),
+		detectSeconds: telemetry.NewHistogram(nil),
+	}
+}
+
+// RegisterMetrics exposes conflict-detection counters (by conflict
+// kind) and detection-pass latency on a telemetry registry — the E3
+// experiment's cost metric, live.
+func (r *Reasoner) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFuncWith("tippers_reasoner_conflicts_total",
+		"Conflicts detected, by kind.",
+		telemetry.Labels{"kind": PolicyVsPreference.String()},
+		func() float64 { return float64(r.policyVsPref.Value()) })
+	reg.CounterFuncWith("tippers_reasoner_conflicts_total",
+		"Conflicts detected, by kind.",
+		telemetry.Labels{"kind": PreferenceVsPreference.String()},
+		func() float64 { return float64(r.prefVsPref.Value()) })
+	reg.RegisterHistogram("tippers_reasoner_detect_seconds",
+		"Full conflict-detection pass latency.", nil, r.detectSeconds)
 }
 
 // Strategy returns the reasoner's resolution strategy.
@@ -142,6 +172,8 @@ func (r *Reasoner) Strategy() Strategy { return r.strategy }
 // installed preferences, plus intra-user preference contradictions,
 // resolving each. Results are sorted for deterministic output.
 func (r *Reasoner) Detect(policies []policy.BuildingPolicy, prefs []policy.Preference) []Conflict {
+	t0 := time.Now()
+	defer r.detectSeconds.ObserveSince(t0)
 	var out []Conflict
 	for _, bp := range policies {
 		if bp.Kind != policy.KindCollection && bp.Kind != policy.KindDisclosure {
@@ -151,6 +183,7 @@ func (r *Reasoner) Detect(policies []policy.BuildingPolicy, prefs []policy.Prefe
 		}
 		for _, pref := range prefs {
 			if c, ok := r.policyPreferenceConflict(bp, pref); ok {
+				r.policyVsPref.Inc()
 				out = append(out, c)
 			}
 		}
@@ -169,6 +202,7 @@ func (r *Reasoner) Detect(policies []policy.BuildingPolicy, prefs []policy.Prefe
 		for i := 0; i < len(list); i++ {
 			for j := i + 1; j < len(list); j++ {
 				if c, ok := r.preferencePairConflict(list[i], list[j]); ok {
+					r.prefVsPref.Inc()
 					out = append(out, c)
 				}
 			}

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+	"os"
+)
+
+// LogConfig parameterizes the shared daemon logging setup.
+type LogConfig struct {
+	// Component tags every record (tippersd, irrd, simload, iotactl).
+	Component string
+	// Verbose lowers the level from Info to Debug (the -v flag).
+	Verbose bool
+	// JSON selects machine-readable output (the -log-format=json
+	// flag); default is the human text handler.
+	JSON bool
+	// Output defaults to os.Stderr, keeping stdout free for data
+	// output (iotactl prints reports there).
+	Output io.Writer
+}
+
+// NewLogger builds a slog.Logger per cfg.
+func NewLogger(cfg LogConfig) *slog.Logger {
+	w := cfg.Output
+	if w == nil {
+		w = os.Stderr
+	}
+	level := slog.LevelInfo
+	if cfg.Verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if cfg.JSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	l := slog.New(h)
+	if cfg.Component != "" {
+		l = l.With("component", cfg.Component)
+	}
+	return l
+}
+
+// SetupLogger builds the logger and installs it as the process
+// default, so package-level slog calls inherit the daemon's setup.
+func SetupLogger(cfg LogConfig) *slog.Logger {
+	l := NewLogger(cfg)
+	slog.SetDefault(l)
+	return l
+}

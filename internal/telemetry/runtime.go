@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntimeMetrics exposes process-level gauges every daemon
+// wants on a dashboard: goroutine count, heap usage, GC cycles, and
+// uptime. ReadMemStats runs per scrape, which is fine at human scrape
+// intervals.
+func RegisterRuntimeMetrics(r *Registry) {
+	start := time.Now()
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+	r.GaugeFunc("process_uptime_seconds", "Seconds since process start.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+}

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden locks the exposition format byte for
+// byte: HELP/TYPE comments, deterministic ordering by (name, labels),
+// cumulative histogram buckets, and label escaping.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_z_total", "Z counter.").Add(3)
+	r.CounterWith("app_requests_total", "Requests by route.", Labels{"route": "b", "code": "200"}).Add(2)
+	r.CounterWith("app_requests_total", "Requests by route.", Labels{"route": "a", "code": "200"}).Inc()
+	r.Gauge("app_live", "Live items.").Set(4.5)
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5) // +Inf bucket
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.01"} 1
+app_latency_seconds_bucket{le="0.1"} 3
+app_latency_seconds_bucket{le="1"} 3
+app_latency_seconds_bucket{le="+Inf"} 4
+app_latency_seconds_sum 5.105
+app_latency_seconds_count 4
+# HELP app_live Live items.
+# TYPE app_live gauge
+app_live 4.5
+# HELP app_requests_total Requests by route.
+# TYPE app_requests_total counter
+app_requests_total{code="200",route="a"} 1
+app_requests_total{code="200",route="b"} 2
+# HELP app_z_total Z counter.
+# TYPE app_z_total counter
+app_z_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryConcurrency hammers get-or-create, increments, and
+// exposition from many goroutines; run under -race this is the
+// registry's thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("conc_total", "c").Inc()
+				r.CounterWith("conc_labeled_total", "c", Labels{"worker": string(rune('a' + w%4))}).Inc()
+				r.Gauge("conc_gauge", "g").Add(1)
+				r.Histogram("conc_seconds", "h", nil).Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WritePrometheus(&b)
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("conc_total", "c").Value(); got != workers*perWorker {
+		t.Errorf("conc_total = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("conc_gauge", "g").Value(); got != workers*perWorker {
+		t.Errorf("conc_gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("conc_seconds", "h", nil).Snapshot().Count; got != workers*perWorker {
+		t.Errorf("conc_seconds count = %d, want %d", got, workers*perWorker)
+	}
+	var total uint64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.CounterWith("conc_labeled_total", "c", Labels{"worker": l}).Value()
+	}
+	if total != workers*perWorker {
+		t.Errorf("labeled sum = %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // (0.001, 0.01] bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // (0.1, 1] bucket
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 < 0.001 || p50 > 0.01 {
+		t.Errorf("p50 = %v, want within (0.001, 0.01]", p50)
+	}
+	if p95 := s.Quantile(0.95); p95 < 0.1 || p95 > 1 {
+		t.Errorf("p95 = %v, want within (0.1, 1]", p95)
+	}
+	if got := NewHistogram(nil).Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// Values beyond the last bound clamp to it.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Snapshot().Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want 2", got)
+	}
+}
+
+func TestGaugeSetAndAdd(t *testing.T) {
+	g := NewGauge()
+	g.Set(10)
+	g.Add(-2.5)
+	if got := g.Value(); math.Abs(got-7.5) > 1e-9 {
+		t.Errorf("gauge = %v, want 7.5", got)
+	}
+}
+
+func TestCallbackMetrics(t *testing.T) {
+	r := NewRegistry()
+	live := 42
+	r.GaugeFunc("cb_live", "live", func() float64 { return float64(live) })
+	r.CounterFunc("cb_total", "total", func() float64 { return 7 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"cb_live 42\n", "cb_total 7\n", "# TYPE cb_live gauge", "# TYPE cb_total counter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kind_clash", "c")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("kind_clash", "g")
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "h").Inc()
+	srv := httptest.NewServer(r.MetricsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "h_total 1") {
+		t.Errorf("body missing h_total: %s", buf[:n])
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterWith("esc_total", "e", Labels{"v": `a"b\c` + "\n"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{v="a\"b\\c\n"} 1`) {
+		t.Errorf("bad escaping:\n%s", b.String())
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"github.com/tippers/tippers/internal/service"
 	"github.com/tippers/tippers/internal/sim"
 	"github.com/tippers/tippers/internal/spatial"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // Re-exported core types. The internal packages carry the full API;
@@ -110,7 +111,17 @@ type (
 	Observation = sensor.Observation
 	// SpatialModel is the space hierarchy.
 	SpatialModel = spatial.Model
+
+	// MetricsRegistry collects counters, gauges, and histograms and
+	// serves them in Prometheus text form (see internal/telemetry).
+	MetricsRegistry = telemetry.Registry
+	// DecisionTrace is the span-like record of one enforcement
+	// decision (matched rules, stage timings).
+	DecisionTrace = core.DecisionTrace
 )
+
+// NewMetricsRegistry returns an empty telemetry registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // Re-exported enumerations and constructors.
 var (
@@ -196,6 +207,10 @@ type DeploymentConfig struct {
 	Strategy reasoner.Strategy
 	// Clock overrides time.Now.
 	Clock func() time.Time
+	// Metrics is the telemetry registry the BMS and its HTTP API
+	// report on; nil lets the BMS create a private one (reachable via
+	// BMS.Metrics).
+	Metrics *MetricsRegistry
 }
 
 // Deployment is a fully wired building: BMS, population, services,
@@ -251,6 +266,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		GroupDefaults: cfg.GroupDefaults,
 		NoiseSeed:     cfg.Seed,
 		Clock:         cfg.Clock,
+		Metrics:       cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -342,9 +358,10 @@ func (d *Deployment) SimulateDay(date time.Time, seed int64) (int, error) {
 	return int(d.BMS.Stats().Ingested - before), nil
 }
 
-// APIHandler returns the TIPPERS REST API for the deployment's BMS.
+// APIHandler returns the TIPPERS REST API for the deployment's BMS,
+// instrumented with per-route metrics on the BMS registry.
 func (d *Deployment) APIHandler() http.Handler {
-	return httpapi.NewServer(d.BMS).Handler()
+	return httpapi.NewServer(d.BMS).WithMetrics(d.BMS.Metrics()).Handler()
 }
 
 // IRRHandler returns the deployment registry's HTTP interface.
