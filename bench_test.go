@@ -186,6 +186,32 @@ func BenchmarkObstoreIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkObstoreIngestDurable is BenchmarkObstoreIngest with the
+// write-ahead log underneath (group commit at the default 10ms sync
+// interval): the price of crash safety on the E6 write path. The
+// acceptance bar is within 3× of the in-memory baseline.
+func BenchmarkObstoreIngestDurable(b *testing.B) {
+	store, err := obstore.OpenDurable(obstore.DurableConfig{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	store.SetDefaultRetention(isodur.SixMonths)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := store.Append(sensor.Observation{
+			SensorID: fmt.Sprintf("ap-%d", i%60),
+			UserID:   fmt.Sprintf("u%04d", i%200),
+			Kind:     sensor.ObsWiFiConnect,
+			SpaceID:  "dbh/1/100",
+			Time:     benchDay.Add(time.Duration(i) * time.Second),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkObstoreQuery measures the indexed read path at 100k rows.
 func BenchmarkObstoreQuery(b *testing.B) {
 	store := obstore.New()

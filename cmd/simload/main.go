@@ -59,6 +59,12 @@ func main() {
 	client := httpapi.NewClient(*tip, nil)
 	ctx := context.Background()
 
+	before, err := client.Stats(ctx)
+	if err != nil {
+		logger.Error("stats", "error", err)
+		os.Exit(1)
+	}
+
 	day := time.Now().UTC().Truncate(24 * time.Hour)
 	totalSent := 0
 	start := time.Now()
@@ -127,7 +133,15 @@ func main() {
 		logger.Error("stats", "error", err)
 		os.Exit(1)
 	}
-	fmt.Printf("node stats: %+v\n", stats)
+	// Report the node's view of this run (deltas), not its lifetime
+	// totals — a durable node keeps counters across restarts.
+	logger.Info("node stats",
+		"ingested", stats.Ingested-before.Ingested,
+		"dropped_disabled", stats.DroppedDisabled-before.DroppedDisabled,
+		"dropped_unlogged", stats.DroppedUnlogged-before.DroppedUnlogged,
+		"requests_decided", stats.RequestsDecided-before.RequestsDecided,
+		"requests_denied", stats.RequestsDenied-before.RequestsDenied,
+		"ingested_lifetime", stats.Ingested)
 }
 
 func min(a, b int) int {

@@ -7,7 +7,15 @@
 //
 //	tippersd [-addr :8080] [-irr-addr :8081] [-population 200]
 //	         [-small] [-paper-policies] [-simulate-days 1] [-seed 1]
+//	         [-wal-dir DIR] [-wal-sync 10ms|always|none]
 //	         [-pprof] [-v] [-log-format text|json]
+//
+// With -wal-dir the node runs durably: every ingested observation is
+// written ahead to a CRC-checked segmented log before it is indexed,
+// and on boot the node recovers the checkpoint plus committed log
+// records (truncating any torn tail from a crash). A checkpoint is
+// written on clean shutdown. The older -snapshot flag persists only on
+// clean shutdown and is mutually exclusive with -wal-dir.
 package main
 
 import (
@@ -35,6 +43,8 @@ func main() {
 		seed          = flag.Int64("seed", 1, "simulation seed")
 		retention     = flag.Duration("retention-interval", time.Minute, "retention sweep interval")
 		snapshot      = flag.String("snapshot", "", "observation snapshot file: restored at boot, written on shutdown")
+		walDir        = flag.String("wal-dir", "", "durable store directory (write-ahead log + checkpoints); excludes -snapshot")
+		walSync       = flag.String("wal-sync", "10ms", "WAL commit policy: a group-commit interval, \"always\", or \"none\"")
 		pprofFlag     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the API address")
 		verbose       = flag.Bool("v", false, "debug logging")
 		logFormat     = flag.String("log-format", "text", "log output format: text or json")
@@ -55,20 +65,68 @@ func main() {
 	if *small {
 		spec = tippers.SmallDBH()
 	}
+
+	var store *tippers.ObservationStore
+	if *walDir != "" {
+		if *snapshot != "" {
+			logger.Error("-wal-dir and -snapshot are mutually exclusive; the WAL checkpoints for itself")
+			os.Exit(1)
+		}
+		cfg := tippers.DurableStoreConfig{Dir: *walDir, Logger: logger}
+		switch *walSync {
+		case "always":
+			cfg.SyncEveryAppend = true
+		case "none":
+			cfg.NoSync = true
+		default:
+			iv, err := time.ParseDuration(*walSync)
+			if err != nil || iv <= 0 {
+				logger.Error("invalid -wal-sync", "value", *walSync,
+					"want", "a positive duration, \"always\", or \"none\"")
+				os.Exit(1)
+			}
+			cfg.SyncInterval = iv
+		}
+		var err error
+		store, err = tippers.OpenDurableStore(cfg)
+		if err != nil {
+			logger.Error("opening durable store", "dir", *walDir, "error", err)
+			os.Exit(1)
+		}
+		rec := store.WAL().Recovery()
+		logger.Info("durable store opened",
+			"dir", *walDir,
+			"sync", *walSync,
+			"observations", store.Len(),
+			"wal_records", rec.Records,
+			"wal_records_dropped", rec.DroppedRecords,
+			"wal_segments", rec.Segments)
+	}
+
 	dep, err := tippers.NewDeployment(tippers.DeploymentConfig{
 		Spec:                  spec,
 		Population:            *population,
 		Seed:                  *seed,
 		RegisterPaperPolicies: *paperPolicies,
 		Metrics:               metrics,
+		Store:                 store,
 	})
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		logger.Error("deployment failed", "error", err)
 		os.Exit(1)
 	}
 	defer dep.Close()
 
 	total := 0
+	if store != nil && store.Len() > 0 {
+		// The durable store recovered history; don't re-simulate on
+		// top of it.
+		total = store.Len()
+		*simulateDays = 0
+	}
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
 			if err := dep.BMS.Store().ReadSnapshot(f); err != nil {
@@ -144,20 +202,23 @@ func main() {
 		}
 	}
 	if *snapshot != "" {
-		f, err := os.Create(*snapshot)
-		if err != nil {
-			logger.Error("creating snapshot", "path", *snapshot, "error", err)
-			os.Exit(1)
-		}
-		if err := dep.BMS.Store().WriteSnapshot(f); err != nil {
+		// Written via a temp file + rename so a crash mid-write can
+		// never leave a truncated snapshot where a good one stood.
+		if err := dep.BMS.Store().WriteSnapshotFile(*snapshot); err != nil {
 			logger.Error("writing snapshot", "path", *snapshot, "error", err)
 			os.Exit(1)
 		}
-		if err := f.Close(); err != nil {
-			logger.Error("closing snapshot", "path", *snapshot, "error", err)
-			os.Exit(1)
-		}
 		logger.Info("snapshot written", "path", *snapshot, "observations", dep.BMS.Store().Len())
+	}
+	if store != nil {
+		// A clean shutdown checkpoints: boot then replays nothing and
+		// retention-expired segments are reclaimed. dep.Close flushes
+		// and closes the WAL itself.
+		if err := store.Checkpoint(); err != nil {
+			logger.Error("checkpointing durable store", "error", err)
+		} else {
+			logger.Info("durable store checkpointed", "dir", *walDir, "observations", store.Len())
+		}
 	}
 	stats := dep.BMS.Stats()
 	logger.Info("stopped",

@@ -112,4 +112,19 @@ func main() {
 	for _, note := range dep.BMS.FetchNotifications(mary.ID) {
 		fmt.Printf("            notification to %s: %s\n", note.UserID, note.Message)
 	}
+
+	// Epilogue: durability. The deployment above is in-memory — stop
+	// the process and the day's observations are gone. Passing a store
+	// from OpenDurableStore instead puts a write-ahead log under the
+	// capture pipeline, so a restarted node recovers everything that
+	// was committed:
+	//
+	//	store, err := tippers.OpenDurableStore(tippers.DurableStoreConfig{Dir: "tippers-data"})
+	//	...
+	//	dep, err := tippers.NewDeployment(tippers.DeploymentConfig{Store: store, ...})
+	//
+	// See TestQuickstartDurableRecovery in this directory for the full
+	// stop-and-restart round trip, and `tippersd -wal-dir` for the
+	// daemon equivalent.
+	fmt.Println("epilogue: run tippersd -wal-dir to keep observations across restarts")
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers"
+)
+
+// TestQuickstartDurableRecovery is the quickstart epilogue as a test:
+// a deployment over a durable store captures a day, shuts down, and a
+// second deployment over the same directory recovers the observations
+// instead of starting empty.
+func TestQuickstartDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	day := time.Date(2017, time.June, 7, 0, 0, 0, 0, time.UTC)
+
+	newDeployment := func() *tippers.Deployment {
+		t.Helper()
+		store, err := tippers.OpenDurableStore(tippers.DurableStoreConfig{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep, err := tippers.NewDeployment(tippers.DeploymentConfig{
+			Spec:       tippers.SmallDBH(),
+			Population: 20,
+			Seed:       1,
+			Store:      store,
+		})
+		if err != nil {
+			store.Close()
+			t.Fatal(err)
+		}
+		return dep
+	}
+
+	dep := newDeployment()
+	captured, err := dep.SimulateDay(day, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if captured == 0 {
+		t.Fatal("simulated day produced no observations")
+	}
+	dep.Close() // flushes and closes the write-ahead log
+
+	restarted := newDeployment()
+	defer restarted.Close()
+	if got := restarted.BMS.Store().Len(); got != captured {
+		t.Fatalf("restarted node recovered %d observations, want %d", got, captured)
+	}
+	// The recovered node keeps capturing, continuing the history.
+	more, err := restarted.SimulateDay(day.AddDate(0, 0, 1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restarted.BMS.Store().Len(); got != captured+more {
+		t.Fatalf("after second day: %d observations, want %d", got, captured+more)
+	}
+}

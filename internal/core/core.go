@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -37,6 +38,11 @@ type Config struct {
 	Sensors *sensor.Registry
 	// Services is the service registry; nil creates an empty one.
 	Services *service.Registry
+	// Store is the observation store the BMS ingests into; nil creates
+	// a fresh in-memory store. Supply one opened with
+	// obstore.OpenDurable for write-ahead-logged persistence — the BMS
+	// takes ownership and closes it on Close.
+	Store *obstore.Store
 	// Engine is the query-time enforcement engine; nil selects
 	// Indexed (the optimized engine).
 	Engine enforce.Engine
@@ -140,9 +146,13 @@ func New(cfg Config) (*BMS, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	store := cfg.Store
+	if store == nil {
+		store = obstore.New()
+	}
 	b := &BMS{
 		cfg:      cfg,
-		store:    obstore.New(),
+		store:    store,
 		bus:      bus.New(cfg.BusBuffer),
 		engine:   engine,
 		services: cfg.Services,
@@ -547,4 +557,8 @@ func (b *BMS) StopRetention() {
 func (b *BMS) Close() {
 	b.StopRetention()
 	b.bus.Close()
+	if err := b.store.Close(); err != nil {
+		// Nothing to do but say so: durable stores flush their WAL here.
+		fmt.Fprintf(os.Stderr, "core: closing observation store: %v\n", err)
+	}
 }

@@ -24,6 +24,13 @@ type fixture struct {
 
 func newFixture(t testing.TB) *fixture {
 	t.Helper()
+	return newFixtureWith(t, func(*Config) {})
+}
+
+// newFixtureWith builds the standard test BMS after letting the caller
+// adjust its Config (e.g. swap in a durable store).
+func newFixtureWith(t testing.TB, adjust func(*Config)) *fixture {
+	t.Helper()
 	spaces := spatial.NewModel()
 	spaces.MustAdd("", spatial.Space{ID: "dbh", Name: "Donald Bren Hall", Kind: spatial.KindBuilding})
 	for f := 1; f <= 2; f++ {
@@ -70,14 +77,16 @@ func newFixture(t testing.TB) *fixture {
 		}},
 	})
 
-	bms, err := New(Config{
+	cfg := Config{
 		Spaces:       spaces,
 		Users:        users,
 		Sensors:      sensors,
 		Services:     services,
 		DefaultAllow: true,
 		Clock:        func() time.Time { return testNow },
-	})
+	}
+	adjust(&cfg)
+	bms, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,5 +476,43 @@ func TestStatsCounters(t *testing.T) {
 	st := f.bms.Stats()
 	if st.RequestsDecided != 1 || st.RequestsDenied != 1 {
 		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestConfigDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *obstore.Store {
+		s, err := obstore.OpenDurable(obstore.DurableConfig{Dir: dir, SyncInterval: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	f := newFixtureWith(t, func(cfg *Config) { cfg.Store = open() })
+	if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:01", "ap-2", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.bms.Store().WAL().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.bms.Close() // flushes and closes the WAL; the t.Cleanup close is a no-op
+
+	// A "restarted" BMS over the same directory sees the attributed,
+	// stamped observation without re-ingesting anything.
+	f2 := newFixtureWith(t, func(cfg *Config) { cfg.Store = open() })
+	got := f2.bms.Store().Query(obstore.Filter{UserID: "mary"})
+	if len(got) != 1 {
+		t.Fatalf("recovered %d observations for mary, want 1", len(got))
+	}
+	if got[0].SpaceID != "dbh/2/r0" {
+		t.Errorf("recovered SpaceID = %q, want the sensor's space", got[0].SpaceID)
+	}
+	// And the pipeline keeps working on top of the recovered state.
+	if err := f2.bms.Ingest(f2.wifiObs("aa:00:00:00:00:02", "ap-1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if n := f2.bms.Store().Len(); n != 2 {
+		t.Errorf("store has %d observations after recovery + ingest, want 2", n)
 	}
 }

@@ -14,6 +14,7 @@ package obstore
 
 import (
 	"errors"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"github.com/tippers/tippers/internal/isodur"
 	"github.com/tippers/tippers/internal/sensor"
 	"github.com/tippers/tippers/internal/telemetry"
+	"github.com/tippers/tippers/internal/wal"
 )
 
 // Filter selects observations. Zero fields match everything, so the
@@ -75,6 +77,14 @@ type Store struct {
 	// sweepSeconds times retention sweeps (storage-time enforcement
 	// cost); it works standalone and is exposed via RegisterMetrics.
 	sweepSeconds *telemetry.Histogram
+
+	// Durable mode (see durable.go): when wal is non-nil every append
+	// is framed into the log before it is indexed, and sweeps prune
+	// fully dead sealed segments from disk.
+	wal    *wal.Log
+	walDir string
+	logger *slog.Logger
+	encBuf []byte // reusable WAL payload buffer; guarded by mu
 }
 
 // New returns an empty store with no retention rules (observations
@@ -125,6 +135,9 @@ func (s *Store) RegisterMetrics(r *telemetry.Registry) {
 		})
 	r.RegisterHistogram("tippers_obstore_sweep_seconds",
 		"Retention sweep duration.", nil, s.sweepSeconds)
+	if s.wal != nil {
+		s.wal.RegisterMetrics(r)
+	}
 }
 
 // ErrZeroTime reports an ingest with an unset timestamp; retention
@@ -141,6 +154,16 @@ func (s *Store) Append(o sensor.Observation) (sensor.Observation, error) {
 	defer s.mu.Unlock()
 	s.nextSeq++
 	o.Seq = s.nextSeq
+	if s.wal != nil {
+		// Write-ahead: the record must be in the log before the
+		// indexes ever see it. On failure the seq is returned to the
+		// pool and the observation is not stored.
+		s.encBuf = appendObservation(s.encBuf[:0], o)
+		if err := s.wal.Append(o.Seq, s.encBuf); err != nil {
+			s.nextSeq--
+			return sensor.Observation{}, err
+		}
+	}
 	s.bySeq[o.Seq] = o
 	s.order = append(s.order, o.Seq)
 	if o.SensorID != "" {
@@ -370,6 +393,11 @@ func (s *Store) Sweep(now time.Time) int {
 	if s.dead > len(s.bySeq) && s.dead > 1024 {
 		s.compactLocked()
 	}
+	// Durable mode: retention must reach the disk too. Sealed WAL
+	// segments holding only dead records are deleted outright.
+	if removed > 0 && s.wal != nil {
+		s.pruneWALLocked()
+	}
 	return removed
 }
 
@@ -389,6 +417,11 @@ func (s *Store) DeleteUser(userID string) int {
 	delete(s.byUser, userID)
 	s.dead += removed
 	s.totalSwept += uint64(removed)
+	// Erasure reaches disk like retention does; copies in the active
+	// segment or the checkpoint leave at the next Checkpoint.
+	if removed > 0 && s.wal != nil {
+		s.pruneWALLocked()
+	}
 	return removed
 }
 

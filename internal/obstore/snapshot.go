@@ -3,6 +3,7 @@ package obstore
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -15,7 +16,9 @@ import (
 // needs no schema migration machinery — appropriate for a building
 // node that snapshots on shutdown and restores on boot. Retention
 // rules are configuration (reinstalled from policies at startup), so
-// they are not part of the snapshot.
+// they are not part of the snapshot. In durable mode the same format
+// is the WAL checkpoint (see durable.go), written atomically by
+// WriteSnapshotFile.
 
 // snapshotHeader is the first line of a snapshot.
 type snapshotHeader struct {
@@ -26,8 +29,60 @@ type snapshotHeader struct {
 	Count    int    `json:"count"`
 }
 
+// maxSnapshotLine bounds one snapshot line (an observation's JSON);
+// a longer line is corruption, not data.
+const maxSnapshotLine = 16 << 20
+
+// SnapshotError reports where in a snapshot stream a restore failed:
+// Line is 1-based (line 1 is the header), so a truncated or corrupt
+// file can be inspected — or repaired — by hand.
+type SnapshotError struct {
+	// Line is the 1-based line number the error occurred on; 0 when
+	// the problem is not tied to one line (e.g. a non-empty store).
+	Line int
+	// Record is the observation ordinal (1-based) when the line held
+	// one; 0 for header or structural errors.
+	Record int
+	Err    error
+}
+
+func (e *SnapshotError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("obstore: snapshot line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("obstore: snapshot: %v", e.Err)
+}
+
+func (e *SnapshotError) Unwrap() error { return e.Err }
+
+// RestoreOptions controls RestoreSnapshot's handling of a damaged
+// stream.
+type RestoreOptions struct {
+	// KeepPartial keeps the records read before the first bad line
+	// instead of resetting the store: the restore stops there and the
+	// error (a *SnapshotError) reports the line. Without it a damaged
+	// snapshot leaves the store empty.
+	KeepPartial bool
+}
+
+// RestoreResult reports what a restore accomplished.
+type RestoreResult struct {
+	// Restored is the number of observations now in the store.
+	Restored int
+	// Declared is the header's record count.
+	Declared int
+}
+
 // WriteSnapshot serializes the live observations to w.
 func (s *Store) WriteSnapshot(w io.Writer) error {
+	_, err := s.writeSnapshot(w)
+	return err
+}
+
+// writeSnapshot is WriteSnapshot, returning the header's NextSeq: the
+// high-water mark checkpoint truncation needs (every WAL record at or
+// below it is covered by this snapshot).
+func (s *Store) writeSnapshot(w io.Writer) (uint64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
@@ -41,7 +96,7 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		Count:    len(s.bySeq),
 	}
 	if err := enc.Encode(header); err != nil {
-		return fmt.Errorf("obstore: snapshot header: %w", err)
+		return 0, fmt.Errorf("obstore: snapshot header: %w", err)
 	}
 	for _, seq := range s.order {
 		o, ok := s.bySeq[seq]
@@ -49,58 +104,147 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 			continue
 		}
 		if err := enc.Encode(o); err != nil {
-			return fmt.Errorf("obstore: snapshot observation %d: %w", seq, err)
+			return 0, fmt.Errorf("obstore: snapshot observation %d: %w", seq, err)
 		}
 	}
-	return bw.Flush()
+	return header.NextSeq, bw.Flush()
 }
 
 // ReadSnapshot restores a store from a snapshot. It returns an error
 // if the store already holds data — restoring over live observations
-// would silently interleave two histories.
+// would silently interleave two histories. On a damaged stream the
+// store is left empty and the returned *SnapshotError names the bad
+// line; use RestoreSnapshot with KeepPartial to salvage the readable
+// prefix instead.
 func (s *Store) ReadSnapshot(r io.Reader) error {
+	_, err := s.RestoreSnapshot(r, RestoreOptions{})
+	return err
+}
+
+// RestoreSnapshot restores a store from a snapshot stream under the
+// given options. The returned error, if any, is a *SnapshotError
+// carrying the 1-based line number of the first problem; with
+// KeepPartial the records before that line stay restored (Restored
+// says how many survived).
+func (s *Store) RestoreSnapshot(r io.Reader, opts RestoreOptions) (RestoreResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.bySeq) != 0 || s.nextSeq != 0 {
-		return fmt.Errorf("obstore: refusing to restore into a non-empty store")
+		return RestoreResult{}, &SnapshotError{Err: errors.New("refusing to restore into a non-empty store")}
 	}
 
-	dec := json.NewDecoder(bufio.NewReader(r))
+	fail := func(res RestoreResult, serr *SnapshotError) (RestoreResult, error) {
+		if !opts.KeepPartial {
+			s.resetLocked()
+			res.Restored = 0
+		}
+		return res, serr
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxSnapshotLine)
+	line := 0
+	nextLine := func() (string, bool, error) {
+		if !sc.Scan() {
+			return "", false, sc.Err()
+		}
+		line++
+		return sc.Text(), true, nil
+	}
+
+	raw, ok, err := nextLine()
+	if err != nil || !ok {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return RestoreResult{}, &SnapshotError{Line: 1, Err: fmt.Errorf("reading header: %w", err)}
+	}
 	var header snapshotHeader
-	if err := dec.Decode(&header); err != nil {
-		return fmt.Errorf("obstore: snapshot header: %w", err)
+	if err := json.Unmarshal([]byte(raw), &header); err != nil {
+		return RestoreResult{}, &SnapshotError{Line: 1, Err: fmt.Errorf("decoding header: %w", err)}
 	}
 	if header.Version != 1 {
-		return fmt.Errorf("obstore: unsupported snapshot version %d", header.Version)
+		return RestoreResult{}, &SnapshotError{Line: 1, Err: fmt.Errorf("unsupported snapshot version %d", header.Version)}
+	}
+
+	res := RestoreResult{Declared: header.Count}
+	var maxSeq uint64
+	finishPartial := func() {
+		// Partial restores may not reach the header's counters; keep
+		// seq allocation safe and the ingest counter honest.
+		if header.NextSeq > maxSeq {
+			s.nextSeq = header.NextSeq
+		} else {
+			s.nextSeq = maxSeq
+		}
+		s.totalIngests = header.Ingested
+		s.totalSwept = header.Swept
 	}
 	for i := 0; i < header.Count; i++ {
+		raw, ok, err := nextLine()
+		if err != nil || !ok {
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			serr := &SnapshotError{Line: line + 1, Record: i + 1,
+				Err: fmt.Errorf("truncated snapshot: observation %d/%d: %w", i+1, header.Count, err)}
+			if opts.KeepPartial {
+				finishPartial()
+			}
+			return fail(res, serr)
+		}
 		var o sensor.Observation
-		if err := dec.Decode(&o); err != nil {
-			return fmt.Errorf("obstore: snapshot observation %d/%d: %w", i+1, header.Count, err)
+		if err := json.Unmarshal([]byte(raw), &o); err != nil {
+			serr := &SnapshotError{Line: line, Record: i + 1,
+				Err: fmt.Errorf("decoding observation %d/%d: %w", i+1, header.Count, err)}
+			if opts.KeepPartial {
+				finishPartial()
+			}
+			return fail(res, serr)
 		}
 		if o.Seq == 0 || o.Time.IsZero() {
-			return fmt.Errorf("obstore: snapshot observation %d has no seq or time", i+1)
+			serr := &SnapshotError{Line: line, Record: i + 1,
+				Err: fmt.Errorf("observation %d has no seq or time", i+1)}
+			if opts.KeepPartial {
+				finishPartial()
+			}
+			return fail(res, serr)
 		}
 		if _, dup := s.bySeq[o.Seq]; dup {
-			return fmt.Errorf("obstore: snapshot has duplicate seq %d", o.Seq)
+			serr := &SnapshotError{Line: line, Record: i + 1,
+				Err: fmt.Errorf("duplicate seq %d", o.Seq)}
+			if opts.KeepPartial {
+				finishPartial()
+			}
+			return fail(res, serr)
 		}
-		s.bySeq[o.Seq] = o
-		s.order = append(s.order, o.Seq)
-		if o.SensorID != "" {
-			s.bySensor[o.SensorID] = append(s.bySensor[o.SensorID], o.Seq)
+		s.insertLocked(o)
+		if o.Seq > maxSeq {
+			maxSeq = o.Seq
 		}
-		if o.UserID != "" {
-			s.byUser[o.UserID] = append(s.byUser[o.UserID], o.Seq)
-		}
-		if o.Kind != "" {
-			s.byKind[o.Kind] = append(s.byKind[o.Kind], o.Seq)
-		}
+		res.Restored++
 	}
-	if dec.More() {
-		return fmt.Errorf("obstore: snapshot has trailing data beyond declared count %d", header.Count)
+	if _, ok, err := nextLine(); err == nil && ok {
+		serr := &SnapshotError{Line: line,
+			Err: fmt.Errorf("trailing data beyond declared count %d", header.Count)}
+		if opts.KeepPartial {
+			finishPartial()
+		}
+		return fail(res, serr)
 	}
-	s.nextSeq = header.NextSeq
-	s.totalIngests = header.Ingested
-	s.totalSwept = header.Swept
-	return nil
+	finishPartial()
+	return res, nil
+}
+
+// resetLocked empties the store. Caller holds s.mu.
+func (s *Store) resetLocked() {
+	s.bySeq = make(map[uint64]sensor.Observation)
+	s.order = nil
+	s.bySensor = make(map[string][]uint64)
+	s.byUser = make(map[string][]uint64)
+	s.byKind = make(map[sensor.ObservationKind][]uint64)
+	s.nextSeq = 0
+	s.dead = 0
+	s.totalIngests = 0
+	s.totalSwept = 0
 }

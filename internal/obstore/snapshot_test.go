@@ -2,6 +2,7 @@ package obstore
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -78,6 +79,74 @@ func TestReadSnapshotRejectsMalformed(t *testing.T) {
 		if err := s.ReadSnapshot(strings.NewReader(raw)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestReadSnapshotTruncatedReportsLine(t *testing.T) {
+	// A snapshot cut off mid-stream (a crash during a non-atomic save)
+	// must fail with the 1-based line of the first missing record, and
+	// the strict path must leave the store empty — not half-restored.
+	src := newPopulatedStore(t)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	lines := strings.SplitAfter(strings.TrimSuffix(full, "\n"), "\n")
+	truncated := strings.Join(lines[:2], "") // header + first observation only
+
+	dst := New()
+	err := dst.ReadSnapshot(strings.NewReader(truncated))
+	var serr *SnapshotError
+	if !errors.As(err, &serr) {
+		t.Fatalf("err = %v (%T), want *SnapshotError", err, err)
+	}
+	if serr.Line != 3 || serr.Record != 2 {
+		t.Errorf("error at line %d record %d, want line 3 record 2", serr.Line, serr.Record)
+	}
+	if dst.Len() != 0 {
+		t.Errorf("strict restore kept %d records from a truncated snapshot", dst.Len())
+	}
+	// A later strict restore of an intact stream still works (the
+	// failed attempt reset the store to empty).
+	if err := dst.ReadSnapshot(strings.NewReader(full)); err != nil {
+		t.Fatalf("restore after failed restore: %v", err)
+	}
+}
+
+func TestRestoreSnapshotKeepPartial(t *testing.T) {
+	src := newPopulatedStore(t)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("need >=2 observations in fixture, have %d lines", len(lines))
+	}
+	truncated := strings.Join(lines[:len(lines)-1], "")
+
+	dst := New()
+	res, err := dst.RestoreSnapshot(strings.NewReader(truncated), RestoreOptions{KeepPartial: true})
+	var serr *SnapshotError
+	if !errors.As(err, &serr) {
+		t.Fatalf("err = %v (%T), want *SnapshotError", err, err)
+	}
+	want := len(lines) - 2 // all observations minus the missing last one
+	if res.Restored != want || dst.Len() != want {
+		t.Errorf("salvaged %d (store %d), want %d", res.Restored, dst.Len(), want)
+	}
+	if res.Declared != src.Len() {
+		t.Errorf("declared = %d, want %d", res.Declared, src.Len())
+	}
+	// Seq allocation stays safe: new appends must not collide with the
+	// record that was lost to truncation.
+	o, err := dst.Append(sensor.Observation{SensorID: "new", Kind: sensor.ObsWiFiConnect, Time: t0.Add(2 * time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwm := src.Stats().Ingested; o.Seq <= hwm {
+		t.Errorf("post-salvage seq %d reuses lost range (source had allocated through %d)", o.Seq, hwm)
 	}
 }
 

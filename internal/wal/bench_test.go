@@ -1,0 +1,39 @@
+package wal
+
+import "testing"
+
+// BenchmarkWALAppend measures the append hot path per sync policy.
+// "interval" is the default group-commit mode tippersd runs with; the
+// gap between it and "always" is what group commit buys.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 128)
+	for _, tc := range []struct {
+		name string
+		opts func(dir string) Options
+	}{
+		{"sync=interval", func(d string) Options {
+			return Options{Dir: d, SyncInterval: DefaultSyncInterval}
+		}},
+		{"sync=none", func(d string) Options {
+			return Options{Dir: d, NoSync: true}
+		}},
+		{"sync=always", func(d string) Options {
+			return Options{Dir: d, SyncEveryAppend: true}
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			l, err := Open(tc.opts(b.TempDir()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(headerSize + seqSize + len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(uint64(i+1), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

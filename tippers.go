@@ -39,6 +39,7 @@ import (
 	"github.com/tippers/tippers/internal/iota"
 	"github.com/tippers/tippers/internal/irr"
 	"github.com/tippers/tippers/internal/mud"
+	"github.com/tippers/tippers/internal/obstore"
 	"github.com/tippers/tippers/internal/policy"
 	"github.com/tippers/tippers/internal/profile"
 	"github.com/tippers/tippers/internal/reasoner"
@@ -112,6 +113,13 @@ type (
 	// SpatialModel is the space hierarchy.
 	SpatialModel = spatial.Model
 
+	// ObservationStore is the BMS's indexed observation store (see
+	// internal/obstore). Open one with OpenDurableStore for
+	// write-ahead-logged persistence.
+	ObservationStore = obstore.Store
+	// DurableStoreConfig configures OpenDurableStore.
+	DurableStoreConfig = obstore.DurableConfig
+
 	// MetricsRegistry collects counters, gauges, and histograms and
 	// serves them in Prometheus text form (see internal/telemetry).
 	MetricsRegistry = telemetry.Registry
@@ -122,6 +130,17 @@ type (
 
 // NewMetricsRegistry returns an empty telemetry registry.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// OpenDurableStore opens (or recovers) a write-ahead-logged
+// observation store rooted at cfg.Dir: a checkpoint snapshot is
+// restored, committed WAL records are replayed on top of it, and a
+// torn tail from a crash is truncated. Pass the result as
+// DeploymentConfig.Store; the deployment closes it on Close. Call its
+// Checkpoint method periodically (or at shutdown) to bound replay
+// time and let retention reclaim segments.
+func OpenDurableStore(cfg DurableStoreConfig) (*ObservationStore, error) {
+	return obstore.OpenDurable(cfg)
+}
 
 // Re-exported enumerations and constructors.
 var (
@@ -211,6 +230,11 @@ type DeploymentConfig struct {
 	// report on; nil lets the BMS create a private one (reachable via
 	// BMS.Metrics).
 	Metrics *MetricsRegistry
+	// Store is the observation store the BMS ingests into; nil
+	// creates an in-memory store. Pass an OpenDurableStore result for
+	// crash-safe persistence — the deployment takes ownership and
+	// closes it (flushing the WAL) on Close.
+	Store *ObservationStore
 }
 
 // Deployment is a fully wired building: BMS, population, services,
@@ -267,6 +291,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		NoiseSeed:     cfg.Seed,
 		Clock:         cfg.Clock,
 		Metrics:       cfg.Metrics,
+		Store:         cfg.Store,
 	})
 	if err != nil {
 		return nil, err

@@ -22,4 +22,7 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== wal recovery (repeated) =="
+go test -run TestWALRecovery -count=2 ./internal/wal/...
+
 echo "verify: OK"
