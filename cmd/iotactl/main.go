@@ -13,6 +13,15 @@
 //	iotactl -user mary inbox    -tippers http://localhost:8080
 //	iotactl -user mary audit    -tippers http://localhost:8080
 //	iotactl -user mary forget   -tippers http://localhost:8080
+//	iotactl -user mary watch    -tippers http://localhost:8080 [-topic notifications]
+//	iotactl -user mary watch    -tippers http://localhost:8080 -topic observations
+//	         -service concierge [-purpose providing_service] [-replay] [-after N]
+//
+// watch follows a live stream until interrupted, printing one JSON
+// event per line. The default topic is the user's notification feed;
+// the observations topic streams the user's own data exactly as the
+// named service would receive it (enforced and minimized), with
+// -replay/-after resuming from durable history.
 //
 // The -model flag persists the assistant's learned preference model
 // across invocations of the notices command.
@@ -21,10 +30,12 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -52,9 +63,13 @@ func main() {
 		irrURLs   = flag.String("irr", "", "comma-separated IRR base URLs")
 		tip       = flag.String("tippers", "", "TIPPERS API base URL")
 		space     = flag.String("space", "", "location to scope discovery/documents to")
-		svc       = flag.String("service", "", "service ID for optout/coarse")
-		kind      = flag.String("kind", string(sensor.ObsWiFiConnect), "observation kind for optout")
+		svc       = flag.String("service", "", "service ID for optout/coarse/watch")
+		kind      = flag.String("kind", string(sensor.ObsWiFiConnect), "observation kind for optout/watch")
 		modelFile = flag.String("model", "", "preference-model file to load/save (persists learning across runs)")
+		topic     = flag.String("topic", "notifications", "watch topic: observations, notifications, or conflicts")
+		purpose   = flag.String("purpose", string(policy.PurposeProvidingService), "request purpose for watch -topic observations")
+		replay    = flag.Bool("replay", false, "watch: replay durable history before going live")
+		after     = flag.Uint64("after", 0, "watch: resume cursor (stream from after this sequence number)")
 		verbose   = flag.Bool("v", false, "debug logging")
 	)
 	logger = telemetry.SetupLogger(telemetry.LogConfig{Component: "iotactl"})
@@ -174,6 +189,36 @@ func main() {
 			}
 			fmt.Printf("%-16s %-22s %-20s %-8v %-10s %6d  %s\n",
 				e.ServiceID, e.Kind, e.Purpose, e.Allowed, precision, e.StoredObservations, e.Why)
+		}
+	case "watch":
+		client := tippersClient(*tip)
+		opts := httpapi.StreamOptions{Topic: *topic, UserID: *user}
+		if *topic == "observations" {
+			if *svc == "" {
+				fatal("watch -topic observations requires -service (the requester whose view you stream)")
+			}
+			opts.UserID = ""
+			opts.Request = httpapi.RequestDTO{
+				ServiceID: *svc,
+				Purpose:   *purpose,
+				Kind:      *kind,
+				SubjectID: *user,
+				SpaceID:   *space,
+			}
+			opts.Replay = *replay
+			opts.AfterSeq = *after
+		}
+		// Streams run until interrupted; the 30s command timeout does
+		// not apply.
+		cancel()
+		watchCtx, stopWatch := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stopWatch()
+		enc := json.NewEncoder(os.Stdout)
+		err := client.Stream(watchCtx, opts, func(ev httpapi.StreamEventDTO) error {
+			return enc.Encode(ev)
+		})
+		if err != nil && !errors.Is(err, context.Canceled) {
+			fatal("stream", "error", err)
 		}
 	case "inbox":
 		client := tippersClient(*tip)

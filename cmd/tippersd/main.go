@@ -8,6 +8,7 @@
 //	tippersd [-addr :8080] [-irr-addr :8081] [-population 200]
 //	         [-small] [-paper-policies] [-simulate-days 1] [-seed 1]
 //	         [-wal-dir DIR] [-wal-sync 10ms|always|none]
+//	         [-stream-buffer 256] [-stream-policy drop-oldest|block|disconnect]
 //	         [-pprof] [-v] [-log-format text|json]
 //
 // With -wal-dir the node runs durably: every ingested observation is
@@ -46,10 +47,18 @@ func main() {
 		walDir        = flag.String("wal-dir", "", "durable store directory (write-ahead log + checkpoints); excludes -snapshot")
 		walSync       = flag.String("wal-sync", "10ms", "WAL commit policy: a group-commit interval, \"always\", or \"none\"")
 		pprofFlag     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the API address")
+		streamBuffer  = flag.Int("stream-buffer", 256, "default per-subscription live-stream ring capacity")
+		streamPolicy  = flag.String("stream-policy", "drop-oldest", "default live-stream backpressure policy: drop-oldest, block, or disconnect")
 		verbose       = flag.Bool("v", false, "debug logging")
 		logFormat     = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+
+	bp, err := tippers.ParseBackpressure(*streamPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "invalid -stream-policy:", err)
+		os.Exit(1)
+	}
 
 	logger := telemetry.SetupLogger(telemetry.LogConfig{
 		Component: "tippersd",
@@ -110,6 +119,8 @@ func main() {
 		RegisterPaperPolicies: *paperPolicies,
 		Metrics:               metrics,
 		Store:                 store,
+		StreamBuffer:          *streamBuffer,
+		StreamPolicy:          bp,
 	})
 	if err != nil {
 		if store != nil {
@@ -167,7 +178,17 @@ func main() {
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
-	apiSrv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	// WriteTimeout would sever long-lived SSE streams, but the
+	// /v1/stream handler clears its own write deadline via
+	// http.ResponseController, so only stalled one-shot responses are
+	// killed.
+	apiSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	servers := []*http.Server{apiSrv}
 	go func() {
 		logger.Info("TIPPERS API listening", "addr", *addr)
@@ -178,7 +199,13 @@ func main() {
 	}()
 
 	if *irrAddr != "" {
-		irrSrv := &http.Server{Addr: *irrAddr, Handler: dep.IRRHandler(), ReadHeaderTimeout: 10 * time.Second}
+		irrSrv := &http.Server{
+			Addr:              *irrAddr,
+			Handler:           dep.IRRHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
 		servers = append(servers, irrSrv)
 		go func() {
 			logger.Info("IRR listening", "addr", *irrAddr, "resources", dep.IRR.Len())

@@ -13,6 +13,7 @@ package bus
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tippers/tippers/internal/telemetry"
@@ -41,9 +42,10 @@ type SettingsChange struct {
 
 // Subscription is one subscriber's receive side.
 type Subscription struct {
-	C      <-chan Event
-	cancel func()
-	once   sync.Once
+	C       <-chan Event
+	cancel  func()
+	once    sync.Once
+	dropped *atomic.Uint64
 }
 
 // Cancel detaches the subscription and closes C. Safe to call
@@ -52,12 +54,29 @@ func (s *Subscription) Cancel() {
 	s.once.Do(s.cancel)
 }
 
+// Dropped returns how many events were dropped on this subscription
+// because its buffer was full — the per-consumer view of the
+// per-topic total, so a slow subscriber can see its own losses.
+func (s *Subscription) Dropped() uint64 {
+	if s.dropped == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// subscriber is one attached consumer: its channel plus its own drop
+// counter (per-topic totals hide which consumer is falling behind).
+type subscriber struct {
+	ch      chan Event
+	dropped atomic.Uint64
+}
+
 // Bus is a topic-based publisher. The zero value is not usable;
 // construct with New.
 type Bus struct {
 	mu      sync.RWMutex
 	nextID  int
-	subs    map[string]map[int]chan Event
+	subs    map[string]map[int]*subscriber
 	closed  bool
 	bufSize int
 
@@ -73,7 +92,7 @@ func New(bufSize int) *Bus {
 		bufSize = 1
 	}
 	return &Bus{
-		subs:      make(map[string]map[int]chan Event),
+		subs:      make(map[string]map[int]*subscriber),
 		bufSize:   bufSize,
 		dropped:   make(map[string]uint64),
 		published: make(map[string]uint64),
@@ -112,8 +131,22 @@ func (b *Bus) RegisterMetrics(r *telemetry.Registry) {
 			defer b.mu.RUnlock()
 			max := 0
 			for _, subs := range b.subs {
-				for _, ch := range subs {
-					if n := len(ch); n > max {
+				for _, sub := range subs {
+					if n := len(sub.ch); n > max {
+						max = n
+					}
+				}
+			}
+			return float64(max)
+		})
+	r.GaugeFunc("tippers_bus_max_subscriber_dropped",
+		"Most events dropped on any single live subscription (identifies the slowest consumer).", func() float64 {
+			b.mu.RLock()
+			defer b.mu.RUnlock()
+			var max uint64
+			for _, subs := range b.subs {
+				for _, sub := range subs {
+					if n := sub.dropped.Load(); n > max {
 						max = n
 					}
 				}
@@ -122,29 +155,41 @@ func (b *Bus) RegisterMetrics(r *telemetry.Registry) {
 		})
 }
 
-// Subscribe registers a subscriber for a topic.
+// Subscribe registers a subscriber for a topic with the bus's default
+// buffer.
 func (b *Bus) Subscribe(topic string) *Subscription {
-	ch := make(chan Event, b.bufSize)
+	return b.SubscribeBuffered(topic, b.bufSize)
+}
+
+// SubscribeBuffered registers a subscriber whose channel buffers n
+// events (minimum 1), letting slow consumers size their own headroom
+// instead of inheriting the bus default.
+func (b *Bus) SubscribeBuffered(topic string, n int) *Subscription {
+	if n < 1 {
+		n = 1
+	}
+	sub := &subscriber{ch: make(chan Event, n)}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
-		close(ch)
-		return &Subscription{C: ch, cancel: func() {}}
+		close(sub.ch)
+		return &Subscription{C: sub.ch, cancel: func() {}, dropped: &sub.dropped}
 	}
 	id := b.nextID
 	b.nextID++
 	if b.subs[topic] == nil {
-		b.subs[topic] = make(map[int]chan Event)
+		b.subs[topic] = make(map[int]*subscriber)
 	}
-	b.subs[topic][id] = ch
+	b.subs[topic][id] = sub
 	return &Subscription{
-		C: ch,
+		C:       sub.ch,
+		dropped: &sub.dropped,
 		cancel: func() {
 			b.mu.Lock()
 			defer b.mu.Unlock()
-			if sub, ok := b.subs[topic][id]; ok {
+			if s, ok := b.subs[topic][id]; ok {
 				delete(b.subs[topic], id)
-				close(sub)
+				close(s.ch)
 			}
 		},
 	}
@@ -162,10 +207,11 @@ func (b *Bus) Publish(topic string, payload any) {
 	b.dropMu.Lock()
 	b.published[topic]++
 	b.dropMu.Unlock()
-	for _, ch := range b.subs[topic] {
+	for _, sub := range b.subs[topic] {
 		select {
-		case ch <- e:
+		case sub.ch <- e:
 		default:
+			sub.dropped.Add(1)
 			b.dropMu.Lock()
 			b.dropped[topic]++
 			b.dropMu.Unlock()
@@ -198,8 +244,8 @@ func (b *Bus) Close() {
 	}
 	b.closed = true
 	for topic, subs := range b.subs {
-		for id, ch := range subs {
-			close(ch)
+		for id, sub := range subs {
+			close(sub.ch)
 			delete(subs, id)
 		}
 		delete(b.subs, topic)

@@ -122,6 +122,50 @@ func TestConcurrentPublishers(t *testing.T) {
 	}
 }
 
+func TestSubscribeBuffered(t *testing.T) {
+	b := New(1)
+	big := b.SubscribeBuffered("t", 8)
+	small := b.Subscribe("t")
+	defer big.Cancel()
+	defer small.Cancel()
+	for i := 0; i < 8; i++ {
+		b.Publish("t", i)
+	}
+	if len(big.C) != 8 {
+		t.Errorf("buffered sub holds %d, want 8", len(big.C))
+	}
+	if got := big.Dropped(); got != 0 {
+		t.Errorf("big.Dropped = %d, want 0", got)
+	}
+	if got := small.Dropped(); got != 7 {
+		t.Errorf("small.Dropped = %d, want 7", got)
+	}
+	// Per-topic total is the sum over subscribers.
+	if got := b.Dropped("t"); got != 7 {
+		t.Errorf("topic Dropped = %d, want 7", got)
+	}
+	clamped := b.SubscribeBuffered("t", 0)
+	defer clamped.Cancel()
+	b.Publish("t", 99)
+	if len(clamped.C) != 1 {
+		t.Error("n=0 should clamp to 1")
+	}
+}
+
+func TestSubscriberDroppedDistinguishesConsumers(t *testing.T) {
+	b := New(2)
+	slow := b.Subscribe("t")
+	fast := b.SubscribeBuffered("t", 64)
+	defer slow.Cancel()
+	defer fast.Cancel()
+	for i := 0; i < 10; i++ {
+		b.Publish("t", i)
+	}
+	if slow.Dropped() != 8 || fast.Dropped() != 0 {
+		t.Errorf("slow=%d fast=%d, want 8/0", slow.Dropped(), fast.Dropped())
+	}
+}
+
 func TestMinimumBuffer(t *testing.T) {
 	b := New(0)
 	sub := b.Subscribe("t")

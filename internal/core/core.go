@@ -24,6 +24,7 @@ import (
 	"github.com/tippers/tippers/internal/sensor"
 	"github.com/tippers/tippers/internal/service"
 	"github.com/tippers/tippers/internal/spatial"
+	"github.com/tippers/tippers/internal/stream"
 	"github.com/tippers/tippers/internal/telemetry"
 )
 
@@ -71,6 +72,12 @@ type Config struct {
 	Metrics *telemetry.Registry
 	// TraceBuffer caps the decision-trace ring buffer (default 256).
 	TraceBuffer int
+	// StreamBuffer is the default per-subscription ring capacity for
+	// live streams (default 256).
+	StreamBuffer int
+	// StreamPolicy is the default backpressure policy for live
+	// streams (default stream.DropOldest).
+	StreamPolicy stream.Backpressure
 }
 
 // Stats counts pipeline outcomes for the experiments.
@@ -99,6 +106,7 @@ type BMS struct {
 	metrics *telemetry.Registry
 	met     *coreMetrics
 	traces  *traceRing
+	streams *stream.Hub
 
 	mu        sync.RWMutex
 	policies  map[string]policy.BuildingPolicy
@@ -177,6 +185,30 @@ func New(cfg Config) (*BMS, error) {
 	}); ok {
 		mr.RegisterMetrics(reg)
 	}
+	// The stream hub taps the bus and re-runs the full decision
+	// pipeline per subscriber per event, memoizing decisions across
+	// subscribers. Rule mutations invalidate the memo (see
+	// RegisterPolicy, SetPreference, RemovePreference).
+	hub, err := stream.NewHub(stream.Config{
+		Store: b.store,
+		Bus:   b.bus,
+		Decide: func(req enforce.Request) enforce.Decision {
+			return b.engine.Decide(req, b.subjectGroups(req.SubjectID))
+		},
+		Record: b.recordDecision,
+		Apply: func(d enforce.Decision, obs []sensor.Observation) ([]sensor.Observation, error) {
+			return enforce.ApplyDecision(d, obs, b.transf)
+		},
+		Filter:        b.filterFor,
+		Metrics:       reg,
+		DefaultBuffer: cfg.StreamBuffer,
+		DefaultPolicy: cfg.StreamPolicy,
+		BusBuffer:     cfg.BusBuffer * 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.streams = hub
 	return b, nil
 }
 
@@ -201,6 +233,10 @@ func (b *BMS) Services() *service.Registry { return b.services }
 
 // Engine returns the enforcement engine.
 func (b *BMS) Engine() enforce.Engine { return b.engine }
+
+// Streams returns the live-stream hub: policy-enforced continuous
+// queries with resume cursors (see internal/stream).
+func (b *BMS) Streams() *stream.Hub { return b.streams }
 
 // Stats returns a snapshot of pipeline counters. The struct and its
 // meaning are unchanged from the pre-telemetry era; the values are
@@ -297,6 +333,7 @@ func (b *BMS) RegisterPolicy(p policy.BuildingPolicy) error {
 			TTL:  p.Retention,
 		})
 	}
+	b.streams.Invalidate()
 	b.detectConflicts()
 	return nil
 }
@@ -342,6 +379,7 @@ func (b *BMS) SetPreference(p policy.Preference) error {
 	b.mu.Lock()
 	b.prefs[p.ID] = p
 	b.mu.Unlock()
+	b.streams.Invalidate()
 	b.detectConflicts()
 	return nil
 }
@@ -354,6 +392,7 @@ func (b *BMS) RemovePreference(id string) bool {
 	b.mu.Lock()
 	delete(b.prefs, id)
 	b.mu.Unlock()
+	b.streams.Invalidate()
 	b.detectConflicts()
 	return true
 }
@@ -553,9 +592,11 @@ func (b *BMS) StopRetention() {
 	<-done
 }
 
-// Close shuts down the BMS: retention daemon stopped, bus closed.
+// Close shuts down the BMS: retention daemon stopped, stream hub
+// drained, bus closed.
 func (b *BMS) Close() {
 	b.StopRetention()
+	b.streams.Close()
 	b.bus.Close()
 	if err := b.store.Close(); err != nil {
 		// Nothing to do but say so: durable stores flush their WAL here.

@@ -153,10 +153,12 @@ func (b *BMS) RequestOccupancy(req enforce.Request, minK int) (Response, error) 
 // spatial scope to its subtree.
 func (b *BMS) filterFor(req enforce.Request) obstore.Filter {
 	f := obstore.Filter{
-		UserID: req.SubjectID,
-		Kind:   req.Kind,
-		From:   req.From,
-		To:     req.To,
+		UserID:   req.SubjectID,
+		Kind:     req.Kind,
+		From:     req.From,
+		To:       req.To,
+		AfterSeq: req.AfterSeq,
+		Limit:    req.Limit,
 	}
 	if req.SpaceID != "" {
 		if ids, err := b.cfg.Spaces.Subtree(req.SpaceID); err == nil {

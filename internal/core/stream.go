@@ -1,19 +1,25 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
-	"github.com/tippers/tippers/internal/bus"
 	"github.com/tippers/tippers/internal/enforce"
 	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/stream"
 )
 
-// This file implements enforced streaming: a service subscribing to
-// live observations. The raw observation bus is internal — handing it
-// to services would bypass every preference — so subscriptions go
-// through the same decision pipeline as queries: each event is
-// decided for its subject and transformed per the effective rule
-// before delivery.
+// This file keeps the original channel-based streaming API as a thin
+// adapter over the stream hub (internal/stream). The raw observation
+// bus is internal — handing it to services would bypass every
+// preference — so subscriptions go through the same decision pipeline
+// as queries: each event is decided for its subject and transformed
+// per the effective rule before delivery. The hub adds what the old
+// inline implementation lacked: decision memoization across
+// subscribers, selectable backpressure, and cursor-based resume
+// (reachable via BMS.Streams for callers that want events rather than
+// a channel).
 
 // Stream is one service's enforced live subscription.
 type Stream struct {
@@ -47,63 +53,52 @@ func (b *BMS) Subscribe(req enforce.Request, buffer int) (*Stream, func() Stream
 	if buffer < 1 {
 		buffer = 64
 	}
-	sub := b.bus.Subscribe(bus.TopicObservations)
-	out := make(chan sensor.Observation, buffer)
-	stats := make(chan StreamStats, 1)
-	stats <- StreamStats{}
-
-	bump := func(f func(*StreamStats)) {
-		s := <-stats
-		f(&s)
-		stats <- s
+	sub, err := b.streams.Subscribe(stream.Options{
+		Topic:   stream.TopicObservations,
+		Request: req,
+		Buffer:  buffer,
+		Policy:  stream.DropOldest,
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
+	out := make(chan sensor.Observation, buffer)
+	stop := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
 		defer close(out)
 		defer close(done)
-		for e := range sub.C {
-			o, ok := e.Payload.(sensor.Observation)
-			if !ok || o.Kind != req.Kind {
-				continue
+		for {
+			ev, err := sub.Next(context.Background())
+			if err != nil {
+				return
 			}
-			evReq := req
-			evReq.SubjectID = o.UserID
-			evReq.Time = o.Time
-			if evReq.SpaceID == "" {
-				evReq.SpaceID = o.SpaceID
-			}
-			d := b.engine.Decide(evReq, b.subjectGroups(o.UserID))
-			b.recordDecision(d)
-			if !d.Allowed {
-				bump(func(s *StreamStats) { s.Denied++ })
-				continue
-			}
-			released, err := enforce.ApplyDecision(d, []sensor.Observation{o}, b.transf)
-			if err != nil || len(released) == 0 {
-				bump(func(s *StreamStats) { s.Denied++ })
+			if ev.Type != stream.EventObservation {
 				continue
 			}
 			select {
-			case out <- released[0]:
-				bump(func(s *StreamStats) { s.Delivered++ })
-			default:
-				bump(func(s *StreamStats) { s.Dropped++ })
+			case out <- *ev.Observation:
+			case <-stop:
+				return
 			}
 		}
 	}()
 
-	stream := &Stream{
+	var once sync.Once
+	st := &Stream{
 		C: out,
 		Cancel: func() {
-			sub.Cancel()
+			once.Do(func() {
+				sub.Cancel()
+				close(stop)
+			})
 			<-done
 		},
 	}
 	statsFn := func() StreamStats {
-		s := <-stats
-		stats <- s
-		return s
+		s := sub.Stats()
+		return StreamStats{Delivered: s.Delivered, Denied: s.Denied, Dropped: s.Dropped}
 	}
-	return stream, statsFn, nil
+	return st, statsFn, nil
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// BenchmarkStreamFanout measures the per-event cost of fanning one
+// ingest stream out to N enforced subscribers. The hub memoizes
+// decisions across subscribers, so the reported decides/event stays
+// ~constant as N grows — the fan-out's marginal cost is a cache hit
+// plus a ring push, not a policy evaluation.
+func BenchmarkStreamFanout(b *testing.B) {
+	for _, nSubs := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("subs=%d", nSubs), func(b *testing.B) {
+			f := newFixture(b)
+			if err := f.bms.SetPreference(policy.CoarseLocationPreference("mary", "concierge")); err != nil {
+				b.Fatal(err)
+			}
+			req := enforce.Request{
+				ServiceID: "concierge",
+				Purpose:   policy.PurposeProvidingService,
+				Kind:      sensor.ObsWiFiConnect,
+			}
+			stats := make([]func() StreamStats, nSubs)
+			for i := 0; i < nSubs; i++ {
+				st, statsFn, err := f.bms.Subscribe(req, 4096)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Cancel()
+				stats[i] = statsFn
+				go func() {
+					for range st.C {
+					}
+				}()
+			}
+			obs := f.wifiObs("aa:00:00:00:00:01", "ap-2", 0)
+
+			// Pace the publisher so neither the hub's bus tap nor the
+			// subscription rings overflow: the benchmark measures
+			// enforcement fan-out, not loss.
+			const window = 256
+			waitUntil := func(target uint64) {
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					lagging := false
+					for _, statsFn := range stats {
+						if statsFn().Delivered < target {
+							lagging = true
+							break
+						}
+					}
+					if !lagging {
+						return
+					}
+					if time.Now().After(deadline) {
+						b.Fatalf("fan-out stalled waiting for %d deliveries per subscriber", target)
+					}
+					runtime.Gosched()
+				}
+			}
+
+			_, missesBefore := f.bms.Streams().CacheStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.bms.Ingest(obs); err != nil {
+					b.Fatal(err)
+				}
+				if (i+1)%window == 0 && i+1 > 2*window {
+					waitUntil(uint64(i + 1 - 2*window))
+				}
+			}
+			waitUntil(uint64(b.N))
+			b.StopTimer()
+			_, missesAfter := f.bms.Streams().CacheStats()
+			b.ReportMetric(float64(missesAfter-missesBefore)/float64(b.N), "decides/event")
+			b.ReportMetric(float64(nSubs*b.N)/b.Elapsed().Seconds(), "deliveries/s")
+		})
+	}
+}

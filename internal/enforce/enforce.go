@@ -53,6 +53,12 @@ type Request struct {
 	// From and To bound the observation window fetched by the data
 	// path. They do not affect the decision itself.
 	From, To time.Time
+	// AfterSeq and Limit page the data path: only observations with
+	// store sequence > AfterSeq are fetched, at most Limit of them
+	// (0 = no cap). Like From/To they do not affect the decision; a
+	// pageable response repeats the same decision per page.
+	AfterSeq uint64
+	Limit    int
 }
 
 // Notification informs a user (through their IoTA) that a

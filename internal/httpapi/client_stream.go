@@ -1,0 +1,202 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// StreamOptions configures Client.Stream. The zero value streams live
+// observations with automatic reconnect and gap resync.
+type StreamOptions struct {
+	// Topic: "observations" (default), "notifications", or
+	// "conflicts".
+	Topic string
+	// Request carries the requester identity and filter for
+	// observation streams (service_id, purpose, kind, subject,
+	// space_id, granularity).
+	Request RequestDTO
+	// UserID filters notification/conflict streams.
+	UserID string
+	// Replay replays durable history from AfterSeq before going live
+	// (observation streams only).
+	Replay bool
+	// AfterSeq is the initial resume cursor.
+	AfterSeq uint64
+	// Buffer and Policy select the server-side ring size and
+	// backpressure policy ("drop-oldest", "block", "disconnect").
+	Buffer int
+	Policy string
+	// NoReconnect disables automatic reconnect+resume on connection
+	// loss.
+	NoReconnect bool
+	// ReconnectDelay paces reconnect attempts (default 1s).
+	ReconnectDelay time.Duration
+	// NoGapResync disables the self-healing response to gap markers.
+	// By default, when the server reports dropped events on an
+	// observation stream, the client reconnects with its cursor so
+	// the lost range is replayed from the durable store.
+	NoGapResync bool
+}
+
+// Stream consumes GET /v1/stream, invoking fn for every event. It
+// blocks until ctx is cancelled, fn returns an error (returned
+// as-is), or the stream fails unrecoverably. On connection loss it
+// reconnects and resumes from the last delivered cursor, replaying
+// the gap from the server's durable store — the callback sees every
+// matching observation exactly once across reconnects.
+func (c *Client) Stream(ctx context.Context, opts StreamOptions, fn func(StreamEventDTO) error) error {
+	if opts.ReconnectDelay <= 0 {
+		opts.ReconnectDelay = time.Second
+	}
+	// Streams outlive any sane request timeout: use a copy of the
+	// caller's client with the overall timeout removed (dial and TLS
+	// limits live in the transport and still apply).
+	shc := *c.hc
+	shc.Timeout = 0
+
+	lastID := opts.AfterSeq
+	replay := opts.Replay
+	firstAttempt := true
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !firstAttempt {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(opts.ReconnectDelay):
+			}
+		}
+		resync, err := c.streamOnce(ctx, &shc, opts, &lastID, replay, firstAttempt, fn)
+		firstAttempt = false
+		switch {
+		case err != nil:
+			return err
+		case resync:
+			// Gap marker or connection loss: resume from the cursor
+			// with replay so the durable store fills the hole.
+			replay = true
+		case opts.NoReconnect:
+			return nil
+		default:
+			replay = true
+		}
+	}
+}
+
+// streamOnce runs a single connection. It returns (resync, err):
+// err non-nil aborts the stream; otherwise the caller reconnects
+// unless NoReconnect is set.
+func (c *Client) streamOnce(ctx context.Context, hc *http.Client, opts StreamOptions, lastID *uint64, replay, firstAttempt bool, fn func(StreamEventDTO) error) (bool, error) {
+	q := url.Values{}
+	if opts.Topic != "" {
+		q.Set("topic", opts.Topic)
+	}
+	if opts.UserID != "" {
+		q.Set("user", opts.UserID)
+	}
+	r := opts.Request
+	for k, v := range map[string]string{
+		"service": r.ServiceID, "purpose": r.Purpose, "kind": r.Kind,
+		"subject": r.SubjectID, "space": r.SpaceID, "granularity": r.Granularity,
+	} {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	if replay {
+		q.Set("replay", "true")
+	}
+	if opts.Buffer > 0 {
+		q.Set("buffer", strconv.Itoa(opts.Buffer))
+	}
+	if opts.Policy != "" {
+		q.Set("policy", opts.Policy)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stream?"+q.Encode(), nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*lastID, 10))
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		if firstAttempt || opts.NoReconnect {
+			return false, fmt.Errorf("httpapi: stream connect: %w", err)
+		}
+		return true, nil // transient: reconnect
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		var eb errorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			return false, fmt.Errorf("httpapi: stream: %s (%s)", eb.Error, resp.Status)
+		}
+		return false, fmt.Errorf("httpapi: stream: %s", resp.Status)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var evName string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0:
+			// Blank line dispatches the accumulated event.
+			name, payload := evName, data
+			evName, data = "", nil
+			if len(payload) == 0 {
+				continue
+			}
+			if name == "end" {
+				continue // server is closing; the read loop ends next
+			}
+			var dto StreamEventDTO
+			if err := json.Unmarshal(payload, &dto); err != nil {
+				return false, fmt.Errorf("httpapi: stream: decode %q event: %w", name, err)
+			}
+			if dto.Seq > *lastID {
+				*lastID = dto.Seq
+			}
+			if err := fn(dto); err != nil {
+				return false, err
+			}
+			if name == "gap" && !opts.NoGapResync && (opts.Topic == "" || opts.Topic == "observations") {
+				return true, nil // reconnect; replay fills the hole
+			}
+		case line[0] == ':':
+			// Heartbeat comment.
+		case bytes.HasPrefix(line, []byte("id: ")):
+			if id, err := strconv.ParseUint(string(line[4:]), 10, 64); err == nil && id > *lastID {
+				*lastID = id
+			}
+		case bytes.HasPrefix(line, []byte("event: ")):
+			evName = string(line[7:])
+		case bytes.HasPrefix(line, []byte("data: ")):
+			data = append([]byte(nil), line[6:]...)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if err := sc.Err(); err != nil && opts.NoReconnect {
+		return false, fmt.Errorf("httpapi: stream read: %w", err)
+	}
+	return false, nil
+}

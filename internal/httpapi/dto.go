@@ -73,6 +73,10 @@ type RequestDTO struct {
 	Time        time.Time `json:"time,omitempty"`
 	From        time.Time `json:"from,omitempty"`
 	To          time.Time `json:"to,omitempty"`
+	// AfterSeq and Limit page the data path: only observations with
+	// seq > after_seq, at most limit of them (0 = no cap).
+	AfterSeq uint64 `json:"after_seq,omitempty"`
+	Limit    int    `json:"limit,omitempty"`
 }
 
 // NotificationDTO is the wire form of enforce.Notification.
@@ -300,6 +304,8 @@ func RequestFromDTO(d RequestDTO) (enforce.Request, error) {
 		Time:      d.Time,
 		From:      d.From,
 		To:        d.To,
+		AfterSeq:  d.AfterSeq,
+		Limit:     d.Limit,
 	}
 	if d.Granularity != "" {
 		g, err := policy.ParseGranularity(d.Granularity)
@@ -322,6 +328,8 @@ func RequestToDTO(r enforce.Request) RequestDTO {
 		Time:      r.Time,
 		From:      r.From,
 		To:        r.To,
+		AfterSeq:  r.AfterSeq,
+		Limit:     r.Limit,
 	}
 	if r.Granularity.Valid() {
 		out.Granularity = r.Granularity.String()

@@ -30,6 +30,7 @@ const maxBodyBytes = 10 << 20
 //	POST   /v1/requests/occupancy?k=K    aggregate occupancy request
 //	GET    /v1/stats                     pipeline counters
 //	GET    /v1/traces?user=U&n=N         recent decision traces
+//	GET    /v1/stream?...                enforced live stream (SSE; see stream.go)
 type Server struct {
 	bms     *core.BMS
 	metrics *telemetry.Registry
@@ -73,6 +74,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/audit", s.handleAudit)
 	handle("DELETE /v1/users/{id}/data", s.handleForget)
 	handle("GET /v1/traces", s.handleTraces)
+	handle("GET /v1/stream", s.handleStream)
 	return mux
 }
 

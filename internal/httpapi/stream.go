@@ -1,0 +1,232 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/tippers/tippers/internal/stream"
+)
+
+// This file exposes the stream hub over HTTP as Server-Sent Events:
+//
+//	GET /v1/stream?topic=observations&service=S&purpose=P&kind=K...
+//
+// Wire protocol: standard SSE framing. Each event carries its resume
+// cursor in the `id:` field (observation cursors are durable store
+// sequence numbers), its type in `event:`, and a StreamEventDTO as
+// `data:`. Comment lines (`: hb`) are heartbeats. A reconnecting
+// client sends Last-Event-ID (or ?after=N) with ?replay=true and the
+// server replays the gap from the durable store before splicing onto
+// the live feed — exactly-once across the reconnect.
+//
+// Gap markers (drop-oldest evictions) deliberately carry no id: the
+// client's Last-Event-ID stays at the last real event, so a resume
+// after a gap re-reads the lost range from the store.
+
+// heartbeatInterval paces SSE keep-alive comments so idle streams
+// survive proxies and dead peers are detected.
+const heartbeatInterval = 15 * time.Second
+
+// StreamEventDTO is the wire form of one stream event.
+type StreamEventDTO struct {
+	Type string `json:"type"`
+	// Seq is the resume cursor (store sequence for observations,
+	// hub-local for notifications/conflicts, absent for gaps).
+	Seq          uint64           `json:"seq,omitempty"`
+	Observation  *ObservationDTO  `json:"observation,omitempty"`
+	Notification *NotificationDTO `json:"notification,omitempty"`
+	Conflict     *ConflictDTO     `json:"conflict,omitempty"`
+	// GapFrom/GapTo bound a gap event: cursors in (gap_from, gap_to]
+	// were evicted before delivery.
+	GapFrom uint64 `json:"gap_from,omitempty"`
+	GapTo   uint64 `json:"gap_to,omitempty"`
+}
+
+func streamEventToDTO(ev stream.Event) StreamEventDTO {
+	out := StreamEventDTO{Type: string(ev.Type), Seq: ev.Seq, GapFrom: ev.GapFrom, GapTo: ev.GapTo}
+	if ev.Observation != nil {
+		o := observationToDTO(*ev.Observation)
+		out.Observation = &o
+	}
+	if ev.Notification != nil {
+		n := notificationToDTO(*ev.Notification)
+		out.Notification = &n
+	}
+	if ev.Conflict != nil {
+		c := ev.Conflict
+		out.Conflict = &ConflictDTO{
+			Kind:              c.Kind.String(),
+			PolicyID:          c.PolicyID,
+			PreferenceID:      c.PreferenceID,
+			OtherPreferenceID: c.OtherPreferenceID,
+			UserID:            c.UserID,
+			Winner:            c.Resolution.Winner,
+			OverrideApplied:   c.Resolution.OverrideApplied,
+			Explanation:       c.Resolution.Explanation,
+		}
+	}
+	if ev.Type == stream.EventGap {
+		out.Seq = 0
+	}
+	return out
+}
+
+// streamOptionsFromQuery translates /v1/stream query parameters into
+// hub subscription options.
+func streamOptionsFromQuery(req *http.Request) (stream.Options, error) {
+	q := req.URL.Query()
+	opts := stream.Options{
+		Topic:  q.Get("topic"),
+		UserID: q.Get("user"),
+	}
+	rdto := RequestDTO{
+		ServiceID:   q.Get("service"),
+		Purpose:     q.Get("purpose"),
+		Kind:        q.Get("kind"),
+		SubjectID:   q.Get("subject"),
+		SpaceID:     q.Get("space"),
+		Granularity: q.Get("granularity"),
+	}
+	r, err := RequestFromDTO(rdto)
+	if err != nil {
+		return stream.Options{}, err
+	}
+	opts.Request = r
+	if v := q.Get("replay"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return stream.Options{}, fmt.Errorf("invalid replay %q", v)
+		}
+		opts.Replay = b
+	}
+	// Last-Event-ID (the SSE reconnect convention) wins over ?after.
+	after := req.Header.Get("Last-Event-ID")
+	if after == "" {
+		after = q.Get("after")
+	}
+	if after != "" {
+		n, err := strconv.ParseUint(after, 10, 64)
+		if err != nil {
+			return stream.Options{}, fmt.Errorf("invalid cursor %q", after)
+		}
+		opts.AfterSeq = n
+	}
+	if v := q.Get("buffer"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return stream.Options{}, fmt.Errorf("invalid buffer %q", v)
+		}
+		opts.Buffer = n
+	}
+	pol, err := stream.ParseBackpressure(q.Get("policy"))
+	if err != nil {
+		return stream.Options{}, err
+	}
+	opts.Policy = pol
+	return opts, nil
+}
+
+// handleStream serves GET /v1/stream.
+func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
+	opts, err := streamOptionsFromQuery(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sub, err := s.bms.Streams().Subscribe(opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	// Long-lived response: exempt this handler from the server's
+	// WriteTimeout (set for every other, request-scoped route).
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+	_ = rc.Flush()
+
+	ctx := req.Context()
+	hb := time.NewTicker(heartbeatInterval)
+	defer hb.Stop()
+
+	// Next blocks in its own goroutine so the handler can interleave
+	// heartbeats; events is closed when the subscription ends.
+	type result struct {
+		ev  stream.Event
+		err error
+	}
+	events := make(chan result)
+	go func() {
+		defer close(events)
+		for {
+			ev, err := sub.Next(ctx)
+			select {
+			case events <- result{ev, err}:
+			case <-ctx.Done():
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			_ = rc.Flush()
+		case res, ok := <-events:
+			if !ok {
+				return
+			}
+			if res.err != nil {
+				// Tell the client why the stream ended (e.g. the
+				// disconnect backpressure policy); it reconnects with
+				// its cursor.
+				fmt.Fprintf(w, "event: end\ndata: %s\n\n", sseJSON(errorBody{Error: res.err.Error()}))
+				_ = rc.Flush()
+				return
+			}
+			if err := writeSSE(w, res.ev); err != nil {
+				return
+			}
+			_ = rc.Flush()
+		}
+	}
+}
+
+// writeSSE frames one event. Gap markers carry no id so the client's
+// resume cursor keeps pointing at the last delivered event.
+func writeSSE(w http.ResponseWriter, ev stream.Event) error {
+	if ev.Type != stream.EventGap && ev.Seq != 0 {
+		if _, err := fmt.Fprintf(w, "id: %d\n", ev.Seq); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, sseJSON(streamEventToDTO(ev)))
+	return err
+}
+
+// sseJSON marshals for an SSE data line; the DTOs involved cannot
+// fail to marshal.
+func sseJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(errorBody{Error: err.Error()})
+	}
+	return b
+}

@@ -40,6 +40,10 @@ type Filter struct {
 	// spaces. Callers expand spatial subtrees (e.g. a floor to its
 	// rooms) before querying.
 	SpaceIDs []string
+	// AfterSeq matches only observations with Seq > AfterSeq, making
+	// results pageable: pass the last seq of one page as the next
+	// page's cursor. Streaming catch-up reads resume on it too.
+	AfterSeq uint64
 	// Limit caps the number of returned observations; 0 means no cap.
 	Limit int
 }
@@ -195,6 +199,13 @@ func (s *Store) Query(f Filter) []sensor.Observation {
 	defer s.mu.RUnlock()
 
 	candidates := s.candidateSeqs(f)
+	if f.AfterSeq > 0 {
+		// Index slices are append-ordered by ascending seq, so the
+		// cursor prefix can be skipped wholesale instead of filtered.
+		candidates = candidates[sort.Search(len(candidates), func(i int) bool {
+			return candidates[i] > f.AfterSeq
+		}):]
+	}
 	var spaceSet map[string]bool
 	if len(f.SpaceIDs) > 0 {
 		spaceSet = make(map[string]bool, len(f.SpaceIDs))

@@ -1,0 +1,566 @@
+// Package stream implements policy-enforced live streaming: the
+// continuous side of the paper's Figure-1 loop. A subscriber (a
+// service, an IoTA, a remote client) registers a filter and a
+// requester identity once; thereafter every matching observation is
+// pushed to it transformed through the full enforce/privacy pipeline
+// for *that* requester — deny, coarsen, noise, pseudonymize — exactly
+// as the one-shot query path would have released it.
+//
+// The hub solves three problems a naive bus tap cannot:
+//
+//   - Per-subscriber enforcement at fan-out cost. Deciding N
+//     subscribers × M events re-runs the policy engine N×M times; the
+//     hub memoizes decisions by (requester, subject, kind, space,
+//     minute) so identical flows collapse to a map hit. The memo is
+//     invalidated whenever rules change (Invalidate).
+//   - Backpressure. Each subscription owns a bounded ring with a
+//     selectable policy: drop-oldest (a gap marker tells the consumer
+//     what range it lost), block-publisher-with-deadline, or
+//     disconnect (the consumer reconnects and resumes).
+//   - Resume. Observation cursors are the durable store's sequence
+//     numbers, so a reconnecting subscriber replays its gap from the
+//     store (in bounded pages) and splices onto the live feed without
+//     duplicates or holes. See Subscription.Next for the splice
+//     invariant.
+//
+// Notifications and conflicts are streamable too; their cursors are
+// hub-local (there is no durable log behind them), so those topics are
+// live-only.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tippers/tippers/internal/bus"
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/reasoner"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/telemetry"
+)
+
+// Streamable topics (the bus topics the hub taps).
+const (
+	TopicObservations  = bus.TopicObservations
+	TopicNotifications = bus.TopicNotifications
+	TopicConflicts     = bus.TopicConflicts
+)
+
+// Backpressure selects what happens when a subscription's ring is
+// full and another event arrives.
+type Backpressure int
+
+const (
+	// PolicyDefault selects the hub's configured default (itself
+	// DropOldest when unconfigured).
+	PolicyDefault Backpressure = iota
+	// DropOldest evicts the oldest buffered event and records a gap
+	// marker so the consumer knows which cursor range it lost.
+	DropOldest
+	// Block makes the publisher wait for ring space up to the
+	// subscription's BlockTimeout, then falls back to DropOldest.
+	Block
+	// Disconnect closes the subscription (Next returns
+	// ErrSlowConsumer); the consumer reconnects with its cursor and
+	// replays the gap from the durable store.
+	Disconnect
+)
+
+// String names the policy for flags and wire parameters.
+func (p Backpressure) String() string {
+	switch p {
+	case DropOldest:
+		return "drop-oldest"
+	case Block:
+		return "block"
+	case Disconnect:
+		return "disconnect"
+	default:
+		return "default"
+	}
+}
+
+// ParseBackpressure parses a policy name as accepted on flags and in
+// stream query parameters.
+func ParseBackpressure(s string) (Backpressure, error) {
+	switch s {
+	case "", "default":
+		return PolicyDefault, nil
+	case "drop", "drop-oldest":
+		return DropOldest, nil
+	case "block":
+		return Block, nil
+	case "disconnect":
+		return Disconnect, nil
+	default:
+		return 0, fmt.Errorf("stream: unknown backpressure policy %q (want drop-oldest, block, or disconnect)", s)
+	}
+}
+
+// EventType discriminates stream events.
+type EventType string
+
+const (
+	EventObservation  EventType = "observation"
+	EventNotification EventType = "notification"
+	EventConflict     EventType = "conflict"
+	// EventGap reports that events in (GapFrom, GapTo] were evicted
+	// under drop-oldest backpressure. For observation streams the lost
+	// range is still in the durable store: reconnecting with the last
+	// delivered cursor replays it.
+	EventGap EventType = "gap"
+)
+
+// Event is one delivered stream element. Seq is the resume cursor:
+// the durable store sequence number for observations, a hub-local
+// sequence for notifications and conflicts (not replayable), zero for
+// gap markers.
+type Event struct {
+	Type         EventType
+	Seq          uint64
+	Observation  *sensor.Observation
+	Notification *enforce.Notification
+	Conflict     *reasoner.Conflict
+	// GapFrom/GapTo bound a gap event: cursors in (GapFrom, GapTo]
+	// were lost.
+	GapFrom, GapTo uint64
+}
+
+// Config wires a Hub to its collaborators. Store, Bus, Decide, and
+// Apply are required.
+type Config struct {
+	// Store is the durable observation log replayed on resume.
+	Store *obstore.Store
+	// Bus is the live feed the hub taps.
+	Bus *bus.Bus
+	// Decide runs the full decision pipeline for one event-request
+	// (the hub fills SubjectID/Time/SpaceID/Kind from each event).
+	Decide func(req enforce.Request) enforce.Decision
+	// Record, if set, is invoked for every event decision — cache hits
+	// included — so pipeline counters and override notifications
+	// behave exactly as on the one-shot query path.
+	Record func(d enforce.Decision)
+	// Apply runs the data path (coarsen, noise) for an allowed
+	// decision.
+	Apply func(d enforce.Decision, obs []sensor.Observation) ([]sensor.Observation, error)
+	// Filter translates a request template into a store filter
+	// (spatial subtree expansion); nil uses a field-for-field mapping
+	// with exact-space matching.
+	Filter func(req enforce.Request) obstore.Filter
+	// Metrics receives tippers_stream_* metrics; nil creates a
+	// private registry.
+	Metrics *telemetry.Registry
+	// DefaultBuffer is the ring capacity for subscriptions that don't
+	// set one (default 256).
+	DefaultBuffer int
+	// DefaultPolicy is the backpressure policy for subscriptions that
+	// don't set one (default DropOldest).
+	DefaultPolicy Backpressure
+	// BusBuffer sizes the hub's own bus subscriptions (default 1024):
+	// the headroom between the ingest pipeline and the hub's fan-out
+	// loop.
+	BusBuffer int
+	// CacheSize caps the decision memo (default 65536 entries).
+	CacheSize int
+}
+
+// Errors returned by Subscription.Next.
+var (
+	// ErrClosed reports a cancelled subscription or a closed hub.
+	ErrClosed = errors.New("stream: subscription closed")
+	// ErrSlowConsumer reports a Disconnect-policy eviction: the
+	// consumer fell behind and must reconnect with its cursor.
+	ErrSlowConsumer = errors.New("stream: subscription disconnected: consumer too slow")
+)
+
+// Hub fans the live feed out to enforced subscriptions.
+type Hub struct {
+	cfg   Config
+	cache *decisionCache
+
+	mu      sync.RWMutex
+	subs    map[int]*Subscription
+	byTopic map[string][]*Subscription // immutable snapshots, rebuilt on change
+	nextID  int
+	closed  bool
+
+	feeds    []*bus.Subscription
+	wg       sync.WaitGroup
+	localSeq atomic.Uint64 // cursor space for non-durable topics
+
+	met hubMetrics
+}
+
+type hubMetrics struct {
+	delivered   *telemetry.Counter
+	denied      *telemetry.Counter
+	dropped     *telemetry.Counter
+	gaps        *telemetry.Counter
+	replayed    *telemetry.Counter
+	disconnects *telemetry.Counter
+}
+
+// NewHub starts a hub over the given collaborators: it subscribes to
+// the observation, notification, and conflict topics and begins
+// dispatching. Close releases the taps.
+func NewHub(cfg Config) (*Hub, error) {
+	if cfg.Store == nil || cfg.Bus == nil || cfg.Decide == nil || cfg.Apply == nil {
+		return nil, errors.New("stream: Config needs Store, Bus, Decide, and Apply")
+	}
+	if cfg.DefaultBuffer <= 0 {
+		cfg.DefaultBuffer = 256
+	}
+	if cfg.BusBuffer <= 0 {
+		cfg.BusBuffer = 1024
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	h := &Hub{
+		cfg:     cfg,
+		cache:   newDecisionCache(cfg.CacheSize),
+		subs:    make(map[int]*Subscription),
+		byTopic: make(map[string][]*Subscription),
+	}
+	h.registerMetrics(cfg.Metrics)
+	for _, topic := range []string{TopicObservations, TopicNotifications, TopicConflicts} {
+		feed := cfg.Bus.SubscribeBuffered(topic, cfg.BusBuffer)
+		h.feeds = append(h.feeds, feed)
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			for e := range feed.C {
+				h.dispatch(e)
+			}
+		}()
+	}
+	return h, nil
+}
+
+func (h *Hub) registerMetrics(r *telemetry.Registry) {
+	h.met = hubMetrics{
+		delivered: r.Counter("tippers_stream_delivered_total",
+			"Events delivered to stream subscribers (live and replayed)."),
+		denied: r.Counter("tippers_stream_denied_total",
+			"Stream events suppressed by enforcement (denied or fully degraded)."),
+		dropped: r.Counter("tippers_stream_dropped_total",
+			"Events evicted from subscription rings by backpressure."),
+		gaps: r.Counter("tippers_stream_gaps_total",
+			"Gap markers delivered after drop-oldest evictions."),
+		replayed: r.Counter("tippers_stream_replayed_total",
+			"Events replayed from the durable store on resume."),
+		disconnects: r.Counter("tippers_stream_disconnects_total",
+			"Subscriptions force-closed by the disconnect backpressure policy."),
+	}
+	r.GaugeFunc("tippers_stream_subscriptions",
+		"Active stream subscriptions.", func() float64 {
+			h.mu.RLock()
+			defer h.mu.RUnlock()
+			return float64(len(h.subs))
+		})
+	r.CounterFunc("tippers_stream_decision_cache_hits_total",
+		"Stream decisions served from the per-subscriber memo.", func() float64 {
+			return float64(h.cache.hits.Load())
+		})
+	r.CounterFunc("tippers_stream_decision_cache_misses_total",
+		"Stream decisions that ran the full policy engine.", func() float64 {
+			return float64(h.cache.misses.Load())
+		})
+}
+
+// Options configures one subscription.
+type Options struct {
+	// Topic selects what to stream: TopicObservations (default,
+	// enforced per subscriber), TopicNotifications, or TopicConflicts.
+	Topic string
+	// Request is the requester identity and filter template for
+	// observation streams: ServiceID, Purpose, and optionally Kind,
+	// SubjectID, SpaceID, Granularity, From, To. SubjectID/Time (and
+	// Kind/SpaceID when unset) are filled from each event before
+	// deciding.
+	Request enforce.Request
+	// UserID filters notification and conflict streams to one user;
+	// empty streams all.
+	UserID string
+	// Replay makes an observation subscription start by replaying the
+	// durable store from AfterSeq (exclusive) before splicing onto the
+	// live feed. Only valid for TopicObservations.
+	Replay bool
+	// AfterSeq is the resume cursor: the last event sequence the
+	// consumer saw. Zero with Replay replays all retained history.
+	AfterSeq uint64
+	// Buffer is the ring capacity; 0 uses the hub default.
+	Buffer int
+	// Policy is the backpressure policy; PolicyDefault uses the hub
+	// default.
+	Policy Backpressure
+	// BlockTimeout bounds a Block-policy publisher wait (default 1s).
+	BlockTimeout time.Duration
+	// ReplayChunk pages catch-up reads (default 1024); tests shrink
+	// it.
+	ReplayChunk int
+}
+
+// Subscribe attaches a subscription. The caller must drain it with
+// Next (one goroutine at a time) and release it with Cancel.
+func (h *Hub) Subscribe(opts Options) (*Subscription, error) {
+	switch opts.Topic {
+	case "":
+		opts.Topic = TopicObservations
+	case TopicObservations, TopicNotifications, TopicConflicts:
+	default:
+		return nil, fmt.Errorf("stream: unknown topic %q", opts.Topic)
+	}
+	if opts.Replay && opts.Topic != TopicObservations {
+		return nil, fmt.Errorf("stream: resume is only supported on %q: other topics have no durable log", TopicObservations)
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = h.cfg.DefaultBuffer
+	}
+	if opts.Policy == PolicyDefault {
+		opts.Policy = h.cfg.DefaultPolicy
+	}
+	if opts.Policy == PolicyDefault {
+		opts.Policy = DropOldest
+	}
+	if opts.BlockTimeout <= 0 {
+		opts.BlockTimeout = time.Second
+	}
+	if opts.ReplayChunk <= 0 {
+		opts.ReplayChunk = 1024
+	}
+
+	s := &Subscription{
+		hub:    h,
+		opts:   opts,
+		ring:   make([]Event, opts.Buffer),
+		notify: make(chan struct{}, 1),
+		space:  make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		cursor: opts.AfterSeq,
+	}
+	if opts.Topic == TopicObservations {
+		f := obstore.Filter{
+			UserID: opts.Request.SubjectID,
+			Kind:   opts.Request.Kind,
+			From:   opts.Request.From,
+			To:     opts.Request.To,
+		}
+		if h.cfg.Filter != nil {
+			f = h.cfg.Filter(opts.Request)
+		}
+		// The replay pager owns the cursor fields.
+		f.AfterSeq, f.Limit = 0, 0
+		s.filter = f
+		if len(f.SpaceIDs) > 0 {
+			s.spaceSet = make(map[string]bool, len(f.SpaceIDs))
+			for _, id := range f.SpaceIDs {
+				s.spaceSet[id] = true
+			}
+		}
+	}
+	s.fetchDone = !opts.Replay || opts.Topic != TopicObservations
+	s.replayDone = s.fetchDone
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	s.id = h.nextID
+	h.nextID++
+	h.subs[s.id] = s
+	h.rebuildTopicsLocked()
+	return s, nil
+}
+
+// rebuildTopicsLocked refreshes the per-topic dispatch snapshots.
+// Caller holds h.mu.
+func (h *Hub) rebuildTopicsLocked() {
+	byTopic := make(map[string][]*Subscription, 3)
+	for _, s := range h.subs {
+		byTopic[s.opts.Topic] = append(byTopic[s.opts.Topic], s)
+	}
+	h.byTopic = byTopic
+}
+
+// removeSub detaches a subscription from dispatch.
+func (h *Hub) removeSub(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[id]; !ok {
+		return
+	}
+	delete(h.subs, id)
+	h.rebuildTopicsLocked()
+}
+
+// topicSubs returns the current dispatch snapshot for a topic. The
+// slice is immutable; iterate without holding the lock.
+func (h *Hub) topicSubs(topic string) []*Subscription {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.byTopic[topic]
+}
+
+// dispatch routes one bus event to the matching subscriptions.
+func (h *Hub) dispatch(e bus.Event) {
+	switch p := e.Payload.(type) {
+	case sensor.Observation:
+		for _, s := range h.topicSubs(TopicObservations) {
+			s.offerObservation(p)
+		}
+	case enforce.Notification:
+		subs := h.topicSubs(TopicNotifications)
+		if len(subs) == 0 {
+			return
+		}
+		n := p
+		ev := Event{Type: EventNotification, Seq: h.localSeq.Add(1), Notification: &n}
+		for _, s := range subs {
+			if s.opts.UserID != "" && n.UserID != s.opts.UserID {
+				continue
+			}
+			s.push(ev)
+		}
+	case reasoner.Conflict:
+		subs := h.topicSubs(TopicConflicts)
+		if len(subs) == 0 {
+			return
+		}
+		c := p
+		ev := Event{Type: EventConflict, Seq: h.localSeq.Add(1), Conflict: &c}
+		for _, s := range subs {
+			if s.opts.UserID != "" && c.UserID != s.opts.UserID {
+				continue
+			}
+			s.push(ev)
+		}
+	}
+}
+
+// Invalidate flushes the decision memo. The owning BMS calls it on
+// every policy or preference mutation so streamed decisions track
+// rule changes exactly as queries do.
+func (h *Hub) Invalidate() {
+	h.cache.invalidate()
+}
+
+// CacheStats returns (hits, misses) of the decision memo.
+func (h *Hub) CacheStats() (hits, misses uint64) {
+	return h.cache.hits.Load(), h.cache.misses.Load()
+}
+
+// Close cancels every subscription, detaches from the bus, and waits
+// for the dispatch loops to exit.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := make([]*Subscription, 0, len(h.subs))
+	for _, s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.subs = make(map[int]*Subscription)
+	h.byTopic = make(map[string][]*Subscription)
+	h.mu.Unlock()
+
+	for _, s := range subs {
+		s.close(ErrClosed)
+	}
+	for _, f := range h.feeds {
+		f.Cancel()
+	}
+	h.wg.Wait()
+}
+
+// decisionCache memoizes enforcement decisions per requester flow,
+// with the same correctness constraints as enforce.Cached: keys
+// quantize time to the minute (window rules have minute resolution),
+// and decisions carrying notifications are never cached (replaying
+// them would duplicate or swallow user notifications). Rule mutations
+// invalidate wholesale via an epoch bump.
+type decisionCache struct {
+	mu    sync.RWMutex
+	memo  map[decisionKey]enforce.Decision
+	epoch uint64
+	max   int
+
+	hits, misses atomic.Uint64
+}
+
+type decisionKey struct {
+	epoch       uint64
+	service     string
+	subject     string
+	space       string
+	kind        sensor.ObservationKind
+	purpose     policy.Purpose
+	granularity policy.Granularity
+	minute      int64
+}
+
+func newDecisionCache(max int) *decisionCache {
+	if max <= 0 {
+		max = 65536
+	}
+	return &decisionCache{memo: make(map[decisionKey]enforce.Decision), max: max}
+}
+
+func (c *decisionCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	if len(c.memo) > 0 {
+		c.memo = make(map[decisionKey]enforce.Decision)
+	}
+}
+
+// decide returns the memoized decision for req, consulting decide on
+// a miss.
+func (c *decisionCache) decide(req enforce.Request, decide func(enforce.Request) enforce.Decision) enforce.Decision {
+	t := req.Time
+	if t.IsZero() {
+		t = time.Now()
+	}
+	c.mu.RLock()
+	key := decisionKey{
+		epoch:       c.epoch,
+		service:     req.ServiceID,
+		subject:     req.SubjectID,
+		space:       req.SpaceID,
+		kind:        req.Kind,
+		purpose:     req.Purpose,
+		granularity: req.Granularity,
+		minute:      t.Unix() / 60,
+	}
+	d, ok := c.memo[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		d.FromCache = true
+		return d
+	}
+	d = decide(req)
+	c.misses.Add(1)
+	if len(d.Notifications) > 0 {
+		return d
+	}
+	c.mu.Lock()
+	if key.epoch == c.epoch {
+		if len(c.memo) >= c.max {
+			c.memo = make(map[decisionKey]enforce.Decision)
+		}
+		c.memo[key] = d
+	}
+	c.mu.Unlock()
+	return d
+}

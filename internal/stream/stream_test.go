@@ -1,0 +1,469 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/bus"
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/reasoner"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// fixture wires a hub over a real store and bus with a stub decision
+// pipeline: subject "blocked" is denied, everything else released
+// unchanged. decides counts full pipeline runs (cache misses).
+type fixture struct {
+	store   *obstore.Store
+	bus     *bus.Bus
+	hub     *Hub
+	decides atomic.Uint64
+}
+
+var fixtureBase = time.Date(2017, 6, 7, 14, 0, 0, 0, time.UTC)
+
+func newHubFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{store: obstore.New(), bus: bus.New(64)}
+	hub, err := NewHub(Config{
+		Store: f.store,
+		Bus:   f.bus,
+		Decide: func(req enforce.Request) enforce.Decision {
+			f.decides.Add(1)
+			if req.SubjectID == "blocked" {
+				return enforce.Decision{DenyReason: "blocked subject"}
+			}
+			return enforce.Decision{Allowed: true}
+		},
+		Apply: func(d enforce.Decision, obs []sensor.Observation) ([]sensor.Observation, error) {
+			if !d.Allowed {
+				return nil, nil
+			}
+			return obs, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		hub.Close()
+		f.bus.Close()
+	})
+	f.hub = hub
+	return f
+}
+
+// ingest mimics the core pipeline's ordering guarantee: append to the
+// durable store first, then publish on the bus.
+func (f *fixture) ingest(t testing.TB, user string, minute int) sensor.Observation {
+	t.Helper()
+	o := sensor.Observation{
+		SensorID: "ap-1",
+		Kind:     sensor.ObsWiFiConnect,
+		Time:     fixtureBase.Add(time.Duration(minute) * time.Minute),
+		SpaceID:  "dbh/1/r0",
+		UserID:   user,
+	}
+	stored, err := f.store.Append(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.bus.Publish(bus.TopicObservations, stored)
+	return stored
+}
+
+func collectSeqs(t *testing.T, sub *Subscription, want int, timeout time.Duration) []uint64 {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var seqs []uint64
+	for len(seqs) < want {
+		ev, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next after %d/%d events: %v", len(seqs), want, err)
+		}
+		if ev.Type != EventObservation {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		seqs = append(seqs, ev.Seq)
+	}
+	return seqs
+}
+
+func TestLiveDeliveryEnforcesPerSubject(t *testing.T) {
+	f := newHubFixture(t)
+	sub, err := f.hub.Subscribe(Options{
+		Request: enforce.Request{ServiceID: "svc", Kind: sensor.ObsWiFiConnect},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	f.ingest(t, "mary", 0)
+	f.ingest(t, "blocked", 1)
+	f.ingest(t, "bob", 2)
+
+	seqs := collectSeqs(t, sub, 2, 2*time.Second)
+	if seqs[0] != 1 || seqs[1] != 3 {
+		t.Fatalf("delivered seqs %v, want [1 3] (blocked subject suppressed)", seqs)
+	}
+	waitFor(t, func() bool { return sub.Stats().Denied == 1 })
+}
+
+// TestResumeSpliceExactlyOnce is the resume seam test: a consumer
+// dies mid-stream, reconnects with its cursor while the publisher
+// keeps going, and must observe every matching observation exactly
+// once — replayed history spliced onto the live feed with no
+// duplicates and no holes.
+func TestResumeSpliceExactlyOnce(t *testing.T) {
+	f := newHubFixture(t)
+	const preexisting = 40
+	for i := 0; i < preexisting; i++ {
+		f.ingest(t, "mary", i)
+	}
+
+	// First connection: replay from the beginning, die after 15 events.
+	sub1, err := f.hub.Subscribe(Options{
+		Request:     enforce.Request{ServiceID: "svc", Kind: sensor.ObsWiFiConnect},
+		Replay:      true,
+		ReplayChunk: 7, // force several catch-up pages
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := collectSeqs(t, sub1, 15, 2*time.Second)
+	cursor := seqs[len(seqs)-1]
+	sub1.Cancel()
+	if cursor != 15 {
+		t.Fatalf("cursor after 15 events = %d, want 15", cursor)
+	}
+
+	// The publisher keeps going while the consumer is away and while
+	// it replays after reconnecting.
+	const live = 40
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		for i := 0; i < live; i++ {
+			f.ingest(t, "mary", preexisting+i)
+		}
+	}()
+
+	sub2, err := f.hub.Subscribe(Options{
+		Request:     enforce.Request{ServiceID: "svc", Kind: sensor.ObsWiFiConnect},
+		Replay:      true,
+		AfterSeq:    cursor,
+		ReplayChunk: 7,
+		Buffer:      2 * live, // no backpressure: this test is about the splice
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Cancel()
+	<-pubDone
+
+	total := preexisting + live
+	want := total - int(cursor)
+	got := collectSeqs(t, sub2, want, 5*time.Second)
+	seen := make(map[uint64]bool, len(got))
+	for _, s := range got {
+		if s <= cursor {
+			t.Fatalf("seq %d delivered twice (already seen before cursor %d)", s, cursor)
+		}
+		if seen[s] {
+			t.Fatalf("seq %d duplicated in resumed stream", s)
+		}
+		seen[s] = true
+	}
+	for s := cursor + 1; s <= uint64(total); s++ {
+		if !seen[s] {
+			t.Fatalf("seq %d missing from resumed stream (hole in the splice)", s)
+		}
+	}
+	st := sub2.Stats()
+	if st.Replayed == 0 {
+		t.Error("resume served nothing from the durable store")
+	}
+	if st.Gaps != 0 || st.Dropped != 0 {
+		t.Errorf("unbackpressured resume reported loss: %+v", st)
+	}
+}
+
+func TestDropOldestEmitsGapMarker(t *testing.T) {
+	f := newHubFixture(t)
+	sub, err := f.hub.Subscribe(Options{
+		Request: enforce.Request{ServiceID: "svc", Kind: sensor.ObsWiFiConnect},
+		Buffer:  4,
+		Policy:  DropOldest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	for i := 0; i < 10; i++ {
+		f.ingest(t, "mary", i)
+	}
+	waitFor(t, func() bool { return sub.Stats().Dropped == 6 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	ev, err := sub.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != EventGap || ev.GapFrom != 0 || ev.GapTo != 6 {
+		t.Fatalf("first event = %+v, want gap over (0, 6]", ev)
+	}
+	seqs := collectSeqs(t, sub, 4, 2*time.Second)
+	for i, s := range seqs {
+		if s != uint64(7+i) {
+			t.Fatalf("post-gap seqs %v, want [7 8 9 10]", seqs)
+		}
+	}
+	if st := sub.Stats(); st.Gaps != 1 {
+		t.Errorf("stats = %+v, want 1 gap", st)
+	}
+}
+
+func TestBlockPolicyWaitsForConsumer(t *testing.T) {
+	f := newHubFixture(t)
+	sub, err := f.hub.Subscribe(Options{
+		Request:      enforce.Request{ServiceID: "svc", Kind: sensor.ObsWiFiConnect},
+		Buffer:       1,
+		Policy:       Block,
+		BlockTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	const n = 5
+	done := make(chan []uint64)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		var seqs []uint64
+		for len(seqs) < n {
+			ev, err := sub.Next(ctx)
+			if err != nil {
+				done <- nil
+				return
+			}
+			if ev.Type == EventObservation {
+				seqs = append(seqs, ev.Seq)
+			}
+			time.Sleep(2 * time.Millisecond) // a deliberately slow consumer
+		}
+		done <- seqs
+	}()
+	for i := 0; i < n; i++ {
+		f.ingest(t, "mary", i)
+	}
+	seqs := <-done
+	if len(seqs) != n {
+		t.Fatalf("slow consumer under Block got %d events, want %d", len(seqs), n)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seqs %v, want 1..%d in order", seqs, n)
+		}
+	}
+	if st := sub.Stats(); st.Dropped != 0 || st.Gaps != 0 {
+		t.Errorf("Block policy lost events: %+v", st)
+	}
+}
+
+func TestDisconnectPolicyThenResume(t *testing.T) {
+	f := newHubFixture(t)
+	sub, err := f.hub.Subscribe(Options{
+		Request: enforce.Request{ServiceID: "svc", Kind: sensor.ObsWiFiConnect},
+		Buffer:  2,
+		Policy:  Disconnect,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		f.ingest(t, "mary", i)
+	}
+
+	// The buffered prefix stays readable; then the subscription
+	// reports why it died.
+	seqs := collectSeqs(t, sub, 2, 2*time.Second)
+	if seqs[0] != 1 || seqs[1] != 2 {
+		t.Fatalf("buffered prefix %v, want [1 2]", seqs)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := sub.Next(ctx); !errors.Is(err, ErrSlowConsumer) {
+		t.Fatalf("Next after disconnect = %v, want ErrSlowConsumer", err)
+	}
+
+	// Reconnect with the cursor: the durable store fills the gap.
+	sub2, err := f.hub.Subscribe(Options{
+		Request:  enforce.Request{ServiceID: "svc", Kind: sensor.ObsWiFiConnect},
+		Replay:   true,
+		AfterSeq: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Cancel()
+	seqs = collectSeqs(t, sub2, 2, 2*time.Second)
+	if seqs[0] != 3 || seqs[1] != 4 {
+		t.Fatalf("resumed seqs %v, want [3 4]", seqs)
+	}
+}
+
+func TestDecisionCacheAmortizesFanout(t *testing.T) {
+	f := newHubFixture(t)
+	const subs = 3
+	var all []*Subscription
+	for i := 0; i < subs; i++ {
+		sub, err := f.hub.Subscribe(Options{
+			Request: enforce.Request{ServiceID: "svc", Kind: sensor.ObsWiFiConnect},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Cancel()
+		all = append(all, sub)
+	}
+
+	// Same subject, same space, same minute: one pipeline run serves
+	// every subscriber and every event.
+	const events = 4
+	for i := 0; i < events; i++ {
+		f.ingest(t, "mary", 0)
+	}
+	for _, s := range all {
+		collectSeqs(t, s, events, 2*time.Second)
+	}
+	if got := f.decides.Load(); got != 1 {
+		t.Errorf("full pipeline ran %d times for %d deliveries, want 1", got, subs*events)
+	}
+	if hits, misses := f.hub.CacheStats(); misses != 1 || hits != subs*events-1 {
+		t.Errorf("cache stats hits=%d misses=%d, want %d/1", hits, misses, subs*events-1)
+	}
+
+	// Rule mutations invalidate: the next event re-runs the pipeline.
+	f.hub.Invalidate()
+	f.ingest(t, "mary", 0)
+	for _, s := range all {
+		collectSeqs(t, s, 1, 2*time.Second)
+	}
+	if got := f.decides.Load(); got != 2 {
+		t.Errorf("pipeline ran %d times after invalidation, want 2", got)
+	}
+}
+
+func TestNotificationAndConflictTopics(t *testing.T) {
+	f := newHubFixture(t)
+	nsub, err := f.hub.Subscribe(Options{Topic: TopicNotifications, UserID: "mary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nsub.Cancel()
+	csub, err := f.hub.Subscribe(Options{Topic: TopicConflicts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer csub.Cancel()
+
+	f.bus.Publish(bus.TopicNotifications, enforce.Notification{UserID: "bob", Message: "not for mary"})
+	f.bus.Publish(bus.TopicNotifications, enforce.Notification{UserID: "mary", Message: "override"})
+	f.bus.Publish(bus.TopicConflicts, reasoner.Conflict{PolicyID: "pol-1", PreferenceID: "pref-1", UserID: "mary"})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	ev, err := nsub.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != EventNotification || ev.Notification.UserID != "mary" || ev.Notification.Message != "override" {
+		t.Fatalf("notification stream delivered %+v, want mary's (bob's filtered)", ev)
+	}
+	if ev.Seq == 0 {
+		t.Error("notification event carries no cursor")
+	}
+	ev, err = csub.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != EventConflict || ev.Conflict.PolicyID != "pol-1" {
+		t.Fatalf("conflict stream delivered %+v", ev)
+	}
+}
+
+func TestSubscribeValidatesOptions(t *testing.T) {
+	f := newHubFixture(t)
+	if _, err := f.hub.Subscribe(Options{Topic: "weather"}); err == nil {
+		t.Error("unknown topic accepted")
+	}
+	if _, err := f.hub.Subscribe(Options{Topic: TopicNotifications, Replay: true}); err == nil {
+		t.Error("replay accepted on a topic with no durable log")
+	}
+}
+
+func TestHubCloseCancelsSubscriptions(t *testing.T) {
+	f := newHubFixture(t)
+	sub, err := f.hub.Subscribe(Options{
+		Request: enforce.Request{ServiceID: "svc", Kind: sensor.ObsWiFiConnect},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.hub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := sub.Next(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Next after hub close = %v, want ErrClosed", err)
+	}
+	if _, err := f.hub.Subscribe(Options{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Subscribe after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestParseBackpressure(t *testing.T) {
+	cases := map[string]Backpressure{
+		"":            PolicyDefault,
+		"default":     PolicyDefault,
+		"drop":        DropOldest,
+		"drop-oldest": DropOldest,
+		"block":       Block,
+		"disconnect":  Disconnect,
+	}
+	for in, want := range cases {
+		got, err := ParseBackpressure(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBackpressure(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseBackpressure("nope"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	for _, p := range []Backpressure{PolicyDefault, DropOldest, Block, Disconnect} {
+		if p.String() == "" {
+			t.Errorf("policy %d has empty name", p)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -61,6 +61,13 @@ func (s *statusRecorder) Write(b []byte) (int, error) {
 	return s.ResponseWriter.Write(b)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flush and deadline controls through the middleware (streaming
+// handlers need both).
+func (s *statusRecorder) Unwrap() http.ResponseWriter {
+	return s.ResponseWriter
+}
+
 // InstrumentHandler wraps h with per-route request count, latency, and
 // status-class metrics:
 //

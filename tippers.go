@@ -47,6 +47,7 @@ import (
 	"github.com/tippers/tippers/internal/service"
 	"github.com/tippers/tippers/internal/sim"
 	"github.com/tippers/tippers/internal/spatial"
+	"github.com/tippers/tippers/internal/stream"
 	"github.com/tippers/tippers/internal/telemetry"
 )
 
@@ -126,7 +127,32 @@ type (
 	// DecisionTrace is the span-like record of one enforcement
 	// decision (matched rules, stage timings).
 	DecisionTrace = core.DecisionTrace
+
+	// StreamHub fans live observations out to policy-enforced
+	// subscriptions with resume cursors (see internal/stream; reach a
+	// BMS's hub via BMS.Streams).
+	StreamHub = stream.Hub
+	// StreamSubscription is one consumer's view of a live stream.
+	StreamSubscription = stream.Subscription
+	// StreamSubscribeOptions configures StreamHub.Subscribe.
+	StreamSubscribeOptions = stream.Options
+	// StreamEvent is one delivered stream element.
+	StreamEvent = stream.Event
+	// Backpressure selects a full-ring policy for stream
+	// subscriptions.
+	Backpressure = stream.Backpressure
 )
+
+// Backpressure policies for live streams.
+const (
+	StreamDropOldest = stream.DropOldest
+	StreamBlock      = stream.Block
+	StreamDisconnect = stream.Disconnect
+)
+
+// ParseBackpressure parses a backpressure policy name
+// ("drop-oldest", "block", "disconnect").
+var ParseBackpressure = stream.ParseBackpressure
 
 // NewMetricsRegistry returns an empty telemetry registry.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
@@ -235,6 +261,12 @@ type DeploymentConfig struct {
 	// crash-safe persistence — the deployment takes ownership and
 	// closes it (flushing the WAL) on Close.
 	Store *ObservationStore
+	// StreamBuffer is the default per-subscription ring capacity for
+	// live streams (default 256).
+	StreamBuffer int
+	// StreamPolicy is the default backpressure policy for live
+	// streams (default StreamDropOldest).
+	StreamPolicy Backpressure
 }
 
 // Deployment is a fully wired building: BMS, population, services,
@@ -292,6 +324,8 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Clock:         cfg.Clock,
 		Metrics:       cfg.Metrics,
 		Store:         cfg.Store,
+		StreamBuffer:  cfg.StreamBuffer,
+		StreamPolicy:  cfg.StreamPolicy,
 	})
 	if err != nil {
 		return nil, err

@@ -25,4 +25,7 @@ go test -race ./...
 echo "== wal recovery (repeated) =="
 go test -run TestWALRecovery -count=2 ./internal/wal/...
 
+echo "== stream + bus (repeated, race) =="
+go test -race -count=2 ./internal/stream/... ./internal/bus/...
+
 echo "verify: OK"
