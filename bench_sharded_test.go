@@ -1,0 +1,193 @@
+package tippers
+
+// BenchmarkShardedQueryEnforce is the experiment behind the S31 shard
+// layer: a mixed read/decide workload (the aggregate request path's
+// inner loop — query the store, group by subject, decide every
+// subject) driven from GOMAXPROCS goroutines against (a) a one-stripe
+// store, the old single-lock layout, and (b) a GOMAXPROCS-striped
+// store with batched decisions. Before timing, both variants answer
+// the same probe queries and their results are checksummed row by row
+// — order and content must be identical or the benchmark aborts.
+//
+// The dataset is 1M observations by default; BENCH_SHARDED_OBS
+// shrinks it for quick local runs.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/service"
+	"github.com/tippers/tippers/internal/sim"
+)
+
+func benchShardedObs() int {
+	if v := os.Getenv("BENCH_SHARDED_OBS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1_000_000
+}
+
+// benchShardedStore loads the dataset into a store with the given
+// stripe count. The workload mirrors a campus day: ~200 sensors,
+// subjects drawn from the simulated population, six floors.
+func benchShardedStore(b *testing.B, shards, nObs int, userIDs []string) *obstore.Store {
+	b.Helper()
+	store := obstore.NewSharded(shards)
+	for i := 0; i < nObs; i++ {
+		_, err := store.Append(sensor.Observation{
+			SensorID: fmt.Sprintf("ap-%03d", i%211),
+			UserID:   userIDs[i%len(userIDs)],
+			Kind:     sensor.ObsWiFiConnect,
+			SpaceID:  fmt.Sprintf("dbh/%d", i%6+1),
+			Time:     benchDay.Add(time.Duration(i) * time.Second),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return store
+}
+
+// benchShardedProbes are the equivalence filters: paged scans,
+// subject lookups, kind scans, and time windows.
+func benchShardedProbes(userIDs []string) []obstore.Filter {
+	return []obstore.Filter{
+		{Kind: sensor.ObsWiFiConnect, Limit: 512},
+		{UserID: userIDs[0]},
+		{UserID: userIDs[len(userIDs)/2], Limit: 100},
+		{SensorID: "ap-042"},
+		{AfterSeq: 1000, Limit: 256},
+		{From: benchDay.Add(30 * time.Minute), To: benchDay.Add(90 * time.Minute)},
+		{SpaceIDs: []string{"dbh/2", "dbh/5"}},
+	}
+}
+
+// probeChecksum folds every probe's result rows — seq, subject,
+// sensor, space, time — through FNV-1a, in result order. Two stores
+// with identical query semantics produce identical sums.
+func probeChecksum(store *obstore.Store, probes []obstore.Filter) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, f := range probes {
+		for _, o := range store.Query(f) {
+			for shift := 0; shift < 64; shift += 8 {
+				buf[shift/8] = byte(o.Seq >> shift)
+			}
+			h.Write(buf[:])
+			h.Write([]byte(o.UserID))
+			h.Write([]byte(o.SensorID))
+			h.Write([]byte(o.SpaceID))
+			for shift := 0; shift < 64; shift += 8 {
+				buf[shift/8] = byte(uint64(o.Time.UnixNano()) >> shift)
+			}
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func BenchmarkShardedQueryEnforce(b *testing.B) {
+	building, err := sim.SmallDBH().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := sim.GeneratePopulation(building, 1000, sim.CampusMix(), 2017)
+	services := service.NewRegistry()
+	services.MustRegister(service.Concierge())
+	services.MustRegister(service.SmartMeeting())
+	cfg := enforce.Config{Spaces: building.Spaces, Services: services, DefaultAllow: true}
+	indexed := enforce.NewIndexed(cfg)
+	for _, p := range sim.GeneratePreferences(building, dir, []string{"concierge", "smart-meeting"}, sim.DefaultPreferenceWorkload(1)) {
+		if err := indexed.AddPreference(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := indexed.AddPolicy(policy.Policy2EmergencyLocation(building.Spec.ID)); err != nil {
+		b.Fatal(err)
+	}
+
+	users := dir.All()
+	userIDs := make([]string, len(users))
+	for i, u := range users {
+		userIDs[i] = u.ID
+	}
+	nObs := benchShardedObs()
+	probes := benchShardedProbes(userIDs)
+
+	variants := []struct {
+		name   string
+		shards int
+	}{
+		{"store=single-lock", 1},
+		{"store=sharded", runtime.GOMAXPROCS(0)},
+	}
+	var wantSum uint64
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			store := benchShardedStore(b, v.shards, nObs, userIDs)
+			sum := probeChecksum(store, probes)
+			if wantSum == 0 {
+				wantSum = sum
+			} else if sum != wantSum {
+				b.Fatalf("probe checksum %#x diverges from single-lock baseline %#x: sharded queries are not equivalent", sum, wantSum)
+			}
+			engine := enforce.NewCached(indexed, 0)
+			reqTime := benchDay.Add(14 * time.Hour)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				var items []enforce.BatchItem
+				for pb.Next() {
+					i++
+					// Read: a paged kind scan plus a subject lookup, the
+					// two shapes the aggregate and single-subject request
+					// paths issue.
+					window := store.Query(obstore.Filter{
+						Kind:     sensor.ObsWiFiConnect,
+						AfterSeq: uint64(i%nObs) &^ 0xff,
+						Limit:    256,
+					})
+					store.Query(obstore.Filter{UserID: userIDs[i%len(userIDs)], Limit: 64})
+					// Enforce: decide every subject in the window as the
+					// occupancy path does, on the shared decision cache.
+					seen := make(map[string]bool, 32)
+					items := items[:0]
+					for _, o := range window {
+						if o.UserID == "" || seen[o.UserID] {
+							continue
+						}
+						seen[o.UserID] = true
+						u, ok := dir.Lookup(o.UserID)
+						if !ok {
+							continue
+						}
+						items = append(items, enforce.BatchItem{
+							Req: enforce.Request{
+								ServiceID: "concierge",
+								Purpose:   policy.PurposeProvidingService,
+								Kind:      sensor.ObsWiFiConnect,
+								SubjectID: o.UserID,
+								SpaceID:   o.SpaceID,
+								Time:      reqTime,
+							},
+							Groups: u.Groups(),
+						})
+					}
+					enforce.DecideBatch(engine, items, enforce.BatchOptions{})
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,243 @@
+// Command benchdiff turns `go test -bench` output into a committed
+// JSON baseline and gates CI on regressions against it.
+//
+//	benchdiff parse bench.txt > BENCH_pr4.json
+//	benchdiff compare -tolerance 15 baseline.json new.json
+//
+// parse reads the standard benchmark output format and emits one JSON
+// entry per benchmark with every ns/op sample (run bench with
+// -count=N so compare has medians to work with), plus B/op and
+// allocs/op when -benchmem was on.
+//
+// compare exits nonzero when any benchmark's median ns/op or
+// allocs/op exceeds the baseline median by more than the tolerance
+// percentage, or when a baseline benchmark is missing from the new
+// run. Benchmark names are normalized by stripping the trailing
+// GOMAXPROCS suffix (`BenchmarkX-8` → `BenchmarkX`) so baselines
+// recorded on one machine compare cleanly on another; wall-clock
+// medians still vary across hardware, which is why CI compares runs
+// from the same runner class and the tolerance is generous.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's samples across -count repetitions.
+type Result struct {
+	NsOp     []float64 `json:"ns_op"`
+	BOp      []float64 `json:"b_op,omitempty"`
+	AllocsOp []float64 `json:"allocs_op,omitempty"`
+}
+
+// File is the JSON baseline layout.
+type File struct {
+	Benchmarks map[string]*Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkX/store=sharded-8   120  9876543 ns/op  1234 B/op  56 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// gomaxprocsSuffix is the trailing -N the testing package appends to
+// benchmark names; stripping it keeps names machine-independent.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalize(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+func parse(r io.Reader) (*File, error) {
+	out := &File{Benchmarks: map[string]*Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := normalize(m[1])
+		res := out.Benchmarks[name]
+		if res == nil {
+			res = &Result{}
+			out.Benchmarks[name] = res
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		res.NsOp = append(res.NsOp, ns)
+		if m[3] != "" {
+			if v, err := strconv.ParseFloat(m[3], 64); err == nil {
+				res.BOp = append(res.BOp, v)
+			}
+		}
+		if m[4] != "" {
+			if v, err := strconv.ParseFloat(m[4], 64); err == nil {
+				res.AllocsOp = append(res.AllocsOp, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark lines found")
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func load(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %v", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchdiff: %s holds no benchmarks", path)
+	}
+	return &f, nil
+}
+
+// compare reports pass/fail per benchmark. Only regressions fail —
+// improvements and new benchmarks are reported but never block.
+func compare(base, cur *File, tolerancePct float64, w io.Writer) (failed bool) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-70s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "new ns/op", "delta", "status")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-70s %14s %14s %8s  MISSING\n", name, fmtNs(median(b.NsOp)), "-", "-")
+			failed = true
+			continue
+		}
+		bm, cm := median(b.NsOp), median(c.NsOp)
+		delta := 100 * (cm - bm) / bm
+		status := "ok"
+		if delta > tolerancePct {
+			status = fmt.Sprintf("REGRESSION (>%.0f%%)", tolerancePct)
+			failed = true
+		}
+		// allocs/op is hardware-independent, so it gets the same gate
+		// even when wall clock is noisy.
+		if ba, ca := median(b.AllocsOp), median(c.AllocsOp); ba > 0 && ca > ba*(1+tolerancePct/100) {
+			status = fmt.Sprintf("ALLOC REGRESSION (%.0f → %.0f allocs/op)", ba, ca)
+			failed = true
+		}
+		fmt.Fprintf(w, "%-70s %14s %14s %+7.1f%%  %s\n", name, fmtNs(bm), fmtNs(cm), delta, status)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "%-70s %14s %14s %8s  new (no baseline)\n", name, "-", fmtNs(median(cur.Benchmarks[name].NsOp)), "-")
+		}
+	}
+	return failed
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		fs := flag.NewFlagSet("parse", flag.ExitOnError)
+		fs.Parse(os.Args[2:])
+		in := io.Reader(os.Stdin)
+		if fs.NArg() > 0 && fs.Arg(0) != "-" {
+			f, err := os.Open(fs.Arg(0))
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		parsed, err := parse(in)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(parsed); err != nil {
+			fatal(err)
+		}
+	case "compare":
+		fs := flag.NewFlagSet("compare", flag.ExitOnError)
+		tolerance := fs.Float64("tolerance", 15, "max allowed median regression, percent")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 2 {
+			usage()
+		}
+		base, err := load(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := load(fs.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		if compare(base, cur, *tolerance, os.Stdout) {
+			fmt.Fprintln(os.Stderr, "benchdiff: benchmark regression over tolerance")
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
+usage:
+  benchdiff parse [bench.txt]                      # bench output → JSON on stdout
+  benchdiff compare [-tolerance 15] base.json new.json
+`))
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

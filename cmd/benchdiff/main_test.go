@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `
+goos: linux
+goarch: amd64
+pkg: github.com/tippers/tippers
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkShardedQueryEnforce/store=single-lock-8      100   2329090 ns/op   636272 B/op   2233 allocs/op
+BenchmarkShardedQueryEnforce/store=single-lock-8      100   2400000 ns/op   636000 B/op   2233 allocs/op
+BenchmarkShardedQueryEnforce/store=sharded-8          200   1100000 ns/op   635576 B/op   2227 allocs/op
+BenchmarkWALAppend-8                                 5000     21000 ns/op
+PASS
+ok    github.com/tippers/tippers  12.3s
+`
+
+func TestParseNormalizesAndCollectsSamples(t *testing.T) {
+	f, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, ok := f.Benchmarks["BenchmarkShardedQueryEnforce/store=single-lock"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: have %v", keys(f))
+	}
+	if len(single.NsOp) != 2 || single.NsOp[0] != 2329090 {
+		t.Fatalf("samples = %v", single.NsOp)
+	}
+	if len(single.AllocsOp) != 2 || single.AllocsOp[0] != 2233 {
+		t.Fatalf("allocs = %v", single.AllocsOp)
+	}
+	wal := f.Benchmarks["BenchmarkWALAppend"]
+	if wal == nil || len(wal.NsOp) != 1 || len(wal.AllocsOp) != 0 {
+		t.Fatalf("WAL entry = %+v", wal)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Fatal("want error on benchmark-free input")
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := &File{Benchmarks: map[string]*Result{
+		"BenchmarkA": {NsOp: []float64{100, 110, 105}, AllocsOp: []float64{10, 10, 10}},
+		"BenchmarkB": {NsOp: []float64{1000}},
+	}}
+	cases := []struct {
+		name string
+		cur  *File
+		fail bool
+	}{
+		{"identical", &File{Benchmarks: map[string]*Result{
+			"BenchmarkA": {NsOp: []float64{105}, AllocsOp: []float64{10}},
+			"BenchmarkB": {NsOp: []float64{1000}},
+		}}, false},
+		{"within tolerance", &File{Benchmarks: map[string]*Result{
+			"BenchmarkA": {NsOp: []float64{115}, AllocsOp: []float64{10}},
+			"BenchmarkB": {NsOp: []float64{1100}},
+		}}, false},
+		{"time regression", &File{Benchmarks: map[string]*Result{
+			"BenchmarkA": {NsOp: []float64{105}, AllocsOp: []float64{10}},
+			"BenchmarkB": {NsOp: []float64{1300}},
+		}}, true},
+		{"alloc regression despite faster time", &File{Benchmarks: map[string]*Result{
+			"BenchmarkA": {NsOp: []float64{50}, AllocsOp: []float64{20}},
+			"BenchmarkB": {NsOp: []float64{1000}},
+		}}, true},
+		{"missing benchmark", &File{Benchmarks: map[string]*Result{
+			"BenchmarkA": {NsOp: []float64{105}, AllocsOp: []float64{10}},
+		}}, true},
+		{"improvement and new benchmark", &File{Benchmarks: map[string]*Result{
+			"BenchmarkA": {NsOp: []float64{50}, AllocsOp: []float64{10}},
+			"BenchmarkB": {NsOp: []float64{500}},
+			"BenchmarkC": {NsOp: []float64{1}},
+		}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if got := compare(base, tc.cur, 15, &sb); got != tc.fail {
+				t.Fatalf("failed = %v, want %v\n%s", got, tc.fail, sb.String())
+			}
+		})
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("empty median = %v", m)
+	}
+}
+
+func keys(f *File) []string {
+	var out []string
+	for k := range f.Benchmarks {
+		out = append(out, k)
+	}
+	return out
+}

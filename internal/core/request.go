@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/tippers/tippers/internal/bus"
@@ -108,12 +109,28 @@ func (b *BMS) RequestOccupancy(req enforce.Request, minK int) (Response, error) 
 	k := minK
 	var releasedObs []sensor.Observation
 	t0 = time.Now()
-	for subjectID, subjObs := range bySubject {
+	// Post-filter decisions run as a concurrent batch: every candidate
+	// subject of the query result is decided on a bounded worker pool
+	// sharing the engine's decision cache, instead of one at a time.
+	// Subjects are sorted so the released order (and with it the trace)
+	// is deterministic rather than map-ordered.
+	subjects := make([]string, 0, len(bySubject))
+	for subjectID := range bySubject {
+		subjects = append(subjects, subjectID)
+	}
+	sort.Strings(subjects)
+	items := make([]enforce.BatchItem, len(subjects))
+	for i, subjectID := range subjects {
 		subReq := req
 		subReq.SubjectID = subjectID
-		tDecide := time.Now()
-		d := b.engine.Decide(subReq, b.subjectGroups(subjectID))
-		b.met.decideSeconds.ObserveSince(tDecide)
+		items[i] = enforce.BatchItem{Req: subReq, Groups: b.subjectGroups(subjectID)}
+	}
+	decisions := enforce.DecideBatch(b.engine, items, enforce.BatchOptions{
+		Observe: func(_ enforce.Decision, elapsed time.Duration) {
+			b.met.decideSeconds.Observe(elapsed.Seconds())
+		},
+	})
+	for i, d := range decisions {
 		b.recordDecision(d)
 		if !d.Allowed {
 			continue
@@ -121,7 +138,7 @@ func (b *BMS) RequestOccupancy(req enforce.Request, minK int) (Response, error) 
 		if d.Effective.MinAggregationK > k {
 			k = d.Effective.MinAggregationK
 		}
-		transformed, err := enforce.ApplyDecision(d, subjObs, b.transf)
+		transformed, err := enforce.ApplyDecision(d, bySubject[subjects[i]], b.transf)
 		if err != nil {
 			return Response{}, err
 		}

@@ -37,6 +37,11 @@ type DurableConfig struct {
 	// Dir holds the checkpoint snapshot and the wal/ segment
 	// directory; created if absent.
 	Dir string
+	// Shards is the store's lock-stripe count; 0 selects GOMAXPROCS
+	// (see NewSharded). Sharding is an in-memory layout choice — the
+	// WAL and checkpoint formats are identical for every value, so a
+	// directory written at one count reopens at any other.
+	Shards int
 	// SegmentBytes rotates WAL segments; 0 selects the WAL default
 	// (8 MiB).
 	SegmentBytes int64
@@ -69,7 +74,7 @@ func OpenDurable(cfg DurableConfig) (*Store, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("obstore: creating durable dir: %w", err)
 	}
-	s := New()
+	s := NewSharded(cfg.Shards)
 	s.logger = cfg.Logger
 
 	ckpt := filepath.Join(cfg.Dir, checkpointFile)
@@ -84,7 +89,7 @@ func OpenDurable(cfg DurableConfig) (*Store, error) {
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("obstore: opening checkpoint: %w", err)
 	}
-	hwm := s.nextSeq
+	hwm := s.nextSeq.Load()
 
 	l, err := wal.Open(wal.Options{
 		Dir:             filepath.Join(cfg.Dir, "wal"),
@@ -104,7 +109,7 @@ func OpenDurable(cfg DurableConfig) (*Store, error) {
 		if derr != nil {
 			return derr
 		}
-		s.insertLocked(o) // no concurrency yet; lock not needed but harmless
+		s.insertRecovered(o) // recovery is single-threaded; no appends yet
 		replayed++
 		return nil
 	}); err != nil {
@@ -112,16 +117,20 @@ func OpenDurable(cfg DurableConfig) (*Store, error) {
 		return nil, fmt.Errorf("obstore: replaying wal: %w", err)
 	}
 	// Replayed records were ingested after the checkpoint was cut.
-	s.totalIngests += uint64(replayed)
-	if last := l.LastSeq(); last > s.nextSeq {
-		s.nextSeq = last
+	s.totalIngests.Add(uint64(replayed))
+	if last := l.LastSeq(); last > s.nextSeq.Load() {
+		s.nextSeq.Store(last)
 	}
+	// Recovered seqs may have retention holes; open the publication
+	// gate at the high-water mark rather than replaying the chain.
+	s.gate.reset(s.nextSeq.Load())
 	s.wal = l
 	s.walDir = cfg.Dir
+	s.durable.Store(true)
 	if replayed > 0 || s.Len() > 0 {
 		cfg.Logger.Info("obstore: durable store recovered",
 			"dir", cfg.Dir, "checkpoint_records", s.Len()-replayed,
-			"replayed_records", replayed, "next_seq", s.nextSeq)
+			"replayed_records", replayed, "next_seq", s.nextSeq.Load())
 	}
 	return s, nil
 }
@@ -130,28 +139,22 @@ func OpenDurable(cfg DurableConfig) (*Store, error) {
 // opened with OpenDurable). Operational tooling and tests use it to
 // inspect segments or force a rotation.
 func (s *Store) WAL() *wal.Log {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
 	return s.wal
 }
 
-// insertLocked installs a fully formed observation (seq already
-// assigned) into the indexes. Used by snapshot restore and WAL
-// replay, both of which run before the store is shared.
-func (s *Store) insertLocked(o sensor.Observation) {
-	s.bySeq[o.Seq] = o
-	s.order = append(s.order, o.Seq)
-	if o.SensorID != "" {
-		s.bySensor[o.SensorID] = append(s.bySensor[o.SensorID], o.Seq)
-	}
-	if o.UserID != "" {
-		s.byUser[o.UserID] = append(s.byUser[o.UserID], o.Seq)
-	}
-	if o.Kind != "" {
-		s.byKind[o.Kind] = append(s.byKind[o.Kind], o.Seq)
-	}
-	if o.Seq > s.nextSeq {
-		s.nextSeq = o.Seq
+// insertRecovered installs a fully formed observation (seq already
+// assigned) into its shard. Used by snapshot restore and WAL replay,
+// both of which run single-threaded before the store is shared; the
+// caller resets the publication gate when done.
+func (s *Store) insertRecovered(o sensor.Observation) {
+	sh := s.shardFor(o.SensorID)
+	sh.mu.Lock()
+	sh.insert(o)
+	sh.mu.Unlock()
+	if o.Seq > s.nextSeq.Load() {
+		s.nextSeq.Store(o.Seq)
 	}
 }
 
@@ -162,9 +165,9 @@ func (s *Store) insertLocked(o sensor.Observation) {
 // (retention, erasure) that were still sitting in covered segments
 // are gone from disk.
 func (s *Store) Checkpoint() error {
-	s.mu.RLock()
+	s.walMu.Lock()
 	l := s.wal
-	s.mu.RUnlock()
+	s.walMu.Unlock()
 	if l == nil {
 		return fmt.Errorf("obstore: Checkpoint on a non-durable store")
 	}
@@ -230,37 +233,57 @@ func (s *Store) writeSnapshotFile(path string) (uint64, error) {
 // Close commits and closes the WAL, if any. The store itself needs no
 // teardown; Close is idempotent and safe on non-durable stores.
 func (s *Store) Close() error {
-	s.mu.Lock()
+	s.walMu.Lock()
 	l := s.wal
 	s.wal = nil
-	s.mu.Unlock()
+	s.durable.Store(false)
+	s.walMu.Unlock()
 	if l == nil {
 		return nil
 	}
 	return l.Close()
 }
 
-// pruneWALLocked deletes sealed WAL segments in which no live
-// observation remains — the storage half of retention enforcement.
-// Caller holds s.mu.
-func (s *Store) pruneWALLocked() {
-	segs := s.wal.SealedSegments()
+// pruneWAL deletes sealed WAL segments in which no live observation
+// remains — the storage half of retention enforcement. Liveness is
+// gathered shard by shard; a record appended while this runs sits in
+// the active (never sealed-and-empty) segment, so it is safe without
+// a global pause.
+func (s *Store) pruneWAL() {
+	s.walMu.Lock()
+	l := s.wal
+	s.walMu.Unlock()
+	if l == nil {
+		return
+	}
+	segs := l.SealedSegments()
 	if len(segs) == 0 {
 		return
 	}
-	live := make([]uint64, 0, len(s.bySeq))
-	for seq := range s.bySeq {
-		live = append(live, seq)
+	var live []uint64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for seq := range sh.bySeq {
+			live = append(live, seq)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	vis := s.gate.visible.Load()
 	for _, seg := range segs {
+		// A seq above the publication watermark may be logged but not
+		// yet indexed (append in flight): its segment must not be
+		// judged dead on this pass.
+		if seg.Last > vis {
+			continue
+		}
 		// First live seq >= Base; if it's past Last, the segment holds
 		// only dead records.
 		i := sort.Search(len(live), func(i int) bool { return live[i] >= seg.Base })
 		if i < len(live) && live[i] <= seg.Last {
 			continue
 		}
-		if err := s.wal.DeleteSealed(seg.Base, "retention"); err != nil {
+		if err := l.DeleteSealed(seg.Base, "retention"); err != nil {
 			s.logger.Warn("obstore: retention segment delete failed",
 				"base", seg.Base, "error", err)
 		}

@@ -2,10 +2,16 @@
 // "DB" box in the paper's Figure 1 (step 3: captured sensor data is
 // stored; step 9/10: services query it through the request manager).
 //
-// The store is an indexed in-memory time-series log. It implements
-// the paper's storage-time enforcement point: retention rules — the
-// "retention" element of the policy language (Figure 2's "P6M") — are
-// applied by Sweep, which deletes observations past their expiry.
+// The store is an indexed in-memory time-series log, lock-striped
+// into N shards keyed by sensor ID (see shard.go) so dense
+// deployments — the paper's building runs >40 cameras, 60 WiFi APs,
+// 200 BLE beacons, and 100 power meters — ingest and serve queries in
+// parallel. Sequence numbers stay global (one atomic allocator plus a
+// publication gate), so cursors, stream resume, and WAL replay are
+// oblivious to the sharding. It implements the paper's storage-time
+// enforcement point: retention rules — the "retention" element of the
+// policy language (Figure 2's "P6M") — are applied by Sweep, which
+// deletes observations past their expiry.
 //
 // Query-time enforcement (purpose checks, granularity degradation,
 // noise) happens above the store in internal/enforce; the store holds
@@ -15,8 +21,10 @@ package obstore
 import (
 	"errors"
 	"log/slog"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tippers/tippers/internal/isodur"
@@ -59,24 +67,26 @@ type RetentionRule struct {
 	TTL isodur.Duration
 }
 
-// Store is an indexed, concurrency-safe observation log.
+// Store is an indexed, concurrency-safe observation log, lock-striped
+// across shards (see shard.go for the invariants that keep the
+// sharding externally invisible).
 type Store struct {
-	mu       sync.RWMutex
-	bySeq    map[uint64]sensor.Observation
-	order    []uint64 // insertion order; may contain tombstoned seqs
-	bySensor map[string][]uint64
-	byUser   map[string][]uint64
-	byKind   map[sensor.ObservationKind][]uint64
-	nextSeq  uint64
-	dead     int // tombstones awaiting compaction
+	shards []*shard
+	gate   *seqGate
+	// compactMin is the per-shard tombstone floor below which
+	// compaction is skipped; scaled by shard count so the aggregate
+	// trigger matches the old single-lock store.
+	compactMin int
 
-	retMu        sync.RWMutex
-	rules        []RetentionRule
-	defaultTTL   isodur.Duration
-	hasDefault   bool
-	totalIngests uint64
-	totalSwept   uint64
-	compactions  uint64
+	nextSeq      atomic.Uint64
+	totalIngests atomic.Uint64
+	totalSwept   atomic.Uint64
+	compactions  atomic.Uint64
+
+	retMu      sync.RWMutex
+	rules      []RetentionRule
+	defaultTTL isodur.Duration
+	hasDefault bool
 
 	// sweepSeconds times retention sweeps (storage-time enforcement
 	// cost); it works standalone and is exposed via RegisterMetrics.
@@ -84,23 +94,59 @@ type Store struct {
 
 	// Durable mode (see durable.go): when wal is non-nil every append
 	// is framed into the log before it is indexed, and sweeps prune
-	// fully dead sealed segments from disk.
-	wal    *wal.Log
-	walDir string
-	logger *slog.Logger
-	encBuf []byte // reusable WAL payload buffer; guarded by mu
+	// fully dead sealed segments from disk. walMu serializes seq
+	// allocation with the WAL append so the log stays monotonic; it
+	// also guards wal, walDir, and encBuf.
+	durable atomic.Bool
+	walMu   sync.Mutex
+	wal     *wal.Log
+	walDir  string
+	logger  *slog.Logger
+	encBuf  []byte
 }
 
 // New returns an empty store with no retention rules (observations
-// are kept forever until rules are installed).
+// are kept forever until rules are installed), sharded GOMAXPROCS
+// ways.
 func New() *Store {
-	return &Store{
-		bySeq:        make(map[uint64]sensor.Observation),
-		bySensor:     make(map[string][]uint64),
-		byUser:       make(map[string][]uint64),
-		byKind:       make(map[sensor.ObservationKind][]uint64),
+	return NewSharded(0)
+}
+
+// NewSharded returns an empty store striped across n shards; n <= 0
+// selects GOMAXPROCS. One shard reproduces the old single-lock store
+// exactly — benchmarks and equivalence tests use it as the baseline.
+func NewSharded(n int) *Store {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Store{
+		shards:       make([]*shard, n),
+		gate:         newSeqGate(),
 		sweepSeconds: telemetry.NewHistogram(nil),
 	}
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	s.compactMin = 1024 / n
+	if s.compactMin < 64 {
+		s.compactMin = 64
+	}
+	return s
+}
+
+// Shards reports the store's stripe count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor maps a sensor ID to its shard (FNV-1a).
+func (s *Store) shardFor(sensorID string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(sensorID); i++ {
+		h = (h ^ uint32(sensorID[i])) * 16777619
+	}
+	return s.shards[h%uint32(len(s.shards))]
 }
 
 // RegisterMetrics exposes the store's counters on a telemetry
@@ -109,38 +155,41 @@ func New() *Store {
 func (s *Store) RegisterMetrics(r *telemetry.Registry) {
 	r.CounterFunc("tippers_obstore_ingested_total",
 		"Observations appended to the store.", func() float64 {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
-			return float64(s.totalIngests)
+			return float64(s.totalIngests.Load())
 		})
 	r.CounterFunc("tippers_obstore_swept_total",
 		"Observations deleted by retention sweeps and erasure.", func() float64 {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
-			return float64(s.totalSwept)
+			return float64(s.totalSwept.Load())
 		})
 	r.CounterFunc("tippers_obstore_compactions_total",
 		"Index compaction passes (the store's GC).", func() float64 {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
-			return float64(s.compactions)
+			return float64(s.compactions.Load())
 		})
 	r.GaugeFunc("tippers_obstore_live_observations",
 		"Observations currently stored.", func() float64 {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
-			return float64(len(s.bySeq))
+			return float64(s.Len())
 		})
 	r.GaugeFunc("tippers_obstore_tombstones",
 		"Deleted sequence numbers awaiting compaction.", func() float64 {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
-			return float64(s.dead)
+			total := 0
+			for _, sh := range s.shards {
+				sh.mu.RLock()
+				total += sh.dead
+				sh.mu.RUnlock()
+			}
+			return float64(total)
+		})
+	r.GaugeFunc("tippers_obstore_shards",
+		"Lock-striped store partitions.", func() float64 {
+			return float64(len(s.shards))
 		})
 	r.RegisterHistogram("tippers_obstore_sweep_seconds",
 		"Retention sweep duration.", nil, s.sweepSeconds)
-	if s.wal != nil {
-		s.wal.RegisterMetrics(r)
+	s.walMu.Lock()
+	l := s.wal
+	s.walMu.Unlock()
+	if l != nil {
+		l.RegisterMetrics(r)
 	}
 }
 
@@ -149,37 +198,45 @@ func (s *Store) RegisterMetrics(r *telemetry.Registry) {
 var ErrZeroTime = errors.New("obstore: observation has zero time")
 
 // Append ingests one observation, assigns it a sequence number, and
-// returns the stored copy.
+// returns the stored copy. When Append returns, the observation — and
+// every observation with a lower seq — is visible to Query.
 func (s *Store) Append(o sensor.Observation) (sensor.Observation, error) {
 	if o.Time.IsZero() {
 		return sensor.Observation{}, ErrZeroTime
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextSeq++
-	o.Seq = s.nextSeq
-	if s.wal != nil {
+	var seq uint64
+	if s.durable.Load() {
 		// Write-ahead: the record must be in the log before the
-		// indexes ever see it. On failure the seq is returned to the
-		// pool and the observation is not stored.
-		s.encBuf = appendObservation(s.encBuf[:0], o)
-		if err := s.wal.Append(o.Seq, s.encBuf); err != nil {
-			s.nextSeq--
-			return sensor.Observation{}, err
+		// indexes ever see it, and the WAL wants monotonic seqs, so
+		// allocation and the log append share one critical section.
+		// On failure the seq is returned to the pool (no later seq
+		// exists yet — allocation is serialized here) and the
+		// observation is not stored.
+		s.walMu.Lock()
+		if s.wal == nil { // closed under us; fall back to in-memory
+			s.walMu.Unlock()
+			seq = s.nextSeq.Add(1)
+		} else {
+			seq = s.nextSeq.Add(1)
+			o.Seq = seq
+			s.encBuf = appendObservation(s.encBuf[:0], o)
+			if err := s.wal.Append(seq, s.encBuf); err != nil {
+				s.nextSeq.Add(^uint64(0))
+				s.walMu.Unlock()
+				return sensor.Observation{}, err
+			}
+			s.walMu.Unlock()
 		}
+	} else {
+		seq = s.nextSeq.Add(1)
 	}
-	s.bySeq[o.Seq] = o
-	s.order = append(s.order, o.Seq)
-	if o.SensorID != "" {
-		s.bySensor[o.SensorID] = append(s.bySensor[o.SensorID], o.Seq)
-	}
-	if o.UserID != "" {
-		s.byUser[o.UserID] = append(s.byUser[o.UserID], o.Seq)
-	}
-	if o.Kind != "" {
-		s.byKind[o.Kind] = append(s.byKind[o.Kind], o.Seq)
-	}
-	s.totalIngests++
+	o.Seq = seq
+	sh := s.shardFor(o.SensorID)
+	sh.mu.Lock()
+	sh.insert(o)
+	sh.mu.Unlock()
+	s.gate.publish(seq)
+	s.totalIngests.Add(1)
 	return o, nil
 }
 
@@ -193,72 +250,60 @@ func (s *Store) AppendAll(obs []sensor.Observation) error {
 	return nil
 }
 
-// Query returns the observations matching f in insertion order.
+// Query returns the observations matching f in seq (insertion) order.
+// Shards are scanned on a bounded worker pool and merged by seq; a
+// sensor-scoped filter touches exactly the one shard that sensor
+// hashes to.
 func (s *Store) Query(f Filter) []sensor.Observation {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-
-	candidates := s.candidateSeqs(f)
-	if f.AfterSeq > 0 {
-		// Index slices are append-ordered by ascending seq, so the
-		// cursor prefix can be skipped wholesale instead of filtered.
-		candidates = candidates[sort.Search(len(candidates), func(i int) bool {
-			return candidates[i] > f.AfterSeq
-		}):]
+	vis := s.gate.visible.Load()
+	if vis == 0 || (f.AfterSeq > 0 && f.AfterSeq >= vis) {
+		return nil
 	}
-	var spaceSet map[string]bool
-	if len(f.SpaceIDs) > 0 {
-		spaceSet = make(map[string]bool, len(f.SpaceIDs))
-		for _, id := range f.SpaceIDs {
-			spaceSet[id] = true
-		}
-	}
-	var out []sensor.Observation
-	for _, seq := range candidates {
-		o, ok := s.bySeq[seq]
-		if !ok {
-			continue // tombstone
-		}
-		if !matches(o, f, spaceSet) {
-			continue
-		}
-		out = append(out, o)
-		if f.Limit > 0 && len(out) >= f.Limit {
-			break
-		}
-	}
-	return out
-}
-
-// Count returns the number of observations matching f.
-func (s *Store) Count(f Filter) int {
-	saved := f.Limit
-	f.Limit = 0
-	n := len(s.Query(f))
-	_ = saved
-	return n
-}
-
-// candidateSeqs picks the narrowest available index for the filter.
-// Caller holds s.mu.
-func (s *Store) candidateSeqs(f Filter) []uint64 {
-	best := s.order
+	spaceSet := spaceSetFor(f)
 	if f.SensorID != "" {
-		if list := s.bySensor[f.SensorID]; len(list) < len(best) {
-			best = list
-		}
+		return s.shardFor(f.SensorID).collect(f, vis, spaceSet, f.Limit)
 	}
-	if f.UserID != "" {
-		if list := s.byUser[f.UserID]; len(list) < len(best) {
-			best = list
-		}
+	if len(s.shards) == 1 {
+		return s.shards[0].collect(f, vis, spaceSet, f.Limit)
 	}
-	if f.Kind != "" {
-		if list := s.byKind[f.Kind]; len(list) < len(best) {
-			best = list
-		}
+	pages := make([][]sensor.Observation, len(s.shards))
+	s.forEachShard(func(i int, sh *shard) {
+		pages[i] = sh.collect(f, vis, spaceSet, f.Limit)
+	})
+	return mergeBySeq(pages, f.Limit)
+}
+
+// Count returns the number of observations matching f, ignoring
+// f.Limit.
+func (s *Store) Count(f Filter) int {
+	vis := s.gate.visible.Load()
+	if vis == 0 || (f.AfterSeq > 0 && f.AfterSeq >= vis) {
+		return 0
 	}
-	return best
+	spaceSet := spaceSetFor(f)
+	if f.SensorID != "" {
+		return s.shardFor(f.SensorID).countMatches(f, vis, spaceSet)
+	}
+	counts := make([]int, len(s.shards))
+	s.forEachShard(func(i int, sh *shard) {
+		counts[i] = sh.countMatches(f, vis, spaceSet)
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+func spaceSetFor(f Filter) map[string]bool {
+	if len(f.SpaceIDs) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(f.SpaceIDs))
+	for _, id := range f.SpaceIDs {
+		set[id] = true
+	}
+	return set
 }
 
 func matches(o sensor.Observation, f Filter, spaceSet map[string]bool) bool {
@@ -288,9 +333,13 @@ func matches(o sensor.Observation, f Filter, spaceSet map[string]bool) bool {
 
 // Len returns the number of live observations.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.bySeq)
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += len(sh.bySeq)
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // Stats reports cumulative ingest and sweep counters plus the live
@@ -303,9 +352,7 @@ type Stats struct {
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return Stats{Live: len(s.bySeq), Ingested: s.totalIngests, Swept: s.totalSwept}
+	return Stats{Live: s.Len(), Ingested: s.totalIngests.Load(), Swept: s.totalSwept.Load()}
 }
 
 // SetDefaultRetention installs a default TTL applied to observations
@@ -380,120 +427,106 @@ func (s *Store) expiry(o sensor.Observation) (time.Time, bool) {
 
 // Sweep deletes every observation whose retention expired at or
 // before now, returning the number deleted. It is the storage-time
-// enforcement pass; the BMS core runs it periodically.
+// enforcement pass; the BMS core runs it periodically. Shards sweep
+// in parallel on the worker pool.
 func (s *Store) Sweep(now time.Time) int {
 	t0 := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	defer s.sweepSeconds.ObserveSince(t0)
-	removed := 0
-	for seq, o := range s.bySeq {
-		exp, ok := s.expiry(o)
-		if !ok {
-			continue
+	removed := make([]int, len(s.shards))
+	s.forEachShard(func(i int, sh *shard) {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		n := 0
+		for seq, o := range sh.bySeq {
+			exp, ok := s.expiry(o)
+			if !ok {
+				continue
+			}
+			if !exp.After(now) {
+				delete(sh.bySeq, seq)
+				n++
+			}
 		}
-		if !exp.After(now) {
-			delete(s.bySeq, seq)
-			removed++
+		sh.dead += n
+		// Compact index slices once tombstones dominate, keeping
+		// query scans proportional to live data.
+		if sh.dead > len(sh.bySeq) && sh.dead > s.compactMin {
+			sh.compactLocked()
+			s.compactions.Add(1)
 		}
+		removed[i] = n
+	})
+	total := 0
+	for _, n := range removed {
+		total += n
 	}
-	s.dead += removed
-	s.totalSwept += uint64(removed)
-	// Compact index slices once tombstones dominate, keeping query
-	// scans proportional to live data.
-	if s.dead > len(s.bySeq) && s.dead > 1024 {
-		s.compactLocked()
-	}
+	s.totalSwept.Add(uint64(total))
 	// Durable mode: retention must reach the disk too. Sealed WAL
 	// segments holding only dead records are deleted outright.
-	if removed > 0 && s.wal != nil {
-		s.pruneWALLocked()
+	if total > 0 && s.durable.Load() {
+		s.pruneWAL()
 	}
-	return removed
+	return total
 }
 
-// DeleteUser removes every observation attributed to userID,
-// supporting right-to-erasure style requests. It returns the number
-// deleted.
+// DeleteUser removes every observation attributed to userID — from
+// every shard — supporting right-to-erasure style requests. It
+// returns the number deleted.
 func (s *Store) DeleteUser(userID string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	removed := 0
-	for _, seq := range s.byUser[userID] {
-		if _, ok := s.bySeq[seq]; ok {
-			delete(s.bySeq, seq)
-			removed++
+	removed := make([]int, len(s.shards))
+	s.forEachShard(func(i int, sh *shard) {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		n := 0
+		for _, seq := range sh.byUser[userID] {
+			if _, ok := sh.bySeq[seq]; ok {
+				delete(sh.bySeq, seq)
+				n++
+			}
 		}
+		delete(sh.byUser, userID)
+		sh.dead += n
+		removed[i] = n
+	})
+	total := 0
+	for _, n := range removed {
+		total += n
 	}
-	delete(s.byUser, userID)
-	s.dead += removed
-	s.totalSwept += uint64(removed)
+	s.totalSwept.Add(uint64(total))
 	// Erasure reaches disk like retention does; copies in the active
 	// segment or the checkpoint leave at the next Checkpoint.
-	if removed > 0 && s.wal != nil {
-		s.pruneWALLocked()
+	if total > 0 && s.durable.Load() {
+		s.pruneWAL()
 	}
-	return removed
-}
-
-// compactLocked rebuilds order and index slices without tombstones.
-// Caller holds s.mu.
-func (s *Store) compactLocked() {
-	live := s.order[:0]
-	for _, seq := range s.order {
-		if _, ok := s.bySeq[seq]; ok {
-			live = append(live, seq)
-		}
-	}
-	s.order = live
-	compactIndex := func(idx map[string][]uint64) {
-		for key, list := range idx {
-			out := list[:0]
-			for _, seq := range list {
-				if _, ok := s.bySeq[seq]; ok {
-					out = append(out, seq)
-				}
-			}
-			if len(out) == 0 {
-				delete(idx, key)
-			} else {
-				idx[key] = out
-			}
-		}
-	}
-	compactIndex(s.bySensor)
-	compactIndex(s.byUser)
-	kindIdx := make(map[string][]uint64, len(s.byKind))
-	for k, v := range s.byKind {
-		kindIdx[string(k)] = v
-	}
-	compactIndex(kindIdx)
-	for k := range s.byKind {
-		delete(s.byKind, k)
-	}
-	for k, v := range kindIdx {
-		s.byKind[sensor.ObservationKind(k)] = v
-	}
-	s.dead = 0
-	s.compactions++
+	return total
 }
 
 // Users returns the distinct attributed user IDs present in the
 // store, sorted. Inference experiments use it to enumerate subjects.
 func (s *Store) Users() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byUser))
-	for u, seqs := range s.byUser {
-		alive := false
-		for _, seq := range seqs {
-			if _, ok := s.bySeq[seq]; ok {
-				alive = true
-				break
+	perShard := make([][]string, len(s.shards))
+	s.forEachShard(func(i int, sh *shard) {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		var users []string
+		for u, seqs := range sh.byUser {
+			for _, seq := range seqs {
+				if _, ok := sh.bySeq[seq]; ok {
+					users = append(users, u)
+					break
+				}
 			}
 		}
-		if alive {
-			out = append(out, u)
+		perShard[i] = users
+	})
+	seen := make(map[string]bool)
+	var out []string
+	for _, users := range perShard {
+		for _, u := range users {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
 		}
 	}
 	sort.Strings(out)

@@ -81,33 +81,54 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 
 // writeSnapshot is WriteSnapshot, returning the header's NextSeq: the
 // high-water mark checkpoint truncation needs (every WAL record at or
-// below it is covered by this snapshot).
+// below it is covered by this snapshot). The snapshot's cut point is
+// the publication watermark: every observation at or below it is
+// collected (briefly locking one shard at a time, merged back into
+// global seq order — byte-compatible with the single-lock format),
+// and appends still in flight above it stay in the WAL for replay.
 func (s *Store) writeSnapshot(w io.Writer) (uint64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	vis := s.gate.visible.Load()
+	obs := s.collectOrdered(vis)
 
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	header := snapshotHeader{
 		Version:  1,
-		NextSeq:  s.nextSeq,
-		Ingested: s.totalIngests,
-		Swept:    s.totalSwept,
-		Count:    len(s.bySeq),
+		NextSeq:  vis,
+		Ingested: s.totalIngests.Load(),
+		Swept:    s.totalSwept.Load(),
+		Count:    len(obs),
 	}
 	if err := enc.Encode(header); err != nil {
 		return 0, fmt.Errorf("obstore: snapshot header: %w", err)
 	}
-	for _, seq := range s.order {
-		o, ok := s.bySeq[seq]
-		if !ok {
-			continue
-		}
+	for _, o := range obs {
 		if err := enc.Encode(o); err != nil {
-			return 0, fmt.Errorf("obstore: snapshot observation %d: %w", seq, err)
+			return 0, fmt.Errorf("obstore: snapshot observation %d: %w", o.Seq, err)
 		}
 	}
 	return header.NextSeq, bw.Flush()
+}
+
+// collectOrdered copies every live observation with seq <= vis out of
+// the shards, merged into ascending seq order.
+func (s *Store) collectOrdered(vis uint64) []sensor.Observation {
+	pages := make([][]sensor.Observation, len(s.shards))
+	s.forEachShard(func(i int, sh *shard) {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		out := make([]sensor.Observation, 0, len(sh.bySeq))
+		for _, seq := range sh.order {
+			if seq > vis {
+				break
+			}
+			if o, ok := sh.bySeq[seq]; ok {
+				out = append(out, o)
+			}
+		}
+		pages[i] = out
+	})
+	return mergeBySeq(pages, 0)
 }
 
 // ReadSnapshot restores a store from a snapshot. It returns an error
@@ -127,15 +148,13 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 // KeepPartial the records before that line stay restored (Restored
 // says how many survived).
 func (s *Store) RestoreSnapshot(r io.Reader, opts RestoreOptions) (RestoreResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.bySeq) != 0 || s.nextSeq != 0 {
+	if s.Len() != 0 || s.nextSeq.Load() != 0 {
 		return RestoreResult{}, &SnapshotError{Err: errors.New("refusing to restore into a non-empty store")}
 	}
 
 	fail := func(res RestoreResult, serr *SnapshotError) (RestoreResult, error) {
 		if !opts.KeepPartial {
-			s.resetLocked()
+			s.reset()
 			res.Restored = 0
 		}
 		return res, serr
@@ -169,16 +188,18 @@ func (s *Store) RestoreSnapshot(r io.Reader, opts RestoreOptions) (RestoreResult
 
 	res := RestoreResult{Declared: header.Count}
 	var maxSeq uint64
+	seen := make(map[uint64]struct{}, header.Count)
 	finishPartial := func() {
 		// Partial restores may not reach the header's counters; keep
 		// seq allocation safe and the ingest counter honest.
-		if header.NextSeq > maxSeq {
-			s.nextSeq = header.NextSeq
-		} else {
-			s.nextSeq = maxSeq
+		next := header.NextSeq
+		if maxSeq > next {
+			next = maxSeq
 		}
-		s.totalIngests = header.Ingested
-		s.totalSwept = header.Swept
+		s.nextSeq.Store(next)
+		s.gate.reset(next)
+		s.totalIngests.Store(header.Ingested)
+		s.totalSwept.Store(header.Swept)
 	}
 	for i := 0; i < header.Count; i++ {
 		raw, ok, err := nextLine()
@@ -210,7 +231,7 @@ func (s *Store) RestoreSnapshot(r io.Reader, opts RestoreOptions) (RestoreResult
 			}
 			return fail(res, serr)
 		}
-		if _, dup := s.bySeq[o.Seq]; dup {
+		if _, dup := seen[o.Seq]; dup {
 			serr := &SnapshotError{Line: line, Record: i + 1,
 				Err: fmt.Errorf("duplicate seq %d", o.Seq)}
 			if opts.KeepPartial {
@@ -218,7 +239,8 @@ func (s *Store) RestoreSnapshot(r io.Reader, opts RestoreOptions) (RestoreResult
 			}
 			return fail(res, serr)
 		}
-		s.insertLocked(o)
+		seen[o.Seq] = struct{}{}
+		s.insertRecovered(o)
 		if o.Seq > maxSeq {
 			maxSeq = o.Seq
 		}
@@ -236,15 +258,14 @@ func (s *Store) RestoreSnapshot(r io.Reader, opts RestoreOptions) (RestoreResult
 	return res, nil
 }
 
-// resetLocked empties the store. Caller holds s.mu.
-func (s *Store) resetLocked() {
-	s.bySeq = make(map[uint64]sensor.Observation)
-	s.order = nil
-	s.bySensor = make(map[string][]uint64)
-	s.byUser = make(map[string][]uint64)
-	s.byKind = make(map[sensor.ObservationKind][]uint64)
-	s.nextSeq = 0
-	s.dead = 0
-	s.totalIngests = 0
-	s.totalSwept = 0
+// reset empties the store. Only called from single-threaded restore
+// paths (a failed restore of a store that was empty to begin with).
+func (s *Store) reset() {
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	s.nextSeq.Store(0)
+	s.gate.reset(0)
+	s.totalIngests.Store(0)
+	s.totalSwept.Store(0)
 }

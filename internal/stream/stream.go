@@ -176,6 +176,10 @@ var (
 	// ErrSlowConsumer reports a Disconnect-policy eviction: the
 	// consumer fell behind and must reconnect with its cursor.
 	ErrSlowConsumer = errors.New("stream: subscription disconnected: consumer too slow")
+	// ErrReplayOrder reports a store replay page that was not
+	// strictly ascending in seq — the cross-shard merge invariant the
+	// resume cursor depends on was violated.
+	ErrReplayOrder = errors.New("stream: replay page out of seq order")
 )
 
 // Hub fans the live feed out to enforced subscriptions.

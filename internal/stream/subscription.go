@@ -386,6 +386,20 @@ func (s *Subscription) nextReplay() (Event, bool) {
 		f.AfterSeq = s.cursor
 		f.Limit = s.opts.ReplayChunk
 		page := s.hub.cfg.Store.Query(f)
+		// Seq-ordering assertion: resume correctness hangs on the
+		// store's cross-shard merge handing back strictly ascending
+		// seqs past the cursor. A violation would corrupt the cursor
+		// and the dedupe watermark, so fail the subscription loudly
+		// instead of delivering out of order.
+		last := s.cursor
+		for _, o := range page {
+			if o.Seq <= last {
+				s.close(ErrReplayOrder)
+				s.fetchDone, s.replayDone = true, true
+				return Event{}, false
+			}
+			last = o.Seq
+		}
 		if len(page) > 0 {
 			s.cursor = page[len(page)-1].Seq
 			for _, o := range page {

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the gated benchmark set and compare it against the
+# committed baseline (BENCH_pr4.json).
+#
+#   scripts/bench.sh                 # run, then gate against baseline
+#   BENCH_BASELINE=1 scripts/bench.sh  # run and (re)write the baseline instead
+#
+# Environment knobs:
+#   BENCH_COUNT        -count for each benchmark (default 5; medians
+#                      need several samples)
+#   BENCH_SHARDED_OBS  dataset size for BenchmarkShardedQueryEnforce
+#                      (default 1000000; CI shrinks it to keep runs fast)
+#   BENCH_TOLERANCE    allowed median regression percent (default 15)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-5}"
+TOLERANCE="${BENCH_TOLERANCE:-15}"
+BASELINE="BENCH_pr4.json"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+RAW="$OUT_DIR/bench.txt"
+
+echo "== building benchdiff"
+go build -o "$OUT_DIR/benchdiff" ./cmd/benchdiff
+
+echo "== running gated benchmarks (count=$COUNT)"
+: >"$RAW"
+# Root package: durable ingest + the sharded query/enforce pair.
+go test -run '^$' -bench 'BenchmarkObstoreIngestDurable|BenchmarkShardedQueryEnforce' \
+	-benchmem -count="$COUNT" -benchtime "${BENCH_TIME:-1s}" . | tee -a "$RAW"
+# Stream fanout lives with the core pipeline benchmarks.
+go test -run '^$' -bench 'BenchmarkStreamFanout' \
+	-benchmem -count="$COUNT" -benchtime "${BENCH_TIME:-1s}" ./internal/core | tee -a "$RAW"
+# WAL append is the storage floor everything durable sits on.
+go test -run '^$' -bench 'BenchmarkWALAppend' \
+	-benchmem -count="$COUNT" -benchtime "${BENCH_TIME:-1s}" ./internal/wal | tee -a "$RAW"
+
+echo "== parsing results"
+# BENCH_OUT is the fresh-run JSON (CI uploads it as an artifact);
+# BENCH_pr4.json stays the committed baseline.
+FRESH="${BENCH_OUT:-bench-new.json}"
+"$OUT_DIR/benchdiff" parse "$RAW" >"$FRESH"
+
+if [[ "${BENCH_BASELINE:-0}" == "1" || ! -f "$BASELINE" ]]; then
+	cp "$FRESH" "$BASELINE"
+	echo "== baseline written to $BASELINE (no comparison run)"
+	exit 0
+fi
+
+echo "== comparing against $BASELINE (tolerance ${TOLERANCE}%)"
+"$OUT_DIR/benchdiff" compare -tolerance "$TOLERANCE" "$BASELINE" "$FRESH"
+echo "== benchmark gate passed"

@@ -1,6 +1,8 @@
 #!/bin/sh
 # verify.sh — the repo's one-command health check: formatting, vet,
-# build, and the full test suite under the race detector.
+# build, and the full test suite under the race detector. The steps
+# mirror the test job in .github/workflows/ci.yml so a green local
+# run predicts a green CI run; change them together.
 set -eu
 
 cd "$(dirname "$0")"
@@ -22,10 +24,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== wal recovery (repeated) =="
-go test -run TestWALRecovery -count=2 ./internal/wal/...
+echo "== wal recovery incl. crash injection (repeated, race) =="
+go test -race -run 'TestWALRecovery|TestWALCrash' -count=2 ./internal/wal/...
 
-echo "== stream + bus (repeated, race) =="
-go test -race -count=2 ./internal/stream/... ./internal/bus/...
+echo "== stream + bus + obstore shards (repeated, race) =="
+go test -race -count=2 ./internal/stream/... ./internal/bus/... ./internal/obstore/...
 
 echo "verify: OK"
