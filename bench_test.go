@@ -25,6 +25,7 @@ import (
 	"github.com/tippers/tippers/internal/sensor"
 	"github.com/tippers/tippers/internal/service"
 	"github.com/tippers/tippers/internal/sim"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 var benchDay = time.Date(2017, time.June, 7, 0, 0, 0, 0, time.UTC)
@@ -391,4 +392,68 @@ func benchResourceDoc(n int) policy.ResourceDocument {
 		})
 	}
 	return doc
+}
+
+// BenchmarkTraceOverhead measures what sampled tracing costs on the
+// ingest+decide hot path. "off" runs with no tracer; "sampled" makes
+// the per-request root sampling decision (default 1-in-128) exactly
+// as the HTTP middleware does, then runs the same pipeline. The CI
+// bench gate holds the sampled variant within a few percent of off.
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, tracer *Tracer) {
+		dep, err := NewDeployment(DeploymentConfig{
+			Spec: SmallDBH(), Population: 100, Seed: 1, Tracer: tracer,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer dep.Close()
+		users := dep.Users.All()
+		aps := dep.Building.Sensors.ByType(sensor.TypeWiFiAP)
+		// Steady-state workload: the decide path always queries subject,
+		// whose observation set is fixed below, while ingest spreads new
+		// observations over the other users — per-iteration cost stays
+		// flat as b.N grows, so off and sampled are comparable.
+		subject := users[0]
+		writers := users[1:]
+		for i := 0; i < 16; i++ {
+			err := dep.BMS.Ingest(sensor.Observation{
+				SensorID: aps[0].ID, Kind: sensor.ObsWiFiConnect,
+				DeviceMAC: subject.DeviceMACs[0],
+				Time:      benchDay.Add(time.Duration(i) * time.Minute),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx := context.Background()
+			var root *telemetry.Span
+			if tracer != nil {
+				ctx, root = tracer.StartRoot(ctx, "bench.request")
+			}
+			u := writers[i%len(writers)]
+			err := dep.BMS.IngestCtx(ctx, sensor.Observation{
+				SensorID:  aps[i%len(aps)].ID,
+				Kind:      sensor.ObsWiFiConnect,
+				DeviceMAC: u.DeviceMACs[0],
+				Time:      benchDay.Add(time.Duration(i) * time.Second),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dep.BMS.RequestUserCtx(ctx, enforce.Request{
+				ServiceID: "concierge", Purpose: policy.PurposeProvidingService,
+				Kind: sensor.ObsWiFiConnect, SubjectID: subject.ID,
+				Time: benchDay,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("sampled", func(b *testing.B) { run(b, NewTracer(TracerOptions{})) })
 }

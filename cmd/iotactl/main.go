@@ -16,6 +16,13 @@
 //	iotactl -user mary watch    -tippers http://localhost:8080 [-topic notifications]
 //	iotactl -user mary watch    -tippers http://localhost:8080 -topic observations
 //	         -service concierge [-purpose providing_service] [-replay] [-after N]
+//	iotactl trace -tippers http://localhost:8080 <trace-id>
+//	iotactl top   -tippers http://localhost:8080 [-interval 2s] [-iterations N]
+//
+// trace prints the recorded span tree for one end-to-end request
+// trace (IDs come from slow-request log lines, traceparent response
+// headers, or /v1/traces). top is a live terminal dashboard of
+// request rates, tail latencies, and stream-lag SLO gauges.
 //
 // watch follows a live stream until interrupted, printing one JSON
 // event per line. The default topic is the user's notification feed;
@@ -70,6 +77,8 @@ func main() {
 		purpose   = flag.String("purpose", string(policy.PurposeProvidingService), "request purpose for watch -topic observations")
 		replay    = flag.Bool("replay", false, "watch: replay durable history before going live")
 		after     = flag.Uint64("after", 0, "watch: resume cursor (stream from after this sequence number)")
+		interval  = flag.Duration("interval", 2*time.Second, "top: refresh interval")
+		iters     = flag.Int("iterations", 0, "top: refresh count before exiting (0 = until interrupted)")
 		verbose   = flag.Bool("v", false, "debug logging")
 	)
 	logger = telemetry.SetupLogger(telemetry.LogConfig{Component: "iotactl"})
@@ -85,7 +94,9 @@ func main() {
 		os.Exit(2)
 	}
 	logger = telemetry.SetupLogger(telemetry.LogConfig{Component: "iotactl", Verbose: *verbose})
-	if *user == "" {
+	// trace and top are operator commands; every other command acts
+	// for a user and requires -user.
+	if *user == "" && cmd != "trace" && cmd != "top" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -220,6 +231,19 @@ func main() {
 		if err != nil && !errors.Is(err, context.Canceled) {
 			fatal("stream", "error", err)
 		}
+	case "trace":
+		id := flag.CommandLine.Arg(0)
+		if id == "" {
+			fatal("trace requires a trace ID argument (see the slow-request log or /v1/traces)")
+		}
+		runTrace(ctx, tippersClient(*tip), id)
+	case "top":
+		// top runs until interrupted (or -iterations); the 30s command
+		// timeout does not apply.
+		cancel()
+		topCtx, stopTop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stopTop()
+		runTop(topCtx, tippersClient(*tip), strings.TrimSuffix(*tip, "/"), *interval, *iters)
 	case "inbox":
 		client := tippersClient(*tip)
 		notifs, err := client.Notifications(ctx, *user)

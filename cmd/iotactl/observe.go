@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/tippers/tippers/internal/httpapi"
+	"github.com/tippers/tippers/internal/telemetry"
+)
+
+// This file implements the operator-facing observability subcommands:
+//
+//	iotactl trace -tippers URL <trace-id>   print one trace's span tree
+//	iotactl top   -tippers URL [-interval 2s] [-iterations N]
+//
+// trace fetches /v1/traces/{id} and renders the spans as an indented
+// tree with stage durations and attributes — the terminal equivalent
+// of a distributed-tracing waterfall. top polls /v1/stats and
+// /debug/vars, showing live request rates, tail latencies (p50/p99/
+// p99.9), and stream-lag SLO gauges, refreshing in place like top(1).
+
+// runTrace implements `iotactl trace <id>`.
+func runTrace(ctx context.Context, client *httpapi.Client, id string) {
+	spans, err := client.Trace(ctx, id)
+	if err != nil {
+		fatal("fetch trace", "id", id, "error", err)
+	}
+	if len(spans) == 0 {
+		fatal("trace has no spans (evicted, unsampled, or unknown)", "id", id)
+	}
+	fmt.Printf("trace %s (%d span(s))\n", id, len(spans))
+	printSpanTree(spans)
+}
+
+// printSpanTree renders spans as an indented tree. Spans whose parent
+// is missing from the set (evicted from the ring, or recorded on
+// another process) are treated as roots so partial traces still
+// render.
+func printSpanTree(spans []telemetry.SpanData) {
+	byID := make(map[string]telemetry.SpanData, len(spans))
+	children := make(map[string][]telemetry.SpanData)
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	var roots []telemetry.SpanData
+	for _, s := range spans {
+		if s.ParentID != "" {
+			if _, ok := byID[s.ParentID]; ok {
+				children[s.ParentID] = append(children[s.ParentID], s)
+				continue
+			}
+		}
+		roots = append(roots, s)
+	}
+	var walk func(s telemetry.SpanData, depth int)
+	walk = func(s telemetry.SpanData, depth int) {
+		indent := strings.Repeat("  ", depth)
+		line := fmt.Sprintf("%s%-*s %9.3fms", indent, 32-2*depth, s.Name,
+			float64(s.DurationMicros)/1000)
+		var attrs []string
+		for _, a := range s.Attrs {
+			attrs = append(attrs, a.Key+"="+a.Value)
+		}
+		if len(attrs) > 0 {
+			line += "  " + strings.Join(attrs, " ")
+		}
+		fmt.Println(line)
+		for _, c := range children[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// runTop implements `iotactl top`: a live, refreshing view of the
+// node's throughput, tail latency, and stream SLO gauges.
+func runTop(ctx context.Context, client *httpapi.Client, base string, interval time.Duration, iterations int) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	prev, err := client.Stats(ctx)
+	if err != nil {
+		fatal("fetch stats", "error", err)
+	}
+	prevAt := time.Now()
+	for i := 0; iterations == 0 || i < iterations; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+		cur, err := client.Stats(ctx)
+		if err != nil {
+			fatal("fetch stats", "error", err)
+		}
+		now := time.Now()
+		samples, err := fetchVars(ctx, base)
+		if err != nil {
+			fatal("fetch /debug/vars", "error", err)
+		}
+		elapsed := now.Sub(prevAt).Seconds()
+		// Clear and home, like top(1); harmless on dumb terminals.
+		fmt.Print("\x1b[H\x1b[2J")
+		fmt.Printf("tippers top  %s  (refresh %s)\n\n", now.Format("15:04:05"), interval)
+		fmt.Printf("%-22s %10s\n", "rate (events/s)", "")
+		fmt.Printf("  %-20s %10.1f\n", "ingested", rate(cur.Ingested, prev.Ingested, elapsed))
+		fmt.Printf("  %-20s %10.1f\n", "requests decided", rate(cur.RequestsDecided, prev.RequestsDecided, elapsed))
+		fmt.Printf("  %-20s %10.1f\n", "requests denied", rate(cur.RequestsDenied, prev.RequestsDenied, elapsed))
+		fmt.Printf("  %-20s %10.1f\n", "notifications", rate(cur.NotificationsSent, prev.NotificationsSent, elapsed))
+
+		fmt.Printf("\n%-38s %8s %9s %9s %9s\n", "latency (ms)", "count", "p50", "p99", "p99.9")
+		printLatencyRows(samples)
+		printStreamRows(samples)
+		prev, prevAt = cur, now
+	}
+}
+
+func rate(cur, prev uint64, elapsed float64) float64 {
+	if elapsed <= 0 || cur < prev {
+		return 0
+	}
+	return float64(cur-prev) / elapsed
+}
+
+// fetchVars pulls the registry snapshot as JSON from /debug/vars.
+func fetchVars(ctx context.Context, base string) ([]telemetry.Sample, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/vars", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
+	if err != nil {
+		return nil, err
+	}
+	var out []telemetry.Sample
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("decode /debug/vars: %w", err)
+	}
+	return out, nil
+}
+
+// printLatencyRows shows each histogram's tail quantiles, HTTP routes
+// first, then the pipeline-internal stages.
+func printLatencyRows(samples []telemetry.Sample) {
+	var rows []telemetry.Sample
+	for _, s := range samples {
+		if s.Kind == "histogram" && s.Count > 0 {
+			rows = append(rows, s)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Name != rows[j].Name {
+			return rows[i].Name < rows[j].Name
+		}
+		return rows[i].Labels["route"] < rows[j].Labels["route"]
+	})
+	for _, s := range rows {
+		name := strings.TrimSuffix(strings.TrimPrefix(s.Name, "tippers_"), "_seconds")
+		if route := s.Labels["route"]; route != "" {
+			name += " " + route
+		}
+		if len(name) > 38 {
+			name = name[:38]
+		}
+		fmt.Printf("%-38s %8d %9.2f %9.2f %9.2f\n",
+			name, s.Count, s.P50*1000, s.P99*1000, s.P999*1000)
+	}
+}
+
+// printStreamRows shows the live-stream SLO gauges when present.
+func printStreamRows(samples []telemetry.Sample) {
+	var rows []string
+	for _, s := range samples {
+		switch s.Name {
+		case "tippers_stream_subscriptions", "tippers_stream_max_lag_events",
+			"tippers_stream_gap_age_seconds":
+			rows = append(rows, fmt.Sprintf("  %-28s %10.1f",
+				strings.TrimPrefix(s.Name, "tippers_stream_"), s.Value))
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Strings(rows)
+	fmt.Printf("\n%s\n", "streams")
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	irrd [-addr :8081] [-name my-irr] [-space dbh] [-pprof] [-v]
-//	     resource.json ...
+//	     [-trace-sample 128] [-trace-slow 250ms] resource.json ...
 //
 // Each file must be a Figure-2-shape resource document; every
 // resource in it is published under the -space coverage. With no
@@ -35,6 +35,8 @@ func main() {
 		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
 		verbose   = flag.Bool("v", false, "debug logging")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		sampleN   = flag.Int("trace-sample", telemetry.DefaultSampleOneIn, "trace 1 in N requests (0 disables tracing)")
+		traceSlow = flag.Duration("trace-slow", 250*time.Millisecond, "log requests slower than this with their trace ID (0 disables)")
 	)
 	flag.Parse()
 
@@ -47,6 +49,13 @@ func main() {
 
 	metrics := telemetry.NewRegistry()
 	telemetry.RegisterRuntimeMetrics(metrics)
+	telemetry.RegisterBuildInfo(metrics, "irrd")
+
+	var tracer *telemetry.Tracer
+	if *sampleN > 0 {
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{SampleOneIn: *sampleN})
+		tracer.RegisterMetrics(metrics)
+	}
 
 	registry := irr.NewRegistry(*name, nil)
 
@@ -85,7 +94,17 @@ func main() {
 		})
 
 	mux := http.NewServeMux()
-	mux.Handle("/", telemetry.InstrumentHandler(metrics, "tippers_http", "irr", registry.Handler()))
+	var handler http.Handler = registry.Handler()
+	if tracer != nil {
+		handler = telemetry.TraceHandler(tracer, "irr", *traceSlow, logger, handler)
+	}
+	mux.Handle("/", telemetry.InstrumentHandler(metrics, "tippers_http", "irr", handler))
+	telemetry.MountHealth(mux, func() error {
+		if registry.Len() == 0 {
+			return errors.New("irrd: no resources published")
+		}
+		return nil
+	})
 	metrics.Mount(mux, *pprofFlag)
 	if *pprofFlag {
 		logger.Info("pprof enabled", "path", "/debug/pprof/")

@@ -6,11 +6,18 @@
 // Usage:
 //
 //	simload -tippers http://localhost:8080 [-days 1] [-population 200]
-//	        [-small] [-requests 100] [-seed 1]
+//	        [-small] [-requests 100] [-aggregates 20] [-seed 1]
 //
 // The population must match the tippersd instance's (-population and
 // -seed), since observations are attributed by the node via its own
 // user directory.
+//
+// Besides throughput, simload reports client-observed p50/p99/p99.9
+// latency per operation class — ingest (one batch POST), point_query
+// (user-data request), aggregate (occupancy request) — plus the
+// server-reported decision stage time extracted from each response's
+// decision trace, so enforcement cost is visible separately from
+// HTTP and store overhead.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"github.com/tippers/tippers/internal/enforce"
@@ -32,7 +40,8 @@ func main() {
 		days       = flag.Int("days", 1, "days to simulate")
 		population = flag.Int("population", 200, "occupant count (must match the node)")
 		small      = flag.Bool("small", false, "use the two-floor building (must match the node)")
-		requests   = flag.Int("requests", 100, "requests to fire after ingest (0 disables)")
+		requests   = flag.Int("requests", 100, "point-query requests to fire after ingest (0 disables)")
+		aggregates = flag.Int("aggregates", 20, "aggregate occupancy requests to fire after ingest (0 disables)")
 		seed       = flag.Int64("seed", 1, "simulation seed (must match the node)")
 		batch      = flag.Int("batch", 500, "observations per ingest call")
 		verbose    = flag.Bool("v", false, "debug logging")
@@ -65,6 +74,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	lat := map[string]*latencySet{
+		"ingest":      {},
+		"point_query": {},
+		"aggregate":   {},
+		"decision":    {},
+	}
+
 	day := time.Now().UTC().Truncate(24 * time.Hour)
 	totalSent := 0
 	start := time.Now()
@@ -84,11 +100,13 @@ func main() {
 					Payload:   o.Payload,
 				})
 			}
+			callStart := time.Now()
 			n, err := client.Ingest(ctx, dtos)
 			if err != nil {
 				logger.Error("ingest", "error", err, "accepted", n)
 				os.Exit(1)
 			}
+			lat["ingest"].add(time.Since(callStart))
 			totalSent += n
 		}
 		logger.Info("day sent", "day", d+1, "observations", len(res.Observations))
@@ -105,6 +123,7 @@ func main() {
 		allowed, denied := 0, 0
 		start = time.Now()
 		for _, r := range reqs {
+			callStart := time.Now()
 			resp, err := client.RequestUser(ctx, enforce.Request{
 				ServiceID: r.ServiceID, Purpose: r.Purpose, Kind: r.Kind,
 				SubjectID: r.SubjectID, SpaceID: r.SpaceID,
@@ -114,6 +133,8 @@ func main() {
 				logger.Error("request", "error", err)
 				os.Exit(1)
 			}
+			lat["point_query"].add(time.Since(callStart))
+			lat["decision"].addTrace(resp.Trace)
 			if resp.Decision.Allowed {
 				allowed++
 			} else {
@@ -126,6 +147,47 @@ func main() {
 			"denied", denied,
 			"elapsed", elapsed.Round(time.Millisecond).String(),
 			"req_per_sec", fmt.Sprintf("%.0f", float64(*requests)/elapsed.Seconds()))
+	}
+
+	if *aggregates > 0 {
+		spaces := append(append([]string{}, building.Classrooms...), building.Offices...)
+		if len(spaces) == 0 {
+			spaces = []string{spec.ID}
+		}
+		start = time.Now()
+		for i := 0; i < *aggregates; i++ {
+			callStart := time.Now()
+			resp, err := client.RequestOccupancy(ctx, enforce.Request{
+				ServiceID: "concierge",
+				Purpose:   "providing_service",
+				Kind:      "wifi_access_point",
+				SpaceID:   spaces[i%len(spaces)],
+				Time:      day.Add(12 * time.Hour),
+			}, 2)
+			if err != nil {
+				logger.Error("aggregate request", "error", err)
+				os.Exit(1)
+			}
+			lat["aggregate"].add(time.Since(callStart))
+			lat["decision"].addTrace(resp.Trace)
+		}
+		elapsed = time.Since(start)
+		logger.Info("aggregates done",
+			"requests", *aggregates,
+			"elapsed", elapsed.Round(time.Millisecond).String())
+	}
+
+	for _, class := range []string{"ingest", "point_query", "aggregate", "decision"} {
+		set := lat[class]
+		if len(set.samples) == 0 {
+			continue
+		}
+		logger.Info("latency",
+			"class", class,
+			"n", len(set.samples),
+			"p50", set.quantile(0.50).Round(time.Microsecond).String(),
+			"p99", set.quantile(0.99).Round(time.Microsecond).String(),
+			"p99.9", set.quantile(0.999).Round(time.Microsecond).String())
 	}
 
 	stats, err := client.Stats(ctx)
@@ -149,4 +211,41 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// latencySet collects raw per-call latencies for one operation class
+// and reports exact quantiles from the sorted sample set — unlike the
+// server's bucketed histograms, a load generator can afford to keep
+// every sample.
+type latencySet struct {
+	samples []time.Duration
+}
+
+func (l *latencySet) add(d time.Duration) { l.samples = append(l.samples, d) }
+
+// addTrace records the server-side decision stage time from a
+// response's decision trace, separating enforcement cost from
+// transport and store time.
+func (l *latencySet) addTrace(tr *httpapi.DecisionTraceDTO) {
+	if tr == nil {
+		return
+	}
+	for _, st := range tr.Stages {
+		if st.Name == "decide" {
+			l.add(time.Duration(st.DurationMicros) * time.Microsecond)
+			return
+		}
+	}
+}
+
+// quantile returns the exact q-quantile (nearest-rank on the sorted
+// samples). Empty sets return 0.
+func (l *latencySet) quantile(q float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
 }

@@ -9,6 +9,7 @@
 //	         [-small] [-paper-policies] [-simulate-days 1] [-seed 1]
 //	         [-wal-dir DIR] [-wal-sync 10ms|always|none]
 //	         [-stream-buffer 256] [-stream-policy drop-oldest|block|disconnect]
+//	         [-trace-sample 128] [-trace-slow 250ms]
 //	         [-pprof] [-v] [-log-format text|json]
 //
 // With -wal-dir the node runs durably: every ingested observation is
@@ -51,6 +52,8 @@ func main() {
 		streamPolicy  = flag.String("stream-policy", "drop-oldest", "default live-stream backpressure policy: drop-oldest, block, or disconnect")
 		verbose       = flag.Bool("v", false, "debug logging")
 		logFormat     = flag.String("log-format", "text", "log output format: text or json")
+		sampleN       = flag.Int("trace-sample", telemetry.DefaultSampleOneIn, "trace 1 in N requests end-to-end (0 disables tracing)")
+		traceSlow     = flag.Duration("trace-slow", 250*time.Millisecond, "log requests slower than this with their trace ID (0 disables)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,12 @@ func main() {
 
 	metrics := tippers.NewMetricsRegistry()
 	telemetry.RegisterRuntimeMetrics(metrics)
+	telemetry.RegisterBuildInfo(metrics, "tippersd")
+
+	var tracer *tippers.Tracer
+	if *sampleN > 0 {
+		tracer = tippers.NewTracer(tippers.TracerOptions{SampleOneIn: *sampleN})
+	}
 
 	spec := tippers.DBH()
 	if *small {
@@ -121,6 +130,8 @@ func main() {
 		Store:                 store,
 		StreamBuffer:          *streamBuffer,
 		StreamPolicy:          bp,
+		Tracer:                tracer,
+		TraceSlow:             *traceSlow,
 	})
 	if err != nil {
 		if store != nil {

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -70,6 +71,10 @@ type Config struct {
 	// histograms, and collaborator metrics register on; nil creates a
 	// private registry (reachable via BMS.Metrics).
 	Metrics *telemetry.Registry
+	// Tracer records sampled pipeline spans (ingest, enforcement
+	// stages, store/WAL, stream delivery). nil disables tracing — the
+	// span call sites then cost one context lookup each.
+	Tracer *telemetry.Tracer
 	// TraceBuffer caps the decision-trace ring buffer (default 256).
 	TraceBuffer int
 	// StreamBuffer is the default per-subscription ring capacity for
@@ -105,6 +110,7 @@ type BMS struct {
 
 	metrics *telemetry.Registry
 	met     *coreMetrics
+	tracer  *telemetry.Tracer
 	traces  *traceRing
 	streams *stream.Hub
 
@@ -169,6 +175,7 @@ func New(cfg Config) (*BMS, error) {
 		pseud:    privacy.NewPseudonymizer(key),
 		clock:    cfg.Clock,
 		metrics:  reg,
+		tracer:   cfg.Tracer,
 		met:      newCoreMetrics(reg, enforce.EngineName(engine)),
 		traces:   newTraceRing(cfg.TraceBuffer),
 		policies: make(map[string]policy.BuildingPolicy),
@@ -178,6 +185,10 @@ func New(cfg Config) (*BMS, error) {
 	// Collaborators expose their internals on the same registry; an
 	// engine that can report (Cached, Instrumented) joins in.
 	b.store.RegisterMetrics(reg)
+	// The store forwards the tracer to its WAL so group-commit fsync
+	// batches show up as spans.
+	b.store.SetTracer(cfg.Tracer)
+	cfg.Tracer.RegisterMetrics(reg)
 	b.bus.RegisterMetrics(reg)
 	b.reason.RegisterMetrics(reg)
 	if mr, ok := engine.(interface {
@@ -201,6 +212,7 @@ func New(cfg Config) (*BMS, error) {
 		},
 		Filter:        b.filterFor,
 		Metrics:       reg,
+		Tracer:        cfg.Tracer,
 		DefaultBuffer: cfg.StreamBuffer,
 		DefaultPolicy: cfg.StreamPolicy,
 		BusBuffer:     cfg.BusBuffer * 4,
@@ -238,6 +250,22 @@ func (b *BMS) Engine() enforce.Engine { return b.engine }
 // queries with resume cursors (see internal/stream).
 func (b *BMS) Streams() *stream.Hub { return b.streams }
 
+// Tracer returns the pipeline tracer (nil when tracing is disabled).
+func (b *BMS) Tracer() *telemetry.Tracer { return b.tracer }
+
+// Ready reports whether the node can serve: the observation store is
+// open (its WAL, when durable, still writable) and the stream hub is
+// accepting subscriptions. This is the /v1/readyz probe.
+func (b *BMS) Ready() error {
+	if err := b.store.Ready(); err != nil {
+		return err
+	}
+	if !b.streams.Accepting() {
+		return errors.New("core: stream hub closed")
+	}
+	return nil
+}
+
 // Stats returns a snapshot of pipeline counters. The struct and its
 // meaning are unchanged from the pre-telemetry era; the values are
 // now read off the lock-free registry counters.
@@ -256,10 +284,21 @@ func (b *BMS) Stats() Stats {
 // Ingest is the capture pipeline (Figure 1 steps 2–3): a sensor
 // reading enters, capture-time enforcement applies the sensor's
 // current privacy settings, the reading is attributed to a user via
-// device MAC, stored, and published on the bus.
+// device MAC, stored, and published on the bus. It is IngestCtx
+// without a caller context (no trace to continue).
 func (b *BMS) Ingest(o sensor.Observation) error {
+	return b.IngestCtx(context.Background(), o)
+}
+
+// IngestCtx is Ingest continuing the trace carried by ctx: when the
+// trace is sampled, the capture pipeline and the store append are
+// recorded as spans.
+func (b *BMS) IngestCtx(ctx context.Context, o sensor.Observation) error {
 	t0 := time.Now()
 	defer b.met.ingestSeconds.ObserveSince(t0)
+	ctx, span := b.tracer.StartSpan(ctx, "bms.ingest")
+	defer span.End()
+	span.SetAttr("sensor", o.SensorID)
 	s, ok := b.cfg.Sensors.Get(o.SensorID)
 	if !ok {
 		return fmt.Errorf("core: observation from unregistered sensor %q", o.SensorID)
@@ -293,10 +332,15 @@ func (b *BMS) Ingest(o sensor.Observation) error {
 			}
 		}
 	}
+	_, apSpan := b.tracer.StartSpan(ctx, "obstore.append")
 	stored, err := b.store.Append(o)
 	if err != nil {
+		apSpan.SetAttr("error", err.Error())
+		apSpan.End()
 		return err
 	}
+	apSpan.SetAttrInt("seq", int64(stored.Seq))
+	apSpan.End()
 	b.met.ingested.Inc()
 	b.bus.Publish(bus.TopicObservations, stored)
 	return nil

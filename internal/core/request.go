@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/tippers/tippers/internal/bus"
@@ -41,17 +43,33 @@ type Response struct {
 // building's policies; released data is degraded per the effective
 // rule; override notifications are delivered to the subject's inbox.
 func (b *BMS) RequestUser(req enforce.Request) (Response, error) {
+	return b.RequestUserCtx(context.Background(), req)
+}
+
+// RequestUserCtx is RequestUser continuing the trace carried by ctx:
+// the enforcement stages (decide, fetch, apply) become spans, and the
+// decision trace is stamped with the trace ID so `iotactl trace` can
+// join the two views of the same request.
+func (b *BMS) RequestUserCtx(ctx context.Context, req enforce.Request) (Response, error) {
 	if req.SubjectID == "" {
 		return Response{}, fmt.Errorf("core: RequestUser needs a subject")
 	}
 	started := time.Now()
 	defer b.met.requestUser.ObserveSince(started)
+	ctx, span := b.tracer.StartSpan(ctx, "bms.request_user")
+	defer span.End()
+	span.SetAttr("subject", req.SubjectID)
+	span.SetAttr("service", req.ServiceID)
 	tr := b.newTrace("user", req)
+	tr.joinSpanContext(ctx)
 
 	groups := b.subjectGroups(req.SubjectID)
+	_, dSpan := b.tracer.StartSpan(ctx, "enforce.decide")
 	t0 := time.Now()
 	d := b.engine.Decide(req, groups)
 	decideDur := time.Since(t0)
+	dSpan.SetAttr("allowed", strconv.FormatBool(d.Allowed))
+	dSpan.End()
 	b.met.decideSeconds.Observe(decideDur.Seconds())
 	tr.addStage("decide", decideDur)
 	b.recordDecision(d)
@@ -68,14 +86,21 @@ func (b *BMS) RequestUser(req enforce.Request) (Response, error) {
 		tr.DenyReason = d.DenyReason
 		return Response{Decision: d, Trace: b.finishTrace(&tr, started)}, nil
 	}
+	_, qSpan := b.tracer.StartSpan(ctx, "obstore.query")
 	t0 = time.Now()
 	obs := b.store.Query(b.filterFor(req))
+	qSpan.SetAttrInt("observations", int64(len(obs)))
+	qSpan.End()
 	tr.addStage("fetch", time.Since(t0))
+	_, aSpan := b.tracer.StartSpan(ctx, "enforce.apply")
 	t0 = time.Now()
 	released, err := enforce.ApplyDecision(d, obs, b.transf)
 	if err != nil {
+		aSpan.End()
 		return Response{}, err
 	}
+	aSpan.SetAttrInt("released", int64(len(released)))
+	aSpan.End()
 	tr.addStage("apply", time.Since(t0))
 	tr.ObservationsReleased = len(released)
 	return Response{Decision: d, Observations: released, Trace: b.finishTrace(&tr, started)}, nil
@@ -87,15 +112,29 @@ func (b *BMS) RequestUser(req enforce.Request) (Response, error) {
 // contribute; the counts are k-anonymized with k at least minK and at
 // least every contributing subject's aggregation floor.
 func (b *BMS) RequestOccupancy(req enforce.Request, minK int) (Response, error) {
+	return b.RequestOccupancyCtx(context.Background(), req, minK)
+}
+
+// RequestOccupancyCtx is RequestOccupancy continuing the trace carried
+// by ctx: the fetch, the batched per-subject decisions, and the
+// k-anonymous aggregation each become spans.
+func (b *BMS) RequestOccupancyCtx(ctx context.Context, req enforce.Request, minK int) (Response, error) {
 	if minK < 1 {
 		minK = 1
 	}
 	started := time.Now()
 	defer b.met.requestOccup.ObserveSince(started)
+	ctx, span := b.tracer.StartSpan(ctx, "bms.request_occupancy")
+	defer span.End()
+	span.SetAttr("service", req.ServiceID)
 	tr := b.newTrace("occupancy", req)
+	tr.joinSpanContext(ctx)
 
+	_, qSpan := b.tracer.StartSpan(ctx, "obstore.query")
 	t0 := time.Now()
 	obs := b.store.Query(b.filterFor(req))
+	qSpan.SetAttrInt("observations", int64(len(obs)))
+	qSpan.End()
 	tr.addStage("fetch", time.Since(t0))
 	bySubject := make(map[string][]sensor.Observation)
 	for _, o := range obs {
@@ -108,6 +147,7 @@ func (b *BMS) RequestOccupancy(req enforce.Request, minK int) (Response, error) 
 	resp := Response{SubjectsConsidered: len(bySubject)}
 	k := minK
 	var releasedObs []sensor.Observation
+	_, bSpan := b.tracer.StartSpan(ctx, "enforce.decide_batch")
 	t0 = time.Now()
 	// Post-filter decisions run as a concurrent batch: every candidate
 	// subject of the query result is decided on a bounded worker pool
@@ -145,12 +185,19 @@ func (b *BMS) RequestOccupancy(req enforce.Request, minK int) (Response, error) 
 		releasedObs = append(releasedObs, transformed...)
 		resp.SubjectsReleased++
 	}
+	bSpan.SetAttrInt("subjects", int64(len(subjects)))
+	bSpan.SetAttrInt("released", int64(resp.SubjectsReleased))
+	bSpan.End()
 	tr.addStage("decide-subjects", time.Since(t0))
+	_, gSpan := b.tracer.StartSpan(ctx, "privacy.aggregate")
 	t0 = time.Now()
 	resp.Aggregates = privacy.KAnonymousCounts(releasedObs, k,
 		func(o sensor.Observation) string { return o.SpaceID },
 		func(o sensor.Observation) string { return o.UserID },
 	)
+	gSpan.SetAttrInt("k", int64(k))
+	gSpan.SetAttrInt("spaces", int64(len(resp.Aggregates)))
+	gSpan.End()
 	tr.addStage("aggregate", time.Since(t0))
 	resp.Decision = enforce.Decision{Allowed: len(resp.Aggregates) > 0,
 		Effective: policy.Rule{Action: policy.ActionLimit, MinAggregationK: k}}

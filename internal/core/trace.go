@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // This file implements decision traces: span-like records of each
@@ -29,6 +31,10 @@ type DecisionTrace struct {
 	// ID is a monotonically increasing sequence number per BMS.
 	ID   uint64    `json:"id"`
 	Time time.Time `json:"time"`
+	// TraceID joins this decision to its pipeline trace (GET
+	// /v1/traces/{id}) when the request carried a span context; empty
+	// otherwise.
+	TraceID string `json:"trace_id,omitempty"`
 	// Path is the request path: "user" or "occupancy".
 	Path      string `json:"path"`
 	ServiceID string `json:"service_id,omitempty"`
@@ -74,6 +80,16 @@ type DecisionTrace struct {
 // addStage appends one timed phase.
 func (t *DecisionTrace) addStage(name string, d time.Duration) {
 	t.Stages = append(t.Stages, TraceStage{Name: name, DurationMicros: d.Microseconds()})
+}
+
+// joinSpanContext stamps the pipeline trace ID onto the decision
+// trace when ctx carries a sampled one. Unsampled requests skip the
+// join: their ID resolves to no retained spans, and rendering it
+// would put a hex conversion on every request's hot path.
+func (t *DecisionTrace) joinSpanContext(ctx context.Context) {
+	if sc, ok := telemetry.SpanContextFrom(ctx); ok && sc.Sampled && sc.Valid() {
+		t.TraceID = sc.TraceID.String()
+	}
 }
 
 // fromDecision copies the decision's rule-matching evidence into the

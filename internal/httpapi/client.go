@@ -13,6 +13,7 @@ import (
 
 	"github.com/tippers/tippers/internal/enforce"
 	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // Client is the typed client for a TIPPERS node. It satisfies
@@ -132,6 +133,30 @@ func (c *Client) Stats(ctx context.Context) (StatsDTO, error) {
 	return out, err
 }
 
+// RecentTraces lists summaries of recently recorded span traces.
+func (c *Client) RecentTraces(ctx context.Context, n int) ([]telemetry.TraceSummary, error) {
+	var out []telemetry.TraceSummary
+	path := "/v1/traces"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Trace fetches the full span tree for one trace ID.
+func (c *Client) Trace(ctx context.Context, id string) ([]telemetry.SpanData, error) {
+	var out []telemetry.SpanData
+	err := c.do(ctx, http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// Ready probes /v1/readyz; nil means the node reports itself ready to
+// serve and persist traffic.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/readyz", nil, nil)
+}
+
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
@@ -148,6 +173,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	telemetry.InjectTraceparent(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("httpapi: %s %s: %w", method, path, err)

@@ -11,6 +11,8 @@ import (
 	"net/url"
 	"strconv"
 	"time"
+
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // StreamOptions configures Client.Stream. The zero value streams live
@@ -130,6 +132,7 @@ func (c *Client) streamOnce(ctx context.Context, hc *http.Client, opts StreamOpt
 	if *lastID > 0 {
 		req.Header.Set("Last-Event-ID", strconv.FormatUint(*lastID, 10))
 	}
+	telemetry.InjectTraceparent(ctx, req)
 	resp, err := hc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

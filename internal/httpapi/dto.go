@@ -112,6 +112,7 @@ type TraceStageDTO struct {
 type DecisionTraceDTO struct {
 	ID                   uint64          `json:"id"`
 	Time                 time.Time       `json:"time"`
+	TraceID              string          `json:"trace_id,omitempty"`
 	Path                 string          `json:"path"`
 	ServiceID            string          `json:"service_id,omitempty"`
 	SubjectID            string          `json:"subject_id,omitempty"`
@@ -412,6 +413,7 @@ func traceToDTO(t core.DecisionTrace) DecisionTraceDTO {
 	out := DecisionTraceDTO{
 		ID:                   t.ID,
 		Time:                 t.Time,
+		TraceID:              t.TraceID,
 		Path:                 t.Path,
 		ServiceID:            t.ServiceID,
 		SubjectID:            t.SubjectID,

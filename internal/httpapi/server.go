@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -29,11 +30,18 @@ const maxBodyBytes = 10 << 20
 //	POST   /v1/requests/user             single-subject data request
 //	POST   /v1/requests/occupancy?k=K    aggregate occupancy request
 //	GET    /v1/stats                     pipeline counters
-//	GET    /v1/traces?user=U&n=N         recent decision traces
+//	GET    /v1/decisions?user=U&n=N      recent decision traces
+//	GET    /v1/traces?n=N                recent pipeline traces (span ring)
+//	GET    /v1/traces/{id}               full span tree of one trace
+//	GET    /v1/healthz                   liveness probe
+//	GET    /v1/readyz                    readiness probe (store/WAL/stream hub)
 //	GET    /v1/stream?...                enforced live stream (SSE; see stream.go)
 type Server struct {
 	bms     *core.BMS
 	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+	slow    time.Duration
+	logger  *slog.Logger
 }
 
 // NewServer wraps a BMS.
@@ -49,15 +57,32 @@ func (s *Server) WithMetrics(r *telemetry.Registry) *Server {
 	return s
 }
 
+// WithTracing makes Handler start/continue a W3C trace per request
+// (middleware spans, traceparent echo) and — when slow > 0 — log
+// requests at or above that threshold with their trace ID as the
+// exemplar. A nil logger uses slog.Default. Returns s for chaining.
+func (s *Server) WithTracing(t *telemetry.Tracer, slow time.Duration, logger *slog.Logger) *Server {
+	s.tracer = t
+	s.slow = slow
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s.logger = logger
+	return s
+}
+
 // Handler returns the API mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	handle := func(pattern string, h http.HandlerFunc) {
-		if s.metrics != nil {
-			mux.Handle(pattern, telemetry.InstrumentHandler(s.metrics, "tippers_http", pattern, h))
-			return
+	handle := func(pattern string, hf http.HandlerFunc) {
+		var h http.Handler = hf
+		if s.tracer != nil {
+			h = telemetry.TraceHandler(s.tracer, pattern, s.slow, s.logger, h)
 		}
-		mux.HandleFunc(pattern, h)
+		if s.metrics != nil {
+			h = telemetry.InstrumentHandler(s.metrics, "tippers_http", pattern, h)
+		}
+		mux.Handle(pattern, h)
 	}
 	handle("GET /v1/policies", s.handlePolicies)
 	handle("GET /v1/preferences", s.handleListPreferences)
@@ -73,14 +98,20 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /v1/settings", s.handleSettings)
 	handle("GET /v1/audit", s.handleAudit)
 	handle("DELETE /v1/users/{id}/data", s.handleForget)
+	handle("GET /v1/decisions", s.handleDecisions)
 	handle("GET /v1/traces", s.handleTraces)
+	handle("GET /v1/traces/{id}", s.handleTraceByID)
+	handle("GET /v1/healthz", s.handleHealthz)
+	handle("GET /v1/readyz", s.handleReadyz)
 	handle("GET /v1/stream", s.handleStream)
 	return mux
 }
 
-// handleTraces returns recent decision traces, newest first.
+// handleDecisions returns recent decision traces, newest first.
 // Query: user=U filters by subject; n=N caps the count (default 50).
-func (s *Server) handleTraces(w http.ResponseWriter, req *http.Request) {
+// (This lived at /v1/traces before pipeline tracing took that path
+// over for span traces.)
+func (s *Server) handleDecisions(w http.ResponseWriter, req *http.Request) {
 	n := 50
 	if nStr := req.URL.Query().Get("n"); nStr != "" {
 		v, err := strconv.Atoi(nStr)
@@ -101,6 +132,56 @@ func (s *Server) handleTraces(w http.ResponseWriter, req *http.Request) {
 		out = append(out, traceToDTO(t))
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTraces lists recent pipeline traces from the span ring,
+// newest first. Query: n=N caps the count (default 50).
+func (s *Server) handleTraces(w http.ResponseWriter, req *http.Request) {
+	n := 50
+	if nStr := req.URL.Query().Get("n"); nStr != "" {
+		v, err := strconv.Atoi(nStr)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", nStr))
+			return
+		}
+		n = v
+	}
+	sums := s.bms.Tracer().RecentTraces(n)
+	if sums == nil {
+		sums = []telemetry.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, sums)
+}
+
+// handleTraceByID returns the full span tree of one trace (spans
+// sorted by start time; parent_id links encode the tree).
+func (s *Server) handleTraceByID(w http.ResponseWriter, req *http.Request) {
+	id, err := telemetry.ParseTraceID(req.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spans := s.bms.Tracer().Trace(id)
+	if len(spans) == 0 {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no spans for trace %s (evicted, unsampled, or unknown)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, spans)
+}
+
+// handleHealthz is the liveness probe: the process is serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: store open, WAL writable,
+// stream hub accepting.
+func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	if err := s.bms.Ready(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unavailable", "error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // errorBody is the uniform error payload.
@@ -237,7 +318,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 	}
 	accepted := 0
 	for _, dto := range batch {
-		if err := s.bms.Ingest(ObservationFromDTO(dto)); err != nil {
+		if err := s.bms.IngestCtx(req.Context(), ObservationFromDTO(dto)); err != nil {
 			writeJSON(w, http.StatusUnprocessableEntity, ingestResult{Accepted: accepted, Error: err.Error()})
 			return
 		}
@@ -256,7 +337,7 @@ func (s *Server) handleRequestUser(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.bms.RequestUser(r)
+	resp, err := s.bms.RequestUserCtx(req.Context(), r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -282,7 +363,7 @@ func (s *Server) handleRequestOccupancy(w http.ResponseWriter, req *http.Request
 			return
 		}
 	}
-	resp, err := s.bms.RequestOccupancy(r, k)
+	resp, err := s.bms.RequestOccupancyCtx(req.Context(), r, k)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

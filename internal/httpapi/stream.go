@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"github.com/tippers/tippers/internal/stream"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // This file exposes the stream hub over HTTP as Server-Sent Events:
@@ -29,6 +31,10 @@ import (
 // heartbeatInterval paces SSE keep-alive comments so idle streams
 // survive proxies and dead peers are detected.
 const heartbeatInterval = 15 * time.Second
+
+// sseDeliverSpanCap bounds how many delivered events per subscription
+// get an sse.deliver span recorded against the subscribing trace.
+const sseDeliverSpanCap = 8
 
 // StreamEventDTO is the wire form of one stream event.
 type StreamEventDTO struct {
@@ -136,6 +142,12 @@ func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// Tie the subscription to the request's trace (if any): the hub
+	// emits stream.subscribe / stream.replay_page spans, and the first
+	// few deliveries below get sse.deliver spans under the same trace.
+	if sc, ok := telemetry.SpanContextFrom(req.Context()); ok {
+		opts.Trace = sc
+	}
 	sub, err := s.bms.Streams().Subscribe(opts)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -155,6 +167,7 @@ func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 	_ = rc.Flush()
 
 	ctx := req.Context()
+	delivered := 0
 	hb := time.NewTicker(heartbeatInterval)
 	defer hb.Stop()
 
@@ -205,6 +218,17 @@ func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 				return
 			}
 			_ = rc.Flush()
+			// Span the first few deliveries only: a subscription can
+			// outlive its trace by hours, and unbounded sse.deliver
+			// spans would evict everything else from the ring.
+			if delivered < sseDeliverSpanCap && opts.Trace.Sampled && s.tracer != nil {
+				delivered++
+				tctx := telemetry.ContextWithSpanContext(context.Background(), opts.Trace)
+				_, span := s.tracer.StartSpan(tctx, "sse.deliver")
+				span.SetAttr("event", string(res.ev.Type))
+				span.SetAttrInt("seq", int64(res.ev.Seq))
+				span.End()
+			}
 		}
 	}
 }

@@ -223,8 +223,8 @@ func TestDecisionTraceOverHTTP(t *testing.T) {
 		t.Errorf("audit trace ID = %d, want %d", report.RecentTraces[0].ID, tr.ID)
 	}
 
-	// /v1/traces lists it too, newest first.
-	res, err := http.Get(srv.URL + "/v1/traces?user=mary")
+	// /v1/decisions lists it too, newest first.
+	res, err := http.Get(srv.URL + "/v1/decisions?user=mary")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,6 +234,6 @@ func TestDecisionTraceOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(traces) == 0 || traces[0].ID != tr.ID {
-		t.Errorf("/v1/traces = %+v", traces)
+		t.Errorf("/v1/decisions = %+v", traces)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // WellKnown is the discovery metadata served at /.well-known/irr,
@@ -127,6 +128,7 @@ func (c *Client) getRaw(ctx context.Context, path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	telemetry.InjectTraceparent(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("irr: fetch %s: %w", path, err)

@@ -193,6 +193,34 @@ func (s *Store) RegisterMetrics(r *telemetry.Registry) {
 	}
 }
 
+// SetTracer forwards the tracer to the WAL (durable mode) so
+// group-commit fsync batches are recorded as spans. No-op for the
+// in-memory store; nil-safe.
+func (s *Store) SetTracer(t *telemetry.Tracer) {
+	s.walMu.Lock()
+	l := s.wal
+	s.walMu.Unlock()
+	if l != nil {
+		l.SetTracer(t)
+	}
+}
+
+// Ready reports whether the store accepts appends: always in memory
+// mode; in durable mode the WAL must still be open. This feeds the
+// /v1/readyz probe.
+func (s *Store) Ready() error {
+	if !s.durable.Load() {
+		return nil
+	}
+	s.walMu.Lock()
+	l := s.wal
+	s.walMu.Unlock()
+	if l == nil {
+		return errors.New("obstore: durable store has no WAL attached")
+	}
+	return l.Ready()
+}
+
 // ErrZeroTime reports an ingest with an unset timestamp; retention
 // cannot be computed for such observations.
 var ErrZeroTime = errors.New("obstore: observation has zero time")

@@ -29,8 +29,10 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,6 +157,9 @@ type Config struct {
 	// Metrics receives tippers_stream_* metrics; nil creates a
 	// private registry.
 	Metrics *telemetry.Registry
+	// Tracer records subscription lifecycle and replay-page spans for
+	// subscriptions that carry a sampled Options.Trace; nil disables.
+	Tracer *telemetry.Tracer
 	// DefaultBuffer is the ring capacity for subscriptions that don't
 	// set one (default 256).
 	DefaultBuffer int
@@ -196,8 +201,10 @@ type Hub struct {
 	feeds    []*bus.Subscription
 	wg       sync.WaitGroup
 	localSeq atomic.Uint64 // cursor space for non-durable topics
+	headSeq  atomic.Uint64 // last observation seq the hub dispatched
 
-	met hubMetrics
+	tracer *telemetry.Tracer
+	met    hubMetrics
 }
 
 type hubMetrics struct {
@@ -230,6 +237,7 @@ func NewHub(cfg Config) (*Hub, error) {
 		cache:   newDecisionCache(cfg.CacheSize),
 		subs:    make(map[int]*Subscription),
 		byTopic: make(map[string][]*Subscription),
+		tracer:  cfg.Tracer,
 	}
 	h.registerMetrics(cfg.Metrics)
 	for _, topic := range []string{TopicObservations, TopicNotifications, TopicConflicts} {
@@ -275,6 +283,52 @@ func (h *Hub) registerMetrics(r *telemetry.Registry) {
 		"Stream decisions that ran the full policy engine.", func() float64 {
 			return float64(h.cache.misses.Load())
 		})
+	// SLO gauges: how far behind the slowest subscriber is, and how
+	// long the oldest undelivered loss marker has been pending. Both
+	// are zero on a healthy hub.
+	r.GaugeFunc("tippers_stream_max_lag_events",
+		"Worst-subscriber stream lag: dispatched head seq minus the slowest observation subscriber's last delivered seq.", func() float64 {
+			head := h.headSeq.Load()
+			var maxLag uint64
+			h.mu.RLock()
+			for _, s := range h.subs {
+				if s.opts.Topic != TopicObservations {
+					continue
+				}
+				if d := s.lastDelivered.Load(); head > d && head-d > maxLag {
+					maxLag = head - d
+				}
+			}
+			h.mu.RUnlock()
+			return float64(maxLag)
+		})
+	r.GaugeFunc("tippers_stream_gap_age_seconds",
+		"Age of the oldest pending (not yet delivered) backpressure gap across subscriptions.", func() float64 {
+			var oldest int64
+			h.mu.RLock()
+			for _, s := range h.subs {
+				if t := s.gapSince.Load(); t != 0 && (oldest == 0 || t < oldest) {
+					oldest = t
+				}
+			}
+			h.mu.RUnlock()
+			if oldest == 0 {
+				return 0
+			}
+			age := time.Since(time.Unix(0, oldest)).Seconds()
+			if age < 0 {
+				age = 0
+			}
+			return age
+		})
+}
+
+// Accepting reports whether the hub still takes subscriptions (the
+// readiness probe's stream-side check).
+func (h *Hub) Accepting() bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return !h.closed
 }
 
 // Options configures one subscription.
@@ -308,6 +362,10 @@ type Options struct {
 	// ReplayChunk pages catch-up reads (default 1024); tests shrink
 	// it.
 	ReplayChunk int
+	// Trace, when sampled and valid, parents subscription-lifecycle
+	// and replay-page spans under the subscriber's trace (the SSE
+	// handler passes the request's span context here).
+	Trace telemetry.SpanContext
 }
 
 // Subscribe attaches a subscription. The caller must drain it with
@@ -370,16 +428,34 @@ func (h *Hub) Subscribe(opts Options) (*Subscription, error) {
 	}
 	s.fetchDone = !opts.Replay || opts.Topic != TopicObservations
 	s.replayDone = s.fetchDone
+	// Seed the lag watermark: a resuming subscriber is behind by its
+	// cursor distance; a fresh one starts even with the head.
+	if opts.Replay {
+		s.lastDelivered.Store(opts.AfterSeq)
+	} else {
+		s.lastDelivered.Store(h.headSeq.Load())
+	}
 
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
+		h.mu.Unlock()
 		return nil, ErrClosed
 	}
 	s.id = h.nextID
 	h.nextID++
 	h.subs[s.id] = s
 	h.rebuildTopicsLocked()
+	h.mu.Unlock()
+
+	if opts.Trace.Sampled {
+		sctx := telemetry.ContextWithSpanContext(context.Background(), opts.Trace)
+		_, span := h.tracer.StartSpan(sctx, "stream.subscribe")
+		span.SetAttr("topic", opts.Topic)
+		span.SetAttr("service", opts.Request.ServiceID)
+		span.SetAttr("replay", strconv.FormatBool(opts.Replay))
+		span.SetAttrInt("after", int64(opts.AfterSeq))
+		span.End()
+	}
 	return s, nil
 }
 
@@ -416,6 +492,7 @@ func (h *Hub) topicSubs(topic string) []*Subscription {
 func (h *Hub) dispatch(e bus.Event) {
 	switch p := e.Payload.(type) {
 	case sensor.Observation:
+		h.headSeq.Store(p.Seq)
 		for _, s := range h.topicSubs(TopicObservations) {
 			s.offerObservation(p)
 		}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/tippers/tippers/internal/obstore"
 	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/telemetry"
 )
 
 // Subscription is one consumer's view of the stream: a bounded ring
@@ -52,7 +53,27 @@ type Subscription struct {
 	maxReplaySeq uint64
 	replayBuf    []Event
 
+	// lastDelivered is the highest observation seq handed to the
+	// consumer (monotonic); the hub's max-lag gauge reads it.
+	lastDelivered atomic.Uint64
+	// gapSince is when the current pending gap opened (UnixNano; 0 =
+	// none); the hub's gap-age gauge reads it.
+	gapSince atomic.Int64
+
 	stats subStats
+}
+
+// noteDelivered advances the delivered-seq watermark (monotonic max).
+func (s *Subscription) noteDelivered(ev Event) {
+	if ev.Type != EventObservation {
+		return
+	}
+	for {
+		old := s.lastDelivered.Load()
+		if ev.Seq <= old || s.lastDelivered.CompareAndSwap(old, ev.Seq) {
+			return
+		}
+	}
 }
 
 type subStats struct {
@@ -263,6 +284,9 @@ func (s *Subscription) insertLocked(ev Event) {
 // pending gap. Evicting a gap marker merges its bounds instead of
 // counting a drop.
 func (s *Subscription) evictLocked() {
+	if s.gapHi == 0 {
+		s.gapSince.Store(time.Now().UnixNano())
+	}
 	ev := s.ring[s.start]
 	s.ring[s.start] = Event{}
 	s.start = (s.start + 1) % len(s.ring)
@@ -295,6 +319,7 @@ func (s *Subscription) takeGapLocked() (Event, bool) {
 	}
 	lo, hi := s.gapLo, s.gapHi
 	s.gapLo, s.gapHi = 0, 0
+	s.gapSince.Store(0)
 	if hi <= s.maxReplaySeq {
 		return Event{}, false
 	}
@@ -320,6 +345,7 @@ func (s *Subscription) Next(ctx context.Context) (Event, error) {
 			if ev, ok := s.nextReplay(); ok {
 				s.stats.delivered.Add(1)
 				s.hub.met.delivered.Inc()
+				s.noteDelivered(ev)
 				return ev, nil
 			}
 		}
@@ -341,6 +367,7 @@ func (s *Subscription) Next(ctx context.Context) (Event, error) {
 			}
 			s.stats.delivered.Add(1)
 			s.hub.met.delivered.Inc()
+			s.noteDelivered(ev)
 			return ev, nil
 		}
 		if s.closed {
@@ -385,7 +412,15 @@ func (s *Subscription) nextReplay() (Event, bool) {
 		f := s.filter
 		f.AfterSeq = s.cursor
 		f.Limit = s.opts.ReplayChunk
+		var span *telemetry.Span
+		if s.opts.Trace.Sampled {
+			rctx := telemetry.ContextWithSpanContext(context.Background(), s.opts.Trace)
+			_, span = s.hub.tracer.StartSpan(rctx, "stream.replay_page")
+			span.SetAttrInt("after", int64(s.cursor))
+		}
 		page := s.hub.cfg.Store.Query(f)
+		span.SetAttrInt("count", int64(len(page)))
+		span.End()
 		// Seq-ordering assertion: resume correctness hangs on the
 		// store's cross-shard merge handing back strictly ascending
 		// seqs past the cursor. A violation would corrupt the cursor

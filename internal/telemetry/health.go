@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+)
+
+// MountHealth attaches liveness and readiness probes to mux:
+//
+//	GET /v1/healthz — always 200 while the process serves requests
+//	GET /v1/readyz  — 200 when ready() returns nil, 503 otherwise
+//
+// A nil ready func makes readiness equal to liveness.
+func MountHealth(mux *http.ServeMux, ready func() error) {
+	mux.Handle("GET /v1/healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeHealth(w, http.StatusOK, "ok", "")
+	}))
+	mux.Handle("GET /v1/readyz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if ready != nil {
+			if err := ready(); err != nil {
+				writeHealth(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+				return
+			}
+		}
+		writeHealth(w, http.StatusOK, "ok", "")
+	}))
+}
+
+func writeHealth(w http.ResponseWriter, code int, status, detail string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Status string `json:"status"`
+		Error  string `json:"error,omitempty"`
+	}{Status: status, Error: detail})
+}
+
+// RegisterBuildInfo exposes tippers_build_info: a constant-1 gauge
+// whose labels identify the running binary (component, module
+// version, Go toolchain) so a metrics scrape answers "what exactly is
+// deployed here".
+func RegisterBuildInfo(r *Registry, component string) {
+	version := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	r.GaugeFuncWith("tippers_build_info",
+		"Build metadata carried in labels; value is always 1.",
+		Labels{"component": component, "version": version, "go_version": runtime.Version()},
+		func() float64 { return 1 })
+}

@@ -17,7 +17,7 @@ func (r *Registry) MetricsHandler() http.Handler {
 }
 
 // VarsHandler serves the registry as JSON (histograms summarized with
-// p50/p95/p99), in the spirit of /debug/vars.
+// p50/p95/p99/p99.9), in the spirit of /debug/vars.
 func (r *Registry) VarsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

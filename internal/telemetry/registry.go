@@ -320,10 +320,12 @@ type Sample struct {
 	P50   float64 `json:"p50,omitempty"`
 	P95   float64 `json:"p95,omitempty"`
 	P99   float64 `json:"p99,omitempty"`
+	P999  float64 `json:"p999,omitempty"`
 }
 
 // Snapshot returns every metric's current value, histograms summarized
-// with p50/p95/p99.
+// with p50/p95/p99/p99.9 — the tail quantiles are what latency SLOs
+// are written against.
 func (r *Registry) Snapshot() []Sample {
 	entries := r.snapshotEntries()
 	out := make([]Sample, 0, len(entries))
@@ -333,6 +335,7 @@ func (r *Registry) Snapshot() []Sample {
 			snap := e.hist.Snapshot()
 			s.Count, s.Sum = snap.Count, snap.Sum
 			s.P50, s.P95, s.P99 = snap.Quantile(0.50), snap.Quantile(0.95), snap.Quantile(0.99)
+			s.P999 = snap.Quantile(0.999)
 		} else {
 			s.Value = e.value()
 		}

@@ -33,6 +33,7 @@ package wal
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -153,6 +154,7 @@ type Log struct {
 	pendingB int64  // bytes since the last fsync
 	closed   bool
 	recovery RecoveryInfo
+	tracer   *telemetry.Tracer // nil-safe; see SetTracer
 
 	stop chan struct{}
 	done chan struct{}
@@ -502,16 +504,43 @@ func (l *Log) commitLocked(fsync bool) error {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
 	if fsync {
+		// A group commit covers many requests' appends, so its span is
+		// a root of its own, not a child of any one request's trace.
+		_, span := l.tracer.StartRoot(context.Background(), "wal.fsync")
+		span.SetAttrInt("records", int64(l.pending))
+		span.SetAttrInt("bytes", l.pendingB)
 		t0 := time.Now()
 		if err := l.f.Sync(); err != nil {
+			span.SetAttr("error", err.Error())
+			span.End()
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
+		span.End()
 		l.fsyncSeconds.ObserveSince(t0)
 		l.fsyncs.Inc()
 		l.batchRecords.Observe(float64(l.pending))
 	}
 	l.pending = 0
 	l.pendingB = 0
+	return nil
+}
+
+// SetTracer attaches a tracer; group-commit fsync batches are then
+// recorded as "wal.fsync" root spans. Safe to call at any time; nil
+// detaches.
+func (l *Log) SetTracer(t *telemetry.Tracer) {
+	l.mu.Lock()
+	l.tracer = t
+	l.mu.Unlock()
+}
+
+// Ready reports whether the log still accepts appends.
+func (l *Log) Ready() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
 	return nil
 }
 

@@ -124,6 +124,12 @@ type (
 	// MetricsRegistry collects counters, gauges, and histograms and
 	// serves them in Prometheus text form (see internal/telemetry).
 	MetricsRegistry = telemetry.Registry
+	// Tracer records sampled pipeline spans into a bounded ring (see
+	// internal/telemetry). Pass one via DeploymentConfig.Tracer to
+	// light up /v1/traces and traceparent propagation.
+	Tracer = telemetry.Tracer
+	// TracerOptions configures NewTracer.
+	TracerOptions = telemetry.TracerOptions
 	// DecisionTrace is the span-like record of one enforcement
 	// decision (matched rules, stage timings).
 	DecisionTrace = core.DecisionTrace
@@ -156,6 +162,10 @@ var ParseBackpressure = stream.ParseBackpressure
 
 // NewMetricsRegistry returns an empty telemetry registry.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewTracer returns a tracer sampling 1-in-opts.SampleOneIn root
+// requests into a bounded in-memory span ring.
+func NewTracer(opts TracerOptions) *Tracer { return telemetry.NewTracer(opts) }
 
 // OpenDurableStore opens (or recovers) a write-ahead-logged
 // observation store rooted at cfg.Dir: a checkpoint snapshot is
@@ -267,6 +277,14 @@ type DeploymentConfig struct {
 	// StreamPolicy is the default backpressure policy for live
 	// streams (default StreamDropOldest).
 	StreamPolicy Backpressure
+	// Tracer samples end-to-end request traces through the pipeline;
+	// nil disables tracing (and the /v1/traces endpoints serve
+	// nothing).
+	Tracer *Tracer
+	// TraceSlow makes the API log any request slower than this with
+	// its trace ID as an exemplar; zero disables the slow-request
+	// log.
+	TraceSlow time.Duration
 }
 
 // Deployment is a fully wired building: BMS, population, services,
@@ -277,6 +295,8 @@ type Deployment struct {
 	Users    *Directory
 	Services *service.Registry
 	IRR      *IRRegistry
+
+	traceSlow time.Duration
 }
 
 // NewDeployment builds a complete simulated deployment: the building
@@ -326,6 +346,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Store:         cfg.Store,
 		StreamBuffer:  cfg.StreamBuffer,
 		StreamPolicy:  cfg.StreamPolicy,
+		Tracer:        cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -379,6 +400,8 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Users:    users,
 		Services: services,
 		IRR:      registry,
+
+		traceSlow: cfg.TraceSlow,
 	}, nil
 }
 
@@ -418,9 +441,14 @@ func (d *Deployment) SimulateDay(date time.Time, seed int64) (int, error) {
 }
 
 // APIHandler returns the TIPPERS REST API for the deployment's BMS,
-// instrumented with per-route metrics on the BMS registry.
+// instrumented with per-route metrics on the BMS registry and, when
+// the deployment has a tracer, per-request spans.
 func (d *Deployment) APIHandler() http.Handler {
-	return httpapi.NewServer(d.BMS).WithMetrics(d.BMS.Metrics()).Handler()
+	srv := httpapi.NewServer(d.BMS).WithMetrics(d.BMS.Metrics())
+	if t := d.BMS.Tracer(); t != nil {
+		srv = srv.WithTracing(t, d.traceSlow, nil)
+	}
+	return srv.Handler()
 }
 
 // IRRHandler returns the deployment registry's HTTP interface.
