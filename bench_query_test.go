@@ -1,0 +1,64 @@
+package tippers
+
+// BenchmarkQueryEndToEnd times the full analytical query path —
+// parse, plan, enforced scan — against a sharded store holding the
+// same 1M-observation campus day BenchmarkShardedQueryEnforce uses
+// (BENCH_SHARDED_OBS shrinks it). Two query shapes:
+//
+//   - point: a sensor-scoped predicate the planner pushes into the
+//     store filter, so the scan touches one stripe's slice of rows.
+//   - groupby: a whole-table aggregate with per-subject decisions and
+//     the k-anonymity floor applied to every group.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/query"
+)
+
+func BenchmarkQueryEndToEnd(b *testing.B) {
+	store := obstore.NewSharded(runtime.GOMAXPROCS(0))
+	dep, err := NewDeployment(DeploymentConfig{
+		Spec: SmallDBH(), Population: 1000, Seed: 1, Store: store,
+		Clock: func() time.Time { return benchDay.Add(14 * time.Hour) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dep.Close()
+
+	users := dep.Users.All()
+	userIDs := make([]string, len(users))
+	for i, u := range users {
+		userIDs[i] = u.ID
+	}
+	benchShardedStore(b, store, benchShardedObs(), userIDs)
+
+	requester := query.Requester{ServiceID: "concierge", Purpose: policy.PurposeProvidingService}
+	ctx := context.Background()
+	variants := []struct {
+		name, sql string
+	}{
+		{"shape=point", "SELECT seq, user_id, space_id FROM observations WHERE sensor_id = 'ap-042' LIMIT 256"},
+		{"shape=groupby", "SELECT space_id, COUNT(DISTINCT user_id) AS n FROM observations WHERE kind = 'wifi_access_point' GROUP BY space_id ORDER BY n DESC"},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				resp, err := dep.BMS.Query(ctx, requester, v.sql)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(resp.Result.Rows) == 0 {
+					b.Fatal("benchmark query returned no rows")
+				}
+			}
+		})
+	}
+}

@@ -38,12 +38,11 @@ func benchShardedObs() int {
 	return 1_000_000
 }
 
-// benchShardedStore loads the dataset into a store with the given
-// stripe count. The workload mirrors a campus day: ~200 sensors,
-// subjects drawn from the simulated population, six floors.
-func benchShardedStore(b *testing.B, shards, nObs int, userIDs []string) *obstore.Store {
+// benchShardedStore loads the dataset into store. The workload
+// mirrors a campus day: ~200 sensors, subjects drawn from the
+// simulated population, six floors.
+func benchShardedStore(b *testing.B, store *obstore.Store, nObs int, userIDs []string) *obstore.Store {
 	b.Helper()
-	store := obstore.NewSharded(shards)
 	for i := 0; i < nObs; i++ {
 		_, err := store.Append(sensor.Observation{
 			SensorID: fmt.Sprintf("ap-%03d", i%211),
@@ -135,7 +134,7 @@ func BenchmarkShardedQueryEnforce(b *testing.B) {
 	var wantSum uint64
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
-			store := benchShardedStore(b, v.shards, nObs, userIDs)
+			store := benchShardedStore(b, obstore.NewSharded(v.shards), nObs, userIDs)
 			sum := probeChecksum(store, probes)
 			if wantSum == 0 {
 				wantSum = sum

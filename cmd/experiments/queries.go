@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/tippers/tippers"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/query"
+)
+
+// runE11 demonstrates enforcement inside the analytical query layer:
+// the same SQL statement, run by the same service, returns less the
+// moment a subject registers an opt-out — no cache to invalidate, no
+// app-side filtering; the executor decides every row on the way out.
+func runE11() {
+	dep := smallDeployment(false)
+	defer dep.Close()
+	if _, err := dep.SimulateDay(simDay, 7); err != nil {
+		log.Fatal(err)
+	}
+	mary := dep.Users.All()[0]
+	requester := query.Requester{ServiceID: "concierge", Purpose: policy.PurposeProvidingService}
+	const sql = "SELECT space_id, COUNT(*) AS events, COUNT(DISTINCT user_id) AS people " +
+		"FROM observations WHERE kind = 'wifi_access_point' GROUP BY space_id ORDER BY events DESC LIMIT 5"
+
+	show := func(label string) query.Stats {
+		resp, err := dep.BMS.Query(context.Background(), requester, sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := resp.Result.Stats
+		fmt.Printf("\n%s:\n", label)
+		fmt.Printf("%-12s %8s %8s\n", "space", "events", "people")
+		for _, row := range resp.Result.Rows {
+			fmt.Printf("%-12s %8s %8s\n", row[0].Render(), row[1].Render(), row[2].Render())
+		}
+		fmt.Printf("scanned %d, released %d, denied %d (decisions: %d, trace %d)\n",
+			st.ScannedRows, st.ReleasedRows, st.DeniedRows, st.Decisions, resp.Trace.ID)
+		return st
+	}
+
+	before := show("before any preference (query sees everyone)")
+	for _, p := range tippers.Preference2NoLocation(mary.ID) {
+		if err := dep.BMS.SetPreference(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	after := show(fmt.Sprintf("after %s registers Preference 2 (no location sharing) mid-session", mary.ID))
+
+	fmt.Printf("\nshape: released rows drop %d -> %d with no restart or cache flush —\n",
+		before.ReleasedRows, after.ReleasedRows)
+	fmt.Printf("the opted-out subject's %d observation(s) are denied inside the scan,\n",
+		after.DeniedRows)
+	fmt.Println("before projection or aggregation, so the counts shrink immediately.")
+}

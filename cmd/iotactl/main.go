@@ -16,6 +16,9 @@
 //	iotactl -user mary watch    -tippers http://localhost:8080 [-topic notifications]
 //	iotactl -user mary watch    -tippers http://localhost:8080 -topic observations
 //	         -service concierge [-purpose providing_service] [-replay] [-after N]
+//	iotactl query -tippers http://localhost:8080 -service concierge
+//	         [-purpose analytics] [-user mary] [-k 2] [-granularity room]
+//	         ["SELECT ... ;" | (interactive REPL)]
 //	iotactl trace -tippers http://localhost:8080 <trace-id>
 //	iotactl top   -tippers http://localhost:8080 [-interval 2s] [-iterations N]
 //
@@ -23,6 +26,11 @@
 // trace (IDs come from slow-request log lines, traceparent response
 // headers, or /v1/traces). top is a live terminal dashboard of
 // request rates, tail latencies, and stream-lag SLO gauges.
+//
+// query runs the node's enforced SQL dialect, either one statement
+// from the command line or as an interactive shell (statements end
+// with ';'; \timing and \q are supported). -service/-purpose set the
+// requesting identity; -user is the identity for the audit table.
 //
 // watch follows a live stream until interrupted, printing one JSON
 // event per line. The default topic is the user's notification feed;
@@ -77,6 +85,8 @@ func main() {
 		purpose   = flag.String("purpose", string(policy.PurposeProvidingService), "request purpose for watch -topic observations")
 		replay    = flag.Bool("replay", false, "watch: replay durable history before going live")
 		after     = flag.Uint64("after", 0, "watch: resume cursor (stream from after this sequence number)")
+		kFloor    = flag.Int("k", 0, "query: k-anonymity floor for grouped results")
+		gran      = flag.String("granularity", "", "query: max location granularity to request")
 		interval  = flag.Duration("interval", 2*time.Second, "top: refresh interval")
 		iters     = flag.Int("iterations", 0, "top: refresh count before exiting (0 = until interrupted)")
 		verbose   = flag.Bool("v", false, "debug logging")
@@ -94,9 +104,10 @@ func main() {
 		os.Exit(2)
 	}
 	logger = telemetry.SetupLogger(telemetry.LogConfig{Component: "iotactl", Verbose: *verbose})
-	// trace and top are operator commands; every other command acts
-	// for a user and requires -user.
-	if *user == "" && cmd != "trace" && cmd != "top" {
+	// trace, top, and query are operator commands; every other
+	// command acts for a user and requires -user. (query takes -user
+	// as an optional identity for the audit table.)
+	if *user == "" && cmd != "trace" && cmd != "top" && cmd != "query" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -230,6 +241,29 @@ func main() {
 		})
 		if err != nil && !errors.Is(err, context.Canceled) {
 			fatal("stream", "error", err)
+		}
+	case "query":
+		client := tippersClient(*tip)
+		req := httpapi.QueryRequestDTO{
+			ServiceID:   *svc,
+			Purpose:     *purpose,
+			UserID:      *user,
+			Granularity: *gran,
+			K:           *kFloor,
+		}
+		if stmt := strings.TrimSpace(strings.Join(flag.CommandLine.Args(), " ")); stmt != "" {
+			if err := runQueryOnce(ctx, client, req, stmt, os.Stdout); err != nil {
+				fatal("query", "error", err)
+			}
+			break
+		}
+		// The interactive shell runs until EOF or \q; the 30s command
+		// timeout does not apply.
+		cancel()
+		replCtx, stopREPL := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stopREPL()
+		if err := runQueryREPL(replCtx, client, req, os.Stdin, os.Stdout); err != nil {
+			fatal("query", "error", err)
 		}
 	case "trace":
 		id := flag.CommandLine.Arg(0)

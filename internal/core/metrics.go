@@ -22,6 +22,7 @@ type coreMetrics struct {
 	decideSeconds *telemetry.Histogram
 	requestUser   *telemetry.Histogram
 	requestOccup  *telemetry.Histogram
+	requestQuery  *telemetry.Histogram
 }
 
 func newCoreMetrics(r *telemetry.Registry, engineName string) *coreMetrics {
@@ -51,6 +52,9 @@ func newCoreMetrics(r *telemetry.Registry, engineName string) *coreMetrics {
 		requestOccup: r.HistogramWith("tippers_core_request_seconds",
 			"End-to-end request-manager latency.",
 			telemetry.Labels{"path": "occupancy"}, nil),
+		requestQuery: r.HistogramWith("tippers_core_request_seconds",
+			"End-to-end request-manager latency.",
+			telemetry.Labels{"path": "query"}, nil),
 	}
 	return m
 }

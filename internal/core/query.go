@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/query"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// QueryResponse is an executed analytical query plus its decision
+// trace.
+type QueryResponse struct {
+	Result *query.Result
+	// Trace is the span-like record of the query's enforcement run
+	// (parse/plan/execute stage timings, released-row counts); also
+	// retained in the BMS trace ring.
+	Trace *DecisionTrace
+}
+
+// Query parses, plans, and executes one SQL statement as requester
+// (Figure 1 steps 9–10, generalized to ad-hoc reads): the planner
+// pushes sargable predicates into the sharded store's filter and
+// binds the scan to a per-row enforcement predicate, so policies and
+// preferences gate every row exactly as they gate the fixed request
+// paths. Parse and plan failures return typed errors
+// (*query.ParseError, *query.PlanError, *query.EnforceError).
+func (b *BMS) Query(ctx context.Context, requester query.Requester, sql string) (QueryResponse, error) {
+	started := time.Now()
+	defer b.met.requestQuery.ObserveSince(started)
+	ctx, span := b.tracer.StartSpan(ctx, "bms.query")
+	defer span.End()
+	span.SetAttr("service", requester.ServiceID)
+
+	tr := b.newTrace("query", enforce.Request{
+		ServiceID:   requester.ServiceID,
+		Purpose:     requester.Purpose,
+		Granularity: requester.Granularity,
+	})
+	tr.joinSpanContext(ctx)
+
+	t0 := time.Now()
+	stmt, err := query.Parse(sql)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	tr.addStage("parse", time.Since(t0))
+
+	t0 = time.Now()
+	plan, err := query.Compile(stmt, b.queryEnv(ctx), requester)
+	if err != nil {
+		if ee, ok := err.(*query.EnforceError); ok {
+			// A query the enforcement layer rejects outright is itself
+			// an auditable decision.
+			tr.Allowed = false
+			tr.DenyReason = ee.Msg
+			b.finishTrace(&tr, started)
+		}
+		return QueryResponse{}, err
+	}
+	tr.addStage("plan", time.Since(t0))
+	span.SetAttr("table", stmt.Table)
+
+	t0 = time.Now()
+	res, err := plan.Execute()
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	tr.addStage("execute", time.Since(t0))
+	tr.Allowed = true
+	tr.SubjectsConsidered = res.Stats.Subjects
+	tr.ObservationsReleased = res.Stats.ReleasedRows
+	span.SetAttrInt("scanned", int64(res.Stats.ScannedRows))
+	span.SetAttrInt("released", int64(res.Stats.ReleasedRows))
+	return QueryResponse{Result: res, Trace: b.finishTrace(&tr, started)}, nil
+}
+
+// queryEnv wires the query planner/executor to this BMS: the sharded
+// store scan, the spatial subtree expansion, the enforcement engine
+// (with notification delivery and metrics, exactly like the fixed
+// request paths), the per-row data path, and the audit view over
+// retained decision traces.
+func (b *BMS) queryEnv(ctx context.Context) query.Env {
+	return query.Env{
+		Scan: func(f obstore.Filter) []sensor.Observation {
+			_, qSpan := b.tracer.StartSpan(ctx, "obstore.query")
+			obs := b.store.Query(f)
+			qSpan.SetAttrInt("observations", int64(len(obs)))
+			qSpan.End()
+			return obs
+		},
+		Subtree: func(spaceID string) []string {
+			if ids, err := b.cfg.Spaces.Subtree(spaceID); err == nil {
+				return ids
+			}
+			return []string{spaceID}
+		},
+		Decide: func(req enforce.Request) enforce.Decision {
+			t0 := time.Now()
+			d := b.engine.Decide(req, b.subjectGroups(req.SubjectID))
+			b.met.decideSeconds.Observe(time.Since(t0).Seconds())
+			b.recordDecision(d)
+			return d
+		},
+		Apply: func(d enforce.Decision, o sensor.Observation) (sensor.Observation, bool, error) {
+			return enforce.ApplyDecisionOne(d, o, b.transf)
+		},
+		AuditRecords: b.auditRecords,
+		Now:          b.clock,
+	}
+}
+
+// auditRecords projects the retained decision traces naming subjectID
+// into audit-table rows — the query-layer view of "what did the
+// building decide about me?".
+func (b *BMS) auditRecords(subjectID string) []query.AuditRecord {
+	traces := b.TracesForSubject(subjectID, 0)
+	out := make([]query.AuditRecord, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, query.AuditRecord{
+			ID:          t.ID,
+			Time:        t.Time,
+			Path:        t.Path,
+			ServiceID:   t.ServiceID,
+			SubjectID:   t.SubjectID,
+			Kind:        t.ObsKind,
+			Purpose:     t.Purpose,
+			Allowed:     t.Allowed,
+			DenyReason:  t.DenyReason,
+			Granularity: t.Granularity,
+			CacheHit:    t.CacheHit,
+		})
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/tippers/tippers/internal/enforce"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/query"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+func conciergeRequester() query.Requester {
+	return query.Requester{ServiceID: "concierge", Purpose: policy.PurposeProvidingService}
+}
+
+func ingestQueryFixture(t *testing.T, f *fixture) {
+	t.Helper()
+	// mary on ap-2 (dbh/2/r0) three times, bob on ap-1 (dbh/1/r0) twice.
+	for i := 0; i < 3; i++ {
+		if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:01", "ap-2", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := f.bms.Ingest(f.wifiObs("aa:00:00:00:00:02", "ap-1", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQueryEndToEnd(t *testing.T) {
+	f := newFixture(t)
+	ingestQueryFixture(t, f)
+
+	resp, err := f.bms.Query(context.Background(), conciergeRequester(),
+		"SELECT sensor_id, COUNT(*) AS n FROM observations GROUP BY sensor_id ORDER BY sensor_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resp.Result
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Str != "ap-1" || res.Rows[0][1].Num != 2 {
+		t.Errorf("ap-1 row = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].Str != "ap-2" || res.Rows[1][1].Num != 3 {
+		t.Errorf("ap-2 row = %v", res.Rows[1])
+	}
+	if res.Stats.ScannedRows != 5 || res.Stats.ReleasedRows != 5 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if resp.Trace == nil || resp.Trace.Path != "query" || !resp.Trace.Allowed {
+		t.Fatalf("trace = %+v", resp.Trace)
+	}
+	if len(resp.Trace.Stages) != 3 {
+		t.Errorf("stages = %+v", resp.Trace.Stages)
+	}
+	// The trace is retained in the ring.
+	recent := f.bms.RecentTraces(1)
+	if len(recent) != 1 || recent[0].Path != "query" {
+		t.Errorf("retained trace = %+v", recent)
+	}
+}
+
+// TestQueryPreferenceShrinksResults is the E11 scenario: the same
+// query returns less once a subject opts out mid-session.
+func TestQueryPreferenceShrinksResults(t *testing.T) {
+	f := newFixture(t)
+	ingestQueryFixture(t, f)
+
+	const sql = "SELECT user_id, space_id FROM observations WHERE kind = 'wifi_access_point'"
+	before, err := f.bms.Query(context.Background(), conciergeRequester(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Result.Rows) != 5 {
+		t.Fatalf("rows before = %d", len(before.Result.Rows))
+	}
+
+	for _, p := range policy.Preference2NoLocation("bob") {
+		if err := f.bms.SetPreference(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := f.bms.Query(context.Background(), conciergeRequester(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Result.Rows) != 3 {
+		t.Fatalf("rows after opt-out = %d, want 3", len(after.Result.Rows))
+	}
+	for _, row := range after.Result.Rows {
+		if row[0].Str == "bob" {
+			t.Fatalf("opted-out subject released: %v", row)
+		}
+	}
+	if after.Result.Stats.DeniedRows != 2 {
+		t.Errorf("DeniedRows = %d, want 2", after.Result.Stats.DeniedRows)
+	}
+}
+
+func TestQueryPushdownUsesStoreFilter(t *testing.T) {
+	f := newFixture(t)
+	ingestQueryFixture(t, f)
+
+	// A sensor-scoped query must scan only that sensor's stripe: the
+	// stats' scanned count equals the sensor's rows, not the store's.
+	resp, err := f.bms.Query(context.Background(), conciergeRequester(),
+		"SELECT seq FROM observations WHERE sensor_id = 'ap-1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Stats.ScannedRows != 2 {
+		t.Errorf("ScannedRows = %d, want 2 (sensor filter pushed down)", resp.Result.Stats.ScannedRows)
+	}
+
+	// Space predicates expand to the spatial subtree before the scan.
+	resp, err = f.bms.Query(context.Background(), conciergeRequester(),
+		"SELECT seq FROM observations WHERE space_id = 'dbh/2'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Stats.ScannedRows != 3 {
+		t.Errorf("ScannedRows = %d, want 3 (dbh/2 subtree)", resp.Result.Stats.ScannedRows)
+	}
+}
+
+func TestQueryOccupancyMatchesRequestOccupancy(t *testing.T) {
+	f := newFixture(t)
+	ingestQueryFixture(t, f)
+
+	resp, err := f.bms.Query(context.Background(), conciergeRequester(),
+		"SELECT * FROM occupancy ORDER BY space_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ, err := f.bms.RequestOccupancy(enforce.Request{
+		ServiceID: "concierge", Purpose: policy.PurposeProvidingService,
+		Kind: sensor.ObsWiFiConnect, Time: f.now,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Result.Rows) != len(occ.Aggregates) {
+		t.Fatalf("query occupancy %v != request occupancy %v", resp.Result.Rows, occ.Aggregates)
+	}
+	for i, a := range occ.Aggregates {
+		row := resp.Result.Rows[i]
+		if row[0].Str != a.Key || int(row[1].Num) != a.Count {
+			t.Errorf("row %d = %v, want %+v", i, row, a)
+		}
+	}
+}
+
+func TestQueryAuditScopedToRequester(t *testing.T) {
+	f := newFixture(t)
+	ingestQueryFixture(t, f)
+
+	// Generate decisions about mary and bob.
+	for _, subject := range []string{"mary", "bob", "mary"} {
+		if _, err := f.bms.RequestUser(enforce.Request{
+			ServiceID: "concierge", Purpose: policy.PurposeProvidingService,
+			Kind: sensor.ObsWiFiConnect, SubjectID: subject, Time: f.now,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := conciergeRequester()
+	r.UserID = "mary"
+	resp, err := f.bms.Query(context.Background(), r,
+		"SELECT subject_id, path, allowed FROM audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Result.Rows) != 2 {
+		t.Fatalf("rows = %v, want mary's 2 decisions", resp.Result.Rows)
+	}
+	for _, row := range resp.Result.Rows {
+		if row[0].Str != "mary" {
+			t.Fatalf("foreign subject in audit view: %v", row)
+		}
+	}
+
+	// Without a user identity the audit table is rejected, and the
+	// rejection itself lands in the trace ring.
+	r.UserID = ""
+	_, err = f.bms.Query(context.Background(), r, "SELECT * FROM audit")
+	var ee *query.EnforceError
+	if !errors.As(err, &ee) {
+		t.Fatalf("want *query.EnforceError, got %v", err)
+	}
+	recent := f.bms.RecentTraces(1)
+	if len(recent) != 1 || recent[0].Allowed || recent[0].Path != "query" {
+		t.Errorf("rejection trace = %+v", recent)
+	}
+}
+
+func TestQueryTypedErrors(t *testing.T) {
+	f := newFixture(t)
+	var pe *query.ParseError
+	if _, err := f.bms.Query(context.Background(), conciergeRequester(), "SELEC *"); !errors.As(err, &pe) {
+		t.Errorf("want *query.ParseError, got %v", err)
+	}
+	var le *query.PlanError
+	if _, err := f.bms.Query(context.Background(), conciergeRequester(), "SELECT nope FROM observations"); !errors.As(err, &le) {
+		t.Errorf("want *query.PlanError, got %v", err)
+	}
+}

@@ -25,18 +25,41 @@ func ApplyDecision(d Decision, obs []sensor.Observation, tr *privacy.Transformer
 	}
 	out := make([]sensor.Observation, 0, len(obs))
 	for _, o := range obs {
-		g := d.Granularity
-		if !g.Valid() {
-			g = policy.GranExact
+		coarse, ok, err := ApplyDecisionOne(d, o, tr)
+		if err != nil {
+			return nil, err
 		}
-		coarse, ok := privacy.CoarsenLocation(o, g, tr.Spaces)
 		if !ok {
 			continue
-		}
-		if d.Effective.NoiseEpsilon > 0 {
-			coarse = tr.Noiser.NoiseObservation(coarse, d.Effective.NoiseEpsilon)
 		}
 		out = append(out, coarse)
 	}
 	return out, nil
+}
+
+// ApplyDecisionOne is the single-observation data path: granularity
+// clamp, then noise. ok=false means the observation is suppressed —
+// either the decision denies the flow or coarsening erased the
+// location entirely. Row-at-a-time callers (the query executor's
+// enforced scan) use this so a row is transformed the moment it is
+// decided, without batching per subject.
+func ApplyDecisionOne(d Decision, o sensor.Observation, tr *privacy.Transformer) (sensor.Observation, bool, error) {
+	if !d.Allowed {
+		return sensor.Observation{}, false, nil
+	}
+	if tr == nil {
+		return sensor.Observation{}, false, fmt.Errorf("enforce: nil transformer")
+	}
+	g := d.Granularity
+	if !g.Valid() {
+		g = policy.GranExact
+	}
+	coarse, ok := privacy.CoarsenLocation(o, g, tr.Spaces)
+	if !ok {
+		return sensor.Observation{}, false, nil
+	}
+	if d.Effective.NoiseEpsilon > 0 {
+		coarse = tr.Noiser.NoiseObservation(coarse, d.Effective.NoiseEpsilon)
+	}
+	return coarse, true, nil
 }

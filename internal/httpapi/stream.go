@@ -80,10 +80,34 @@ func streamEventToDTO(ev stream.Event) StreamEventDTO {
 	return out
 }
 
+// streamParams is the full set of query-string parameters
+// /v1/stream accepts. Anything else is rejected: a silently ignored
+// parameter (a typo like ?suject=mary) would subscribe to a much
+// broader stream than the caller intended.
+var streamParams = map[string]bool{
+	"topic":       true,
+	"user":        true,
+	"service":     true,
+	"purpose":     true,
+	"kind":        true,
+	"subject":     true,
+	"space":       true,
+	"granularity": true,
+	"replay":      true,
+	"after":       true,
+	"buffer":      true,
+	"policy":      true,
+}
+
 // streamOptionsFromQuery translates /v1/stream query parameters into
 // hub subscription options.
 func streamOptionsFromQuery(req *http.Request) (stream.Options, error) {
 	q := req.URL.Query()
+	for key := range q {
+		if !streamParams[key] {
+			return stream.Options{}, fmt.Errorf("unknown parameter %q", key)
+		}
+	}
 	opts := stream.Options{
 		Topic:  q.Get("topic"),
 		UserID: q.Get("user"),

@@ -1,0 +1,114 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// TestQueryNeverLeaksDeniedRows is the executor's core privacy
+// property, checked over randomized worlds: whatever the policy
+// table, the observation set, and the predicate, (a) every row a
+// row-mode query releases is one the naive per-row decision procedure
+// permits, and (b) every group an aggregate query emits clears the
+// k-anonymity floor. The decision table here is the same oracle the
+// executor consults, so any leak is the executor's fault: a path that
+// projected, grouped, or ordered a row before deciding it.
+func TestQueryNeverLeaksDeniedRows(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+
+			// Random world: users with random deny bits and floors,
+			// observations scattered over sensors, spaces, and time.
+			nUsers := 2 + rng.Intn(6)
+			users := make([]string, nUsers)
+			te := &testEnv{deny: map[string]bool{}, floors: map[string]int{}}
+			for i := range users {
+				users[i] = fmt.Sprintf("u%d", i)
+				te.deny[users[i]] = rng.Intn(3) == 0
+				te.floors[users[i]] = rng.Intn(4) // 0..3
+			}
+			nObs := 40 + rng.Intn(160)
+			for i := 0; i < nObs; i++ {
+				user := users[rng.Intn(nUsers)]
+				if rng.Intn(10) == 0 {
+					user = "" // unattributed
+				}
+				o := obsAt(uint64(i+1),
+					fmt.Sprintf("ap-%d", rng.Intn(4)),
+					fmt.Sprintf("s%d", rng.Intn(3)),
+					user, rng.Intn(120), float64(rng.Intn(100)))
+				if rng.Intn(4) == 0 {
+					o.Kind = sensor.ObsBLESighting
+				}
+				te.obs = append(te.obs, o)
+			}
+
+			r := reqr()
+			r.MinK = 1 + rng.Intn(3)
+
+			// The naive per-row oracle: scan everything, decide each
+			// row independently.
+			rowPermitted := map[uint64]bool{} // row-mode releasable
+			subjectFloor := map[string]int{}  // allowed subjects' floors
+			for _, o := range te.obs {
+				if te.deny[o.UserID] {
+					continue
+				}
+				if o.UserID != "" {
+					subjectFloor[o.UserID] = te.floors[o.UserID]
+				}
+				if o.UserID == "" || te.floors[o.UserID] <= 1 {
+					rowPermitted[o.Seq] = true
+				}
+			}
+			effectiveK := r.MinK
+			for _, f := range subjectFloor {
+				if f > effectiveK {
+					effectiveK = f
+				}
+			}
+
+			preds := []string{
+				"",
+				fmt.Sprintf(" WHERE sensor_id = 'ap-%d'", rng.Intn(4)),
+				fmt.Sprintf(" WHERE value > %d", rng.Intn(100)),
+				fmt.Sprintf(" WHERE user_id = 'u%d' OR space_id = 's%d'", rng.Intn(nUsers), rng.Intn(3)),
+				" WHERE kind = 'wifi_access_point' AND seq > 10",
+			}
+			pred := preds[rng.Intn(len(preds))]
+
+			// (a) Row mode: released ⊆ naive permits.
+			res, err := Run(te.env(), r, "SELECT seq, user_id FROM observations"+pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range res.Rows {
+				seq := uint64(row[0].Num)
+				if !rowPermitted[seq] {
+					t.Errorf("released row seq=%d user=%q that per-row enforcement denies", seq, row[1].Str)
+				}
+			}
+
+			// (b) Aggregates: every emitted group clears the floor, and
+			// its count never exceeds what the permitted rows support.
+			res, err = Run(te.env(), r, "SELECT space_id, COUNT(DISTINCT user_id) AS n FROM observations"+pred+" GROUP BY space_id")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range res.Rows {
+				n := int(row[1].Num)
+				if effectiveK > 1 && n > 0 && n < effectiveK {
+					t.Errorf("group %q emitted with %d distinct subjects, below floor %d", row[0].Str, n, effectiveK)
+				}
+				if n > len(subjectFloor) {
+					t.Errorf("group %q counts %d subjects, only %d are releasable", row[0].Str, n, len(subjectFloor))
+				}
+			}
+		})
+	}
+}

@@ -26,9 +26,10 @@ go build -o "$OUT_DIR/benchdiff" ./cmd/benchdiff
 
 echo "== running gated benchmarks (count=$COUNT)"
 : >"$RAW"
-# Root package: durable ingest + the sharded query/enforce pair, plus
-# the tracing-overhead pair (sampled must stay within tolerance of off).
-go test -run '^$' -bench 'BenchmarkObstoreIngestDurable|BenchmarkShardedQueryEnforce|BenchmarkTraceOverhead' \
+# Root package: durable ingest + the sharded query/enforce pair, the
+# tracing-overhead pair (sampled must stay within tolerance of off),
+# and the end-to-end SQL query path (point + group-by shapes).
+go test -run '^$' -bench 'BenchmarkObstoreIngestDurable|BenchmarkShardedQueryEnforce|BenchmarkTraceOverhead|BenchmarkQueryEndToEnd' \
 	-benchmem -count="$COUNT" -benchtime "${BENCH_TIME:-1s}" . | tee -a "$RAW"
 # Stream fanout lives with the core pipeline benchmarks.
 go test -run '^$' -bench 'BenchmarkStreamFanout' \

@@ -30,4 +30,7 @@ go test -race -run 'TestWALRecovery|TestWALCrash' -count=2 ./internal/wal/...
 echo "== stream + bus + obstore shards (repeated, race) =="
 go test -race -count=2 ./internal/stream/... ./internal/bus/... ./internal/obstore/...
 
+echo "== query leak property (repeated, race) =="
+go test -race -count=2 -run TestQueryNeverLeaksDeniedRows ./internal/query/...
+
 echo "verify: OK"
