@@ -26,10 +26,23 @@ type enforcement struct {
 	// million rows usually needs a few dozen engine calls.
 	memo     map[string]enforce.Decision
 	subjects map[string]bool
-	// maxFloor is the largest MinAggregationK among allowed
-	// contributing subjects; it raises the k floor for grouped output.
+	// maxFloor is the largest MinAggregationK among subjects whose
+	// rows survive residual filtering and so contribute to the result
+	// (raised via noteContributions, not during the scan); it raises
+	// the k floor for grouped output. A row a predicate discards
+	// cannot raise the floor on unrelated output.
 	maxFloor int
 	stats    Stats
+}
+
+// rowMeta carries the enforcement-relevant ground truth for one
+// released row: who contributed it and their aggregation floor.
+// Suppression decisions key off this — not the released view — so a
+// transform that redacts user_id cannot exempt a group from its
+// subjects' k floors.
+type rowMeta struct {
+	subject string
+	floor   int
 }
 
 func newEnforcement(env Env, req Requester, table string) (*enforcement, error) {
@@ -81,19 +94,18 @@ func (e *enforcement) decide(o sensor.Observation) enforce.Decision {
 // aggregation floor > 1 are excluded too, because a row-level release
 // can never satisfy a k-of-many floor. Surviving rows pass through
 // the decision's data path (granularity clamp, noise) so downstream
-// stages only ever see the released view.
-func (e *enforcement) scanObservations(f obstore.Filter, aggregate bool) ([]sensor.Observation, error) {
+// stages only ever see the released view; the parallel rowMeta slice
+// keeps each row's ground-truth subject and floor for suppression.
+func (e *enforcement) scanObservations(f obstore.Filter, aggregate bool) ([]sensor.Observation, []rowMeta, error) {
 	rows := e.env.Scan(f)
 	e.stats.ScannedRows += len(rows)
 	out := make([]sensor.Observation, 0, len(rows))
+	meta := make([]rowMeta, 0, len(rows))
 	for _, o := range rows {
 		d := e.decide(o)
 		if !d.Allowed {
 			e.stats.DeniedRows++
 			continue
-		}
-		if fl := d.Effective.MinAggregationK; fl > e.maxFloor {
-			e.maxFloor = fl
 		}
 		if !aggregate && d.Effective.MinAggregationK > 1 && o.UserID != "" {
 			e.stats.ExcludedRows++
@@ -101,17 +113,34 @@ func (e *enforcement) scanObservations(f obstore.Filter, aggregate bool) ([]sens
 		}
 		rel, ok, err := e.env.Apply(d, o)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if !ok {
 			e.stats.ExcludedRows++
 			continue
 		}
 		out = append(out, rel)
+		m := rowMeta{subject: o.UserID}
+		if o.UserID != "" {
+			m.floor = d.Effective.MinAggregationK
+		}
+		meta = append(meta, m)
 		e.stats.ReleasedRows++
 	}
 	e.stats.Subjects = len(e.subjects)
-	return out, nil
+	return out, meta, nil
+}
+
+// noteContributions raises the grouped-output k floor from the rows
+// that actually contribute to the result — called after residual
+// filtering, so a subject whose every row a predicate discards does
+// not suppress output they take no part in.
+func (e *enforcement) noteContributions(meta []rowMeta) {
+	for _, m := range meta {
+		if m.floor > e.maxFloor {
+			e.maxFloor = m.floor
+		}
+	}
 }
 
 // effectiveK is the k-anonymity floor for grouped output: the
@@ -141,10 +170,13 @@ func (p *Plan) Execute() (*Result, error) {
 	}
 }
 
-// rowSource is an indexed, column-addressable released row set.
+// rowSource is an indexed, column-addressable released row set. meta,
+// when set, exposes each row's ground-truth contribution record for
+// k-floor suppression (nil for tables without one, e.g. audit).
 type rowSource struct {
-	n   int
-	get func(i int, col string) Value
+	n    int
+	get  func(i int, col string) Value
+	meta func(i int) rowMeta
 }
 
 func obsValue(o *sensor.Observation, col string) Value {
@@ -227,25 +259,38 @@ func auditValue(r *AuditRecord, col string) Value {
 }
 
 func (p *Plan) execObservations() (*Result, error) {
-	obs, err := p.enf.scanObservations(p.filter, p.grouped)
+	obs, meta, err := p.enf.scanObservations(p.filter, p.grouped)
 	if err != nil {
 		return nil, err
 	}
-	if p.residual != nil {
-		kept := obs[:0]
-		for i := range obs {
-			o := &obs[i]
-			if p.residual.eval(func(col string) Value { return obsValue(o, col) }) {
-				kept = append(kept, obs[i])
-			}
-		}
-		obs = kept
+	obs, meta = filterResidual(p.residual, obs, meta)
+	p.enf.noteContributions(meta)
+	src := rowSource{
+		n:    len(obs),
+		get:  func(i int, col string) Value { return obsValue(&obs[i], col) },
+		meta: func(i int) rowMeta { return meta[i] },
 	}
-	src := rowSource{n: len(obs), get: func(i int, col string) Value { return obsValue(&obs[i], col) }}
 	if p.grouped {
 		return p.execGrouped(src, true)
 	}
 	return p.execProject(src)
+}
+
+// filterResidual keeps the released rows (and their ground-truth
+// meta, in lockstep) that satisfy the residual predicate.
+func filterResidual(residual boolExpr, obs []sensor.Observation, meta []rowMeta) ([]sensor.Observation, []rowMeta) {
+	if residual == nil {
+		return obs, meta
+	}
+	keptObs, keptMeta := obs[:0], meta[:0]
+	for i := range obs {
+		o := &obs[i]
+		if residual.eval(func(col string) Value { return obsValue(o, col) }) {
+			keptObs = append(keptObs, obs[i])
+			keptMeta = append(keptMeta, meta[i])
+		}
+	}
+	return keptObs, keptMeta
 }
 
 func (p *Plan) execAudit() (*Result, error) {
@@ -271,20 +316,12 @@ func (p *Plan) execAudit() (*Result, error) {
 }
 
 func (p *Plan) execOccupancy() (*Result, error) {
-	obs, err := p.enf.scanObservations(p.filter, true)
+	obs, meta, err := p.enf.scanObservations(p.filter, true)
 	if err != nil {
 		return nil, err
 	}
-	if p.residual != nil {
-		kept := obs[:0]
-		for i := range obs {
-			o := &obs[i]
-			if p.residual.eval(func(col string) Value { return obsValue(o, col) }) {
-				kept = append(kept, obs[i])
-			}
-		}
-		obs = kept
-	}
+	obs, meta = filterResidual(p.residual, obs, meta)
+	p.enf.noteContributions(meta)
 	k := p.enf.effectiveK()
 	p.enf.stats.EffectiveK = k
 	counts := privacy.KAnonymousCounts(obs, k,
@@ -351,9 +388,11 @@ type group struct {
 }
 
 // execGrouped evaluates GROUP BY / aggregate queries. When suppress
-// is set (observation scans), groups whose distinct attributed
-// subjects fall short of the effective k floor are withheld, matching
-// the occupancy path's k-anonymity discipline.
+// is set (observation scans), groups containing attributed rows whose
+// distinct subjects fall short of the effective k floor are withheld,
+// matching the occupancy path's k-anonymity discipline. A group with
+// no attributed contribution — purely environmental data — has no
+// subject to protect and is never suppressed.
 func (p *Plan) execGrouped(src rowSource, suppress bool) (*Result, error) {
 	groups := make(map[string]*group)
 	var order []string
@@ -414,9 +453,9 @@ func (p *Plan) execGrouped(src rowSource, suppress bool) (*Result, error) {
 				}
 			}
 		}
-		if suppress {
-			if subj := src.get(i, "user_id"); subj.Kind == KindString {
-				g.subjects[subj.Str] = true
+		if suppress && src.meta != nil {
+			if m := src.meta(i); m.subject != "" {
+				g.subjects[m.subject] = true
 			}
 		}
 	}
@@ -443,7 +482,7 @@ func (p *Plan) execGrouped(src rowSource, suppress bool) (*Result, error) {
 	rows := make([][]Value, 0, len(order))
 	for _, key := range order {
 		g := groups[key]
-		if suppress && k > 1 && len(g.subjects) < k {
+		if suppress && k > 1 && len(g.subjects) > 0 && len(g.subjects) < k {
 			p.enf.stats.SuppressedGroups++
 			continue
 		}

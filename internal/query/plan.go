@@ -177,6 +177,10 @@ type Plan struct {
 
 	// filter is the pushed-down store filter: sargable sensor / space
 	// / time conjuncts from WHERE, pre-expanded over spatial subtrees.
+	// Spatial bounds in it are pruning hints only — the matching
+	// conjunct also stays in residual, because the store prunes on
+	// ground-truth locations while enforcement may release coarser
+	// ones.
 	filter obstore.Filter
 	// residual is what remains of WHERE; it evaluates against the
 	// released (post-enforcement) view of each row. nil matches all.
@@ -419,8 +423,13 @@ func (c *compiler) resolveWhere(p *Plan) error {
 		if err != nil {
 			return err
 		}
-		if c.stmt.Table != TableAudit && c.pushConjunct(typed, &p.filter) {
-			continue
+		if c.stmt.Table != TableAudit {
+			if rep, pushed := c.pushConjunct(typed, &p.filter); pushed {
+				if rep != nil {
+					residual = append(residual, rep)
+				}
+				continue
+			}
 		}
 		residual = append(residual, typed)
 	}
@@ -576,38 +585,45 @@ func coerceLiteral(lit Literal, t colType, col string) (Value, error) {
 }
 
 // pushConjunct tries to fold one typed conjunct into the store
-// filter. Pushed conjuncts are not re-evaluated; a second bound on an
-// already-set field stays residual. Limit is never pushed —
-// enforcement drops rows after the scan, so a store-side cap would
-// under-fill the result.
-func (c *compiler) pushConjunct(p boolExpr, f *obstore.Filter) bool {
+// filter. Most pushed conjuncts are fully absorbed — the store's
+// filter semantics are exact, so re-evaluating them would be
+// redundant. space_id is the exception: its pushdown prunes stripes
+// on *ground-truth* locations while enforcement may release a
+// coarsened one, so the conjunct comes back as a rewritten residual
+// (the subtree-expanded IN set) and is re-evaluated against the
+// released SpaceID like every other residual predicate. A second
+// bound on an already-set field stays residual. Limit is never
+// pushed — enforcement drops rows after the scan, so a store-side
+// cap would under-fill the result.
+func (c *compiler) pushConjunct(p boolExpr, f *obstore.Filter) (residual boolExpr, pushed bool) {
 	switch q := p.(type) {
 	case *cmpPred:
 		switch q.col {
 		case "sensor_id":
 			if q.op == "=" && f.SensorID == "" {
 				f.SensorID = q.val.Str
-				return true
+				return nil, true
 			}
 		case "user_id":
 			if q.op == "=" && f.UserID == "" {
 				f.UserID = q.val.Str
-				return true
+				return nil, true
 			}
 		case "device_mac":
 			if q.op == "=" && f.DeviceMAC == "" {
 				f.DeviceMAC = q.val.Str
-				return true
+				return nil, true
 			}
 		case "kind":
 			if q.op == "=" && f.Kind == "" {
 				f.Kind = sensor.ObservationKind(q.val.Str)
-				return true
+				return nil, true
 			}
 		case "space_id":
 			if q.op == "=" && f.SpaceIDs == nil {
-				f.SpaceIDs = c.expandSpace(q.val.Str)
-				return true
+				ids := c.expandSpace(q.val.Str)
+				f.SpaceIDs = ids
+				return spaceInPred(ids), true
 			}
 		case "time":
 			t := q.val.Time
@@ -615,45 +631,48 @@ func (c *compiler) pushConjunct(p boolExpr, f *obstore.Filter) bool {
 			case ">=":
 				if f.From.IsZero() {
 					f.From = t
-					return true
+					return nil, true
 				}
 			case ">":
 				if f.From.IsZero() {
 					f.From = t.Add(time.Nanosecond)
-					return true
+					return nil, true
 				}
 			case "<":
 				if f.To.IsZero() {
 					f.To = t
-					return true
+					return nil, true
 				}
 			case "<=":
 				if f.To.IsZero() {
 					f.To = t.Add(time.Nanosecond)
-					return true
+					return nil, true
 				}
 			case "=":
 				if f.From.IsZero() && f.To.IsZero() {
 					f.From = t
 					f.To = t.Add(time.Nanosecond)
-					return true
+					return nil, true
 				}
 			}
 		case "seq":
 			n := q.val.Num
 			if n != math.Trunc(n) || n < 0 || n > float64(1<<53) {
-				return false
+				return nil, false
 			}
+			// AfterSeq == 0 means "no cursor" to the store, so a bound
+			// that would compute to 0 (seq > 0, seq >= 1) stays
+			// residual rather than silently matching a seq-0 row.
 			switch q.op {
 			case ">":
-				if f.AfterSeq == 0 {
+				if f.AfterSeq == 0 && n >= 1 {
 					f.AfterSeq = uint64(n)
-					return true
+					return nil, true
 				}
 			case ">=":
-				if f.AfterSeq == 0 && n >= 1 {
+				if f.AfterSeq == 0 && n >= 2 {
 					f.AfterSeq = uint64(n) - 1
-					return true
+					return nil, true
 				}
 			}
 		}
@@ -661,7 +680,7 @@ func (c *compiler) pushConjunct(p boolExpr, f *obstore.Filter) bool {
 		if q.col == "time" && !q.neg && f.From.IsZero() && f.To.IsZero() {
 			f.From = q.lo.Time
 			f.To = q.hi.Time.Add(time.Nanosecond)
-			return true
+			return nil, true
 		}
 	case *inPred:
 		if q.col == "space_id" && !q.neg && f.SpaceIDs == nil && len(q.vals) > 0 {
@@ -677,10 +696,21 @@ func (c *compiler) pushConjunct(p boolExpr, f *obstore.Filter) bool {
 			}
 			sort.Strings(ids)
 			f.SpaceIDs = ids
-			return true
+			return spaceInPred(ids), true
 		}
 	}
-	return false
+	return nil, false
+}
+
+// spaceInPred is the residual form of a pushed spatial conjunct: the
+// released SpaceID must still land inside the queried subtree, which
+// granularity coarsening can move it out of.
+func spaceInPred(ids []string) boolExpr {
+	vals := make([]Value, len(ids))
+	for i, id := range ids {
+		vals[i] = stringValue(id)
+	}
+	return &inPred{col: "space_id", vals: vals}
 }
 
 // expandSpace widens a space predicate to the space's subtree, the

@@ -12,10 +12,14 @@ import (
 // property, checked over randomized worlds: whatever the policy
 // table, the observation set, and the predicate, (a) every row a
 // row-mode query releases is one the naive per-row decision procedure
-// permits, and (b) every group an aggregate query emits clears the
-// k-anonymity floor. The decision table here is the same oracle the
-// executor consults, so any leak is the executor's fault: a path that
-// projected, grouped, or ordered a row before deciding it.
+// permits, and (b) grouped output matches an exact oracle — a group
+// with attributed rows appears iff its distinct subjects clear the
+// k floor raised by every subject contributing to the result, and a
+// purely environmental group is never suppressed. Each SQL predicate
+// is paired with its Go mirror; testEnv's Apply is the identity, so
+// the released view equals ground truth and the mirror is exact. Any
+// divergence is the executor's fault: a path that projected, grouped,
+// or suppressed differently than per-row enforcement dictates.
 func TestQueryNeverLeaksDeniedRows(t *testing.T) {
 	for seed := int64(0); seed < 60; seed++ {
 		seed := seed
@@ -51,39 +55,48 @@ func TestQueryNeverLeaksDeniedRows(t *testing.T) {
 			r := reqr()
 			r.MinK = 1 + rng.Intn(3)
 
-			// The naive per-row oracle: scan everything, decide each
-			// row independently.
+			// SQL predicates with their ground-truth mirrors; the mix
+			// covers pushed conjuncts (sensor, kind, seq, space),
+			// residual-only ones (value, OR), and the unpushable
+			// seq >= 1 bound.
+			sensorPick := fmt.Sprintf("ap-%d", rng.Intn(4))
+			valuePick := float64(rng.Intn(100))
+			userPick := fmt.Sprintf("u%d", rng.Intn(nUsers))
+			spacePick := fmt.Sprintf("s%d", rng.Intn(3))
+			preds := []struct {
+				sql   string
+				match func(o sensor.Observation) bool
+			}{
+				{"", func(o sensor.Observation) bool { return true }},
+				{fmt.Sprintf(" WHERE sensor_id = '%s'", sensorPick),
+					func(o sensor.Observation) bool { return o.SensorID == sensorPick }},
+				{fmt.Sprintf(" WHERE value > %.0f", valuePick),
+					func(o sensor.Observation) bool { return o.Value > valuePick }},
+				{fmt.Sprintf(" WHERE user_id = '%s' OR space_id = '%s'", userPick, spacePick),
+					func(o sensor.Observation) bool { return o.UserID == userPick || o.SpaceID == spacePick }},
+				{" WHERE kind = 'wifi_access_point' AND seq > 10",
+					func(o sensor.Observation) bool { return o.Kind == sensor.ObsWiFiConnect && o.Seq > 10 }},
+				{fmt.Sprintf(" WHERE space_id = '%s'", spacePick),
+					func(o sensor.Observation) bool { return o.SpaceID == spacePick }},
+				{" WHERE seq >= 1",
+					func(o sensor.Observation) bool { return o.Seq >= 1 }},
+			}
+			pc := preds[rng.Intn(len(preds))]
+
+			// The naive per-row oracle: decide each matching row
+			// independently.
 			rowPermitted := map[uint64]bool{} // row-mode releasable
-			subjectFloor := map[string]int{}  // allowed subjects' floors
 			for _, o := range te.obs {
-				if te.deny[o.UserID] {
+				if te.deny[o.UserID] || !pc.match(o) {
 					continue
-				}
-				if o.UserID != "" {
-					subjectFloor[o.UserID] = te.floors[o.UserID]
 				}
 				if o.UserID == "" || te.floors[o.UserID] <= 1 {
 					rowPermitted[o.Seq] = true
 				}
 			}
-			effectiveK := r.MinK
-			for _, f := range subjectFloor {
-				if f > effectiveK {
-					effectiveK = f
-				}
-			}
-
-			preds := []string{
-				"",
-				fmt.Sprintf(" WHERE sensor_id = 'ap-%d'", rng.Intn(4)),
-				fmt.Sprintf(" WHERE value > %d", rng.Intn(100)),
-				fmt.Sprintf(" WHERE user_id = 'u%d' OR space_id = 's%d'", rng.Intn(nUsers), rng.Intn(3)),
-				" WHERE kind = 'wifi_access_point' AND seq > 10",
-			}
-			pred := preds[rng.Intn(len(preds))]
 
 			// (a) Row mode: released ⊆ naive permits.
-			res, err := Run(te.env(), r, "SELECT seq, user_id FROM observations"+pred)
+			res, err := Run(te.env(), r, "SELECT seq, user_id FROM observations"+pc.sql)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -94,19 +107,58 @@ func TestQueryNeverLeaksDeniedRows(t *testing.T) {
 				}
 			}
 
-			// (b) Aggregates: every emitted group clears the floor, and
-			// its count never exceeds what the permitted rows support.
-			res, err = Run(te.env(), r, "SELECT space_id, COUNT(DISTINCT user_id) AS n FROM observations"+pred+" GROUP BY space_id")
+			// (b) Aggregates: exact oracle. Contributing rows are the
+			// allowed rows matching the predicate; the effective floor
+			// is raised only by their subjects.
+			type gstat struct {
+				rows     int
+				subjects map[string]bool
+			}
+			spaces := map[string]*gstat{}
+			effectiveK := r.MinK
+			for _, o := range te.obs {
+				if te.deny[o.UserID] || !pc.match(o) {
+					continue
+				}
+				g := spaces[o.SpaceID]
+				if g == nil {
+					g = &gstat{subjects: map[string]bool{}}
+					spaces[o.SpaceID] = g
+				}
+				g.rows++
+				if o.UserID != "" {
+					g.subjects[o.UserID] = true
+					if f := te.floors[o.UserID]; f > effectiveK {
+						effectiveK = f
+					}
+				}
+			}
+			want := map[string]int{} // space -> distinct subjects
+			for space, g := range spaces {
+				if len(g.subjects) == 0 || len(g.subjects) >= effectiveK {
+					want[space] = len(g.subjects)
+				}
+			}
+
+			res, err = Run(te.env(), r, "SELECT space_id, COUNT(DISTINCT user_id) AS n FROM observations"+pc.sql+" GROUP BY space_id")
 			if err != nil {
 				t.Fatal(err)
 			}
+			got := map[string]int{}
 			for _, row := range res.Rows {
-				n := int(row[1].Num)
-				if effectiveK > 1 && n > 0 && n < effectiveK {
-					t.Errorf("group %q emitted with %d distinct subjects, below floor %d", row[0].Str, n, effectiveK)
+				got[row[0].Str] = int(row[1].Num)
+			}
+			if len(got) != len(want) {
+				t.Errorf("emitted groups = %v, oracle wants %v (k=%d)", got, want, effectiveK)
+			}
+			for space, n := range got {
+				wn, ok := want[space]
+				if !ok {
+					t.Errorf("group %q emitted but oracle suppresses it (k=%d, %d subjects)", space, effectiveK, len(spaces[space].subjects))
+					continue
 				}
-				if n > len(subjectFloor) {
-					t.Errorf("group %q counts %d subjects, only %d are releasable", row[0].Str, n, len(subjectFloor))
+				if n != wn {
+					t.Errorf("group %q counts %d distinct subjects, oracle says %d", space, n, wn)
 				}
 			}
 		})

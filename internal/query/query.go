@@ -33,7 +33,10 @@
 // spatial predicates expand to the space's subtree like every other
 // request path. Residual predicates evaluate against the *released*
 // view of each row — after granularity coarsening and noise — so a
-// query can never observe more than enforcement lets through.
+// query can never observe more than enforcement lets through. Pushed
+// spatial conjuncts are pruning hints only: they are kept in the
+// residual too, so a location coarsened out of the queried subtree
+// drops the row instead of leaking ground-truth presence.
 package query
 
 import (
@@ -128,11 +131,13 @@ type Stats struct {
 	// the per-query memo keeps it far below ScannedRows.
 	Decisions int `json:"decisions"`
 	// EffectiveK is the k-anonymity floor applied to grouped output:
-	// max of the requester's MinK and every contributing subject's
-	// own floor.
+	// max of the requester's MinK and the floor of every subject whose
+	// rows survive into the result (rows a predicate discards do not
+	// raise it).
 	EffectiveK int `json:"effective_k"`
 	// SuppressedGroups counts groups withheld for falling short of
-	// EffectiveK distinct subjects.
+	// EffectiveK distinct subjects. Groups with no attributed rows are
+	// never suppressed.
 	SuppressedGroups int `json:"suppressed_groups"`
 }
 

@@ -579,6 +579,141 @@ func TestResidualSeesReleasedView(t *testing.T) {
 	}
 }
 
+func TestPushedSpacePredicateSeesReleasedView(t *testing.T) {
+	// Apply coarsens room r0 to its floor. A pushed space_id predicate
+	// still prunes the scan on ground truth, but the conjunct must be
+	// re-evaluated against the released SpaceID — otherwise the result
+	// (row times, counts) reveals room-level presence the subject only
+	// released at floor granularity.
+	coarsen := func(te *testEnv) Env {
+		env := te.env()
+		env.Apply = func(d enforce.Decision, o sensor.Observation) (sensor.Observation, bool, error) {
+			if o.SpaceID == "dbh/1/r0" {
+				o.SpaceID = "dbh/1"
+			}
+			return o, true, nil
+		}
+		return env
+	}
+
+	te := &testEnv{obs: defaultObs()}
+	res, err := Run(coarsen(te), reqr(), "SELECT seq, space_id FROM observations WHERE space_id = 'dbh/1/r0'")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %v; coarsened-away rooms must not satisfy a room-level predicate", res.Rows)
+	}
+	// The pushdown still pruned: only the two r0 rows were scanned.
+	if len(te.filters) != 1 || len(te.filters[0].SpaceIDs) != 1 {
+		t.Errorf("filters = %+v, want one scan pruned to the r0 subtree", te.filters)
+	}
+	if res.Stats.ScannedRows != 2 {
+		t.Errorf("ScannedRows = %d, want 2 (stripe pruning)", res.Stats.ScannedRows)
+	}
+
+	// IN takes the same path.
+	te = &testEnv{obs: defaultObs()}
+	res, err = Run(coarsen(te), reqr(), "SELECT seq FROM observations WHERE space_id IN ('dbh/1/r0')")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %v, want IN conjunct re-evaluated post-coarsening", res.Rows)
+	}
+
+	// A query at the released granularity still sees the rows, at
+	// their coarsened location.
+	te = &testEnv{obs: defaultObs()}
+	res, err = Run(coarsen(te), reqr(), "SELECT seq, space_id FROM observations WHERE space_id = 'dbh' ORDER BY seq")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %v, want 4 (subtree query covers the coarsened floor)", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row[1].Str == "dbh/1/r0" {
+			t.Errorf("released ground-truth room: %v", row)
+		}
+	}
+}
+
+func TestEnvironmentOnlyGroupsNotSuppressed(t *testing.T) {
+	// Three unattributed environmental rows plus one row from bob,
+	// whose preference demands k >= 5. bob's floor suppresses the
+	// group his data is in, not the subject-less ones.
+	obs := []sensor.Observation{
+		obsAt(1, "t-1", "dbh/1", "", 0, 20),
+		obsAt(2, "t-1", "dbh/1", "", 5, 21),
+		obsAt(3, "t-2", "annex", "", 10, 19),
+		obsAt(4, "ap-1", "dbh/1", "bob", 15, 1),
+	}
+	te := &testEnv{obs: obs, floors: map[string]int{"bob": 5}}
+	res := mustRun(t, te, reqr(), "SELECT sensor_id, COUNT(*) AS n FROM observations GROUP BY sensor_id ORDER BY sensor_id")
+	if len(res.Rows) != 2 || res.Rows[0][0].Str != "t-1" || res.Rows[0][1].Num != 2 || res.Rows[1][0].Str != "t-2" {
+		t.Fatalf("rows = %v, want the two environmental groups", res.Rows)
+	}
+	if res.Stats.SuppressedGroups != 1 {
+		t.Errorf("SuppressedGroups = %d, want 1 (bob's group)", res.Stats.SuppressedGroups)
+	}
+
+	// A global aggregate that includes bob's row is suppressed at his
+	// floor...
+	te = &testEnv{obs: obs, floors: map[string]int{"bob": 5}}
+	res = mustRun(t, te, reqr(), "SELECT COUNT(*) AS n FROM observations")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %v, want global aggregate over bob's data suppressed at k=5", res.Rows)
+	}
+
+	// ...but when a residual predicate discards his row, it no longer
+	// contributes, so his floor cannot suppress the purely
+	// environmental remainder.
+	te = &testEnv{obs: obs, floors: map[string]int{"bob": 5}}
+	res = mustRun(t, te, reqr(), "SELECT COUNT(*) AS n FROM observations WHERE value > 10")
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 3 {
+		t.Fatalf("rows = %v, want one row counting the 3 environmental observations", res.Rows)
+	}
+	if res.Stats.EffectiveK != 1 {
+		t.Errorf("EffectiveK = %d, want 1 (discarded rows must not raise the floor)", res.Stats.EffectiveK)
+	}
+}
+
+func TestSeqFloorBoundStaysResidual(t *testing.T) {
+	// AfterSeq == 0 means "no cursor" to the store, so seq >= 1 and
+	// seq > 0 cannot be pushed; they must remain residual and still
+	// exclude a seq-0 row.
+	obs := append([]sensor.Observation{obsAt(0, "ap-0", "annex", "", -5, 0)}, defaultObs()...)
+	for _, sql := range []string{
+		"SELECT seq FROM observations WHERE seq >= 1",
+		"SELECT seq FROM observations WHERE seq > 0",
+	} {
+		te := &testEnv{obs: obs}
+		res := mustRun(t, te, reqr(), sql)
+		if len(te.filters) != 1 || te.filters[0].AfterSeq != 0 {
+			t.Errorf("%q: filters = %+v, want no pushed cursor", sql, te.filters)
+		}
+		if len(res.Rows) != 6 {
+			t.Errorf("%q: rows = %d, want 6 (seq-0 row excluded by residual)", sql, len(res.Rows))
+		}
+		for _, row := range res.Rows {
+			if row[0].Num == 0 {
+				t.Errorf("%q: seq-0 row released: %v", sql, row)
+			}
+		}
+	}
+
+	// seq >= 2 is still pushable (AfterSeq = 1).
+	te := &testEnv{obs: obs}
+	res := mustRun(t, te, reqr(), "SELECT seq FROM observations WHERE seq >= 2")
+	if len(te.filters) != 1 || te.filters[0].AfterSeq != 1 {
+		t.Errorf("filters = %+v, want AfterSeq = 1", te.filters)
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("rows = %d, want 5", len(res.Rows))
+	}
+}
+
 func TestValueRenderAndJSON(t *testing.T) {
 	if got := numberValue(3).Render(); got != "3" {
 		t.Errorf("Render(3) = %q", got)
