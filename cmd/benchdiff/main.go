@@ -1,18 +1,26 @@
 // Command benchdiff turns `go test -bench` output into a committed
 // JSON baseline and gates CI on regressions against it.
 //
-//	benchdiff parse bench.txt > BENCH_pr4.json
-//	benchdiff compare -tolerance 15 baseline.json new.json
+//	benchdiff parse bench.txt > BENCH_pr8.json
+//	benchdiff compare -tolerance 15 baseline.json [more.json ...] new.json
 //
 // parse reads the standard benchmark output format and emits one JSON
 // entry per benchmark with every ns/op sample (run bench with
 // -count=N so compare has medians to work with), plus B/op and
 // allocs/op when -benchmem was on.
 //
-// compare exits nonzero when any benchmark's median ns/op or
-// allocs/op exceeds the baseline median by more than the tolerance
-// percentage, or when a baseline benchmark is missing from the new
-// run. Benchmark names are normalized by stripping the trailing
+// compare takes one or more baseline files followed by the fresh run.
+// Baselines are merged with later files superseding earlier ones on
+// name collisions, so a newer baseline (BENCH_pr8.json) refreshes the
+// medians of an older one (BENCH_pr4.json) without rewriting it. The
+// first file is the required gate set: a benchmark listed there but
+// missing from the fresh run fails the gate, while benchmarks only in
+// later baselines are supplemental — skipped with a note when the run
+// didn't include them (full-scale datasets recorded locally that quick
+// CI runs shrink past). compare exits nonzero when any benchmark's
+// median ns/op or allocs/op exceeds the (merged) baseline median by
+// more than the tolerance percentage, or when a required benchmark is
+// missing. Benchmark names are normalized by stripping the trailing
 // GOMAXPROCS suffix (`BenchmarkX-8` → `BenchmarkX`) so baselines
 // recorded on one machine compare cleanly on another; wall-clock
 // medians still vary across hardware, which is why CI compares runs
@@ -125,9 +133,31 @@ func load(path string) (*File, error) {
 	return &f, nil
 }
 
+// mergeBaselines unions the given baselines, later files superseding
+// earlier ones on name collisions, and returns the merged file plus
+// the required set — the names of the first (primary) baseline, whose
+// absence from a fresh run fails the gate.
+func mergeBaselines(files []*File) (*File, map[string]bool) {
+	merged := &File{Benchmarks: map[string]*Result{}}
+	for _, f := range files {
+		for name, res := range f.Benchmarks {
+			merged.Benchmarks[name] = res
+		}
+	}
+	required := make(map[string]bool, len(files[0].Benchmarks))
+	for name := range files[0].Benchmarks {
+		required[name] = true
+	}
+	return merged, required
+}
+
 // compare reports pass/fail per benchmark. Only regressions fail —
 // improvements and new benchmarks are reported but never block.
-func compare(base, cur *File, tolerancePct float64, w io.Writer) (failed bool) {
+// required limits which baseline benchmarks must appear in the fresh
+// run; nil means all of them (the single-baseline behavior). A
+// benchmark outside the required set that the fresh run skipped is
+// noted but never fails the gate.
+func compare(base, cur *File, required map[string]bool, tolerancePct float64, w io.Writer) (failed bool) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -138,6 +168,10 @@ func compare(base, cur *File, tolerancePct float64, w io.Writer) (failed bool) {
 		b := base.Benchmarks[name]
 		c, ok := cur.Benchmarks[name]
 		if !ok {
+			if required != nil && !required[name] {
+				fmt.Fprintf(w, "%-70s %14s %14s %8s  skipped (supplemental baseline, not in this run)\n", name, fmtNs(median(b.NsOp)), "-", "-")
+				continue
+			}
 			fmt.Fprintf(w, "%-70s %14s %14s %8s  MISSING\n", name, fmtNs(median(b.NsOp)), "-", "-")
 			failed = true
 			continue
@@ -208,18 +242,23 @@ func main() {
 		fs := flag.NewFlagSet("compare", flag.ExitOnError)
 		tolerance := fs.Float64("tolerance", 15, "max allowed median regression, percent")
 		fs.Parse(os.Args[2:])
-		if fs.NArg() != 2 {
+		if fs.NArg() < 2 {
 			usage()
 		}
-		base, err := load(fs.Arg(0))
+		baselines := make([]*File, fs.NArg()-1)
+		for i := range baselines {
+			f, err := load(fs.Arg(i))
+			if err != nil {
+				fatal(err)
+			}
+			baselines[i] = f
+		}
+		cur, err := load(fs.Arg(fs.NArg() - 1))
 		if err != nil {
 			fatal(err)
 		}
-		cur, err := load(fs.Arg(1))
-		if err != nil {
-			fatal(err)
-		}
-		if compare(base, cur, *tolerance, os.Stdout) {
+		base, required := mergeBaselines(baselines)
+		if compare(base, cur, required, *tolerance, os.Stdout) {
 			fmt.Fprintln(os.Stderr, "benchdiff: benchmark regression over tolerance")
 			os.Exit(1)
 		}
@@ -232,7 +271,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
 usage:
   benchdiff parse [bench.txt]                      # bench output → JSON on stdout
-  benchdiff compare [-tolerance 15] base.json new.json
+  benchdiff compare [-tolerance 15] base.json [more.json ...] new.json
 `))
 	os.Exit(2)
 }

@@ -83,10 +83,61 @@ func TestCompareGates(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var sb strings.Builder
-			if got := compare(base, tc.cur, 15, &sb); got != tc.fail {
+			if got := compare(base, tc.cur, nil, 15, &sb); got != tc.fail {
 				t.Fatalf("failed = %v, want %v\n%s", got, tc.fail, sb.String())
 			}
 		})
+	}
+}
+
+func TestCompareMultipleBaselines(t *testing.T) {
+	old := &File{Benchmarks: map[string]*Result{
+		"BenchmarkA": {NsOp: []float64{100}},
+		"BenchmarkB": {NsOp: []float64{1000}},
+	}}
+	refreshed := &File{Benchmarks: map[string]*Result{
+		// Supersedes old's BenchmarkA median and adds a supplemental
+		// full-scale benchmark quick runs may skip.
+		"BenchmarkA":      {NsOp: []float64{200}},
+		"BenchmarkBig10M": {NsOp: []float64{5000}},
+	}}
+	merged, required := mergeBaselines([]*File{old, refreshed})
+	if m := median(merged.Benchmarks["BenchmarkA"].NsOp); m != 200 {
+		t.Fatalf("later baseline must supersede: BenchmarkA median = %v", m)
+	}
+	if !required["BenchmarkB"] || required["BenchmarkBig10M"] {
+		t.Fatalf("required set must be the first baseline's names: %v", required)
+	}
+
+	// A fresh run that skipped the supplemental benchmark passes…
+	cur := &File{Benchmarks: map[string]*Result{
+		"BenchmarkA": {NsOp: []float64{205}},
+		"BenchmarkB": {NsOp: []float64{1000}},
+	}}
+	var sb strings.Builder
+	if compare(merged, cur, required, 15, &sb) {
+		t.Fatalf("skipping a supplemental benchmark must not fail the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "skipped (supplemental") {
+		t.Fatalf("want a skip note for the supplemental benchmark:\n%s", sb.String())
+	}
+
+	// …but dropping a required one still fails.
+	delete(cur.Benchmarks, "BenchmarkB")
+	sb.Reset()
+	if !compare(merged, cur, required, 15, &sb) {
+		t.Fatalf("missing required benchmark must fail the gate:\n%s", sb.String())
+	}
+
+	// And a regression against the superseding median is caught.
+	cur = &File{Benchmarks: map[string]*Result{
+		"BenchmarkA":      {NsOp: []float64{300}},
+		"BenchmarkB":      {NsOp: []float64{1000}},
+		"BenchmarkBig10M": {NsOp: []float64{5100}},
+	}}
+	sb.Reset()
+	if !compare(merged, cur, required, 15, &sb) {
+		t.Fatalf("regression against a superseding baseline must fail:\n%s", sb.String())
 	}
 }
 

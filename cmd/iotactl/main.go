@@ -21,6 +21,11 @@
 //	         ["SELECT ... ;" | (interactive REPL)]
 //	iotactl trace -tippers http://localhost:8080 <trace-id>
 //	iotactl top   -tippers http://localhost:8080 [-interval 2s] [-iterations N]
+//	iotactl segments -tippers http://localhost:8080
+//
+// segments prints the columnar storage tier's state: sealed segments
+// with their zone-map summaries, compaction and prune counters, and
+// rollup-cube health.
 //
 // trace prints the recorded span tree for one end-to-end request
 // trace (IDs come from slow-request log lines, traceparent response
@@ -104,10 +109,10 @@ func main() {
 		os.Exit(2)
 	}
 	logger = telemetry.SetupLogger(telemetry.LogConfig{Component: "iotactl", Verbose: *verbose})
-	// trace, top, and query are operator commands; every other
-	// command acts for a user and requires -user. (query takes -user
-	// as an optional identity for the audit table.)
-	if *user == "" && cmd != "trace" && cmd != "top" && cmd != "query" {
+	// trace, top, segments, and query are operator commands; every
+	// other command acts for a user and requires -user. (query takes
+	// -user as an optional identity for the audit table.)
+	if *user == "" && cmd != "trace" && cmd != "top" && cmd != "query" && cmd != "segments" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -265,6 +270,35 @@ func main() {
 		if err := runQueryREPL(replCtx, client, req, os.Stdin, os.Stdout); err != nil {
 			fatal("query", "error", err)
 		}
+	case "segments":
+		client := tippersClient(*tip)
+		dto, err := client.Segments(ctx)
+		if err != nil {
+			fatal("segments", "error", err)
+		}
+		if !dto.Enabled {
+			fmt.Println("columnar tier disabled on this node")
+			break
+		}
+		st := dto.Stats
+		fmt.Printf("columnar tier: %d segment(s), %d row(s), %s, watermark seq %d, epoch %d\n",
+			st.Segments, st.Rows, fmtBytes(st.Bytes), st.Watermark, st.Epoch)
+		fmt.Printf("compactions: %d; segments read %d, pruned %d (%.0f%% pruned)\n",
+			st.Compactions, st.SegmentsRead, st.SegmentsPruned, st.PruneRatio*100)
+		rollups := fmt.Sprintf("%d entries (version %d)", st.RollupEntries, st.RollupVersion)
+		if st.RollupDisabled {
+			rollups = "disabled"
+		}
+		fmt.Printf("rollups: %s; tombstones: %d seq, %d user\n", rollups, st.SeqTombstones, st.UserTombstones)
+		if len(dto.Segments) > 0 {
+			fmt.Printf("%-6s %-20s %8s %10s %14s %-8s %-8s %-8s\n",
+				"id", "bucket", "rows", "bytes", "seqs", "sensors", "spaces", "users")
+			for _, sg := range dto.Segments {
+				fmt.Printf("%-6d %-20s %8d %10s %6d-%-7d %-8d %-8d %-8d\n",
+					sg.ID, sg.Bucket.UTC().Format("2006-01-02T15:04Z"), sg.Rows, fmtBytes(sg.Bytes),
+					sg.MinSeq, sg.MaxSeq, sg.Sensors, sg.Spaces, sg.Users)
+			}
+		}
 	case "trace":
 		id := flag.CommandLine.Arg(0)
 		if id == "" {
@@ -292,6 +326,19 @@ func main() {
 		}
 	default:
 		fatal("unknown command", "command", cmd)
+	}
+}
+
+// fmtBytes renders a byte count human-readably (KiB/MiB granularity
+// is plenty for segment sizes).
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	tippersd [-addr :8080] [-irr-addr :8081] [-population 200]
 //	         [-small] [-paper-policies] [-simulate-days 1] [-seed 1]
 //	         [-wal-dir DIR] [-wal-sync 10ms|always|none]
+//	         [-colstore-dir DIR] [-colstore-compact-interval 1m] [-no-colstore]
 //	         [-stream-buffer 256] [-stream-policy drop-oldest|block|disconnect]
 //	         [-trace-sample 128] [-trace-slow 250ms]
 //	         [-pprof] [-v] [-log-format text|json]
@@ -47,6 +48,9 @@ func main() {
 		snapshot      = flag.String("snapshot", "", "observation snapshot file: restored at boot, written on shutdown")
 		walDir        = flag.String("wal-dir", "", "durable store directory (write-ahead log + checkpoints); excludes -snapshot")
 		walSync       = flag.String("wal-sync", "10ms", "WAL commit policy: a group-commit interval, \"always\", or \"none\"")
+		colDir        = flag.String("colstore-dir", "", "columnar tier segment directory (empty keeps sealed segments in memory)")
+		compactIvl    = flag.Duration("colstore-compact-interval", time.Minute, "background compaction interval (0 disables the compactor)")
+		noColstore    = flag.Bool("no-colstore", false, "disable the columnar storage tier and rollups entirely")
 		pprofFlag     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the API address")
 		streamBuffer  = flag.Int("stream-buffer", 256, "default per-subscription live-stream ring capacity")
 		streamPolicy  = flag.String("stream-policy", "drop-oldest", "default live-stream backpressure policy: drop-oldest, block, or disconnect")
@@ -132,6 +136,9 @@ func main() {
 		StreamPolicy:          bp,
 		Tracer:                tracer,
 		TraceSlow:             *traceSlow,
+		ColumnarDir:           *colDir,
+		CompactInterval:       *compactIvl,
+		DisableColumnar:       *noColstore,
 	})
 	if err != nil {
 		if store != nil {

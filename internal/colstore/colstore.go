@@ -1,0 +1,815 @@
+// Package colstore is the columnar time-partitioned storage tier: a
+// second physical representation of the observation log, built for
+// the aggregate-heavy transparency workloads the paper's occupant
+// interfaces generate. Closed time buckets are compacted out of the
+// row-oriented sharded store into immutable column-per-field segments
+// (segment.go) guarded by zone maps, and incremental rollup cubes
+// (rollup.go) keep per-minute occupancy and per-hour reading
+// aggregates hot. Both representations store ground truth keyed by
+// the true subject — enforcement (release granularity, k-floors,
+// noise) is re-applied per requester at read time, exactly as on the
+// row path, never baked into what is stored.
+//
+// The handoff between the write-ahead log and the segment files is a
+// sequence watermark: CompactOnce takes the store's rows with seq >
+// watermark (they arrive seq-ascending), cuts the prefix whose time
+// buckets have closed, writes one segment per bucket, and commits the
+// new watermark in a crash-safe manifest (manifest.go). Readers then
+// split exactly: segments serve seq <= watermark, the row store
+// serves seq > watermark — no overlap, no gap, at every instant
+// including across a SIGKILL anywhere inside compaction.
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/telemetry"
+)
+
+// Config sizes and places the columnar tier.
+type Config struct {
+	// Dir holds segment files and the manifest; empty runs the tier
+	// fully in memory (segments still immutable, nothing durable).
+	Dir string
+	// BucketDur is the time-partition width; one closed bucket becomes
+	// one segment per compaction. Default one minute.
+	BucketDur time.Duration
+	// Clock decides when a bucket has closed; nil means time.Now.
+	Clock func() time.Time
+	// RollupMaxEntries caps the rollup cubes; past it the cubes shut
+	// down and readers fall back to scans. Default 1<<20.
+	RollupMaxEntries int
+	// DisableRollups turns the cubes off entirely (benchmarking the
+	// pure segment path).
+	DisableRollups bool
+}
+
+// Store is the columnar tier: immutable segments plus rollup cubes,
+// layered over (and fed by) the row-oriented obstore.
+type Store struct {
+	cfg Config
+
+	mu   sync.RWMutex
+	segs []*segment // ascending minSeq
+	// wm is the compaction watermark: every observation with seq <= wm
+	// lives in segments; everything above is the row store's tail.
+	wm     uint64
+	nextID uint64
+	// seqTomb / userTomb are erasure tombstones: rows already sealed
+	// into segments that retention or GDPR erasure has since deleted.
+	// Reads filter them immediately; the next compaction rewrites the
+	// affected segments so the bytes leave disk too.
+	seqTomb  map[uint64]struct{}
+	userTomb map[string]struct{}
+	// compactingUpTo widens the tombstone-recording window while a
+	// compaction is in flight, so a deletion racing the compactor's
+	// store scan still lands as a tombstone instead of leaking into a
+	// fresh segment.
+	compactingUpTo uint64
+
+	// ioMu serializes durable state transitions (segment files +
+	// manifest): compactions and tombstone persists never interleave.
+	ioMu sync.Mutex
+
+	src  *obstore.Store
+	roll *rollups
+
+	// epoch counts policy/preference invalidations; any cached answer
+	// derived through enforcement must be keyed on it.
+	epoch atomic.Uint64
+
+	segScanned     atomic.Uint64
+	segPruned      atomic.Uint64
+	compactions    atomic.Uint64
+	rowsCompacted  atomic.Uint64
+	bytesWritten   atomic.Uint64
+	lastBucketEnd  atomic.Int64 // unix nanos; end of newest compacted bucket
+	manifestWrites atomic.Uint64
+}
+
+// testHookMidCompact, when non-nil, runs after a compaction's segment
+// files are durably written but before the manifest commit — the
+// widest crash window. The SIGKILL crash test parks the process here.
+var testHookMidCompact func()
+
+// Open loads (or initializes) a columnar store. With a directory it
+// replays the manifest, drops orphan segment files a crash left
+// behind, and decodes every live segment.
+func Open(cfg Config) (*Store, error) {
+	if cfg.BucketDur <= 0 {
+		cfg.BucketDur = time.Minute
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.RollupMaxEntries <= 0 {
+		cfg.RollupMaxEntries = 1 << 20
+	}
+	s := &Store{
+		cfg:      cfg,
+		seqTomb:  make(map[uint64]struct{}),
+		userTomb: make(map[string]struct{}),
+	}
+	s.roll = newRollups(s, cfg.RollupMaxEntries, cfg.DisableRollups)
+	if cfg.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	st, err := readManifest(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	live := map[string]bool{manifestName: true}
+	for _, ms := range st.Segments {
+		live[ms.File] = true
+	}
+	if err := sweepOrphans(cfg.Dir, live); err != nil {
+		return nil, err
+	}
+	for _, ms := range st.Segments {
+		data, err := os.ReadFile(filepath.Join(cfg.Dir, ms.File))
+		if err != nil {
+			return nil, fmt.Errorf("colstore: segment %s: %w", ms.File, err)
+		}
+		sg, err := decodeSegment(ms.ID, data)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: segment %s: %w", ms.File, err)
+		}
+		s.segs = append(s.segs, sg)
+	}
+	sort.Slice(s.segs, func(i, j int) bool { return s.segs[i].minSeq < s.segs[j].minSeq })
+	s.wm = st.Watermark
+	s.nextID = st.NextID
+	for _, seq := range st.SeqTombstones {
+		s.seqTomb[seq] = struct{}{}
+	}
+	for _, u := range st.UserTombstones {
+		s.userTomb[u] = struct{}{}
+	}
+	if n := len(s.segs); n > 0 {
+		last := s.segs[n-1]
+		s.lastBucketEnd.Store(last.bucket.Add(cfg.BucketDur).UnixNano())
+	}
+	return s, nil
+}
+
+// AttachStore binds the columnar tier to its ground-truth row store:
+// it becomes the store's listener (rollups follow every append and
+// deletion synchronously) and rebuilds the rollup cubes from the
+// current unified contents.
+func (s *Store) AttachStore(src *obstore.Store) {
+	s.mu.Lock()
+	s.src = src
+	s.mu.Unlock()
+	src.SetListener(s)
+	s.roll.rebuildAll()
+}
+
+// Watermark returns the compaction watermark: the highest seq served
+// from segments.
+func (s *Store) Watermark() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wm
+}
+
+// Epoch returns the enforcement-invalidation epoch. Cached answers
+// derived through policy decisions must revalidate when it moves.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// Invalidate bumps the enforcement epoch. The stream hub calls it
+// whenever a policy or preference changes.
+func (s *Store) Invalidate() { s.epoch.Add(1) }
+
+// RollupVersion returns the rollup cubes' mutation counter.
+func (s *Store) RollupVersion() uint64 { return s.roll.version.Load() }
+
+// ObservationAppended implements obstore.Listener: every append feeds
+// the rollup cubes in the ingest path itself, so cubes never lag the
+// ground truth.
+func (s *Store) ObservationAppended(o sensor.Observation) { s.roll.observe(o) }
+
+// ObservationsDeleted implements obstore.Listener. Rows the store
+// deleted that are already sealed into segments become tombstones —
+// persisted to the manifest immediately so erasure survives a crash —
+// and the affected rollup buckets are marked dirty for rebuild.
+func (s *Store) ObservationsDeleted(dels []obstore.Deletion) {
+	s.mu.Lock()
+	limit := s.wm
+	if s.compactingUpTo > limit {
+		limit = s.compactingUpTo
+	}
+	changed := false
+	for _, d := range dels {
+		if d.Seq <= limit {
+			if _, ok := s.seqTomb[d.Seq]; !ok {
+				s.seqTomb[d.Seq] = struct{}{}
+				changed = true
+			}
+		}
+		if d.Erased && d.UserID != "" {
+			if _, ok := s.userTomb[d.UserID]; !ok {
+				s.userTomb[d.UserID] = struct{}{}
+				changed = true
+			}
+		}
+	}
+	durable := changed && s.cfg.Dir != ""
+	s.mu.Unlock()
+	if durable {
+		s.ioMu.Lock()
+		s.persistManifestLocked()
+		s.ioMu.Unlock()
+	}
+	s.roll.deleted(dels)
+}
+
+// persistManifestLocked snapshots in-memory state into the manifest.
+// Caller holds ioMu.
+func (s *Store) persistManifestLocked() error {
+	s.mu.RLock()
+	st := s.manifestSnapshotLocked()
+	s.mu.RUnlock()
+	if err := writeManifest(s.cfg.Dir, st); err != nil {
+		return err
+	}
+	s.manifestWrites.Add(1)
+	return nil
+}
+
+// manifestSnapshotLocked builds the manifest view of current state.
+// Caller holds s.mu (read or write).
+func (s *Store) manifestSnapshotLocked() manifestState {
+	st := manifestState{Watermark: s.wm, NextID: s.nextID}
+	for _, sg := range s.segs {
+		st.Segments = append(st.Segments, manifestSegment{
+			ID: sg.id, File: segFileName(sg.id), Bucket: sg.bucket.UnixNano(),
+			Rows: sg.rows(), MinSeq: sg.minSeq, MaxSeq: sg.maxSeq,
+			MinTime: sg.minTime, MaxTime: sg.maxTime, Bytes: sg.bytes,
+		})
+	}
+	for seq := range s.seqTomb {
+		st.SeqTombstones = append(st.SeqTombstones, seq)
+	}
+	sort.Slice(st.SeqTombstones, func(i, j int) bool { return st.SeqTombstones[i] < st.SeqTombstones[j] })
+	for u := range s.userTomb {
+		st.UserTombstones = append(st.UserTombstones, u)
+	}
+	sort.Strings(st.UserTombstones)
+	return st
+}
+
+// CompactOnce runs one compaction pass: seal every closed time bucket
+// above the watermark into segments, rewrite any segment an erasure
+// tombstone touches, and commit the whole transition through the
+// manifest. Returns the number of newly sealed rows.
+func (s *Store) CompactOnce() (int, error) {
+	s.mu.RLock()
+	src := s.src
+	s.mu.RUnlock()
+	if src == nil {
+		return 0, nil
+	}
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+
+	now := s.cfg.Clock()
+	s.mu.RLock()
+	wm := s.wm
+	nextID := s.nextID
+	oldSegs := append([]*segment(nil), s.segs...)
+	seqTombSnap := make(map[uint64]struct{}, len(s.seqTomb))
+	for seq := range s.seqTomb {
+		seqTombSnap[seq] = struct{}{}
+	}
+	userTombSnap := make(map[string]struct{}, len(s.userTomb))
+	for u := range s.userTomb {
+		userTombSnap[u] = struct{}{}
+	}
+	s.mu.RUnlock()
+
+	// Take the seq-ascending tail and cut at the first row whose
+	// bucket is still open: the watermark must advance as a contiguous
+	// seq prefix, so a row in an open bucket fences everything behind
+	// it until the bucket closes.
+	rows := src.Query(obstore.Filter{AfterSeq: wm})
+	cut := len(rows)
+	for i, o := range rows {
+		if o.Time.Truncate(s.cfg.BucketDur).Add(s.cfg.BucketDur).After(now) {
+			cut = i
+			break
+		}
+	}
+	rows = rows[:cut]
+
+	// Everything about to be sealed must be durable in the WAL before
+	// a segment can hold it: the sync runs after the snapshot above,
+	// so it covers every snapshotted row, and a crash after this point
+	// can never leave a segment knowing rows WAL recovery does not.
+	if len(rows) > 0 {
+		if err := src.SyncWAL(); err != nil {
+			return 0, err
+		}
+	}
+
+	tombWork := tombstonesTouch(oldSegs, seqTombSnap, userTombSnap)
+	if len(rows) == 0 && !tombWork {
+		return 0, nil
+	}
+
+	newWM := wm
+	if len(rows) > 0 {
+		newWM = rows[len(rows)-1].Seq
+		// Deletions racing this compaction must still become
+		// tombstones: widen the recording window before building
+		// segments from the snapshot.
+		s.mu.Lock()
+		s.compactingUpTo = newWM
+		s.mu.Unlock()
+	}
+
+	// Partition the sealed prefix by time bucket, preserving seq order
+	// within each bucket, and build fresh segments.
+	var fresh []*segment
+	byBucket := make(map[int64][]sensor.Observation)
+	var starts []int64
+	for _, o := range rows {
+		b := o.Time.Truncate(s.cfg.BucketDur).UnixNano()
+		if _, ok := byBucket[b]; !ok {
+			starts = append(starts, b)
+		}
+		byBucket[b] = append(byBucket[b], o)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, b := range starts {
+		sg, err := buildSegment(nextID, time.Unix(0, b).UTC(), byBucket[b])
+		if err != nil {
+			s.clearCompacting()
+			return 0, err
+		}
+		nextID++
+		fresh = append(fresh, sg)
+	}
+
+	// Rewrite segments the tombstones touch: drop condemned rows and
+	// re-encode, so the erased bytes (rows and dictionary entries)
+	// leave disk, not just the index.
+	var keep, rewritten []*segment
+	var dropped []*segment
+	for _, sg := range oldSegs {
+		if !segmentTouched(sg, seqTombSnap, userTombSnap) {
+			keep = append(keep, sg)
+			continue
+		}
+		var surviving []sensor.Observation
+		for i := 0; i < sg.rows(); i++ {
+			if _, dead := seqTombSnap[sg.seqs[i]]; dead {
+				continue
+			}
+			if _, dead := userTombSnap[sg.users.at(i)]; dead {
+				continue
+			}
+			surviving = append(surviving, sg.row(i))
+		}
+		dropped = append(dropped, sg)
+		if len(surviving) == 0 {
+			continue
+		}
+		nsg, err := buildSegment(nextID, sg.bucket, surviving)
+		if err != nil {
+			s.clearCompacting()
+			return 0, err
+		}
+		nextID++
+		rewritten = append(rewritten, nsg)
+	}
+
+	newSegs := make([]*segment, 0, len(keep)+len(rewritten)+len(fresh))
+	newSegs = append(newSegs, keep...)
+	newSegs = append(newSegs, rewritten...)
+	newSegs = append(newSegs, fresh...)
+	sort.Slice(newSegs, func(i, j int) bool { return newSegs[i].minSeq < newSegs[j].minSeq })
+
+	// Durable phase: segment files first, manifest second. The
+	// manifest rename is the commit point.
+	if s.cfg.Dir != "" {
+		for _, sg := range append(append([]*segment(nil), rewritten...), fresh...) {
+			data := sg.encode()
+			sg.bytes = int64(len(data))
+			if err := writeSegmentFile(s.cfg.Dir, segFileName(sg.id), data); err != nil {
+				s.clearCompacting()
+				return 0, err
+			}
+			s.bytesWritten.Add(uint64(len(data)))
+		}
+		if testHookMidCompact != nil {
+			testHookMidCompact()
+		}
+	} else {
+		for _, sg := range append(append([]*segment(nil), rewritten...), fresh...) {
+			sg.bytes = int64(len(sg.encode()))
+		}
+	}
+
+	// Commit in memory: swap the segment set, advance the watermark,
+	// and retire the tombstones this pass applied (a tombstone <= the
+	// new watermark either got rewritten out or named a row that was
+	// deleted before it was ever sealed).
+	s.mu.Lock()
+	s.segs = newSegs
+	s.wm = newWM
+	s.nextID = nextID
+	for seq := range seqTombSnap {
+		if seq <= newWM {
+			delete(s.seqTomb, seq)
+		}
+	}
+	for u := range userTombSnap {
+		delete(s.userTomb, u)
+	}
+	s.compactingUpTo = 0
+	st := s.manifestSnapshotLocked()
+	s.mu.Unlock()
+
+	if s.cfg.Dir != "" {
+		if err := writeManifest(s.cfg.Dir, st); err != nil {
+			return 0, err
+		}
+		s.manifestWrites.Add(1)
+		for _, sg := range dropped {
+			os.Remove(filepath.Join(s.cfg.Dir, segFileName(sg.id)))
+		}
+	}
+
+	s.compactions.Add(1)
+	s.rowsCompacted.Add(uint64(len(rows)))
+	if len(starts) > 0 {
+		end := time.Unix(0, starts[len(starts)-1]).Add(s.cfg.BucketDur)
+		s.lastBucketEnd.Store(end.UnixNano())
+	}
+	return len(rows), nil
+}
+
+func (s *Store) clearCompacting() {
+	s.mu.Lock()
+	s.compactingUpTo = 0
+	s.mu.Unlock()
+}
+
+func tombstonesTouch(segs []*segment, seqTomb map[uint64]struct{}, userTomb map[string]struct{}) bool {
+	for _, sg := range segs {
+		if segmentTouched(sg, seqTomb, userTomb) {
+			return true
+		}
+	}
+	return false
+}
+
+func segmentTouched(sg *segment, seqTomb map[uint64]struct{}, userTomb map[string]struct{}) bool {
+	for u := range userTomb {
+		if sg.users.has(u) {
+			return true
+		}
+	}
+	for seq := range seqTomb {
+		if seq >= sg.minSeq && seq <= sg.maxSeq {
+			return true
+		}
+	}
+	return false
+}
+
+// Query is the unified read path: zone-map-pruned segments serve seq
+// <= watermark, the row store serves the tail above it. The result is
+// row-for-row identical to querying the row store alone (tombstoned
+// rows are gone from both views), in ascending seq order.
+func (s *Store) Query(f obstore.Filter) []sensor.Observation {
+	s.mu.RLock()
+	src := s.src
+	wm := s.wm
+	segRows := s.collectSegmentsLocked(f, f.Limit)
+	s.mu.RUnlock()
+	if src == nil {
+		return segRows
+	}
+	tf := f
+	if wm > tf.AfterSeq {
+		tf.AfterSeq = wm
+	}
+	if tf.Limit > 0 {
+		tf.Limit -= len(segRows)
+		if tf.Limit <= 0 {
+			return segRows
+		}
+	}
+	tail := src.Query(tf)
+	if len(segRows) == 0 {
+		return tail
+	}
+	return append(segRows, tail...)
+}
+
+// Count mirrors Query without materializing rows.
+func (s *Store) Count(f obstore.Filter) int {
+	s.mu.RLock()
+	src := s.src
+	wm := s.wm
+	n := s.countSegmentsLocked(f)
+	s.mu.RUnlock()
+	if src == nil {
+		return n
+	}
+	tf := f
+	if wm > tf.AfterSeq {
+		tf.AfterSeq = wm
+	}
+	return n + src.Count(tf)
+}
+
+// collectSegmentsLocked gathers matching segment rows in ascending
+// seq order, at most limit (0 = no cap). Caller holds s.mu.
+func (s *Store) collectSegmentsLocked(f obstore.Filter, limit int) []sensor.Observation {
+	if len(s.segs) == 0 || f.AfterSeq >= s.wm {
+		return nil
+	}
+	spaceSet := spaceSetFor(f)
+	var pages [][]sensor.Observation
+	for _, sg := range s.segs {
+		if sg.disjoint(f, spaceSet) {
+			s.segPruned.Add(1)
+			continue
+		}
+		s.segScanned.Add(1)
+		var page []sensor.Observation
+		for i := 0; i < sg.rows(); i++ {
+			if sg.seqs[i] <= f.AfterSeq {
+				continue
+			}
+			if _, dead := s.seqTomb[sg.seqs[i]]; dead {
+				continue
+			}
+			if len(s.userTomb) > 0 {
+				if _, dead := s.userTomb[sg.users.at(i)]; dead {
+					continue
+				}
+			}
+			o := sg.row(i)
+			if !rowMatches(o, f, spaceSet) {
+				continue
+			}
+			page = append(page, o)
+		}
+		if len(page) > 0 {
+			pages = append(pages, page)
+		}
+	}
+	return mergeSegPages(pages, limit)
+}
+
+func (s *Store) countSegmentsLocked(f obstore.Filter) int {
+	if len(s.segs) == 0 || f.AfterSeq >= s.wm {
+		return 0
+	}
+	spaceSet := spaceSetFor(f)
+	n := 0
+	for _, sg := range s.segs {
+		if sg.disjoint(f, spaceSet) {
+			s.segPruned.Add(1)
+			continue
+		}
+		s.segScanned.Add(1)
+		for i := 0; i < sg.rows(); i++ {
+			if sg.seqs[i] <= f.AfterSeq {
+				continue
+			}
+			if _, dead := s.seqTomb[sg.seqs[i]]; dead {
+				continue
+			}
+			if len(s.userTomb) > 0 {
+				if _, dead := s.userTomb[sg.users.at(i)]; dead {
+					continue
+				}
+			}
+			if rowMatches(sg.row(i), f, spaceSet) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func spaceSetFor(f obstore.Filter) map[string]bool {
+	if len(f.SpaceIDs) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(f.SpaceIDs))
+	for _, id := range f.SpaceIDs {
+		set[id] = true
+	}
+	return set
+}
+
+// mergeSegPages k-way-merges per-segment pages (each ascending in
+// seq). Segments from one compaction pass can interleave in seq —
+// bucket assignment follows observation time, not arrival — so a
+// plain concatenation is not ordered.
+func mergeSegPages(pages [][]sensor.Observation, limit int) []sensor.Observation {
+	if len(pages) == 0 {
+		return nil
+	}
+	if len(pages) == 1 {
+		if limit > 0 && len(pages[0]) > limit {
+			return pages[0][:limit]
+		}
+		return pages[0]
+	}
+	total := 0
+	for _, p := range pages {
+		total += len(p)
+	}
+	capHint := total
+	if limit > 0 && limit < capHint {
+		capHint = limit
+	}
+	out := make([]sensor.Observation, 0, capHint)
+	heads := make([]int, len(pages))
+	for {
+		best := -1
+		var bestSeq uint64
+		for i, p := range pages {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if sq := p[heads[i]].Seq; best < 0 || sq < bestSeq {
+				best, bestSeq = i, sq
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, pages[best][heads[best]])
+		heads[best]++
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+	}
+}
+
+// SegmentInfo is one segment's inspection view (iotactl segments,
+// GET /v1/segments).
+type SegmentInfo struct {
+	ID      uint64    `json:"id"`
+	Bucket  time.Time `json:"bucket"`
+	Rows    int       `json:"rows"`
+	Bytes   int64     `json:"bytes"`
+	MinSeq  uint64    `json:"min_seq"`
+	MaxSeq  uint64    `json:"max_seq"`
+	MinTime time.Time `json:"min_time"`
+	MaxTime time.Time `json:"max_time"`
+	Sensors int       `json:"sensors"`
+	Spaces  int       `json:"spaces"`
+	Users   int       `json:"users"`
+}
+
+// TierStats summarizes the columnar tier for inspection endpoints.
+type TierStats struct {
+	Segments       int     `json:"segments"`
+	Rows           int     `json:"rows"`
+	Bytes          int64   `json:"bytes"`
+	Watermark      uint64  `json:"watermark"`
+	Compactions    uint64  `json:"compactions"`
+	SegmentsPruned uint64  `json:"segments_pruned"`
+	SegmentsRead   uint64  `json:"segments_read"`
+	PruneRatio     float64 `json:"prune_ratio"`
+	SeqTombstones  int     `json:"seq_tombstones"`
+	UserTombstones int     `json:"user_tombstones"`
+	RollupEntries  int     `json:"rollup_entries"`
+	RollupVersion  uint64  `json:"rollup_version"`
+	RollupDisabled bool    `json:"rollup_disabled"`
+	Epoch          uint64  `json:"epoch"`
+	RollupLagSec   float64 `json:"rollup_lag_seconds"`
+}
+
+// Segments lists live segments, ascending by bucket then id.
+func (s *Store) Segments() []SegmentInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SegmentInfo, 0, len(s.segs))
+	for _, sg := range s.segs {
+		out = append(out, SegmentInfo{
+			ID: sg.id, Bucket: sg.bucket, Rows: sg.rows(), Bytes: sg.bytes,
+			MinSeq: sg.minSeq, MaxSeq: sg.maxSeq,
+			MinTime: time.Unix(0, sg.minTime).UTC(), MaxTime: time.Unix(0, sg.maxTime).UTC(),
+			Sensors: len(sg.sensors.dict), Spaces: len(sg.spaces.dict), Users: len(sg.users.dict),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Bucket.Equal(out[j].Bucket) {
+			return out[i].Bucket.Before(out[j].Bucket)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Stats snapshots the tier's counters.
+func (s *Store) Stats() TierStats {
+	s.mu.RLock()
+	ts := TierStats{
+		Segments:       len(s.segs),
+		Watermark:      s.wm,
+		SeqTombstones:  len(s.seqTomb),
+		UserTombstones: len(s.userTomb),
+	}
+	for _, sg := range s.segs {
+		ts.Rows += sg.rows()
+		ts.Bytes += sg.bytes
+	}
+	s.mu.RUnlock()
+	ts.Compactions = s.compactions.Load()
+	ts.SegmentsPruned = s.segPruned.Load()
+	ts.SegmentsRead = s.segScanned.Load()
+	if total := ts.SegmentsPruned + ts.SegmentsRead; total > 0 {
+		ts.PruneRatio = float64(ts.SegmentsPruned) / float64(total)
+	}
+	ts.RollupEntries = s.roll.entryCount()
+	ts.RollupVersion = s.roll.version.Load()
+	ts.RollupDisabled = s.roll.isDisabled()
+	ts.Epoch = s.epoch.Load()
+	if end := s.lastBucketEnd.Load(); end > 0 {
+		if lag := s.cfg.Clock().Sub(time.Unix(0, end)); lag > 0 {
+			ts.RollupLagSec = lag.Seconds()
+		}
+	}
+	return ts
+}
+
+// RegisterMetrics exposes the tier on the telemetry registry.
+func (s *Store) RegisterMetrics(r *telemetry.Registry) {
+	r.GaugeFunc("tippers_colstore_segments",
+		"Live columnar segments.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.segs))
+		})
+	r.GaugeFunc("tippers_colstore_bytes",
+		"Encoded bytes across live segments.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			var b int64
+			for _, sg := range s.segs {
+				b += sg.bytes
+			}
+			return float64(b)
+		})
+	r.GaugeFunc("tippers_colstore_watermark",
+		"Compaction watermark: highest seq served from segments.", func() float64 {
+			return float64(s.Watermark())
+		})
+	r.CounterFunc("tippers_colstore_compactions_total",
+		"Completed compaction passes.", func() float64 {
+			return float64(s.compactions.Load())
+		})
+	r.CounterFunc("tippers_colstore_rows_compacted_total",
+		"Rows sealed into segments.", func() float64 {
+			return float64(s.rowsCompacted.Load())
+		})
+	r.CounterFunc("tippers_colstore_segments_pruned_total",
+		"Segments skipped wholesale by zone maps.", func() float64 {
+			return float64(s.segPruned.Load())
+		})
+	r.CounterFunc("tippers_colstore_segments_read_total",
+		"Segments actually scanned.", func() float64 {
+			return float64(s.segScanned.Load())
+		})
+	r.GaugeFunc("tippers_colstore_rollup_entries",
+		"Entries across the rollup cubes.", func() float64 {
+			return float64(s.roll.entryCount())
+		})
+	r.GaugeFunc("tippers_colstore_rollup_lag_seconds",
+		"Age of the newest compacted bucket (segment lag behind now).", func() float64 {
+			end := s.lastBucketEnd.Load()
+			if end == 0 {
+				return 0
+			}
+			lag := s.cfg.Clock().Sub(time.Unix(0, end)).Seconds()
+			if lag < 0 {
+				return 0
+			}
+			return lag
+		})
+	r.GaugeFunc("tippers_colstore_epoch",
+		"Enforcement invalidation epoch.", func() float64 {
+			return float64(s.epoch.Load())
+		})
+}

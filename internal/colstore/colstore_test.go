@@ -1,0 +1,371 @@
+package colstore
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/isodur"
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+// csNow is the tests' fixed "wall clock": everything timestamped
+// before it lives in a closed bucket.
+var csNow = time.Date(2026, 3, 14, 12, 0, 0, 0, time.UTC)
+
+func obsAt(sensorID, space, user string, kind sensor.ObservationKind, at time.Time, value float64) sensor.Observation {
+	return sensor.Observation{
+		SensorID: sensorID, Kind: kind, Time: at, SpaceID: space,
+		UserID: user, Value: value,
+	}
+}
+
+// newPair wires an in-memory row store to a columnar tier with a
+// fixed clock.
+func newPair(t *testing.T, dir string) (*obstore.Store, *Store) {
+	t.Helper()
+	src := obstore.New()
+	cs, err := Open(Config{Dir: dir, BucketDur: time.Minute, Clock: func() time.Time { return csNow }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.AttachStore(src)
+	return src, cs
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	base := csNow.Add(-10 * time.Minute)
+	var rows []sensor.Observation
+	for i := 0; i < 200; i++ {
+		o := obsAt(fmt.Sprintf("ap-%d", i%3), fmt.Sprintf("s%d", i%4), fmt.Sprintf("u%d", i%5),
+			sensor.ObsWiFiConnect, base.Add(time.Duration(i)*100*time.Millisecond), float64(i)*1.5)
+		o.Seq = uint64(i + 1)
+		if i%7 == 0 {
+			o.Kind = sensor.ObsPowerReading
+			o.UserID = ""
+			o.DeviceMAC = "aa:bb:cc"
+			o.Payload = map[string]string{"unit": "W", "phase": "1"}
+		}
+		rows = append(rows, o)
+	}
+	sg, err := buildSegment(1, base.Truncate(time.Minute), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decodeSegment(1, sg.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.rows() != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", dec.rows(), len(rows))
+	}
+	for i, want := range rows {
+		want.Time = want.Time.UTC()
+		if got := dec.row(i); !reflect.DeepEqual(got, want) {
+			t.Fatalf("row %d round-trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if dec.minSeq != 1 || dec.maxSeq != 200 {
+		t.Fatalf("zone map seq range [%d,%d], want [1,200]", dec.minSeq, dec.maxSeq)
+	}
+}
+
+func TestSegmentDecodeRejectsCorruption(t *testing.T) {
+	rows := []sensor.Observation{
+		{Seq: 1, SensorID: "ap-1", Kind: sensor.ObsWiFiConnect, Time: csNow.Add(-time.Hour), SpaceID: "s1", UserID: "u1", Value: 1},
+		{Seq: 2, SensorID: "ap-1", Kind: sensor.ObsWiFiConnect, Time: csNow.Add(-time.Hour), SpaceID: "s1", UserID: "u2", Value: 2},
+	}
+	sg, err := buildSegment(1, csNow.Add(-time.Hour).Truncate(time.Minute), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := sg.encode()
+	if _, err := decodeSegment(1, data); err != nil {
+		t.Fatalf("clean decode failed: %v", err)
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5a
+		if _, err := decodeSegment(1, mut); err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := decodeSegment(1, data[:cut]); err == nil {
+			t.Fatalf("truncation at %d went undetected", cut)
+		}
+	}
+}
+
+// TestUnifiedQueryMatchesStore is the core read-equivalence check:
+// through ingest, compaction, retention sweeps, and erasure, the
+// unified segments+tail view answers every filter exactly as the row
+// store alone does.
+func TestUnifiedQueryMatchesStore(t *testing.T) {
+	src, cs := newPair(t, "")
+	rng := rand.New(rand.NewSource(7))
+	users := []string{"", "u0", "u1", "u2"}
+	for i := 0; i < 600; i++ {
+		at := csNow.Add(-time.Duration(1+rng.Intn(30)) * time.Minute).Add(time.Duration(rng.Intn(60000)) * time.Millisecond)
+		kind := sensor.ObsWiFiConnect
+		if i%5 == 0 {
+			kind = sensor.ObsPowerReading
+		}
+		o := obsAt(fmt.Sprintf("ap-%d", rng.Intn(4)), fmt.Sprintf("s%d", rng.Intn(3)),
+			users[rng.Intn(len(users))], kind, at, float64(rng.Intn(100)))
+		if _, err := src.Append(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		filters := []obstore.Filter{
+			{},
+			{SensorID: "ap-1"},
+			{UserID: "u1"},
+			{Kind: sensor.ObsPowerReading},
+			{From: csNow.Add(-20 * time.Minute), To: csNow.Add(-5 * time.Minute)},
+			{SpaceIDs: []string{"s0", "s2"}},
+			{AfterSeq: 100},
+			{AfterSeq: 100, Limit: 37},
+			{Limit: 11},
+			{SensorID: "ap-2", Kind: sensor.ObsWiFiConnect, From: csNow.Add(-25 * time.Minute)},
+		}
+		for fi, f := range filters {
+			want := src.Query(f)
+			got := cs.Query(f)
+			if !reflect.DeepEqual(normTimes(got), normTimes(want)) {
+				t.Fatalf("%s: filter %d: unified query diverged (%d rows vs %d)", stage, fi, len(got), len(want))
+			}
+			fc := f
+			fc.Limit = 0
+			if gn, wn := cs.Count(fc), src.Count(fc); gn != wn {
+				t.Fatalf("%s: filter %d: Count = %d, store says %d", stage, fi, gn, wn)
+			}
+		}
+	}
+
+	check("before compaction")
+	n, err := cs.CompactOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("compaction sealed nothing")
+	}
+	if cs.Watermark() == 0 {
+		t.Fatal("watermark did not advance")
+	}
+	check("after compaction")
+
+	// More ingest above the watermark, then another pass.
+	for i := 0; i < 100; i++ {
+		o := obsAt("ap-9", "s1", "u0", sensor.ObsWiFiConnect,
+			csNow.Add(-time.Duration(1+rng.Intn(4))*time.Minute), float64(i))
+		if _, err := src.Append(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after more ingest")
+	if _, err := cs.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+	check("after second compaction")
+
+	// Erasure: sealed rows become tombstones and both views agree
+	// immediately, before any rewrite happens.
+	if n := src.DeleteUser("u1"); n == 0 {
+		t.Fatal("DeleteUser removed nothing")
+	}
+	check("after erasure")
+	if _, err := cs.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+	check("after tombstone rewrite")
+	if st := cs.Stats(); st.SeqTombstones != 0 || st.UserTombstones != 0 {
+		t.Fatalf("tombstones not retired by rewrite: %+v", st)
+	}
+
+	// Retention sweep path too.
+	src.SetDefaultRetention(isodur.MustParse("PT10M"))
+	if n := src.Sweep(csNow); n == 0 {
+		t.Fatal("sweep removed nothing")
+	}
+	check("after sweep")
+	if _, err := cs.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+	check("after sweep rewrite")
+}
+
+// normTimes UTC-normalizes observation times: the codec stores unix
+// nanos, so location (not instant) may differ from the row store.
+func normTimes(rows []sensor.Observation) []sensor.Observation {
+	out := make([]sensor.Observation, len(rows))
+	for i, o := range rows {
+		o.Time = o.Time.UTC()
+		out[i] = o
+	}
+	return out
+}
+
+func TestOpenBucketFencesWatermark(t *testing.T) {
+	src, cs := newPair(t, "")
+	// Two rows in a closed bucket, one in the currently open bucket,
+	// then another closed-bucket row *after* it in seq order: the open
+	// bucket must fence the watermark below all of them.
+	closedAt := csNow.Add(-5 * time.Minute)
+	openAt := csNow // csNow's own minute: bucket ends after now, still open
+	for _, at := range []time.Time{closedAt, closedAt.Add(time.Second), openAt, closedAt.Add(2 * time.Second)} {
+		if _, err := src.Append(obsAt("ap-1", "s1", "u1", sensor.ObsWiFiConnect, at, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cs.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if wm := cs.Watermark(); wm != 2 {
+		t.Fatalf("watermark = %d, want 2 (open bucket at seq 3 fences seq 4)", wm)
+	}
+	if got, want := cs.Query(obstore.Filter{}), src.Query(obstore.Filter{}); !reflect.DeepEqual(normTimes(got), normTimes(want)) {
+		t.Fatalf("unified view diverged: %d rows vs %d", len(got), len(want))
+	}
+}
+
+func TestDurableReopen(t *testing.T) {
+	dir := t.TempDir()
+	src, cs := newPair(t, dir)
+	for i := 0; i < 50; i++ {
+		at := csNow.Add(-time.Duration(2+i%6) * time.Minute)
+		if _, err := src.Append(obsAt(fmt.Sprintf("ap-%d", i%2), "s1", fmt.Sprintf("u%d", i%3), sensor.ObsWiFiConnect, at, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cs.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+	wantSegs := cs.Segments()
+	wantWM := cs.Watermark()
+
+	cs2, err := Open(Config{Dir: dir, BucketDur: time.Minute, Clock: func() time.Time { return csNow }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2.Watermark() != wantWM {
+		t.Fatalf("reopened watermark = %d, want %d", cs2.Watermark(), wantWM)
+	}
+	gotSegs := cs2.Segments()
+	if !reflect.DeepEqual(gotSegs, wantSegs) {
+		t.Fatalf("reopened segments diverged:\n got %+v\nwant %+v", gotSegs, wantSegs)
+	}
+	// Segment-only reads work without a row store attached.
+	if n := len(cs2.Query(obstore.Filter{})); n != 50 {
+		t.Fatalf("segment-only query returned %d rows, want 50", n)
+	}
+}
+
+func TestRollupsMatchGroundTruth(t *testing.T) {
+	src, cs := newPair(t, "")
+	rng := rand.New(rand.NewSource(11))
+	type key struct {
+		minute int64
+		space  string
+		kind   sensor.ObservationKind
+		user   string
+	}
+	want := map[key]int{}
+	for i := 0; i < 400; i++ {
+		at := csNow.Add(-time.Duration(1+rng.Intn(10)) * time.Minute).Add(time.Duration(rng.Intn(60)) * time.Second)
+		o := obsAt(fmt.Sprintf("ap-%d", rng.Intn(3)), fmt.Sprintf("s%d", rng.Intn(3)),
+			fmt.Sprintf("u%d", rng.Intn(4)), sensor.ObsWiFiConnect, at, float64(rng.Intn(50)))
+		stored, err := src.Append(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[key{at.Truncate(time.Minute).UnixNano(), o.SpaceID, o.Kind, o.UserID}]++
+		_ = stored
+	}
+	verify := func(stage string) {
+		t.Helper()
+		entries, _, ok := cs.OccupancyRollup(time.Time{}, time.Time{})
+		if !ok {
+			t.Fatalf("%s: rollups unavailable", stage)
+		}
+		got := map[key]int{}
+		for _, e := range entries {
+			got[key{e.Minute.UnixNano(), e.SpaceID, e.Kind, e.UserID}] = e.Count
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: occupancy cube diverged from ground truth (%d vs %d cells)", stage, len(got), len(want))
+		}
+	}
+	verify("live-fed")
+
+	if _, err := cs.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+	verify("after compaction")
+
+	// Deletion dirties buckets; the next read self-repairs.
+	src.DeleteUser("u2")
+	for k := range want {
+		if k.user == "u2" {
+			delete(want, k)
+		}
+	}
+	verify("after erasure")
+
+	// Readings cube: spot-check sums against a scan.
+	rdEntries, _, ok := cs.ReadingsRollup(time.Time{}, time.Time{})
+	if !ok {
+		t.Fatal("readings rollup unavailable")
+	}
+	var cubeSum, scanSum float64
+	var cubeN, scanN int
+	for _, e := range rdEntries {
+		cubeSum += e.Sum
+		cubeN += e.Count
+	}
+	for _, o := range src.Query(obstore.Filter{}) {
+		scanSum += o.Value
+		scanN++
+	}
+	if cubeN != scanN || cubeSum != scanSum {
+		t.Fatalf("readings cube count/sum = %d/%.1f, scan says %d/%.1f", cubeN, cubeSum, scanN, scanSum)
+	}
+}
+
+func TestRollupOverflowDisables(t *testing.T) {
+	src := obstore.New()
+	cs, err := Open(Config{BucketDur: time.Minute, Clock: func() time.Time { return csNow }, RollupMaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.AttachStore(src)
+	for i := 0; i < 100; i++ {
+		at := csNow.Add(-time.Duration(1+i) * time.Minute)
+		if _, err := src.Append(obsAt(fmt.Sprintf("ap-%d", i), fmt.Sprintf("s%d", i), fmt.Sprintf("u%d", i), sensor.ObsWiFiConnect, at, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := cs.OccupancyRollup(time.Time{}, time.Time{}); ok {
+		t.Fatal("overflowed cube still serving answers")
+	}
+	if !cs.Stats().RollupDisabled {
+		t.Fatal("stats do not report rollups disabled")
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	_, cs := newPair(t, "")
+	e0 := cs.Epoch()
+	cs.Invalidate()
+	cs.Invalidate()
+	if got := cs.Epoch(); got != e0+2 {
+		t.Fatalf("epoch = %d, want %d", got, e0+2)
+	}
+}

@@ -1,0 +1,115 @@
+package colstore
+
+// GDPR-erasure regression: DeleteUser must reach the columnar tier's
+// disk, not just its indexes. The subject's rows are tombstoned the
+// instant the row store drops them (reads agree immediately), and the
+// next compaction rewrites every touched segment so the subject's
+// marker bytes — row data and dictionary entries alike — are gone
+// from the segment files and the manifest.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+func TestErasureLeavesDisk(t *testing.T) {
+	const marker = "ERASURE-MARKER-SUBJECT-7f3a"
+	dir := t.TempDir()
+	src, cs := newPair(t, dir)
+
+	// Sealed rows for the marker subject interleaved with others.
+	for i := 0; i < 120; i++ {
+		user := marker
+		if i%3 != 0 {
+			user = fmt.Sprintf("u%d", i%4)
+		}
+		at := csNow.Add(-time.Duration(2+i%8) * time.Minute)
+		if _, err := src.Append(obsAt(fmt.Sprintf("ap-%d", i%3), "s1", user, sensor.ObsWiFiConnect, at, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cs.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if !dirContains(t, dir, marker) {
+		t.Fatal("precondition: sealed segments should contain the subject's bytes")
+	}
+
+	if n := src.DeleteUser(marker); n == 0 {
+		t.Fatal("DeleteUser removed nothing")
+	}
+
+	// Reads stop serving the subject immediately, before any rewrite.
+	if rows := cs.Query(obstore.Filter{UserID: marker}); len(rows) != 0 {
+		t.Fatalf("tombstoned subject still readable: %d rows", len(rows))
+	}
+	if entries, _, ok := cs.OccupancyRollup(time.Time{}, time.Time{}); ok {
+		for _, e := range entries {
+			if e.UserID == marker {
+				t.Fatal("rollup cube still carries the erased subject")
+			}
+		}
+	} else {
+		t.Fatal("rollups unavailable")
+	}
+
+	// The tombstones themselves are durable (manifest) so a crash
+	// between erasure and rewrite cannot resurrect the subject...
+	if !dirContains(t, dir, marker) {
+		t.Fatal("precondition: segments not yet rewritten")
+	}
+	reopened, err := Open(Config{Dir: dir, BucketDur: time.Minute, Clock: func() time.Time { return csNow }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := reopened.Query(obstore.Filter{UserID: marker}); len(rows) != 0 {
+		t.Fatalf("after reopen, tombstoned subject readable again: %d rows", len(rows))
+	}
+
+	// ...and the rewrite at the next compaction removes the bytes.
+	if _, err := cs.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if dirContains(t, dir, marker) {
+		t.Fatal("erased subject's bytes still on disk after rewrite")
+	}
+	if rows := cs.Query(obstore.Filter{UserID: marker}); len(rows) != 0 {
+		t.Fatalf("erased subject readable after rewrite: %d rows", len(rows))
+	}
+	// Everyone else survived intact.
+	want := src.Query(obstore.Filter{})
+	got := cs.Query(obstore.Filter{})
+	if len(got) != len(want) {
+		t.Fatalf("rewrite lost bystander rows: %d vs %d", len(got), len(want))
+	}
+}
+
+// dirContains reports whether any file under dir contains needle.
+func dirContains(t *testing.T, dir, needle string) bool {
+	t.Helper()
+	found := false
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || found {
+			return err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		if bytes.Contains(data, []byte(needle)) {
+			found = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return found
+}

@@ -1,0 +1,77 @@
+package colstore
+
+// FuzzSegmentDecode: the segment decoder must be total — arbitrary
+// bytes either decode into a structurally valid segment or return an
+// error, never panic, never over-allocate, and a successful decode
+// must re-encode to the identical bytes (the codec has one canonical
+// form, which is what makes the CRC trailer meaningful).
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+func fuzzSeedSegments() [][]byte {
+	base := time.Date(2026, 3, 14, 11, 0, 0, 0, time.UTC)
+	mk := func(rows []sensor.Observation) []byte {
+		sg, err := buildSegment(1, base, rows)
+		if err != nil {
+			panic(err)
+		}
+		return sg.encode()
+	}
+	one := mk([]sensor.Observation{{
+		Seq: 1, SensorID: "ap-1", Kind: sensor.ObsWiFiConnect,
+		Time: base.Add(time.Second), SpaceID: "s1", UserID: "u1", Value: 3.5,
+	}})
+	var many []sensor.Observation
+	for i := 0; i < 64; i++ {
+		o := sensor.Observation{
+			Seq: uint64(10 + i*3), SensorID: "ap-2", Kind: sensor.ObsPowerReading,
+			Time: base.Add(time.Duration(i) * 900 * time.Millisecond), SpaceID: "s2",
+			Value: float64(i) * 0.25,
+		}
+		if i%5 == 0 {
+			o.UserID = "u9"
+			o.DeviceMAC = "de:ad:be:ef"
+			o.Payload = map[string]string{"unit": "W"}
+		}
+		many = append(many, o)
+	}
+	return [][]byte{one, mk(many), []byte(segMagic), nil}
+}
+
+func FuzzSegmentDecode(f *testing.F) {
+	for _, seed := range fuzzSeedSegments() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sg, err := decodeSegment(1, data)
+		if err != nil {
+			return
+		}
+		// A valid decode must be internally consistent and re-encode
+		// canonically.
+		n := sg.rows()
+		if n == 0 {
+			t.Fatal("decode produced an empty segment")
+		}
+		var prev uint64
+		for i := 0; i < n; i++ {
+			o := sg.row(i) // must not panic: every index in range
+			if i > 0 && o.Seq <= prev {
+				t.Fatalf("row %d out of seq order", i)
+			}
+			prev = o.Seq
+		}
+		if sg.minSeq != sg.seqs[0] || sg.maxSeq != sg.seqs[n-1] {
+			t.Fatal("zone map seq bounds inconsistent")
+		}
+		if !bytes.Equal(sg.encode(), data) {
+			t.Fatal("accepted non-canonical encoding")
+		}
+	})
+}

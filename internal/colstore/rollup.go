@@ -1,0 +1,390 @@
+package colstore
+
+// Incremental rollup cubes: occupancy per (space, kind, subject) per
+// minute and readings per (sensor, kind, space, subject) per hour.
+// Entries are keyed by the ground-truth subject and carry raw counts,
+// sums, and extrema — never an enforced or anonymized view — so a
+// reader re-applies the requester's decisions entry by entry at read
+// time, and a mid-session preference change simply changes how the
+// same stored entries are released. Each entry also tracks the
+// minimum contributing seq, which lets the query layer reproduce the
+// row executor's first-seen group order exactly.
+//
+// The cubes are fed synchronously from the row store's listener (so
+// they can never lag ingest) and repair themselves after deletions by
+// marking the touched time buckets dirty and rebuilding them from the
+// unified tombstone-filtered scan on next read.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+type occKey struct {
+	space string
+	kind  sensor.ObservationKind
+	user  string
+}
+
+type occEntry struct {
+	count  int
+	minSeq uint64
+}
+
+type rdKey struct {
+	sensor string
+	kind   sensor.ObservationKind
+	space  string
+	user   string
+}
+
+type rdEntry struct {
+	count    int
+	sum      float64
+	min, max float64
+	minSeq   uint64
+}
+
+// OccEntry is one released-to-the-reader occupancy cube cell: a
+// minute bucket's raw observation count for one ground-truth
+// (space, kind, subject) combination.
+type OccEntry struct {
+	Minute  time.Time
+	SpaceID string
+	Kind    sensor.ObservationKind
+	UserID  string
+	Count   int
+	MinSeq  uint64
+}
+
+// ReadingEntry is one readings cube cell: an hour bucket's aggregate
+// for one ground-truth (sensor, kind, space, subject) combination.
+type ReadingEntry struct {
+	Hour     time.Time
+	SensorID string
+	Kind     sensor.ObservationKind
+	SpaceID  string
+	UserID   string
+	Count    int
+	Sum      float64
+	Min, Max float64
+	MinSeq   uint64
+}
+
+type rollups struct {
+	store *Store
+
+	mu         sync.Mutex
+	disabled   bool
+	forcedOff  bool
+	maxEntries int
+	entries    int
+	occ        map[int64]map[occKey]*occEntry // minute start, unix nanos
+	rd         map[int64]map[rdKey]*rdEntry   // hour start, unix nanos
+	dirtyOcc   map[int64]struct{}
+	dirtyRd    map[int64]struct{}
+
+	version atomic.Uint64
+}
+
+func newRollups(store *Store, maxEntries int, forcedOff bool) *rollups {
+	return &rollups{
+		store:      store,
+		forcedOff:  forcedOff,
+		disabled:   forcedOff,
+		maxEntries: maxEntries,
+		occ:        make(map[int64]map[occKey]*occEntry),
+		rd:         make(map[int64]map[rdKey]*rdEntry),
+		dirtyOcc:   make(map[int64]struct{}),
+		dirtyRd:    make(map[int64]struct{}),
+	}
+}
+
+func (r *rollups) isDisabled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.disabled
+}
+
+func (r *rollups) entryCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries
+}
+
+// observe folds one appended observation into both cubes.
+func (r *rollups) observe(o sensor.Observation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.disabled {
+		return
+	}
+	r.observeLocked(o)
+	r.version.Add(1)
+	r.checkCapLocked()
+}
+
+func (r *rollups) observeLocked(o sensor.Observation) {
+	minute := o.Time.Truncate(time.Minute).UnixNano()
+	om := r.occ[minute]
+	if om == nil {
+		om = make(map[occKey]*occEntry)
+		r.occ[minute] = om
+	}
+	ok := occKey{space: o.SpaceID, kind: o.Kind, user: o.UserID}
+	oe := om[ok]
+	if oe == nil {
+		oe = &occEntry{minSeq: o.Seq}
+		om[ok] = oe
+		r.entries++
+	}
+	oe.count++
+	if o.Seq < oe.minSeq {
+		oe.minSeq = o.Seq
+	}
+
+	hour := o.Time.Truncate(time.Hour).UnixNano()
+	hm := r.rd[hour]
+	if hm == nil {
+		hm = make(map[rdKey]*rdEntry)
+		r.rd[hour] = hm
+	}
+	rk := rdKey{sensor: o.SensorID, kind: o.Kind, space: o.SpaceID, user: o.UserID}
+	re := hm[rk]
+	if re == nil {
+		re = &rdEntry{min: o.Value, max: o.Value, minSeq: o.Seq}
+		hm[rk] = re
+		r.entries++
+	} else {
+		if o.Value < re.min {
+			re.min = o.Value
+		}
+		if o.Value > re.max {
+			re.max = o.Value
+		}
+		if o.Seq < re.minSeq {
+			re.minSeq = o.Seq
+		}
+	}
+	re.count++
+	re.sum += o.Value
+}
+
+func (r *rollups) checkCapLocked() {
+	if r.entries > r.maxEntries {
+		// The cube outgrew its budget: shut it down and let readers
+		// fall back to scans rather than serve partial aggregates.
+		r.disabled = true
+		r.occ = map[int64]map[occKey]*occEntry{}
+		r.rd = map[int64]map[rdKey]*rdEntry{}
+		r.dirtyOcc = map[int64]struct{}{}
+		r.dirtyRd = map[int64]struct{}{}
+		r.entries = 0
+		r.version.Add(1)
+	}
+}
+
+// deleted marks every time bucket a deletion touched as dirty; the
+// next read rebuilds those buckets from the unified scan, which no
+// longer contains the rows.
+func (r *rollups) deleted(dels []obstore.Deletion) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.disabled {
+		return
+	}
+	for _, d := range dels {
+		r.dirtyOcc[d.Time.Truncate(time.Minute).UnixNano()] = struct{}{}
+		r.dirtyRd[d.Time.Truncate(time.Hour).UnixNano()] = struct{}{}
+	}
+	r.version.Add(1)
+}
+
+// rebuildAll recomputes both cubes from the unified scan. Used when
+// the tier first attaches to a store that already holds data.
+func (r *rollups) rebuildAll() {
+	rows := r.store.Query(obstore.Filter{})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.forcedOff {
+		return
+	}
+	r.occ = make(map[int64]map[occKey]*occEntry)
+	r.rd = make(map[int64]map[rdKey]*rdEntry)
+	r.dirtyOcc = make(map[int64]struct{})
+	r.dirtyRd = make(map[int64]struct{})
+	r.entries = 0
+	r.disabled = false
+	for _, o := range rows {
+		r.observeLocked(o)
+	}
+	r.version.Add(1)
+	r.checkCapLocked()
+}
+
+// repairLocked rebuilds every dirty bucket from the unified scan.
+// Caller holds r.mu; the store query takes only store locks, so the
+// ordering rollups.mu -> store.mu is safe (the reverse never occurs).
+func (r *rollups) repairLocked() {
+	if len(r.dirtyOcc) == 0 && len(r.dirtyRd) == 0 {
+		// No repair, no version bump: reads must leave the version
+		// untouched or downstream answer caches could never validate.
+		return
+	}
+	for minute := range r.dirtyOcc {
+		start := time.Unix(0, minute)
+		rows := r.store.Query(obstore.Filter{From: start, To: start.Add(time.Minute)})
+		r.entries -= len(r.occ[minute])
+		delete(r.occ, minute)
+		for _, o := range rows {
+			r.observeOccLocked(o, minute)
+		}
+		delete(r.dirtyOcc, minute)
+	}
+	for hour := range r.dirtyRd {
+		start := time.Unix(0, hour)
+		rows := r.store.Query(obstore.Filter{From: start, To: start.Add(time.Hour)})
+		r.entries -= len(r.rd[hour])
+		delete(r.rd, hour)
+		for _, o := range rows {
+			r.observeRdLocked(o, hour)
+		}
+		delete(r.dirtyRd, hour)
+	}
+	r.version.Add(1)
+	r.checkCapLocked()
+}
+
+func (r *rollups) observeOccLocked(o sensor.Observation, minute int64) {
+	om := r.occ[minute]
+	if om == nil {
+		om = make(map[occKey]*occEntry)
+		r.occ[minute] = om
+	}
+	k := occKey{space: o.SpaceID, kind: o.Kind, user: o.UserID}
+	e := om[k]
+	if e == nil {
+		e = &occEntry{minSeq: o.Seq}
+		om[k] = e
+		r.entries++
+	}
+	e.count++
+	if o.Seq < e.minSeq {
+		e.minSeq = o.Seq
+	}
+}
+
+func (r *rollups) observeRdLocked(o sensor.Observation, hour int64) {
+	hm := r.rd[hour]
+	if hm == nil {
+		hm = make(map[rdKey]*rdEntry)
+		r.rd[hour] = hm
+	}
+	k := rdKey{sensor: o.SensorID, kind: o.Kind, space: o.SpaceID, user: o.UserID}
+	e := hm[k]
+	if e == nil {
+		e = &rdEntry{min: o.Value, max: o.Value, minSeq: o.Seq}
+		hm[k] = e
+		r.entries++
+	} else {
+		if o.Value < e.min {
+			e.min = o.Value
+		}
+		if o.Value > e.max {
+			e.max = o.Value
+		}
+		if o.Seq < e.minSeq {
+			e.minSeq = o.Seq
+		}
+	}
+	e.count++
+	e.sum += o.Value
+}
+
+// OccupancyRollup returns the minute cube's entries whose bucket
+// start lies in [from, to); zero times mean unbounded. ok=false means
+// the cubes are unavailable and the caller must fall back to a scan.
+// The returned version pairs with Epoch for answer-cache validation.
+func (s *Store) OccupancyRollup(from, to time.Time) (entries []OccEntry, version uint64, ok bool) {
+	r := s.roll
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.disabled || s.srcAttached() == nil {
+		return nil, 0, false
+	}
+	r.repairLocked()
+	if r.disabled {
+		return nil, 0, false
+	}
+	var fromN, toN int64
+	if !from.IsZero() {
+		fromN = from.UnixNano()
+	}
+	if !to.IsZero() {
+		toN = to.UnixNano()
+	}
+	for minute, om := range r.occ {
+		if !from.IsZero() && minute < fromN {
+			continue
+		}
+		if !to.IsZero() && minute >= toN {
+			continue
+		}
+		mt := time.Unix(0, minute).UTC()
+		for k, e := range om {
+			entries = append(entries, OccEntry{
+				Minute: mt, SpaceID: k.space, Kind: k.kind, UserID: k.user,
+				Count: e.count, MinSeq: e.minSeq,
+			})
+		}
+	}
+	return entries, r.version.Load(), true
+}
+
+// ReadingsRollup returns the hour cube's entries whose bucket start
+// lies in [from, to); zero times mean unbounded.
+func (s *Store) ReadingsRollup(from, to time.Time) (entries []ReadingEntry, version uint64, ok bool) {
+	r := s.roll
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.disabled || s.srcAttached() == nil {
+		return nil, 0, false
+	}
+	r.repairLocked()
+	if r.disabled {
+		return nil, 0, false
+	}
+	var fromN, toN int64
+	if !from.IsZero() {
+		fromN = from.UnixNano()
+	}
+	if !to.IsZero() {
+		toN = to.UnixNano()
+	}
+	for hour, hm := range r.rd {
+		if !from.IsZero() && hour < fromN {
+			continue
+		}
+		if !to.IsZero() && hour >= toN {
+			continue
+		}
+		ht := time.Unix(0, hour).UTC()
+		for k, e := range hm {
+			entries = append(entries, ReadingEntry{
+				Hour: ht, SensorID: k.sensor, Kind: k.kind, SpaceID: k.space, UserID: k.user,
+				Count: e.count, Sum: e.sum, Min: e.min, Max: e.max, MinSeq: e.minSeq,
+			})
+		}
+	}
+	return entries, r.version.Load(), true
+}
+
+func (s *Store) srcAttached() *obstore.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.src
+}

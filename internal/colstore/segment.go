@@ -1,0 +1,470 @@
+package colstore
+
+// This file is the columnar segment codec. A segment is one closed
+// time bucket's observations, re-laid column-per-field: sequence
+// numbers and timestamps as delta+varint streams (both nearly
+// monotone, so deltas are tiny), the five identifier fields
+// (sensor/space/user/kind/device-MAC) dictionary-coded (a bucket sees
+// few distinct IDs, so each row is one small index), values as
+// uvarint-packed IEEE-754 bits, and the rare payload maps inline. The
+// dictionaries double as the segment's zone-map sets: membership
+// checks let a reader skip a segment without touching a single row.
+// A CRC-32 trailer makes torn or bit-rotted files detectable, and the
+// decoder is fully bounds-checked — arbitrary bytes must produce an
+// error, never a panic (see FuzzSegmentDecode).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/tippers/tippers/internal/obstore"
+	"github.com/tippers/tippers/internal/sensor"
+)
+
+const (
+	segMagic        = "TCS1"
+	segCodecVersion = 1
+
+	// Decode guards: a corrupt length prefix must fail fast instead of
+	// asking the allocator for petabytes.
+	maxSegmentRows  = 1 << 26
+	maxDictEntries  = 1 << 22
+	maxStringLen    = 1 << 20
+	maxPayloadPairs = 1 << 12
+)
+
+var errCorrupt = errors.New("colstore: corrupt segment")
+
+// segment is one immutable columnar run of observations from a single
+// closed time bucket, sorted by ascending seq.
+type segment struct {
+	id     uint64
+	bucket time.Time // bucket start (UTC)
+	bytes  int64     // encoded size
+
+	// Zone maps.
+	minSeq, maxSeq   uint64
+	minTime, maxTime int64 // unix nanos
+
+	// Columns, one entry per row.
+	seqs  []uint64
+	times []int64 // unix nanos
+
+	sensors dictCol
+	spaces  dictCol
+	users   dictCol
+	kinds   dictCol
+	macs    dictCol
+
+	values   []float64
+	payloads []map[string]string // nil when the row had none
+}
+
+func (sg *segment) rows() int { return len(sg.seqs) }
+
+// row materializes row i back into the store's observation shape.
+// Times come back UTC-normalized, exactly as the WAL recovery path
+// restores them.
+func (sg *segment) row(i int) sensor.Observation {
+	return sensor.Observation{
+		Seq:       sg.seqs[i],
+		SensorID:  sg.sensors.at(i),
+		Kind:      sensor.ObservationKind(sg.kinds.at(i)),
+		Time:      time.Unix(0, sg.times[i]).UTC(),
+		SpaceID:   sg.spaces.at(i),
+		DeviceMAC: sg.macs.at(i),
+		UserID:    sg.users.at(i),
+		Value:     sg.values[i],
+		Payload:   sg.payloads[i],
+	}
+}
+
+// disjoint reports whether the filter cannot match any row of this
+// segment, judged purely from zone maps (seq/time ranges plus
+// dictionary membership). Conservative: false means "must scan", and
+// scanning is always correct.
+func (sg *segment) disjoint(f obstore.Filter, spaceSet map[string]bool) bool {
+	if f.AfterSeq >= sg.maxSeq {
+		return true
+	}
+	if !f.From.IsZero() && f.From.UnixNano() > sg.maxTime {
+		return true
+	}
+	if !f.To.IsZero() && f.To.UnixNano() <= sg.minTime {
+		return true
+	}
+	if f.SensorID != "" && !sg.sensors.has(f.SensorID) {
+		return true
+	}
+	if f.UserID != "" && !sg.users.has(f.UserID) {
+		return true
+	}
+	if f.DeviceMAC != "" && !sg.macs.has(f.DeviceMAC) {
+		return true
+	}
+	if f.Kind != "" && !sg.kinds.has(string(f.Kind)) {
+		return true
+	}
+	if spaceSet != nil {
+		hit := false
+		for _, s := range sg.spaces.dict {
+			if spaceSet[s] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return true
+		}
+	}
+	return false
+}
+
+// dictCol is one dictionary-coded string column: the distinct values
+// in first-appearance order plus a per-row index stream.
+type dictCol struct {
+	dict []string
+	set  map[string]int // value -> dict position
+	idx  []uint32
+}
+
+func (c *dictCol) add(s string) {
+	if c.set == nil {
+		c.set = make(map[string]int)
+	}
+	pos, ok := c.set[s]
+	if !ok {
+		pos = len(c.dict)
+		c.dict = append(c.dict, s)
+		c.set[s] = pos
+	}
+	c.idx = append(c.idx, uint32(pos))
+}
+
+func (c *dictCol) at(i int) string { return c.dict[c.idx[i]] }
+
+func (c *dictCol) has(s string) bool {
+	_, ok := c.set[s]
+	return ok
+}
+
+// buildSegment lays out rows (ascending seq, all in one bucket) as a
+// segment. The caller owns ordering; buildSegment only asserts it.
+func buildSegment(id uint64, bucket time.Time, rows []sensor.Observation) (*segment, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("colstore: empty segment")
+	}
+	sg := &segment{
+		id:      id,
+		bucket:  bucket.UTC(),
+		minTime: math.MaxInt64,
+		maxTime: math.MinInt64,
+	}
+	var prevSeq uint64
+	for i, o := range rows {
+		if i > 0 && o.Seq <= prevSeq {
+			return nil, fmt.Errorf("colstore: segment rows out of seq order (%d after %d)", o.Seq, prevSeq)
+		}
+		prevSeq = o.Seq
+		sg.seqs = append(sg.seqs, o.Seq)
+		ns := o.Time.UnixNano()
+		sg.times = append(sg.times, ns)
+		if ns < sg.minTime {
+			sg.minTime = ns
+		}
+		if ns > sg.maxTime {
+			sg.maxTime = ns
+		}
+		sg.sensors.add(o.SensorID)
+		sg.spaces.add(o.SpaceID)
+		sg.users.add(o.UserID)
+		sg.kinds.add(string(o.Kind))
+		sg.macs.add(o.DeviceMAC)
+		sg.values = append(sg.values, o.Value)
+		var p map[string]string
+		if len(o.Payload) > 0 {
+			p = make(map[string]string, len(o.Payload))
+			for k, v := range o.Payload {
+				p[k] = v
+			}
+		}
+		sg.payloads = append(sg.payloads, p)
+	}
+	sg.minSeq = sg.seqs[0]
+	sg.maxSeq = sg.seqs[len(sg.seqs)-1]
+	return sg, nil
+}
+
+// encode serializes the segment. Layout (all integers varint/uvarint):
+//
+//	magic "TCS1" | version | rowCount | bucketStartNano
+//	seq column:   first, then strictly positive deltas
+//	time column:  first, then signed deltas
+//	5 dict columns: dictLen, dict strings, then rowCount indexes
+//	value column: rowCount uvarint(Float64bits)
+//	payload column: per row pairCount + key/value strings
+//	crc32-IEEE of everything above, 4 bytes little-endian
+func (sg *segment) encode() []byte {
+	buf := make([]byte, 0, 64+len(sg.seqs)*8)
+	buf = append(buf, segMagic...)
+	buf = binary.AppendUvarint(buf, segCodecVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(sg.seqs)))
+	buf = binary.AppendVarint(buf, sg.bucket.UnixNano())
+
+	buf = binary.AppendUvarint(buf, sg.seqs[0])
+	for i := 1; i < len(sg.seqs); i++ {
+		buf = binary.AppendUvarint(buf, sg.seqs[i]-sg.seqs[i-1])
+	}
+	buf = binary.AppendVarint(buf, sg.times[0])
+	for i := 1; i < len(sg.times); i++ {
+		buf = binary.AppendVarint(buf, sg.times[i]-sg.times[i-1])
+	}
+	for _, col := range []*dictCol{&sg.sensors, &sg.spaces, &sg.users, &sg.kinds, &sg.macs} {
+		buf = binary.AppendUvarint(buf, uint64(len(col.dict)))
+		for _, s := range col.dict {
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+		for _, ix := range col.idx {
+			buf = binary.AppendUvarint(buf, uint64(ix))
+		}
+	}
+	for _, v := range sg.values {
+		buf = binary.AppendUvarint(buf, math.Float64bits(v))
+	}
+	for _, p := range sg.payloads {
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		if len(p) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(p))
+		for k := range p {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			buf = binary.AppendUvarint(buf, uint64(len(k)))
+			buf = append(buf, k...)
+			buf = binary.AppendUvarint(buf, uint64(len(p[k])))
+			buf = append(buf, p[k]...)
+		}
+	}
+	sum := crc32.ChecksumIEEE(buf)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	return append(buf, tail[:]...)
+}
+
+// segReader is a bounds-checked cursor over an untrusted byte slice.
+// The first malformed read poisons it; callers check err once at the
+// end of a decode phase.
+type segReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *segReader) fail() {
+	if r.err == nil {
+		r.err = errCorrupt
+	}
+}
+
+func (r *segReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *segReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *segReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStringLen || r.off+int(n) > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// decodeSegment parses one encoded segment. It must be total: any
+// input either yields a structurally valid segment or an error.
+func decodeSegment(id uint64, data []byte) (*segment, error) {
+	if len(data) < len(segMagic)+4 {
+		return nil, errCorrupt
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("colstore: segment checksum mismatch")
+	}
+	if string(body[:len(segMagic)]) != segMagic {
+		return nil, errCorrupt
+	}
+	r := &segReader{b: body, off: len(segMagic)}
+	if v := r.uvarint(); v != segCodecVersion {
+		if r.err == nil {
+			r.err = fmt.Errorf("colstore: unsupported segment version %d", v)
+		}
+		return nil, r.err
+	}
+	n := r.uvarint()
+	if r.err != nil || n == 0 || n > maxSegmentRows {
+		r.fail()
+		return nil, r.err
+	}
+	rows := int(n)
+	sg := &segment{
+		id:      id,
+		bytes:   int64(len(data)),
+		minTime: math.MaxInt64,
+		maxTime: math.MinInt64,
+	}
+	sg.bucket = time.Unix(0, r.varint()).UTC()
+
+	sg.seqs = make([]uint64, rows)
+	sg.seqs[0] = r.uvarint()
+	for i := 1; i < rows; i++ {
+		d := r.uvarint()
+		if d == 0 {
+			r.fail()
+		}
+		sg.seqs[i] = sg.seqs[i-1] + d
+		if sg.seqs[i] < sg.seqs[i-1] { // overflow
+			r.fail()
+		}
+	}
+	sg.times = make([]int64, rows)
+	sg.times[0] = r.varint()
+	for i := 1; i < rows; i++ {
+		sg.times[i] = sg.times[i-1] + r.varint()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	for _, col := range []*dictCol{&sg.sensors, &sg.spaces, &sg.users, &sg.kinds, &sg.macs} {
+		dn := r.uvarint()
+		if r.err != nil || dn == 0 || dn > maxDictEntries {
+			r.fail()
+			return nil, r.err
+		}
+		col.dict = make([]string, int(dn))
+		col.set = make(map[string]int, int(dn))
+		for i := range col.dict {
+			col.dict[i] = r.str()
+			col.set[col.dict[i]] = i
+		}
+		col.idx = make([]uint32, rows)
+		for i := 0; i < rows; i++ {
+			ix := r.uvarint()
+			if ix >= dn {
+				r.fail()
+				return nil, r.err
+			}
+			col.idx[i] = uint32(ix)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	sg.values = make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		sg.values[i] = math.Float64frombits(r.uvarint())
+	}
+	sg.payloads = make([]map[string]string, rows)
+	for i := 0; i < rows; i++ {
+		pn := r.uvarint()
+		if r.err != nil || pn > maxPayloadPairs {
+			r.fail()
+			return nil, r.err
+		}
+		if pn == 0 {
+			continue
+		}
+		p := make(map[string]string, int(pn))
+		for j := uint64(0); j < pn; j++ {
+			k := r.str()
+			v := r.str()
+			if r.err != nil {
+				return nil, r.err
+			}
+			p[k] = v
+		}
+		sg.payloads[i] = p
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, errCorrupt
+	}
+	sg.minSeq = sg.seqs[0]
+	sg.maxSeq = sg.seqs[rows-1]
+	for _, ns := range sg.times {
+		if ns < sg.minTime {
+			sg.minTime = ns
+		}
+		if ns > sg.maxTime {
+			sg.maxTime = ns
+		}
+	}
+	return sg, nil
+}
+
+// rowMatches mirrors obstore's filter semantics exactly (From
+// inclusive, To exclusive) so a segment scan and a store scan agree
+// row for row.
+func rowMatches(o sensor.Observation, f obstore.Filter, spaceSet map[string]bool) bool {
+	if o.Seq <= f.AfterSeq {
+		return false
+	}
+	if !f.From.IsZero() && o.Time.Before(f.From) {
+		return false
+	}
+	if !f.To.IsZero() && !o.Time.Before(f.To) {
+		return false
+	}
+	if f.SensorID != "" && o.SensorID != f.SensorID {
+		return false
+	}
+	if f.UserID != "" && o.UserID != f.UserID {
+		return false
+	}
+	if f.DeviceMAC != "" && o.DeviceMAC != f.DeviceMAC {
+		return false
+	}
+	if f.Kind != "" && o.Kind != f.Kind {
+		return false
+	}
+	if spaceSet != nil && !spaceSet[o.SpaceID] {
+		return false
+	}
+	return true
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/tippers/tippers/internal/bus"
+	"github.com/tippers/tippers/internal/colstore"
 	"github.com/tippers/tippers/internal/enforce"
 	"github.com/tippers/tippers/internal/obstore"
 	"github.com/tippers/tippers/internal/policy"
@@ -83,6 +84,20 @@ type Config struct {
 	// StreamPolicy is the default backpressure policy for live
 	// streams (default stream.DropOldest).
 	StreamPolicy stream.Backpressure
+	// ColumnarDir is the directory the columnar tier persists sealed
+	// segments into; empty keeps the tier in memory (still compacted,
+	// still serving rollups, just not crash-durable).
+	ColumnarDir string
+	// ColumnarBucket is the columnar tier's segment bucket duration
+	// (default 1h; see colstore.Config.BucketDur).
+	ColumnarBucket time.Duration
+	// ColumnarRollupMax caps the rollup cubes' total entry count
+	// (default colstore's 1M); past it the cubes shut down and readers
+	// fall back to scans. Raise it for dense multi-month datasets.
+	ColumnarRollupMax int
+	// DisableColumnar turns the columnar tier off entirely: queries
+	// scan the row store directly and no rollups are maintained.
+	DisableColumnar bool
 }
 
 // Stats counts pipeline outcomes for the experiments.
@@ -122,6 +137,14 @@ type BMS struct {
 
 	retainStop chan struct{}
 	retainDone chan struct{}
+
+	// colstore is the columnar tier: sealed segments behind the row
+	// store's watermark plus the rollup cubes. nil when disabled.
+	colstore *colstore.Store
+	occCache occupancyCache
+
+	compactStop chan struct{}
+	compactDone chan struct{}
 }
 
 // New constructs a BMS.
@@ -182,6 +205,24 @@ func New(cfg Config) (*BMS, error) {
 		prefs:    make(map[string]policy.Preference),
 		inbox:    make(map[string][]enforce.Notification),
 	}
+	if !cfg.DisableColumnar {
+		// The columnar tier rides the row store as a listener: closed
+		// buckets compact into immutable segments, and the rollup cubes
+		// stay in lockstep with ingest. Queries read through it (segments
+		// behind the watermark, row shards ahead of it).
+		cs, err := colstore.Open(colstore.Config{
+			Dir:              cfg.ColumnarDir,
+			BucketDur:        cfg.ColumnarBucket,
+			Clock:            cfg.Clock,
+			RollupMaxEntries: cfg.ColumnarRollupMax,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: opening columnar tier: %w", err)
+		}
+		cs.AttachStore(store)
+		cs.RegisterMetrics(reg)
+		b.colstore = cs
+	}
 	// Collaborators expose their internals on the same registry; an
 	// engine that can report (Cached, Instrumented) joins in.
 	b.store.RegisterMetrics(reg)
@@ -216,6 +257,15 @@ func New(cfg Config) (*BMS, error) {
 		DefaultBuffer: cfg.StreamBuffer,
 		DefaultPolicy: cfg.StreamPolicy,
 		BusBuffer:     cfg.BusBuffer * 4,
+		// Rule mutations flush every decision-derived cache in one
+		// motion: the hub's own memo, the columnar tier's enforcement
+		// epoch, and the occupancy answer cache.
+		OnInvalidate: func() {
+			if b.colstore != nil {
+				b.colstore.Invalidate()
+			}
+			b.occCache.clear()
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -249,6 +299,10 @@ func (b *BMS) Engine() enforce.Engine { return b.engine }
 // Streams returns the live-stream hub: policy-enforced continuous
 // queries with resume cursors (see internal/stream).
 func (b *BMS) Streams() *stream.Hub { return b.streams }
+
+// Columnar returns the columnar storage tier, or nil when disabled
+// (Config.DisableColumnar).
+func (b *BMS) Columnar() *colstore.Store { return b.colstore }
 
 // Tracer returns the pipeline tracer (nil when tracing is disabled).
 func (b *BMS) Tracer() *telemetry.Tracer { return b.tracer }
@@ -636,10 +690,59 @@ func (b *BMS) StopRetention() {
 	<-done
 }
 
-// Close shuts down the BMS: retention daemon stopped, stream hub
-// drained, bus closed.
+// StartCompaction launches the columnar tier's background compactor:
+// every interval, closed time buckets behind the row store's head are
+// sealed into immutable segments. A no-op when the tier is disabled.
+// Stop with StopCompaction.
+func (b *BMS) StartCompaction(interval time.Duration) {
+	if b.colstore == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.compactStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	b.compactStop = stop
+	b.compactDone = done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if _, err := b.colstore.CompactOnce(); err != nil {
+					fmt.Fprintf(os.Stderr, "core: columnar compaction: %v\n", err)
+				}
+			}
+		}
+	}()
+}
+
+// StopCompaction stops the compaction daemon and waits for it to
+// exit.
+func (b *BMS) StopCompaction() {
+	b.mu.Lock()
+	stop, done := b.compactStop, b.compactDone
+	b.compactStop, b.compactDone = nil, nil
+	b.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Close shuts down the BMS: retention and compaction daemons stopped,
+// stream hub drained, bus closed.
 func (b *BMS) Close() {
 	b.StopRetention()
+	b.StopCompaction()
 	b.streams.Close()
 	b.bus.Close()
 	if err := b.store.Close(); err != nil {

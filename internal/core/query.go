@@ -85,6 +85,16 @@ func (b *BMS) Query(ctx context.Context, requester query.Requester, sql string) 
 func (b *BMS) queryEnv(ctx context.Context) query.Env {
 	return query.Env{
 		Scan: func(f obstore.Filter) []sensor.Observation {
+			// The columnar tier serves the unified view — zone-map-pruned
+			// segments behind the watermark, row shards ahead of it; the
+			// plain store answers when the tier is disabled.
+			if b.colstore != nil {
+				_, qSpan := b.tracer.StartSpan(ctx, "colstore.query")
+				obs := b.colstore.Query(f)
+				qSpan.SetAttrInt("observations", int64(len(obs)))
+				qSpan.End()
+				return obs
+			}
 			_, qSpan := b.tracer.StartSpan(ctx, "obstore.query")
 			obs := b.store.Query(f)
 			qSpan.SetAttrInt("observations", int64(len(obs)))
@@ -109,6 +119,7 @@ func (b *BMS) queryEnv(ctx context.Context) query.Env {
 		},
 		AuditRecords: b.auditRecords,
 		Now:          b.clock,
+		Rollup:       b.queryRollup(),
 	}
 }
 

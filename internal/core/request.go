@@ -130,10 +130,43 @@ func (b *BMS) RequestOccupancyCtx(ctx context.Context, req enforce.Request, minK
 	tr := b.newTrace("occupancy", req)
 	tr.joinSpanContext(ctx)
 
+	// Rollup-served answers are memoized post-enforcement, pinned to
+	// the (enforcement epoch, rollup version) they were computed under:
+	// a preference change or a new observation invalidates the hit, so
+	// a repeated dashboard poll costs a map lookup instead of a decide
+	// batch. The snapshot is taken before the fetch so a concurrent
+	// ingest can only cause a spurious miss, never a stale hit.
+	var (
+		cacheKey       string
+		epoch, rollVer uint64
+	)
+	if b.colstore != nil {
+		cacheKey = occCacheKey(req, minK, b.clock())
+		epoch, rollVer = b.colstore.Epoch(), b.colstore.RollupVersion()
+		if a, ok := b.occCache.get(cacheKey, epoch, rollVer); ok {
+			span.SetAttr("cache", "hit")
+			tr.addStage("cache", time.Since(started))
+			resp := Response{
+				SubjectsConsidered: a.considered,
+				SubjectsReleased:   a.released,
+				Aggregates:         a.aggregates,
+				Decision:           occDecision(a.aggregates, a.k),
+			}
+			tr.Allowed = resp.Decision.Allowed
+			tr.DenyReason = resp.Decision.DenyReason
+			tr.SubjectsConsidered = a.considered
+			tr.SubjectsReleased = a.released
+			tr.ObservationsReleased = a.relObs
+			resp.Trace = b.finishTrace(&tr, started)
+			return resp, nil
+		}
+	}
+
 	_, qSpan := b.tracer.StartSpan(ctx, "obstore.query")
 	t0 := time.Now()
-	obs := b.store.Query(b.filterFor(req))
+	obs, fromRollup := b.occupancyRows(b.filterFor(req))
 	qSpan.SetAttrInt("observations", int64(len(obs)))
+	qSpan.SetAttr("rollup", strconv.FormatBool(fromRollup))
 	qSpan.End()
 	tr.addStage("fetch", time.Since(t0))
 	bySubject := make(map[string][]sensor.Observation)
@@ -170,8 +203,12 @@ func (b *BMS) RequestOccupancyCtx(ctx context.Context, req enforce.Request, minK
 			b.met.decideSeconds.Observe(elapsed.Seconds())
 		},
 	})
+	hasNotes := false
 	for i, d := range decisions {
 		b.recordDecision(d)
+		if len(d.Notifications) > 0 {
+			hasNotes = true
+		}
 		if !d.Allowed {
 			continue
 		}
@@ -199,18 +236,39 @@ func (b *BMS) RequestOccupancyCtx(ctx context.Context, req enforce.Request, minK
 	gSpan.SetAttrInt("spaces", int64(len(resp.Aggregates)))
 	gSpan.End()
 	tr.addStage("aggregate", time.Since(t0))
-	resp.Decision = enforce.Decision{Allowed: len(resp.Aggregates) > 0,
-		Effective: policy.Rule{Action: policy.ActionLimit, MinAggregationK: k}}
-	if !resp.Decision.Allowed {
-		resp.Decision.DenyReason = fmt.Sprintf("no space reached the k=%d aggregation floor", k)
-	}
+	resp.Decision = occDecision(resp.Aggregates, k)
 	tr.Allowed = resp.Decision.Allowed
 	tr.DenyReason = resp.Decision.DenyReason
 	tr.SubjectsConsidered = resp.SubjectsConsidered
 	tr.SubjectsReleased = resp.SubjectsReleased
 	tr.ObservationsReleased = len(releasedObs)
+	if fromRollup && cacheKey != "" && !hasNotes {
+		// Decisions that delivered override notifications are not
+		// memoized: replaying the answer would swallow the repeat
+		// notification the fresh decide batch produces.
+		b.occCache.put(cacheKey, occAnswer{
+			epoch:      epoch,
+			rollVer:    rollVer,
+			aggregates: resp.Aggregates,
+			k:          k,
+			considered: resp.SubjectsConsidered,
+			released:   resp.SubjectsReleased,
+			relObs:     len(releasedObs),
+		})
+	}
 	resp.Trace = b.finishTrace(&tr, started)
 	return resp, nil
+}
+
+// occDecision synthesizes the aggregate path's response decision: the
+// release is allowed iff some space cleared the k floor.
+func occDecision(aggs []privacy.AggregateCount, k int) enforce.Decision {
+	d := enforce.Decision{Allowed: len(aggs) > 0,
+		Effective: policy.Rule{Action: policy.ActionLimit, MinAggregationK: k}}
+	if !d.Allowed {
+		d.DenyReason = fmt.Sprintf("no space reached the k=%d aggregation floor", k)
+	}
+	return d
 }
 
 // filterFor translates a request into a store filter, expanding the

@@ -30,6 +30,7 @@ const maxBodyBytes = 10 << 20
 //	POST   /v1/requests/user             single-subject data request
 //	POST   /v1/requests/occupancy?k=K    aggregate occupancy request
 //	POST   /v1/query                     enforced SQL query (see query.go)
+//	GET    /v1/segments                  columnar-tier segments and stats
 //	GET    /v1/stats                     pipeline counters
 //	GET    /v1/decisions?user=U&n=N      recent decision traces
 //	GET    /v1/traces?n=N                recent pipeline traces (span ring)
@@ -95,6 +96,7 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /v1/requests/user", s.handleRequestUser)
 	handle("POST /v1/requests/occupancy", s.handleRequestOccupancy)
 	handle("POST /v1/query", s.handleQuery)
+	handle("GET /v1/segments", s.handleSegments)
 	handle("GET /v1/stats", s.handleStats)
 	handle("GET /v1/settings", s.handleSettings)
 	handle("POST /v1/settings", s.handleSettings)

@@ -56,6 +56,65 @@ type Filter struct {
 	Limit int
 }
 
+// Deletion summarizes one observation removed from the store by
+// retention or erasure. Listeners use it to keep derived
+// representations (columnar segments, rollup cubes) in step with the
+// ground truth without re-scanning the log.
+type Deletion struct {
+	Seq      uint64
+	Time     time.Time
+	SensorID string
+	SpaceID  string
+	UserID   string
+	Kind     sensor.ObservationKind
+	// Erased marks a GDPR-style subject erasure (DeleteUser) rather
+	// than a retention expiry; derived stores use it to tombstone the
+	// subject's dictionary entries, not just the individual rows.
+	Erased bool
+}
+
+// Listener observes the store's mutations. The columnar tier
+// (internal/colstore) attaches one so its rollup cubes track every
+// append path — including erasure re-inserts that bypass the capture
+// pipeline — and so erasure reaches the segment files. At most one
+// listener is supported; callbacks run synchronously on the mutating
+// goroutine and must be cheap and concurrency-safe.
+type Listener interface {
+	ObservationAppended(o sensor.Observation)
+	ObservationsDeleted(dels []Deletion)
+}
+
+// SetListener attaches (or, with nil, detaches) the store's mutation
+// listener. Attach before concurrent traffic, or rebuild the derived
+// state from a scan afterwards — appends racing the attach are not
+// replayed.
+func (s *Store) SetListener(l Listener) {
+	if l == nil {
+		s.listener.Store(nil)
+		return
+	}
+	s.listener.Store(&l)
+}
+
+func (s *Store) notifyAppend(o sensor.Observation) {
+	if lp := s.listener.Load(); lp != nil {
+		(*lp).ObservationAppended(o)
+	}
+}
+
+func (s *Store) notifyDeleted(dels []Deletion) {
+	if len(dels) == 0 {
+		return
+	}
+	if lp := s.listener.Load(); lp != nil {
+		(*lp).ObservationsDeleted(dels)
+	}
+}
+
+// hasListener reports whether deletion collection is needed; Sweep and
+// DeleteUser skip building Deletion slices when nobody is watching.
+func (s *Store) hasListener() bool { return s.listener.Load() != nil }
+
 // RetentionRule binds a time-to-live to a scope. Scope precedence at
 // sweep time: SensorID match beats Kind match beats the default.
 type RetentionRule struct {
@@ -91,6 +150,12 @@ type Store struct {
 	// sweepSeconds times retention sweeps (storage-time enforcement
 	// cost); it works standalone and is exposed via RegisterMetrics.
 	sweepSeconds *telemetry.Histogram
+
+	// listener observes appends and deletions (see SetListener).
+	listener atomic.Pointer[Listener]
+	// stripesPruned counts shards skipped wholesale by the per-shard
+	// time zone map before any index was consulted.
+	stripesPruned atomic.Uint64
 
 	// Durable mode (see durable.go): when wal is non-nil every append
 	// is framed into the log before it is indexed, and sweeps prune
@@ -183,6 +248,10 @@ func (s *Store) RegisterMetrics(r *telemetry.Registry) {
 		"Lock-striped store partitions.", func() float64 {
 			return float64(len(s.shards))
 		})
+	r.CounterFunc("tippers_obstore_stripes_pruned_total",
+		"Shards skipped wholesale by the per-shard time zone map.", func() float64 {
+			return float64(s.stripesPruned.Load())
+		})
 	r.RegisterHistogram("tippers_obstore_sweep_seconds",
 		"Retention sweep duration.", nil, s.sweepSeconds)
 	s.walMu.Lock()
@@ -265,6 +334,7 @@ func (s *Store) Append(o sensor.Observation) (sensor.Observation, error) {
 	sh.mu.Unlock()
 	s.gate.publish(seq)
 	s.totalIngests.Add(1)
+	s.notifyAppend(o)
 	return o, nil
 }
 
@@ -289,13 +359,25 @@ func (s *Store) Query(f Filter) []sensor.Observation {
 	}
 	spaceSet := spaceSetFor(f)
 	if f.SensorID != "" {
-		return s.shardFor(f.SensorID).collect(f, vis, spaceSet, f.Limit)
+		sh := s.shardFor(f.SensorID)
+		if sh.timeDisjoint(f) {
+			s.stripesPruned.Add(1)
+			return nil
+		}
+		return sh.collect(f, vis, spaceSet, f.Limit)
 	}
 	if len(s.shards) == 1 {
 		return s.shards[0].collect(f, vis, spaceSet, f.Limit)
 	}
 	pages := make([][]sensor.Observation, len(s.shards))
 	s.forEachShard(func(i int, sh *shard) {
+		// Zone-map prune: a shard whose observed time range is disjoint
+		// from the filter's window has no match; skip its lock and
+		// indexes entirely.
+		if sh.timeDisjoint(f) {
+			s.stripesPruned.Add(1)
+			return
+		}
 		pages[i] = sh.collect(f, vis, spaceSet, f.Limit)
 	})
 	return mergeBySeq(pages, f.Limit)
@@ -310,10 +392,19 @@ func (s *Store) Count(f Filter) int {
 	}
 	spaceSet := spaceSetFor(f)
 	if f.SensorID != "" {
-		return s.shardFor(f.SensorID).countMatches(f, vis, spaceSet)
+		sh := s.shardFor(f.SensorID)
+		if sh.timeDisjoint(f) {
+			s.stripesPruned.Add(1)
+			return 0
+		}
+		return sh.countMatches(f, vis, spaceSet)
 	}
 	counts := make([]int, len(s.shards))
 	s.forEachShard(func(i int, sh *shard) {
+		if sh.timeDisjoint(f) {
+			s.stripesPruned.Add(1)
+			return
+		}
 		counts[i] = sh.countMatches(f, vis, spaceSet)
 	})
 	total := 0
@@ -461,6 +552,8 @@ func (s *Store) Sweep(now time.Time) int {
 	t0 := time.Now()
 	defer s.sweepSeconds.ObserveSince(t0)
 	removed := make([]int, len(s.shards))
+	collect := s.hasListener()
+	dels := make([][]Deletion, len(s.shards))
 	s.forEachShard(func(i int, sh *shard) {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
@@ -471,6 +564,9 @@ func (s *Store) Sweep(now time.Time) int {
 				continue
 			}
 			if !exp.After(now) {
+				if collect {
+					dels[i] = append(dels[i], deletionOf(o))
+				}
 				delete(sh.bySeq, seq)
 				n++
 			}
@@ -494,7 +590,25 @@ func (s *Store) Sweep(now time.Time) int {
 	if total > 0 && s.durable.Load() {
 		s.pruneWAL()
 	}
+	if collect && total > 0 {
+		flat := make([]Deletion, 0, total)
+		for _, d := range dels {
+			flat = append(flat, d...)
+		}
+		s.notifyDeleted(flat)
+	}
 	return total
+}
+
+func deletionOf(o sensor.Observation) Deletion {
+	return Deletion{
+		Seq:      o.Seq,
+		Time:     o.Time,
+		SensorID: o.SensorID,
+		SpaceID:  o.SpaceID,
+		UserID:   o.UserID,
+		Kind:     o.Kind,
+	}
 }
 
 // DeleteUser removes every observation attributed to userID — from
@@ -502,12 +616,19 @@ func (s *Store) Sweep(now time.Time) int {
 // returns the number deleted.
 func (s *Store) DeleteUser(userID string) int {
 	removed := make([]int, len(s.shards))
+	collect := s.hasListener()
+	dels := make([][]Deletion, len(s.shards))
 	s.forEachShard(func(i int, sh *shard) {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		n := 0
 		for _, seq := range sh.byUser[userID] {
-			if _, ok := sh.bySeq[seq]; ok {
+			if o, ok := sh.bySeq[seq]; ok {
+				if collect {
+					d := deletionOf(o)
+					d.Erased = true
+					dels[i] = append(dels[i], d)
+				}
 				delete(sh.bySeq, seq)
 				n++
 			}
@@ -526,7 +647,33 @@ func (s *Store) DeleteUser(userID string) int {
 	if total > 0 && s.durable.Load() {
 		s.pruneWAL()
 	}
+	if collect && total > 0 {
+		flat := make([]Deletion, 0, total)
+		for _, d := range dels {
+			flat = append(flat, d...)
+		}
+		s.notifyDeleted(flat)
+	}
 	return total
+}
+
+// SyncWAL forces the write-ahead log to disk (durable mode; no-op in
+// memory mode). The columnar compactor calls it before cutting a
+// segment so every row a segment ever holds is already durable —
+// after a crash, recovery can never know fewer rows than the segment
+// manifest does, which is what keeps the WAL → segment handoff free
+// of lost or double-counted buckets.
+func (s *Store) SyncWAL() error {
+	if !s.durable.Load() {
+		return nil
+	}
+	s.walMu.Lock()
+	l := s.wal
+	s.walMu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.Sync()
 }
 
 // Users returns the distinct attributed user IDs present in the

@@ -39,19 +39,59 @@ type shard struct {
 	byUser   map[string][]uint64
 	byKind   map[sensor.ObservationKind][]uint64
 	dead     int // tombstones awaiting compaction
+
+	// minTimeNano/maxTimeNano are the shard's time zone map: the
+	// widest observation-time range ever inserted, read lock-free by
+	// timeDisjoint so time-bounded queries skip cold stripes without
+	// touching the shard lock. Deletions leave the bounds wide — a
+	// zone map may only over-approximate, never under.
+	minTimeNano atomic.Int64
+	maxTimeNano atomic.Int64
 }
 
 func newShard() *shard {
-	return &shard{
+	sh := &shard{
 		bySeq:    make(map[uint64]sensor.Observation),
 		bySensor: make(map[string][]uint64),
 		byUser:   make(map[string][]uint64),
 		byKind:   make(map[sensor.ObservationKind][]uint64),
 	}
+	sh.minTimeNano.Store(int64(^uint64(0) >> 1)) // MaxInt64
+	sh.maxTimeNano.Store(-int64(^uint64(0)>>1) - 1)
+	return sh
+}
+
+// timeDisjoint reports whether the filter's time window cannot
+// intersect any observation ever stored in this shard. Lock-free and
+// conservative: false negatives are impossible, false positives only
+// cost a normal scan.
+func (sh *shard) timeDisjoint(f Filter) bool {
+	if f.From.IsZero() && f.To.IsZero() {
+		return false
+	}
+	lo, hi := sh.minTimeNano.Load(), sh.maxTimeNano.Load()
+	if lo > hi {
+		return true // never held a row
+	}
+	if !f.From.IsZero() && f.From.UnixNano() > hi {
+		return true
+	}
+	if !f.To.IsZero() && f.To.UnixNano() <= lo {
+		return true
+	}
+	return false
 }
 
 // insert installs a fully formed observation. Caller holds sh.mu.
 func (sh *shard) insert(o sensor.Observation) {
+	if ns := o.Time.UnixNano(); !o.Time.IsZero() {
+		if ns < sh.minTimeNano.Load() {
+			sh.minTimeNano.Store(ns)
+		}
+		if ns > sh.maxTimeNano.Load() {
+			sh.maxTimeNano.Store(ns)
+		}
+	}
 	sh.bySeq[o.Seq] = o
 	sh.order = insertSeq(sh.order, o.Seq)
 	if o.SensorID != "" {

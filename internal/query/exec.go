@@ -164,8 +164,18 @@ func (p *Plan) Execute() (*Result, error) {
 	case TableAudit:
 		return p.execAudit()
 	case TableOccupancy:
+		if p.rollup != nil {
+			if res, ok, err := p.tryOccupancyRollup(); err != nil || ok {
+				return res, err
+			}
+		}
 		return p.execOccupancy()
 	default:
+		if p.rollup != nil {
+			if res, ok, err := p.tryRollup(); err != nil || ok {
+				return res, err
+			}
+		}
 		return p.execObservations()
 	}
 }

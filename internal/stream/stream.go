@@ -172,6 +172,11 @@ type Config struct {
 	BusBuffer int
 	// CacheSize caps the decision memo (default 65536 entries).
 	CacheSize int
+	// OnInvalidate, if set, is called whenever the hub's decision memo
+	// is invalidated by a rule mutation — the hook other decision-
+	// derived caches (columnar rollup epochs, occupancy answer caches)
+	// hang off so one policy or preference change flushes every tier.
+	OnInvalidate func()
 }
 
 // Errors returned by Subscription.Next.
@@ -525,11 +530,16 @@ func (h *Hub) dispatch(e bus.Event) {
 	}
 }
 
-// Invalidate flushes the decision memo. The owning BMS calls it on
-// every policy or preference mutation so streamed decisions track
-// rule changes exactly as queries do.
+// Invalidate flushes the decision memo and fans the invalidation out
+// to OnInvalidate. The owning BMS calls it on every policy or
+// preference mutation so streamed decisions — and every downstream
+// cache wired through the hook — track rule changes exactly as
+// queries do.
 func (h *Hub) Invalidate() {
 	h.cache.invalidate()
+	if h.cfg.OnInvalidate != nil {
+		h.cfg.OnInvalidate()
+	}
 }
 
 // CacheStats returns (hits, misses) of the decision memo.

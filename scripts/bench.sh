@@ -1,22 +1,34 @@
 #!/usr/bin/env bash
 # bench.sh — run the gated benchmark set and compare it against the
-# committed baseline (BENCH_pr4.json).
+# committed baselines (BENCH_pr4.json, the required gate set, plus
+# BENCH_pr8.json, which refreshes medians and carries the full-scale
+# columnar-aggregate results).
 #
-#   scripts/bench.sh                 # run, then gate against baseline
-#   BENCH_BASELINE=1 scripts/bench.sh  # run and (re)write the baseline instead
+#   scripts/bench.sh                   # run, then gate against baselines
+#   BENCH_BASELINE=1 scripts/bench.sh  # run and (re)write BENCH_pr8.json instead
 #
 # Environment knobs:
 #   BENCH_COUNT        -count for each benchmark (default 5; medians
 #                      need several samples)
 #   BENCH_SHARDED_OBS  dataset size for BenchmarkShardedQueryEnforce
 #                      (default 1000000; CI shrinks it to keep runs fast)
+#   BENCH_AGG_OBS      comma-separated dataset sizes for
+#                      BenchmarkAggregateSegments (default
+#                      1000000,10000000 — the baseline proves the
+#                      rollup speedup at 10M; CI runs 1M only and the
+#                      10M baseline entries are skipped as supplemental)
 #   BENCH_TOLERANCE    allowed median regression percent (default 15)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-5}"
 TOLERANCE="${BENCH_TOLERANCE:-15}"
-BASELINE="BENCH_pr4.json"
+AGG_OBS="${BENCH_AGG_OBS:-1000000,10000000}"
+# BENCH_pr4.json is the required gate set; BENCH_pr8.json supersedes
+# its medians and adds the aggregate-segments benchmarks (see
+# cmd/benchdiff's multi-baseline semantics).
+BASELINE_REQUIRED="BENCH_pr4.json"
+BASELINE="BENCH_pr8.json"
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 RAW="$OUT_DIR/bench.txt"
@@ -31,6 +43,11 @@ echo "== running gated benchmarks (count=$COUNT)"
 # and the end-to-end SQL query path (point + group-by shapes).
 go test -run '^$' -bench 'BenchmarkObstoreIngestDurable|BenchmarkShardedQueryEnforce|BenchmarkTraceOverhead|BenchmarkQueryEndToEnd' \
 	-benchmem -count="$COUNT" -benchtime "${BENCH_TIME:-1s}" . | tee -a "$RAW"
+# The columnar-aggregate pair: row-scan vs rollup occupancy/GROUP BY
+# with checksum-asserted result equivalence. Worlds are cached across
+# -count repetitions, so the ingest cost is paid once per size.
+BENCH_AGG_OBS="$AGG_OBS" go test -run '^$' -bench 'BenchmarkAggregateSegments' \
+	-benchmem -count="$COUNT" -benchtime "${BENCH_TIME:-1s}" -timeout 60m . | tee -a "$RAW"
 # Stream fanout lives with the core pipeline benchmarks.
 go test -run '^$' -bench 'BenchmarkStreamFanout' \
 	-benchmem -count="$COUNT" -benchtime "${BENCH_TIME:-1s}" ./internal/core | tee -a "$RAW"
@@ -40,7 +57,7 @@ go test -run '^$' -bench 'BenchmarkWALAppend' \
 
 echo "== parsing results"
 # BENCH_OUT is the fresh-run JSON (CI uploads it as an artifact);
-# BENCH_pr4.json stays the committed baseline.
+# BENCH_pr4.json and BENCH_pr8.json stay the committed baselines.
 FRESH="${BENCH_OUT:-bench-new.json}"
 "$OUT_DIR/benchdiff" parse "$RAW" >"$FRESH"
 
@@ -50,6 +67,6 @@ if [[ "${BENCH_BASELINE:-0}" == "1" || ! -f "$BASELINE" ]]; then
 	exit 0
 fi
 
-echo "== comparing against $BASELINE (tolerance ${TOLERANCE}%)"
-"$OUT_DIR/benchdiff" compare -tolerance "$TOLERANCE" "$BASELINE" "$FRESH"
+echo "== comparing against $BASELINE_REQUIRED + $BASELINE (tolerance ${TOLERANCE}%)"
+"$OUT_DIR/benchdiff" compare -tolerance "$TOLERANCE" "$BASELINE_REQUIRED" "$BASELINE" "$FRESH"
 echo "== benchmark gate passed"

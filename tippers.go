@@ -285,6 +285,17 @@ type DeploymentConfig struct {
 	// its trace ID as an exemplar; zero disables the slow-request
 	// log.
 	TraceSlow time.Duration
+	// ColumnarDir is the columnar tier's segment directory; empty
+	// keeps sealed segments in memory only.
+	ColumnarDir string
+	// CompactInterval starts the background compactor at this period
+	// (zero leaves compaction to explicit CompactOnce calls).
+	CompactInterval time.Duration
+	// ColumnarRollupMax caps the rollup cubes' entry count (default
+	// 1M); past it the cubes shut down and readers fall back to scans.
+	ColumnarRollupMax int
+	// DisableColumnar turns the columnar tier off entirely.
+	DisableColumnar bool
 }
 
 // Deployment is a fully wired building: BMS, population, services,
@@ -347,9 +358,16 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		StreamBuffer:  cfg.StreamBuffer,
 		StreamPolicy:  cfg.StreamPolicy,
 		Tracer:        cfg.Tracer,
+
+		ColumnarDir:       cfg.ColumnarDir,
+		ColumnarRollupMax: cfg.ColumnarRollupMax,
+		DisableColumnar:   cfg.DisableColumnar,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.CompactInterval > 0 {
+		bms.StartCompaction(cfg.CompactInterval)
 	}
 
 	if cfg.RegisterPaperPolicies {

@@ -30,7 +30,10 @@ go test -race -run 'TestWALRecovery|TestWALCrash' -count=2 ./internal/wal/...
 echo "== stream + bus + obstore shards (repeated, race) =="
 go test -race -count=2 ./internal/stream/... ./internal/bus/... ./internal/obstore/...
 
-echo "== query leak property (repeated, race) =="
-go test -race -count=2 -run TestQueryNeverLeaksDeniedRows ./internal/query/...
+echo "== colstore compaction crash injection (repeated, race) =="
+go test -race -count=2 -run TestCrashMidCompaction ./internal/colstore/...
+
+echo "== query leak + segment equivalence properties (repeated, race) =="
+go test -race -count=2 -run 'TestQueryNeverLeaksDeniedRows|TestSegmentQueryMatchesRowScan' ./internal/query/...
 
 echo "verify: OK"
