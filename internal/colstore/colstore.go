@@ -22,6 +22,7 @@ package colstore
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -70,14 +71,21 @@ type Store struct {
 	seqTomb  map[uint64]struct{}
 	userTomb map[string]struct{}
 	// compactingUpTo widens the tombstone-recording window while a
-	// compaction is in flight, so a deletion racing the compactor's
-	// store scan still lands as a tombstone instead of leaking into a
-	// fresh segment.
+	// compaction is in flight: it is set to ^uint64(0) before the
+	// compactor snapshots the row store and cleared on every exit, so
+	// a deletion racing the snapshot always lands as a tombstone
+	// instead of leaking into a fresh segment with the row-store copy
+	// already gone.
 	compactingUpTo uint64
 
 	// ioMu serializes durable state transitions (segment files +
 	// manifest): compactions and tombstone persists never interleave.
 	ioMu sync.Mutex
+	// tombDirty marks tombstones that exist only in memory because
+	// their manifest write failed; the next manifest write (idle
+	// compaction pass or commit) retries so a crash cannot resurrect
+	// erased rows from segments.
+	tombDirty atomic.Bool
 
 	src  *obstore.Store
 	roll *rollups
@@ -99,6 +107,11 @@ type Store struct {
 // files are durably written but before the manifest commit — the
 // widest crash window. The SIGKILL crash test parks the process here.
 var testHookMidCompact func()
+
+// testHookAfterSnapshot, when non-nil, runs right after CompactOnce
+// snapshots the row store's tail — the window where a racing deletion
+// must land as a tombstone rather than leak into a fresh segment.
+var testHookAfterSnapshot func()
 
 // Open loads (or initializes) a columnar store. With a directory it
 // replays the manifest, drops orphan segment files a crash left
@@ -228,10 +241,26 @@ func (s *Store) ObservationsDeleted(dels []obstore.Deletion) {
 	s.mu.Unlock()
 	if durable {
 		s.ioMu.Lock()
-		s.persistManifestLocked()
+		s.syncTombstonesLocked()
 		s.ioMu.Unlock()
 	}
 	s.roll.deleted(dels)
+}
+
+// syncTombstonesLocked persists in-memory state — notably fresh
+// erasure tombstones — to the manifest. A failure cannot be returned
+// to the deleting caller (the listener interface is fire-and-forget),
+// so it is logged and flagged for retry at the next manifest write;
+// until that succeeds, a crash would resurrect the tombstoned rows
+// from segments on reopen. Caller holds ioMu.
+func (s *Store) syncTombstonesLocked() {
+	if err := s.persistManifestLocked(); err != nil {
+		s.tombDirty.Store(true)
+		slog.Error("colstore: manifest write failed; erasure tombstones not yet durable, will retry",
+			"dir", s.cfg.Dir, "err", err)
+		return
+	}
+	s.tombDirty.Store(false)
 }
 
 // persistManifestLocked snapshots in-memory state into the manifest.
@@ -284,7 +313,7 @@ func (s *Store) CompactOnce() (int, error) {
 	defer s.ioMu.Unlock()
 
 	now := s.cfg.Clock()
-	s.mu.RLock()
+	s.mu.Lock()
 	wm := s.wm
 	nextID := s.nextID
 	oldSegs := append([]*segment(nil), s.segs...)
@@ -296,13 +325,26 @@ func (s *Store) CompactOnce() (int, error) {
 	for u := range s.userTomb {
 		userTombSnap[u] = struct{}{}
 	}
-	s.mu.RUnlock()
+	// Widen the tombstone-recording window BEFORE snapshotting the
+	// store below: a deletion that fires between the snapshot and the
+	// commit would otherwise compare against the old watermark, record
+	// nothing, and the deleted row — already captured in the snapshot,
+	// already gone from the row store — would be sealed into a segment
+	// with nothing left to ever remove it. Tombstones for seqs that
+	// turn out never to be sealed are harmless: reads filter a seq
+	// that no longer exists anywhere, and they retire once the
+	// watermark passes them.
+	s.compactingUpTo = ^uint64(0)
+	s.mu.Unlock()
 
 	// Take the seq-ascending tail and cut at the first row whose
 	// bucket is still open: the watermark must advance as a contiguous
 	// seq prefix, so a row in an open bucket fences everything behind
 	// it until the bucket closes.
 	rows := src.Query(obstore.Filter{AfterSeq: wm})
+	if testHookAfterSnapshot != nil {
+		testHookAfterSnapshot()
+	}
 	cut := len(rows)
 	for i, o := range rows {
 		if o.Time.Truncate(s.cfg.BucketDur).Add(s.cfg.BucketDur).After(now) {
@@ -318,24 +360,25 @@ func (s *Store) CompactOnce() (int, error) {
 	// can never leave a segment knowing rows WAL recovery does not.
 	if len(rows) > 0 {
 		if err := src.SyncWAL(); err != nil {
+			s.clearCompacting()
 			return 0, err
 		}
 	}
 
 	tombWork := tombstonesTouch(oldSegs, seqTombSnap, userTombSnap)
 	if len(rows) == 0 && !tombWork {
+		s.clearCompacting()
+		// Idle passes double as the retry point for tombstones whose
+		// manifest write failed in ObservationsDeleted.
+		if s.cfg.Dir != "" && s.tombDirty.Load() {
+			s.syncTombstonesLocked()
+		}
 		return 0, nil
 	}
 
 	newWM := wm
 	if len(rows) > 0 {
 		newWM = rows[len(rows)-1].Seq
-		// Deletions racing this compaction must still become
-		// tombstones: widen the recording window before building
-		// segments from the snapshot.
-		s.mu.Lock()
-		s.compactingUpTo = newWM
-		s.mu.Unlock()
 	}
 
 	// Partition the sealed prefix by time bucket, preserving seq order
@@ -443,9 +486,11 @@ func (s *Store) CompactOnce() (int, error) {
 
 	if s.cfg.Dir != "" {
 		if err := writeManifest(s.cfg.Dir, st); err != nil {
+			s.tombDirty.Store(true)
 			return 0, err
 		}
 		s.manifestWrites.Add(1)
+		s.tombDirty.Store(false)
 		for _, sg := range dropped {
 			os.Remove(filepath.Join(s.cfg.Dir, segFileName(sg.id)))
 		}

@@ -15,9 +15,65 @@ import (
 	"testing"
 	"time"
 
+	"github.com/tippers/tippers/internal/isodur"
 	"github.com/tippers/tippers/internal/obstore"
 	"github.com/tippers/tippers/internal/sensor"
 )
+
+// Regression for the Sweep ↔ CompactOnce race: a retention deletion
+// that fires after the compactor snapshots the row store but before
+// it commits carries Erased=false (so no user tombstone applies), and
+// its seq is above the old watermark — it must still land as a seq
+// tombstone, or the expired row is sealed into a segment while its
+// row store copy is already gone and gets served forever.
+func TestSweepRacingCompactionBecomesTombstone(t *testing.T) {
+	src, cs := newPair(t, "")
+	src.SetDefaultRetention(isodur.MustParse("PT10M"))
+
+	// One row already past retention, the rest comfortably inside it;
+	// every bucket closed so the whole tail seals.
+	if _, err := src.Append(obsAt("ap-1", "s1", "victim", sensor.ObsWiFiConnect, csNow.Add(-15*time.Minute), 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		at := csNow.Add(-5 * time.Minute).Add(time.Duration(i) * time.Second)
+		if _, err := src.Append(obsAt("ap-1", "s1", fmt.Sprintf("u%d", i), sensor.ObsWiFiConnect, at, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	swept := 0
+	testHookAfterSnapshot = func() { swept = src.Sweep(csNow) }
+	defer func() { testHookAfterSnapshot = nil }()
+	if _, err := cs.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+	testHookAfterSnapshot = nil
+	if swept != 1 {
+		t.Fatalf("sweep removed %d rows mid-compaction, want 1", swept)
+	}
+
+	// The expired row is unreadable immediately, and the unified view
+	// agrees with the row store (which no longer holds it).
+	if rows := cs.Query(obstore.Filter{UserID: "victim"}); len(rows) != 0 {
+		t.Fatalf("retention-expired row resurrected from segments: %d rows", len(rows))
+	}
+	if got, want := cs.Count(obstore.Filter{}), 8; got != want {
+		t.Fatalf("unified count %d, want %d", got, want)
+	}
+
+	// The next compaction rewrites the touched segment and retires the
+	// tombstone; the row stays gone.
+	if _, err := cs.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if rows := cs.Query(obstore.Filter{UserID: "victim"}); len(rows) != 0 {
+		t.Fatalf("expired row back after rewrite: %d rows", len(rows))
+	}
+	if st := cs.Stats(); st.SeqTombstones != 0 {
+		t.Fatalf("seq tombstone not retired by rewrite: %+v", st)
+	}
+}
 
 func TestErasureLeavesDisk(t *testing.T) {
 	const marker = "ERASURE-MARKER-SUBJECT-7f3a"
