@@ -106,15 +106,8 @@ func BenchmarkShardedQueryEnforce(b *testing.B) {
 	services.MustRegister(service.Concierge())
 	services.MustRegister(service.SmartMeeting())
 	cfg := enforce.Config{Spaces: building.Spaces, Services: services, DefaultAllow: true}
-	indexed := enforce.NewIndexed(cfg)
-	for _, p := range sim.GeneratePreferences(building, dir, []string{"concierge", "smart-meeting"}, sim.DefaultPreferenceWorkload(1)) {
-		if err := indexed.AddPreference(p); err != nil {
-			b.Fatal(err)
-		}
-	}
-	if err := indexed.AddPolicy(policy.Policy2EmergencyLocation(building.Spec.ID)); err != nil {
-		b.Fatal(err)
-	}
+	prefs := sim.GeneratePreferences(building, dir, []string{"concierge", "smart-meeting"}, sim.DefaultPreferenceWorkload(1))
+	bp := policy.Policy2EmergencyLocation(building.Spec.ID)
 
 	users := dir.All()
 	userIDs := make([]string, len(users))
@@ -141,7 +134,17 @@ func BenchmarkShardedQueryEnforce(b *testing.B) {
 			} else if sum != wantSum {
 				b.Fatalf("probe checksum %#x diverges from single-lock baseline %#x: sharded queries are not equivalent", sum, wantSum)
 			}
-			engine := enforce.NewCached(indexed, 0)
+			// Each variant gets a freshly loaded engine so one arm's
+			// warm memo cannot flatter the other.
+			engine := enforce.NewCompiled(cfg)
+			for _, p := range prefs {
+				if err := engine.AddPreference(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := engine.AddPolicy(bp); err != nil {
+				b.Fatal(err)
+			}
 			reqTime := benchDay.Add(14 * time.Hour)
 			b.ReportAllocs()
 			b.ResetTimer()

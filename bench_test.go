@@ -12,6 +12,8 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
@@ -30,8 +32,9 @@ import (
 
 var benchDay = time.Date(2017, time.June, 7, 0, 0, 0, 0, time.UTC)
 
-// benchEngines builds a matched rule set on both engine variants.
-func benchEngines(b *testing.B, users int) (naive, indexed enforce.Engine, reqs []enforce.Request) {
+// benchWorkload builds the simulated rule population and request
+// stream once, so each engine variant can be loaded identically.
+func benchWorkload(b *testing.B, users int) (cfg enforce.Config, prefs []policy.Preference, bp policy.BuildingPolicy, reqs []enforce.Request) {
 	b.Helper()
 	building, err := sim.SmallDBH().Build()
 	if err != nil {
@@ -41,26 +44,36 @@ func benchEngines(b *testing.B, users int) (naive, indexed enforce.Engine, reqs 
 	services := service.NewRegistry()
 	services.MustRegister(service.Concierge())
 	services.MustRegister(service.SmartMeeting())
-	cfg := enforce.Config{Spaces: building.Spaces, Services: services, DefaultAllow: true}
-	n := enforce.NewNaive(cfg)
-	x := enforce.NewIndexed(cfg)
-	for _, p := range sim.GeneratePreferences(building, dir, []string{"concierge", "smart-meeting"}, sim.DefaultPreferenceWorkload(1)) {
-		if err := n.AddPreference(p); err != nil {
-			b.Fatal(err)
-		}
-		if err := x.AddPreference(p); err != nil {
-			b.Fatal(err)
-		}
-	}
-	bp := policy.Policy2EmergencyLocation(building.Spec.ID)
-	if err := n.AddPolicy(bp); err != nil {
-		b.Fatal(err)
-	}
-	if err := x.AddPolicy(bp); err != nil {
-		b.Fatal(err)
-	}
+	cfg = enforce.Config{Spaces: building.Spaces, Services: services, DefaultAllow: true}
+	prefs = sim.GeneratePreferences(building, dir, []string{"concierge", "smart-meeting"}, sim.DefaultPreferenceWorkload(1))
+	bp = policy.Policy2EmergencyLocation(building.Spec.ID)
 	reqs = sim.GenerateRequests(building, dir, []string{"concierge", "smart-meeting"}, benchDay,
 		sim.RequestWorkload{N: 4096, Seed: 3, EmergencyFraction: 0.05})
+	return cfg, prefs, bp, reqs
+}
+
+// loadBenchEngine installs the workload's rules into e.
+func loadBenchEngine(b *testing.B, e enforce.Engine, prefs []policy.Preference, bp policy.BuildingPolicy) {
+	b.Helper()
+	for _, p := range prefs {
+		if err := e.AddPreference(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.AddPolicy(bp); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchEngines builds a matched rule set on the reference and
+// compiled (memo-free) engine variants.
+func benchEngines(b *testing.B, users int) (naive, compiled enforce.Engine, reqs []enforce.Request) {
+	b.Helper()
+	cfg, prefs, bp, reqs := benchWorkload(b, users)
+	n := enforce.NewNaive(cfg)
+	x := enforce.NewIndexed(cfg)
+	loadBenchEngine(b, n, prefs, bp)
+	loadBenchEngine(b, x, prefs, bp)
 	return n, x, reqs
 }
 
@@ -96,17 +109,128 @@ func BenchmarkEnforceNaiveVsIndexed(b *testing.B) {
 	}
 }
 
-// BenchmarkEnforceCached is the third E2 arm: the decision memo on a
-// repetitive (polling-service) workload.
+// BenchmarkEnforceCached is the third E2 arm: the compiled engine's
+// built-in decision memo on a repetitive (polling-service) workload.
 func BenchmarkEnforceCached(b *testing.B) {
 	for _, users := range []int{10, 1000} {
-		_, indexed, reqs := benchEngines(b, users)
-		cached := enforce.NewCached(indexed, 0)
+		cfg, prefs, bp, reqs := benchWorkload(b, users)
+		memo := enforce.NewCompiled(cfg)
+		loadBenchEngine(b, memo, prefs, bp)
 		// Polling workload: 64 distinct requests issued repeatedly.
 		hot := reqs[:64]
 		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cached.Decide(hot[i%len(hot)], nil)
+				memo.Decide(hot[i%len(hot)], nil)
+			}
+		})
+	}
+}
+
+// benchCompiledWorld is one loaded scale point of the compiled-engine
+// sweep, cached at package level so -count repetitions pay the
+// million-preference registration once per process.
+type benchCompiledWorld struct {
+	engine enforce.Engine
+	reqs   []enforce.Request
+}
+
+var benchCompiledWorlds = map[int]*benchCompiledWorld{}
+
+// benchCompiledDecideWorld registers prefCount synthetic preferences
+// (one per subject, scopes rotating over service / space-subtree /
+// time-window / sensor-kind shapes so every index dimension is
+// populated) on a memo-free compiled engine, then builds a request
+// stream over a subject sample.
+func benchCompiledDecideWorld(b *testing.B, prefCount int) *benchCompiledWorld {
+	b.Helper()
+	if w := benchCompiledWorlds[prefCount]; w != nil {
+		return w
+	}
+	building, err := sim.SmallDBH().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	services := service.NewRegistry()
+	services.MustRegister(service.Concierge())
+	services.MustRegister(service.SmartMeeting())
+	cfg := enforce.Config{Spaces: building.Spaces, Services: services, DefaultAllow: true}
+	// Memo off: the sweep must measure the indexed decision path
+	// itself, not memo hits that would flatten any engine.
+	engine := enforce.NewIndexed(cfg)
+
+	var rooms []string
+	for _, sp := range building.Spaces.All() {
+		rooms = append(rooms, sp.ID)
+	}
+	windows := []policy.DailyWindow{{}, policy.AfterHours, policy.BusinessHours}
+	for i := 0; i < prefCount; i++ {
+		subject := fmt.Sprintf("u%07d", i)
+		scope := policy.Scope{ServiceID: "concierge"}
+		switch i % 4 {
+		case 1:
+			scope.SpaceID = rooms[i%len(rooms)]
+		case 2:
+			scope.Window = windows[i%len(windows)]
+		case 3:
+			scope.ObsKind = sensor.ObsWiFiConnect
+		}
+		err := engine.AddPreference(policy.Preference{
+			ID:     "p-" + subject,
+			UserID: subject,
+			Scope:  scope,
+			Rule:   policy.Rule{Action: policy.ActionLimit, MaxGranularity: policy.GranBuilding},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := engine.AddPolicy(policy.Policy2EmergencyLocation(building.Spec.ID)); err != nil {
+		b.Fatal(err)
+	}
+
+	reqs := make([]enforce.Request, 1024)
+	for i := range reqs {
+		// A multiplicative stride walks the subject space so the
+		// request sample is spread across the whole population.
+		subject := fmt.Sprintf("u%07d", (i*2654435761)%prefCount)
+		reqs[i] = enforce.Request{
+			ServiceID:   "concierge",
+			SubjectID:   subject,
+			Kind:        sensor.ObsWiFiConnect,
+			Purpose:     policy.PurposeProvidingService,
+			SpaceID:     rooms[i%len(rooms)],
+			Granularity: policy.GranExact,
+			Time:        benchDay.Add(14 * time.Hour),
+		}
+	}
+	w := &benchCompiledWorld{engine: engine, reqs: reqs}
+	benchCompiledWorlds[prefCount] = w
+	return w
+}
+
+// BenchmarkCompiledDecide is the ROADMAP item-1 scale sweep: decision
+// latency on the compiled engine as registered preferences grow from
+// 10 to 1,000,000. CI gates this with `benchdiff flat`: the 1M-pref
+// median must stay within 2× of the 10-pref median, so any
+// super-linear candidate walk fails the build even when each point is
+// individually inside the compare tolerance.
+func BenchmarkCompiledDecide(b *testing.B) {
+	for _, prefs := range []int{10, 10_000, 1_000_000} {
+		b.Run(fmt.Sprintf("prefs=%d", prefs), func(b *testing.B) {
+			w := benchCompiledDecideWorld(b, prefs)
+			// Settle the collector after the multi-gigabyte load phase,
+			// then hold it off for the timed region: the flatness gate
+			// measures decision latency, and a background mark cycle
+			// triggered by registration garbage would charge a heap scan
+			// proportional to the preference count to whichever scale
+			// point it lands on.
+			runtime.GC()
+			prev := debug.SetGCPercent(-1)
+			b.Cleanup(func() { debug.SetGCPercent(prev) })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.engine.Decide(w.reqs[i%len(w.reqs)], nil)
 			}
 		})
 	}

@@ -1,13 +1,17 @@
 // Command benchdiff turns `go test -bench` output into a committed
 // JSON baseline and gates CI on regressions against it.
 //
-//	benchdiff parse bench.txt > BENCH_pr8.json
+//	benchdiff parse bench.txt > BENCH_pr9.json
 //	benchdiff compare -tolerance 15 baseline.json [more.json ...] new.json
+//	benchdiff flat -max 2 new.json baseBench scaledBench [more ...]
 //
 // parse reads the standard benchmark output format and emits one JSON
 // entry per benchmark with every ns/op sample (run bench with
 // -count=N so compare has medians to work with), plus B/op and
-// allocs/op when -benchmem was on.
+// allocs/op when -benchmem was on. Benchmarks are keyed by their FULL
+// name, including the trailing `-N` GOMAXPROCS/-cpu suffix: a run
+// with -cpu=1,8 produces two distinct entries, and stripping the
+// suffix would silently pool (or cross-compare) the two variants.
 //
 // compare takes one or more baseline files followed by the fresh run.
 // Baselines are merged with later files superseding earlier ones on
@@ -20,11 +24,22 @@
 // CI runs shrink past). compare exits nonzero when any benchmark's
 // median ns/op or allocs/op exceeds the (merged) baseline median by
 // more than the tolerance percentage, or when a required benchmark is
-// missing. Benchmark names are normalized by stripping the trailing
-// GOMAXPROCS suffix (`BenchmarkX-8` → `BenchmarkX`) so baselines
-// recorded on one machine compare cleanly on another; wall-clock
-// medians still vary across hardware, which is why CI compares runs
-// from the same runner class and the tolerance is generous.
+// missing.
+//
+// Because baselines recorded on one machine gate runs on another, a
+// baseline name with suffix `-8` may have no exact match in a fresh
+// run recorded at `-4`. Resolution is exact-match first; failing
+// that, the baseline name maps to the fresh benchmark whose
+// suffix-stripped name matches — but only when that mapping is
+// unambiguous. If the fresh run holds several -cpu variants of the
+// same benchmark, an inexact baseline name refuses to pick one and
+// fails the gate instead of silently comparing mismatched variants.
+//
+// flat is a scale-sweep gate: it asserts each scaled benchmark's
+// median ns/op stays within -max times the base benchmark's median in
+// the SAME run (no baseline file involved), so super-linear cost
+// growth fails the build even when every point individually drifted
+// under the compare tolerance.
 package main
 
 import (
@@ -58,11 +73,41 @@ type File struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
 
 // gomaxprocsSuffix is the trailing -N the testing package appends to
-// benchmark names; stripping it keeps names machine-independent.
+// benchmark names (GOMAXPROCS, or the -cpu value for that variant).
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
+// normalize strips the -N suffix. Used only to RESOLVE a baseline
+// name against a fresh run from different hardware — never as the
+// storage key, which keeps distinct -cpu variants distinct.
 func normalize(name string) string {
 	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// resolve maps one benchmark name onto the names of another file.
+// Exact match wins. Otherwise the name resolves to the single entry
+// with the same normalized form; zero candidates return ok=false, and
+// several candidates (a genuine multi-cpu run) return an error rather
+// than guessing which variant to compare.
+func resolve(name string, in *File) (string, bool, error) {
+	if _, ok := in.Benchmarks[name]; ok {
+		return name, true, nil
+	}
+	var matches []string
+	want := normalize(name)
+	for cand := range in.Benchmarks {
+		if normalize(cand) == want {
+			matches = append(matches, cand)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return "", false, nil
+	case 1:
+		return matches[0], true, nil
+	default:
+		sort.Strings(matches)
+		return "", false, fmt.Errorf("benchdiff: %q is ambiguous: matches -cpu variants %s", name, strings.Join(matches, ", "))
+	}
 }
 
 func parse(r io.Reader) (*File, error) {
@@ -74,7 +119,7 @@ func parse(r io.Reader) (*File, error) {
 		if m == nil {
 			continue
 		}
-		name := normalize(m[1])
+		name := m[1]
 		res := out.Benchmarks[name]
 		if res == nil {
 			res = &Result{}
@@ -134,21 +179,42 @@ func load(path string) (*File, error) {
 }
 
 // mergeBaselines unions the given baselines, later files superseding
-// earlier ones on name collisions, and returns the merged file plus
-// the required set — the names of the first (primary) baseline, whose
-// absence from a fresh run fails the gate.
-func mergeBaselines(files []*File) (*File, map[string]bool) {
+// earlier ones when their names resolve to the same benchmark (exact
+// or same normalized form recorded at a different GOMAXPROCS), and
+// returns the merged file plus the required set — the names of the
+// first (primary) baseline, whose absence from a fresh run fails the
+// gate. Required names follow the superseding entry's spelling so
+// lookups against the merged map stay exact.
+func mergeBaselines(files []*File) (*File, map[string]bool, error) {
 	merged := &File{Benchmarks: map[string]*Result{}}
-	for _, f := range files {
+	required := map[string]bool{}
+	for i, f := range files {
+		// Resolve against the state before this file lands, so two
+		// -cpu variants recorded in one file never supersede each
+		// other.
+		prior := &File{Benchmarks: map[string]*Result{}}
+		for name, res := range merged.Benchmarks {
+			prior.Benchmarks[name] = res
+		}
 		for name, res := range f.Benchmarks {
+			old, ok, err := resolve(name, prior)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok && old != name {
+				if required[old] {
+					delete(required, old)
+					required[name] = true
+				}
+				delete(merged.Benchmarks, old)
+			}
 			merged.Benchmarks[name] = res
+			if i == 0 {
+				required[name] = true
+			}
 		}
 	}
-	required := make(map[string]bool, len(files[0].Benchmarks))
-	for name := range files[0].Benchmarks {
-		required[name] = true
-	}
-	return merged, required
+	return merged, required, nil
 }
 
 // compare reports pass/fail per benchmark. Only regressions fail —
@@ -156,17 +222,25 @@ func mergeBaselines(files []*File) (*File, map[string]bool) {
 // required limits which baseline benchmarks must appear in the fresh
 // run; nil means all of them (the single-baseline behavior). A
 // benchmark outside the required set that the fresh run skipped is
-// noted but never fails the gate.
+// noted but never fails the gate. An ambiguous name resolution
+// (baseline name matching several -cpu variants in the fresh run)
+// always fails.
 func compare(base, cur *File, required map[string]bool, tolerancePct float64, w io.Writer) (failed bool) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	matched := map[string]bool{}
 	fmt.Fprintf(w, "%-70s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "new ns/op", "delta", "status")
 	for _, name := range names {
 		b := base.Benchmarks[name]
-		c, ok := cur.Benchmarks[name]
+		curName, ok, err := resolve(name, cur)
+		if err != nil {
+			fmt.Fprintf(w, "%-70s %14s %14s %8s  AMBIGUOUS (%v)\n", name, fmtNs(median(b.NsOp)), "-", "-", err)
+			failed = true
+			continue
+		}
 		if !ok {
 			if required != nil && !required[name] {
 				fmt.Fprintf(w, "%-70s %14s %14s %8s  skipped (supplemental baseline, not in this run)\n", name, fmtNs(median(b.NsOp)), "-", "-")
@@ -176,6 +250,8 @@ func compare(base, cur *File, required map[string]bool, tolerancePct float64, w 
 			failed = true
 			continue
 		}
+		matched[curName] = true
+		c := cur.Benchmarks[curName]
 		bm, cm := median(b.NsOp), median(c.NsOp)
 		delta := 100 * (cm - bm) / bm
 		status := "ok"
@@ -191,10 +267,60 @@ func compare(base, cur *File, required map[string]bool, tolerancePct float64, w 
 		}
 		fmt.Fprintf(w, "%-70s %14s %14s %+7.1f%%  %s\n", name, fmtNs(bm), fmtNs(cm), delta, status)
 	}
+	newNames := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
-		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Fprintf(w, "%-70s %14s %14s %8s  new (no baseline)\n", name, "-", fmtNs(median(cur.Benchmarks[name].NsOp)), "-")
+		if !matched[name] {
+			newNames = append(newNames, name)
 		}
+	}
+	sort.Strings(newNames)
+	for _, name := range newNames {
+		fmt.Fprintf(w, "%-70s %14s %14s %8s  new (no baseline)\n", name, "-", fmtNs(median(cur.Benchmarks[name].NsOp)), "-")
+	}
+	return failed
+}
+
+// flatCheck is the scale-sweep gate: every scaled benchmark's median
+// ns/op must stay within maxRatio times the base benchmark's median,
+// all read from the same fresh run.
+func flatCheck(f *File, baseName string, scaledNames []string, maxRatio float64, w io.Writer) (failed bool) {
+	resolveOrDie := func(name string) (*Result, bool) {
+		got, ok, err := resolve(name, f)
+		if err != nil {
+			fmt.Fprintf(w, "%-70s %s\n", name, err)
+			return nil, false
+		}
+		if !ok {
+			fmt.Fprintf(w, "%-70s MISSING from run\n", name)
+			return nil, false
+		}
+		return f.Benchmarks[got], true
+	}
+	base, ok := resolveOrDie(baseName)
+	if !ok {
+		return true
+	}
+	bm := median(base.NsOp)
+	if bm <= 0 {
+		fmt.Fprintf(w, "%-70s has no ns/op samples\n", baseName)
+		return true
+	}
+	fmt.Fprintf(w, "%-70s %14s %8s  %s\n", "benchmark", "ns/op", "ratio", "status")
+	fmt.Fprintf(w, "%-70s %14s %8s  base\n", baseName, fmtNs(bm), "1.00x")
+	for _, name := range scaledNames {
+		res, ok := resolveOrDie(name)
+		if !ok {
+			failed = true
+			continue
+		}
+		cm := median(res.NsOp)
+		ratio := cm / bm
+		status := "ok"
+		if ratio > maxRatio {
+			status = fmt.Sprintf("NOT FLAT (>%.1fx base)", maxRatio)
+			failed = true
+		}
+		fmt.Fprintf(w, "%-70s %14s %7.2fx  %s\n", name, fmtNs(cm), ratio, status)
 	}
 	return failed
 }
@@ -257,9 +383,27 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		base, required := mergeBaselines(baselines)
+		base, required, err := mergeBaselines(baselines)
+		if err != nil {
+			fatal(err)
+		}
 		if compare(base, cur, required, *tolerance, os.Stdout) {
 			fmt.Fprintln(os.Stderr, "benchdiff: benchmark regression over tolerance")
+			os.Exit(1)
+		}
+	case "flat":
+		fs := flag.NewFlagSet("flat", flag.ExitOnError)
+		maxRatio := fs.Float64("max", 2, "max allowed median ns/op ratio of scaled vs base benchmark")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() < 3 {
+			usage()
+		}
+		f, err := load(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if flatCheck(f, fs.Arg(1), fs.Args()[2:], *maxRatio, os.Stdout) {
+			fmt.Fprintln(os.Stderr, "benchdiff: scale sweep is not flat")
 			os.Exit(1)
 		}
 	default:
@@ -272,6 +416,7 @@ func usage() {
 usage:
   benchdiff parse [bench.txt]                      # bench output → JSON on stdout
   benchdiff compare [-tolerance 15] base.json [more.json ...] new.json
+  benchdiff flat [-max 2] new.json baseBench scaledBench [more ...]
 `))
 	os.Exit(2)
 }

@@ -18,14 +18,14 @@ PASS
 ok    github.com/tippers/tippers  12.3s
 `
 
-func TestParseNormalizesAndCollectsSamples(t *testing.T) {
+func TestParseKeepsSuffixAndCollectsSamples(t *testing.T) {
 	f, err := parse(strings.NewReader(sampleBench))
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, ok := f.Benchmarks["BenchmarkShardedQueryEnforce/store=single-lock"]
+	single, ok := f.Benchmarks["BenchmarkShardedQueryEnforce/store=single-lock-8"]
 	if !ok {
-		t.Fatalf("GOMAXPROCS suffix not stripped: have %v", keys(f))
+		t.Fatalf("full suffixed name must be the key: have %v", keys(f))
 	}
 	if len(single.NsOp) != 2 || single.NsOp[0] != 2329090 {
 		t.Fatalf("samples = %v", single.NsOp)
@@ -33,15 +33,83 @@ func TestParseNormalizesAndCollectsSamples(t *testing.T) {
 	if len(single.AllocsOp) != 2 || single.AllocsOp[0] != 2233 {
 		t.Fatalf("allocs = %v", single.AllocsOp)
 	}
-	wal := f.Benchmarks["BenchmarkWALAppend"]
+	wal := f.Benchmarks["BenchmarkWALAppend-8"]
 	if wal == nil || len(wal.NsOp) != 1 || len(wal.AllocsOp) != 0 {
 		t.Fatalf("WAL entry = %+v", wal)
+	}
+}
+
+func TestParseKeepsCPUVariantsDistinct(t *testing.T) {
+	f, err := parse(strings.NewReader(`
+BenchmarkDecide/prefs=10-1        	 1000000	      1000 ns/op
+BenchmarkDecide/prefs=10-8        	 1000000	      1100 ns/op
+BenchmarkDecide/prefs=10-8        	 1000000	      1200 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A -cpu=1,8 run produces two variants; pooling them under one
+	// stripped key would mix medians across GOMAXPROCS settings.
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %v, want 2 distinct -cpu variants", keys(f))
+	}
+	if got := f.Benchmarks["BenchmarkDecide/prefs=10-8"]; got == nil || len(got.NsOp) != 2 {
+		t.Errorf("suffixed variant = %+v, want 2 samples", got)
 	}
 }
 
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := parse(strings.NewReader("no benchmarks here\n")); err == nil {
 		t.Fatal("want error on benchmark-free input")
+	}
+}
+
+func mkFile(entries map[string]float64) *File {
+	f := &File{Benchmarks: map[string]*Result{}}
+	for name, ns := range entries {
+		f.Benchmarks[name] = &Result{NsOp: []float64{ns}}
+	}
+	return f
+}
+
+func TestResolve(t *testing.T) {
+	f := mkFile(map[string]float64{
+		"BenchmarkA-8":   1,
+		"BenchmarkB-1":   1,
+		"BenchmarkB-8":   1,
+		"BenchmarkC":     1,
+		"BenchmarkD/n=4": 1,
+	})
+	cases := []struct {
+		name    string
+		want    string
+		ok      bool
+		wantErr bool
+	}{
+		{name: "BenchmarkA-8", want: "BenchmarkA-8", ok: true},       // exact
+		{name: "BenchmarkA", want: "BenchmarkA-8", ok: true},         // unique normalized
+		{name: "BenchmarkA-4", want: "BenchmarkA-8", ok: true},       // other machine's suffix
+		{name: "BenchmarkB", wantErr: true},                          // two -cpu variants
+		{name: "BenchmarkB-4", wantErr: true},                        // still ambiguous
+		{name: "BenchmarkC-16", want: "BenchmarkC", ok: true},        // suffixed vs stored bare
+		{name: "BenchmarkD/n=4-2", want: "BenchmarkD/n=4", ok: true}, // subname ending in -N
+		{name: "BenchmarkZ", ok: false},                              // absent
+	}
+	for _, tc := range cases {
+		got, ok, err := resolve(tc.name, f)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("resolve(%q) = %q, want ambiguity error", tc.name, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("resolve(%q): %v", tc.name, err)
+			continue
+		}
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("resolve(%q) = %q, %v; want %q, %v", tc.name, got, ok, tc.want, tc.ok)
+		}
 	}
 }
 
@@ -90,29 +158,66 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
+func TestCompareCrossSuffix(t *testing.T) {
+	// Baseline recorded bare (pre-suffix format), fresh run suffixed:
+	// the names must still pair up and gate on the median delta.
+	base := mkFile(map[string]float64{"BenchmarkX": 1000})
+	cur := mkFile(map[string]float64{"BenchmarkX-8": 1100})
+	var sb strings.Builder
+	if failed := compare(base, cur, nil, 15, &sb); failed {
+		t.Errorf("10%% delta under 15%% tolerance failed:\n%s", sb.String())
+	}
+	cur = mkFile(map[string]float64{"BenchmarkX-8": 1300})
+	sb.Reset()
+	if failed := compare(base, cur, nil, 15, &sb); !failed {
+		t.Errorf("30%% regression passed:\n%s", sb.String())
+	}
+}
+
+func TestCompareAmbiguousVariantsFail(t *testing.T) {
+	// A bare baseline name facing two -cpu variants in the fresh run
+	// must fail rather than silently picking one.
+	base := mkFile(map[string]float64{"BenchmarkX": 1000})
+	cur := mkFile(map[string]float64{"BenchmarkX-1": 500, "BenchmarkX-8": 100})
+	var sb strings.Builder
+	if failed := compare(base, cur, nil, 15, &sb); !failed {
+		t.Errorf("ambiguous -cpu variants passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "AMBIGUOUS") {
+		t.Errorf("output does not flag ambiguity:\n%s", sb.String())
+	}
+}
+
 func TestCompareMultipleBaselines(t *testing.T) {
 	old := &File{Benchmarks: map[string]*Result{
 		"BenchmarkA": {NsOp: []float64{100}},
 		"BenchmarkB": {NsOp: []float64{1000}},
 	}}
 	refreshed := &File{Benchmarks: map[string]*Result{
-		// Supersedes old's BenchmarkA median and adds a supplemental
-		// full-scale benchmark quick runs may skip.
-		"BenchmarkA":      {NsOp: []float64{200}},
+		// Supersedes old's BenchmarkA median (recorded suffixed on a
+		// newer machine) and adds a supplemental full-scale benchmark
+		// quick runs may skip.
+		"BenchmarkA-8":    {NsOp: []float64{200}},
 		"BenchmarkBig10M": {NsOp: []float64{5000}},
 	}}
-	merged, required := mergeBaselines([]*File{old, refreshed})
-	if m := median(merged.Benchmarks["BenchmarkA"].NsOp); m != 200 {
-		t.Fatalf("later baseline must supersede: BenchmarkA median = %v", m)
+	merged, required, err := mergeBaselines([]*File{old, refreshed})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !required["BenchmarkB"] || required["BenchmarkBig10M"] {
-		t.Fatalf("required set must be the first baseline's names: %v", required)
+	if _, ok := merged.Benchmarks["BenchmarkA"]; ok {
+		t.Fatalf("superseded bare spelling still present: %v", keys(merged))
+	}
+	if m := median(merged.Benchmarks["BenchmarkA-8"].NsOp); m != 200 {
+		t.Fatalf("later baseline must supersede: BenchmarkA-8 median = %v", m)
+	}
+	if !required["BenchmarkA-8"] || !required["BenchmarkB"] || required["BenchmarkBig10M"] {
+		t.Fatalf("required set must be the first baseline's names (restyled to the superseding spelling): %v", required)
 	}
 
 	// A fresh run that skipped the supplemental benchmark passes…
 	cur := &File{Benchmarks: map[string]*Result{
-		"BenchmarkA": {NsOp: []float64{205}},
-		"BenchmarkB": {NsOp: []float64{1000}},
+		"BenchmarkA-8": {NsOp: []float64{205}},
+		"BenchmarkB-8": {NsOp: []float64{1000}},
 	}}
 	var sb strings.Builder
 	if compare(merged, cur, required, 15, &sb) {
@@ -123,7 +228,7 @@ func TestCompareMultipleBaselines(t *testing.T) {
 	}
 
 	// …but dropping a required one still fails.
-	delete(cur.Benchmarks, "BenchmarkB")
+	delete(cur.Benchmarks, "BenchmarkB-8")
 	sb.Reset()
 	if !compare(merged, cur, required, 15, &sb) {
 		t.Fatalf("missing required benchmark must fail the gate:\n%s", sb.String())
@@ -131,13 +236,60 @@ func TestCompareMultipleBaselines(t *testing.T) {
 
 	// And a regression against the superseding median is caught.
 	cur = &File{Benchmarks: map[string]*Result{
-		"BenchmarkA":      {NsOp: []float64{300}},
-		"BenchmarkB":      {NsOp: []float64{1000}},
+		"BenchmarkA-8":    {NsOp: []float64{300}},
+		"BenchmarkB-8":    {NsOp: []float64{1000}},
 		"BenchmarkBig10M": {NsOp: []float64{5100}},
 	}}
 	sb.Reset()
 	if !compare(merged, cur, required, 15, &sb) {
 		t.Fatalf("regression against a superseding baseline must fail:\n%s", sb.String())
+	}
+}
+
+func TestMergeBaselinesKeepsVariantsWithinOneFile(t *testing.T) {
+	// Two -cpu variants recorded in one file must both survive the
+	// merge instead of superseding each other.
+	multi := mkFile(map[string]float64{"BenchmarkX-1": 100, "BenchmarkX-8": 25})
+	merged, _, err := mergeBaselines([]*File{multi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Benchmarks) != 2 {
+		t.Errorf("merged = %v, want both -cpu variants", keys(merged))
+	}
+}
+
+func TestFlatCheck(t *testing.T) {
+	f := mkFile(map[string]float64{
+		"BenchmarkCompiledDecide/prefs=10-8":      1000,
+		"BenchmarkCompiledDecide/prefs=10000-8":   1500,
+		"BenchmarkCompiledDecide/prefs=1000000-8": 1900,
+	})
+	var sb strings.Builder
+	failed := flatCheck(f, "BenchmarkCompiledDecide/prefs=10",
+		[]string{"BenchmarkCompiledDecide/prefs=10000", "BenchmarkCompiledDecide/prefs=1000000"}, 2, &sb)
+	if failed {
+		t.Errorf("flat sweep failed:\n%s", sb.String())
+	}
+
+	f.Benchmarks["BenchmarkCompiledDecide/prefs=1000000-8"].NsOp = []float64{2100}
+	sb.Reset()
+	failed = flatCheck(f, "BenchmarkCompiledDecide/prefs=10",
+		[]string{"BenchmarkCompiledDecide/prefs=10000", "BenchmarkCompiledDecide/prefs=1000000"}, 2, &sb)
+	if !failed {
+		t.Errorf("2.1x sweep passed a 2x gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "NOT FLAT") {
+		t.Errorf("output does not flag the non-flat point:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if !flatCheck(f, "BenchmarkCompiledDecide/prefs=10", []string{"BenchmarkGhost"}, 2, &sb) {
+		t.Error("missing scaled benchmark passed the flat gate")
+	}
+	sb.Reset()
+	if !flatCheck(f, "BenchmarkGhost", []string{"BenchmarkCompiledDecide/prefs=10000"}, 2, &sb) {
+		t.Error("missing base benchmark passed the flat gate")
 	}
 }
 

@@ -15,9 +15,10 @@ import (
 	"github.com/tippers/tippers/internal/sim"
 )
 
-// buildEngines creates a matched naive/indexed pair loaded with the
+// buildEngines creates a matched engine set — naive scan, compiled
+// without its memo, and compiled with the memo — loaded with the
 // synthetic workload for `users` occupants.
-func buildEngines(users int, seed int64) (naive, indexed enforce.Engine, reqs []enforce.Request, prefCount int) {
+func buildEngines(users int, seed int64) (naive, compiled enforce.Engine, memo *enforce.Compiled, reqs []enforce.Request, prefCount int) {
 	building, err := sim.SmallDBH().Build()
 	if err != nil {
 		log.Fatal(err)
@@ -30,28 +31,27 @@ func buildEngines(users int, seed int64) (naive, indexed enforce.Engine, reqs []
 	cfg := enforce.Config{Spaces: building.Spaces, Services: services, DefaultAllow: true}
 	n := enforce.NewNaive(cfg)
 	x := enforce.NewIndexed(cfg)
+	m := enforce.NewCompiled(cfg)
 
 	prefs := sim.GeneratePreferences(building, dir, []string{"concierge", "smart-meeting"},
 		sim.DefaultPreferenceWorkload(seed))
 	for _, p := range prefs {
-		if err := n.AddPreference(p); err != nil {
-			log.Fatal(err)
-		}
-		if err := x.AddPreference(p); err != nil {
-			log.Fatal(err)
+		for _, e := range []enforce.Engine{n, x, m} {
+			if err := e.AddPreference(p); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	bp := policy.Policy2EmergencyLocation(building.Spec.ID)
-	if err := n.AddPolicy(bp); err != nil {
-		log.Fatal(err)
-	}
-	if err := x.AddPolicy(bp); err != nil {
-		log.Fatal(err)
+	for _, e := range []enforce.Engine{n, x, m} {
+		if err := e.AddPolicy(bp); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	reqs = sim.GenerateRequests(building, dir, []string{"concierge", "smart-meeting"}, simDay,
 		sim.RequestWorkload{N: 2000, Seed: seed + 1, EmergencyFraction: 0.05})
-	return n, x, reqs, len(prefs)
+	return n, x, m, reqs, len(prefs)
 }
 
 func timeDecides(e enforce.Engine, reqs []enforce.Request) (perOp time.Duration, consulted float64) {
@@ -68,30 +68,28 @@ func timeDecides(e enforce.Engine, reqs []enforce.Request) (perOp time.Duration,
 // runE1: enforcement latency as users (and thus total preferences)
 // grow, on the optimized engine.
 func runE1() {
-	fmt.Println("query-time enforcement latency (Indexed engine), 2000-request workload")
+	fmt.Println("query-time enforcement latency (compiled engine, memo off), 2000-request workload")
 	fmt.Printf("%8s %12s %14s %18s\n", "users", "prefs", "ns/decide", "prefs consulted/op")
 	for _, users := range []int{10, 100, 1000, 5000} {
-		_, indexed, reqs, prefCount := buildEngines(users, 2017)
-		perOp, consulted := timeDecides(indexed, reqs)
+		_, compiled, _, reqs, prefCount := buildEngines(users, 2017)
+		perOp, consulted := timeDecides(compiled, reqs)
 		fmt.Printf("%8d %12d %14d %18.1f\n", users, prefCount, perOp.Nanoseconds(), consulted)
 	}
 	fmt.Println("\nshape: per-request cost stays flat as the building's total rule count")
 	fmt.Println("grows, because the index touches only the subject's own rules (§V.C).")
 }
 
-// runE2: the ablation — naive linear scan vs posting-list index vs
-// index + decision cache.
+// runE2: the ablation — naive linear scan vs compiled matching vs
+// compiled matching + decision memo.
 func runE2() {
-	fmt.Println("naive vs indexed vs indexed+cache enforcement, 2000-request workload")
+	fmt.Println("naive vs compiled vs compiled+memo enforcement, 2000-request workload")
 	fmt.Printf("%8s %8s | %12s %10s | %12s %10s | %12s %10s %8s\n",
-		"users", "prefs", "naive ns/op", "consulted", "index ns/op", "consulted", "cache ns/op", "hit rate", "speedup")
+		"users", "prefs", "naive ns/op", "consulted", "compiled ns/op", "consulted", "memo ns/op", "hit rate", "speedup")
 	for _, users := range []int{10, 100, 1000, 5000} {
-		naive, indexed, reqs, prefCount := buildEngines(users, 2017)
-		// The cached arm wraps a fresh indexed engine with the same
-		// rules; the workload repeats each request several times (a
-		// polling service), where caching earns its keep.
-		_, cachedInner, _, _ := buildEngines(users, 2017)
-		cached := enforce.NewCached(cachedInner, 0)
+		// The memo arm is its own freshly loaded engine; the workload
+		// repeats each request several times (a polling service), where
+		// memoization earns its keep.
+		naive, compiled, memo, reqs, prefCount := buildEngines(users, 2017)
 		var repeated []enforce.Request
 		for _, r := range reqs[:400] {
 			for k := 0; k < 5; k++ {
@@ -100,16 +98,16 @@ func runE2() {
 		}
 
 		nOp, nCons := timeDecides(naive, repeated)
-		xOp, xCons := timeDecides(indexed, repeated)
-		cOp, _ := timeDecides(cached, repeated)
-		hits, misses := cached.Stats()
+		xOp, xCons := timeDecides(compiled, repeated)
+		cOp, _ := timeDecides(memo, repeated)
+		hits, misses := memo.Stats()
 		hitRate := float64(hits) / float64(hits+misses)
 		fmt.Printf("%8d %8d | %12d %10.1f | %12d %10.1f | %12d %9.0f%% %7.1fx\n",
 			users, prefCount, nOp.Nanoseconds(), nCons, xOp.Nanoseconds(), xCons,
 			cOp.Nanoseconds(), hitRate*100, float64(nOp)/float64(cOp))
 	}
-	fmt.Println("\nshape: naive cost grows linearly with total preferences; indexed stays")
-	fmt.Println("near-constant; the decision cache removes even the residual matching")
+	fmt.Println("\nshape: naive cost grows linearly with total preferences; compiled stays")
+	fmt.Println("near-constant; the decision memo removes even the residual matching")
 	fmt.Println("cost on repetitive (polling) workloads.")
 }
 

@@ -47,7 +47,8 @@ type Config struct {
 	// takes ownership and closes it on Close.
 	Store *obstore.Store
 	// Engine is the query-time enforcement engine; nil selects
-	// Indexed (the optimized engine).
+	// Compiled (rules compiled to an indexed decision structure, plus
+	// a decision memo).
 	Engine enforce.Engine
 	// Strategy is the conflict-resolution strategy; zero selects
 	// MostRestrictive.
@@ -172,7 +173,7 @@ func New(cfg Config) (*BMS, error) {
 	}
 	engine := cfg.Engine
 	if engine == nil {
-		engine = enforce.NewIndexed(enforce.Config{
+		engine = enforce.NewCompiled(enforce.Config{
 			Spaces:        cfg.Spaces,
 			Services:      cfg.Services,
 			DefaultAllow:  cfg.DefaultAllow,
@@ -224,7 +225,7 @@ func New(cfg Config) (*BMS, error) {
 		b.colstore = cs
 	}
 	// Collaborators expose their internals on the same registry; an
-	// engine that can report (Cached, Instrumented) joins in.
+	// engine that can report (Compiled, Instrumented) joins in.
 	b.store.RegisterMetrics(reg)
 	// The store forwards the tracer to its WAL so group-commit fsync
 	// batches show up as spans.
@@ -258,9 +259,14 @@ func New(cfg Config) (*BMS, error) {
 		DefaultPolicy: cfg.StreamPolicy,
 		BusBuffer:     cfg.BusBuffer * 4,
 		// Rule mutations flush every decision-derived cache in one
-		// motion: the hub's own memo, the columnar tier's enforcement
-		// epoch, and the occupancy answer cache.
+		// motion: the hub's own memo, the engine's decision memo, the
+		// columnar tier's enforcement epoch, and the occupancy answer
+		// cache. (Mutations through the engine already invalidate its
+		// memo atomically; this covers engines mutated out of band.)
 		OnInvalidate: func() {
+			if inv, ok := b.engine.(interface{ Invalidate() }); ok {
+				inv.Invalidate()
+			}
 			if b.colstore != nil {
 				b.colstore.Invalidate()
 			}

@@ -42,7 +42,7 @@ type DecisionTrace struct {
 	ObsKind   string `json:"obs_kind,omitempty"`
 	Purpose   string `json:"purpose,omitempty"`
 	// Engine is the enforcement engine flavor that decided
-	// ("indexed", "cached(indexed)", ...).
+	// ("compiled", "compiled-nomemo", "naive", ...).
 	Engine string `json:"engine"`
 	// Strategy is the conflict-resolution strategy in force.
 	Strategy string `json:"strategy"`

@@ -120,15 +120,17 @@ func TestDecideBatchEmpty(t *testing.T) {
 	}
 }
 
-// TestDecideBatchSharesCache: batching over a Cached engine must reuse
-// its memo — repeated identical items hit the cache instead of the
-// inner engine. This is the property that makes the aggregate path's
-// fan-out cheaper, not just wider.
+// TestDecideBatchSharesCache: batching over the memoized compiled
+// engine must reuse its decision memo — repeated identical items hit
+// the memo instead of re-running candidate selection. This is the
+// property that makes the aggregate path's fan-out cheaper, not just
+// wider.
 func TestDecideBatchSharesCache(t *testing.T) {
 	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
-	inner := NewIndexed(cfg)
-	cached := NewCached(inner, 0)
-	items := batchItems(t, cached, 60)
+	reference := NewIndexed(cfg)
+	memoized := NewCompiled(cfg)
+	batchItems(t, reference, 1) // install the same rule fixture
+	items := batchItems(t, memoized, 60)
 	for i := range items {
 		// Same minute for every repetition: 4 distinct subjects → 4
 		// cache keys → 56 of the 60 decisions should be memo hits.
@@ -137,9 +139,9 @@ func TestDecideBatchSharesCache(t *testing.T) {
 
 	serial := make([]Decision, len(items))
 	for i, it := range items {
-		serial[i] = inner.Decide(it.Req, it.Groups)
+		serial[i] = reference.Decide(it.Req, it.Groups)
 	}
-	got := DecideBatch(cached, items, BatchOptions{Parallelism: 8})
+	got := DecideBatch(memoized, items, BatchOptions{Parallelism: 8})
 	hitCount := 0
 	for i := range got {
 		if got[i].FromCache {
@@ -148,13 +150,13 @@ func TestDecideBatchSharesCache(t *testing.T) {
 		}
 	}
 	if !reflect.DeepEqual(got, serial) {
-		t.Fatal("cached batch decisions diverge from uncached serial loop")
+		t.Fatal("memoized batch decisions diverge from memo-free serial loop")
 	}
 	if hitCount == 0 {
 		t.Fatal("no decision in the batch was marked FromCache")
 	}
-	hits, misses := cached.Stats()
+	hits, misses := memoized.Stats()
 	if hits == 0 {
-		t.Fatalf("no cache hits across a repetitive batch (hits=%d misses=%d)", hits, misses)
+		t.Fatalf("no memo hits across a repetitive batch (hits=%d misses=%d)", hits, misses)
 	}
 }

@@ -1,0 +1,133 @@
+package compiled
+
+import "math/bits"
+
+// Set is a sparse bitset over a dense uint32 ID space, stored as
+// 64-bit blocks sorted by block key. Candidate selection intersects
+// these per request: posting buckets hold one Set each, and a block-
+// wise AND of a subject's (tiny) Set against the kind/service buckets
+// yields the candidate rule IDs without ever touching the full rule
+// population — the core of the engine's flat-cost property.
+type Set struct {
+	blocks []blockEntry
+}
+
+type blockEntry struct {
+	key  uint32 // id >> 6
+	bits uint64
+}
+
+// find binary-searches for key, returning its position (or the
+// insertion point) and whether it is present.
+func (s *Set) find(key uint32) (int, bool) {
+	lo, hi := 0, len(s.blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.blocks[mid].key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.blocks) && s.blocks[lo].key == key
+}
+
+// Add inserts id.
+func (s *Set) Add(id uint32) {
+	key, bit := id>>6, uint64(1)<<(id&63)
+	i, ok := s.find(key)
+	if ok {
+		s.blocks[i].bits |= bit
+		return
+	}
+	s.blocks = append(s.blocks, blockEntry{})
+	copy(s.blocks[i+1:], s.blocks[i:])
+	s.blocks[i] = blockEntry{key: key, bits: bit}
+}
+
+// Remove deletes id, dropping the block when it empties.
+func (s *Set) Remove(id uint32) {
+	key, bit := id>>6, uint64(1)<<(id&63)
+	i, ok := s.find(key)
+	if !ok {
+		return
+	}
+	s.blocks[i].bits &^= bit
+	if s.blocks[i].bits == 0 {
+		s.blocks = append(s.blocks[:i], s.blocks[i+1:]...)
+	}
+}
+
+// Contains reports whether id is in the set.
+func (s *Set) Contains(id uint32) bool {
+	if s == nil {
+		return false
+	}
+	i, ok := s.find(id >> 6)
+	return ok && s.blocks[i].bits&(uint64(1)<<(id&63)) != 0
+}
+
+// Word returns the 64-bit block for the given key, or 0 when absent.
+// A nil receiver is an empty set.
+func (s *Set) Word(key uint32) uint64 {
+	if s == nil {
+		return 0
+	}
+	if i, ok := s.find(key); ok {
+		return s.blocks[i].bits
+	}
+	return 0
+}
+
+// Len returns the number of IDs in the set.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range s.blocks {
+		n += bits.OnesCount64(b.bits)
+	}
+	return n
+}
+
+// Empty reports whether the set holds no IDs.
+func (s *Set) Empty() bool { return s == nil || len(s.blocks) == 0 }
+
+// appendIDs appends the IDs encoded by (key, word) to dst in
+// ascending order.
+func appendIDs(dst []uint32, key uint32, word uint64) []uint32 {
+	for word != 0 {
+		dst = append(dst, key<<6|uint32(bits.TrailingZeros64(word)))
+		word &= word - 1
+	}
+	return dst
+}
+
+// mergedKeys walks the union of the two sets' block keys in ascending
+// order, invoking fn once per key with each set's word (0 when that
+// set lacks the block).
+func mergedKeys(a, b *Set, fn func(key uint32, aw, bw uint64)) {
+	var ab, bb []blockEntry
+	if a != nil {
+		ab = a.blocks
+	}
+	if b != nil {
+		bb = b.blocks
+	}
+	i, j := 0, 0
+	for i < len(ab) || j < len(bb) {
+		switch {
+		case j >= len(bb) || (i < len(ab) && ab[i].key < bb[j].key):
+			fn(ab[i].key, ab[i].bits, 0)
+			i++
+		case i >= len(ab) || bb[j].key < ab[i].key:
+			fn(bb[j].key, 0, bb[j].bits)
+			j++
+		default:
+			fn(ab[i].key, ab[i].bits, bb[j].bits)
+			i++
+			j++
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package compiled
+
+import (
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
+	"github.com/tippers/tippers/internal/spatial"
+)
+
+// A program is a policy/preference scope flattened into a conjunction
+// of checks, compiled once at registration time and evaluated per
+// request with no document walking — the same shape datadog-agent
+// gives SECL rules before any event is seen. The scalar checks
+// (sensor type, kind, service, window, space) live inline in the
+// struct, guarded by a flags bitmask, so evaluating a typical program
+// reads only the entry it is embedded in — no instruction-slice
+// pointer chase, which at a million rules is a guaranteed cache miss
+// per decision. The rare list-valued checks (purpose / subject /
+// group sets) spill to the lists slice. A zero scope compiles to zero
+// flags and matches every context.
+//
+// Each check mirrors exactly one clause of
+// policy.Scope.MatchesRequest; the differential property test and
+// FuzzCompilePolicy hold the compiled form to that contract.
+type program struct {
+	flags      uint8
+	sensorType sensor.Type
+	obsKind    sensor.ObservationKind
+	serviceID  string
+	window     policy.DailyWindow
+	// spaceSet is the scope space's precomputed bidirectional-
+	// containment set (self, ancestors, and whole subtree). An empty
+	// ctx.SpaceID is a whole-building request and matches every
+	// spatial scope.
+	spaceSet map[string]struct{}
+	lists    []listCheck
+}
+
+const (
+	fSensorType uint8 = 1 << iota
+	fObsKind
+	fService
+	fWindow
+	fSpace
+)
+
+type op uint8
+
+const (
+	// opPurposeIn: ctx.Purpose must be one of purposes.
+	opPurposeIn op = iota
+	// opSubjectIn: ctx.SubjectID must be one of strs.
+	opSubjectIn
+	// opGroupsIntersect: ctx.SubjectGroups must intersect groups.
+	opGroupsIntersect
+)
+
+type listCheck struct {
+	op       op
+	purposes []policy.Purpose
+	strs     []string
+	groups   []profile.Group
+}
+
+// compileScope flattens a scope into a program.
+func compileScope(s policy.Scope, overlaps *overlapSets) program {
+	var p program
+	if s.SensorType != 0 {
+		p.flags |= fSensorType
+		p.sensorType = s.SensorType
+	}
+	if s.ObsKind != "" {
+		p.flags |= fObsKind
+		p.obsKind = s.ObsKind
+	}
+	if s.ServiceID != "" {
+		p.flags |= fService
+		p.serviceID = s.ServiceID
+	}
+	if len(s.Purposes) > 0 {
+		p.lists = append(p.lists, listCheck{op: opPurposeIn, purposes: s.Purposes})
+	}
+	if len(s.SubjectIDs) > 0 {
+		p.lists = append(p.lists, listCheck{op: opSubjectIn, strs: s.SubjectIDs})
+	}
+	if len(s.SubjectGroups) > 0 {
+		p.lists = append(p.lists, listCheck{op: opGroupsIntersect, groups: s.SubjectGroups})
+	}
+	if !s.Window.IsZero() {
+		p.flags |= fWindow
+		p.window = s.Window
+	}
+	if s.SpaceID != "" {
+		p.flags |= fSpace
+		p.spaceSet = overlaps.get(s.SpaceID)
+	}
+	return p
+}
+
+// matches evaluates the program against one request context. It must
+// return exactly what Scope.MatchesRequest returns for the scope the
+// program was compiled from. Cheap equality tests run first so
+// evaluation fails fast; order does not affect the result (all checks
+// are conjunctive).
+func (p *program) matches(ctx *policy.Context) bool {
+	if p.flags&fSensorType != 0 && ctx.SensorType != p.sensorType {
+		return false
+	}
+	if p.flags&fObsKind != 0 && ctx.ObsKind != p.obsKind {
+		return false
+	}
+	if p.flags&fService != 0 && ctx.ServiceID != p.serviceID {
+		return false
+	}
+	for i := range p.lists {
+		in := &p.lists[i]
+		found := false
+		switch in.op {
+		case opPurposeIn:
+			for _, pp := range in.purposes {
+				if pp == ctx.Purpose {
+					found = true
+					break
+				}
+			}
+		case opSubjectIn:
+			for _, s := range in.strs {
+				if s == ctx.SubjectID {
+					found = true
+					break
+				}
+			}
+		case opGroupsIntersect:
+			for _, g := range in.groups {
+				for _, h := range ctx.SubjectGroups {
+					if g == h {
+						found = true
+						break
+					}
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if p.flags&fWindow != 0 && (ctx.Time.IsZero() || !p.window.Contains(ctx.Time)) {
+		return false
+	}
+	if p.flags&fSpace != 0 && ctx.SpaceID != "" {
+		if _, ok := p.spaceSet[ctx.SpaceID]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// overlapSets memoizes, per scope space ID, the set of space IDs that
+// satisfy MatchesRequest's bidirectional-containment test against it:
+// the space itself, its ancestors, and its whole subtree, resolved
+// once at compile time. The spatial model is fixed for the life of an
+// engine (core builds it before engine construction), so snapshotting
+// containment when a rule is compiled is sound; scopes naming spaces
+// the model does not know match only their own ID, exactly as
+// Contained's unknown-space error makes MatchesRequest behave.
+type overlapSets struct {
+	spaces *spatial.Model
+	sets   map[string]map[string]struct{}
+}
+
+func newOverlapSets(spaces *spatial.Model) *overlapSets {
+	return &overlapSets{spaces: spaces, sets: make(map[string]map[string]struct{})}
+}
+
+func (o *overlapSets) get(spaceID string) map[string]struct{} {
+	if s, ok := o.sets[spaceID]; ok {
+		return s
+	}
+	set := map[string]struct{}{spaceID: {}}
+	if o.spaces != nil {
+		if ids, err := o.spaces.Subtree(spaceID); err == nil {
+			for _, id := range ids {
+				set[id] = struct{}{}
+			}
+		}
+		if sp, ok := o.spaces.Lookup(spaceID); ok {
+			for _, a := range sp.Ancestors() {
+				set[a.ID] = struct{}{}
+			}
+		}
+	}
+	o.sets[spaceID] = set
+	return set
+}

@@ -56,9 +56,9 @@ func groupDefaultEngines(t testing.TB) map[string]Engine {
 		},
 	}
 	return map[string]Engine{
-		"naive":   NewNaive(cfg),
-		"indexed": NewIndexed(cfg),
-		"cached":  NewCached(NewIndexed(cfg), 0),
+		"naive":           NewNaive(cfg),
+		"compiled-nomemo": NewIndexed(cfg),
+		"compiled":        NewCompiled(cfg),
 	}
 }
 
@@ -118,7 +118,7 @@ func TestUngroupedDefaultAppliesToEveryone(t *testing.T) {
 			Rule:  policy.Rule{Action: policy.ActionDeny},
 		}},
 	}
-	for name, eng := range map[string]Engine{"naive": NewNaive(cfg), "indexed": NewIndexed(cfg)} {
+	for name, eng := range map[string]Engine{"naive": NewNaive(cfg), "compiled": NewCompiled(cfg)} {
 		req := baseRequest()
 		req.ServiceID = "ad-service"
 		req.Purpose = policy.PurposeMarketing

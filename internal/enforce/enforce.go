@@ -10,13 +10,21 @@
 // that the overhead of privacy compliance is minimized." This package
 // provides both ends of that experiment:
 //
-//   - Naive: scans every installed preference and policy per request.
-//   - Indexed: posting lists keyed by subject, observation kind, and
-//     service collapse the scan to the handful of rules that can
-//     match (experiment E2's ablation).
+//   - Naive: scans every installed preference and policy per request
+//     (the "unoptimized enforcement" reference arm).
+//   - Compiled: compiles every rule at registration time into an
+//     indexed decision structure (internal/enforce/compiled) —
+//     candidates pre-bucketed by subject, observation kind, service,
+//     and purpose, candidate sets intersected as bitsets over a dense
+//     rule-ID space, scope conditions flattened into small instruction
+//     programs — plus a built-in epoch-invalidated decision memo.
+//     Decision cost stays flat from 10 to 1,000,000 registered
+//     preferences (BenchmarkCompiledDecide gates this in CI).
 //
 // Both engines implement Engine and must produce identical decisions;
-// the test suite property-checks that equivalence.
+// TestCompiledMatchesNaive and FuzzCompilePolicy property-check that
+// equivalence. They share the decision pipeline below (prepare +
+// finish) by construction and differ only in candidate selection.
 package enforce
 
 import (
@@ -24,6 +32,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/tippers/tippers/internal/enforce/compiled"
 	"github.com/tippers/tippers/internal/policy"
 	"github.com/tippers/tippers/internal/profile"
 	"github.com/tippers/tippers/internal/reasoner"
@@ -94,8 +103,8 @@ type Decision struct {
 	// release, when one did. Decision traces surface it as the
 	// matched policy.
 	OverridePolicyID string
-	// FromCache reports that this decision was replayed from a memo
-	// (set by Cached); the per-request trace exposes it.
+	// FromCache reports that this decision was replayed from the
+	// engine's decision memo; the per-request trace exposes it.
 	FromCache bool
 	// Notifications carries the user notifications this decision
 	// generated.
@@ -109,8 +118,11 @@ type Decision struct {
 }
 
 // Engine decides requests against installed policies and preferences.
-// Implementations are safe for concurrent Decide calls; installation
-// calls must not race with Decide.
+// Implementations are safe for full concurrent use: Decide calls may
+// race with installation and removal, and a mutation that has
+// returned is visible to every subsequent Decide
+// (TestEngineRecompileUnderChurn in internal/core races all of this
+// under the race detector).
 type Engine interface {
 	// AddPolicy installs a building policy.
 	AddPolicy(p policy.BuildingPolicy) error
@@ -150,41 +162,45 @@ type evaluator struct {
 	cfg Config
 }
 
-// decide runs the shared decision pipeline over the candidate rules
-// the engine selected. candPolicies/candPrefs are the rules the
-// engine considers possibly-matching; consulted counts reflect their
-// sizes.
-func (e *evaluator) decide(req Request, subjectGroups []profile.Group, candPolicies []policy.BuildingPolicy, candPrefs []policy.Preference) Decision {
+// prepared carries the per-request state the decision pipeline
+// derives before candidate matching: the match context plus the
+// granularity bounds purpose binding established. Engines share it so
+// their decisions agree by construction.
+type prepared struct {
+	ctx          policy.Context
+	reqGran      policy.Granularity
+	declaredGran policy.Granularity
+}
+
+// prepare runs purpose binding and builds the match context. A false
+// result means the request is denied outright; d carries the reason
+// (its consulted counts, set by the caller, survive either way).
+func (e *evaluator) prepare(req Request, subjectGroups []profile.Group, d *Decision) (prepared, bool) {
 	now := req.Time
 	if now.IsZero() {
 		now = time.Now()
 	}
-	reqGran := req.Granularity
-	if !reqGran.Valid() {
-		reqGran = policy.GranExact
-	}
-	d := Decision{
-		PoliciesConsulted:    len(candPolicies),
-		PreferencesConsulted: len(candPrefs),
+	p := prepared{reqGran: req.Granularity, declaredGran: policy.GranExact}
+	if !p.reqGran.Valid() {
+		p.reqGran = policy.GranExact
 	}
 
 	// Purpose binding: the service must have declared (kind, purpose).
-	declaredGran := policy.GranExact
 	if e.cfg.Services != nil && req.ServiceID != "" {
 		svc, ok := e.cfg.Services.Get(req.ServiceID)
 		if !ok {
 			d.DenyReason = fmt.Sprintf("unknown service %q", req.ServiceID)
-			return d
+			return p, false
 		}
 		g, ok := svc.Permits(req.Kind, req.Purpose)
 		if !ok {
 			d.DenyReason = fmt.Sprintf("service %q did not declare %s for %s", req.ServiceID, req.Kind, req.Purpose)
-			return d
+			return p, false
 		}
-		declaredGran = g
+		p.declaredGran = g
 	}
 
-	ctx := policy.Context{
+	p.ctx = policy.Context{
 		SubjectID:     req.SubjectID,
 		SubjectGroups: subjectGroups,
 		SpaceID:       req.SpaceID,
@@ -194,35 +210,34 @@ func (e *evaluator) decide(req Request, subjectGroups []profile.Group, candPolic
 		ServiceID:     req.ServiceID,
 		Time:          now,
 	}
+	return p, true
+}
 
-	// Gather the subject's matching preferences. Sorting by ID keeps
-	// decisions deterministic and identical across engines regardless
-	// of candidate order.
-	var matched []policy.Preference
-	for _, p := range candPrefs {
-		if p.UserID != req.SubjectID {
-			continue
-		}
-		if !p.Scope.MatchesRequest(ctx, e.cfg.Spaces) {
-			continue
-		}
-		matched = append(matched, p)
-	}
-	sort.Slice(matched, func(i, j int) bool { return matched[i].ID < matched[j].ID })
-	rules := make([]policy.Rule, 0, len(matched))
-	for _, p := range matched {
-		rules = append(rules, p.Rule)
-		d.MatchedPreferences = append(d.MatchedPreferences, p.ID)
-	}
-
+// finish runs the combination pipeline every engine shares over the
+// subject's matched preferences, which must be sorted by ID so
+// decisions are deterministic regardless of candidate order. override
+// is consulted lazily — only when the combined user rule restricts
+// the flow — and must return the lowest-ID matching override policy,
+// or nil.
+func (e *evaluator) finish(p prepared, d Decision, matched []compiled.Matched, override func() *policy.BuildingPolicy) Decision {
 	userRule := policy.Rule{Action: policy.ActionAllow}
 	switch {
-	case len(rules) > 0:
+	case len(matched) > 0:
+		// Stack-sized rule buffer: CombineRules does not retain its
+		// argument, so the common few-preference case allocates only
+		// the caller-visible MatchedPreferences slice.
+		var rulesBuf [8]policy.Rule
+		rules := rulesBuf[:0]
+		d.MatchedPreferences = make([]string, 0, len(matched))
+		for _, pref := range matched {
+			rules = append(rules, pref.Rule)
+			d.MatchedPreferences = append(d.MatchedPreferences, pref.ID)
+		}
 		userRule = reasoner.CombineRules(rules...)
 	default:
 		// No personal preference: consult the subject's group
 		// defaults, then the building-wide default.
-		defRules, defIDs := e.matchDefaults(ctx, subjectGroups)
+		defRules, defIDs := e.matchDefaults(p.ctx, p.ctx.SubjectGroups)
 		if len(defRules) > 0 {
 			userRule = reasoner.CombineRules(defRules...)
 			d.MatchedDefaults = defIDs
@@ -233,38 +248,24 @@ func (e *evaluator) decide(req Request, subjectGroups []profile.Group, candPolic
 	}
 
 	// If the user restricts the flow, a matching safety-critical
-	// override policy forces release with notification. The lowest
-	// policy ID wins ties so decisions are engine-order independent.
+	// override policy forces release with notification.
 	if userRule.Action != policy.ActionAllow {
-		var winner *policy.BuildingPolicy
-		for i := range candPolicies {
-			bp := &candPolicies[i]
-			if !bp.Override {
-				continue
-			}
-			if !bp.Scope.MatchesRequest(ctx, e.cfg.Spaces) {
-				continue
-			}
-			if winner == nil || bp.ID < winner.ID {
-				winner = bp
-			}
-		}
-		if winner != nil {
+		if winner := override(); winner != nil {
 			bp := *winner
 			// Override applies: release proceeds, users are notified.
 			d.OverridePolicyID = bp.ID
 			d.Allowed = true
 			d.Effective = policy.Rule{Action: policy.ActionAllow}
-			d.Granularity = reqGran.Min(declaredGran)
-			for _, p := range matched {
-				if p.Rule.Action != policy.ActionAllow {
-					d.Overridden = append(d.Overridden, p.ID)
+			d.Granularity = p.reqGran.Min(p.declaredGran)
+			for _, pref := range matched {
+				if pref.Rule.Action != policy.ActionAllow {
+					d.Overridden = append(d.Overridden, pref.ID)
 					d.Notifications = append(d.Notifications, Notification{
-						UserID:       p.UserID,
+						UserID:       pref.UserID,
 						PolicyID:     bp.ID,
-						PreferenceID: p.ID,
+						PreferenceID: pref.ID,
 						Message: fmt.Sprintf("Building policy %q (%s) overrode your preference %q for this request.",
-							bp.Name, bp.ID, p.Name),
+							bp.Name, bp.ID, pref.Name),
 					})
 				}
 			}
@@ -283,7 +284,7 @@ func (e *evaluator) decide(req Request, subjectGroups []profile.Group, candPolic
 		}
 		d.Allowed = true
 		d.Effective = userRule
-		g := reqGran.Min(declaredGran)
+		g := p.reqGran.Min(p.declaredGran)
 		if userRule.MaxGranularity.Valid() {
 			g = g.Min(userRule.MaxGranularity)
 		}
@@ -292,7 +293,53 @@ func (e *evaluator) decide(req Request, subjectGroups []profile.Group, candPolic
 	default:
 		d.Allowed = true
 		d.Effective = policy.Rule{Action: policy.ActionAllow}
-		d.Granularity = reqGran.Min(declaredGran)
+		d.Granularity = p.reqGran.Min(p.declaredGran)
 		return d
 	}
+}
+
+// decide runs the shared decision pipeline over the candidate rules
+// the engine selected by scanning them. candPolicies/candPrefs are
+// the rules the engine considers possibly-matching; consulted counts
+// reflect their sizes.
+func (e *evaluator) decide(req Request, subjectGroups []profile.Group, candPolicies []policy.BuildingPolicy, candPrefs []policy.Preference) Decision {
+	d := Decision{
+		PoliciesConsulted:    len(candPolicies),
+		PreferencesConsulted: len(candPrefs),
+	}
+	p, ok := e.prepare(req, subjectGroups, &d)
+	if !ok {
+		return d
+	}
+
+	var matched []compiled.Matched
+	for _, pref := range candPrefs {
+		if pref.UserID != req.SubjectID {
+			continue
+		}
+		if !pref.Scope.MatchesRequest(p.ctx, e.cfg.Spaces) {
+			continue
+		}
+		matched = append(matched, compiled.Matched{ID: pref.ID, UserID: pref.UserID, Name: pref.Name, Rule: pref.Rule})
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].ID < matched[j].ID })
+
+	return e.finish(p, d, matched, func() *policy.BuildingPolicy {
+		// The lowest policy ID wins ties so decisions are
+		// engine-order independent.
+		var winner *policy.BuildingPolicy
+		for i := range candPolicies {
+			bp := &candPolicies[i]
+			if !bp.Override {
+				continue
+			}
+			if !bp.Scope.MatchesRequest(p.ctx, e.cfg.Spaces) {
+				continue
+			}
+			if winner == nil || bp.ID < winner.ID {
+				winner = bp
+			}
+		}
+		return winner
+	})
 }

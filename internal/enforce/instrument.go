@@ -11,7 +11,7 @@ import (
 )
 
 // metricsRegisterer is implemented by engines that can expose their
-// internals on a telemetry registry (Cached, Instrumented).
+// internals on a telemetry registry (Compiled, Instrumented).
 type metricsRegisterer interface {
 	RegisterMetrics(*telemetry.Registry)
 }
@@ -43,16 +43,14 @@ type Instrumented struct {
 var _ Engine = (*Instrumented)(nil)
 
 // EngineName returns a short flavor name for an engine ("naive",
-// "indexed", "cached(indexed)", ...), used as a metric label and in
+// "compiled", "compiled-nomemo", ...), used as a metric label and in
 // decision traces.
 func EngineName(e Engine) string {
 	switch v := e.(type) {
 	case *Naive:
 		return "naive"
-	case *Indexed:
-		return "indexed"
-	case *Cached:
-		return "cached(" + EngineName(v.inner) + ")"
+	case *Compiled:
+		return v.String()
 	case *Instrumented:
 		return EngineName(v.inner)
 	case fmt.Stringer:
@@ -118,6 +116,15 @@ func (i *Instrumented) Decide(req Request, subjectGroups []profile.Group) Decisi
 
 // Unwrap returns the wrapped engine.
 func (i *Instrumented) Unwrap() Engine { return i.inner }
+
+// Invalidate forwards to the wrapped engine's memo invalidation when
+// it has one, so an instrumented engine still joins core's one-path
+// cache-invalidation fan-out.
+func (i *Instrumented) Invalidate() {
+	if inv, ok := i.inner.(interface{ Invalidate() }); ok {
+		inv.Invalidate()
+	}
+}
 
 // String identifies the engine in experiment output.
 func (i *Instrumented) String() string {

@@ -11,16 +11,16 @@ import (
 func TestEngineName(t *testing.T) {
 	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
 	naive := NewNaive(cfg)
-	indexed := NewIndexed(cfg)
-	cached := NewCached(indexed, 0)
+	nomemo := NewIndexed(cfg)
+	compiled := NewCompiled(cfg)
 	reg := telemetry.NewRegistry()
-	instr := Instrument(cached, reg)
+	instr := Instrument(compiled, reg)
 
 	cases := map[Engine]string{
-		naive:   "naive",
-		indexed: "indexed",
-		cached:  "cached(indexed)",
-		instr:   "cached(indexed)", // unwraps to the real flavor
+		naive:    "naive",
+		nomemo:   "compiled-nomemo",
+		compiled: "compiled",
+		instr:    "compiled", // unwraps to the real flavor
 	}
 	for e, want := range cases {
 		if got := EngineName(e); got != want {

@@ -13,20 +13,27 @@ import (
 	"github.com/tippers/tippers/internal/service"
 )
 
-func newCachedPair(t testing.TB) (*Cached, *Indexed) {
+// The decision memo built into Compiled carries the correctness
+// obligations the old Cached wrapper had: minute quantization,
+// epoch invalidation on every mutation, and the never-memoize rule
+// for notification-bearing decisions. These tests hold it to them.
+
+func newMemoEngine(t testing.TB) *Compiled {
 	t.Helper()
 	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
-	inner := NewIndexed(cfg)
-	return NewCached(inner, 0), inner
+	return NewCompiled(cfg)
 }
 
-func TestCachedHitsOnRepeats(t *testing.T) {
-	c, _ := newCachedPair(t)
+func TestMemoHitsOnRepeats(t *testing.T) {
+	c := newMemoEngine(t)
 	req := baseRequest()
 	first := c.Decide(req, nil)
 	second := c.Decide(req, nil)
 	if !reflect.DeepEqual(normalizeDecision(first), normalizeDecision(second)) {
-		t.Error("cached decision differs")
+		t.Error("memoized decision differs")
+	}
+	if !second.FromCache {
+		t.Error("second identical decision not served from memo")
 	}
 	hits, misses := c.Stats()
 	if hits != 1 || misses != 1 {
@@ -34,8 +41,8 @@ func TestCachedHitsOnRepeats(t *testing.T) {
 	}
 }
 
-func TestCachedMinuteQuantization(t *testing.T) {
-	c, _ := newCachedPair(t)
+func TestMemoMinuteQuantization(t *testing.T) {
+	c := newMemoEngine(t)
 	// A business-hours-scoped preference makes decisions time-dependent.
 	if err := c.AddPreference(policy.Preference{
 		ID: "biz-only", UserID: "mary",
@@ -48,9 +55,9 @@ func TestCachedMinuteQuantization(t *testing.T) {
 	if d := c.Decide(req, nil); d.Allowed {
 		t.Fatal("business-hours deny missed")
 	}
-	// Same minute: cache hit, same outcome.
+	// Same minute: memo hit, same outcome.
 	if d := c.Decide(req, nil); d.Allowed {
-		t.Fatal("cached decision flipped")
+		t.Fatal("memoized decision flipped")
 	}
 	// Evening: different minute bucket, re-evaluated, now allowed.
 	req.Time = time.Date(2017, time.June, 7, 20, 0, 0, 0, time.UTC)
@@ -59,8 +66,8 @@ func TestCachedMinuteQuantization(t *testing.T) {
 	}
 }
 
-func TestCachedInvalidationOnRuleChange(t *testing.T) {
-	c, _ := newCachedPair(t)
+func TestMemoInvalidationOnRuleChange(t *testing.T) {
+	c := newMemoEngine(t)
 	req := baseRequest()
 	if d := c.Decide(req, nil); !d.Allowed {
 		t.Fatal("baseline should allow")
@@ -70,20 +77,33 @@ func TestCachedInvalidationOnRuleChange(t *testing.T) {
 		t.Fatal(err)
 	}
 	if d := c.Decide(req, nil); d.Granularity != policy.GranBuilding {
-		t.Fatalf("stale cache after AddPreference: %+v", d)
+		t.Fatalf("stale memo after AddPreference: %+v", d)
 	}
 	if !c.RemovePreference(pref.ID) {
 		t.Fatal("remove failed")
 	}
 	if d := c.Decide(req, nil); d.Granularity != policy.GranExact {
-		t.Fatalf("stale cache after RemovePreference: %+v", d)
+		t.Fatalf("stale memo after RemovePreference: %+v", d)
 	}
 	if c.RemovePreference("ghost") {
 		t.Error("ghost removal succeeded")
 	}
 }
 
-func TestCachedNeverCachesNotifications(t *testing.T) {
+func TestMemoExternalInvalidate(t *testing.T) {
+	c := newMemoEngine(t)
+	req := baseRequest()
+	c.Decide(req, nil)
+	c.Invalidate() // the OnInvalidate fan-out path
+	if d := c.Decide(req, nil); d.FromCache {
+		t.Fatal("decision served from memo across Invalidate")
+	}
+	if hits, _ := c.Stats(); hits != 0 {
+		t.Errorf("memo hit across Invalidate: %d hits", hits)
+	}
+}
+
+func TestMemoNeverCachesNotifications(t *testing.T) {
 	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
 	svcReg := cfg.Services
 	svcReg.MustRegister(service.Service{
@@ -93,7 +113,7 @@ func TestCachedNeverCachesNotifications(t *testing.T) {
 			Granularity: policy.GranExact,
 		}},
 	})
-	c := NewCached(NewIndexed(cfg), 0)
+	c := NewCompiled(cfg)
 	if err := c.AddPolicy(policy.Policy2EmergencyLocation("dbh")); err != nil {
 		t.Fatal(err)
 	}
@@ -112,18 +132,19 @@ func TestCachedNeverCachesNotifications(t *testing.T) {
 		}
 	}
 	if hits, _ := c.Stats(); hits != 0 {
-		t.Errorf("override decisions served from cache: %d hits", hits)
+		t.Errorf("override decisions served from memo: %d hits", hits)
 	}
 }
 
-// TestCachedEquivalenceProperty: the cached engine must agree with its
-// inner engine on randomized workloads (notification decisions are
-// exempt from caching by design, so they agree trivially too).
-func TestCachedEquivalenceProperty(t *testing.T) {
+// TestMemoEquivalenceProperty: the memoized engine must agree with the
+// memo-free engine on randomized workloads (notification decisions are
+// exempt from memoization by design, so they agree trivially too). A
+// small cap exercises whole-memo resets mid-run.
+func TestMemoEquivalenceProperty(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
 	reference := NewIndexed(cfg)
-	cached := NewCached(NewIndexed(cfg), 128) // small cap to exercise resets
+	memoized := NewCompiledMemo(cfg, 128)
 
 	users := []string{"u0", "u1", "u2"}
 	kinds := []sensor.ObservationKind{sensor.ObsWiFiConnect, sensor.ObsBLESighting, ""}
@@ -140,7 +161,7 @@ func TestCachedEquivalenceProperty(t *testing.T) {
 		if err := reference.AddPreference(p); err != nil {
 			t.Fatal(err)
 		}
-		if err := cached.AddPreference(p); err != nil {
+		if err := memoized.AddPreference(p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -152,24 +173,24 @@ func TestCachedEquivalenceProperty(t *testing.T) {
 			SubjectID:   users[r.Intn(len(users))],
 			SpaceID:     "dbh",
 			Granularity: policy.GranExact,
-			// Coarse time grid so repeats occur and the cache is hot.
+			// Coarse time grid so repeats occur and the memo is hot.
 			Time: time.Date(2017, time.June, 7, r.Intn(24), 0, 0, 0, time.UTC),
 		}
 		a := normalizeDecision(reference.Decide(req, nil))
-		b := normalizeDecision(cached.Decide(req, nil))
+		b := normalizeDecision(memoized.Decide(req, nil))
 		if !reflect.DeepEqual(a, b) {
-			t.Fatalf("trial %d: cached disagrees\nreq: %+v\nref:    %+v\ncached: %+v", trial, req, a, b)
+			t.Fatalf("trial %d: memoized disagrees\nreq: %+v\nref:  %+v\nmemo: %+v", trial, req, a, b)
 		}
 	}
-	hits, misses := cached.Stats()
+	hits, misses := memoized.Stats()
 	if hits == 0 {
-		t.Errorf("cache never hit (%d misses)", misses)
+		t.Errorf("memo never hit (%d misses)", misses)
 	}
 }
 
-func TestCachedGroupsInKey(t *testing.T) {
+func TestMemoGroupsInKey(t *testing.T) {
 	cfg := Config{Spaces: testModel(t), Services: testServices(t), DefaultAllow: true}
-	c := NewCached(NewIndexed(cfg), 0)
+	c := NewCompiled(cfg)
 	bp := policy.Policy2EmergencyLocation("dbh")
 	bp.Scope.SubjectGroups = []profile.Group{profile.GroupStudent}
 	if err := c.AddPolicy(bp); err != nil {
@@ -183,12 +204,12 @@ func TestCachedGroupsInKey(t *testing.T) {
 	req := baseRequest()
 	req.ServiceID = ""
 	req.Purpose = policy.PurposeEmergencyResponse
-	// Student: override applies. Faculty: deny stands. The cache must
+	// Student: override applies. Faculty: deny stands. The memo must
 	// not conflate them.
 	if d := c.Decide(req, []profile.Group{profile.GroupStudent}); !d.Allowed {
 		t.Fatalf("student decision = %+v", d)
 	}
 	if d := c.Decide(req, []profile.Group{profile.GroupFaculty}); d.Allowed {
-		t.Fatalf("faculty decision served from student cache entry: %+v", d)
+		t.Fatalf("faculty decision served from student memo entry: %+v", d)
 	}
 }

@@ -174,8 +174,9 @@ type Config struct {
 	CacheSize int
 	// OnInvalidate, if set, is called whenever the hub's decision memo
 	// is invalidated by a rule mutation — the hook other decision-
-	// derived caches (columnar rollup epochs, occupancy answer caches)
-	// hang off so one policy or preference change flushes every tier.
+	// derived caches (the compiled engine's decision memo, columnar
+	// rollup epochs, occupancy answer caches) hang off so one policy
+	// or preference change flushes every tier.
 	OnInvalidate func()
 }
 

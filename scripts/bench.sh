@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # bench.sh — run the gated benchmark set and compare it against the
 # committed baselines (BENCH_pr4.json, the required gate set, plus
-# BENCH_pr8.json, which refreshes medians and carries the full-scale
-# columnar-aggregate results).
+# BENCH_pr8.json — columnar-aggregate results — and BENCH_pr9.json,
+# which refreshes medians and adds the compiled-engine scale sweep).
+# The compiled sweep additionally passes a flatness gate: the
+# 1M-preference median must stay within 2x of the 10-preference
+# median, independent of any baseline.
 #
 #   scripts/bench.sh                   # run, then gate against baselines
-#   BENCH_BASELINE=1 scripts/bench.sh  # run and (re)write BENCH_pr8.json instead
+#   BENCH_BASELINE=1 scripts/bench.sh  # run and (re)write BENCH_pr9.json instead
 #
 # Environment knobs:
 #   BENCH_COUNT        -count for each benchmark (default 5; medians
@@ -24,11 +27,13 @@ cd "$(dirname "$0")/.."
 COUNT="${BENCH_COUNT:-5}"
 TOLERANCE="${BENCH_TOLERANCE:-15}"
 AGG_OBS="${BENCH_AGG_OBS:-1000000,10000000}"
-# BENCH_pr4.json is the required gate set; BENCH_pr8.json supersedes
-# its medians and adds the aggregate-segments benchmarks (see
-# cmd/benchdiff's multi-baseline semantics).
+# BENCH_pr4.json is the required gate set; BENCH_pr8.json adds the
+# aggregate-segments benchmarks and BENCH_pr9.json supersedes earlier
+# medians and adds the compiled-decide sweep (see cmd/benchdiff's
+# multi-baseline semantics).
 BASELINE_REQUIRED="BENCH_pr4.json"
-BASELINE="BENCH_pr8.json"
+BASELINE_AGG="BENCH_pr8.json"
+BASELINE="BENCH_pr9.json"
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 RAW="$OUT_DIR/bench.txt"
@@ -43,6 +48,11 @@ echo "== running gated benchmarks (count=$COUNT)"
 # and the end-to-end SQL query path (point + group-by shapes).
 go test -run '^$' -bench 'BenchmarkObstoreIngestDurable|BenchmarkShardedQueryEnforce|BenchmarkTraceOverhead|BenchmarkQueryEndToEnd' \
 	-benchmem -count="$COUNT" -benchtime "${BENCH_TIME:-1s}" . | tee -a "$RAW"
+# The compiled-engine scale sweep (10 / 10k / 1M preferences). Worlds
+# are cached across -count repetitions, so the million-preference
+# registration is paid once; -timeout covers the load phase.
+go test -run '^$' -bench 'BenchmarkCompiledDecide' \
+	-benchmem -count="$COUNT" -benchtime "${BENCH_TIME:-1s}" -timeout 30m . | tee -a "$RAW"
 # The columnar-aggregate pair: row-scan vs rollup occupancy/GROUP BY
 # with checksum-asserted result equivalence. Worlds are cached across
 # -count repetitions, so the ingest cost is paid once per size.
@@ -61,12 +71,20 @@ echo "== parsing results"
 FRESH="${BENCH_OUT:-bench-new.json}"
 "$OUT_DIR/benchdiff" parse "$RAW" >"$FRESH"
 
+# The flatness gate runs even in baseline mode: a baseline that is not
+# flat must never be committed.
+echo "== flatness gate: compiled decide must stay within 2x from 10 to 1M preferences"
+"$OUT_DIR/benchdiff" flat -max 2 "$FRESH" \
+	'BenchmarkCompiledDecide/prefs=10' \
+	'BenchmarkCompiledDecide/prefs=10000' \
+	'BenchmarkCompiledDecide/prefs=1000000'
+
 if [[ "${BENCH_BASELINE:-0}" == "1" || ! -f "$BASELINE" ]]; then
 	cp "$FRESH" "$BASELINE"
 	echo "== baseline written to $BASELINE (no comparison run)"
 	exit 0
 fi
 
-echo "== comparing against $BASELINE_REQUIRED + $BASELINE (tolerance ${TOLERANCE}%)"
-"$OUT_DIR/benchdiff" compare -tolerance "$TOLERANCE" "$BASELINE_REQUIRED" "$BASELINE" "$FRESH"
+echo "== comparing against $BASELINE_REQUIRED + $BASELINE_AGG + $BASELINE (tolerance ${TOLERANCE}%)"
+"$OUT_DIR/benchdiff" compare -tolerance "$TOLERANCE" "$BASELINE_REQUIRED" "$BASELINE_AGG" "$BASELINE" "$FRESH"
 echo "== benchmark gate passed"

@@ -258,6 +258,12 @@ type DeploymentConfig struct {
 	// GroupDefaults are per-group default rules applied when a
 	// subject has no personal preference.
 	GroupDefaults []GroupDefault
+	// EnforceEngine selects the enforcement engine flavor: ""
+	// or "compiled" (default; rules compiled into an indexed decision
+	// structure plus a decision memo), "compiled-nomemo" (no memo),
+	// or "naive" (scan-everything reference). This is the escape
+	// hatch tippersd exposes as -enforce-engine.
+	EnforceEngine string
 	// Strategy picks conflict resolution; zero = most restrictive.
 	Strategy reasoner.Strategy
 	// Clock overrides time.Now.
@@ -343,11 +349,27 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		}},
 	})
 
+	// An explicit engine flavor overrides core's default (compiled).
+	// The config mirrors what core would build itself.
+	var engine enforce.Engine
+	if cfg.EnforceEngine != "" {
+		engine, err = enforce.New(cfg.EnforceEngine, enforce.Config{
+			Spaces:        building.Spaces,
+			Services:      services,
+			DefaultAllow:  !cfg.DefaultDeny,
+			GroupDefaults: cfg.GroupDefaults,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	bms, err := core.New(core.Config{
 		Spaces:        building.Spaces,
 		Users:         users,
 		Sensors:       building.Sensors,
 		Services:      services,
+		Engine:        engine,
 		Strategy:      cfg.Strategy,
 		DefaultAllow:  !cfg.DefaultDeny,
 		GroupDefaults: cfg.GroupDefaults,

@@ -36,4 +36,8 @@ go test -race -count=2 -run TestCrashMidCompaction ./internal/colstore/...
 echo "== query leak + segment equivalence properties (repeated, race) =="
 go test -race -count=2 -run 'TestQueryNeverLeaksDeniedRows|TestSegmentQueryMatchesRowScan' ./internal/query/...
 
+echo "== compiled-engine equivalence + recompile-under-churn (repeated, race) =="
+go test -race -count=2 -run 'TestCompiledMatchesNaive' ./internal/enforce/...
+go test -race -count=2 -run 'TestEngineRecompileUnderChurn' ./internal/core/...
+
 echo "verify: OK"
