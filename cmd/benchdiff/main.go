@@ -4,6 +4,7 @@
 //	benchdiff parse bench.txt > BENCH_pr9.json
 //	benchdiff compare -tolerance 15 baseline.json [more.json ...] new.json
 //	benchdiff flat -max 2 new.json baseBench scaledBench [more ...]
+//	benchdiff slo -tolerance 25 base-report.json new-report.json
 //
 // parse reads the standard benchmark output format and emits one JSON
 // entry per benchmark with every ns/op sample (run bench with
@@ -53,6 +54,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"github.com/tippers/tippers/internal/loadgen"
 )
 
 // Result holds one benchmark's samples across -count repetitions.
@@ -406,6 +410,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchdiff: scale sweep is not flat")
 			os.Exit(1)
 		}
+	case "slo":
+		fs := flag.NewFlagSet("slo", flag.ExitOnError)
+		tolerance := fs.Float64("tolerance", 25, "max allowed tail-latency regression, percent")
+		floor := fs.Duration("floor", 2*time.Millisecond, "ignore regressions smaller than this absolute delta")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 2 {
+			usage()
+		}
+		base, err := loadgen.ReadReport(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := loadgen.ReadReport(fs.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		if sloCompare(base, cur, *tolerance, floor.Seconds(), os.Stdout) {
+			fmt.Fprintln(os.Stderr, "benchdiff: tail-latency regression over tolerance")
+			os.Exit(1)
+		}
 	default:
 		usage()
 	}
@@ -417,6 +441,7 @@ usage:
   benchdiff parse [bench.txt]                      # bench output → JSON on stdout
   benchdiff compare [-tolerance 15] base.json [more.json ...] new.json
   benchdiff flat [-max 2] new.json baseBench scaledBench [more ...]
+  benchdiff slo [-tolerance 25] [-floor 2ms] base-report.json new-report.json
 `))
 	os.Exit(2)
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tippers/tippers/internal/loadgen"
+)
+
+// sloCompare diffs two simload JSON reports (see internal/loadgen):
+// for every op class in the baseline, the fresh run's p50/p99/p99.9
+// must not regress by more than tolerance percent — with a small
+// absolute floor under which differences are ignored, because a p50
+// going from 80µs to 120µs on a shared CI runner is noise, not a
+// regression. A baseline class missing from the fresh run fails, as
+// does a class whose error or shed count went from zero to nonzero.
+// Returns true when the gate should fail.
+func sloCompare(base, cur *loadgen.Report, tolerance float64, floorSeconds float64, w io.Writer) bool {
+	failed := false
+	quantiles := []struct {
+		name string
+		get  func(loadgen.Result) float64
+	}{
+		{"p50", func(r loadgen.Result) float64 { return r.P50Seconds }},
+		{"p99", func(r loadgen.Result) float64 { return r.P99Seconds }},
+		{"p99.9", func(r loadgen.Result) float64 { return r.P999Seconds }},
+	}
+	for _, b := range base.Classes {
+		c, ok := cur.ClassResult(b.Class)
+		if !ok {
+			fmt.Fprintf(w, "FAIL  %-12s missing from the fresh run\n", b.Class)
+			failed = true
+			continue
+		}
+		for _, q := range quantiles {
+			bv, cv := q.get(b), q.get(c)
+			over := cv > bv*(1+tolerance/100) && cv-bv > floorSeconds
+			mark := "ok  "
+			if over {
+				mark = "FAIL"
+				failed = true
+			}
+			delta := 0.0
+			if bv > 0 {
+				delta = (cv - bv) / bv * 100
+			}
+			fmt.Fprintf(w, "%s  %-12s %-6s %10.2fms → %10.2fms  (%+.1f%%)\n",
+				mark, b.Class, q.name, bv*1000, cv*1000, delta)
+		}
+		if b.Errors == 0 && c.Errors > 0 {
+			fmt.Fprintf(w, "FAIL  %-12s errors went 0 → %d\n", b.Class, c.Errors)
+			failed = true
+		}
+		if b.Shed == 0 && c.Shed > 0 {
+			fmt.Fprintf(w, "FAIL  %-12s shed load went 0 → %d (target rate not sustained)\n", b.Class, c.Shed)
+			failed = true
+		}
+	}
+	for _, v := range cur.Verdicts {
+		if !v.Pass {
+			fmt.Fprintf(w, "FAIL  %-12s client SLO verdict %s<%0.fms observed %.2fms\n",
+				v.Class, v.Quantile, v.ThresholdSeconds*1000, v.ObservedSeconds*1000)
+			failed = true
+		}
+	}
+	return failed
+}

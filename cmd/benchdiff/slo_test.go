@@ -1,0 +1,63 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/tippers/tippers/internal/loadgen"
+)
+
+func report(classes ...loadgen.Result) *loadgen.Report {
+	return &loadgen.Report{Classes: classes}
+}
+
+func TestSLOCompareNoRegression(t *testing.T) {
+	base := report(loadgen.Result{Class: "ingest", P50Seconds: 0.010, P99Seconds: 0.050, P999Seconds: 0.100})
+	cur := report(loadgen.Result{Class: "ingest", P50Seconds: 0.011, P99Seconds: 0.052, P999Seconds: 0.105})
+	if sloCompare(base, cur, 25, 0.002, io.Discard) {
+		t.Error("within-tolerance drift failed the gate")
+	}
+}
+
+func TestSLOCompareTailRegression(t *testing.T) {
+	base := report(loadgen.Result{Class: "ingest", P50Seconds: 0.010, P99Seconds: 0.050, P999Seconds: 0.100})
+	cur := report(loadgen.Result{Class: "ingest", P50Seconds: 0.010, P99Seconds: 0.050, P999Seconds: 0.500})
+	var out strings.Builder
+	if !sloCompare(base, cur, 25, 0.002, &out) {
+		t.Error("5x p99.9 regression passed the gate")
+	}
+	if !strings.Contains(out.String(), "p99.9") {
+		t.Errorf("output does not name the regressed quantile:\n%s", out.String())
+	}
+}
+
+func TestSLOCompareAbsoluteFloor(t *testing.T) {
+	// 3x relative blowup but only 100µs absolute — noise on a shared
+	// runner, not a regression.
+	base := report(loadgen.Result{Class: "churn", P50Seconds: 0.00005, P99Seconds: 0.0001, P999Seconds: 0.0002})
+	cur := report(loadgen.Result{Class: "churn", P50Seconds: 0.00015, P99Seconds: 0.0003, P999Seconds: 0.0006})
+	if sloCompare(base, cur, 25, 0.002, io.Discard) {
+		t.Error("sub-floor absolute delta failed the gate")
+	}
+}
+
+func TestSLOCompareMissingClassAndErrors(t *testing.T) {
+	base := report(
+		loadgen.Result{Class: "ingest", P99Seconds: 0.05},
+		loadgen.Result{Class: "query", P99Seconds: 0.05},
+	)
+	cur := report(loadgen.Result{Class: "ingest", P99Seconds: 0.05, Errors: 7})
+	if !sloCompare(base, cur, 25, 0.002, io.Discard) {
+		t.Error("missing class + new errors passed the gate")
+	}
+}
+
+func TestSLOCompareFailedVerdicts(t *testing.T) {
+	base := report(loadgen.Result{Class: "ingest", P99Seconds: 0.05})
+	cur := report(loadgen.Result{Class: "ingest", P99Seconds: 0.05})
+	cur.Verdicts = []loadgen.Verdict{{Class: "ingest", Quantile: "p99", ThresholdSeconds: 0.01, ObservedSeconds: 0.05, Pass: false}}
+	if !sloCompare(base, cur, 25, 0.002, io.Discard) {
+		t.Error("failed client verdict passed the gate")
+	}
+}

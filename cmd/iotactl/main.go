@@ -22,6 +22,11 @@
 //	iotactl trace -tippers http://localhost:8080 <trace-id>
 //	iotactl top   -tippers http://localhost:8080 [-interval 2s] [-iterations N]
 //	iotactl segments -tippers http://localhost:8080
+//	iotactl slo   -tippers http://localhost:8080
+//
+// slo prints the node's /v1/slo report: per-SLO compliance over the
+// error-budget window, budget remaining, multi-window burn rates, and
+// the alarm state. top shows the same as a live panel.
 //
 // segments prints the columnar storage tier's state: sealed segments
 // with their zone-map summaries, compaction and prune counters, and
@@ -109,10 +114,10 @@ func main() {
 		os.Exit(2)
 	}
 	logger = telemetry.SetupLogger(telemetry.LogConfig{Component: "iotactl", Verbose: *verbose})
-	// trace, top, segments, and query are operator commands; every
-	// other command acts for a user and requires -user. (query takes
-	// -user as an optional identity for the audit table.)
-	if *user == "" && cmd != "trace" && cmd != "top" && cmd != "query" && cmd != "segments" {
+	// trace, top, segments, slo, and query are operator commands;
+	// every other command acts for a user and requires -user. (query
+	// takes -user as an optional identity for the audit table.)
+	if *user == "" && cmd != "trace" && cmd != "top" && cmd != "query" && cmd != "segments" && cmd != "slo" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -305,6 +310,8 @@ func main() {
 			fatal("trace requires a trace ID argument (see the slow-request log or /v1/traces)")
 		}
 		runTrace(ctx, tippersClient(*tip), id)
+	case "slo":
+		runSLO(ctx, tippersClient(*tip))
 	case "top":
 		// top runs until interrupted (or -iterations); the 30s command
 		// timeout does not apply.

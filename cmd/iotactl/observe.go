@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"github.com/tippers/tippers/internal/httpapi"
+	"github.com/tippers/tippers/internal/slo"
 	"github.com/tippers/tippers/internal/telemetry"
 )
 
@@ -119,7 +121,71 @@ func runTop(ctx context.Context, client *httpapi.Client, base string, interval t
 		fmt.Printf("\n%-38s %8s %9s %9s %9s\n", "latency (ms)", "count", "p50", "p99", "p99.9")
 		printLatencyRows(samples)
 		printStreamRows(samples)
+		if rep, err := fetchSLO(ctx, client); err == nil {
+			printSLORows(rep)
+		}
 		prev, prevAt = cur, now
+	}
+}
+
+// fetchSLO pulls and decodes the node's /v1/slo report.
+func fetchSLO(ctx context.Context, client *httpapi.Client) (slo.Report, error) {
+	var rep slo.Report
+	raw, err := client.SLO(ctx)
+	if err != nil {
+		return rep, err
+	}
+	err = json.Unmarshal(raw, &rep)
+	return rep, err
+}
+
+// printSLORows is the SLO panel shared by `top` and `slo`: one row
+// per objective with compliance, budget remaining, the worst burn
+// rate, and the alarm state.
+func printSLORows(rep slo.Report) {
+	if len(rep.SLOs) == 0 {
+		return
+	}
+	health := "healthy"
+	if !rep.Healthy {
+		health = "UNHEALTHY"
+	}
+	fmt.Printf("\n%-22s %-12s %10s %9s %8s %9s  %s\n",
+		"slo ("+health+")", "class", "objective", "compl", "budget", "burn", "state")
+	for _, s := range rep.SLOs {
+		worstBurn := 0.0
+		for _, b := range s.BurnRates {
+			if b.Rate > worstBurn {
+				worstBurn = b.Rate
+			}
+		}
+		state := s.State
+		if state != "ok" {
+			state = strings.ToUpper(state)
+		}
+		fmt.Printf("  %-20s %-12s %9.3f%% %8.3f%% %7.1f%% %9.2f  %s\n",
+			s.Name, s.Class, s.Objective*100, s.Compliance*100,
+			s.BudgetRemaining*100, worstBurn, state)
+	}
+}
+
+// runSLO implements `iotactl slo`: a one-shot print of the node's
+// SLO report.
+func runSLO(ctx context.Context, client *httpapi.Client) {
+	rep, err := fetchSLO(ctx, client)
+	if err != nil {
+		fatal("fetch /v1/slo (is the node's SLO evaluator enabled?)", "error", err)
+	}
+	printSLORows(rep)
+	for _, s := range rep.SLOs {
+		if s.Kind == "latency" {
+			fmt.Printf("  %-20s threshold %.0fms over %s window, %0.f events (%.0f bad)\n",
+				s.Name, s.ThresholdSeconds*1000, time.Duration(s.WindowSeconds*float64(time.Second)).String(),
+				s.Events, s.BadEvents)
+		}
+	}
+	if !rep.Healthy {
+		os.Exit(1)
 	}
 }
 

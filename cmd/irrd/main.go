@@ -4,7 +4,8 @@
 // Usage:
 //
 //	irrd [-addr :8081] [-name my-irr] [-space dbh] [-pprof] [-v]
-//	     [-trace-sample 128] [-trace-slow 250ms] resource.json ...
+//	     [-trace-sample 128] [-trace-slow 250ms]
+//	     [-slo-interval 10s] [-slo-window 1h] resource.json ...
 //
 // Each file must be a Figure-2-shape resource document; every
 // resource in it is published under the -space coverage. With no
@@ -24,19 +25,22 @@ import (
 
 	"github.com/tippers/tippers/internal/irr"
 	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/slo"
 	"github.com/tippers/tippers/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8081", "listen address")
-		name      = flag.String("name", "standalone-irr", "registry name")
-		space     = flag.String("space", "dbh", "coverage space ID for published resources")
-		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
-		verbose   = flag.Bool("v", false, "debug logging")
-		logFormat = flag.String("log-format", "text", "log output format: text or json")
-		sampleN   = flag.Int("trace-sample", telemetry.DefaultSampleOneIn, "trace 1 in N requests (0 disables tracing)")
-		traceSlow = flag.Duration("trace-slow", 250*time.Millisecond, "log requests slower than this with their trace ID (0 disables)")
+		addr        = flag.String("addr", ":8081", "listen address")
+		name        = flag.String("name", "standalone-irr", "registry name")
+		space       = flag.String("space", "dbh", "coverage space ID for published resources")
+		pprofFlag   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
+		verbose     = flag.Bool("v", false, "debug logging")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		sampleN     = flag.Int("trace-sample", telemetry.DefaultSampleOneIn, "trace 1 in N requests (0 disables tracing)")
+		traceSlow   = flag.Duration("trace-slow", 250*time.Millisecond, "log requests slower than this with their trace ID (0 disables)")
+		sloInterval = flag.Duration("slo-interval", 10*time.Second, "SLO evaluation period for /v1/slo (0 disables the evaluator)")
+		sloWindow   = flag.Duration("slo-window", time.Hour, "SLO error-budget window")
 	)
 	flag.Parse()
 
@@ -105,6 +109,17 @@ func main() {
 		}
 		return nil
 	})
+	if *sloInterval > 0 {
+		ev, err := slo.New(metrics, slo.DefaultHTTPSpecs("irr", 100*time.Millisecond, *sloWindow),
+			slo.Options{Interval: *sloInterval, Logger: logger})
+		if err != nil {
+			logger.Error("building slo evaluator", "error", err)
+			os.Exit(1)
+		}
+		ev.Start()
+		defer ev.Stop()
+		mux.Handle("GET /v1/slo", ev.Handler())
+	}
 	metrics.Mount(mux, *pprofFlag)
 	if *pprofFlag {
 		logger.Info("pprof enabled", "path", "/debug/pprof/")

@@ -1,51 +1,96 @@
-// Command simload drives a remote TIPPERS node with simulated DBH
-// traffic: it generates occupant days and streams the observations to
-// the node's ingest endpoint, then optionally fires a request
-// workload — useful for load-testing a tippersd instance.
+// Command simload drives a remote TIPPERS node with an open-loop
+// workload: every op class (ingest batches, point queries, occupancy
+// aggregates, enforced SQL, preference churn) runs on its own target
+// arrival rate with a Poisson or fixed schedule, and latency is
+// measured from the *intended* send time — a server stall cannot slow
+// the generator down, so queueing delay lands in the reported tail
+// percentiles instead of being coordinated-omitted away (see
+// internal/loadgen).
 //
 // Usage:
 //
-//	simload -tippers http://localhost:8080 [-days 1] [-population 200]
-//	        [-small] [-requests 100] [-aggregates 20] [-seed 1]
+//	simload -tippers http://localhost:8080 [-duration 30s]
+//	        [-arrival poisson|fixed] [-scenario mixed|churn-storm|probe|fatigue]
+//	        [-ingest 500] [-batch 100] [-point 25] [-aggregate 5]
+//	        [-query 5] [-churn 2] [-subscribers 2] [-workers 32]
+//	        [-slo "ingest:p99<1s,..."] [-report out.json]
+//	        [-population N] [-seed N] [-small]
 //
-// The population must match the tippersd instance's (-population and
-// -seed), since observations are attributed by the node via its own
-// user directory.
+// The node's building, population, and seed are fetched from
+// /v1/healthz; explicitly passed -population/-seed/-small flags that
+// disagree with the node abort the run instead of silently generating
+// a workload the node attributes to the wrong people. Unset flags
+// adopt the node's values.
 //
-// Besides throughput, simload reports client-observed p50/p99/p99.9
-// latency per operation class — ingest (one batch POST), point_query
-// (user-data request), aggregate (occupancy request) — plus the
-// server-reported decision stage time extracted from each response's
-// decision trace, so enforcement cost is visible separately from
-// HTTP and store overhead.
+// Scenarios:
+//
+//	mixed        every class at its configured rate (default)
+//	churn-storm  preference churn at 20x — epoch-invalidation storms
+//	probe        point queries become fine-grained location probes
+//	             sweeping every subject (the E5 inference adversary)
+//	fatigue      deny preferences installed first, then emergency-
+//	             purpose requests whose overrides flood notifications
+//
+// The run ends with a machine-readable JSON report (-report): per-
+// class p50/p99/p99.9 and achieved vs target rate, per-subscriber
+// stream gap/drop counts, node-side stream lag counters, node stats
+// deltas, the node's /v1/slo view, and the client-side SLO verdicts
+// from -slo. Any failed verdict exits nonzero — scripts/slo_smoke.sh
+// builds the CI tail-latency gate on exactly this.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
 	"os"
-	"sort"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tippers/tippers/internal/enforce"
 	"github.com/tippers/tippers/internal/httpapi"
+	"github.com/tippers/tippers/internal/loadgen"
+	"github.com/tippers/tippers/internal/policy"
+	"github.com/tippers/tippers/internal/profile"
+	"github.com/tippers/tippers/internal/sensor"
 	"github.com/tippers/tippers/internal/sim"
 	"github.com/tippers/tippers/internal/telemetry"
 )
 
+// defaultTargets are deliberately loose: they catch a server that has
+// fallen over (or a CI gate's injected multi-second stall), not a
+// noisy-neighbour blip on a shared runner.
+const defaultTargets = "ingest:p99<1s,point_query:p99<1s,aggregate:p99<1s,query:p99<2s,churn:p99<1s"
+
 func main() {
 	var (
-		tip        = flag.String("tippers", "http://localhost:8080", "TIPPERS API base URL")
-		days       = flag.Int("days", 1, "days to simulate")
-		population = flag.Int("population", 200, "occupant count (must match the node)")
-		small      = flag.Bool("small", false, "use the two-floor building (must match the node)")
-		requests   = flag.Int("requests", 100, "point-query requests to fire after ingest (0 disables)")
-		aggregates = flag.Int("aggregates", 20, "aggregate occupancy requests to fire after ingest (0 disables)")
-		seed       = flag.Int64("seed", 1, "simulation seed (must match the node)")
-		batch      = flag.Int("batch", 500, "observations per ingest call")
-		verbose    = flag.Bool("v", false, "debug logging")
-		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		tip         = flag.String("tippers", "http://localhost:8080", "TIPPERS API base URL")
+		duration    = flag.Duration("duration", 30*time.Second, "run length (soak mode: set minutes/hours)")
+		arrivalStr  = flag.String("arrival", "poisson", "inter-arrival process: poisson or fixed")
+		scenario    = flag.String("scenario", "mixed", "workload scenario: mixed, churn-storm, probe, or fatigue")
+		ingestRate  = flag.Float64("ingest", 500, "ingest rate in observations/sec (0 disables)")
+		batch       = flag.Int("batch", 100, "observations per ingest call")
+		pointRate   = flag.Float64("point", 25, "point-query rate in requests/sec (0 disables)")
+		aggRate     = flag.Float64("aggregate", 5, "aggregate-occupancy rate in requests/sec (0 disables)")
+		queryRate   = flag.Float64("query", 5, "enforced-SQL rate in queries/sec (0 disables)")
+		churnRate   = flag.Float64("churn", 2, "preference churn rate in PUTs/sec (0 disables)")
+		subscribers = flag.Int("subscribers", 2, "concurrent live-stream subscribers (0 disables)")
+		workers     = flag.Int("workers", 32, "max in-flight ops per class")
+		targetsStr  = flag.String("slo", defaultTargets, "client-side SLO targets: class:quantile<threshold,...")
+		reportPath  = flag.String("report", "", "write the JSON report here (\"-\" for stdout, empty disables)")
+		failSrvSLO  = flag.Bool("fail-on-server-slo", false, "also exit nonzero when the node's /v1/slo reports unhealthy")
+		population  = flag.Int("population", 200, "occupant count (checked against the node)")
+		small       = flag.Bool("small", false, "two-floor building (checked against the node)")
+		seed        = flag.Int64("seed", 1, "simulation seed (checked against the node)")
+		verbose     = flag.Bool("v", false, "debug logging")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
 
@@ -54,6 +99,60 @@ func main() {
 		Verbose:   *verbose,
 		JSON:      *logFormat == "json",
 	})
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	arrival, err := loadgen.ParseArrival(*arrivalStr)
+	if err != nil {
+		fatal("invalid -arrival", "error", err)
+	}
+	targets, err := loadgen.ParseTargets(*targetsStr)
+	if err != nil {
+		fatal("invalid -slo", "error", err)
+	}
+	switch *scenario {
+	case "mixed", "churn-storm", "probe", "fatigue":
+	default:
+		fatal("invalid -scenario", "value", *scenario, "want", "mixed, churn-storm, probe, or fatigue")
+	}
+
+	client := httpapi.NewClient(*tip, nil)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Identity check: a workload generated for the wrong building,
+	// population, or seed attributes observations to people who do
+	// not exist on the node — it used to "work" and measure garbage.
+	hz, err := client.Healthz(ctx)
+	if err != nil {
+		fatal("node unreachable", "tippers", *tip, "error", err)
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if hz.Population > 0 {
+		nodeSmall := hz.BuildingName == sim.SmallDBH().Name
+		if explicit["small"] && *small != nodeSmall {
+			fatal("building mismatch: node runs a different building spec than -small requests",
+				"node_building", hz.BuildingName, "flag_small", *small)
+		}
+		if explicit["population"] && *population != hz.Population {
+			fatal("population mismatch: the node attributes observations via its own directory",
+				"node_population", hz.Population, "flag_population", *population)
+		}
+		if explicit["seed"] && *seed != hz.Seed {
+			fatal("seed mismatch: a different seed generates a different population",
+				"node_seed", hz.Seed, "flag_seed", *seed)
+		}
+		*small, *population, *seed = nodeSmall, hz.Population, hz.Seed
+		logger.Info("node identity verified",
+			"building", hz.Building, "building_name", hz.BuildingName,
+			"population", hz.Population, "seed", hz.Seed)
+	} else {
+		logger.Warn("node does not report its identity (pre-SLO daemon?); trusting flags",
+			"population", *population, "seed", *seed, "small", *small)
+	}
 
 	spec := sim.DBH()
 	if *small {
@@ -61,191 +160,387 @@ func main() {
 	}
 	building, err := spec.Build()
 	if err != nil {
-		logger.Error("building", "error", err)
-		os.Exit(1)
+		fatal("building", "error", err)
 	}
 	dir := sim.GeneratePopulation(building, *population, sim.CampusMix(), *seed)
-	client := httpapi.NewClient(*tip, nil)
-	ctx := context.Background()
-
-	before, err := client.Stats(ctx)
-	if err != nil {
-		logger.Error("stats", "error", err)
-		os.Exit(1)
-	}
-
-	lat := map[string]*latencySet{
-		"ingest":      {},
-		"point_query": {},
-		"aggregate":   {},
-		"decision":    {},
-	}
-
+	users := dir.All()
 	day := time.Now().UTC().Truncate(24 * time.Hour)
-	totalSent := 0
-	start := time.Now()
-	for d := 0; d < *days; d++ {
-		res := sim.SimulateDay(building, dir, sim.DayConfig{Date: day.AddDate(0, 0, d), Seed: *seed + int64(d)})
-		for i := 0; i < len(res.Observations); i += *batch {
-			end := min(i+*batch, len(res.Observations))
-			dtos := make([]httpapi.ObservationDTO, 0, end-i)
-			for _, o := range res.Observations[i:end] {
-				dtos = append(dtos, httpapi.ObservationDTO{
-					SensorID:  o.SensorID,
-					Kind:      string(o.Kind),
-					Time:      o.Time,
-					SpaceID:   o.SpaceID,
-					DeviceMAC: o.DeviceMAC,
-					Value:     o.Value,
-					Payload:   o.Payload,
-				})
-			}
-			callStart := time.Now()
-			n, err := client.Ingest(ctx, dtos)
-			if err != nil {
-				logger.Error("ingest", "error", err, "accepted", n)
-				os.Exit(1)
-			}
-			lat["ingest"].add(time.Since(callStart))
-			totalSent += n
-		}
-		logger.Info("day sent", "day", d+1, "observations", len(res.Observations))
-	}
-	elapsed := time.Since(start)
-	logger.Info("ingest done",
-		"observations", totalSent,
-		"elapsed", elapsed.Round(time.Millisecond).String(),
-		"obs_per_sec", fmt.Sprintf("%.0f", float64(totalSent)/elapsed.Seconds()))
 
-	if *requests > 0 {
-		reqs := sim.GenerateRequests(building, dir, []string{"concierge", "smart-meeting"}, day,
-			sim.RequestWorkload{N: *requests, Seed: *seed, EmergencyFraction: 0.05})
-		allowed, denied := 0, 0
-		start = time.Now()
-		for _, r := range reqs {
-			callStart := time.Now()
-			resp, err := client.RequestUser(ctx, enforce.Request{
-				ServiceID: r.ServiceID, Purpose: r.Purpose, Kind: r.Kind,
-				SubjectID: r.SubjectID, SpaceID: r.SpaceID,
-				Granularity: r.Granularity, Time: r.Time,
+	// Scenario shaping.
+	emergencyFraction := 0.05
+	switch *scenario {
+	case "churn-storm":
+		*churnRate *= 20
+	case "probe":
+		*pointRate *= 5
+	case "fatigue":
+		// Restrictive preferences first: the emergency overrides that
+		// beat them are exactly what generates notifications, so an
+		// all-emergency request stream floods every subject's inbox.
+		emergencyFraction = 1.0
+		installed := 0
+		for _, u := range users {
+			if installed >= 50 {
+				break
+			}
+			err := client.SetPreferenceCtx(ctx, policy.Preference{
+				ID:     "simload-deny-" + u.ID,
+				UserID: u.ID,
+				Name:   "simload fatigue-scenario deny",
+				Scope:  policy.Scope{ObsKind: sensor.ObsWiFiConnect},
+				Rule:   policy.Rule{Action: policy.ActionDeny},
+				Source: "explicit",
 			})
 			if err != nil {
-				logger.Error("request", "error", err)
-				os.Exit(1)
+				fatal("installing fatigue preference", "user", u.ID, "error", err)
 			}
-			lat["point_query"].add(time.Since(callStart))
-			lat["decision"].addTrace(resp.Trace)
-			if resp.Decision.Allowed {
-				allowed++
-			} else {
-				denied++
-			}
+			installed++
 		}
-		elapsed = time.Since(start)
-		logger.Info("requests done",
-			"allowed", allowed,
-			"denied", denied,
-			"elapsed", elapsed.Round(time.Millisecond).String(),
-			"req_per_sec", fmt.Sprintf("%.0f", float64(*requests)/elapsed.Seconds()))
+		logger.Info("fatigue scenario armed", "deny_preferences", installed)
 	}
 
-	if *aggregates > 0 {
-		spaces := append(append([]string{}, building.Classrooms...), building.Offices...)
-		if len(spaces) == 0 {
-			spaces = []string{spec.ID}
-		}
-		start = time.Now()
-		for i := 0; i < *aggregates; i++ {
-			callStart := time.Now()
-			resp, err := client.RequestOccupancy(ctx, enforce.Request{
-				ServiceID: "concierge",
-				Purpose:   "providing_service",
-				Kind:      "wifi_access_point",
-				SpaceID:   spaces[i%len(spaces)],
-				Time:      day.Add(12 * time.Hour),
-			}, 2)
-			if err != nil {
-				logger.Error("aggregate request", "error", err)
-				os.Exit(1)
-			}
-			lat["aggregate"].add(time.Since(callStart))
-			lat["decision"].addTrace(resp.Trace)
-		}
-		elapsed = time.Since(start)
-		logger.Info("aggregates done",
-			"requests", *aggregates,
-			"elapsed", elapsed.Round(time.Millisecond).String())
+	// Pre-generate the workload material; the ops just cycle it.
+	obsBatches := makeObservationBatches(building, dir, day, *seed, *batch)
+	pointReqs := sim.GenerateRequests(building, dir, []string{"concierge", "smart-meeting"}, day,
+		sim.RequestWorkload{N: 4096, Seed: *seed, EmergencyFraction: emergencyFraction})
+	if *scenario == "probe" {
+		pointReqs = probeRequests(users, day)
+	}
+	aggSpaces := append(append([]string{}, building.Classrooms...), building.Offices...)
+	if len(aggSpaces) == 0 {
+		aggSpaces = []string{spec.ID}
+	}
+	queries := []string{
+		"SELECT space_id, COUNT(DISTINCT user_id) AS people FROM observations" +
+			" WHERE kind = 'wifi_access_point' GROUP BY space_id ORDER BY people DESC LIMIT 5",
+		"SELECT space_id, count FROM occupancy ORDER BY count DESC LIMIT 5",
+		"SELECT kind, COUNT(*) AS n FROM observations GROUP BY kind",
 	}
 
-	for _, class := range []string{"ingest", "point_query", "aggregate", "decision"} {
-		set := lat[class]
-		if len(set.samples) == 0 {
-			continue
-		}
-		logger.Info("latency",
-			"class", class,
-			"n", len(set.samples),
-			"p50", set.quantile(0.50).Round(time.Microsecond).String(),
-			"p99", set.quantile(0.99).Round(time.Microsecond).String(),
-			"p99.9", set.quantile(0.999).Round(time.Microsecond).String())
-	}
-
-	stats, err := client.Stats(ctx)
+	// Baselines for end-of-run deltas.
+	before, err := client.Stats(ctx)
 	if err != nil {
-		logger.Error("stats", "error", err)
-		os.Exit(1)
+		fatal("stats", "error", err)
 	}
-	// Report the node's view of this run (deltas), not its lifetime
-	// totals — a durable node keeps counters across restarts.
-	logger.Info("node stats",
-		"ingested", stats.Ingested-before.Ingested,
-		"dropped_disabled", stats.DroppedDisabled-before.DroppedDisabled,
-		"dropped_unlogged", stats.DroppedUnlogged-before.DroppedUnlogged,
-		"requests_decided", stats.RequestsDecided-before.RequestsDecided,
-		"requests_denied", stats.RequestsDenied-before.RequestsDenied,
-		"ingested_lifetime", stats.Ingested)
-}
+	beforeVars, _ := fetchVars(ctx, *tip)
 
-func min(a, b int) int {
-	if a < b {
-		return a
+	// Stream subscribers run for the whole window alongside the
+	// open-loop classes; each counts its own deliveries, gaps, and
+	// dropped-event totals (from gap markers) client-side.
+	subCtx, subCancel := context.WithCancel(ctx)
+	subs := make([]*subscriber, 0, *subscribers)
+	var subWG sync.WaitGroup
+	for i := 0; i < *subscribers; i++ {
+		s := &subscriber{id: i}
+		subs = append(subs, s)
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			s.run(subCtx, client)
+		}()
 	}
-	return b
-}
 
-// latencySet collects raw per-call latencies for one operation class
-// and reports exact quantiles from the sorted sample set — unlike the
-// server's bucketed histograms, a load generator can afford to keep
-// every sample.
-type latencySet struct {
-	samples []time.Duration
-}
-
-func (l *latencySet) add(d time.Duration) { l.samples = append(l.samples, d) }
-
-// addTrace records the server-side decision stage time from a
-// response's decision trace, separating enforcement cost from
-// transport and store time.
-func (l *latencySet) addTrace(tr *httpapi.DecisionTraceDTO) {
-	if tr == nil {
-		return
-	}
-	for _, st := range tr.Stages {
-		if st.Name == "decide" {
-			l.add(time.Duration(st.DurationMicros) * time.Microsecond)
+	var ingestIdx, pointIdx, aggIdx, queryIdx, churnIdx atomic.Uint64
+	classes := []loadgen.Class{}
+	addClass := func(name string, rate float64, op loadgen.Op) {
+		if rate <= 0 {
 			return
 		}
+		classes = append(classes, loadgen.Class{
+			Name: name, Rate: rate, Arrival: arrival, Workers: *workers,
+			Seed: *seed + int64(len(classes)), Op: op,
+		})
+	}
+	addClass("ingest", *ingestRate/float64(*batch), func(ctx context.Context) error {
+		b := obsBatches[int(ingestIdx.Add(1))%len(obsBatches)]
+		_, err := client.Ingest(ctx, b)
+		return err
+	})
+	addClass("point_query", *pointRate, func(ctx context.Context) error {
+		r := pointReqs[int(pointIdx.Add(1))%len(pointReqs)]
+		_, err := client.RequestUser(ctx, r)
+		return err
+	})
+	addClass("aggregate", *aggRate, func(ctx context.Context) error {
+		space := aggSpaces[int(aggIdx.Add(1))%len(aggSpaces)]
+		_, err := client.RequestOccupancy(ctx, enforce.Request{
+			ServiceID: "concierge", Purpose: policy.PurposeProvidingService,
+			Kind: sensor.ObsWiFiConnect, SpaceID: space, Time: day.Add(12 * time.Hour),
+		}, 2)
+		return err
+	})
+	addClass("query", *queryRate, func(ctx context.Context) error {
+		sql := queries[int(queryIdx.Add(1))%len(queries)]
+		_, err := client.Query(ctx, httpapi.QueryRequestDTO{
+			SQL: sql, ServiceID: "concierge", Purpose: string(policy.PurposeProvidingService),
+		})
+		return err
+	})
+	addClass("churn", *churnRate, func(ctx context.Context) error {
+		u := users[int(churnIdx.Add(1))%len(users)]
+		return client.SetPreferenceCtx(ctx, policy.CoarseLocationPreference(u.ID, "concierge"))
+	})
+	if len(classes) == 0 && *subscribers == 0 {
+		fatal("all op classes disabled; nothing to do")
+	}
+
+	logger.Info("open-loop run starting",
+		"duration", duration.String(), "arrival", *arrivalStr, "scenario", *scenario,
+		"classes", len(classes), "subscribers", *subscribers)
+	start := time.Now().UTC()
+	var progress atomic.Uint64
+	runner := &loadgen.Runner{
+		Classes: classes,
+		OnProgress: func(elapsed time.Duration, results []loadgen.Result) {
+			if progress.Add(1)%5 != 0 {
+				return
+			}
+			for _, r := range results {
+				logger.Debug("progress", "class", r.Class, "elapsed", elapsed.Round(time.Second).String(),
+					"completed", r.Completed, "p99", fmt.Sprintf("%.1fms", r.P99Seconds*1000))
+			}
+		},
+	}
+	results, runErr := runner.Run(ctx, *duration)
+	subCancel()
+	subWG.Wait()
+	if runErr != nil {
+		logger.Warn("run interrupted", "error", runErr)
+	}
+
+	// End-of-run collection: node deltas, stream-path counters, the
+	// node's own SLO view, and client-side verdicts.
+	endCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	report := &loadgen.Report{
+		Start:           start.Format(time.RFC3339),
+		DurationSeconds: duration.Seconds(),
+		Scenario:        *scenario,
+		Arrival:         *arrivalStr,
+		Node: loadgen.NodeInfo{
+			Building: hz.Building, BuildingName: hz.BuildingName,
+			Population: *population, Seed: *seed,
+		},
+		Classes: results,
+	}
+	report.Streams = streamStats(subs, beforeVars)
+	if afterVars, err := fetchVars(endCtx, *tip); err == nil {
+		report.Streams = streamStatsDelta(subs, beforeVars, afterVars)
+	}
+	if after, err := client.Stats(endCtx); err == nil {
+		report.StatsDelta = map[string]float64{
+			"ingested":           float64(after.Ingested - before.Ingested),
+			"dropped_disabled":   float64(after.DroppedDisabled - before.DroppedDisabled),
+			"requests_decided":   float64(after.RequestsDecided - before.RequestsDecided),
+			"requests_denied":    float64(after.RequestsDenied - before.RequestsDenied),
+			"notifications_sent": float64(after.NotificationsSent - before.NotificationsSent),
+		}
+	}
+	serverHealthy := true
+	if raw, err := client.SLO(endCtx); err == nil {
+		report.ServerSLO = raw
+		var sloView struct {
+			Healthy bool `json:"healthy"`
+		}
+		if json.Unmarshal(raw, &sloView) == nil {
+			serverHealthy = sloView.Healthy
+		}
+	} else {
+		logger.Warn("node serves no /v1/slo (evaluator disabled?)", "error", err)
+	}
+	report.Verdicts = loadgen.Evaluate(targets, results)
+	report.Pass = loadgen.AllPass(report.Verdicts) && (!*failSrvSLO || serverHealthy)
+
+	printSummary(logger, report, serverHealthy)
+	if *reportPath != "" {
+		if err := report.WriteFile(*reportPath); err != nil {
+			fatal("writing report", "path", *reportPath, "error", err)
+		}
+		if *reportPath != "-" {
+			logger.Info("report written", "path", *reportPath)
+		}
+	}
+	if !report.Pass {
+		logger.Error("SLO verdicts failed")
+		os.Exit(1)
 	}
 }
 
-// quantile returns the exact q-quantile (nearest-rank on the sorted
-// samples). Empty sets return 0.
-func (l *latencySet) quantile(q float64) time.Duration {
-	if len(l.samples) == 0 {
-		return 0
+// makeObservationBatches simulates one day of the building and slices
+// it into ingest-ready DTO batches.
+func makeObservationBatches(b *sim.Building, dir *profile.Directory, day time.Time, seed int64, batch int) [][]httpapi.ObservationDTO {
+	res := sim.SimulateDay(b, dir, sim.DayConfig{Date: day, Seed: seed})
+	var out [][]httpapi.ObservationDTO
+	for i := 0; i < len(res.Observations); i += batch {
+		end := i + batch
+		if end > len(res.Observations) {
+			end = len(res.Observations)
+		}
+		dtos := make([]httpapi.ObservationDTO, 0, end-i)
+		for _, o := range res.Observations[i:end] {
+			dtos = append(dtos, httpapi.ObservationDTO{
+				SensorID: o.SensorID, Kind: string(o.Kind), Time: o.Time,
+				SpaceID: o.SpaceID, DeviceMAC: o.DeviceMAC, Value: o.Value, Payload: o.Payload,
+			})
+		}
+		out = append(out, dtos)
 	}
-	sorted := append([]time.Duration(nil), l.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	return out
+}
+
+// probeRequests builds the inference-probe stream: fine-grained
+// location requests sweeping every subject in turn, the query pattern
+// of cmd/experiments' E5 adversary.
+func probeRequests(users []*profile.User, day time.Time) []enforce.Request {
+	kinds := []sensor.ObservationKind{sensor.ObsWiFiConnect, sensor.ObsBLESighting}
+	out := make([]enforce.Request, 0, len(users)*len(kinds))
+	for _, k := range kinds {
+		for _, u := range users {
+			out = append(out, enforce.Request{
+				ServiceID: "concierge", Purpose: policy.PurposeProvidingService,
+				Kind: k, SubjectID: u.ID, Granularity: policy.GranExact,
+				Time: day.Add(12 * time.Hour),
+			})
+		}
+	}
+	return out
+}
+
+// subscriber is one live-stream consumer with client-side tallies.
+type subscriber struct {
+	id      int
+	events  atomic.Uint64
+	gaps    atomic.Uint64
+	dropped atomic.Uint64
+	errors  atomic.Uint64
+}
+
+func (s *subscriber) run(ctx context.Context, client *httpapi.Client) {
+	err := client.Stream(ctx, httpapi.StreamOptions{
+		Topic: "observations",
+		Request: httpapi.RequestDTO{
+			ServiceID: "concierge", Purpose: string(policy.PurposeProvidingService),
+			Kind: string(sensor.ObsWiFiConnect),
+		},
+	}, func(ev httpapi.StreamEventDTO) error {
+		switch ev.Type {
+		case "gap":
+			s.gaps.Add(1)
+			if ev.GapTo > ev.GapFrom {
+				s.dropped.Add(ev.GapTo - ev.GapFrom)
+			}
+		default:
+			s.events.Add(1)
+		}
+		return nil
+	})
+	if err != nil && ctx.Err() == nil {
+		s.errors.Add(1)
+	}
+}
+
+// fetchVars reads the node's /debug/vars metric snapshot.
+func fetchVars(ctx context.Context, base string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/vars", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
+	if err != nil {
+		return nil, err
+	}
+	var samples []telemetry.Sample
+	if err := json.Unmarshal(raw, &samples); err != nil {
+		return nil, fmt.Errorf("decode /debug/vars: %w", err)
+	}
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		if strings.HasPrefix(s.Name, "tippers_stream_") && len(s.Labels) == 0 {
+			out[s.Name] = s.Value
+		}
+	}
+	return out, nil
+}
+
+// streamStats assembles the per-subscriber tallies alone (used when
+// the end-of-run vars fetch fails).
+func streamStats(subs []*subscriber, _ map[string]float64) *loadgen.StreamStats {
+	if len(subs) == 0 {
+		return nil
+	}
+	out := &loadgen.StreamStats{}
+	for _, s := range subs {
+		out.Subscribers = append(out.Subscribers, loadgen.SubscriberStats{
+			ID: s.id, Events: s.events.Load(), Gaps: s.gaps.Load(),
+			Dropped: s.dropped.Load(), Errors: s.errors.Load(),
+		})
+	}
+	return out
+}
+
+// streamStatsDelta adds the node-side hub counters: deltas over the
+// run for cumulative counters, instantaneous values for the lag/age
+// gauges — stream-path loss is in the report, not just /metrics.
+func streamStatsDelta(subs []*subscriber, before, after map[string]float64) *loadgen.StreamStats {
+	out := streamStats(subs, nil)
+	if out == nil {
+		out = &loadgen.StreamStats{}
+	}
+	delta := func(name string) float64 {
+		d := after[name] - before[name]
+		if d < 0 {
+			d = after[name] // counter reset: the node restarted mid-run
+		}
+		return d
+	}
+	out.NodeDelivered = delta("tippers_stream_delivered_total")
+	out.NodeDropped = delta("tippers_stream_dropped_total")
+	out.NodeGaps = delta("tippers_stream_gaps_total")
+	out.NodeDisconnects = delta("tippers_stream_disconnects_total")
+	out.NodeMaxLag = after["tippers_stream_max_lag_events"]
+	out.NodeGapAgeSecs = after["tippers_stream_gap_age_seconds"]
+	return out
+}
+
+// printSummary logs the human-readable view of the report.
+func printSummary(logger *slog.Logger, rep *loadgen.Report, serverHealthy bool) {
+	ms := func(v float64) string { return fmt.Sprintf("%.2fms", v*1000) }
+	for _, r := range rep.Classes {
+		logger.Info("class result",
+			"class", r.Class,
+			"target_rate", fmt.Sprintf("%.1f/s", r.TargetRate),
+			"achieved_rate", fmt.Sprintf("%.1f/s", r.AchievedRate),
+			"completed", r.Completed, "errors", r.Errors, "shed", r.Shed,
+			"p50", ms(r.P50Seconds), "p99", ms(r.P99Seconds),
+			"p99.9", ms(r.P999Seconds), "max", ms(r.MaxSeconds))
+	}
+	if s := rep.Streams; s != nil {
+		for _, sub := range s.Subscribers {
+			logger.Info("stream subscriber",
+				"id", sub.ID, "events", sub.Events, "gaps", sub.Gaps,
+				"dropped", sub.Dropped, "errors", sub.Errors)
+		}
+		logger.Info("stream node counters",
+			"delivered", s.NodeDelivered, "dropped", s.NodeDropped,
+			"gaps", s.NodeGaps, "disconnects", s.NodeDisconnects,
+			"max_lag_events", s.NodeMaxLag, "gap_age_seconds", s.NodeGapAgeSecs)
+	}
+	if rep.StatsDelta != nil {
+		logger.Info("node stats delta",
+			"ingested", rep.StatsDelta["ingested"],
+			"requests_decided", rep.StatsDelta["requests_decided"],
+			"requests_denied", rep.StatsDelta["requests_denied"],
+			"notifications_sent", rep.StatsDelta["notifications_sent"])
+	}
+	for _, v := range rep.Verdicts {
+		logger.Info("slo verdict",
+			"class", v.Class, "target", fmt.Sprintf("%s<%s", v.Quantile, ms(v.ThresholdSeconds)),
+			"observed", ms(v.ObservedSeconds), "pass", v.Pass)
+	}
+	logger.Info("run complete", "pass", rep.Pass, "server_slo_healthy", serverHealthy)
 }

@@ -12,6 +12,7 @@
 //	         [-colstore-dir DIR] [-colstore-compact-interval 1m] [-no-colstore]
 //	         [-stream-buffer 256] [-stream-policy drop-oldest|block|disconnect]
 //	         [-trace-sample 128] [-trace-slow 250ms]
+//	         [-slo-interval 10s] [-slo-window 1h]
 //	         [-pprof] [-v] [-log-format text|json]
 //
 // With -wal-dir the node runs durably: every ingested observation is
@@ -60,6 +61,8 @@ func main() {
 		logFormat     = flag.String("log-format", "text", "log output format: text or json")
 		sampleN       = flag.Int("trace-sample", telemetry.DefaultSampleOneIn, "trace 1 in N requests end-to-end (0 disables tracing)")
 		traceSlow     = flag.Duration("trace-slow", 250*time.Millisecond, "log requests slower than this with their trace ID (0 disables)")
+		sloInterval   = flag.Duration("slo-interval", 10*time.Second, "SLO evaluation period for /v1/slo (0 disables the evaluator)")
+		sloWindow     = flag.Duration("slo-window", time.Hour, "SLO error-budget window")
 	)
 	flag.Parse()
 
@@ -142,6 +145,8 @@ func main() {
 		ColumnarDir:           *colDir,
 		CompactInterval:       *compactIvl,
 		DisableColumnar:       *noColstore,
+		SLOInterval:           *sloInterval,
+		SLOWindow:             *sloWindow,
 	})
 	if err != nil {
 		if store != nil {
@@ -192,8 +197,25 @@ func main() {
 
 	dep.BMS.StartRetention(*retention)
 
+	var api http.Handler = dep.APIHandler()
+	// TIPPERSD_DEBUG_STALL injects a fixed per-request delay — the
+	// knob scripts/slo_smoke.sh uses to prove the CI SLO gate goes red
+	// on a latency regression. Never set it outside that drill.
+	if v := os.Getenv("TIPPERSD_DEBUG_STALL"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			logger.Error("invalid TIPPERSD_DEBUG_STALL", "value", v)
+			os.Exit(1)
+		}
+		logger.Warn("DEBUG: stalling every request", "delay", d.String())
+		inner := api
+		api = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(d)
+			inner.ServeHTTP(w, r)
+		})
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/", dep.APIHandler())
+	mux.Handle("/", api)
 	metrics.Mount(mux, *pprofFlag)
 	if *pprofFlag {
 		logger.Info("pprof enabled", "path", "/debug/pprof/")

@@ -157,6 +157,22 @@ func (c *Client) Ready(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/v1/readyz", nil, nil)
 }
 
+// Healthz returns the node's liveness report, including its identity
+// (building/population/seed) when the daemon was configured with it.
+func (c *Client) Healthz(ctx context.Context) (HealthzDTO, error) {
+	var out HealthzDTO
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out)
+	return out, err
+}
+
+// SLO fetches /v1/slo as raw JSON; callers that only display or embed
+// the report need not depend on the slo package's types.
+func (c *Client) SLO(ctx context.Context) (json.RawMessage, error) {
+	var out json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/v1/slo", nil, &out)
+	return out, err
+}
+
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {

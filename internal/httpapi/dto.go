@@ -164,6 +164,20 @@ type ResponseDTO struct {
 	Trace              *DecisionTraceDTO `json:"trace,omitempty"`
 }
 
+// HealthzDTO is the /v1/healthz body. The node-identity fields are
+// present when the daemon was configured via Server.WithNodeInfo;
+// load harnesses use them to fail fast on a building/population/seed
+// mismatch instead of silently generating a workload for the wrong
+// simulated building.
+type HealthzDTO struct {
+	Status       string `json:"status"`
+	Building     string `json:"building,omitempty"`
+	BuildingName string `json:"building_name,omitempty"`
+	Floors       int    `json:"floors,omitempty"`
+	Population   int    `json:"population,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+}
+
 // StatsDTO is the wire form of core.Stats.
 type StatsDTO struct {
 	Ingested          uint64 `json:"ingested"`

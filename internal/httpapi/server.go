@@ -35,15 +35,18 @@ const maxBodyBytes = 10 << 20
 //	GET    /v1/decisions?user=U&n=N      recent decision traces
 //	GET    /v1/traces?n=N                recent pipeline traces (span ring)
 //	GET    /v1/traces/{id}               full span tree of one trace
-//	GET    /v1/healthz                   liveness probe
+//	GET    /v1/healthz                   liveness probe (+ node identity)
 //	GET    /v1/readyz                    readiness probe (store/WAL/stream hub)
 //	GET    /v1/stream?...                enforced live stream (SSE; see stream.go)
+//	GET    /v1/slo                       SLO compliance/burn-rate report (WithSLO)
 type Server struct {
 	bms     *core.BMS
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
 	slow    time.Duration
 	logger  *slog.Logger
+	slo     http.Handler
+	node    *HealthzDTO
 }
 
 // NewServer wraps a BMS.
@@ -70,6 +73,23 @@ func (s *Server) WithTracing(t *telemetry.Tracer, slow time.Duration, logger *sl
 		logger = slog.Default()
 	}
 	s.logger = logger
+	return s
+}
+
+// WithSLO makes Handler serve h (an slo.Evaluator's Handler) at
+// GET /v1/slo. Returns s for chaining.
+func (s *Server) WithSLO(h http.Handler) *Server {
+	s.slo = h
+	return s
+}
+
+// WithNodeInfo makes /v1/healthz report the node's identity
+// (building, population, seed) so load harnesses can verify they are
+// generating the workload the node was seeded with instead of
+// silently producing garbage on a mismatch. Returns s for chaining.
+func (s *Server) WithNodeInfo(info HealthzDTO) *Server {
+	info.Status = "ok"
+	s.node = &info
 	return s
 }
 
@@ -108,6 +128,9 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/healthz", s.handleHealthz)
 	handle("GET /v1/readyz", s.handleReadyz)
 	handle("GET /v1/stream", s.handleStream)
+	if s.slo != nil {
+		handle("GET /v1/slo", s.slo.ServeHTTP)
+	}
 	return mux
 }
 
@@ -173,9 +196,15 @@ func (s *Server) handleTraceByID(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, spans)
 }
 
-// handleHealthz is the liveness probe: the process is serving.
+// handleHealthz is the liveness probe: the process is serving. When
+// node info is configured it rides along, so clients can check which
+// building/population/seed this node simulates.
 func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if s.node != nil {
+		writeJSON(w, http.StatusOK, *s.node)
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthzDTO{Status: "ok"})
 }
 
 // handleReadyz is the readiness probe: store open, WAL writable,

@@ -1,0 +1,369 @@
+// Package loadgen is an open-loop load generator: each op class runs
+// on its own arrival schedule (Poisson or fixed-rate), and latency is
+// measured from the *intended* send time, not from when a worker got
+// around to issuing the call. That distinction is the whole point —
+// a closed-loop generator that waits for each response before sending
+// the next request silently stops sending during a server stall, so
+// the stall never shows up in its percentiles (coordinated omission).
+// Here the schedule keeps producing intents during a stall; when the
+// workers catch up, every delayed request carries its queue wait in
+// its recorded latency, and the stall lands in p99.9 where it
+// belongs.
+//
+// cmd/simload builds its workload on this package; the package itself
+// knows nothing about HTTP or TIPPERS — an op is just a func(ctx)
+// error.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tippers/tippers/internal/telemetry"
+)
+
+// Arrival selects the inter-arrival process of a class.
+type Arrival int
+
+const (
+	// Poisson arrivals: exponential gaps around the target rate —
+	// the realistic choice for independent building traffic.
+	Poisson Arrival = iota
+	// Fixed arrivals: constant gaps — the deterministic choice for
+	// regression tests and pacing checks.
+	Fixed
+)
+
+// ParseArrival maps a flag value to an Arrival.
+func ParseArrival(s string) (Arrival, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "poisson":
+		return Poisson, nil
+	case "fixed", "uniform":
+		return Fixed, nil
+	}
+	return 0, fmt.Errorf("loadgen: unknown arrival process %q (want poisson or fixed)", s)
+}
+
+// Op performs one operation. The error (if any) is counted but does
+// not stop the run.
+type Op func(ctx context.Context) error
+
+// Class is one op class with its own schedule and recorder.
+type Class struct {
+	// Name labels the class in the report (ingest, point_query, ...).
+	Name string
+	// Rate is the target arrival rate in ops/second. Must be > 0.
+	Rate float64
+	// Arrival selects the inter-arrival process.
+	Arrival Arrival
+	// Workers bounds in-flight ops for this class (default 32).
+	Workers int
+	// Seed drives the Poisson gap sequence (and nothing else).
+	Seed int64
+	// ClosedLoop measures latency from the moment a worker starts
+	// the call instead of from the intended send time. It exists to
+	// demonstrate what open-loop measurement fixes — production runs
+	// should never set it.
+	ClosedLoop bool
+	// Op is the operation to perform.
+	Op Op
+}
+
+// queueCap bounds the pending-intent queue per class. At 1<<20
+// intents a 1 kHz class can fall ~17 minutes behind before shedding;
+// anything beyond that is a dead server, and shedding (counted in the
+// report) is more honest than OOM.
+const queueCap = 1 << 20
+
+// latency histogram bounds: log-spaced ~7%% steps from 50µs to 2min,
+// fine enough that p99.9 interpolation error stays under the step.
+var latBounds = func() []float64 {
+	var b []float64
+	for v := 50e-6; v < 120; v *= 1.07 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// recorder accumulates one class's measurements.
+type recorder struct {
+	hist      *telemetry.Histogram
+	maxNanos  atomic.Int64
+	completed atomic.Uint64
+	errors    atomic.Uint64
+	shed      atomic.Uint64
+	scheduled atomic.Uint64
+}
+
+func (r *recorder) observe(d time.Duration) {
+	r.hist.Observe(d.Seconds())
+	r.completed.Add(1)
+	for {
+		old := r.maxNanos.Load()
+		if int64(d) <= old || r.maxNanos.CompareAndSwap(old, int64(d)) {
+			return
+		}
+	}
+}
+
+// Result is one class's end-of-run summary.
+type Result struct {
+	Class        string  `json:"class"`
+	TargetRate   float64 `json:"target_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+	Scheduled    uint64  `json:"scheduled"`
+	Completed    uint64  `json:"completed"`
+	Errors       uint64  `json:"errors"`
+	Shed         uint64  `json:"shed"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P90Seconds   float64 `json:"p90_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
+	P999Seconds  float64 `json:"p999_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+}
+
+// Quantile returns the named quantile from the result ("p50", "p90",
+// "p99", "p99.9", "max").
+func (r Result) Quantile(q string) (float64, bool) {
+	switch q {
+	case "p50":
+		return r.P50Seconds, true
+	case "p90":
+		return r.P90Seconds, true
+	case "p99":
+		return r.P99Seconds, true
+	case "p99.9", "p999":
+		return r.P999Seconds, true
+	case "max":
+		return r.MaxSeconds, true
+	}
+	return 0, false
+}
+
+// Runner drives a set of classes for a duration.
+type Runner struct {
+	Classes []Class
+	// OnProgress, when set, is called roughly every second with
+	// interim results.
+	OnProgress func(elapsed time.Duration, results []Result)
+}
+
+// intent is one scheduled operation.
+type intent struct {
+	due time.Time
+}
+
+// classRun is the runtime state of one class.
+type classRun struct {
+	class Class
+	rec   *recorder
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []intent
+	closed  bool
+}
+
+func (cr *classRun) enqueue(it intent) bool {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if len(cr.pending) >= queueCap {
+		return false
+	}
+	cr.pending = append(cr.pending, it)
+	cr.cond.Signal()
+	return true
+}
+
+func (cr *classRun) dequeue() (intent, bool) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	for len(cr.pending) == 0 && !cr.closed {
+		cr.cond.Wait()
+	}
+	if len(cr.pending) == 0 {
+		return intent{}, false
+	}
+	it := cr.pending[0]
+	cr.pending = cr.pending[1:]
+	return it, true
+}
+
+func (cr *classRun) close() {
+	cr.mu.Lock()
+	cr.closed = true
+	cr.cond.Broadcast()
+	cr.mu.Unlock()
+}
+
+// Run executes the workload for d, then drains in-flight and queued
+// intents (bounded by a grace period) and returns per-class results.
+// Cancelling ctx stops scheduling early; already-queued intents still
+// drain.
+func (r *Runner) Run(ctx context.Context, d time.Duration) ([]Result, error) {
+	if d <= 0 {
+		return nil, errors.New("loadgen: duration must be positive")
+	}
+	runs := make([]*classRun, 0, len(r.Classes))
+	for _, c := range r.Classes {
+		if c.Name == "" || c.Op == nil {
+			return nil, fmt.Errorf("loadgen: class needs a name and an op: %+v", c.Name)
+		}
+		if c.Rate <= 0 {
+			return nil, fmt.Errorf("loadgen: class %s: rate must be positive", c.Name)
+		}
+		if c.Workers <= 0 {
+			c.Workers = 32
+		}
+		cr := &classRun{class: c, rec: &recorder{hist: telemetry.NewHistogram(latBounds)}}
+		cr.cond = sync.NewCond(&cr.mu)
+		runs = append(runs, cr)
+	}
+
+	start := time.Now()
+	deadline := start.Add(d)
+	schedCtx, cancelSched := context.WithDeadline(ctx, deadline)
+	defer cancelSched()
+	// Ops get a grace period past the deadline to drain the queue;
+	// after that they are cancelled so latencies stay bounded.
+	grace := d / 10
+	if grace < 5*time.Second {
+		grace = 5 * time.Second
+	}
+	if grace > time.Minute {
+		grace = time.Minute
+	}
+	opCtx, cancelOps := context.WithDeadline(context.Background(), deadline.Add(grace))
+	defer cancelOps()
+
+	var wg sync.WaitGroup
+	for _, cr := range runs {
+		// Workers: dequeue intents, run the op, record from the
+		// intended time (open-loop) or call start (closed-loop).
+		for w := 0; w < cr.class.Workers; w++ {
+			wg.Add(1)
+			go func(cr *classRun) {
+				defer wg.Done()
+				for {
+					it, ok := cr.dequeue()
+					if !ok {
+						return
+					}
+					from := it.due
+					if cr.class.ClosedLoop {
+						from = time.Now()
+					}
+					err := cr.class.Op(opCtx)
+					cr.rec.observe(time.Since(from))
+					if err != nil {
+						cr.rec.errors.Add(1)
+					}
+				}
+			}(cr)
+		}
+		// Scheduler: emit intents on the arrival process until the
+		// deadline. Intents are enqueued when due — a worker being
+		// busy never delays the schedule, only the dequeue.
+		wg.Add(1)
+		go func(cr *classRun) {
+			defer wg.Done()
+			defer cr.close()
+			rng := rand.New(rand.NewSource(cr.class.Seed))
+			gap := func() time.Duration {
+				if cr.class.Arrival == Fixed {
+					return time.Duration(float64(time.Second) / cr.class.Rate)
+				}
+				return time.Duration(rng.ExpFloat64() / cr.class.Rate * float64(time.Second))
+			}
+			next := start
+			for {
+				if next.After(deadline) {
+					return
+				}
+				// Sleep in short slices so cancellation is prompt.
+				for {
+					wait := time.Until(next)
+					if wait <= 0 {
+						break
+					}
+					if wait > 5*time.Millisecond {
+						wait = 5 * time.Millisecond
+					}
+					select {
+					case <-schedCtx.Done():
+						return
+					case <-time.After(wait):
+					}
+				}
+				cr.rec.scheduled.Add(1)
+				if !cr.enqueue(intent{due: next}) {
+					cr.rec.shed.Add(1)
+				}
+				next = next.Add(gap())
+			}
+		}(cr)
+	}
+
+	// Progress reporter.
+	progDone := make(chan struct{})
+	if r.OnProgress != nil {
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-progDone:
+					return
+				case <-t.C:
+					r.OnProgress(time.Since(start), collect(runs, time.Since(start)))
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(progDone)
+	elapsed := time.Since(start)
+	if elapsed > d {
+		elapsed = d // achieved rate is relative to the scheduling window
+	}
+	return collect(runs, elapsed), ctx.Err()
+}
+
+// collect summarises each class's recorder.
+func collect(runs []*classRun, elapsed time.Duration) []Result {
+	out := make([]Result, 0, len(runs))
+	for _, cr := range runs {
+		snap := cr.rec.hist.Snapshot()
+		res := Result{
+			Class:       cr.class.Name,
+			TargetRate:  cr.class.Rate,
+			Scheduled:   cr.rec.scheduled.Load(),
+			Completed:   cr.rec.completed.Load(),
+			Errors:      cr.rec.errors.Load(),
+			Shed:        cr.rec.shed.Load(),
+			P50Seconds:  snap.Quantile(0.5),
+			P90Seconds:  snap.Quantile(0.9),
+			P99Seconds:  snap.Quantile(0.99),
+			P999Seconds: snap.Quantile(0.999),
+			MaxSeconds:  time.Duration(cr.rec.maxNanos.Load()).Seconds(),
+		}
+		if snap.Count > 0 {
+			res.MeanSeconds = snap.Sum / float64(snap.Count)
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			res.AchievedRate = math.Round(float64(res.Completed)/s*100) / 100
+		}
+		out = append(out, res)
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseArrival(t *testing.T) {
+	for s, want := range map[string]Arrival{"": Poisson, "poisson": Poisson, "fixed": Fixed, "Uniform": Fixed} {
+		got, err := ParseArrival(s)
+		if err != nil || got != want {
+			t.Errorf("ParseArrival(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseArrival("zipf"); err == nil {
+		t.Error("ParseArrival accepted garbage")
+	}
+}
+
+func TestParseTargets(t *testing.T) {
+	ts, err := ParseTargets("ingest:p99<500ms, point_query:p99.9<2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].Class != "ingest" || ts[0].Quantile != "p99" ||
+		ts[0].Threshold != 500*time.Millisecond || ts[1].Threshold != 2*time.Second {
+		t.Fatalf("parsed %+v", ts)
+	}
+	for _, bad := range []string{"ingest p99<1s", "ingest:p42<1s", "ingest:p99<-3s", "ingest:p99"} {
+		if _, err := ParseTargets(bad); err == nil {
+			t.Errorf("ParseTargets(%q) accepted garbage", bad)
+		}
+	}
+	if ts, err := ParseTargets(""); err != nil || ts != nil {
+		t.Errorf("empty target list: %v, %v", ts, err)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	targets, _ := ParseTargets("a:p99<100ms,b:p99<100ms,c:p99<100ms")
+	results := []Result{
+		{Class: "a", Completed: 10, P99Seconds: 0.05},
+		{Class: "b", Completed: 10, P99Seconds: 0.5},
+		// class c absent entirely
+	}
+	vs := Evaluate(targets, results)
+	if len(vs) != 3 || !vs[0].Pass || vs[1].Pass || vs[2].Pass {
+		t.Fatalf("verdicts %+v", vs)
+	}
+	if AllPass(vs) {
+		t.Error("AllPass over failing verdicts")
+	}
+	// Zero-traffic classes fail their target rather than silently pass.
+	vs = Evaluate(targets[:1], []Result{{Class: "a", Completed: 0}})
+	if vs[0].Pass {
+		t.Error("zero-traffic class passed its target")
+	}
+}
+
+func TestPacingSustainsTargetRate(t *testing.T) {
+	var calls int64
+	var mu sync.Mutex
+	r := &Runner{Classes: []Class{{
+		Name: "pace", Rate: 500, Arrival: Fixed, Workers: 16,
+		Op: func(ctx context.Context) error {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			return nil
+		},
+	}}}
+	results, err := r.Run(context.Background(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	// 500/s for 2s ≈ 1000 scheduled; allow generous slack for CI
+	// machines, but the open-loop property means a fast op should
+	// complete essentially everything scheduled.
+	if res.Scheduled < 900 || res.Scheduled > 1100 {
+		t.Errorf("scheduled %d, want ≈1000", res.Scheduled)
+	}
+	if res.Completed != res.Scheduled-res.Shed {
+		t.Errorf("completed %d != scheduled %d - shed %d", res.Completed, res.Scheduled, res.Shed)
+	}
+	if res.AchievedRate < 400 || res.AchievedRate > 600 {
+		t.Errorf("achieved rate %.1f, want ≈500", res.AchievedRate)
+	}
+	if res.P99Seconds > 0.1 {
+		t.Errorf("fast op p99 = %v, suspiciously slow", res.P99Seconds)
+	}
+}
+
+// TestCoordinatedOmission is the regression test the harness exists
+// for: a deliberate ~700ms server stall mid-run must dominate the
+// open-loop p99/p99.9 (requests scheduled during the stall carry
+// their queue wait), while the closed-loop measurement of the very
+// same server barely notices (it simply stops sending and records a
+// handful of ~stall-length samples that vanish below p99).
+func TestCoordinatedOmission(t *testing.T) {
+	const (
+		rate  = 200.0
+		dur   = 3 * time.Second
+		stall = 700 * time.Millisecond
+	)
+	mkServer := func() (Op, func()) {
+		var gate sync.RWMutex
+		stallOnce := func() {
+			gate.Lock()
+			time.Sleep(stall)
+			gate.Unlock()
+		}
+		op := func(ctx context.Context) error {
+			gate.RLock()
+			gate.RUnlock()
+			time.Sleep(200 * time.Microsecond)
+			return nil
+		}
+		return op, stallOnce
+	}
+	run := func(closed bool) Result {
+		op, stallOnce := mkServer()
+		// One worker: the closed-loop variant is genuinely
+		// back-to-back, which is the degenerate behaviour the test
+		// demonstrates. The open-loop variant with one worker queues
+		// intents during the stall and charges the wait to each.
+		r := &Runner{Classes: []Class{{
+			Name: "co", Rate: rate, Arrival: Fixed, Workers: 1, ClosedLoop: closed, Op: op,
+		}}}
+		timer := time.AfterFunc(dur/3, stallOnce)
+		defer timer.Stop()
+		results, err := r.Run(context.Background(), dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[0]
+	}
+
+	open := run(false)
+	closedRes := run(true)
+
+	// ~140 requests are scheduled during the 700ms stall; at 600
+	// total that's the top ~23%% of open-loop samples, so open-loop
+	// p99/p99.9 must show a large fraction of the stall.
+	if open.P99Seconds < stall.Seconds()/2 {
+		t.Errorf("open-loop p99 = %.3fs, want ≥ %.3fs (stall hidden!)", open.P99Seconds, stall.Seconds()/2)
+	}
+	if open.P999Seconds < stall.Seconds()/2 {
+		t.Errorf("open-loop p99.9 = %.3fs, want ≥ %.3fs", open.P999Seconds, stall.Seconds()/2)
+	}
+	// Closed-loop hides it: only the one request in flight during the
+	// stall measures slow; with ~600 completed ops a single sample
+	// sits above p99.9's interpolation only barely, and p99 stays
+	// tiny. The gap between the two measurements is the finding.
+	if closedRes.P99Seconds > stall.Seconds()/10 {
+		t.Errorf("closed-loop p99 = %.3fs — expected coordinated omission to hide the stall (< %.3fs)",
+			closedRes.P99Seconds, stall.Seconds()/10)
+	}
+	if open.P999Seconds < 5*closedRes.P99Seconds {
+		t.Errorf("open p99.9 (%.3fs) not ≫ closed p99 (%.3fs)", open.P999Seconds, closedRes.P99Seconds)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	noop := func(ctx context.Context) error { return nil }
+	for _, r := range []*Runner{
+		{Classes: []Class{{Name: "", Rate: 1, Op: noop}}},
+		{Classes: []Class{{Name: "x", Rate: 0, Op: noop}}},
+		{Classes: []Class{{Name: "x", Rate: 1}}},
+	} {
+		if _, err := r.Run(context.Background(), time.Second); err == nil {
+			t.Errorf("invalid runner accepted: %+v", r.Classes[0])
+		}
+	}
+	if _, err := (&Runner{}).Run(context.Background(), 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{
+		Start:           "2026-08-08T00:00:00Z",
+		DurationSeconds: 10,
+		Scenario:        "mixed",
+		Arrival:         "poisson",
+		Node:            NodeInfo{Building: "dbh", Population: 60, Seed: 1},
+		Classes:         []Result{{Class: "ingest", TargetRate: 100, Completed: 990, P99Seconds: 0.01}},
+		Streams:         &StreamStats{Subscribers: []SubscriberStats{{ID: 0, Events: 42}}, NodeMaxLag: 3},
+		Verdicts:        []Verdict{{Class: "ingest", Quantile: "p99", ThresholdSeconds: 0.5, ObservedSeconds: 0.01, Pass: true}},
+		Pass:            true,
+	}
+	path := t.TempDir() + "/report.json"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != "mixed" || len(got.Classes) != 1 || got.Streams.NodeMaxLag != 3 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	if c, ok := got.ClassResult("ingest"); !ok || c.Completed != 990 {
+		t.Fatalf("ClassResult: %+v %v", c, ok)
+	}
+	if _, ok := got.ClassResult("nope"); ok {
+		t.Error("ClassResult found a missing class")
+	}
+}

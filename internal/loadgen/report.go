@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// StreamStats is the per-subscriber stream tally a harness records
+// client-side, plus the node-side hub counters it read at run end.
+type StreamStats struct {
+	Subscribers []SubscriberStats `json:"subscribers,omitempty"`
+	// Node-side hub counters (deltas over the run where cumulative).
+	NodeDelivered   float64 `json:"node_delivered,omitempty"`
+	NodeDropped     float64 `json:"node_dropped,omitempty"`
+	NodeGaps        float64 `json:"node_gaps,omitempty"`
+	NodeMaxLag      float64 `json:"node_max_lag_events,omitempty"`
+	NodeGapAgeSecs  float64 `json:"node_gap_age_seconds,omitempty"`
+	NodeDisconnects float64 `json:"node_disconnects,omitempty"`
+}
+
+// SubscriberStats is one stream subscriber's client-side view.
+type SubscriberStats struct {
+	ID      int    `json:"id"`
+	Events  uint64 `json:"events"`
+	Gaps    uint64 `json:"gaps"`
+	Dropped uint64 `json:"dropped"`
+	Errors  uint64 `json:"errors"`
+}
+
+// NodeInfo identifies the node a run targeted.
+type NodeInfo struct {
+	Building     string `json:"building,omitempty"`
+	BuildingName string `json:"building_name,omitempty"`
+	Population   int    `json:"population,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+}
+
+// Report is the machine-readable end-of-run document simload writes
+// and benchdiff's slo subcommand diffs.
+type Report struct {
+	Start           string             `json:"start"`
+	DurationSeconds float64            `json:"duration_seconds"`
+	Scenario        string             `json:"scenario"`
+	Arrival         string             `json:"arrival"`
+	Node            NodeInfo           `json:"node"`
+	Classes         []Result           `json:"classes"`
+	Streams         *StreamStats       `json:"streams,omitempty"`
+	Verdicts        []Verdict          `json:"verdicts,omitempty"`
+	ServerSLO       json.RawMessage    `json:"server_slo,omitempty"`
+	StatsDelta      map[string]float64 `json:"stats_delta,omitempty"`
+	Pass            bool               `json:"pass"`
+}
+
+// WriteFile writes the report as indented JSON to path ("-" for
+// stdout).
+func (r *Report) WriteFile(path string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport loads a report written by WriteFile.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// ClassResult returns the named class's result, if present.
+func (r *Report) ClassResult(name string) (Result, bool) {
+	for _, c := range r.Classes {
+		if c.Class == name {
+			return c, true
+		}
+	}
+	return Result{}, false
+}

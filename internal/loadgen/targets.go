@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Target is a client-side SLO verdict rule: "class:quantile<threshold",
+// e.g. "ingest:p99<250ms". The harness evaluates targets against its
+// own open-loop measurements, independent of the server's /v1/slo view.
+type Target struct {
+	Class     string        `json:"class"`
+	Quantile  string        `json:"quantile"`
+	Threshold time.Duration `json:"threshold"`
+}
+
+// Verdict is one evaluated Target.
+type Verdict struct {
+	Class            string  `json:"class"`
+	Quantile         string  `json:"quantile"`
+	ThresholdSeconds float64 `json:"threshold_seconds"`
+	ObservedSeconds  float64 `json:"observed_seconds"`
+	Pass             bool    `json:"pass"`
+}
+
+// ParseTargets parses a comma-separated target list:
+// "ingest:p99<500ms,point_query:p99.9<2s".
+func ParseTargets(s string) ([]Target, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Target
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		colon := strings.Index(part, ":")
+		lt := strings.Index(part, "<")
+		if colon < 0 || lt < colon {
+			return nil, fmt.Errorf("loadgen: bad target %q (want class:quantile<threshold)", part)
+		}
+		thr, err := time.ParseDuration(strings.TrimSpace(part[lt+1:]))
+		if err != nil || thr <= 0 {
+			return nil, fmt.Errorf("loadgen: bad threshold in target %q", part)
+		}
+		t := Target{
+			Class:     strings.TrimSpace(part[:colon]),
+			Quantile:  strings.TrimSpace(part[colon+1 : lt]),
+			Threshold: thr,
+		}
+		if _, ok := (Result{}).Quantile(t.Quantile); !ok {
+			return nil, fmt.Errorf("loadgen: bad quantile in target %q (want p50/p90/p99/p99.9/max)", part)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Evaluate checks each target against the matching class result.
+// A target whose class produced no completed ops fails — a silent
+// zero-traffic pass would defeat the gate.
+func Evaluate(targets []Target, results []Result) []Verdict {
+	byClass := make(map[string]Result, len(results))
+	for _, r := range results {
+		byClass[r.Class] = r
+	}
+	out := make([]Verdict, 0, len(targets))
+	for _, t := range targets {
+		v := Verdict{Class: t.Class, Quantile: t.Quantile, ThresholdSeconds: t.Threshold.Seconds()}
+		if r, ok := byClass[t.Class]; ok && r.Completed > 0 {
+			obs, _ := r.Quantile(t.Quantile)
+			v.ObservedSeconds = obs
+			v.Pass = obs <= t.Threshold.Seconds()
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// AllPass reports whether every verdict passed.
+func AllPass(vs []Verdict) bool {
+	for _, v := range vs {
+		if !v.Pass {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,467 @@
+package slo
+
+import (
+	"log/slog"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/tippers/tippers/internal/telemetry"
+)
+
+// State is an SLO's alarm state.
+type State int
+
+const (
+	// StateOK: compliant, burn rates below alerting thresholds.
+	StateOK State = iota
+	// StateWarn: slow burn — the budget will be gone well before the
+	// window ends if the current rate holds.
+	StateWarn
+	// StatePage: fast burn — budget exhaustion within hours at the
+	// current rate; a human should look now.
+	StatePage
+	// StateBreached: the error budget for the window is spent.
+	StateBreached
+)
+
+// String names the state for logs and JSON.
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateWarn:
+		return "warn"
+	case StatePage:
+		return "page"
+	case StateBreached:
+		return "breached"
+	}
+	return "unknown"
+}
+
+// Multi-window burn-rate alert thresholds, after the SRE-workbook
+// construction: a fast burn of 14.4 spends 2% of a 30-day budget in
+// an hour; a slow burn of 6 spends 5% in 6 hours. The window lengths
+// scale with the spec's budget window in deriveRules.
+const (
+	pageBurn = 14.4
+	warnBurn = 6.0
+)
+
+// burnRule pairs a burn threshold with its long and short windows.
+// Both windows must exceed the threshold for the rule to fire — the
+// short window gates on "is it still happening", so alerts reset
+// quickly once the cause stops.
+type burnRule struct {
+	factor      float64
+	long, short time.Duration
+}
+
+// deriveRules scales the canonical 30d/1h/5m geometry down to the
+// spec's window: page looks at W/36 (long) and W/360 (short), warn at
+// W/6 and W/72, all floored at the tick interval so short windows
+// always span at least one sample.
+func deriveRules(w, interval time.Duration) [2]burnRule {
+	floor := func(d time.Duration) time.Duration {
+		if d < interval {
+			return interval
+		}
+		return d
+	}
+	return [2]burnRule{
+		{factor: pageBurn, long: floor(w / 36), short: floor(w / 360)},
+		{factor: warnBurn, long: floor(w / 6), short: floor(w / 72)},
+	}
+}
+
+// BurnRate is one measured burn-rate window in a Status.
+type BurnRate struct {
+	WindowSeconds float64 `json:"window_seconds"`
+	Rate          float64 `json:"rate"`
+}
+
+// Status is one SLO's evaluation at a tick — the unit served by
+// GET /v1/slo.
+type Status struct {
+	Name             string     `json:"name"`
+	Class            string     `json:"class"`
+	Kind             string     `json:"kind"`
+	Objective        float64    `json:"objective"`
+	WindowSeconds    float64    `json:"window_seconds"`
+	ThresholdSeconds float64    `json:"threshold_seconds,omitempty"`
+	Events           float64    `json:"events"`
+	BadEvents        float64    `json:"bad_events"`
+	Compliance       float64    `json:"compliance"`
+	BudgetRemaining  float64    `json:"budget_remaining"`
+	BurnRates        []BurnRate `json:"burn_rates"`
+	State            string     `json:"state"`
+	Compliant        bool       `json:"compliant"`
+}
+
+// sample is one tick's cumulative (bad, total) reading for a spec.
+type sample struct {
+	at         time.Time
+	bad, total float64
+}
+
+// series holds a spec's runtime state: the ring of cumulative
+// samples spanning the budget window, and the alarm machine.
+type series struct {
+	spec    Spec
+	labels  telemetry.Labels
+	rules   [2]burnRule
+	samples []sample // ascending by time, pruned to spec.Window
+	state   State
+	quiet   int // consecutive ticks below the current state's threshold
+}
+
+// Options configures an Evaluator.
+type Options struct {
+	// Interval between evaluations; zero selects 10s.
+	Interval time.Duration
+	// Logger receives alarm transitions; zero selects slog.Default.
+	Logger *slog.Logger
+	// ClearTicks is how many consecutive quiet ticks de-escalate an
+	// alarm state (hysteresis); zero selects 3.
+	ClearTicks int
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Evaluator continuously checks a set of Specs against a telemetry
+// registry.
+type Evaluator struct {
+	reg        *telemetry.Registry
+	log        *slog.Logger
+	interval   time.Duration
+	clearTicks int
+	now        func() time.Time
+
+	mu     sync.Mutex
+	series []*series
+	last   []Status
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds an Evaluator over reg for specs. Invalid specs error.
+func New(reg *telemetry.Registry, specs []Spec, opts Options) (*Evaluator, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 10 * time.Second
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	if opts.ClearTicks <= 0 {
+		opts.ClearTicks = 3
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	ev := &Evaluator{
+		reg:        reg,
+		log:        opts.Logger,
+		interval:   opts.Interval,
+		clearTicks: opts.ClearTicks,
+		now:        opts.Now,
+	}
+	for _, s := range specs {
+		if err := s.Check(); err != nil {
+			return nil, err
+		}
+		ev.series = append(ev.series, &series{
+			spec:   s,
+			labels: s.telemetryLabels(),
+			rules:  deriveRules(s.Window, opts.Interval),
+		})
+	}
+	sort.Slice(ev.series, func(i, j int) bool { return ev.series[i].spec.Name < ev.series[j].spec.Name })
+	return ev, nil
+}
+
+// Start launches the evaluation loop. Stop with Stop.
+func (ev *Evaluator) Start() {
+	ev.mu.Lock()
+	if ev.stop != nil {
+		ev.mu.Unlock()
+		return
+	}
+	ev.stop = make(chan struct{})
+	ev.done = make(chan struct{})
+	stop, done := ev.stop, ev.done
+	ev.mu.Unlock()
+
+	ev.Tick() // prime a baseline sample so the first interval has a delta
+	go func() {
+		defer close(done)
+		t := time.NewTicker(ev.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				ev.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the evaluation loop.
+func (ev *Evaluator) Stop() {
+	ev.mu.Lock()
+	stop, done := ev.stop, ev.done
+	ev.stop, ev.done = nil, nil
+	ev.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Tick evaluates all specs once, updating alarm states. Exported so
+// tests (and callers without a loop) can drive the clock themselves.
+func (ev *Evaluator) Tick() {
+	now := ev.now()
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	statuses := make([]Status, 0, len(ev.series))
+	for _, sr := range ev.series {
+		statuses = append(statuses, ev.tickOne(sr, now))
+	}
+	ev.last = statuses
+}
+
+// tickOne samples one spec's metrics and advances its alarm machine.
+// Caller holds ev.mu.
+func (ev *Evaluator) tickOne(sr *series, now time.Time) Status {
+	bad, total := ev.collect(sr.spec, sr.labels)
+	// Counter resets (process restart of a scraped component) would
+	// produce negative deltas; clamp by dropping history older than
+	// the new cumulative values.
+	if n := len(sr.samples); n > 0 {
+		last := sr.samples[n-1]
+		if bad < last.bad || total < last.total {
+			sr.samples = sr.samples[:0]
+		}
+	}
+	sr.samples = append(sr.samples, sample{at: now, bad: bad, total: total})
+	// Prune to the budget window (keep one sample at/just before the
+	// horizon so windowDelta always has a baseline).
+	horizon := now.Add(-sr.spec.Window)
+	cut := 0
+	for cut+1 < len(sr.samples) && !sr.samples[cut+1].at.After(horizon) {
+		cut++
+	}
+	if cut > 0 {
+		sr.samples = append(sr.samples[:0], sr.samples[cut:]...)
+	}
+
+	badFrac := func(d time.Duration) (frac float64, events, badEv float64) {
+		db, dt := windowDelta(sr.samples, now, d)
+		if dt <= 0 {
+			return 0, 0, 0
+		}
+		return db / dt, dt, db
+	}
+
+	budget := 1 - sr.spec.Objective
+	fullFrac, events, badEv := badFrac(sr.spec.Window)
+	budgetUsed := fullFrac / budget
+	remaining := 1 - budgetUsed
+
+	var burns []BurnRate
+	seen := map[time.Duration]bool{}
+	for _, r := range sr.rules {
+		for _, w := range []time.Duration{r.long, r.short} {
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			f, _, _ := badFrac(w)
+			burns = append(burns, BurnRate{WindowSeconds: w.Seconds(), Rate: f / budget})
+		}
+	}
+	sort.Slice(burns, func(i, j int) bool { return burns[i].WindowSeconds > burns[j].WindowSeconds })
+	rate := func(w time.Duration) float64 {
+		f, _, _ := badFrac(w)
+		return f / budget
+	}
+
+	// Desired state from this tick's measurements alone.
+	want := StateOK
+	switch {
+	case budgetUsed >= 1:
+		want = StateBreached
+	case rate(sr.rules[0].long) >= pageBurn && rate(sr.rules[0].short) >= pageBurn:
+		want = StatePage
+	case rate(sr.rules[1].long) >= warnBurn && rate(sr.rules[1].short) >= warnBurn:
+		want = StateWarn
+	}
+
+	prev := sr.state
+	switch {
+	case want > sr.state:
+		// Escalate immediately.
+		sr.state, sr.quiet = want, 0
+	case want == sr.state:
+		sr.quiet = 0
+	default:
+		// De-escalate only after ClearTicks consecutive quiet ticks,
+		// and only one level at a time — flapping burn rates should
+		// not bounce ok<->page.
+		sr.quiet++
+		if sr.quiet >= ev.clearTicks {
+			sr.state, sr.quiet = sr.state-1, 0
+		}
+	}
+	if sr.state != prev {
+		attrs := []any{
+			slog.String("slo", sr.spec.Name),
+			slog.String("class", sr.spec.Class),
+			slog.String("from", prev.String()),
+			slog.String("to", sr.state.String()),
+			slog.Float64("budget_remaining", remaining),
+		}
+		switch {
+		case sr.state == StateOK:
+			ev.log.Info("slo recovered", attrs...)
+		case sr.state == StateWarn:
+			ev.log.Warn("slo burn warning", attrs...)
+		default:
+			ev.log.Error("slo alert", attrs...)
+		}
+	}
+
+	compliance := 1.0
+	if events > 0 {
+		compliance = 1 - badEv/events
+	}
+	st := Status{
+		Name:            sr.spec.Name,
+		Class:           sr.spec.Class,
+		Kind:            sr.spec.KindString(),
+		Objective:       sr.spec.Objective,
+		WindowSeconds:   sr.spec.Window.Seconds(),
+		Events:          events,
+		BadEvents:       badEv,
+		Compliance:      compliance,
+		BudgetRemaining: remaining,
+		BurnRates:       burns,
+		State:           sr.state.String(),
+		Compliant:       compliance >= sr.spec.Objective || events == 0,
+	}
+	if sr.spec.latency() {
+		st.ThresholdSeconds = sr.spec.Threshold.Seconds()
+	}
+	return st
+}
+
+// collect reads a spec's cumulative (bad, total) from the registry.
+// Missing metrics read as zero — the component has not registered
+// yet, or has nothing to report.
+func (ev *Evaluator) collect(s Spec, labels telemetry.Labels) (bad, total float64) {
+	if s.latency() {
+		h, ok := ev.reg.LookupHistogram(s.Metric, labels)
+		if !ok {
+			return 0, 0
+		}
+		snap := h.Snapshot()
+		good := goodCount(snap, s.Threshold.Seconds())
+		return float64(snap.Count) - good, float64(snap.Count)
+	}
+	bad, _ = ev.reg.LookupValue(s.BadMetric, labels)
+	total, _ = ev.reg.LookupValue(s.TotalMetric, labels)
+	return bad, total
+}
+
+// goodCount estimates how many recorded events were ≤ thr seconds,
+// interpolating linearly inside the bucket containing thr. Events in
+// the +Inf bucket are never good.
+func goodCount(s telemetry.HistogramSnapshot, thr float64) float64 {
+	var good float64
+	lo := 0.0
+	for i, bound := range s.Bounds {
+		n := float64(s.Counts[i])
+		switch {
+		case bound <= thr:
+			good += n
+		case thr > lo:
+			good += n * (thr - lo) / (bound - lo)
+			return good
+		default:
+			return good
+		}
+		lo = bound
+	}
+	return good
+}
+
+// windowDelta returns (Δbad, Δtotal) over the trailing window d: the
+// difference between the newest sample and the newest sample at or
+// before now-d (falling back to the oldest when history is shorter
+// than d).
+func windowDelta(samples []sample, now time.Time, d time.Duration) (bad, total float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	newest := samples[len(samples)-1]
+	horizon := now.Add(-d)
+	base := samples[0]
+	for _, s := range samples {
+		if s.at.After(horizon) {
+			break
+		}
+		base = s
+	}
+	bad = newest.bad - base.bad
+	total = newest.total - base.total
+	if bad < 0 {
+		bad = 0
+	}
+	if total < 0 {
+		total = 0
+	}
+	if bad > total {
+		bad = total
+	}
+	return bad, total
+}
+
+// Status returns the most recent evaluation, computing one on demand
+// if the loop has not ticked yet.
+func (ev *Evaluator) Status() []Status {
+	ev.mu.Lock()
+	n := len(ev.last)
+	ev.mu.Unlock()
+	if n == 0 {
+		ev.Tick()
+	}
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	out := make([]Status, len(ev.last))
+	copy(out, ev.last)
+	return out
+}
+
+// Healthy reports whether every SLO is compliant and unalarmed.
+func (ev *Evaluator) Healthy() bool {
+	for _, st := range ev.Status() {
+		if !st.Compliant || st.State != StateOK.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// round trims float noise for JSON presentation.
+func round(v float64, digits int) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return v
+	}
+	p := math.Pow10(digits)
+	return math.Round(v*p) / p
+}

@@ -1,0 +1,45 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Report is the GET /v1/slo response body.
+type Report struct {
+	Healthy bool     `json:"healthy"`
+	SLOs    []Status `json:"slos"`
+}
+
+// Snapshot assembles the current Report.
+func (ev *Evaluator) Snapshot() Report {
+	statuses := ev.Status()
+	healthy := true
+	for i := range statuses {
+		st := &statuses[i]
+		st.Compliance = round(st.Compliance, 6)
+		st.BudgetRemaining = round(st.BudgetRemaining, 4)
+		for j := range st.BurnRates {
+			st.BurnRates[j].Rate = round(st.BurnRates[j].Rate, 3)
+		}
+		if !st.Compliant || st.State != StateOK.String() {
+			healthy = false
+		}
+	}
+	return Report{Healthy: healthy, SLOs: statuses}
+}
+
+// Handler serves the evaluator's current Report as JSON.
+func (ev *Evaluator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ev.Snapshot())
+	})
+}

@@ -1,0 +1,173 @@
+// Package slo turns the telemetry layer's histograms and counters
+// into continuously evaluated service-level objectives: declarative
+// specs (op class + quantile threshold + error-budget window) are
+// checked on a ticker against windowed deltas of the live metrics,
+// burn rates are computed over multiple alert windows (the
+// Google-SRE multi-window multi-burn-rate construction), and an alarm
+// state machine logs transitions and serves the current verdicts as
+// JSON on GET /v1/slo.
+//
+// The paper's enforcement pipeline only matters if it answers in
+// time: an occupant whose opt-out takes effect a minute late, or a
+// notification delivered after the meeting ended, experiences a
+// privacy system that does not work. This package is how the daemons
+// *know* — rather than assume — that the tails hold.
+//
+// Two SLO kinds are supported:
+//
+//   - Latency: "Objective of requests to Metric complete within
+//     Threshold" — e.g. Objective 0.99 + Threshold 100ms reads as
+//     "p99 ≤ 100ms". Good counts come from the histogram's buckets
+//     (linear interpolation inside the bucket containing the
+//     threshold).
+//   - Event ratio: "bad events stay under 1-Objective of total" —
+//     e.g. stream drops vs deliveries. Good = Total - Bad.
+//
+// The evaluator never owns metric instances; it looks names up in the
+// registry at each tick, so a spec may reference a metric that a
+// component registers later (it contributes zero until then).
+package slo
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/tippers/tippers/internal/telemetry"
+)
+
+// Spec declares one SLO. Exactly one of Metric (latency kind) or
+// BadMetric+TotalMetric (event-ratio kind) must be set.
+type Spec struct {
+	// Name identifies the SLO in logs and /v1/slo.
+	Name string `json:"name"`
+	// Class is the operation class the SLO covers (ingest,
+	// point_query, aggregate, query, churn, stream, ...) — the same
+	// vocabulary the load harness reports under.
+	Class string `json:"class"`
+
+	// Metric names the latency histogram (seconds) the SLO is
+	// evaluated against, with Labels selecting the instance.
+	Metric string            `json:"metric,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Threshold is the per-event latency bound.
+	Threshold time.Duration `json:"threshold,omitempty"`
+
+	// BadMetric / TotalMetric name the counters of an event-ratio
+	// SLO. Labels applies to both.
+	BadMetric   string `json:"bad_metric,omitempty"`
+	TotalMetric string `json:"total_metric,omitempty"`
+
+	// Objective is the required good fraction over Window, e.g.
+	// 0.99 (with a latency threshold this is "p99 ≤ Threshold").
+	Objective float64 `json:"objective"`
+	// Window is the error-budget window.
+	Window time.Duration `json:"window"`
+}
+
+// latency reports whether the spec is a latency SLO.
+func (s Spec) latency() bool { return s.Metric != "" }
+
+// KindString names the spec's kind for display.
+func (s Spec) KindString() string {
+	if s.latency() {
+		return "latency"
+	}
+	return "event_ratio"
+}
+
+// Check validates the spec.
+func (s Spec) Check() error {
+	if s.Name == "" {
+		return errors.New("slo: spec needs a name")
+	}
+	if s.Objective <= 0 || s.Objective >= 1 {
+		return fmt.Errorf("slo: %s: objective must be in (0,1), got %g", s.Name, s.Objective)
+	}
+	if s.Window <= 0 {
+		return fmt.Errorf("slo: %s: window must be positive", s.Name)
+	}
+	switch {
+	case s.latency():
+		if s.Threshold <= 0 {
+			return fmt.Errorf("slo: %s: latency spec needs a positive threshold", s.Name)
+		}
+		if s.BadMetric != "" || s.TotalMetric != "" {
+			return fmt.Errorf("slo: %s: metric and bad/total metrics are mutually exclusive", s.Name)
+		}
+	case s.BadMetric != "" && s.TotalMetric != "":
+	default:
+		return fmt.Errorf("slo: %s: spec needs either metric or bad_metric+total_metric", s.Name)
+	}
+	return nil
+}
+
+// telemetryLabels converts the spec's label map.
+func (s Spec) telemetryLabels() telemetry.Labels {
+	if len(s.Labels) == 0 {
+		return nil
+	}
+	out := make(telemetry.Labels, len(s.Labels))
+	for k, v := range s.Labels {
+		out[k] = v
+	}
+	return out
+}
+
+// DefaultWindow is the stock error-budget window.
+const DefaultWindow = time.Hour
+
+// DefaultTippersSpecs returns the stock SLO set for a tippersd node
+// over budget window w (zero selects DefaultWindow): per-op-class
+// tail-latency objectives on the HTTP route histograms, plus
+// stream-path delivery objectives on the hub's drop/gap counters.
+func DefaultTippersSpecs(w time.Duration) []Spec {
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	lat := func(name, class, route string, thr time.Duration, obj float64) Spec {
+		return Spec{
+			Name: name, Class: class,
+			Metric:    "tippers_http_request_seconds",
+			Labels:    map[string]string{"route": route},
+			Threshold: thr, Objective: obj, Window: w,
+		}
+	}
+	return []Spec{
+		lat("ingest-p99", "ingest", "POST /v1/observations", 250*time.Millisecond, 0.99),
+		lat("point-query-p99", "point_query", "POST /v1/requests/user", 100*time.Millisecond, 0.99),
+		lat("aggregate-p99", "aggregate", "POST /v1/requests/occupancy", 250*time.Millisecond, 0.99),
+		lat("query-p99", "query", "POST /v1/query", 500*time.Millisecond, 0.99),
+		lat("churn-p99", "churn", "PUT /v1/preferences", 100*time.Millisecond, 0.99),
+		{
+			Name: "stream-delivery", Class: "stream",
+			BadMetric:   "tippers_stream_dropped_total",
+			TotalMetric: "tippers_stream_delivered_total",
+			Objective:   0.999, Window: w,
+		},
+		{
+			Name: "stream-gaps", Class: "stream",
+			BadMetric:   "tippers_stream_gaps_total",
+			TotalMetric: "tippers_stream_delivered_total",
+			Objective:   0.999, Window: w,
+		},
+	}
+}
+
+// DefaultHTTPSpecs returns a single-route latency SLO set — what a
+// daemon without op classes (irrd) runs over its one instrumented
+// route.
+func DefaultHTTPSpecs(route string, thr time.Duration, w time.Duration) []Spec {
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	if thr <= 0 {
+		thr = 100 * time.Millisecond
+	}
+	return []Spec{{
+		Name: route + "-p99", Class: "http",
+		Metric:    "tippers_http_request_seconds",
+		Labels:    map[string]string{"route": route},
+		Threshold: thr, Objective: 0.99, Window: w,
+	}}
+}

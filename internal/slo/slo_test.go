@@ -1,0 +1,327 @@
+package slo
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tippers/tippers/internal/telemetry"
+)
+
+// fakeClock drives the evaluator deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func quietLogger() *slog.Logger              { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+func approx(a, b, tol float64) bool          { return math.Abs(a-b) <= tol }
+func find(sts []Status, name string) *Status {
+	for i := range sts {
+		if sts[i].Name == name {
+			return &sts[i]
+		}
+	}
+	return nil
+}
+
+func TestSpecCheck(t *testing.T) {
+	good := Spec{Name: "a", Metric: "m", Threshold: time.Second, Objective: 0.99, Window: time.Hour}
+	if err := good.Check(); err != nil {
+		t.Fatalf("valid latency spec rejected: %v", err)
+	}
+	ratio := Spec{Name: "b", BadMetric: "bad", TotalMetric: "total", Objective: 0.999, Window: time.Hour}
+	if err := ratio.Check(); err != nil {
+		t.Fatalf("valid ratio spec rejected: %v", err)
+	}
+	for _, bad := range []Spec{
+		{Metric: "m", Threshold: time.Second, Objective: 0.99, Window: time.Hour},           // no name
+		{Name: "x", Metric: "m", Threshold: time.Second, Objective: 1.2, Window: time.Hour}, // objective out of range
+		{Name: "x", Metric: "m", Threshold: time.Second, Objective: 0.99},                   // no window
+		{Name: "x", Metric: "m", Objective: 0.99, Window: time.Hour},                        // latency w/o threshold
+		{Name: "x", Objective: 0.99, Window: time.Hour},                                     // neither kind
+		{Name: "x", BadMetric: "b", Objective: 0.99, Window: time.Hour},                     // half a ratio
+	} {
+		if err := bad.Check(); err == nil {
+			t.Fatalf("invalid spec accepted: %+v", bad)
+		}
+	}
+}
+
+func TestGoodCountInterpolation(t *testing.T) {
+	snap := telemetry.HistogramSnapshot{
+		Bounds: []float64{0.1, 0.5, 1},
+		Counts: []uint64{90, 0, 10, 0},
+		Count:  100,
+	}
+	cases := []struct {
+		thr  float64
+		want float64
+	}{
+		{0.1, 90},  // exactly a bound: full buckets up to it
+		{0.5, 90},  // empty middle bucket
+		{0.75, 95}, // halfway through the (0.5,1] bucket → half its 10
+		{1, 100},   // all finite buckets
+		{5, 100},   // beyond last bound: +Inf bucket still bad
+		{0.05, 45}, // halfway through the first bucket
+	}
+	for _, c := range cases {
+		if got := goodCount(snap, c.thr); !approx(got, c.want, 1e-9) {
+			t.Errorf("goodCount(thr=%g) = %g, want %g", c.thr, got, c.want)
+		}
+	}
+	// Events in the +Inf bucket are never good.
+	snap.Counts = []uint64{0, 0, 0, 10}
+	snap.Count = 10
+	if got := goodCount(snap, 100); got != 0 {
+		t.Errorf("+Inf bucket counted as good: %g", got)
+	}
+}
+
+func TestWindowDelta(t *testing.T) {
+	base := time.Unix(0, 0)
+	at := func(s int) time.Time { return base.Add(time.Duration(s) * time.Second) }
+	samples := []sample{
+		{at: at(0), bad: 0, total: 0},
+		{at: at(10), bad: 1, total: 100},
+		{at: at(20), bad: 5, total: 200},
+		{at: at(30), bad: 5, total: 300},
+	}
+	now := at(30)
+	if b, tot := windowDelta(samples, now, 10*time.Second); b != 0 || tot != 100 {
+		t.Errorf("10s delta = (%g,%g), want (0,100)", b, tot)
+	}
+	if b, tot := windowDelta(samples, now, 20*time.Second); b != 4 || tot != 200 {
+		t.Errorf("20s delta = (%g,%g), want (4,200)", b, tot)
+	}
+	// Window longer than history falls back to the oldest sample.
+	if b, tot := windowDelta(samples, now, time.Hour); b != 5 || tot != 300 {
+		t.Errorf("1h delta = (%g,%g), want (5,300)", b, tot)
+	}
+}
+
+func TestBurnRateWindows(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	bad := reg.Counter("test_bad_total", "bad events")
+	total := reg.Counter("test_total", "all events")
+	clk := newClock()
+	ev, err := New(reg, []Spec{{
+		Name: "ratio", Class: "stream",
+		BadMetric: "test_bad_total", TotalMetric: "test_total",
+		Objective: 0.9, Window: time.Minute,
+	}}, Options{Interval: time.Second, Logger: quietLogger(), Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant 5% bad traffic: every burn window should read a burn
+	// rate of 0.05/0.1 = 0.5 and half the budget remaining... at the
+	// steady state; drive 60 ticks to fill the window.
+	for i := 0; i < 60; i++ {
+		total.Add(100)
+		bad.Add(5)
+		clk.advance(time.Second)
+		ev.Tick()
+	}
+	st := find(ev.Status(), "ratio")
+	if st == nil {
+		t.Fatal("status missing")
+	}
+	if len(st.BurnRates) == 0 {
+		t.Fatal("no burn rates computed")
+	}
+	for _, br := range st.BurnRates {
+		if !approx(br.Rate, 0.5, 0.05) {
+			t.Errorf("burn over %gs = %g, want ≈0.5", br.WindowSeconds, br.Rate)
+		}
+	}
+	if !approx(st.BudgetRemaining, 0.5, 0.05) {
+		t.Errorf("budget remaining = %g, want ≈0.5", st.BudgetRemaining)
+	}
+	if !approx(st.Compliance, 0.95, 0.005) {
+		t.Errorf("compliance = %g, want ≈0.95", st.Compliance)
+	}
+	if st.State != "ok" || !st.Compliant {
+		t.Errorf("state=%s compliant=%v, want ok/true", st.State, st.Compliant)
+	}
+}
+
+// TestAlarmEscalationAndRecovery drives a ratio SLO through the full
+// machine: OK under clean traffic, Page on a fast burn, Breached when
+// the window's budget is spent, then stepwise de-escalation with
+// hysteresis back to OK after the bad events age out of the window.
+func TestAlarmEscalationAndRecovery(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	bad := reg.Counter("test_bad_total", "bad events")
+	total := reg.Counter("test_total", "all events")
+	clk := newClock()
+	ev, err := New(reg, []Spec{{
+		Name: "ratio", Class: "stream",
+		BadMetric: "test_bad_total", TotalMetric: "test_total",
+		Objective: 0.99, Window: time.Minute,
+	}}, Options{Interval: time.Second, Logger: quietLogger(), ClearTicks: 3, Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := func() string { return find(ev.Status(), "ratio").State }
+	tick := func(goodN, badN uint64) {
+		total.Add(goodN + badN)
+		bad.Add(badN)
+		clk.advance(time.Second)
+		ev.Tick()
+	}
+
+	// Fill the window with clean traffic.
+	for i := 0; i < 60; i++ {
+		tick(100, 0)
+	}
+	if got := state(); got != "ok" {
+		t.Fatalf("after clean traffic state=%s, want ok", got)
+	}
+
+	// One tick at 50%% bad: burn = 0.5/0.01 = 50 over the short page
+	// window, but only 50/6050 ≈ 0.8%% of the full window is bad —
+	// budget not yet spent → page, not breached.
+	tick(50, 50)
+	if got := state(); got != "page" {
+		t.Fatalf("after fast-burn tick state=%s, want page", got)
+	}
+
+	// Keep burning until >1%% of the window's events are bad.
+	sawBreached := false
+	for i := 0; i < 5; i++ {
+		tick(50, 50)
+		if state() == "breached" {
+			sawBreached = true
+			break
+		}
+	}
+	if !sawBreached {
+		t.Fatal("budget exhaustion never reached breached")
+	}
+
+	// Recovery: clean traffic. The bad events stay in the 60s window
+	// for a while, so breached holds; then hysteresis walks the state
+	// down one level per ClearTicks quiet ticks — never skipping
+	// straight to ok.
+	var seq []string
+	last := "breached"
+	for i := 0; i < 90; i++ {
+		tick(100, 0)
+		if s := state(); s != last {
+			seq = append(seq, s)
+			last = s
+		}
+	}
+	want := []string{"page", "warn", "ok"}
+	if len(seq) != len(want) {
+		t.Fatalf("recovery sequence = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("recovery sequence = %v, want %v", seq, want)
+		}
+	}
+	st := find(ev.Status(), "ratio")
+	if !st.Compliant {
+		t.Errorf("recovered SLO not compliant: %+v", st)
+	}
+}
+
+func TestLatencySpecFromHistogram(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	clk := newClock()
+	ev, err := New(reg, []Spec{{
+		Name: "lat", Class: "ingest",
+		Metric:    "tippers_http_request_seconds",
+		Labels:    map[string]string{"route": "POST /v1/observations"},
+		Threshold: 250 * time.Millisecond,
+		Objective: 0.99, Window: time.Minute,
+	}}, Options{Interval: time.Second, Logger: quietLogger(), Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The metric does not exist yet: the spec reads as zero events,
+	// compliant, ok.
+	ev.Tick()
+	st := find(ev.Status(), "lat")
+	if st.Events != 0 || !st.Compliant || st.State != "ok" {
+		t.Fatalf("missing metric should be compliant/ok: %+v", st)
+	}
+
+	// Register late — the evaluator picks it up on the next tick.
+	h := reg.HistogramWith("tippers_http_request_seconds", "latency",
+		telemetry.Labels{"route": "POST /v1/observations"}, nil)
+	for i := 0; i < 995; i++ {
+		h.Observe(0.002)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(2.0) // over threshold
+	}
+	clk.advance(time.Second)
+	ev.Tick()
+	st = find(ev.Status(), "lat")
+	if st.Events != 1000 {
+		t.Fatalf("events = %g, want 1000", st.Events)
+	}
+	if !approx(st.BadEvents, 5, 0.5) {
+		t.Fatalf("bad events = %g, want ≈5", st.BadEvents)
+	}
+	if !approx(st.Compliance, 0.995, 0.001) {
+		t.Fatalf("compliance = %g, want ≈0.995", st.Compliance)
+	}
+	if st.ThresholdSeconds != 0.25 {
+		t.Fatalf("threshold = %g, want 0.25", st.ThresholdSeconds)
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	clk := newClock()
+	ev, err := New(reg, DefaultTippersSpecs(time.Minute),
+		Options{Interval: time.Second, Logger: quietLogger(), Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Tick()
+	rec := httptest.NewRecorder()
+	ev.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var rep Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if !rep.Healthy {
+		t.Error("idle node should be healthy")
+	}
+	if len(rep.SLOs) != len(DefaultTippersSpecs(time.Minute)) {
+		t.Errorf("got %d SLOs, want %d", len(rep.SLOs), len(DefaultTippersSpecs(time.Minute)))
+	}
+	rec = httptest.NewRecorder()
+	ev.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/slo", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST status %d, want 405", rec.Code)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ev, err := New(reg, DefaultHTTPSpecs("irr", 0, 0), Options{Interval: 10 * time.Millisecond, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Start()
+	ev.Start() // idempotent
+	time.Sleep(30 * time.Millisecond)
+	ev.Stop()
+	ev.Stop() // idempotent
+	if got := len(ev.Status()); got != 1 {
+		t.Fatalf("got %d statuses, want 1", got)
+	}
+}

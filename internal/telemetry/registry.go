@@ -227,6 +227,36 @@ func (r *Registry) RegisterHistogram(name, help string, labels Labels, h *Histog
 	})
 }
 
+// LookupHistogram returns the registered histogram for (name, labels),
+// or false when no such instance exists (or it is not a histogram).
+// Continuous evaluators (internal/slo) read histograms this way
+// instead of holding instances, so a spec can name a metric that a
+// component registers later.
+func (r *Registry) LookupHistogram(name string, labels Labels) (*Histogram, bool) {
+	key := name + renderLabels(labels)
+	r.mu.RLock()
+	e, ok := r.entries[key]
+	r.mu.RUnlock()
+	if !ok || e.kind != histogramKind || e.hist == nil {
+		return nil, false
+	}
+	return e.hist, true
+}
+
+// LookupValue returns the instantaneous scalar of the registered
+// counter or gauge for (name, labels), or false when no such instance
+// exists (or it is a histogram).
+func (r *Registry) LookupValue(name string, labels Labels) (float64, bool) {
+	key := name + renderLabels(labels)
+	r.mu.RLock()
+	e, ok := r.entries[key]
+	r.mu.RUnlock()
+	if !ok || e.kind == histogramKind {
+		return 0, false
+	}
+	return e.value(), true
+}
+
 // snapshotEntries returns the entries sorted by (name, labels) for
 // deterministic exposition.
 func (r *Registry) snapshotEntries() []*entry {

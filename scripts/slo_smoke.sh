@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# slo_smoke.sh — the CI SLO gate: boot a real tippersd, drive a short
+# open-loop mixed workload with cmd/simload, and fail the build when
+# any per-class tail-latency target is missed. Latency is measured
+# from each request's *intended* send time (coordinated-omission
+# safe), so a daemon stall during the window widens p99/p99.9 instead
+# of silently thinning the sample — which is exactly what makes this
+# gate able to catch latency regressions a closed-loop smoke would
+# hide.
+#
+#   scripts/slo_smoke.sh                          # green on a healthy build
+#   TIPPERSD_DEBUG_STALL=2s scripts/slo_smoke.sh  # red drill: injected
+#                                                 # stall must fail the gate
+#
+# Environment knobs:
+#   SLO_SMOKE_PORT      tippersd API port (default 18080)
+#   SLO_SMOKE_DURATION  workload length (default 10s)
+#   SLO_SMOKE_REPORT    JSON report path (default slo-report.json; CI
+#                       uploads it as an artifact and benchdiff slo
+#                       can diff two of them)
+#   SLO_SMOKE_TARGETS   simload -slo override (empty keeps defaults)
+#   TIPPERSD_DEBUG_STALL  per-request sleep injected into the daemon —
+#                       the red-drill knob, passed through untouched
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${SLO_SMOKE_PORT:-18080}"
+DURATION="${SLO_SMOKE_DURATION:-10s}"
+REPORT="${SLO_SMOKE_REPORT:-slo-report.json}"
+BASE="http://127.0.0.1:$PORT"
+OUT_DIR="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+	if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+		kill "$DAEMON_PID" 2>/dev/null || true
+		wait "$DAEMON_PID" 2>/dev/null || true
+	fi
+	rm -rf "$OUT_DIR"
+}
+trap cleanup EXIT
+
+echo "== building tippersd + simload"
+go build -o "$OUT_DIR/tippersd" ./cmd/tippersd
+go build -o "$OUT_DIR/simload" ./cmd/simload
+
+echo "== booting tippersd on $BASE (stall injection: ${TIPPERSD_DEBUG_STALL:-none})"
+"$OUT_DIR/tippersd" \
+	-addr "127.0.0.1:$PORT" -irr-addr "" \
+	-small -population 60 -seed 1 -simulate-days 0 \
+	-slo-interval 1s -slo-window 5m \
+	>"$OUT_DIR/tippersd.log" 2>&1 &
+DAEMON_PID=$!
+
+for i in $(seq 1 60); do
+	if curl -sf "$BASE/v1/readyz" >/dev/null 2>&1; then
+		break
+	fi
+	if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+		echo "tippersd exited during boot:" >&2
+		cat "$OUT_DIR/tippersd.log" >&2
+		exit 1
+	fi
+	if [[ "$i" == 60 ]]; then
+		echo "tippersd never became ready:" >&2
+		cat "$OUT_DIR/tippersd.log" >&2
+		exit 1
+	fi
+	sleep 0.5
+done
+
+echo "== driving $DURATION mixed workload (report: $REPORT)"
+SIMLOAD_ARGS=(
+	-tippers "$BASE"
+	-small -population 60 -seed 1
+	-scenario mixed -duration "$DURATION"
+	-report "$REPORT"
+)
+if [[ -n "${SLO_SMOKE_TARGETS:-}" ]]; then
+	SIMLOAD_ARGS+=(-slo "$SLO_SMOKE_TARGETS")
+fi
+if "$OUT_DIR/simload" "${SIMLOAD_ARGS[@]}"; then
+	echo "== SLO smoke gate passed"
+else
+	status=$?
+	echo "== SLO smoke gate FAILED (simload exit $status); daemon log tail:" >&2
+	tail -n 40 "$OUT_DIR/tippersd.log" >&2
+	exit "$status"
+fi

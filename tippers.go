@@ -46,6 +46,7 @@ import (
 	"github.com/tippers/tippers/internal/sensor"
 	"github.com/tippers/tippers/internal/service"
 	"github.com/tippers/tippers/internal/sim"
+	"github.com/tippers/tippers/internal/slo"
 	"github.com/tippers/tippers/internal/spatial"
 	"github.com/tippers/tippers/internal/stream"
 	"github.com/tippers/tippers/internal/telemetry"
@@ -147,7 +148,19 @@ type (
 	// Backpressure selects a full-ring policy for stream
 	// subscriptions.
 	Backpressure = stream.Backpressure
+
+	// SLOSpec declares one service-level objective (see internal/slo).
+	SLOSpec = slo.Spec
+	// SLOEvaluator continuously checks SLOSpecs against the telemetry
+	// registry; reach a deployment's via Deployment.SLO.
+	SLOEvaluator = slo.Evaluator
+	// SLOStatus is one SLO's current evaluation.
+	SLOStatus = slo.Status
 )
+
+// DefaultSLOSpecs returns the stock tippersd SLO set over the given
+// error-budget window (zero selects one hour).
+var DefaultSLOSpecs = slo.DefaultTippersSpecs
 
 // Backpressure policies for live streams.
 const (
@@ -302,6 +315,15 @@ type DeploymentConfig struct {
 	ColumnarRollupMax int
 	// DisableColumnar turns the columnar tier off entirely.
 	DisableColumnar bool
+	// SLOInterval starts a continuous SLO evaluator at this period
+	// over the BMS metrics registry (zero disables it). The evaluator
+	// serves GET /v1/slo on APIHandler.
+	SLOInterval time.Duration
+	// SLOWindow is the SLO error-budget window (zero selects 1h).
+	SLOWindow time.Duration
+	// SLOSpecs overrides the evaluated SLO set; nil selects
+	// DefaultSLOSpecs(SLOWindow).
+	SLOSpecs []SLOSpec
 }
 
 // Deployment is a fully wired building: BMS, population, services,
@@ -312,8 +334,12 @@ type Deployment struct {
 	Users    *Directory
 	Services *service.Registry
 	IRR      *IRRegistry
+	// SLO is the continuous SLO evaluator, present when
+	// DeploymentConfig.SLOInterval was set.
+	SLO *SLOEvaluator
 
 	traceSlow time.Duration
+	node      httpapi.HealthzDTO
 }
 
 // NewDeployment builds a complete simulated deployment: the building
@@ -434,7 +460,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		}
 	}
 
-	return &Deployment{
+	dep := &Deployment{
 		BMS:      bms,
 		Building: building,
 		Users:    users,
@@ -442,11 +468,35 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		IRR:      registry,
 
 		traceSlow: cfg.TraceSlow,
-	}, nil
+		node: httpapi.HealthzDTO{
+			Building:     spec.ID,
+			BuildingName: spec.Name,
+			Floors:       spec.Floors,
+			Population:   cfg.Population,
+			Seed:         cfg.Seed,
+		},
+	}
+	if cfg.SLOInterval > 0 {
+		specs := cfg.SLOSpecs
+		if specs == nil {
+			specs = slo.DefaultTippersSpecs(cfg.SLOWindow)
+		}
+		ev, err := slo.New(bms.Metrics(), specs, slo.Options{Interval: cfg.SLOInterval})
+		if err != nil {
+			bms.Close()
+			return nil, err
+		}
+		ev.Start()
+		dep.SLO = ev
+	}
+	return dep, nil
 }
 
 // Close shuts the deployment down.
 func (d *Deployment) Close() {
+	if d.SLO != nil {
+		d.SLO.Stop()
+	}
 	d.BMS.Close()
 }
 
@@ -484,9 +534,12 @@ func (d *Deployment) SimulateDay(date time.Time, seed int64) (int, error) {
 // instrumented with per-route metrics on the BMS registry and, when
 // the deployment has a tracer, per-request spans.
 func (d *Deployment) APIHandler() http.Handler {
-	srv := httpapi.NewServer(d.BMS).WithMetrics(d.BMS.Metrics())
+	srv := httpapi.NewServer(d.BMS).WithMetrics(d.BMS.Metrics()).WithNodeInfo(d.node)
 	if t := d.BMS.Tracer(); t != nil {
 		srv = srv.WithTracing(t, d.traceSlow, nil)
+	}
+	if d.SLO != nil {
+		srv = srv.WithSLO(d.SLO.Handler())
 	}
 	return srv.Handler()
 }

@@ -1,8 +1,9 @@
 #!/bin/sh
 # verify.sh — the repo's one-command health check: formatting, vet,
-# build, and the full test suite under the race detector. The steps
-# mirror the test job in .github/workflows/ci.yml so a green local
-# run predicts a green CI run; change them together.
+# build, the full test suite under the race detector, and the SLO
+# smoke gate (a real tippersd under a short open-loop workload). The
+# steps mirror the test + slo-smoke jobs in .github/workflows/ci.yml
+# so a green local run predicts a green CI run; change them together.
 set -eu
 
 cd "$(dirname "$0")"
@@ -39,5 +40,8 @@ go test -race -count=2 -run 'TestQueryNeverLeaksDeniedRows|TestSegmentQueryMatch
 echo "== compiled-engine equivalence + recompile-under-churn (repeated, race) =="
 go test -race -count=2 -run 'TestCompiledMatchesNaive' ./internal/enforce/...
 go test -race -count=2 -run 'TestEngineRecompileUnderChurn' ./internal/core/...
+
+echo "== SLO smoke gate (open-loop tail latency against a live tippersd) =="
+SLO_SMOKE_REPORT="${SLO_SMOKE_REPORT:-/tmp/slo-report.json}" ./scripts/slo_smoke.sh
 
 echo "verify: OK"
